@@ -1,0 +1,71 @@
+//! Cardinality-estimation micro-benchmarks: per-subset estimation cost and the cost of
+//! the ANALYZE pass that feeds the estimator.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use reopt_bench::{Harness, HarnessConfig};
+use reopt_catalog::{analyze_table, AnalyzeOptions};
+use reopt_planner::{bind_select, CardinalityEstimator, CardinalityOverrides, RelSet};
+use reopt_sql::parse_sql;
+
+fn harness() -> Harness {
+    Harness::new(HarnessConfig {
+        scale: 0.02,
+        stride: 1,
+        threshold: 32.0,
+        seed: 13,
+    })
+    .expect("harness builds")
+}
+
+fn estimate_all_subsets(c: &mut Criterion) {
+    let harness = harness();
+    let query = harness
+        .queries
+        .iter()
+        .find(|q| q.table_count == 8)
+        .unwrap()
+        .clone();
+    let statement = parse_sql(&query.sql).unwrap();
+    let spec = bind_select(statement.query().unwrap(), harness.db.storage()).unwrap();
+    let overrides = CardinalityOverrides::new();
+
+    let mut group = c.benchmark_group("cardinality_estimation");
+    group.sample_size(20);
+    group.bench_function("estimate_8_relation_query", |b| {
+        b.iter(|| {
+            let estimator =
+                CardinalityEstimator::new(&spec, harness.db.catalog(), &overrides);
+            // Ask for every pair and the full set, as the DP enumerator would.
+            let n = spec.relation_count();
+            let mut total = 0.0;
+            for i in 0..n {
+                for j in (i + 1)..n {
+                    total += estimator.estimate(RelSet::from_indexes([i, j]));
+                }
+            }
+            total += estimator.estimate(spec.all_relations());
+            total
+        });
+    });
+    group.finish();
+}
+
+fn analyze_cost(c: &mut Criterion) {
+    let harness = harness();
+    let table = harness.db.storage().table("cast_info").unwrap().clone();
+    let mut group = c.benchmark_group("analyze");
+    group.sample_size(10);
+    for target in [10usize, 100] {
+        group.bench_function(format!("cast_info_target_{target}"), |b| {
+            let options = AnalyzeOptions {
+                statistics_target: target,
+                ..AnalyzeOptions::default()
+            };
+            b.iter(|| analyze_table(&table, &options));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, estimate_all_subsets, analyze_cost);
+criterion_main!(benches);

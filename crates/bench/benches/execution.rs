@@ -1,0 +1,70 @@
+//! Executor micro-benchmarks: the join algorithms on the Nasdaq skew example, which is
+//! exactly the plan-flip scenario the paper's deep dives describe (a mis-estimated
+//! intermediate makes the nested-loop strategy catastrophically slower than a hash join).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use reopt_core::Database;
+use reopt_executor::execute_plan;
+use reopt_planner::{CardinalityOverrides, Optimizer, OptimizerConfig};
+use reopt_sql::parse_sql;
+use reopt_workload::{load_nasdaq, NasdaqConfig};
+
+const VOLUME_QUERY: &str = "SELECT count(*) AS c
+FROM company AS c, trades AS tr
+WHERE c.id = tr.company_id AND c.symbol = 'APPL'";
+
+fn database() -> Database {
+    let mut db = Database::new();
+    load_nasdaq(
+        &mut db,
+        &NasdaqConfig {
+            companies: 1_000,
+            trades: 30_000,
+            ..NasdaqConfig::default()
+        },
+    )
+    .unwrap();
+    db
+}
+
+fn join_algorithms(c: &mut Criterion) {
+    let db = database();
+    let statement = parse_sql(VOLUME_QUERY).unwrap();
+    let select = statement.query().unwrap().clone();
+    let overrides = CardinalityOverrides::new();
+
+    let mut group = c.benchmark_group("join_algorithms_nasdaq");
+    group.sample_size(10);
+    for (label, hash, merge, inl) in [
+        ("hash_join", true, false, false),
+        ("merge_join", false, true, false),
+        ("index_nested_loop", false, false, true),
+    ] {
+        let optimizer = Optimizer::new(OptimizerConfig {
+            enable_hash_joins: hash,
+            enable_merge_joins: merge,
+            enable_index_nl_joins: inl,
+            ..OptimizerConfig::default()
+        });
+        let planned = optimizer
+            .plan_select(&select, db.storage(), db.catalog(), &overrides)
+            .unwrap();
+        group.bench_function(label, |b| {
+            b.iter(|| execute_plan(&planned.plan, db.storage()).expect("executes"));
+        });
+    }
+    group.finish();
+}
+
+fn full_query_execution(c: &mut Criterion) {
+    let mut db = database();
+    let mut group = c.benchmark_group("end_to_end_nasdaq");
+    group.sample_size(10);
+    group.bench_function("plan_and_execute", |b| {
+        b.iter(|| db.execute(VOLUME_QUERY).expect("runs"));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, join_algorithms, full_query_execution);
+criterion_main!(benches);

@@ -1,0 +1,81 @@
+//! Optimizer micro-benchmarks: planning latency vs. number of relations, DPccp vs.
+//! greedy enumeration (the ablation called out in DESIGN.md), and planning with the
+//! perfect oracle's override table in place.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use reopt_bench::{Harness, HarnessConfig};
+use reopt_planner::{CardinalityOverrides, Optimizer, OptimizerConfig};
+use reopt_sql::parse_sql;
+
+fn harness() -> Harness {
+    Harness::new(HarnessConfig {
+        scale: 0.02,
+        stride: 1,
+        threshold: 32.0,
+        seed: 11,
+    })
+    .expect("harness builds")
+}
+
+fn planning_by_relation_count(c: &mut Criterion) {
+    let harness = harness();
+    let mut group = c.benchmark_group("planning_by_relation_count");
+    group.sample_size(10);
+    for table_count in [4usize, 7, 10, 12, 17] {
+        let query = harness
+            .queries
+            .iter()
+            .find(|q| q.table_count == table_count)
+            .expect("suite covers this size")
+            .clone();
+        let statement = parse_sql(&query.sql).unwrap();
+        let select = statement.query().unwrap().clone();
+        group.bench_with_input(
+            BenchmarkId::from_parameter(table_count),
+            &select,
+            |b, select| {
+                b.iter(|| harness.db.plan_select(select).expect("plans"));
+            },
+        );
+    }
+    group.finish();
+}
+
+fn dpccp_vs_greedy(c: &mut Criterion) {
+    let harness = harness();
+    let query = harness
+        .queries
+        .iter()
+        .find(|q| q.table_count == 12)
+        .unwrap()
+        .clone();
+    let statement = parse_sql(&query.sql).unwrap();
+    let select = statement.query().unwrap().clone();
+    let overrides = CardinalityOverrides::new();
+
+    let mut group = c.benchmark_group("enumeration_algorithm");
+    group.sample_size(10);
+    group.bench_function("dpccp_12_relations", |b| {
+        let optimizer = Optimizer::new(OptimizerConfig::default());
+        b.iter(|| {
+            optimizer
+                .plan_select(&select, harness.db.storage(), harness.db.catalog(), &overrides)
+                .expect("plans")
+        });
+    });
+    group.bench_function("greedy_12_relations", |b| {
+        let optimizer = Optimizer::new(OptimizerConfig {
+            greedy_threshold: 2,
+            ..OptimizerConfig::default()
+        });
+        b.iter(|| {
+            optimizer
+                .plan_select(&select, harness.db.storage(), harness.db.catalog(), &overrides)
+                .expect("plans")
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, planning_by_relation_count, dpccp_vs_greedy);
+criterion_main!(benches);

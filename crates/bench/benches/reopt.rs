@@ -1,0 +1,72 @@
+//! Re-optimization overhead benchmarks: the cost of a plain execution vs. the
+//! materialize-and-replan scheme vs. the inject-only ablation, on a query with a badly
+//! under-estimated skewed join.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use reopt_bench::{Harness, HarnessConfig};
+use reopt_core::{execute_with_reoptimization, ReoptConfig, ReoptMode};
+
+fn harness() -> Harness {
+    Harness::new(HarnessConfig {
+        scale: 0.03,
+        stride: 1,
+        threshold: 32.0,
+        seed: 19,
+    })
+    .expect("harness builds")
+}
+
+fn reoptimization_modes(c: &mut Criterion) {
+    let mut harness = harness();
+    // Family 2 (the 6d analogue) filters on the popular-keyword class, which the default
+    // estimator underestimates by orders of magnitude.
+    let query = harness
+        .queries
+        .iter()
+        .find(|q| q.id == "2a")
+        .unwrap()
+        .clone();
+
+    let mut group = c.benchmark_group("reoptimization_modes");
+    group.sample_size(10);
+    group.bench_function("plain_execution", |b| {
+        b.iter(|| harness.db.execute(&query.sql).expect("runs"));
+    });
+    group.bench_function("materialize_and_replan", |b| {
+        let config = ReoptConfig::with_threshold(8.0);
+        b.iter(|| execute_with_reoptimization(&mut harness.db, &query.sql, &config).expect("runs"));
+    });
+    group.bench_function("inject_only", |b| {
+        let config = ReoptConfig {
+            threshold: 8.0,
+            mode: ReoptMode::InjectOnly,
+            ..ReoptConfig::default()
+        };
+        b.iter(|| execute_with_reoptimization(&mut harness.db, &query.sql, &config).expect("runs"));
+    });
+    group.finish();
+}
+
+fn threshold_sensitivity(c: &mut Criterion) {
+    let mut harness = harness();
+    let query = harness
+        .queries
+        .iter()
+        .find(|q| q.id == "2c")
+        .unwrap()
+        .clone();
+    let mut group = c.benchmark_group("reopt_threshold");
+    group.sample_size(10);
+    for threshold in [2.0f64, 32.0, 16384.0] {
+        group.bench_function(format!("threshold_{threshold}"), |b| {
+            let config = ReoptConfig::with_threshold(threshold);
+            b.iter(|| {
+                execute_with_reoptimization(&mut harness.db, &query.sql, &config).expect("runs")
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, reoptimization_modes, threshold_sensitivity);
+criterion_main!(benches);

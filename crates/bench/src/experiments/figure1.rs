@@ -1,0 +1,64 @@
+//! Figure 1: planning + execution time of the top-20 longest running queries under the
+//! default estimator, perfect-(3), perfect-(4), re-optimization, and perfect estimates.
+
+use crate::experiments::render_timing_table;
+use crate::{secs, Harness};
+use reopt_core::DbError;
+use std::collections::HashSet;
+
+/// Run the experiment.
+pub fn run(harness: &mut Harness) -> Result<String, DbError> {
+    // Identify the top-20 longest running queries under the default estimator.
+    let default_run = harness.run_default()?;
+    let top: HashSet<String> = default_run
+        .longest_running(20)
+        .iter()
+        .map(|q| q.query_id.clone())
+        .collect();
+
+    let sum_over_top = |run: &reopt_core::WorkloadRun| -> (f64, f64) {
+        run.queries
+            .iter()
+            .filter(|q| top.contains(&q.query_id))
+            .fold((0.0, 0.0), |(plan, exec), q| {
+                (plan + secs(q.planning), exec + secs(q.execution))
+            })
+    };
+
+    let threshold = harness.config.threshold;
+    let perfect3 = harness.run_perfect(3, "Perfect-(3)")?;
+    let perfect4 = harness.run_perfect(4, "Perfect-(4)")?;
+    let reopt = harness.run_reoptimized(threshold, "Re-optimized")?;
+    let perfect = harness.run_perfect(17, "Perfect")?;
+
+    let rows = vec![
+        ("PostgreSQL-style".to_string(), sum_over_top(&default_run)),
+        ("Perfect-(3)".to_string(), sum_over_top(&perfect3)),
+        ("Perfect-(4)".to_string(), sum_over_top(&perfect4)),
+        ("Re-optimized".to_string(), sum_over_top(&reopt)),
+        ("Perfect".to_string(), sum_over_top(&perfect)),
+    ];
+    let rows: Vec<(String, f64, f64)> = rows
+        .into_iter()
+        .map(|(label, (plan, exec))| (label, plan, exec))
+        .collect();
+    let mut out = render_timing_table(
+        &format!(
+            "Figure 1: planning + execution time of the top-{} longest running queries",
+            top.len()
+        ),
+        &rows,
+    );
+    let default_total = rows[0].1 + rows[0].2;
+    let reopt_total = rows[3].1 + rows[3].2;
+    let perfect_total = rows[4].1 + rows[4].2;
+    out.push_str(&format!(
+        "re-optimized end-to-end improvement over default: {:.1}%\n",
+        (1.0 - reopt_total / default_total.max(1e-9)) * 100.0
+    ));
+    out.push_str(&format!(
+        "perfect end-to-end improvement over default:      {:.1}%\n",
+        (1.0 - perfect_total / default_total.max(1e-9)) * 100.0
+    ));
+    Ok(out)
+}

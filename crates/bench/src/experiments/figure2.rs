@@ -1,0 +1,28 @@
+//! Figure 2: total planning + execution time of the suite for perfect-(n), n = 0 … 17.
+
+use crate::{secs, Harness};
+use reopt_core::DbError;
+
+/// The n values swept (0 = default estimator, 17 = fully perfect).
+pub const SWEEP: &[usize] = &[0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15, 16, 17];
+
+/// Run the experiment.
+pub fn run(harness: &mut Harness) -> Result<String, DbError> {
+    let mut out = String::from(
+        "Figure 2: total planning and execution time of the suite with perfect-(n)\n",
+    );
+    out.push_str(&format!(
+        "{:<12} {:>12} {:>12} {:>12}\n",
+        "perfect-(n)", "plan (s)", "execute (s)", "total (s)"
+    ));
+    for &n in SWEEP {
+        let run = harness.run_perfect(n, &format!("Perfect-({n})"))?;
+        let plan = secs(run.total_planning());
+        let exec = secs(run.total_execution());
+        out.push_str(&format!(
+            "{n:<12} {plan:>12.3} {exec:>12.3} {:>12.3}\n",
+            plan + exec
+        ));
+    }
+    Ok(out)
+}

@@ -1,0 +1,67 @@
+//! Figure 5: execution time under iterative (LEO-style) selective improvement of
+//! cardinality estimates, for the three slowest queries of the suite.
+//!
+//! The paper plots queries 16b, 25c and 30a; here the three queries with the longest
+//! default execution time play that role. The dotted "perfect" line of the figure is the
+//! execution time with perfect-(17) estimates, printed alongside.
+
+use crate::{secs, Harness};
+use reopt_core::{selective_improvement, DbError, SelectiveConfig};
+
+/// Run the experiment.
+pub fn run(harness: &mut Harness) -> Result<String, DbError> {
+    let default_run = harness.run_default()?;
+    let slowest: Vec<String> = default_run
+        .longest_running(3)
+        .iter()
+        .map(|q| q.query_id.clone())
+        .collect();
+
+    let mut out = String::from(
+        "Figure 5: execution time per iteration of selective estimate improvement\n",
+    );
+    let config = SelectiveConfig {
+        threshold: harness.config.threshold,
+        max_iterations: 48,
+    };
+    for query_id in slowest {
+        let query = harness
+            .queries
+            .iter()
+            .find(|q| q.query_id_matches(&query_id))
+            .cloned()
+            .expect("query came from the suite");
+        let perfect = harness.run_query_perfect(&query, 17)?;
+        let iterations = selective_improvement(&mut harness.db, &query.sql, &config)?;
+        out.push_str(&format!(
+            "query {query_id} (perfect-estimate execution: {:.4}s, {} iterations to converge)\n",
+            secs(perfect.execution),
+            iterations.len()
+        ));
+        out.push_str(&format!(
+            "{:<10} {:>14} {:>12} {:>22}\n",
+            "iteration", "execute (s)", "q-error", "corrected estimates"
+        ));
+        for record in &iterations {
+            out.push_str(&format!(
+                "{:<10} {:>14.4} {:>12.1} {:>22}\n",
+                record.iteration,
+                secs(record.execution_time),
+                record.q_error,
+                record.corrections_so_far
+            ));
+        }
+    }
+    Ok(out)
+}
+
+/// Helper so `JobQuery` can be matched by id without exposing internals here.
+trait QueryIdMatch {
+    fn query_id_matches(&self, id: &str) -> bool;
+}
+
+impl QueryIdMatch for reopt_workload::JobQuery {
+    fn query_id_matches(&self, id: &str) -> bool {
+        self.id == id
+    }
+}

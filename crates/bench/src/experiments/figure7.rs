@@ -1,0 +1,40 @@
+//! Figure 7: total planning + execution time of the suite for different re-optimization
+//! thresholds, next to the default estimator and perfect-(17).
+
+use crate::experiments::render_timing_table;
+use crate::{secs, Harness};
+use reopt_core::DbError;
+
+/// The thresholds the paper sweeps.
+pub const THRESHOLDS: &[f64] = &[
+    2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0, 256.0, 1024.0, 4096.0, 16384.0,
+];
+
+/// Run the experiment.
+pub fn run(harness: &mut Harness) -> Result<String, DbError> {
+    let mut rows: Vec<(String, f64, f64)> = Vec::new();
+    for &threshold in THRESHOLDS {
+        let run = harness.run_reoptimized(threshold, &format!("threshold {threshold}"))?;
+        rows.push((
+            format!("re-opt @ {threshold}"),
+            secs(run.total_planning()),
+            secs(run.total_execution()),
+        ));
+    }
+    let default_run = harness.run_default()?;
+    rows.push((
+        "PostgreSQL-style".to_string(),
+        secs(default_run.total_planning()),
+        secs(default_run.total_execution()),
+    ));
+    let perfect = harness.run_perfect(17, "Perfect")?;
+    rows.push((
+        "Perfect".to_string(),
+        secs(perfect.total_planning()),
+        secs(perfect.total_execution()),
+    ));
+    Ok(render_timing_table(
+        "Figure 7: planning and execution time vs. re-optimization threshold (Q-error)",
+        &rows,
+    ))
+}

@@ -1,0 +1,28 @@
+//! Figure 8: total execution time of the suite with perfect-(n) estimates, with and
+//! without re-optimization on top, for n = 0 … 17.
+
+use crate::{secs, Harness};
+use reopt_core::DbError;
+
+/// Run the experiment.
+pub fn run(harness: &mut Harness) -> Result<String, DbError> {
+    let threshold = harness.config.threshold;
+    let mut out = String::from(
+        "Figure 8: execution time of perfect-(n) with and without re-optimization\n",
+    );
+    out.push_str(&format!(
+        "{:<12} {:>18} {:>26}\n",
+        "perfect-(n)", "execute (s)", "execute + re-opt (s)"
+    ));
+    for &n in super::figure2::SWEEP {
+        let plain = harness.run_perfect(n, &format!("Perfect-({n})"))?;
+        let reopt =
+            harness.run_perfect_with_reopt(n, threshold, &format!("Perfect-({n})+reopt"))?;
+        out.push_str(&format!(
+            "{n:<12} {:>18.3} {:>26.3}\n",
+            secs(plain.total_execution()),
+            secs(reopt.total_execution())
+        ));
+    }
+    Ok(out)
+}

@@ -1,0 +1,49 @@
+//! Figure 9: per-query execution time under the default estimator, re-optimization and
+//! perfect estimates, ordered by the default execution time (ascending, as in the
+//! paper's stacked per-query view).
+
+use crate::{secs, Harness};
+use reopt_core::DbError;
+
+/// Run the experiment.
+pub fn run(harness: &mut Harness) -> Result<String, DbError> {
+    let threshold = harness.config.threshold;
+    let default_run = harness.run_default()?;
+    let reopt_run = harness.run_reoptimized(threshold, "Re-optimized")?;
+    let perfect_run = harness.run_perfect(17, "Perfect")?;
+
+    let mut order: Vec<usize> = (0..default_run.queries.len()).collect();
+    order.sort_by(|&a, &b| default_run.queries[a].execution.cmp(&default_run.queries[b].execution));
+
+    let mut out = String::from(
+        "Figure 9: per-query execution time (s), ordered by default execution time\n",
+    );
+    out.push_str(&format!(
+        "{:<8} {:>14} {:>14} {:>14}\n",
+        "query", "default", "re-optimized", "perfect"
+    ));
+    for idx in order {
+        let d = &default_run.queries[idx];
+        let r = &reopt_run.queries[idx];
+        let p = &perfect_run.queries[idx];
+        out.push_str(&format!(
+            "{:<8} {:>14.4} {:>14.4} {:>14.4}\n",
+            d.query_id,
+            secs(d.execution),
+            secs(r.execution),
+            secs(p.execution)
+        ));
+    }
+    out.push_str(&format!(
+        "totals   {:>14.3} {:>14.3} {:>14.3}\n",
+        secs(default_run.total_execution()),
+        secs(reopt_run.total_execution()),
+        secs(perfect_run.total_execution())
+    ));
+    out.push_str(&format!(
+        "re-optimization improves total execution by {:.1}% over the default estimator\n",
+        (1.0 - secs(reopt_run.total_execution()) / secs(default_run.total_execution()).max(1e-9))
+            * 100.0
+    ));
+    Ok(out)
+}

@@ -1,0 +1,29 @@
+//! Figures 3 and 4: the join graphs of the deep-dive queries (6d and 18a in the paper;
+//! their analogues 2d and 7a in the suite), rendered as adjacency lists and Graphviz DOT.
+
+use crate::Harness;
+use reopt_core::DbError;
+use reopt_planner::{bind_select, JoinGraph};
+
+/// Run the experiment.
+pub fn run(harness: &mut Harness) -> Result<String, DbError> {
+    let mut out = String::new();
+    for (figure, query_id, paper_query) in [(3, "2d", "6d"), (4, "7a", "18a")] {
+        let query = harness
+            .queries
+            .iter()
+            .find(|q| q.id == query_id)
+            .cloned()
+            .expect("deep-dive query exists");
+        let statement = reopt_sql::parse_sql(&query.sql).map_err(DbError::Parse)?;
+        let spec = bind_select(statement.query().expect("SELECT"), harness.db.storage())?;
+        let graph = JoinGraph::new(&spec);
+        out.push_str(&format!(
+            "Figure {figure}: join graph of query {query_id} (paper query {paper_query})\n"
+        ));
+        out.push_str(&graph.to_ascii(&spec));
+        out.push_str(&graph.to_dot(&spec));
+        out.push('\n');
+    }
+    Ok(out)
+}

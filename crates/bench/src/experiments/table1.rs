@@ -1,0 +1,34 @@
+//! Table I: number of cardinality estimates on joins of N tables across the whole suite.
+//!
+//! The paper counts how many distinct cardinality estimates the (modified) PostgreSQL
+//! planner requests per join size while optimizing all 113 JOB queries. Here we plan
+//! every query of the suite with the default estimator and merge the per-query
+//! estimation logs.
+
+use crate::Harness;
+use reopt_core::DbError;
+use reopt_planner::EstimationLog;
+
+/// Run the experiment.
+pub fn run(harness: &mut Harness) -> Result<String, DbError> {
+    let mut merged = EstimationLog::default();
+    for query in harness.queries.clone() {
+        let statement = reopt_sql::parse_sql(&query.sql).map_err(DbError::Parse)?;
+        let select = statement.query().expect("suite queries are SELECTs").clone();
+        let (planned, _) = harness.db.plan_select(&select)?;
+        merged.merge(&planned.estimation_log);
+    }
+
+    let mut out = String::from(
+        "Table I: number of cardinality estimates on joins of N tables (all 113 queries)\n",
+    );
+    out.push_str(&format!("{:<18} {:>12}\n", "# tables in join", "# estimates"));
+    let mut total = 0u64;
+    for size in 1..=merged.max_size() {
+        let count = merged.count_for_size(size);
+        total += count;
+        out.push_str(&format!("{size:<18} {count:>12}\n"));
+    }
+    out.push_str(&format!("{:<18} {total:>12}\n", "total"));
+    Ok(out)
+}

@@ -1,0 +1,33 @@
+//! Table II: execution time of the suite's queries with the default (PostgreSQL-style)
+//! cardinality estimation, relative to perfect-(17).
+
+use crate::Harness;
+use reopt_core::{relative_runtime_buckets, DbError};
+
+/// Render the bucket table shared by Tables II and VI.
+pub(crate) fn render_buckets(title: &str, ratios: &[f64]) -> String {
+    let mut out = format!("{title}\n");
+    out.push_str(&format!("{:<18} {:>18}\n", "relative runtime", "number of queries"));
+    for bucket in relative_runtime_buckets(ratios) {
+        out.push_str(&format!("{:<18} {:>18}\n", bucket.label, bucket.count));
+    }
+    out
+}
+
+/// Run the experiment.
+pub fn run(harness: &mut Harness) -> Result<String, DbError> {
+    let default_run = harness.run_default()?;
+    let perfect_run = harness.run_perfect(17, "Perfect-(17)")?;
+    let ratios: Vec<f64> = default_run
+        .queries
+        .iter()
+        .zip(&perfect_run.queries)
+        .map(|(default, perfect)| {
+            default.execution.as_secs_f64() / perfect.execution.as_secs_f64().max(1e-9)
+        })
+        .collect();
+    Ok(render_buckets(
+        "Table II: execution time with default estimates relative to perfect-(17)",
+        &ratios,
+    ))
+}

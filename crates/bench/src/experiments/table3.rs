@@ -1,0 +1,24 @@
+//! Table III: number of queries in the suite with a given number of tables.
+
+use crate::Harness;
+use reopt_core::DbError;
+use std::collections::BTreeMap;
+
+/// Run the experiment.
+pub fn run(harness: &mut Harness) -> Result<String, DbError> {
+    let mut histogram: BTreeMap<usize, usize> = BTreeMap::new();
+    for query in &harness.queries {
+        *histogram.entry(query.table_count).or_default() += 1;
+    }
+    let mut out = String::from("Table III: number of queries with a given number of tables\n");
+    out.push_str(&format!("{:<10} {:>10}\n", "# tables", "# queries"));
+    for (tables, count) in &histogram {
+        out.push_str(&format!("{tables:<10} {count:>10}\n"));
+    }
+    out.push_str(&format!(
+        "{:<10} {:>10}\n",
+        "total",
+        histogram.values().sum::<usize>()
+    ));
+    Ok(out)
+}

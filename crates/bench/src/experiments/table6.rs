@@ -1,0 +1,27 @@
+//! Table VI: execution time of the suite's queries with re-optimization, relative to
+//! perfect-(17).
+
+use crate::experiments::table2::render_buckets;
+use crate::Harness;
+use reopt_core::DbError;
+
+/// Run the experiment.
+pub fn run(harness: &mut Harness) -> Result<String, DbError> {
+    let threshold = harness.config.threshold;
+    let reopt_run = harness.run_reoptimized(threshold, "Re-optimized")?;
+    let perfect_run = harness.run_perfect(17, "Perfect-(17)")?;
+    let ratios: Vec<f64> = reopt_run
+        .queries
+        .iter()
+        .zip(&perfect_run.queries)
+        .map(|(reopt, perfect)| {
+            reopt.execution.as_secs_f64() / perfect.execution.as_secs_f64().max(1e-9)
+        })
+        .collect();
+    Ok(render_buckets(
+        &format!(
+            "Table VI: execution time with re-optimization (threshold {threshold}) relative to perfect-(17)"
+        ),
+        &ratios,
+    ))
+}

@@ -1,0 +1,260 @@
+//! # reopt-bench
+//!
+//! The experiment harness: one module per table and figure of the paper, plus a shared
+//! [`Harness`] that loads the synthetic IMDB database, runs the JOB-style suite under a
+//! configuration (default estimator, perfect-(n), re-optimization at a threshold) and
+//! returns per-query timings.
+//!
+//! Run everything with
+//!
+//! ```text
+//! cargo run --release -p reopt-bench --bin experiments -- all
+//! ```
+//!
+//! Environment variables: `REOPT_SCALE` (default 0.05), `REOPT_QUERY_STRIDE`
+//! (default 3: run every third query for the execution-heavy experiments; set to 1 for
+//! the full suite), `REOPT_THRESHOLD` (default 32).
+
+pub mod experiments;
+
+use reopt_core::{
+    execute_with_reoptimization, Database, DbError, PerfectOracle, QueryRun, ReoptConfig,
+    WorkloadRun,
+};
+use reopt_workload::{job_queries, load_imdb, ImdbConfig, JobQuery};
+use std::time::Duration;
+
+// Re-export for the experiment modules and the binary.
+pub use reopt_core::reopt::execute_with_reoptimization as run_reoptimized_query;
+
+/// Harness configuration.
+#[derive(Debug, Clone)]
+pub struct HarnessConfig {
+    /// IMDB generator scale factor.
+    pub scale: f64,
+    /// Run every `stride`-th query of the suite (1 = all 113).
+    pub stride: usize,
+    /// Q-error threshold for re-optimization runs.
+    pub threshold: f64,
+    /// RNG seed for the generator.
+    pub seed: u64,
+}
+
+impl Default for HarnessConfig {
+    fn default() -> Self {
+        Self {
+            scale: 0.05,
+            stride: 3,
+            threshold: 32.0,
+            seed: 42,
+        }
+    }
+}
+
+impl HarnessConfig {
+    /// Read the configuration from the environment (`REOPT_SCALE`, `REOPT_QUERY_STRIDE`,
+    /// `REOPT_THRESHOLD`), falling back to the defaults.
+    pub fn from_env() -> Self {
+        let mut config = Self::default();
+        if let Ok(scale) = std::env::var("REOPT_SCALE") {
+            if let Ok(scale) = scale.parse() {
+                config.scale = scale;
+            }
+        }
+        if let Ok(stride) = std::env::var("REOPT_QUERY_STRIDE") {
+            if let Ok(stride) = stride.parse() {
+                config.stride = std::cmp::max(1, stride);
+            }
+        }
+        if let Ok(threshold) = std::env::var("REOPT_THRESHOLD") {
+            if let Ok(threshold) = threshold.parse() {
+                config.threshold = threshold;
+            }
+        }
+        config
+    }
+}
+
+/// The shared experiment harness: a loaded database, the query suite and a memoized
+/// perfect-cardinality oracle.
+pub struct Harness {
+    /// The database with the synthetic IMDB data loaded and analyzed.
+    pub db: Database,
+    /// The full 113-query suite.
+    pub queries: Vec<JobQuery>,
+    /// The perfect-(n) oracle (cross-run memo of true cardinalities).
+    pub oracle: PerfectOracle,
+    /// The configuration.
+    pub config: HarnessConfig,
+}
+
+impl Harness {
+    /// Build a harness: generate the data, build indexes, ANALYZE.
+    pub fn new(config: HarnessConfig) -> Result<Self, DbError> {
+        let mut db = Database::new();
+        load_imdb(
+            &mut db,
+            &ImdbConfig {
+                scale: config.scale,
+                seed: config.seed,
+            },
+        )?;
+        Ok(Self {
+            db,
+            queries: job_queries(),
+            oracle: PerfectOracle::new(),
+            config,
+        })
+    }
+
+    /// The queries selected by the configured stride.
+    pub fn selected_queries(&self) -> Vec<JobQuery> {
+        self.queries
+            .iter()
+            .enumerate()
+            .filter(|(idx, _)| idx % self.config.stride == 0)
+            .map(|(_, q)| q.clone())
+            .collect()
+    }
+
+    /// Run the selected queries with the default (PostgreSQL-style) estimator.
+    pub fn run_default(&mut self) -> Result<WorkloadRun, DbError> {
+        self.run_perfect(0, "PostgreSQL-style")
+    }
+
+    /// Run the selected queries with perfect-(n) cardinalities injected.
+    pub fn run_perfect(&mut self, n: usize, label: &str) -> Result<WorkloadRun, DbError> {
+        let mut run = WorkloadRun::new(label);
+        for query in self.selected_queries() {
+            run.queries.push(self.run_query_perfect(&query, n)?);
+        }
+        Ok(run)
+    }
+
+    /// Run one query with perfect-(n) cardinalities injected.
+    pub fn run_query_perfect(&mut self, query: &JobQuery, n: usize) -> Result<QueryRun, DbError> {
+        let statement = reopt_sql::parse_sql(&query.sql).map_err(DbError::Parse)?;
+        let select = statement.query().expect("suite queries are SELECTs").clone();
+        let overrides = self
+            .oracle
+            .overrides_for(&mut self.db, &select, n, &query.id)?;
+        self.db.set_overrides(overrides);
+        let output = self.db.execute_select(&select);
+        self.db.clear_overrides();
+        let output = output?;
+        Ok(QueryRun {
+            query_id: query.id.clone(),
+            planning: output.planning_time,
+            execution: output.execution_time,
+            output_rows: output.row_count(),
+        })
+    }
+
+    /// Run the selected queries under the re-optimization scheme at a threshold.
+    pub fn run_reoptimized(&mut self, threshold: f64, label: &str) -> Result<WorkloadRun, DbError> {
+        let mut run = WorkloadRun::new(label);
+        for query in self.selected_queries() {
+            run.queries.push(self.run_query_reoptimized(&query, threshold)?);
+        }
+        Ok(run)
+    }
+
+    /// Run one query under re-optimization.
+    pub fn run_query_reoptimized(
+        &mut self,
+        query: &JobQuery,
+        threshold: f64,
+    ) -> Result<QueryRun, DbError> {
+        let config = ReoptConfig::with_threshold(threshold);
+        let report = execute_with_reoptimization(&mut self.db, &query.sql, &config)?;
+        Ok(QueryRun {
+            query_id: query.id.clone(),
+            planning: report.planning_time,
+            execution: report.execution_time,
+            output_rows: report.final_rows.len(),
+        })
+    }
+
+    /// Run the selected queries with perfect-(n) *plus* re-optimization (Figure 8).
+    pub fn run_perfect_with_reopt(
+        &mut self,
+        n: usize,
+        threshold: f64,
+        label: &str,
+    ) -> Result<WorkloadRun, DbError> {
+        let mut run = WorkloadRun::new(label);
+        for query in self.selected_queries() {
+            let statement = reopt_sql::parse_sql(&query.sql).map_err(DbError::Parse)?;
+            let select = statement.query().expect("suite queries are SELECTs").clone();
+            let overrides = self
+                .oracle
+                .overrides_for(&mut self.db, &select, n, &query.id)?;
+            self.db.set_overrides(overrides);
+            let config = ReoptConfig::with_threshold(threshold);
+            let report = execute_with_reoptimization(&mut self.db, &query.sql, &config);
+            self.db.clear_overrides();
+            let report = report?;
+            run.queries.push(QueryRun {
+                query_id: query.id.clone(),
+                planning: report.planning_time,
+                execution: report.execution_time,
+                output_rows: report.final_rows.len(),
+            });
+        }
+        Ok(run)
+    }
+}
+
+/// Format a duration as fractional seconds for the experiment tables.
+pub fn secs(duration: Duration) -> f64 {
+    duration.as_secs_f64()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_harness() -> Harness {
+        Harness::new(HarnessConfig {
+            scale: 0.02,
+            stride: 23,
+            threshold: 32.0,
+            seed: 3,
+        })
+        .unwrap()
+    }
+
+    #[test]
+    fn harness_runs_default_and_reoptimized() {
+        let mut harness = tiny_harness();
+        let selected = harness.selected_queries();
+        assert!(!selected.is_empty() && selected.len() < 113);
+        let default_run = harness.run_default().unwrap();
+        assert_eq!(default_run.queries.len(), selected.len());
+        let reopt_run = harness.run_reoptimized(32.0, "Re-optimized").unwrap();
+        assert_eq!(reopt_run.queries.len(), selected.len());
+        // Result cardinalities must agree between the two modes.
+        for (a, b) in default_run.queries.iter().zip(&reopt_run.queries) {
+            assert_eq!(a.query_id, b.query_id);
+            assert_eq!(a.output_rows, b.output_rows);
+        }
+    }
+
+    #[test]
+    fn perfect_runs_share_the_oracle_cache() {
+        let mut harness = tiny_harness();
+        let _ = harness.run_perfect(2, "Perfect-(2)").unwrap();
+        let size_after_two = harness.oracle.cache_size();
+        assert!(size_after_two > 0);
+        let _ = harness.run_perfect(1, "Perfect-(1)").unwrap();
+        // Perfect-(1) needs a subset of what perfect-(2) already computed.
+        assert_eq!(harness.oracle.cache_size(), size_after_two);
+    }
+
+    #[test]
+    fn config_from_env_defaults() {
+        let config = HarnessConfig::default();
+        assert_eq!(config.stride, 3);
+        assert!(secs(Duration::from_millis(1500)) > 1.0);
+    }
+}

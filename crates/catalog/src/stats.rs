@@ -1,0 +1,267 @@
+//! Statistics data structures: MCV lists, equi-depth histograms and per-column stats.
+
+use reopt_storage::Value;
+
+/// A most-common-values list: the values that appear most frequently in a column, with
+/// the fraction of rows each accounts for.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct MostCommonValues {
+    entries: Vec<(Value, f64)>,
+}
+
+impl MostCommonValues {
+    /// Create an MCV list from `(value, frequency)` pairs, sorted by descending frequency.
+    pub fn new(mut entries: Vec<(Value, f64)>) -> Self {
+        entries.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
+        Self { entries }
+    }
+
+    /// The entries, most frequent first.
+    pub fn entries(&self) -> &[(Value, f64)] {
+        &self.entries
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the list is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// The frequency of `value` if it is in the list.
+    pub fn frequency_of(&self, value: &Value) -> Option<f64> {
+        self.entries
+            .iter()
+            .find(|(v, _)| v == value)
+            .map(|(_, f)| *f)
+    }
+
+    /// Total fraction of rows covered by the MCV list.
+    pub fn total_frequency(&self) -> f64 {
+        self.entries.iter().map(|(_, f)| f).sum()
+    }
+}
+
+/// An equi-depth histogram: `bounds` splits the non-MCV, non-NULL values into buckets of
+/// (approximately) equal row counts. `bounds[0]` is the minimum and `bounds[last]` the
+/// maximum of the covered values.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Histogram {
+    bounds: Vec<Value>,
+}
+
+impl Histogram {
+    /// Create a histogram from sorted bucket bounds.
+    pub fn new(bounds: Vec<Value>) -> Self {
+        Self { bounds }
+    }
+
+    /// The bucket bounds.
+    pub fn bounds(&self) -> &[Value] {
+        &self.bounds
+    }
+
+    /// Number of buckets (one fewer than the number of bounds, or zero).
+    pub fn bucket_count(&self) -> usize {
+        self.bounds.len().saturating_sub(1)
+    }
+
+    /// Whether the histogram holds no information.
+    pub fn is_empty(&self) -> bool {
+        self.bucket_count() == 0
+    }
+
+    /// Estimate the fraction of histogram-covered values that are `< value` (strictly
+    /// below). Interpolates linearly within numeric buckets, the way PostgreSQL's
+    /// `ineq_histogram_selectivity` does.
+    pub fn fraction_below(&self, value: &Value) -> f64 {
+        if self.is_empty() {
+            return 0.5;
+        }
+        let n_buckets = self.bucket_count() as f64;
+        if value <= &self.bounds[0] {
+            return 0.0;
+        }
+        if value > self.bounds.last().expect("non-empty") {
+            return 1.0;
+        }
+        // Find the bucket containing the value.
+        let mut lo = 0usize;
+        let mut hi = self.bounds.len() - 1;
+        while lo + 1 < hi {
+            let mid = (lo + hi) / 2;
+            if &self.bounds[mid] < value {
+                lo = mid;
+            } else {
+                hi = mid;
+            }
+        }
+        let bucket_low = &self.bounds[lo];
+        let bucket_high = &self.bounds[hi];
+        let within = interpolate(bucket_low, bucket_high, value);
+        (lo as f64 + within) / n_buckets
+    }
+
+    /// Estimate the fraction of covered values in the inclusive range `[low, high]`.
+    pub fn fraction_between(&self, low: &Value, high: &Value) -> f64 {
+        (self.fraction_below(high) - self.fraction_below(low)).max(0.0)
+    }
+}
+
+/// Linear interpolation of `value` between `low` and `high`, clamped to [0, 1].
+/// Non-numeric types fall back to 0.5 (PostgreSQL uses binary-string interpolation for
+/// text; the midpoint is a reasonable stand-in for synthetic data).
+fn interpolate(low: &Value, high: &Value, value: &Value) -> f64 {
+    match (low.as_float(), high.as_float(), value.as_float()) {
+        (Some(lo), Some(hi), Some(v)) if hi > lo => ((v - lo) / (hi - lo)).clamp(0.0, 1.0),
+        _ => 0.5,
+    }
+}
+
+/// Per-column statistics.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ColumnStatistics {
+    /// Column name.
+    pub name: String,
+    /// Fraction of rows where this column is NULL.
+    pub null_fraction: f64,
+    /// Estimated number of distinct non-NULL values.
+    pub n_distinct: f64,
+    /// Minimum non-NULL value observed.
+    pub min: Option<Value>,
+    /// Maximum non-NULL value observed.
+    pub max: Option<Value>,
+    /// Average width of the column's values in bytes.
+    pub avg_width: f64,
+    /// Most-common-values list.
+    pub mcv: MostCommonValues,
+    /// Equi-depth histogram over values not in the MCV list.
+    pub histogram: Histogram,
+}
+
+impl ColumnStatistics {
+    /// Fraction of rows not covered by the MCV list and not NULL — the mass the
+    /// histogram describes.
+    pub fn non_mcv_fraction(&self) -> f64 {
+        (1.0 - self.null_fraction - self.mcv.total_frequency()).max(0.0)
+    }
+
+    /// Number of distinct values not represented in the MCV list.
+    pub fn non_mcv_distinct(&self) -> f64 {
+        (self.n_distinct - self.mcv.len() as f64).max(1.0)
+    }
+}
+
+/// Per-table statistics.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct TableStatistics {
+    /// Number of rows in the table when ANALYZE ran.
+    pub row_count: u64,
+    /// Average row width in bytes.
+    pub avg_row_width: f64,
+    /// Per-column statistics, in schema order.
+    pub columns: Vec<ColumnStatistics>,
+}
+
+impl TableStatistics {
+    /// Statistics for a column by name.
+    pub fn column(&self, name: &str) -> Option<&ColumnStatistics> {
+        self.columns
+            .iter()
+            .find(|c| c.name.eq_ignore_ascii_case(name))
+    }
+
+    /// Build minimal statistics for a table whose only known property is its row count
+    /// (used for temporary tables created mid-re-optimization, where the row count is
+    /// exact because we just materialized it).
+    pub fn from_row_count(row_count: u64) -> Self {
+        Self {
+            row_count,
+            avg_row_width: 8.0,
+            columns: Vec::new(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mcv_sorted_and_queryable() {
+        let mcv = MostCommonValues::new(vec![
+            (Value::from("movie"), 0.3),
+            (Value::from("tv"), 0.6),
+            (Value::from("short"), 0.1),
+        ]);
+        assert_eq!(mcv.entries()[0].0, Value::from("tv"));
+        assert_eq!(mcv.frequency_of(&Value::from("movie")), Some(0.3));
+        assert_eq!(mcv.frequency_of(&Value::from("nope")), None);
+        assert!((mcv.total_frequency() - 1.0).abs() < 1e-9);
+        assert_eq!(mcv.len(), 3);
+        assert!(!mcv.is_empty());
+    }
+
+    #[test]
+    fn histogram_fraction_below_interpolates() {
+        let hist = Histogram::new(vec![
+            Value::Int(0),
+            Value::Int(10),
+            Value::Int(20),
+            Value::Int(30),
+            Value::Int(40),
+        ]);
+        assert_eq!(hist.bucket_count(), 4);
+        assert!((hist.fraction_below(&Value::Int(0)) - 0.0).abs() < 1e-9);
+        assert!((hist.fraction_below(&Value::Int(20)) - 0.5).abs() < 1e-9);
+        assert!((hist.fraction_below(&Value::Int(25)) - 0.625).abs() < 1e-9);
+        assert!((hist.fraction_below(&Value::Int(45)) - 1.0).abs() < 1e-9);
+        assert!((hist.fraction_between(&Value::Int(10), &Value::Int(30)) - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_histogram_defaults() {
+        let hist = Histogram::default();
+        assert!(hist.is_empty());
+        assert_eq!(hist.fraction_below(&Value::Int(5)), 0.5);
+    }
+
+    #[test]
+    fn histogram_with_text_bounds_uses_midpoint() {
+        let hist = Histogram::new(vec![Value::from("a"), Value::from("m"), Value::from("z")]);
+        let f = hist.fraction_below(&Value::from("c"));
+        assert!(f > 0.0 && f < 1.0);
+    }
+
+    #[test]
+    fn column_statistics_derived_fractions() {
+        let stats = ColumnStatistics {
+            name: "kind".into(),
+            null_fraction: 0.1,
+            n_distinct: 12.0,
+            mcv: MostCommonValues::new(vec![(Value::from("movie"), 0.5)]),
+            ..Default::default()
+        };
+        assert!((stats.non_mcv_fraction() - 0.4).abs() < 1e-9);
+        assert!((stats.non_mcv_distinct() - 11.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn table_statistics_lookup_by_name() {
+        let stats = TableStatistics {
+            row_count: 10,
+            avg_row_width: 16.0,
+            columns: vec![ColumnStatistics {
+                name: "id".into(),
+                ..Default::default()
+            }],
+        };
+        assert!(stats.column("ID").is_some());
+        assert!(stats.column("other").is_none());
+        let minimal = TableStatistics::from_row_count(42);
+        assert_eq!(minimal.row_count, 42);
+    }
+}

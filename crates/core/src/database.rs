@@ -1,0 +1,530 @@
+//! The engine façade: storage + catalog + optimizer + executor behind a SQL interface.
+
+use crate::error::DbError;
+use reopt_catalog::Catalog;
+use reopt_executor::{execute_plan, QueryMetrics};
+use reopt_planner::{
+    explain_plan, CardinalityOverrides, EstimationLog, Optimizer, OptimizerConfig, PhysicalPlan,
+    PlannedQuery, QuerySpec,
+};
+use reopt_sql::{parse_sql, parse_statements, SelectStatement, Statement};
+use reopt_storage::{Column, IndexKind, Row, Schema, Storage, Table};
+use std::time::{Duration, Instant};
+
+/// The result of executing one statement.
+#[derive(Debug, Clone)]
+pub struct QueryOutput {
+    /// Output rows (empty for DDL statements).
+    pub rows: Vec<Row>,
+    /// Output schema.
+    pub schema: Schema,
+    /// Time spent parsing, binding and optimizing.
+    pub planning_time: Duration,
+    /// Time spent executing operators.
+    pub execution_time: Duration,
+    /// Per-operator metrics (EXPLAIN ANALYZE view), when a plan was executed.
+    pub metrics: Option<QueryMetrics>,
+    /// The executed physical plan, when one was produced.
+    pub plan: Option<PhysicalPlan>,
+    /// The bound query, when one was produced.
+    pub spec: Option<QuerySpec>,
+    /// How many cardinality estimates the optimizer requested, by subset size.
+    pub estimation_log: EstimationLog,
+}
+
+impl QueryOutput {
+    /// Planning plus execution time.
+    pub fn total_time(&self) -> Duration {
+        self.planning_time + self.execution_time
+    }
+
+    /// Number of output rows.
+    pub fn row_count(&self) -> usize {
+        self.rows.len()
+    }
+}
+
+/// The database engine: in-memory storage, ANALYZE statistics, the cost-based optimizer
+/// (with its cardinality-injection hook) and the instrumented executor.
+#[derive(Debug, Clone)]
+pub struct Database {
+    storage: Storage,
+    catalog: Catalog,
+    optimizer: Optimizer,
+    overrides: CardinalityOverrides,
+}
+
+impl Default for Database {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Database {
+    /// A database with the default optimizer configuration.
+    pub fn new() -> Self {
+        Self::with_config(OptimizerConfig::default())
+    }
+
+    /// A database with a custom optimizer configuration.
+    pub fn with_config(config: OptimizerConfig) -> Self {
+        Self {
+            storage: Storage::new(),
+            catalog: Catalog::new(),
+            optimizer: Optimizer::new(config),
+            overrides: CardinalityOverrides::new(),
+        }
+    }
+
+    /// Shared access to storage.
+    pub fn storage(&self) -> &Storage {
+        &self.storage
+    }
+
+    /// Mutable access to storage (used by data generators to bulk-load tables).
+    pub fn storage_mut(&mut self) -> &mut Storage {
+        &mut self.storage
+    }
+
+    /// Shared access to the catalog.
+    pub fn catalog(&self) -> &Catalog {
+        &self.catalog
+    }
+
+    /// Mutable access to the catalog.
+    pub fn catalog_mut(&mut self) -> &mut Catalog {
+        &mut self.catalog
+    }
+
+    /// The session-level cardinality overrides consulted by every subsequent `plan` /
+    /// `execute` call. The perfect-(n) oracle and the selective-improvement simulator
+    /// write into this table.
+    pub fn overrides(&self) -> &CardinalityOverrides {
+        &self.overrides
+    }
+
+    /// Mutable access to the session-level overrides.
+    pub fn overrides_mut(&mut self) -> &mut CardinalityOverrides {
+        &mut self.overrides
+    }
+
+    /// Replace the session-level overrides.
+    pub fn set_overrides(&mut self, overrides: CardinalityOverrides) {
+        self.overrides = overrides;
+    }
+
+    /// Remove all session-level overrides (back to the default estimator).
+    pub fn clear_overrides(&mut self) {
+        self.overrides = CardinalityOverrides::new();
+    }
+
+    /// Register a table.
+    pub fn create_table(&mut self, table: Table) -> Result<(), DbError> {
+        self.storage.create_table(table)?;
+        Ok(())
+    }
+
+    /// Create an index on an existing table.
+    pub fn create_index(
+        &mut self,
+        table: &str,
+        column: &str,
+        kind: IndexKind,
+    ) -> Result<(), DbError> {
+        let index_name = format!("{table}_{column}_{:?}", kind).to_ascii_lowercase();
+        self.storage
+            .table_mut(table)?
+            .create_index(index_name, column, kind)?;
+        Ok(())
+    }
+
+    /// Run ANALYZE over one table.
+    pub fn analyze(&mut self, table: &str) -> Result<(), DbError> {
+        self.catalog.analyze(&self.storage, table)?;
+        Ok(())
+    }
+
+    /// Run ANALYZE over every table.
+    pub fn analyze_all(&mut self) -> Result<(), DbError> {
+        self.catalog.analyze_all(&self.storage)?;
+        Ok(())
+    }
+
+    /// Plan a SELECT statement, returning the plan and the planning time.
+    pub fn plan_select(
+        &self,
+        statement: &SelectStatement,
+    ) -> Result<(PlannedQuery, Duration), DbError> {
+        let start = Instant::now();
+        let planned = self.optimizer.plan_select(
+            statement,
+            &self.storage,
+            &self.catalog,
+            &self.overrides,
+        )?;
+        Ok((planned, start.elapsed()))
+    }
+
+    /// Plan a SELECT with explicit extra overrides merged on top of the session ones.
+    pub fn plan_select_with_overrides(
+        &self,
+        statement: &SelectStatement,
+        extra: &CardinalityOverrides,
+    ) -> Result<(PlannedQuery, Duration), DbError> {
+        let mut merged = self.overrides.clone();
+        merged.merge(extra);
+        let start = Instant::now();
+        let planned =
+            self.optimizer
+                .plan_select(statement, &self.storage, &self.catalog, &merged)?;
+        Ok((planned, start.elapsed()))
+    }
+
+    /// Parse and execute a single SQL statement.
+    pub fn execute(&mut self, sql: &str) -> Result<QueryOutput, DbError> {
+        let statement = parse_sql(sql)?;
+        self.execute_statement(&statement)
+    }
+
+    /// Parse and execute a semicolon-separated script, returning the output of every
+    /// statement (the paper's re-optimized queries are exactly such scripts: a series of
+    /// `CREATE TEMP TABLE` statements followed by a final `SELECT`).
+    pub fn execute_script(&mut self, sql: &str) -> Result<Vec<QueryOutput>, DbError> {
+        let statements = parse_statements(sql)?;
+        statements
+            .iter()
+            .map(|statement| self.execute_statement(statement))
+            .collect()
+    }
+
+    /// Execute an already-parsed statement.
+    pub fn execute_statement(&mut self, statement: &Statement) -> Result<QueryOutput, DbError> {
+        match statement {
+            Statement::Select(select) => self.execute_select(select),
+            Statement::CreateTableAs {
+                name,
+                temporary,
+                query,
+            } => self.create_table_as(name, *temporary, query),
+            Statement::Explain {
+                analyze,
+                statement,
+            } => {
+                let select = statement
+                    .query()
+                    .ok_or_else(|| DbError::Reoptimization("EXPLAIN needs a query".into()))?;
+                let text = if *analyze {
+                    self.explain_analyze_select(select)?
+                } else {
+                    self.explain_select(select)?
+                };
+                // EXPLAIN output is returned as a single text column.
+                let schema = Schema::new(vec![Column::new("query plan", reopt_storage::DataType::Text)]);
+                let rows = text
+                    .lines()
+                    .map(|line| Row::from_values(vec![line.into()]))
+                    .collect();
+                Ok(QueryOutput {
+                    rows,
+                    schema,
+                    planning_time: Duration::ZERO,
+                    execution_time: Duration::ZERO,
+                    metrics: None,
+                    plan: None,
+                    spec: None,
+                    estimation_log: EstimationLog::default(),
+                })
+            }
+        }
+    }
+
+    /// Execute a SELECT statement.
+    pub fn execute_select(&mut self, select: &SelectStatement) -> Result<QueryOutput, DbError> {
+        let (planned, planning_time) = self.plan_select(select)?;
+        let result = execute_plan(&planned.plan, &self.storage)?;
+        Ok(QueryOutput {
+            rows: result.rows,
+            schema: result.schema,
+            planning_time,
+            execution_time: result.metrics.execution_time,
+            metrics: Some(result.metrics),
+            plan: Some(planned.plan),
+            spec: Some(planned.spec),
+            estimation_log: planned.estimation_log,
+        })
+    }
+
+    /// `CREATE [TEMP] TABLE name AS SELECT ...`: execute the query and materialize its
+    /// result as a new table, then ANALYZE it so subsequent planning sees accurate
+    /// statistics (the whole point of the paper's materialize-and-replan scheme).
+    pub fn create_table_as(
+        &mut self,
+        name: &str,
+        temporary: bool,
+        query: &SelectStatement,
+    ) -> Result<QueryOutput, DbError> {
+        let mut output = self.execute_select(query)?;
+        let schema = materialized_schema(&output.schema);
+        let mut table = Table::new(name, schema);
+        table.set_temporary(temporary);
+        for row in std::mem::take(&mut output.rows) {
+            table.push_row_unchecked(row);
+        }
+        self.storage.create_or_replace_table(table);
+        self.catalog.analyze(&self.storage, name)?;
+        Ok(QueryOutput {
+            rows: Vec::new(),
+            ..output
+        })
+    }
+
+    /// EXPLAIN: the chosen plan with estimated rows and costs.
+    pub fn explain(&self, sql: &str) -> Result<String, DbError> {
+        let statement = parse_sql(sql)?;
+        let select = statement
+            .query()
+            .ok_or_else(|| DbError::Reoptimization("EXPLAIN needs a query".into()))?;
+        self.explain_select(select)
+    }
+
+    fn explain_select(&self, select: &SelectStatement) -> Result<String, DbError> {
+        let (planned, _) = self.plan_select(select)?;
+        Ok(explain_plan(&planned.plan))
+    }
+
+    /// EXPLAIN ANALYZE: execute the query and render per-operator estimated vs. actual
+    /// cardinalities — the view the paper's simulation consumes.
+    pub fn explain_analyze(&mut self, sql: &str) -> Result<String, DbError> {
+        let statement = parse_sql(sql)?;
+        let select = statement
+            .query()
+            .ok_or_else(|| DbError::Reoptimization("EXPLAIN needs a query".into()))?;
+        self.explain_analyze_select(select)
+    }
+
+    fn explain_analyze_select(&mut self, select: &SelectStatement) -> Result<String, DbError> {
+        let output = self.execute_select(select)?;
+        let metrics = output.metrics.expect("select produces metrics");
+        let mut text = metrics.root.render();
+        text.push_str(&format!(
+            "Planning Time: {:.3} ms\nExecution Time: {:.3} ms\n",
+            output.planning_time.as_secs_f64() * 1e3,
+            output.execution_time.as_secs_f64() * 1e3
+        ));
+        Ok(text)
+    }
+
+    /// Drop every temporary table (created by re-optimization) and its statistics.
+    pub fn drop_temporary_tables(&mut self) {
+        for name in self.storage.drop_temporary_tables() {
+            self.catalog.remove_statistics(&name);
+        }
+    }
+}
+
+/// Build the schema of a materialized table from a query output schema: qualifiers are
+/// folded into the column names where needed so every column name is unique and
+/// unqualified.
+fn materialized_schema(output: &Schema) -> Schema {
+    let mut names = std::collections::HashSet::new();
+    let mut columns = Vec::with_capacity(output.len());
+    for column in output.columns() {
+        let mut name = column.name().to_string();
+        if !names.insert(name.clone()) {
+            name = match column.qualifier() {
+                Some(qualifier) => format!("{qualifier}_{}", column.name()),
+                None => format!("{}_{}", column.name(), names.len()),
+            };
+            names.insert(name.clone());
+        }
+        columns.push(Column::new(name, column.data_type()));
+    }
+    Schema::new(columns)
+}
+
+#[cfg(test)]
+pub(crate) mod tests {
+    use super::*;
+    use reopt_storage::{DataType, Value};
+
+    /// A tiny movies/keywords database used across the core tests.
+    pub(crate) fn test_database() -> Database {
+        let mut db = Database::new();
+
+        let mut title = Table::new(
+            "title",
+            Schema::new(vec![
+                Column::not_null("id", DataType::Int),
+                Column::new("title", DataType::Text),
+                Column::new("production_year", DataType::Int),
+            ]),
+        );
+        for i in 0..300i64 {
+            title
+                .push_row(Row::from_values(vec![
+                    Value::Int(i),
+                    Value::from(format!("movie {i:04}")),
+                    Value::Int(1980 + (i % 40)),
+                ]))
+                .unwrap();
+        }
+
+        let mut keyword = Table::new(
+            "keyword",
+            Schema::new(vec![
+                Column::not_null("id", DataType::Int),
+                Column::new("keyword", DataType::Text),
+            ]),
+        );
+        for i in 0..50i64 {
+            keyword
+                .push_row(Row::from_values(vec![
+                    Value::Int(i),
+                    Value::from(format!("kw{i}")),
+                ]))
+                .unwrap();
+        }
+
+        let mut movie_keyword = Table::new(
+            "movie_keyword",
+            Schema::new(vec![
+                Column::not_null("movie_id", DataType::Int),
+                Column::not_null("keyword_id", DataType::Int),
+            ]),
+        );
+        // Keyword 0 is attached to every movie (skew); other keywords are sparse.
+        for i in 0..300i64 {
+            movie_keyword
+                .push_row(Row::from_values(vec![Value::Int(i), Value::Int(0)]))
+                .unwrap();
+            movie_keyword
+                .push_row(Row::from_values(vec![Value::Int(i), Value::Int(1 + (i % 49))]))
+                .unwrap();
+        }
+
+        db.create_table(title).unwrap();
+        db.create_table(keyword).unwrap();
+        db.create_table(movie_keyword).unwrap();
+        db.create_index("title", "id", IndexKind::BTree).unwrap();
+        db.create_index("movie_keyword", "movie_id", IndexKind::Hash)
+            .unwrap();
+        db.create_index("movie_keyword", "keyword_id", IndexKind::Hash)
+            .unwrap();
+        db.create_index("keyword", "id", IndexKind::Hash).unwrap();
+        db.analyze_all().unwrap();
+        db
+    }
+
+    #[test]
+    fn execute_select_returns_rows_and_timings() {
+        let mut db = test_database();
+        let output = db
+            .execute("SELECT count(*) AS c FROM title AS t WHERE t.production_year >= 2000")
+            .unwrap();
+        assert_eq!(output.row_count(), 1);
+        // Years 2000..=2019 → i%40 in 20..40 → 20 values, 7 or 8 movies each.
+        let count = output.rows[0].value(0).as_int().unwrap();
+        assert!(count > 100 && count < 200, "count {count}");
+        assert!(output.plan.is_some());
+        assert!(output.metrics.is_some());
+        assert!(output.total_time() >= output.execution_time);
+    }
+
+    #[test]
+    fn execute_join_query() {
+        let mut db = test_database();
+        let output = db
+            .execute(
+                "SELECT count(*) AS c
+                 FROM title AS t, movie_keyword AS mk, keyword AS k
+                 WHERE t.id = mk.movie_id AND mk.keyword_id = k.id AND k.keyword = 'kw0'",
+            )
+            .unwrap();
+        assert_eq!(output.rows[0].value(0), &Value::Int(300));
+        assert!(output.estimation_log.total() > 3);
+    }
+
+    #[test]
+    fn create_temp_table_as_and_query_it() {
+        let mut db = test_database();
+        let outputs = db
+            .execute_script(
+                "CREATE TEMP TABLE temp1 AS
+                   SELECT mk.movie_id AS mk_movie_id
+                   FROM movie_keyword AS mk, keyword AS k
+                   WHERE mk.keyword_id = k.id AND k.keyword = 'kw0';
+                 SELECT count(*) AS c
+                   FROM title AS t, temp1
+                   WHERE t.id = temp1.mk_movie_id;",
+            )
+            .unwrap();
+        assert_eq!(outputs.len(), 2);
+        assert_eq!(outputs[1].rows[0].value(0), &Value::Int(300));
+        // Temporary table exists and has statistics until dropped.
+        assert!(db.storage().contains_table("temp1"));
+        assert!(db.catalog().has_statistics("temp1"));
+        db.drop_temporary_tables();
+        assert!(!db.storage().contains_table("temp1"));
+        assert!(!db.catalog().has_statistics("temp1"));
+    }
+
+    #[test]
+    fn explain_and_explain_analyze() {
+        let mut db = test_database();
+        let sql = "SELECT count(*) AS c FROM movie_keyword AS mk, keyword AS k
+                   WHERE mk.keyword_id = k.id AND k.keyword = 'kw0'";
+        let plain = db.explain(sql).unwrap();
+        assert!(plain.contains("Join"));
+        assert!(plain.contains("rows="));
+        let analyzed = db.explain_analyze(sql).unwrap();
+        assert!(analyzed.contains("actual rows=300"));
+        assert!(analyzed.contains("Execution Time"));
+        // EXPLAIN through the statement API returns one row per line.
+        let output = db.execute(&format!("EXPLAIN {sql}")).unwrap();
+        assert!(output.row_count() > 1);
+    }
+
+    #[test]
+    fn overrides_are_session_scoped() {
+        let mut db = test_database();
+        let statement = parse_sql(
+            "SELECT count(*) AS c FROM movie_keyword AS mk, keyword AS k WHERE mk.keyword_id = k.id",
+        )
+        .unwrap();
+        let select = statement.query().unwrap().clone();
+        let (default_plan, _) = db.plan_select(&select).unwrap();
+        let mut overrides = CardinalityOverrides::new();
+        overrides.set(reopt_planner::RelSet::from_indexes([0, 1]), 1.0);
+        db.set_overrides(overrides);
+        let (overridden_plan, _) = db.plan_select(&select).unwrap();
+        assert!(overridden_plan.plan.children[0].estimated_rows < default_plan.plan.children[0].estimated_rows);
+        db.clear_overrides();
+        assert!(db.overrides().is_empty());
+    }
+
+    #[test]
+    fn errors_are_propagated() {
+        let mut db = test_database();
+        assert!(matches!(db.execute("SELEKT 1"), Err(DbError::Parse(_))));
+        assert!(matches!(
+            db.execute("SELECT * FROM missing AS m"),
+            Err(DbError::Plan(_))
+        ));
+        assert!(db.create_index("missing", "id", IndexKind::Hash).is_err());
+        assert!(db.analyze("missing").is_err());
+    }
+
+    #[test]
+    fn materialized_schema_deduplicates_names() {
+        let schema = Schema::new(vec![
+            Column::new("id", DataType::Int).with_qualifier("a"),
+            Column::new("id", DataType::Int).with_qualifier("b"),
+            Column::new("name", DataType::Text),
+        ]);
+        let result = materialized_schema(&schema);
+        assert_eq!(result.column(0).unwrap().name(), "id");
+        assert_eq!(result.column(1).unwrap().name(), "b_id");
+        assert_eq!(result.column(2).unwrap().name(), "name");
+        assert!(result.column(0).unwrap().qualifier().is_none());
+    }
+}

@@ -1,0 +1,80 @@
+//! The engine-level error type.
+
+use reopt_executor::ExecError;
+use reopt_planner::PlanError;
+use reopt_sql::ParseError;
+use reopt_storage::StorageError;
+use std::fmt;
+
+/// Any error the engine can produce while handling a statement.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DbError {
+    /// SQL could not be parsed.
+    Parse(ParseError),
+    /// The statement could not be bound or optimized.
+    Plan(PlanError),
+    /// The plan could not be executed.
+    Exec(ExecError),
+    /// A storage-level failure (DDL, loading).
+    Storage(StorageError),
+    /// The re-optimization controller hit its round limit or another internal bound.
+    Reoptimization(String),
+}
+
+impl fmt::Display for DbError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DbError::Parse(e) => write!(f, "{e}"),
+            DbError::Plan(e) => write!(f, "{e}"),
+            DbError::Exec(e) => write!(f, "{e}"),
+            DbError::Storage(e) => write!(f, "{e}"),
+            DbError::Reoptimization(detail) => write!(f, "re-optimization error: {detail}"),
+        }
+    }
+}
+
+impl std::error::Error for DbError {}
+
+impl From<ParseError> for DbError {
+    fn from(e: ParseError) -> Self {
+        DbError::Parse(e)
+    }
+}
+
+impl From<PlanError> for DbError {
+    fn from(e: PlanError) -> Self {
+        DbError::Plan(e)
+    }
+}
+
+impl From<ExecError> for DbError {
+    fn from(e: ExecError) -> Self {
+        DbError::Exec(e)
+    }
+}
+
+impl From<StorageError> for DbError {
+    fn from(e: StorageError) -> Self {
+        DbError::Storage(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_preserve_information() {
+        let e: DbError = ParseError::new("bad token", 3).into();
+        assert!(e.to_string().contains("bad token"));
+        let e: DbError = PlanError::UnknownTable("t".into()).into();
+        assert!(e.to_string().contains("'t'"));
+        let e: DbError = ExecError::InvalidPlan("x".into()).into();
+        assert!(e.to_string().contains("invalid plan"));
+        let e: DbError = StorageError::TableNotFound("z".into()).into();
+        assert!(e.to_string().contains("'z'"));
+        assert!(DbError::Reoptimization("loop".into())
+            .to_string()
+            .contains("loop"));
+    }
+}

@@ -1,0 +1,39 @@
+//! # reopt-core
+//!
+//! The paper's contribution: mid-query re-optimization on top of a Selinger-style
+//! optimizer, plus the instrumentation the paper uses to study it.
+//!
+//! * [`Database`] — the engine façade: storage + catalog + optimizer + executor, with
+//!   SQL entry points (`execute`, `explain`, `explain_analyze`) and per-statement
+//!   planning/execution timings, the two quantities every figure in the paper reports.
+//! * [`q_error`] — the error metric (Moerkotte et al.) used as the re-optimization
+//!   trigger: re-optimize when `max(est/actual, actual/est)` exceeds a threshold
+//!   (Section V-A; the paper settles on a threshold of 32).
+//! * [`oracle`] — the **perfect-(n)** cardinality oracle: true cardinalities for every
+//!   connected relation subset of at most `n` relations, injected into the estimator
+//!   (Sections III-B and V-B, Figures 1, 2 and 8).
+//! * [`reopt`] — the re-optimization controller simulating the paper's scheme: find the
+//!   lowest join whose Q-error exceeds the threshold, materialize that sub-join as a
+//!   temporary table (`CREATE TEMP TABLE ... AS SELECT ...`), rewrite the remainder of
+//!   the query around it, re-plan, repeat (Section V, Figure 6).
+//! * [`selective`] — the LEO-style *selective improvement* simulation of Section IV-E
+//!   (Figure 5): iteratively correct the lowest mis-estimated operator's cardinality and
+//!   re-plan, without materialization.
+//! * [`report`] — per-query and per-workload run records shared by the experiment
+//!   harnesses in `reopt-bench`.
+
+pub mod database;
+pub mod error;
+pub mod oracle;
+pub mod qerror;
+pub mod reopt;
+pub mod report;
+pub mod selective;
+
+pub use database::{Database, QueryOutput};
+pub use error::DbError;
+pub use oracle::{connected_subsets_up_to, PerfectOracle};
+pub use qerror::{q_error, DEFAULT_REOPT_THRESHOLD};
+pub use reopt::{execute_with_reoptimization, ReoptConfig, ReoptMode, ReoptReport, ReoptRound};
+pub use report::{relative_runtime_buckets, QueryRun, RuntimeBucket, WorkloadRun};
+pub use selective::{selective_improvement, SelectiveConfig, SelectiveIteration};

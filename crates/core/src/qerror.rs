@@ -1,0 +1,43 @@
+//! The Q-error metric and the re-optimization trigger threshold.
+
+/// The Q-error threshold the paper settles on after the Figure-7 sweep: re-optimize a
+/// join whose true cardinality is more than 32× larger or smaller than estimated.
+pub const DEFAULT_REOPT_THRESHOLD: f64 = 32.0;
+
+/// The Q-error of an estimate: `max(estimated/actual, actual/estimated)`, with both
+/// sides clamped to at least one row. A perfect estimate has Q-error 1; the metric is
+/// symmetric in over- and under-estimation (Moerkotte, Neumann & Steidl, reference [36]
+/// of the paper).
+pub fn q_error(estimated: f64, actual: f64) -> f64 {
+    let estimated = estimated.max(1.0);
+    let actual = actual.max(1.0);
+    (estimated / actual).max(actual / estimated)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_estimate_has_q_error_one() {
+        assert_eq!(q_error(100.0, 100.0), 1.0);
+        assert_eq!(q_error(0.0, 0.0), 1.0);
+    }
+
+    #[test]
+    fn symmetric_in_direction() {
+        assert_eq!(q_error(10.0, 1000.0), 100.0);
+        assert_eq!(q_error(1000.0, 10.0), 100.0);
+    }
+
+    #[test]
+    fn clamps_small_values() {
+        assert_eq!(q_error(0.001, 50.0), 50.0);
+        assert_eq!(q_error(50.0, 0.0), 50.0);
+    }
+
+    #[test]
+    fn default_threshold_matches_paper() {
+        assert_eq!(DEFAULT_REOPT_THRESHOLD, 32.0);
+    }
+}

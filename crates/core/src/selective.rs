@@ -1,0 +1,208 @@
+//! Selective improvement of cardinality estimates (Section IV-E, Figure 5).
+//!
+//! LEO-style systems observe estimation errors during execution and correct the
+//! estimates for *future* executions of similar queries. The paper simulates the best
+//! case of that strategy: repeatedly execute the same query, find the lowest operator in
+//! the plan whose estimate is off by more than a threshold, fix that operator's estimate
+//! (and every estimate below it) to the true value, and re-plan. Figure 5 plots the
+//! per-iteration execution time and shows that (a) dozens of corrections can be needed
+//! before a good plan appears and (b) correcting only a subset of estimates can
+//! transiently make the plan *worse* than the original.
+
+use crate::database::Database;
+use crate::error::DbError;
+use crate::qerror::DEFAULT_REOPT_THRESHOLD;
+use reopt_executor::MetricsNode;
+use reopt_planner::{CardinalityOverrides, RelSet};
+use reopt_sql::parse_sql;
+use std::time::Duration;
+
+/// Configuration for the selective-improvement simulation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SelectiveConfig {
+    /// Q-error threshold above which an operator's estimate is considered wrong
+    /// (the paper uses 32).
+    pub threshold: f64,
+    /// Upper bound on the number of iterations.
+    pub max_iterations: usize,
+}
+
+impl Default for SelectiveConfig {
+    fn default() -> Self {
+        Self {
+            threshold: DEFAULT_REOPT_THRESHOLD,
+            max_iterations: 64,
+        }
+    }
+}
+
+/// One iteration of the simulation.
+#[derive(Debug, Clone)]
+pub struct SelectiveIteration {
+    /// Iteration number (0 = the original plan).
+    pub iteration: usize,
+    /// Planning time of this iteration.
+    pub planning_time: Duration,
+    /// Execution time of this iteration (the y-axis of Figure 5).
+    pub execution_time: Duration,
+    /// The relation subset whose estimate was corrected after this iteration, if any.
+    pub corrected: Option<RelSet>,
+    /// The Q-error of the corrected operator.
+    pub q_error: f64,
+    /// The number of estimates injected so far (cumulative).
+    pub corrections_so_far: usize,
+}
+
+/// Run the selective-improvement simulation for a query.
+///
+/// Returns one record per executed iteration; the last iteration is the one where no
+/// operator exceeded the threshold any more (or the iteration limit was hit).
+pub fn selective_improvement(
+    db: &mut Database,
+    sql: &str,
+    config: &SelectiveConfig,
+) -> Result<Vec<SelectiveIteration>, DbError> {
+    let statement = parse_sql(sql)?;
+    let select = statement
+        .query()
+        .ok_or_else(|| DbError::Reoptimization("selective improvement needs a SELECT".into()))?
+        .clone();
+
+    let mut injected = CardinalityOverrides::new();
+    let mut iterations = Vec::new();
+
+    for iteration in 0..config.max_iterations {
+        let (planned, planning_time) = db.plan_select_with_overrides(&select, &injected)?;
+        let result = reopt_executor::execute_plan(&planned.plan, db.storage())?;
+
+        // Find the lowest operator whose estimate is off by more than the threshold.
+        let offending = lowest_mis_estimated(&result.metrics.root, config.threshold);
+
+        match offending {
+            None => {
+                iterations.push(SelectiveIteration {
+                    iteration,
+                    planning_time,
+                    execution_time: result.metrics.execution_time,
+                    corrected: None,
+                    q_error: 1.0,
+                    corrections_so_far: injected.len(),
+                });
+                break;
+            }
+            Some(node) => {
+                // Correct this operator's estimate and every estimate below it.
+                let mut corrected_sets = 0;
+                node.walk(&mut |descendant| {
+                    let set = descendant.metrics.rel_set;
+                    if !set.is_empty() {
+                        injected.set(set, descendant.metrics.actual_rows as f64);
+                        corrected_sets += 1;
+                    }
+                });
+                iterations.push(SelectiveIteration {
+                    iteration,
+                    planning_time,
+                    execution_time: result.metrics.execution_time,
+                    corrected: Some(node.metrics.rel_set),
+                    q_error: node.metrics.q_error(),
+                    corrections_so_far: injected.len(),
+                });
+            }
+        }
+    }
+    Ok(iterations)
+}
+
+/// The lowest (smallest relation set, deepest) operator whose Q-error exceeds the
+/// threshold, if any.
+fn lowest_mis_estimated(root: &MetricsNode, threshold: f64) -> Option<&MetricsNode> {
+    let mut candidates: Vec<(usize, usize, &MetricsNode)> = Vec::new();
+    collect_with_depth(root, 0, &mut candidates);
+    candidates
+        .into_iter()
+        .filter(|(_, _, node)| {
+            !node.metrics.rel_set.is_empty() && node.metrics.q_error() > threshold
+        })
+        .min_by(|a, b| {
+            a.2.metrics
+                .rel_set
+                .len()
+                .cmp(&b.2.metrics.rel_set.len())
+                .then(b.1.cmp(&a.1))
+                .then(a.0.cmp(&b.0))
+        })
+        .map(|(_, _, node)| node)
+}
+
+fn collect_with_depth<'a>(
+    node: &'a MetricsNode,
+    depth: usize,
+    out: &mut Vec<(usize, usize, &'a MetricsNode)>,
+) {
+    out.push((out.len(), depth, node));
+    for child in &node.children {
+        collect_with_depth(child, depth + 1, out);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::database::tests::test_database;
+
+    const SKEWED_SQL: &str = "SELECT count(*) AS c
+        FROM title AS t, movie_keyword AS mk, keyword AS k
+        WHERE t.id = mk.movie_id AND mk.keyword_id = k.id
+          AND k.keyword = 'kw0' AND t.production_year > 1985";
+
+    #[test]
+    fn iterations_terminate_with_no_remaining_error() {
+        let mut db = test_database();
+        let config = SelectiveConfig {
+            threshold: 4.0,
+            max_iterations: 16,
+        };
+        let iterations = selective_improvement(&mut db, SKEWED_SQL, &config).unwrap();
+        assert!(!iterations.is_empty());
+        // The first iteration must have detected the skewed join.
+        assert!(iterations[0].corrected.is_some());
+        assert!(iterations[0].q_error > 4.0);
+        // The last iteration is clean.
+        let last = iterations.last().unwrap();
+        assert!(last.corrected.is_none());
+        assert!(last.corrections_so_far >= 1);
+        // Iteration numbers are consecutive.
+        for (idx, record) in iterations.iter().enumerate() {
+            assert_eq!(record.iteration, idx);
+        }
+    }
+
+    #[test]
+    fn well_estimated_query_needs_no_corrections() {
+        let mut db = test_database();
+        let sql = "SELECT count(*) AS c FROM title AS t WHERE t.production_year > 2000";
+        let iterations =
+            selective_improvement(&mut db, sql, &SelectiveConfig::default()).unwrap();
+        assert_eq!(iterations.len(), 1);
+        assert!(iterations[0].corrected.is_none());
+        assert_eq!(iterations[0].corrections_so_far, 0);
+    }
+
+    #[test]
+    fn iteration_limit_is_respected() {
+        let mut db = test_database();
+        let config = SelectiveConfig {
+            threshold: 1.0001, // essentially everything is "wrong"
+            max_iterations: 3,
+        };
+        let iterations = selective_improvement(&mut db, SKEWED_SQL, &config).unwrap();
+        assert!(iterations.len() <= 3);
+    }
+
+    #[test]
+    fn rejects_non_select() {
+        let mut db = test_database();
+        assert!(selective_improvement(&mut db, "garbage", &SelectiveConfig::default()).is_err());
+    }
+}

@@ -1,0 +1,1061 @@
+//! The operators.
+
+use crate::error::ExecError;
+use crate::metrics::{MetricsNode, OperatorMetrics, QueryMetrics};
+use reopt_expr::Expr;
+use reopt_planner::plan::IndexLookup;
+use reopt_planner::{PhysicalPlan, PlanKind};
+use reopt_sql::AggregateFunc;
+use reopt_storage::{Row, Schema, Storage, Table, Value};
+use std::collections::HashMap;
+use std::ops::Bound;
+use std::time::Instant;
+
+/// The result of executing one plan.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExecutionResult {
+    /// Output rows.
+    pub rows: Vec<Row>,
+    /// Output schema (same as the plan root's schema).
+    pub schema: Schema,
+    /// Per-operator metrics.
+    pub metrics: QueryMetrics,
+}
+
+/// Execute a plan against storage.
+pub fn execute_plan(plan: &PhysicalPlan, storage: &Storage) -> Result<ExecutionResult, ExecError> {
+    Executor::new(storage).execute(plan)
+}
+
+/// The plan executor.
+pub struct Executor<'a> {
+    storage: &'a Storage,
+}
+
+impl<'a> Executor<'a> {
+    /// Create an executor over the given storage.
+    pub fn new(storage: &'a Storage) -> Self {
+        Self { storage }
+    }
+
+    /// Execute a plan, returning rows and metrics.
+    pub fn execute(&self, plan: &PhysicalPlan) -> Result<ExecutionResult, ExecError> {
+        let (rows, root) = self.run(plan)?;
+        let execution_time = root.total_elapsed();
+        Ok(ExecutionResult {
+            rows,
+            schema: plan.schema.clone(),
+            metrics: QueryMetrics {
+                root,
+                execution_time,
+            },
+        })
+    }
+
+    fn run(&self, plan: &PhysicalPlan) -> Result<(Vec<Row>, MetricsNode), ExecError> {
+        // Run children first so that each operator's elapsed time excludes its inputs.
+        let mut child_rows = Vec::with_capacity(plan.children.len());
+        let mut child_metrics = Vec::with_capacity(plan.children.len());
+        for child in &plan.children {
+            let (rows, metrics) = self.run(child)?;
+            child_rows.push(rows);
+            child_metrics.push(metrics);
+        }
+
+        let start = Instant::now();
+        let rows = match &plan.kind {
+            PlanKind::SeqScan {
+                alias: _,
+                table,
+                predicate,
+                ..
+            } => self.seq_scan(plan, table, predicate.as_ref())?,
+            PlanKind::IndexScan {
+                table,
+                column,
+                lookup,
+                residual,
+                ..
+            } => self.index_scan(plan, table, column, lookup, residual.as_ref())?,
+            PlanKind::HashJoin { keys, residual } => {
+                let build_rows = child_rows.pop().expect("hash join has two children");
+                let probe_rows = child_rows.pop().expect("hash join has two children");
+                self.hash_join(plan, probe_rows, build_rows, keys, residual.as_ref())?
+            }
+            PlanKind::IndexNestedLoopJoin {
+                inner_table,
+                outer_key,
+                inner_key,
+                inner_predicate,
+                residual,
+                inner_alias,
+                ..
+            } => {
+                let outer_rows = child_rows.pop().expect("index nested loop has one child");
+                self.index_nl_join(
+                    plan,
+                    outer_rows,
+                    inner_table,
+                    inner_alias,
+                    outer_key,
+                    inner_key,
+                    inner_predicate.as_ref(),
+                    residual.as_ref(),
+                )?
+            }
+            PlanKind::NestedLoopJoin { predicate } => {
+                let inner_rows = child_rows.pop().expect("nested loop has two children");
+                let outer_rows = child_rows.pop().expect("nested loop has two children");
+                self.nested_loop_join(plan, outer_rows, inner_rows, predicate.as_ref())?
+            }
+            PlanKind::MergeJoin { keys, residual } => {
+                let right_rows = child_rows.pop().expect("merge join has two children");
+                let left_rows = child_rows.pop().expect("merge join has two children");
+                self.merge_join(plan, left_rows, right_rows, keys, residual.as_ref())?
+            }
+            PlanKind::Filter { predicate } => {
+                let input = child_rows.pop().expect("filter has one child");
+                self.filter(plan, input, predicate)?
+            }
+            PlanKind::Aggregate {
+                group_by,
+                aggregates,
+            } => {
+                let input = child_rows.pop().expect("aggregate has one child");
+                let input_schema = &plan.children[0].schema;
+                self.aggregate(input, input_schema, group_by, aggregates)?
+            }
+            PlanKind::Project { exprs } => {
+                let input = child_rows.pop().expect("project has one child");
+                let input_schema = &plan.children[0].schema;
+                self.project(input, input_schema, exprs)?
+            }
+            PlanKind::Sort { keys } => {
+                let input = child_rows.pop().expect("sort has one child");
+                let input_schema = &plan.children[0].schema;
+                self.sort(input, input_schema, keys)?
+            }
+            PlanKind::Limit { count } => {
+                let mut input = child_rows.pop().expect("limit has one child");
+                input.truncate(*count);
+                input
+            }
+        };
+        let elapsed = start.elapsed();
+
+        let metrics = MetricsNode {
+            metrics: OperatorMetrics {
+                label: plan.label(),
+                rel_set: plan.rel_set,
+                is_join: plan.is_join(),
+                estimated_rows: plan.estimated_rows,
+                actual_rows: rows.len() as u64,
+                elapsed,
+            },
+            children: child_metrics,
+        };
+        Ok((rows, metrics))
+    }
+
+    fn table(&self, name: &str) -> Result<&Table, ExecError> {
+        self.storage
+            .table(name)
+            .map_err(|_| ExecError::TableNotFound(name.to_string()))
+    }
+
+    fn bind(expr: &Expr, schema: &Schema) -> Result<Expr, ExecError> {
+        expr.bind(schema)
+            .map_err(|e| ExecError::BindError(e.to_string()))
+    }
+
+    fn seq_scan(
+        &self,
+        plan: &PhysicalPlan,
+        table: &str,
+        predicate: Option<&Expr>,
+    ) -> Result<Vec<Row>, ExecError> {
+        let table = self.table(table)?;
+        let predicate = predicate
+            .map(|p| Self::bind(p, &plan.schema))
+            .transpose()?;
+        let mut out = Vec::new();
+        for row in table.rows() {
+            if let Some(p) = &predicate {
+                if !p.eval_predicate(row)? {
+                    continue;
+                }
+            }
+            out.push(row.clone());
+        }
+        Ok(out)
+    }
+
+    fn index_scan(
+        &self,
+        plan: &PhysicalPlan,
+        table: &str,
+        column: &str,
+        lookup: &IndexLookup,
+        residual: Option<&Expr>,
+    ) -> Result<Vec<Row>, ExecError> {
+        let table = self.table(table)?;
+        let column_idx = table.schema().index_of(None, column)?;
+        let needs_range = matches!(lookup, IndexLookup::Range { .. });
+        let index = table
+            .index_on_column(column_idx, needs_range)
+            .ok_or_else(|| {
+                ExecError::InvalidPlan(format!("no usable index on column '{column}'"))
+            })?;
+
+        let mut row_ids: Vec<usize> = match lookup {
+            IndexLookup::Equality(value) => index.lookup(value).to_vec(),
+            IndexLookup::InList(values) => {
+                let mut ids = Vec::new();
+                for value in values {
+                    ids.extend_from_slice(index.lookup(value));
+                }
+                ids
+            }
+            IndexLookup::Range { low, high } => {
+                let low_bound = match low {
+                    Some((value, true)) => Bound::Included(value),
+                    Some((value, false)) => Bound::Excluded(value),
+                    None => Bound::Unbounded,
+                };
+                let high_bound = match high {
+                    Some((value, true)) => Bound::Included(value),
+                    Some((value, false)) => Bound::Excluded(value),
+                    None => Bound::Unbounded,
+                };
+                index.range(low_bound, high_bound)
+            }
+        };
+        row_ids.sort_unstable();
+        row_ids.dedup();
+
+        let residual = residual
+            .map(|p| Self::bind(p, &plan.schema))
+            .transpose()?;
+        let mut out = Vec::new();
+        for row_id in row_ids {
+            let Some(row) = table.row(row_id) else {
+                continue;
+            };
+            if let Some(p) = &residual {
+                if !p.eval_predicate(row)? {
+                    continue;
+                }
+            }
+            out.push(row.clone());
+        }
+        Ok(out)
+    }
+
+    fn hash_join(
+        &self,
+        plan: &PhysicalPlan,
+        probe_rows: Vec<Row>,
+        build_rows: Vec<Row>,
+        keys: &[(reopt_expr::ColumnRef, reopt_expr::ColumnRef)],
+        residual: Option<&Expr>,
+    ) -> Result<Vec<Row>, ExecError> {
+        let probe_schema = &plan.children[0].schema;
+        let build_schema = &plan.children[1].schema;
+        let probe_keys: Vec<usize> = keys
+            .iter()
+            .map(|(probe, _)| {
+                probe_schema
+                    .index_of(probe.qualifier.as_deref(), &probe.name)
+                    .map_err(ExecError::from)
+            })
+            .collect::<Result<_, _>>()?;
+        let build_keys: Vec<usize> = keys
+            .iter()
+            .map(|(_, build)| {
+                build_schema
+                    .index_of(build.qualifier.as_deref(), &build.name)
+                    .map_err(ExecError::from)
+            })
+            .collect::<Result<_, _>>()?;
+
+        // Build phase.
+        let mut hash_table: HashMap<Vec<Value>, Vec<usize>> = HashMap::new();
+        for (row_idx, row) in build_rows.iter().enumerate() {
+            let Some(key) = extract_key(row, &build_keys) else {
+                continue;
+            };
+            hash_table.entry(key).or_default().push(row_idx);
+        }
+
+        let residual = residual
+            .map(|p| Self::bind(p, &plan.schema))
+            .transpose()?;
+
+        // Probe phase.
+        let mut out = Vec::new();
+        for probe_row in &probe_rows {
+            let Some(key) = extract_key(probe_row, &probe_keys) else {
+                continue;
+            };
+            let Some(matches) = hash_table.get(&key) else {
+                continue;
+            };
+            for &build_idx in matches {
+                let joined = probe_row.join(&build_rows[build_idx]);
+                if let Some(p) = &residual {
+                    if !p.eval_predicate(&joined)? {
+                        continue;
+                    }
+                }
+                out.push(joined);
+            }
+        }
+        Ok(out)
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn index_nl_join(
+        &self,
+        plan: &PhysicalPlan,
+        outer_rows: Vec<Row>,
+        inner_table: &str,
+        inner_alias: &str,
+        outer_key: &reopt_expr::ColumnRef,
+        inner_key: &str,
+        inner_predicate: Option<&Expr>,
+        residual: Option<&Expr>,
+    ) -> Result<Vec<Row>, ExecError> {
+        let outer_schema = &plan.children[0].schema;
+        let table = self.table(inner_table)?;
+        let outer_key_idx = outer_schema
+            .index_of(outer_key.qualifier.as_deref(), &outer_key.name)
+            .map_err(ExecError::from)?;
+        let inner_key_idx = table.schema().index_of(None, inner_key)?;
+
+        let inner_schema = table.schema().qualified(inner_alias);
+        let inner_predicate = inner_predicate
+            .map(|p| Self::bind(p, &inner_schema))
+            .transpose()?;
+        let residual = residual
+            .map(|p| Self::bind(p, &plan.schema))
+            .transpose()?;
+
+        // Use an existing index if present, otherwise build a transient lookup table
+        // (this keeps the operator correct even if an index was dropped after planning).
+        let index = table.index_on_column(inner_key_idx, false);
+        let mut transient: Option<HashMap<Value, Vec<usize>>> = None;
+        if index.is_none() {
+            let mut map: HashMap<Value, Vec<usize>> = HashMap::new();
+            for (row_id, row) in table.rows().iter().enumerate() {
+                let key = row.value(inner_key_idx);
+                if !key.is_null() {
+                    map.entry(key.clone()).or_default().push(row_id);
+                }
+            }
+            transient = Some(map);
+        }
+
+        let mut out = Vec::new();
+        let empty: Vec<usize> = Vec::new();
+        for outer_row in &outer_rows {
+            let key = outer_row.value(outer_key_idx);
+            if key.is_null() {
+                continue;
+            }
+            let matches: &[usize] = match (&index, &transient) {
+                (Some(index), _) => index.lookup(key),
+                (None, Some(map)) => map.get(key).map(Vec::as_slice).unwrap_or(&empty),
+                (None, None) => &empty,
+            };
+            for &row_id in matches {
+                let Some(inner_row) = table.row(row_id) else {
+                    continue;
+                };
+                if let Some(p) = &inner_predicate {
+                    if !p.eval_predicate(inner_row)? {
+                        continue;
+                    }
+                }
+                let joined = outer_row.join(inner_row);
+                if let Some(p) = &residual {
+                    if !p.eval_predicate(&joined)? {
+                        continue;
+                    }
+                }
+                out.push(joined);
+            }
+        }
+        Ok(out)
+    }
+
+    fn nested_loop_join(
+        &self,
+        plan: &PhysicalPlan,
+        outer_rows: Vec<Row>,
+        inner_rows: Vec<Row>,
+        predicate: Option<&Expr>,
+    ) -> Result<Vec<Row>, ExecError> {
+        let predicate = predicate
+            .map(|p| Self::bind(p, &plan.schema))
+            .transpose()?;
+        let mut out = Vec::new();
+        for outer_row in &outer_rows {
+            for inner_row in &inner_rows {
+                let joined = outer_row.join(inner_row);
+                if let Some(p) = &predicate {
+                    if !p.eval_predicate(&joined)? {
+                        continue;
+                    }
+                }
+                out.push(joined);
+            }
+        }
+        Ok(out)
+    }
+
+    fn merge_join(
+        &self,
+        plan: &PhysicalPlan,
+        left_rows: Vec<Row>,
+        right_rows: Vec<Row>,
+        keys: &[(reopt_expr::ColumnRef, reopt_expr::ColumnRef)],
+        residual: Option<&Expr>,
+    ) -> Result<Vec<Row>, ExecError> {
+        let left_schema = &plan.children[0].schema;
+        let right_schema = &plan.children[1].schema;
+        let left_keys: Vec<usize> = keys
+            .iter()
+            .map(|(l, _)| {
+                left_schema
+                    .index_of(l.qualifier.as_deref(), &l.name)
+                    .map_err(ExecError::from)
+            })
+            .collect::<Result<_, _>>()?;
+        let right_keys: Vec<usize> = keys
+            .iter()
+            .map(|(_, r)| {
+                right_schema
+                    .index_of(r.qualifier.as_deref(), &r.name)
+                    .map_err(ExecError::from)
+            })
+            .collect::<Result<_, _>>()?;
+
+        // Sort both sides by their keys, dropping rows with NULL keys (they cannot
+        // match an equi-join).
+        let mut left: Vec<(Vec<Value>, Row)> = left_rows
+            .into_iter()
+            .filter_map(|row| extract_key(&row, &left_keys).map(|k| (k, row)))
+            .collect();
+        let mut right: Vec<(Vec<Value>, Row)> = right_rows
+            .into_iter()
+            .filter_map(|row| extract_key(&row, &right_keys).map(|k| (k, row)))
+            .collect();
+        left.sort_by(|a, b| a.0.cmp(&b.0));
+        right.sort_by(|a, b| a.0.cmp(&b.0));
+
+        let residual = residual
+            .map(|p| Self::bind(p, &plan.schema))
+            .transpose()?;
+
+        let mut out = Vec::new();
+        let (mut i, mut j) = (0usize, 0usize);
+        while i < left.len() && j < right.len() {
+            match left[i].0.cmp(&right[j].0) {
+                std::cmp::Ordering::Less => i += 1,
+                std::cmp::Ordering::Greater => j += 1,
+                std::cmp::Ordering::Equal => {
+                    // Find the ranges of equal keys on both sides and emit the product.
+                    let key = left[i].0.clone();
+                    let left_start = i;
+                    while i < left.len() && left[i].0 == key {
+                        i += 1;
+                    }
+                    let right_start = j;
+                    while j < right.len() && right[j].0 == key {
+                        j += 1;
+                    }
+                    for (_, left_row) in &left[left_start..i] {
+                        for (_, right_row) in &right[right_start..j] {
+                            let joined = left_row.join(right_row);
+                            if let Some(p) = &residual {
+                                if !p.eval_predicate(&joined)? {
+                                    continue;
+                                }
+                            }
+                            out.push(joined);
+                        }
+                    }
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    fn filter(
+        &self,
+        plan: &PhysicalPlan,
+        input: Vec<Row>,
+        predicate: &Expr,
+    ) -> Result<Vec<Row>, ExecError> {
+        let predicate = Self::bind(predicate, &plan.children[0].schema)?;
+        let mut out = Vec::new();
+        for row in input {
+            if predicate.eval_predicate(&row)? {
+                out.push(row);
+            }
+        }
+        Ok(out)
+    }
+
+    fn aggregate(
+        &self,
+        input: Vec<Row>,
+        input_schema: &Schema,
+        group_by: &[Expr],
+        aggregates: &[reopt_planner::AggregateExpr],
+    ) -> Result<Vec<Row>, ExecError> {
+        let group_exprs: Vec<Expr> = group_by
+            .iter()
+            .map(|e| Self::bind(e, input_schema))
+            .collect::<Result<_, _>>()?;
+        let agg_args: Vec<Option<Expr>> = aggregates
+            .iter()
+            .map(|a| a.arg.as_ref().map(|e| Self::bind(e, input_schema)).transpose())
+            .collect::<Result<_, _>>()?;
+
+        if group_exprs.is_empty() {
+            // Single-group aggregation always produces exactly one row.
+            let mut accumulators: Vec<Accumulator> =
+                aggregates.iter().map(|a| Accumulator::new(a.func)).collect();
+            for row in &input {
+                for (accumulator, arg) in accumulators.iter_mut().zip(&agg_args) {
+                    accumulator.update(arg.as_ref(), row)?;
+                }
+            }
+            let values: Vec<Value> = accumulators.into_iter().map(Accumulator::finish).collect();
+            return Ok(vec![Row::from_values(values)]);
+        }
+
+        // Hash aggregation; groups are emitted in first-seen order for determinism.
+        let mut groups: HashMap<Vec<Value>, usize> = HashMap::new();
+        let mut states: Vec<(Vec<Value>, Vec<Accumulator>)> = Vec::new();
+        for row in &input {
+            let mut key = Vec::with_capacity(group_exprs.len());
+            for expr in &group_exprs {
+                key.push(expr.eval(row)?);
+            }
+            let idx = match groups.get(&key) {
+                Some(&idx) => idx,
+                None => {
+                    let idx = states.len();
+                    groups.insert(key.clone(), idx);
+                    states.push((
+                        key,
+                        aggregates.iter().map(|a| Accumulator::new(a.func)).collect(),
+                    ));
+                    idx
+                }
+            };
+            for (accumulator, arg) in states[idx].1.iter_mut().zip(&agg_args) {
+                accumulator.update(arg.as_ref(), row)?;
+            }
+        }
+        Ok(states
+            .into_iter()
+            .map(|(mut key, accumulators)| {
+                key.extend(accumulators.into_iter().map(Accumulator::finish));
+                Row::from_values(key)
+            })
+            .collect())
+    }
+
+    fn project(
+        &self,
+        input: Vec<Row>,
+        input_schema: &Schema,
+        exprs: &[reopt_planner::OutputExpr],
+    ) -> Result<Vec<Row>, ExecError> {
+        let bound: Vec<Expr> = exprs
+            .iter()
+            .map(|e| Self::bind(&e.expr, input_schema))
+            .collect::<Result<_, _>>()?;
+        input
+            .into_iter()
+            .map(|row| {
+                let values: Result<Vec<Value>, ExecError> =
+                    bound.iter().map(|e| e.eval(&row).map_err(Into::into)).collect();
+                Ok(Row::from_values(values?))
+            })
+            .collect()
+    }
+
+    fn sort(
+        &self,
+        input: Vec<Row>,
+        input_schema: &Schema,
+        keys: &[(Expr, bool)],
+    ) -> Result<Vec<Row>, ExecError> {
+        let bound: Vec<(Expr, bool)> = keys
+            .iter()
+            .map(|(e, asc)| Ok((Self::bind(e, input_schema)?, *asc)))
+            .collect::<Result<_, ExecError>>()?;
+        let mut keyed: Vec<(Vec<Value>, Row)> = input
+            .into_iter()
+            .map(|row| {
+                let key: Result<Vec<Value>, ExecError> = bound
+                    .iter()
+                    .map(|(e, _)| e.eval(&row).map_err(Into::into))
+                    .collect();
+                Ok((key?, row))
+            })
+            .collect::<Result<_, ExecError>>()?;
+        keyed.sort_by(|a, b| {
+            for (idx, (_, ascending)) in bound.iter().enumerate() {
+                let ordering = a.0[idx].cmp(&b.0[idx]);
+                let ordering = if *ascending { ordering } else { ordering.reverse() };
+                if ordering != std::cmp::Ordering::Equal {
+                    return ordering;
+                }
+            }
+            std::cmp::Ordering::Equal
+        });
+        Ok(keyed.into_iter().map(|(_, row)| row).collect())
+    }
+}
+
+/// Extract a join key from a row; returns `None` when any key column is NULL (NULL never
+/// joins under equi-join semantics).
+fn extract_key(row: &Row, columns: &[usize]) -> Option<Vec<Value>> {
+    let mut key = Vec::with_capacity(columns.len());
+    for &idx in columns {
+        let value = row.value(idx);
+        if value.is_null() {
+            return None;
+        }
+        key.push(value.clone());
+    }
+    Some(key)
+}
+
+/// Aggregate accumulator state.
+#[derive(Debug, Clone)]
+enum Accumulator {
+    Min(Option<Value>),
+    Max(Option<Value>),
+    Count { star: bool, count: u64 },
+    Sum { sum: f64, any: bool, is_float: bool },
+    Avg { sum: f64, count: u64 },
+}
+
+impl Accumulator {
+    fn new(func: AggregateFunc) -> Self {
+        match func {
+            AggregateFunc::Min => Accumulator::Min(None),
+            AggregateFunc::Max => Accumulator::Max(None),
+            AggregateFunc::Count => Accumulator::Count {
+                star: true,
+                count: 0,
+            },
+            AggregateFunc::Sum => Accumulator::Sum {
+                sum: 0.0,
+                any: false,
+                is_float: false,
+            },
+            AggregateFunc::Avg => Accumulator::Avg { sum: 0.0, count: 0 },
+        }
+    }
+
+    fn update(&mut self, arg: Option<&Expr>, row: &Row) -> Result<(), ExecError> {
+        let value = match arg {
+            Some(expr) => Some(expr.eval(row)?),
+            None => None,
+        };
+        match self {
+            Accumulator::Min(current) => {
+                if let Some(v) = value {
+                    if !v.is_null() && current.as_ref().map(|c| &v < c).unwrap_or(true) {
+                        *current = Some(v);
+                    }
+                }
+            }
+            Accumulator::Max(current) => {
+                if let Some(v) = value {
+                    if !v.is_null() && current.as_ref().map(|c| &v > c).unwrap_or(true) {
+                        *current = Some(v);
+                    }
+                }
+            }
+            Accumulator::Count { star, count } => match value {
+                None => {
+                    *star = true;
+                    *count += 1;
+                }
+                Some(v) => {
+                    *star = false;
+                    if !v.is_null() {
+                        *count += 1;
+                    }
+                }
+            },
+            Accumulator::Sum { sum, any, is_float } => {
+                if let Some(v) = value {
+                    if let Some(f) = v.as_float() {
+                        *sum += f;
+                        *any = true;
+                        if matches!(v, Value::Float(_)) {
+                            *is_float = true;
+                        }
+                    }
+                }
+            }
+            Accumulator::Avg { sum, count } => {
+                if let Some(v) = value {
+                    if let Some(f) = v.as_float() {
+                        *sum += f;
+                        *count += 1;
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn finish(self) -> Value {
+        match self {
+            Accumulator::Min(v) | Accumulator::Max(v) => v.unwrap_or(Value::Null),
+            Accumulator::Count { count, .. } => Value::Int(count as i64),
+            Accumulator::Sum { sum, any, is_float } => {
+                if !any {
+                    Value::Null
+                } else if is_float {
+                    Value::Float(sum)
+                } else {
+                    Value::Int(sum as i64)
+                }
+            }
+            Accumulator::Avg { sum, count } => {
+                if count == 0 {
+                    Value::Null
+                } else {
+                    Value::Float(sum / count as f64)
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use reopt_catalog::Catalog;
+    use reopt_planner::{CardinalityOverrides, Optimizer};
+    use reopt_sql::parse_sql;
+    use reopt_storage::{Column, DataType, IndexKind};
+
+    /// A small movie database with known contents so results can be checked exactly.
+    fn build_env() -> (Storage, Catalog) {
+        let mut storage = Storage::new();
+
+        let mut title = Table::new(
+            "title",
+            Schema::new(vec![
+                Column::not_null("id", DataType::Int),
+                Column::new("title", DataType::Text),
+                Column::new("production_year", DataType::Int),
+            ]),
+        );
+        for i in 0..100i64 {
+            title
+                .push_row(Row::from_values(vec![
+                    Value::Int(i),
+                    Value::from(format!("movie {i:03}")),
+                    Value::Int(1990 + (i % 30)),
+                ]))
+                .unwrap();
+        }
+        title.create_index("title_pkey", "id", IndexKind::BTree).unwrap();
+
+        let mut keyword = Table::new(
+            "keyword",
+            Schema::new(vec![
+                Column::not_null("id", DataType::Int),
+                Column::new("keyword", DataType::Text),
+            ]),
+        );
+        for i in 0..10i64 {
+            keyword
+                .push_row(Row::from_values(vec![
+                    Value::Int(i),
+                    Value::from(format!("kw{i}")),
+                ]))
+                .unwrap();
+        }
+
+        let mut movie_keyword = Table::new(
+            "movie_keyword",
+            Schema::new(vec![
+                Column::not_null("movie_id", DataType::Int),
+                Column::not_null("keyword_id", DataType::Int),
+            ]),
+        );
+        // Every movie i has keywords i%10 and (i+1)%10.
+        for i in 0..100i64 {
+            movie_keyword
+                .push_row(Row::from_values(vec![Value::Int(i), Value::Int(i % 10)]))
+                .unwrap();
+            movie_keyword
+                .push_row(Row::from_values(vec![Value::Int(i), Value::Int((i + 1) % 10)]))
+                .unwrap();
+        }
+        movie_keyword
+            .create_index("mk_movie", "movie_id", IndexKind::Hash)
+            .unwrap();
+        movie_keyword
+            .create_index("mk_keyword", "keyword_id", IndexKind::Hash)
+            .unwrap();
+
+        storage.create_table(title).unwrap();
+        storage.create_table(keyword).unwrap();
+        storage.create_table(movie_keyword).unwrap();
+        let mut catalog = Catalog::new();
+        catalog.analyze_all(&storage).unwrap();
+        (storage, catalog)
+    }
+
+    fn run(sql: &str, storage: &Storage, catalog: &Catalog) -> ExecutionResult {
+        let optimizer = Optimizer::default();
+        let statement = parse_sql(sql).unwrap();
+        let planned = optimizer
+            .plan_select(
+                statement.query().unwrap(),
+                storage,
+                catalog,
+                &CardinalityOverrides::new(),
+            )
+            .unwrap();
+        execute_plan(&planned.plan, storage).unwrap()
+    }
+
+    #[test]
+    fn seq_scan_with_filter() {
+        let (storage, catalog) = build_env();
+        let result = run(
+            "SELECT * FROM title AS t WHERE t.production_year >= 2015",
+            &storage,
+            &catalog,
+        );
+        // Years 2015..=2019 appear for i%30 in 25..=29 → 5 values × 3 movies each.
+        assert_eq!(result.rows.len(), 15);
+        assert_eq!(result.schema.len(), 3);
+    }
+
+    #[test]
+    fn index_scan_equality_and_range() {
+        let (storage, catalog) = build_env();
+        let result = run("SELECT * FROM title AS t WHERE t.id = 42", &storage, &catalog);
+        assert_eq!(result.rows.len(), 1);
+        assert_eq!(result.rows[0].value(0), &Value::Int(42));
+        let result = run(
+            "SELECT * FROM title AS t WHERE t.id BETWEEN 10 AND 19",
+            &storage,
+            &catalog,
+        );
+        assert_eq!(result.rows.len(), 10);
+    }
+
+    #[test]
+    fn two_way_join_counts() {
+        let (storage, catalog) = build_env();
+        let result = run(
+            "SELECT count(*) AS c
+             FROM movie_keyword AS mk, keyword AS k
+             WHERE mk.keyword_id = k.id AND k.keyword = 'kw3'",
+            &storage,
+            &catalog,
+        );
+        // keyword_id = 3 appears for movies with i%10==3 (10 movies) and (i+1)%10==3
+        // (10 movies) → 20 movie_keyword rows.
+        assert_eq!(result.rows[0].value(0), &Value::Int(20));
+    }
+
+    #[test]
+    fn three_way_join_with_aggregate() {
+        let (storage, catalog) = build_env();
+        let result = run(
+            "SELECT min(t.title) AS first_movie, count(*) AS c
+             FROM title AS t, movie_keyword AS mk, keyword AS k
+             WHERE t.id = mk.movie_id AND mk.keyword_id = k.id
+               AND k.keyword = 'kw3' AND t.production_year >= 2000",
+            &storage,
+            &catalog,
+        );
+        assert_eq!(result.rows.len(), 1);
+        // Check against a brute-force count.
+        let mut expected = 0;
+        let mut first: Option<String> = None;
+        for i in 0..100i64 {
+            let year = 1990 + (i % 30);
+            if year < 2000 {
+                continue;
+            }
+            let kws = [i % 10, (i + 1) % 10];
+            for kw in kws {
+                if kw == 3 {
+                    expected += 1;
+                    let name = format!("movie {i:03}");
+                    if first.as_ref().map(|f| &name < f).unwrap_or(true) {
+                        first = Some(name);
+                    }
+                }
+            }
+        }
+        assert_eq!(result.rows[0].value(1), &Value::Int(expected));
+        assert_eq!(
+            result.rows[0].value(0),
+            &Value::from(first.unwrap().as_str())
+        );
+    }
+
+    #[test]
+    fn metrics_record_actual_cardinalities() {
+        let (storage, catalog) = build_env();
+        let result = run(
+            "SELECT count(*) AS c
+             FROM movie_keyword AS mk, keyword AS k
+             WHERE mk.keyword_id = k.id",
+            &storage,
+            &catalog,
+        );
+        assert_eq!(result.rows[0].value(0), &Value::Int(200));
+        let joins = result.metrics.root.joins_bottom_up();
+        assert_eq!(joins.len(), 1);
+        assert_eq!(joins[0].actual_rows, 200);
+        assert!(joins[0].q_error() < 10.0);
+        assert!(result.metrics.execution_time.as_nanos() > 0);
+        let rendered = result.metrics.root.render();
+        assert!(rendered.contains("actual rows=200"));
+    }
+
+    #[test]
+    fn group_by_order_by_limit() {
+        let (storage, catalog) = build_env();
+        let result = run(
+            "SELECT t.production_year, count(*) AS movies
+             FROM title AS t
+             GROUP BY t.production_year
+             ORDER BY movies DESC, t.production_year ASC
+             LIMIT 3",
+            &storage,
+            &catalog,
+        );
+        assert_eq!(result.rows.len(), 3);
+        // Years 1990..=1999 have 4 movies each (i%30 in 0..10 for i in 0..100 → 4 each);
+        // later years have 3. Ordered by count desc then year asc → 1990, 1991, 1992.
+        assert_eq!(result.rows[0].value(0), &Value::Int(1990));
+        assert_eq!(result.rows[0].value(1), &Value::Int(4));
+        assert_eq!(result.rows[2].value(0), &Value::Int(1992));
+    }
+
+    #[test]
+    fn projection_and_aliases() {
+        let (storage, catalog) = build_env();
+        let result = run(
+            "SELECT t.title AS name, t.production_year + 1 AS next_year
+             FROM title AS t WHERE t.id = 5",
+            &storage,
+            &catalog,
+        );
+        assert_eq!(result.schema.column(0).unwrap().name(), "name");
+        assert_eq!(result.rows[0].value(1), &Value::Int(1996));
+    }
+
+    #[test]
+    fn aggregates_over_empty_input() {
+        let (storage, catalog) = build_env();
+        let result = run(
+            "SELECT min(t.title) AS m, count(*) AS c, sum(t.id) AS s, avg(t.id) AS a
+             FROM title AS t WHERE t.production_year > 3000",
+            &storage,
+            &catalog,
+        );
+        assert_eq!(result.rows.len(), 1);
+        assert_eq!(result.rows[0].value(0), &Value::Null);
+        assert_eq!(result.rows[0].value(1), &Value::Int(0));
+        assert_eq!(result.rows[0].value(2), &Value::Null);
+        assert_eq!(result.rows[0].value(3), &Value::Null);
+    }
+
+    #[test]
+    fn like_and_in_filters_execute() {
+        let (storage, catalog) = build_env();
+        let result = run(
+            "SELECT count(*) AS c FROM title AS t WHERE t.title LIKE 'movie 09%'",
+            &storage,
+            &catalog,
+        );
+        // movie 090..099
+        assert_eq!(result.rows[0].value(0), &Value::Int(10));
+        let result = run(
+            "SELECT count(*) AS c FROM keyword AS k WHERE k.keyword IN ('kw1', 'kw2', 'nope')",
+            &storage,
+            &catalog,
+        );
+        assert_eq!(result.rows[0].value(0), &Value::Int(2));
+    }
+
+    #[test]
+    fn join_results_match_across_algorithms() {
+        // Force each join algorithm in turn and check identical results.
+        let (storage, catalog) = build_env();
+        let statement = parse_sql(
+            "SELECT count(*) AS c
+             FROM title AS t, movie_keyword AS mk
+             WHERE t.id = mk.movie_id AND t.production_year >= 2010",
+        )
+        .unwrap();
+
+        let mut results = Vec::new();
+        for (hash, merge, inl) in [
+            (true, false, false),
+            (false, true, false),
+            (false, false, true),
+        ] {
+            let mut config = reopt_planner::OptimizerConfig::default();
+            config.enable_hash_joins = hash;
+            config.enable_merge_joins = merge;
+            config.enable_index_nl_joins = inl;
+            let optimizer = Optimizer::new(config);
+            let planned = optimizer
+                .plan_select(
+                    statement.query().unwrap(),
+                    &storage,
+                    &catalog,
+                    &CardinalityOverrides::new(),
+                )
+                .unwrap();
+            let result = execute_plan(&planned.plan, &storage).unwrap();
+            results.push(result.rows[0].value(0).clone());
+        }
+        assert_eq!(results[0], results[1]);
+        assert_eq!(results[1], results[2]);
+    }
+
+    #[test]
+    fn missing_table_at_execution_time() {
+        let (storage, catalog) = build_env();
+        let optimizer = Optimizer::default();
+        let statement = parse_sql("SELECT * FROM keyword AS k").unwrap();
+        let planned = optimizer
+            .plan_select(
+                statement.query().unwrap(),
+                &storage,
+                &catalog,
+                &CardinalityOverrides::new(),
+            )
+            .unwrap();
+        let mut emptied = storage.clone();
+        emptied.drop_table("keyword").unwrap();
+        let err = execute_plan(&planned.plan, &emptied).unwrap_err();
+        assert!(matches!(err, ExecError::TableNotFound(_)));
+    }
+}

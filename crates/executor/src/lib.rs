@@ -1,0 +1,21 @@
+//! # reopt-executor
+//!
+//! Execution of physical plans with EXPLAIN ANALYZE style instrumentation.
+//!
+//! Operators are *materialized*: each node consumes its children fully and produces a
+//! `Vec<Row>`. The paper's re-optimization simulation itself breaks pipelines by
+//! materializing intermediate results into temporary tables, so a vector-at-a-time
+//! executor is a faithful substrate for the experiments (and keeps per-operator actual
+//! cardinalities trivially observable).
+//!
+//! Every executed node produces an [`OperatorMetrics`] record with the estimated and
+//! actual output cardinality and the wall-clock time spent producing it — the
+//! information the paper extracts from `EXPLAIN ANALYZE` to drive re-optimization.
+
+pub mod error;
+pub mod exec;
+pub mod metrics;
+
+pub use error::ExecError;
+pub use exec::{execute_plan, ExecutionResult, Executor};
+pub use metrics::{MetricsNode, OperatorMetrics, QueryMetrics};

@@ -1,0 +1,178 @@
+//! Per-operator execution metrics (the EXPLAIN ANALYZE view of a run).
+
+use reopt_planner::RelSet;
+use std::time::Duration;
+
+/// Metrics of a single executed operator.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OperatorMetrics {
+    /// The operator's display label (mirrors the plan node's label).
+    pub label: String,
+    /// The base relations the operator covers.
+    pub rel_set: RelSet,
+    /// Whether this operator is a join.
+    pub is_join: bool,
+    /// Estimated output cardinality (from the optimizer).
+    pub estimated_rows: f64,
+    /// Actual output cardinality.
+    pub actual_rows: u64,
+    /// Wall-clock time spent in this operator, excluding its children.
+    pub elapsed: Duration,
+}
+
+impl OperatorMetrics {
+    /// The Q-error of this operator: `max(est/actual, actual/est)` with both sides
+    /// clamped to at least one row, as in Moerkotte et al. (reference [36] of the paper).
+    pub fn q_error(&self) -> f64 {
+        let estimated = self.estimated_rows.max(1.0);
+        let actual = (self.actual_rows as f64).max(1.0);
+        (estimated / actual).max(actual / estimated)
+    }
+
+    /// Whether the estimate was an underestimate.
+    pub fn is_underestimate(&self) -> bool {
+        self.estimated_rows < self.actual_rows as f64
+    }
+}
+
+/// The metrics tree of one executed plan (same shape as the plan tree).
+#[derive(Debug, Clone, PartialEq)]
+pub struct MetricsNode {
+    /// This operator's metrics.
+    pub metrics: OperatorMetrics,
+    /// Children metrics, in the same order as the plan's children.
+    pub children: Vec<MetricsNode>,
+}
+
+impl MetricsNode {
+    /// Depth-first pre-order traversal.
+    pub fn walk<'a>(&'a self, visit: &mut impl FnMut(&'a MetricsNode)) {
+        visit(self);
+        for child in &self.children {
+            child.walk(visit);
+        }
+    }
+
+    /// All join operators in the tree, ordered bottom-up (smallest relation sets first,
+    /// ties broken by tree depth — deepest first). This is the order in which the
+    /// re-optimization controller looks for "the lowest join operator in the query plan"
+    /// whose estimate is off (Section V of the paper).
+    pub fn joins_bottom_up(&self) -> Vec<&OperatorMetrics> {
+        let mut joins: Vec<(usize, &OperatorMetrics)> = Vec::new();
+        self.collect_joins(0, &mut joins);
+        joins.sort_by(|a, b| {
+            a.1.rel_set
+                .len()
+                .cmp(&b.1.rel_set.len())
+                .then(b.0.cmp(&a.0))
+        });
+        joins.into_iter().map(|(_, m)| m).collect()
+    }
+
+    fn collect_joins<'a>(&'a self, depth: usize, out: &mut Vec<(usize, &'a OperatorMetrics)>) {
+        if self.metrics.is_join {
+            out.push((depth, &self.metrics));
+        }
+        for child in &self.children {
+            child.collect_joins(depth + 1, out);
+        }
+    }
+
+    /// Total wall-clock time across all operators.
+    pub fn total_elapsed(&self) -> Duration {
+        let mut total = Duration::ZERO;
+        self.walk(&mut |node| total += node.metrics.elapsed);
+        total
+    }
+
+    /// Render the metrics tree as EXPLAIN ANALYZE style text.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        self.render_into(0, &mut out);
+        out
+    }
+
+    fn render_into(&self, depth: usize, out: &mut String) {
+        let indent = "  ".repeat(depth);
+        let arrow = if depth == 0 { "" } else { "-> " };
+        out.push_str(&format!(
+            "{indent}{arrow}{}  (estimated rows={:.0} actual rows={} q-error={:.2} time={:.3}ms)\n",
+            self.metrics.label,
+            self.metrics.estimated_rows,
+            self.metrics.actual_rows,
+            self.metrics.q_error(),
+            self.metrics.elapsed.as_secs_f64() * 1e3,
+        ));
+        for child in &self.children {
+            child.render_into(depth + 1, out);
+        }
+    }
+}
+
+/// The result of running one statement: output cardinality plus the metrics tree.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QueryMetrics {
+    /// The metrics tree.
+    pub root: MetricsNode,
+    /// Total execution wall-clock time (sum over operators).
+    pub execution_time: Duration,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn metrics(label: &str, rels: &[usize], is_join: bool, est: f64, actual: u64) -> OperatorMetrics {
+        OperatorMetrics {
+            label: label.into(),
+            rel_set: RelSet::from_indexes(rels.iter().copied()),
+            is_join,
+            estimated_rows: est,
+            actual_rows: actual,
+            elapsed: Duration::from_millis(1),
+        }
+    }
+
+    #[test]
+    fn q_error_is_symmetric_and_clamped() {
+        assert_eq!(metrics("x", &[0], false, 10.0, 1000).q_error(), 100.0);
+        assert_eq!(metrics("x", &[0], false, 1000.0, 10).q_error(), 100.0);
+        assert_eq!(metrics("x", &[0], false, 0.0, 0).q_error(), 1.0);
+        assert!(metrics("x", &[0], false, 10.0, 1000).is_underestimate());
+        assert!(!metrics("x", &[0], false, 1000.0, 10).is_underestimate());
+    }
+
+    #[test]
+    fn joins_bottom_up_orders_by_relset_size() {
+        let tree = MetricsNode {
+            metrics: metrics("top join", &[0, 1, 2], true, 10.0, 10),
+            children: vec![
+                MetricsNode {
+                    metrics: metrics("lower join", &[0, 1], true, 5.0, 500),
+                    children: vec![
+                        MetricsNode {
+                            metrics: metrics("scan a", &[0], false, 100.0, 100),
+                            children: vec![],
+                        },
+                        MetricsNode {
+                            metrics: metrics("scan b", &[1], false, 100.0, 100),
+                            children: vec![],
+                        },
+                    ],
+                },
+                MetricsNode {
+                    metrics: metrics("scan c", &[2], false, 100.0, 100),
+                    children: vec![],
+                },
+            ],
+        };
+        let joins = tree.joins_bottom_up();
+        assert_eq!(joins.len(), 2);
+        assert_eq!(joins[0].label, "lower join");
+        assert_eq!(joins[1].label, "top join");
+        assert_eq!(tree.total_elapsed(), Duration::from_millis(5));
+        let rendered = tree.render();
+        assert!(rendered.contains("actual rows=500"));
+        assert!(rendered.contains("q-error=100.00"));
+    }
+}

@@ -1,0 +1,407 @@
+//! Expression evaluation with SQL three-valued logic.
+
+use crate::expr::{BinaryOp, Expr};
+use crate::like::like_match;
+use reopt_storage::{Row, Value};
+use std::cmp::Ordering;
+use std::fmt;
+
+/// Errors raised during evaluation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EvalError {
+    /// An unresolved column reference reached the evaluator (i.e. `bind` was not called).
+    UnboundColumn(String),
+    /// The operand types are not valid for the operator.
+    TypeMismatch(String),
+    /// Division by zero.
+    DivisionByZero,
+}
+
+impl fmt::Display for EvalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EvalError::UnboundColumn(name) => {
+                write!(f, "unbound column reference '{name}' during evaluation")
+            }
+            EvalError::TypeMismatch(detail) => write!(f, "type mismatch: {detail}"),
+            EvalError::DivisionByZero => f.write_str("division by zero"),
+        }
+    }
+}
+
+impl std::error::Error for EvalError {}
+
+impl Expr {
+    /// Evaluate the expression against a row, producing a value (possibly NULL).
+    pub fn eval(&self, row: &Row) -> Result<Value, EvalError> {
+        match self {
+            Expr::Column(r) => Err(EvalError::UnboundColumn(r.to_string())),
+            Expr::BoundColumn { index, .. } => Ok(row.value(*index).clone()),
+            Expr::Literal(v) => Ok(v.clone()),
+            Expr::Binary { op, left, right } => eval_binary(*op, left, right, row),
+            Expr::Like {
+                expr,
+                pattern,
+                negated,
+            } => {
+                let v = expr.eval(row)?;
+                match v {
+                    Value::Null => Ok(Value::Null),
+                    Value::Text(s) => {
+                        let matched = like_match(&s, pattern);
+                        Ok(Value::Bool(matched != *negated))
+                    }
+                    other => Err(EvalError::TypeMismatch(format!(
+                        "LIKE requires text, got {other}"
+                    ))),
+                }
+            }
+            Expr::InList {
+                expr,
+                list,
+                negated,
+            } => {
+                let v = expr.eval(row)?;
+                if v.is_null() {
+                    return Ok(Value::Null);
+                }
+                let mut saw_null = false;
+                let mut found = false;
+                for item in list {
+                    match v.sql_eq(item) {
+                        Some(true) => {
+                            found = true;
+                            break;
+                        }
+                        Some(false) => {}
+                        None => saw_null = true,
+                    }
+                }
+                if found {
+                    Ok(Value::Bool(!*negated))
+                } else if saw_null {
+                    Ok(Value::Null)
+                } else {
+                    Ok(Value::Bool(*negated))
+                }
+            }
+            Expr::IsNull { expr, negated } => {
+                let v = expr.eval(row)?;
+                Ok(Value::Bool(v.is_null() != *negated))
+            }
+            Expr::Between {
+                expr,
+                low,
+                high,
+                negated,
+            } => {
+                let v = expr.eval(row)?;
+                let lo = low.eval(row)?;
+                let hi = high.eval(row)?;
+                let ge_low = match v.sql_cmp(&lo) {
+                    Some(o) => Some(o != Ordering::Less),
+                    None => None,
+                };
+                let le_high = match v.sql_cmp(&hi) {
+                    Some(o) => Some(o != Ordering::Greater),
+                    None => None,
+                };
+                match (ge_low, le_high) {
+                    (Some(a), Some(b)) => Ok(Value::Bool((a && b) != *negated)),
+                    (Some(false), _) | (_, Some(false)) => Ok(Value::Bool(*negated)),
+                    _ => Ok(Value::Null),
+                }
+            }
+            Expr::Not(e) => match e.eval(row)? {
+                Value::Null => Ok(Value::Null),
+                v => match v.as_bool() {
+                    Some(b) => Ok(Value::Bool(!b)),
+                    None => Err(EvalError::TypeMismatch(format!("NOT requires bool, got {v}"))),
+                },
+            },
+        }
+    }
+
+    /// Evaluate the expression as a predicate: NULL and false both reject the row,
+    /// exactly as a SQL WHERE clause does.
+    pub fn eval_predicate(&self, row: &Row) -> Result<bool, EvalError> {
+        Ok(match self.eval(row)? {
+            Value::Bool(b) => b,
+            Value::Null => false,
+            other => other.as_bool().ok_or_else(|| {
+                EvalError::TypeMismatch(format!("predicate evaluated to non-boolean {other}"))
+            })?,
+        })
+    }
+}
+
+fn eval_binary(op: BinaryOp, left: &Expr, right: &Expr, row: &Row) -> Result<Value, EvalError> {
+    // Logical connectives need SQL three-valued logic with short-circuiting.
+    if op == BinaryOp::And {
+        let l = left.eval(row)?;
+        match l.as_bool() {
+            Some(false) => return Ok(Value::Bool(false)),
+            _ => {
+                let r = right.eval(row)?;
+                return Ok(match (l.is_null(), r.as_bool(), r.is_null()) {
+                    (_, Some(false), _) => Value::Bool(false),
+                    (true, _, _) | (_, _, true) => Value::Null,
+                    _ => Value::Bool(true),
+                });
+            }
+        }
+    }
+    if op == BinaryOp::Or {
+        let l = left.eval(row)?;
+        match l.as_bool() {
+            Some(true) => return Ok(Value::Bool(true)),
+            _ => {
+                let r = right.eval(row)?;
+                return Ok(match (l.is_null(), r.as_bool(), r.is_null()) {
+                    (_, Some(true), _) => Value::Bool(true),
+                    (true, _, _) | (_, _, true) => Value::Null,
+                    _ => Value::Bool(false),
+                });
+            }
+        }
+    }
+
+    let l = left.eval(row)?;
+    let r = right.eval(row)?;
+
+    if op.is_comparison() {
+        return Ok(match l.sql_cmp(&r) {
+            None => Value::Null,
+            Some(ord) => Value::Bool(match op {
+                BinaryOp::Eq => ord == Ordering::Equal,
+                BinaryOp::NotEq => ord != Ordering::Equal,
+                BinaryOp::Lt => ord == Ordering::Less,
+                BinaryOp::LtEq => ord != Ordering::Greater,
+                BinaryOp::Gt => ord == Ordering::Greater,
+                BinaryOp::GtEq => ord != Ordering::Less,
+                _ => unreachable!("non-comparison operator"),
+            }),
+        });
+    }
+
+    // Arithmetic.
+    if l.is_null() || r.is_null() {
+        return Ok(Value::Null);
+    }
+    match (l.as_int(), r.as_int(), op) {
+        (Some(a), Some(b), BinaryOp::Add) => return Ok(Value::Int(a.wrapping_add(b))),
+        (Some(a), Some(b), BinaryOp::Sub) => return Ok(Value::Int(a.wrapping_sub(b))),
+        (Some(a), Some(b), BinaryOp::Mul) => return Ok(Value::Int(a.wrapping_mul(b))),
+        (Some(a), Some(b), BinaryOp::Div) => {
+            if b == 0 {
+                return Err(EvalError::DivisionByZero);
+            }
+            return Ok(Value::Int(a / b));
+        }
+        _ => {}
+    }
+    let (a, b) = match (l.as_float(), r.as_float()) {
+        (Some(a), Some(b)) => (a, b),
+        _ => {
+            return Err(EvalError::TypeMismatch(format!(
+                "cannot apply {op} to {l} and {r}"
+            )))
+        }
+    };
+    Ok(match op {
+        BinaryOp::Add => Value::Float(a + b),
+        BinaryOp::Sub => Value::Float(a - b),
+        BinaryOp::Mul => Value::Float(a * b),
+        BinaryOp::Div => {
+            if b == 0.0 {
+                return Err(EvalError::DivisionByZero);
+            }
+            Value::Float(a / b)
+        }
+        _ => unreachable!("handled above"),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::ColumnRef;
+    use reopt_storage::{Column, DataType, Schema};
+
+    fn schema() -> Schema {
+        Schema::new(vec![
+            Column::new("id", DataType::Int),
+            Column::new("name", DataType::Text),
+            Column::new("year", DataType::Int),
+        ])
+        .qualified("t")
+    }
+
+    fn row(id: i64, name: &str, year: Option<i64>) -> Row {
+        Row::from_values(vec![Value::Int(id), Value::from(name), Value::from(year)])
+    }
+
+    fn bind(e: Expr) -> Expr {
+        e.bind(&schema()).unwrap()
+    }
+
+    #[test]
+    fn comparison_operators() {
+        let r = row(5, "x", Some(2000));
+        for (op, expected) in [
+            (BinaryOp::Eq, false),
+            (BinaryOp::NotEq, true),
+            (BinaryOp::Lt, true),
+            (BinaryOp::LtEq, true),
+            (BinaryOp::Gt, false),
+            (BinaryOp::GtEq, false),
+        ] {
+            let e = bind(Expr::binary(op, Expr::col("t", "id"), Expr::lit(10)));
+            assert_eq!(e.eval(&r).unwrap(), Value::Bool(expected), "op {op:?}");
+        }
+    }
+
+    #[test]
+    fn null_propagates_through_comparisons() {
+        let r = row(5, "x", None);
+        let e = bind(Expr::binary(
+            BinaryOp::Gt,
+            Expr::col("t", "year"),
+            Expr::lit(2000),
+        ));
+        assert_eq!(e.eval(&r).unwrap(), Value::Null);
+        assert!(!e.eval_predicate(&r).unwrap());
+    }
+
+    #[test]
+    fn three_valued_and_or() {
+        let r = row(5, "x", None);
+        // (year > 2000) AND (id = 5): NULL AND TRUE = NULL
+        let e = bind(Expr::and(
+            Expr::binary(BinaryOp::Gt, Expr::col("t", "year"), Expr::lit(2000)),
+            Expr::eq(Expr::col("t", "id"), Expr::lit(5)),
+        ));
+        assert_eq!(e.eval(&r).unwrap(), Value::Null);
+        // (year > 2000) AND (id = 6): NULL AND FALSE = FALSE
+        let e = bind(Expr::and(
+            Expr::binary(BinaryOp::Gt, Expr::col("t", "year"), Expr::lit(2000)),
+            Expr::eq(Expr::col("t", "id"), Expr::lit(6)),
+        ));
+        assert_eq!(e.eval(&r).unwrap(), Value::Bool(false));
+        // (year > 2000) OR (id = 5): NULL OR TRUE = TRUE
+        let e = bind(Expr::or(
+            Expr::binary(BinaryOp::Gt, Expr::col("t", "year"), Expr::lit(2000)),
+            Expr::eq(Expr::col("t", "id"), Expr::lit(5)),
+        ));
+        assert_eq!(e.eval(&r).unwrap(), Value::Bool(true));
+        // (year > 2000) OR (id = 6): NULL OR FALSE = NULL
+        let e = bind(Expr::or(
+            Expr::binary(BinaryOp::Gt, Expr::col("t", "year"), Expr::lit(2000)),
+            Expr::eq(Expr::col("t", "id"), Expr::lit(6)),
+        ));
+        assert_eq!(e.eval(&r).unwrap(), Value::Null);
+    }
+
+    #[test]
+    fn like_and_in_list() {
+        let r = row(1, "Robert Downey Jr.", Some(2008));
+        let e = bind(Expr::Like {
+            expr: Box::new(Expr::col("t", "name")),
+            pattern: "%Downey%".into(),
+            negated: false,
+        });
+        assert_eq!(e.eval(&r).unwrap(), Value::Bool(true));
+        let e = bind(Expr::InList {
+            expr: Box::new(Expr::col("t", "name")),
+            list: vec![Value::from("Tim"), Value::from("Robert Downey Jr.")],
+            negated: false,
+        });
+        assert_eq!(e.eval(&r).unwrap(), Value::Bool(true));
+        let e = bind(Expr::InList {
+            expr: Box::new(Expr::col("t", "id")),
+            list: vec![Value::Int(7), Value::Null],
+            negated: false,
+        });
+        // 1 IN (7, NULL) is NULL, not FALSE.
+        assert_eq!(e.eval(&r).unwrap(), Value::Null);
+    }
+
+    #[test]
+    fn between_and_is_null() {
+        let r = row(1, "x", Some(2005));
+        let e = bind(Expr::Between {
+            expr: Box::new(Expr::col("t", "year")),
+            low: Box::new(Expr::lit(2000)),
+            high: Box::new(Expr::lit(2010)),
+            negated: false,
+        });
+        assert_eq!(e.eval(&r).unwrap(), Value::Bool(true));
+        let r2 = row(1, "x", None);
+        assert_eq!(e.eval(&r2).unwrap(), Value::Null);
+        let e = bind(Expr::IsNull {
+            expr: Box::new(Expr::col("t", "year")),
+            negated: false,
+        });
+        assert_eq!(e.eval(&r2).unwrap(), Value::Bool(true));
+        assert_eq!(e.eval(&r).unwrap(), Value::Bool(false));
+    }
+
+    #[test]
+    fn arithmetic() {
+        let r = row(6, "x", Some(2000));
+        let e = bind(Expr::binary(
+            BinaryOp::Add,
+            Expr::col("t", "id"),
+            Expr::lit(4),
+        ));
+        assert_eq!(e.eval(&r).unwrap(), Value::Int(10));
+        let e = bind(Expr::binary(
+            BinaryOp::Div,
+            Expr::col("t", "id"),
+            Expr::lit(0),
+        ));
+        assert_eq!(e.eval(&r).unwrap_err(), EvalError::DivisionByZero);
+        let e = bind(Expr::binary(
+            BinaryOp::Mul,
+            Expr::lit(2.5),
+            Expr::col("t", "id"),
+        ));
+        assert_eq!(e.eval(&r).unwrap(), Value::Float(15.0));
+    }
+
+    #[test]
+    fn unbound_column_is_an_error() {
+        let e = Expr::Column(ColumnRef::qualified("t", "id"));
+        assert!(matches!(
+            e.eval(&row(1, "x", None)),
+            Err(EvalError::UnboundColumn(_))
+        ));
+    }
+
+    #[test]
+    fn not_operator() {
+        let r = row(1, "x", Some(2000));
+        let e = bind(Expr::Not(Box::new(Expr::eq(
+            Expr::col("t", "id"),
+            Expr::lit(1),
+        ))));
+        assert_eq!(e.eval(&r).unwrap(), Value::Bool(false));
+        let e = bind(Expr::Not(Box::new(Expr::eq(
+            Expr::col("t", "year"),
+            Expr::lit(1),
+        ))));
+        let r2 = row(1, "x", None);
+        assert_eq!(e.eval(&r2).unwrap(), Value::Null);
+    }
+
+    #[test]
+    fn type_mismatch_reported() {
+        let r = row(1, "x", Some(2000));
+        let e = bind(Expr::binary(
+            BinaryOp::Add,
+            Expr::col("t", "name"),
+            Expr::lit(1),
+        ));
+        assert!(matches!(e.eval(&r), Err(EvalError::TypeMismatch(_))));
+    }
+}

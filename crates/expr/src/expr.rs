@@ -1,0 +1,524 @@
+//! The expression tree.
+
+use reopt_storage::{Schema, StorageError, Value};
+use std::fmt;
+
+/// An unresolved reference to a column, optionally qualified by a table alias
+/// (`ci.movie_id` or just `movie_id`).
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ColumnRef {
+    /// Table alias qualifier, lowercase.
+    pub qualifier: Option<String>,
+    /// Column name, lowercase.
+    pub name: String,
+}
+
+impl ColumnRef {
+    /// A qualified reference `alias.column`.
+    pub fn qualified(qualifier: impl Into<String>, name: impl Into<String>) -> Self {
+        Self {
+            qualifier: Some(qualifier.into().to_ascii_lowercase()),
+            name: name.into().to_ascii_lowercase(),
+        }
+    }
+
+    /// An unqualified reference `column`.
+    pub fn bare(name: impl Into<String>) -> Self {
+        Self {
+            qualifier: None,
+            name: name.into().to_ascii_lowercase(),
+        }
+    }
+}
+
+impl fmt::Display for ColumnRef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.qualifier {
+            Some(q) => write!(f, "{q}.{}", self.name),
+            None => f.write_str(&self.name),
+        }
+    }
+}
+
+/// Binary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BinaryOp {
+    /// `=`
+    Eq,
+    /// `<>` / `!=`
+    NotEq,
+    /// `<`
+    Lt,
+    /// `<=`
+    LtEq,
+    /// `>`
+    Gt,
+    /// `>=`
+    GtEq,
+    /// `AND`
+    And,
+    /// `OR`
+    Or,
+    /// `+`
+    Add,
+    /// `-`
+    Sub,
+    /// `*`
+    Mul,
+    /// `/`
+    Div,
+}
+
+impl BinaryOp {
+    /// Whether this is a comparison operator producing a boolean.
+    pub fn is_comparison(self) -> bool {
+        matches!(
+            self,
+            BinaryOp::Eq
+                | BinaryOp::NotEq
+                | BinaryOp::Lt
+                | BinaryOp::LtEq
+                | BinaryOp::Gt
+                | BinaryOp::GtEq
+        )
+    }
+
+    /// Whether this is a logical connective.
+    pub fn is_logical(self) -> bool {
+        matches!(self, BinaryOp::And | BinaryOp::Or)
+    }
+
+    /// SQL spelling of the operator.
+    pub fn sql(self) -> &'static str {
+        match self {
+            BinaryOp::Eq => "=",
+            BinaryOp::NotEq => "<>",
+            BinaryOp::Lt => "<",
+            BinaryOp::LtEq => "<=",
+            BinaryOp::Gt => ">",
+            BinaryOp::GtEq => ">=",
+            BinaryOp::And => "AND",
+            BinaryOp::Or => "OR",
+            BinaryOp::Add => "+",
+            BinaryOp::Sub => "-",
+            BinaryOp::Mul => "*",
+            BinaryOp::Div => "/",
+        }
+    }
+
+    /// The comparison obtained by swapping the operands (`a < b` ⇔ `b > a`).
+    pub fn swap_operands(self) -> BinaryOp {
+        match self {
+            BinaryOp::Lt => BinaryOp::Gt,
+            BinaryOp::LtEq => BinaryOp::GtEq,
+            BinaryOp::Gt => BinaryOp::Lt,
+            BinaryOp::GtEq => BinaryOp::LtEq,
+            other => other,
+        }
+    }
+}
+
+impl fmt::Display for BinaryOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.sql())
+    }
+}
+
+/// A scalar expression tree.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    /// Unresolved column reference.
+    Column(ColumnRef),
+    /// Column resolved to an ordinal position in the input row. The original reference
+    /// is kept for display purposes.
+    BoundColumn {
+        /// Ordinal position in the input row.
+        index: usize,
+        /// Original reference (for EXPLAIN and SQL rendering).
+        reference: ColumnRef,
+    },
+    /// A literal value.
+    Literal(Value),
+    /// A binary operation.
+    Binary {
+        /// The operator.
+        op: BinaryOp,
+        /// Left operand.
+        left: Box<Expr>,
+        /// Right operand.
+        right: Box<Expr>,
+    },
+    /// `expr [NOT] LIKE 'pattern'`.
+    Like {
+        /// The string-valued operand.
+        expr: Box<Expr>,
+        /// The LIKE pattern (with `%` and `_` wildcards).
+        pattern: String,
+        /// Whether the predicate is negated.
+        negated: bool,
+    },
+    /// `expr [NOT] IN (v1, v2, ...)`.
+    InList {
+        /// The probed operand.
+        expr: Box<Expr>,
+        /// Literal list.
+        list: Vec<Value>,
+        /// Whether the predicate is negated.
+        negated: bool,
+    },
+    /// `expr IS [NOT] NULL`.
+    IsNull {
+        /// The tested operand.
+        expr: Box<Expr>,
+        /// Whether the predicate is negated (IS NOT NULL).
+        negated: bool,
+    },
+    /// `expr BETWEEN low AND high`.
+    Between {
+        /// The tested operand.
+        expr: Box<Expr>,
+        /// Lower bound (inclusive).
+        low: Box<Expr>,
+        /// Upper bound (inclusive).
+        high: Box<Expr>,
+        /// Whether the predicate is negated.
+        negated: bool,
+    },
+    /// `NOT expr`.
+    Not(Box<Expr>),
+}
+
+impl Expr {
+    /// Convenience constructor: `left op right`.
+    pub fn binary(op: BinaryOp, left: Expr, right: Expr) -> Expr {
+        Expr::Binary {
+            op,
+            left: Box::new(left),
+            right: Box::new(right),
+        }
+    }
+
+    /// Convenience constructor: column reference `alias.name`.
+    pub fn col(qualifier: &str, name: &str) -> Expr {
+        Expr::Column(ColumnRef::qualified(qualifier, name))
+    }
+
+    /// Convenience constructor: a literal.
+    pub fn lit(value: impl Into<Value>) -> Expr {
+        Expr::Literal(value.into())
+    }
+
+    /// Convenience constructor: `left = right`.
+    pub fn eq(left: Expr, right: Expr) -> Expr {
+        Expr::binary(BinaryOp::Eq, left, right)
+    }
+
+    /// Convenience constructor: `left AND right`.
+    pub fn and(left: Expr, right: Expr) -> Expr {
+        Expr::binary(BinaryOp::And, left, right)
+    }
+
+    /// Convenience constructor: `left OR right`.
+    pub fn or(left: Expr, right: Expr) -> Expr {
+        Expr::binary(BinaryOp::Or, left, right)
+    }
+
+    /// Resolve all column references against `schema`, returning an expression that can
+    /// be evaluated against rows with that schema.
+    pub fn bind(&self, schema: &Schema) -> Result<Expr, StorageError> {
+        Ok(match self {
+            Expr::Column(r) => Expr::BoundColumn {
+                index: schema.index_of(r.qualifier.as_deref(), &r.name)?,
+                reference: r.clone(),
+            },
+            Expr::BoundColumn { index, reference } => Expr::BoundColumn {
+                index: *index,
+                reference: reference.clone(),
+            },
+            Expr::Literal(v) => Expr::Literal(v.clone()),
+            Expr::Binary { op, left, right } => Expr::Binary {
+                op: *op,
+                left: Box::new(left.bind(schema)?),
+                right: Box::new(right.bind(schema)?),
+            },
+            Expr::Like {
+                expr,
+                pattern,
+                negated,
+            } => Expr::Like {
+                expr: Box::new(expr.bind(schema)?),
+                pattern: pattern.clone(),
+                negated: *negated,
+            },
+            Expr::InList {
+                expr,
+                list,
+                negated,
+            } => Expr::InList {
+                expr: Box::new(expr.bind(schema)?),
+                list: list.clone(),
+                negated: *negated,
+            },
+            Expr::IsNull { expr, negated } => Expr::IsNull {
+                expr: Box::new(expr.bind(schema)?),
+                negated: *negated,
+            },
+            Expr::Between {
+                expr,
+                low,
+                high,
+                negated,
+            } => Expr::Between {
+                expr: Box::new(expr.bind(schema)?),
+                low: Box::new(low.bind(schema)?),
+                high: Box::new(high.bind(schema)?),
+                negated: *negated,
+            },
+            Expr::Not(e) => Expr::Not(Box::new(e.bind(schema)?)),
+        })
+    }
+
+    /// If this expression is a plain (possibly bound) column reference, return it.
+    pub fn as_column_ref(&self) -> Option<&ColumnRef> {
+        match self {
+            Expr::Column(r) => Some(r),
+            Expr::BoundColumn { reference, .. } => Some(reference),
+            _ => None,
+        }
+    }
+
+    /// If this expression is a literal, return its value.
+    pub fn as_literal(&self) -> Option<&Value> {
+        match self {
+            Expr::Literal(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// Whether the expression contains no column references (is a constant).
+    pub fn is_constant(&self) -> bool {
+        let mut refs = Vec::new();
+        crate::util::collect_column_refs(self, &mut refs);
+        refs.is_empty()
+    }
+
+    /// Render the expression as SQL text. Used by the re-optimization controller when it
+    /// rewrites queries around temporary tables (Fig. 6 of the paper), and by EXPLAIN.
+    pub fn to_sql(&self) -> String {
+        match self {
+            Expr::Column(r) => r.to_string(),
+            Expr::BoundColumn { reference, .. } => reference.to_string(),
+            Expr::Literal(v) => v.to_sql_literal(),
+            Expr::Binary { op, left, right } => {
+                if op.is_logical() {
+                    format!("({} {} {})", left.to_sql(), op.sql(), right.to_sql())
+                } else {
+                    format!("{} {} {}", left.to_sql(), op.sql(), right.to_sql())
+                }
+            }
+            Expr::Like {
+                expr,
+                pattern,
+                negated,
+            } => format!(
+                "{} {}LIKE '{}'",
+                expr.to_sql(),
+                if *negated { "NOT " } else { "" },
+                pattern.replace('\'', "''")
+            ),
+            Expr::InList {
+                expr,
+                list,
+                negated,
+            } => {
+                let items: Vec<String> = list.iter().map(Value::to_sql_literal).collect();
+                format!(
+                    "{} {}IN ({})",
+                    expr.to_sql(),
+                    if *negated { "NOT " } else { "" },
+                    items.join(", ")
+                )
+            }
+            Expr::IsNull { expr, negated } => format!(
+                "{} IS {}NULL",
+                expr.to_sql(),
+                if *negated { "NOT " } else { "" }
+            ),
+            Expr::Between {
+                expr,
+                low,
+                high,
+                negated,
+            } => format!(
+                "{} {}BETWEEN {} AND {}",
+                expr.to_sql(),
+                if *negated { "NOT " } else { "" },
+                low.to_sql(),
+                high.to_sql()
+            ),
+            Expr::Not(e) => format!("NOT ({})", e.to_sql()),
+        }
+    }
+
+    /// Rewrite every column reference with `f`. Used when the re-optimization controller
+    /// redirects references to a materialized temporary table.
+    pub fn map_column_refs(&self, f: &impl Fn(&ColumnRef) -> ColumnRef) -> Expr {
+        match self {
+            Expr::Column(r) => Expr::Column(f(r)),
+            Expr::BoundColumn { reference, .. } => Expr::Column(f(reference)),
+            Expr::Literal(v) => Expr::Literal(v.clone()),
+            Expr::Binary { op, left, right } => Expr::Binary {
+                op: *op,
+                left: Box::new(left.map_column_refs(f)),
+                right: Box::new(right.map_column_refs(f)),
+            },
+            Expr::Like {
+                expr,
+                pattern,
+                negated,
+            } => Expr::Like {
+                expr: Box::new(expr.map_column_refs(f)),
+                pattern: pattern.clone(),
+                negated: *negated,
+            },
+            Expr::InList {
+                expr,
+                list,
+                negated,
+            } => Expr::InList {
+                expr: Box::new(expr.map_column_refs(f)),
+                list: list.clone(),
+                negated: *negated,
+            },
+            Expr::IsNull { expr, negated } => Expr::IsNull {
+                expr: Box::new(expr.map_column_refs(f)),
+                negated: *negated,
+            },
+            Expr::Between {
+                expr,
+                low,
+                high,
+                negated,
+            } => Expr::Between {
+                expr: Box::new(expr.map_column_refs(f)),
+                low: Box::new(low.map_column_refs(f)),
+                high: Box::new(high.map_column_refs(f)),
+                negated: *negated,
+            },
+            Expr::Not(e) => Expr::Not(Box::new(e.map_column_refs(f))),
+        }
+    }
+}
+
+impl fmt::Display for Expr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.to_sql())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use reopt_storage::{Column, DataType};
+
+    fn schema() -> Schema {
+        Schema::new(vec![
+            Column::new("id", DataType::Int),
+            Column::new("name", DataType::Text),
+        ])
+        .qualified("n")
+    }
+
+    #[test]
+    fn bind_resolves_columns() {
+        let e = Expr::eq(Expr::col("n", "name"), Expr::lit("Tim"));
+        let bound = e.bind(&schema()).unwrap();
+        match bound {
+            Expr::Binary { left, .. } => match *left {
+                Expr::BoundColumn { index, .. } => assert_eq!(index, 1),
+                other => panic!("expected bound column, got {other:?}"),
+            },
+            other => panic!("expected binary, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn bind_unknown_column_errors() {
+        let e = Expr::col("n", "missing");
+        assert!(e.bind(&schema()).is_err());
+    }
+
+    #[test]
+    fn sql_rendering_roundtrips_shape() {
+        let e = Expr::and(
+            Expr::eq(Expr::col("n", "id"), Expr::lit(5)),
+            Expr::Like {
+                expr: Box::new(Expr::col("n", "name")),
+                pattern: "%Downey%".into(),
+                negated: false,
+            },
+        );
+        assert_eq!(e.to_sql(), "(n.id = 5 AND n.name LIKE '%Downey%')");
+    }
+
+    #[test]
+    fn sql_rendering_of_in_between_null() {
+        let e = Expr::InList {
+            expr: Box::new(Expr::col("k", "keyword")),
+            list: vec![Value::from("superhero"), Value::from("sequel")],
+            negated: false,
+        };
+        assert_eq!(e.to_sql(), "k.keyword IN ('superhero', 'sequel')");
+        let e = Expr::Between {
+            expr: Box::new(Expr::col("t", "production_year")),
+            low: Box::new(Expr::lit(2000)),
+            high: Box::new(Expr::lit(2010)),
+            negated: false,
+        };
+        assert_eq!(e.to_sql(), "t.production_year BETWEEN 2000 AND 2010");
+        let e = Expr::IsNull {
+            expr: Box::new(Expr::col("t", "title")),
+            negated: true,
+        };
+        assert_eq!(e.to_sql(), "t.title IS NOT NULL");
+    }
+
+    #[test]
+    fn map_column_refs_rewrites_qualifiers() {
+        let e = Expr::eq(Expr::col("mk", "movie_id"), Expr::col("t", "id"));
+        let rewritten = e.map_column_refs(&|r| {
+            if r.qualifier.as_deref() == Some("mk") {
+                ColumnRef::qualified("temp1", format!("mk_{}", r.name))
+            } else {
+                r.clone()
+            }
+        });
+        assert_eq!(rewritten.to_sql(), "temp1.mk_movie_id = t.id");
+    }
+
+    #[test]
+    fn operator_helpers() {
+        assert!(BinaryOp::Eq.is_comparison());
+        assert!(!BinaryOp::And.is_comparison());
+        assert!(BinaryOp::Or.is_logical());
+        assert_eq!(BinaryOp::Lt.swap_operands(), BinaryOp::Gt);
+        assert_eq!(BinaryOp::GtEq.swap_operands(), BinaryOp::LtEq);
+        assert_eq!(BinaryOp::Eq.swap_operands(), BinaryOp::Eq);
+    }
+
+    #[test]
+    fn constant_detection() {
+        assert!(Expr::lit(1).is_constant());
+        assert!(Expr::binary(BinaryOp::Add, Expr::lit(1), Expr::lit(2)).is_constant());
+        assert!(!Expr::col("t", "id").is_constant());
+    }
+
+    #[test]
+    fn accessors() {
+        let c = Expr::col("t", "id");
+        assert_eq!(c.as_column_ref().unwrap().name, "id");
+        assert!(c.as_literal().is_none());
+        let l = Expr::lit(3);
+        assert_eq!(l.as_literal(), Some(&Value::Int(3)));
+    }
+}

@@ -1,0 +1,26 @@
+//! # reopt-expr
+//!
+//! Scalar expressions and predicate evaluation.
+//!
+//! The Join Order Benchmark only uses select-project-join queries whose WHERE clauses are
+//! conjunctions of equi-join predicates and single-table filters (`=`, `<>`, range
+//! comparisons, `IN` lists, `LIKE`, `IS [NOT] NULL`, plus `AND`/`OR`/`NOT`), so the
+//! expression language here covers exactly that subset plus basic arithmetic.
+//!
+//! Expressions are built with *unresolved* column references ([`ColumnRef`]), then
+//! [`Expr::bind`] resolves every reference against a [`Schema`](reopt_storage::Schema)
+//! producing an expression that evaluates by ordinal position — the form the executor
+//! uses in its inner loops.
+
+pub mod eval;
+pub mod expr;
+pub mod like;
+pub mod util;
+
+pub use eval::EvalError;
+pub use expr::{BinaryOp, ColumnRef, Expr};
+pub use like::like_match;
+pub use util::{
+    as_column_constant_comparison, as_equi_join, collect_column_refs, conjoin,
+    referenced_qualifiers, split_conjunction,
+};

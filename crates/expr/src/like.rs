@@ -1,0 +1,106 @@
+//! SQL `LIKE` pattern matching.
+//!
+//! Supports `%` (any sequence, including empty) and `_` (exactly one character). The
+//! matcher is iterative with backtracking only over the last `%` seen, which is linear in
+//! practice for the patterns JOB uses (`'%Downey%Robert%'`, `'X%'`, ...).
+
+/// Return whether `text` matches the SQL LIKE `pattern`.
+///
+/// Matching is case-sensitive, as in PostgreSQL's `LIKE` (ILIKE is not needed by JOB).
+pub fn like_match(text: &str, pattern: &str) -> bool {
+    let t: Vec<char> = text.chars().collect();
+    let p: Vec<char> = pattern.chars().collect();
+
+    let (mut ti, mut pi) = (0usize, 0usize);
+    // Position of the last '%' in the pattern and the text position we restarted from.
+    let mut star: Option<usize> = None;
+    let mut star_text = 0usize;
+
+    while ti < t.len() {
+        if pi < p.len() && (p[pi] == '_' || p[pi] == t[ti]) {
+            ti += 1;
+            pi += 1;
+        } else if pi < p.len() && p[pi] == '%' {
+            star = Some(pi);
+            star_text = ti;
+            pi += 1;
+        } else if let Some(star_pi) = star {
+            // Backtrack: let the last '%' absorb one more character.
+            pi = star_pi + 1;
+            star_text += 1;
+            ti = star_text;
+        } else {
+            return false;
+        }
+    }
+    // Any remaining pattern characters must all be '%'.
+    while pi < p.len() && p[pi] == '%' {
+        pi += 1;
+    }
+    pi == p.len()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_match_without_wildcards() {
+        assert!(like_match("abc", "abc"));
+        assert!(!like_match("abc", "abd"));
+        assert!(!like_match("abc", "ab"));
+        assert!(!like_match("ab", "abc"));
+    }
+
+    #[test]
+    fn percent_matches_any_run() {
+        assert!(like_match("Robert Downey Jr.", "%Downey%"));
+        assert!(like_match("Downey", "%Downey%"));
+        assert!(like_match("Downey, Robert", "%Downey%Robert%"));
+        assert!(!like_match("Robert", "%Downey%Robert%"));
+        assert!(like_match("anything", "%"));
+        assert!(like_match("", "%"));
+    }
+
+    #[test]
+    fn prefix_and_suffix_patterns() {
+        assert!(like_match("Xavier", "X%"));
+        assert!(!like_match("Oxford", "X%"));
+        assert!(like_match("marvel-comics", "%comics"));
+        assert!(!like_match("comics-marvel", "%comics"));
+    }
+
+    #[test]
+    fn underscore_matches_exactly_one() {
+        assert!(like_match("cat", "c_t"));
+        assert!(!like_match("ct", "c_t"));
+        assert!(!like_match("cart", "c_t"));
+        assert!(like_match("cart", "c__t"));
+    }
+
+    #[test]
+    fn mixed_wildcards() {
+        assert!(like_match("The Avengers (2012)", "The %(____)"));
+        assert!(like_match("abcde", "a%_e"));
+        assert!(!like_match("ae", "a%_e"));
+    }
+
+    #[test]
+    fn empty_cases() {
+        assert!(like_match("", ""));
+        assert!(!like_match("a", ""));
+        assert!(!like_match("", "a"));
+        assert!(like_match("", "%%"));
+    }
+
+    #[test]
+    fn case_sensitive() {
+        assert!(!like_match("downey", "%Downey%"));
+    }
+
+    #[test]
+    fn unicode_text() {
+        assert!(like_match("Amélie", "Am_lie"));
+        assert!(like_match("Amélie", "%élie"));
+    }
+}

@@ -1,0 +1,188 @@
+//! Utilities for analyzing and reshaping predicates.
+//!
+//! The planner works on *conjunctions*: a WHERE clause is split into its top-level
+//! AND-ed conjuncts, each conjunct is classified (single-table filter vs. equi-join
+//! predicate) and attached to the relations it touches.
+
+use crate::expr::{BinaryOp, ColumnRef, Expr};
+
+/// Split an expression into its top-level AND-ed conjuncts.
+///
+/// `a AND (b AND c)` becomes `[a, b, c]`; anything that is not an AND is returned as a
+/// single conjunct.
+pub fn split_conjunction(expr: &Expr) -> Vec<Expr> {
+    let mut out = Vec::new();
+    split_into(expr, &mut out);
+    out
+}
+
+fn split_into(expr: &Expr, out: &mut Vec<Expr>) {
+    match expr {
+        Expr::Binary {
+            op: BinaryOp::And,
+            left,
+            right,
+        } => {
+            split_into(left, out);
+            split_into(right, out);
+        }
+        other => out.push(other.clone()),
+    }
+}
+
+/// Combine conjuncts back into a single expression with ANDs.
+/// Returns `None` for an empty input.
+pub fn conjoin(conjuncts: &[Expr]) -> Option<Expr> {
+    let mut iter = conjuncts.iter().cloned();
+    let first = iter.next()?;
+    Some(iter.fold(first, |acc, e| Expr::and(acc, e)))
+}
+
+/// Collect every column reference appearing in the expression (bound or unbound),
+/// in depth-first order, into `out`.
+pub fn collect_column_refs(expr: &Expr, out: &mut Vec<ColumnRef>) {
+    match expr {
+        Expr::Column(r) => out.push(r.clone()),
+        Expr::BoundColumn { reference, .. } => out.push(reference.clone()),
+        Expr::Literal(_) => {}
+        Expr::Binary { left, right, .. } => {
+            collect_column_refs(left, out);
+            collect_column_refs(right, out);
+        }
+        Expr::Like { expr, .. } | Expr::InList { expr, .. } | Expr::IsNull { expr, .. } => {
+            collect_column_refs(expr, out)
+        }
+        Expr::Between {
+            expr, low, high, ..
+        } => {
+            collect_column_refs(expr, out);
+            collect_column_refs(low, out);
+            collect_column_refs(high, out);
+        }
+        Expr::Not(e) => collect_column_refs(e, out),
+    }
+}
+
+/// The distinct qualifiers (table aliases) referenced by an expression.
+pub fn referenced_qualifiers(expr: &Expr) -> Vec<String> {
+    let mut refs = Vec::new();
+    collect_column_refs(expr, &mut refs);
+    let mut quals: Vec<String> = refs.into_iter().filter_map(|r| r.qualifier).collect();
+    quals.sort();
+    quals.dedup();
+    quals
+}
+
+/// If the expression is an equi-join predicate between two *different* relations
+/// (`a.x = b.y`), return the two column references `(left, right)`.
+pub fn as_equi_join(expr: &Expr) -> Option<(ColumnRef, ColumnRef)> {
+    if let Expr::Binary {
+        op: BinaryOp::Eq,
+        left,
+        right,
+    } = expr
+    {
+        let l = left.as_column_ref()?;
+        let r = right.as_column_ref()?;
+        if l.qualifier.is_some() && r.qualifier.is_some() && l.qualifier != r.qualifier {
+            return Some((l.clone(), r.clone()));
+        }
+    }
+    None
+}
+
+/// If the expression compares a single column to a constant (`col op const` or
+/// `const op col`), return `(column, operator-as-if-column-were-on-the-left, constant)`.
+pub fn as_column_constant_comparison(
+    expr: &Expr,
+) -> Option<(ColumnRef, BinaryOp, reopt_storage::Value)> {
+    if let Expr::Binary { op, left, right } = expr {
+        if !op.is_comparison() {
+            return None;
+        }
+        if let (Some(col), Some(val)) = (left.as_column_ref(), right.as_literal()) {
+            return Some((col.clone(), *op, val.clone()));
+        }
+        if let (Some(val), Some(col)) = (left.as_literal(), right.as_column_ref()) {
+            return Some((col.clone(), op.swap_operands(), val.clone()));
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use reopt_storage::Value;
+
+    #[test]
+    fn split_and_rejoin_conjunction() {
+        let e = Expr::and(
+            Expr::and(
+                Expr::eq(Expr::col("a", "x"), Expr::lit(1)),
+                Expr::eq(Expr::col("b", "y"), Expr::lit(2)),
+            ),
+            Expr::eq(Expr::col("c", "z"), Expr::lit(3)),
+        );
+        let parts = split_conjunction(&e);
+        assert_eq!(parts.len(), 3);
+        let rejoined = conjoin(&parts).unwrap();
+        assert_eq!(split_conjunction(&rejoined).len(), 3);
+        assert!(conjoin(&[]).is_none());
+    }
+
+    #[test]
+    fn split_leaves_or_alone() {
+        let e = Expr::or(
+            Expr::eq(Expr::col("a", "x"), Expr::lit(1)),
+            Expr::eq(Expr::col("a", "x"), Expr::lit(2)),
+        );
+        assert_eq!(split_conjunction(&e).len(), 1);
+    }
+
+    #[test]
+    fn collects_column_refs_and_qualifiers() {
+        let e = Expr::and(
+            Expr::eq(Expr::col("mk", "movie_id"), Expr::col("t", "id")),
+            Expr::Like {
+                expr: Box::new(Expr::col("n", "name")),
+                pattern: "X%".into(),
+                negated: false,
+            },
+        );
+        let mut refs = Vec::new();
+        collect_column_refs(&e, &mut refs);
+        assert_eq!(refs.len(), 3);
+        assert_eq!(referenced_qualifiers(&e), vec!["mk", "n", "t"]);
+    }
+
+    #[test]
+    fn detects_equi_join_predicates() {
+        let e = Expr::eq(Expr::col("mk", "keyword_id"), Expr::col("k", "id"));
+        let (l, r) = as_equi_join(&e).unwrap();
+        assert_eq!(l.qualifier.as_deref(), Some("mk"));
+        assert_eq!(r.name, "id");
+        // Same-relation equality is not a join predicate.
+        let e = Expr::eq(Expr::col("a", "x"), Expr::col("a", "y"));
+        assert!(as_equi_join(&e).is_none());
+        // Column = constant is not a join predicate.
+        let e = Expr::eq(Expr::col("a", "x"), Expr::lit(1));
+        assert!(as_equi_join(&e).is_none());
+    }
+
+    #[test]
+    fn detects_column_constant_comparisons() {
+        let e = Expr::binary(BinaryOp::Gt, Expr::col("t", "production_year"), Expr::lit(2000));
+        let (col, op, val) = as_column_constant_comparison(&e).unwrap();
+        assert_eq!(col.name, "production_year");
+        assert_eq!(op, BinaryOp::Gt);
+        assert_eq!(val, Value::Int(2000));
+        // Constant on the left flips the operator.
+        let e = Expr::binary(BinaryOp::Gt, Expr::lit(2000), Expr::col("t", "production_year"));
+        let (_, op, _) = as_column_constant_comparison(&e).unwrap();
+        assert_eq!(op, BinaryOp::Lt);
+        // Join predicates are not column/constant comparisons.
+        let e = Expr::eq(Expr::col("a", "x"), Expr::col("b", "y"));
+        assert!(as_column_constant_comparison(&e).is_none());
+    }
+}

@@ -1,0 +1,710 @@
+//! Cardinality estimation.
+//!
+//! This is the component whose failure modes the paper studies. It follows the
+//! System-R / PostgreSQL playbook:
+//!
+//! * **base relations** — row count from ANALYZE statistics times the product of the
+//!   selectivities of the relation's filter predicates (MCV lists, histograms, default
+//!   selectivities), assuming *independence* between predicates;
+//! * **joins** — for a relation set `S`, the product of the filtered base cardinalities
+//!   of the members times the selectivity of every join edge inside `S`, where an
+//!   equi-join edge's selectivity is `1 / max(n_distinct(a), n_distinct(b))` — the
+//!   *uniformity* assumption — again multiplying edge selectivities independently.
+//!
+//! The estimate for a set is therefore independent of the join order, which is exactly
+//! how a Selinger-style optimizer scores every plan for the same subset identically.
+//!
+//! [`CardinalityOverrides`] lets a caller pin the estimate of any relation subset to an
+//! arbitrary value. The perfect-(n) oracle of the paper is "override every subset of
+//! size ≤ n with its true cardinality"; the re-optimization controller overrides the
+//! subsets it has already materialized; the selective-improvement simulator overrides
+//! the subtree below a detected estimation error.
+//!
+//! Every distinct subset whose cardinality is requested is counted in an
+//! [`EstimationLog`]; Table I of the paper reports exactly these counts by subset size.
+
+use crate::relset::RelSet;
+use crate::spec::{JoinEdge, QuerySpec};
+use reopt_catalog::{Catalog, ColumnStatistics};
+use reopt_expr::{as_column_constant_comparison, BinaryOp, Expr};
+use reopt_storage::Value;
+use std::cell::RefCell;
+use std::collections::HashMap;
+
+/// Default selectivity of an equality predicate when no statistics help (PostgreSQL's
+/// `DEFAULT_EQ_SEL`).
+pub const DEFAULT_EQ_SEL: f64 = 0.005;
+/// Default selectivity of an inequality / range predicate (PostgreSQL's
+/// `DEFAULT_INEQ_SEL`).
+pub const DEFAULT_RANGE_SEL: f64 = 1.0 / 3.0;
+/// Default selectivity of a `LIKE` pattern that starts with a wildcard
+/// (PostgreSQL's `DEFAULT_MATCH_SEL`).
+pub const DEFAULT_MATCH_SEL: f64 = 0.005;
+/// Default selectivity of a prefix `LIKE` pattern (`'abc%'`).
+pub const DEFAULT_PREFIX_SEL: f64 = 0.02;
+/// Fallback row count for tables that were never analyzed.
+pub const DEFAULT_ROW_COUNT: f64 = 1000.0;
+
+/// Injected cardinalities, keyed by relation subset.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct CardinalityOverrides {
+    map: HashMap<RelSet, f64>,
+}
+
+impl CardinalityOverrides {
+    /// An empty override table (the default PostgreSQL-style estimator).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Pin the cardinality of `set` to `rows`.
+    pub fn set(&mut self, set: RelSet, rows: f64) {
+        self.map.insert(set, rows.max(0.0));
+    }
+
+    /// The injected cardinality for `set`, if any.
+    pub fn get(&self, set: RelSet) -> Option<f64> {
+        self.map.get(&set).copied()
+    }
+
+    /// Remove an override.
+    pub fn clear(&mut self, set: RelSet) {
+        self.map.remove(&set);
+    }
+
+    /// Number of overrides.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Whether there are no overrides.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Merge another override table into this one (later entries win).
+    pub fn merge(&mut self, other: &CardinalityOverrides) {
+        for (set, rows) in &other.map {
+            self.map.insert(*set, *rows);
+        }
+    }
+
+    /// Iterate over all overrides.
+    pub fn iter(&self) -> impl Iterator<Item = (RelSet, f64)> + '_ {
+        self.map.iter().map(|(s, r)| (*s, *r))
+    }
+}
+
+/// A count of how many distinct relation subsets of each size had their cardinality
+/// estimated while planning (Table I of the paper).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct EstimationLog {
+    counts: Vec<u64>,
+}
+
+impl EstimationLog {
+    /// Record an estimate for a subset of `size` relations.
+    pub fn record(&mut self, size: usize) {
+        if self.counts.len() <= size {
+            self.counts.resize(size + 1, 0);
+        }
+        self.counts[size] += 1;
+    }
+
+    /// Number of distinct subsets of exactly `size` relations estimated.
+    pub fn count_for_size(&self, size: usize) -> u64 {
+        self.counts.get(size).copied().unwrap_or(0)
+    }
+
+    /// Total number of distinct subsets estimated.
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// Merge another log into this one.
+    pub fn merge(&mut self, other: &EstimationLog) {
+        for (size, count) in other.counts.iter().enumerate() {
+            if *count > 0 {
+                if self.counts.len() <= size {
+                    self.counts.resize(size + 1, 0);
+                }
+                self.counts[size] += count;
+            }
+        }
+    }
+
+    /// The largest subset size with a recorded estimate.
+    pub fn max_size(&self) -> usize {
+        self.counts
+            .iter()
+            .rposition(|&c| c > 0)
+            .unwrap_or(0)
+    }
+}
+
+/// The cardinality estimator for one query.
+pub struct CardinalityEstimator<'a> {
+    spec: &'a QuerySpec,
+    catalog: &'a Catalog,
+    overrides: &'a CardinalityOverrides,
+    cache: RefCell<HashMap<RelSet, f64>>,
+    log: RefCell<EstimationLog>,
+}
+
+impl<'a> CardinalityEstimator<'a> {
+    /// Create an estimator for a bound query.
+    pub fn new(
+        spec: &'a QuerySpec,
+        catalog: &'a Catalog,
+        overrides: &'a CardinalityOverrides,
+    ) -> Self {
+        Self {
+            spec,
+            catalog,
+            overrides,
+            cache: RefCell::new(HashMap::new()),
+            log: RefCell::new(EstimationLog::default()),
+        }
+    }
+
+    /// The query this estimator serves.
+    pub fn spec(&self) -> &QuerySpec {
+        self.spec
+    }
+
+    /// A snapshot of the estimation log so far.
+    pub fn estimation_log(&self) -> EstimationLog {
+        self.log.borrow().clone()
+    }
+
+    /// Estimated cardinality (output rows) of the join of all relations in `set`, with
+    /// each relation's filter predicates applied. Overrides win over the model.
+    pub fn estimate(&self, set: RelSet) -> f64 {
+        if set.is_empty() {
+            return 0.0;
+        }
+        if let Some(rows) = self.cache.borrow().get(&set) {
+            return *rows;
+        }
+        self.log.borrow_mut().record(set.len());
+        let rows = if let Some(injected) = self.overrides.get(set) {
+            injected.max(1.0)
+        } else {
+            self.model_estimate(set)
+        };
+        self.cache.borrow_mut().insert(set, rows);
+        rows
+    }
+
+    /// The unfiltered row count of a base relation.
+    pub fn raw_table_rows(&self, rel: usize) -> f64 {
+        let relation = &self.spec.relations[rel];
+        self.catalog
+            .table_statistics(&relation.table)
+            .map(|s| s.row_count as f64)
+            .unwrap_or(DEFAULT_ROW_COUNT)
+            .max(1.0)
+    }
+
+    /// The selectivity of all filter predicates attached to a base relation
+    /// (independence assumed).
+    pub fn local_selectivity(&self, rel: usize) -> f64 {
+        self.spec.local_predicates[rel]
+            .iter()
+            .map(|p| self.predicate_selectivity(rel, p))
+            .product::<f64>()
+            .clamp(0.0, 1.0)
+    }
+
+    /// The model estimate for a subset (no overrides): product of filtered base
+    /// cardinalities times the selectivity of every join edge inside the set.
+    fn model_estimate(&self, set: RelSet) -> f64 {
+        if set.len() == 1 {
+            let rel = set.min_index().expect("non-empty");
+            let rows = self.raw_table_rows(rel) * self.local_selectivity(rel);
+            return rows.max(1.0);
+        }
+        let mut rows: f64 = 1.0;
+        for rel in set.iter() {
+            // Reuse (and cache / log) the single-relation estimate so that injected
+            // base-table cardinalities (perfect-(1)) flow into join estimates.
+            rows *= self.estimate(RelSet::single(rel));
+        }
+        for edge in self.spec.edges_within(set) {
+            rows *= self.join_edge_selectivity(edge);
+        }
+        for (pred_set, predicate) in &self.spec.complex_predicates {
+            if pred_set.is_subset_of(set) {
+                // A residual predicate touching several relations: charge a default
+                // selectivity depending on its shape.
+                rows *= self.generic_selectivity(predicate);
+            }
+        }
+        rows.max(1.0)
+    }
+
+    /// Selectivity of one equi-join edge under the uniformity assumption:
+    /// `(1 - nullfrac_l) * (1 - nullfrac_r) / max(n_distinct_l, n_distinct_r)`.
+    pub fn join_edge_selectivity(&self, edge: &JoinEdge) -> f64 {
+        let left = self.column_statistics(edge.left_rel, &edge.left_column.name);
+        let right = self.column_statistics(edge.right_rel, &edge.right_column.name);
+        let nd_left = left.map(|s| s.n_distinct).unwrap_or_else(|| {
+            self.raw_table_rows(edge.left_rel).max(DEFAULT_ROW_COUNT) * 0.1
+        });
+        let nd_right = right.map(|s| s.n_distinct).unwrap_or_else(|| {
+            self.raw_table_rows(edge.right_rel).max(DEFAULT_ROW_COUNT) * 0.1
+        });
+        let null_left = left.map(|s| s.null_fraction).unwrap_or(0.0);
+        let null_right = right.map(|s| s.null_fraction).unwrap_or(0.0);
+        let selectivity = (1.0 - null_left) * (1.0 - null_right) / nd_left.max(nd_right).max(1.0);
+        selectivity.clamp(1e-12, 1.0)
+    }
+
+    /// The ANALYZE statistics for `alias.column` of relation `rel`, if available.
+    pub fn column_statistics(&self, rel: usize, column: &str) -> Option<&ColumnStatistics> {
+        let relation = &self.spec.relations[rel];
+        self.catalog
+            .table_statistics(&relation.table)
+            .and_then(|stats| stats.column(column))
+    }
+
+    /// Selectivity of a single-relation predicate.
+    pub fn predicate_selectivity(&self, rel: usize, predicate: &Expr) -> f64 {
+        let sel = match predicate {
+            Expr::Binary {
+                op: BinaryOp::And,
+                left,
+                right,
+            } => self.predicate_selectivity(rel, left) * self.predicate_selectivity(rel, right),
+            Expr::Binary {
+                op: BinaryOp::Or,
+                left,
+                right,
+            } => {
+                let a = self.predicate_selectivity(rel, left);
+                let b = self.predicate_selectivity(rel, right);
+                a + b - a * b
+            }
+            Expr::Not(inner) => 1.0 - self.predicate_selectivity(rel, inner),
+            Expr::IsNull { expr, negated } => {
+                let null_fraction = expr
+                    .as_column_ref()
+                    .and_then(|c| self.column_statistics(rel, &c.name))
+                    .map(|s| s.null_fraction)
+                    .unwrap_or(0.01);
+                if *negated {
+                    1.0 - null_fraction
+                } else {
+                    null_fraction
+                }
+            }
+            Expr::InList {
+                expr,
+                list,
+                negated,
+            } => {
+                let base: f64 = match expr.as_column_ref() {
+                    Some(column) => list
+                        .iter()
+                        .map(|v| self.equality_selectivity(rel, &column.name, v))
+                        .sum(),
+                    None => DEFAULT_EQ_SEL * list.len() as f64,
+                };
+                let base = base.clamp(0.0, 1.0);
+                if *negated {
+                    1.0 - base
+                } else {
+                    base
+                }
+            }
+            Expr::Like {
+                expr,
+                pattern,
+                negated,
+            } => {
+                let base = self.like_selectivity(rel, expr, pattern);
+                if *negated {
+                    1.0 - base
+                } else {
+                    base
+                }
+            }
+            Expr::Between {
+                expr,
+                low,
+                high,
+                negated,
+            } => {
+                let base = match (expr.as_column_ref(), low.as_literal(), high.as_literal()) {
+                    (Some(column), Some(lo), Some(hi)) => {
+                        self.range_selectivity(rel, &column.name, Some(lo), Some(hi))
+                    }
+                    _ => DEFAULT_RANGE_SEL * DEFAULT_RANGE_SEL,
+                };
+                if *negated {
+                    1.0 - base
+                } else {
+                    base
+                }
+            }
+            _ => {
+                if let Some((column, op, value)) = as_column_constant_comparison(predicate) {
+                    match op {
+                        BinaryOp::Eq => self.equality_selectivity(rel, &column.name, &value),
+                        BinaryOp::NotEq => {
+                            1.0 - self.equality_selectivity(rel, &column.name, &value)
+                        }
+                        BinaryOp::Lt | BinaryOp::LtEq => {
+                            self.range_selectivity(rel, &column.name, None, Some(&value))
+                        }
+                        BinaryOp::Gt | BinaryOp::GtEq => {
+                            self.range_selectivity(rel, &column.name, Some(&value), None)
+                        }
+                        _ => 0.25,
+                    }
+                } else {
+                    self.generic_selectivity(predicate)
+                }
+            }
+        };
+        sel.clamp(1e-9, 1.0)
+    }
+
+    /// Default selectivity for predicates the model has no statistics-based estimate for
+    /// (e.g. comparisons between two columns of the same relation).
+    fn generic_selectivity(&self, predicate: &Expr) -> f64 {
+        match predicate {
+            Expr::Binary { op, .. } if *op == BinaryOp::Eq => DEFAULT_EQ_SEL,
+            Expr::Binary { op, .. } if op.is_comparison() => DEFAULT_RANGE_SEL,
+            _ => 0.25,
+        }
+    }
+
+    /// Selectivity of `column = value` using the MCV list, falling back to the
+    /// uniformity assumption over the non-MCV values.
+    fn equality_selectivity(&self, rel: usize, column: &str, value: &Value) -> f64 {
+        let Some(stats) = self.column_statistics(rel, column) else {
+            return DEFAULT_EQ_SEL;
+        };
+        if value.is_null() {
+            return 0.0;
+        }
+        if let Some(frequency) = stats.mcv.frequency_of(value) {
+            return frequency;
+        }
+        let remaining = stats.non_mcv_fraction();
+        let distinct = stats.non_mcv_distinct();
+        (remaining / distinct).clamp(1e-9, 1.0)
+    }
+
+    /// Selectivity of a (half-)open range predicate over a column, combining MCV entries
+    /// and the histogram, each weighted by the row mass they describe.
+    fn range_selectivity(
+        &self,
+        rel: usize,
+        column: &str,
+        low: Option<&Value>,
+        high: Option<&Value>,
+    ) -> f64 {
+        let Some(stats) = self.column_statistics(rel, column) else {
+            return DEFAULT_RANGE_SEL;
+        };
+        let in_range = |value: &Value| -> bool {
+            let above = low.map(|lo| value >= lo).unwrap_or(true);
+            let below = high.map(|hi| value <= hi).unwrap_or(true);
+            above && below
+        };
+        // MCV mass inside the range.
+        let mcv_mass: f64 = stats
+            .mcv
+            .entries()
+            .iter()
+            .filter(|(value, _)| in_range(value))
+            .map(|(_, frequency)| frequency)
+            .sum();
+        // Histogram mass inside the range.
+        let histogram_fraction = if stats.histogram.is_empty() {
+            if stats.mcv.is_empty() {
+                DEFAULT_RANGE_SEL
+            } else {
+                0.0
+            }
+        } else {
+            let below_high = high
+                .map(|hi| stats.histogram.fraction_below(hi))
+                .unwrap_or(1.0);
+            let below_low = low
+                .map(|lo| stats.histogram.fraction_below(lo))
+                .unwrap_or(0.0);
+            (below_high - below_low).max(0.0)
+        };
+        (mcv_mass + histogram_fraction * stats.non_mcv_fraction()).clamp(1e-9, 1.0)
+    }
+
+    /// Selectivity of a LIKE predicate: exact-match patterns behave like equality,
+    /// prefix patterns use a prefix default, substring patterns use the match default —
+    /// the same shape of heuristics PostgreSQL applies in `patternsel`.
+    fn like_selectivity(&self, rel: usize, expr: &Expr, pattern: &str) -> f64 {
+        let has_wildcard = pattern.contains('%') || pattern.contains('_');
+        if !has_wildcard {
+            if let Some(column) = expr.as_column_ref() {
+                return self.equality_selectivity(rel, &column.name, &Value::from(pattern));
+            }
+            return DEFAULT_EQ_SEL;
+        }
+        if pattern.starts_with('%') || pattern.starts_with('_') {
+            DEFAULT_MATCH_SEL
+        } else {
+            DEFAULT_PREFIX_SEL
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::binder::bind_select;
+    use reopt_sql::parse_sql;
+    use reopt_storage::{Column, DataType, Row, Schema, Storage, Table};
+
+    /// Build a small company/trades database with heavy skew on trades.company_id,
+    /// mirroring the Nasdaq example of Section IV-C of the paper.
+    fn build_env() -> (Storage, Catalog) {
+        let mut storage = Storage::new();
+
+        let mut company = Table::new(
+            "company",
+            Schema::new(vec![
+                Column::not_null("id", DataType::Int),
+                Column::new("symbol", DataType::Text),
+            ]),
+        );
+        for i in 0..1000i64 {
+            company
+                .push_row(Row::from_values(vec![
+                    Value::Int(i),
+                    Value::from(format!("SYM{i}")),
+                ]))
+                .unwrap();
+        }
+
+        let mut trades = Table::new(
+            "trades",
+            Schema::new(vec![
+                Column::not_null("company_id", DataType::Int),
+                Column::new("shares", DataType::Int),
+            ]),
+        );
+        // Company 1 accounts for half of all trades; the rest are uniform.
+        for i in 0..20_000i64 {
+            let company_id = if i % 2 == 0 { 1 } else { i % 1000 };
+            trades
+                .push_row(Row::from_values(vec![
+                    Value::Int(company_id),
+                    Value::Int(i % 500),
+                ]))
+                .unwrap();
+        }
+        storage.create_table(company).unwrap();
+        storage.create_table(trades).unwrap();
+
+        let mut catalog = Catalog::new();
+        catalog.analyze_all(&storage).unwrap();
+        (storage, catalog)
+    }
+
+    fn bind(sql: &str, storage: &Storage) -> QuerySpec {
+        let stmt = parse_sql(sql).unwrap();
+        bind_select(stmt.query().unwrap(), storage).unwrap()
+    }
+
+    #[test]
+    fn base_table_estimate_matches_row_count() {
+        let (storage, catalog) = build_env();
+        let spec = bind("SELECT * FROM trades AS tr", &storage);
+        let overrides = CardinalityOverrides::new();
+        let est = CardinalityEstimator::new(&spec, &catalog, &overrides);
+        let rows = est.estimate(RelSet::single(0));
+        assert!((rows - 20_000.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn equality_on_mcv_value_uses_frequency() {
+        let (storage, catalog) = build_env();
+        let spec = bind(
+            "SELECT * FROM trades AS tr WHERE tr.company_id = 1",
+            &storage,
+        );
+        let overrides = CardinalityOverrides::new();
+        let est = CardinalityEstimator::new(&spec, &catalog, &overrides);
+        let rows = est.estimate(RelSet::single(0));
+        // True count is 10 000; MCV statistics should put the estimate close.
+        assert!(rows > 8_000.0 && rows < 12_000.0, "estimate {rows}");
+    }
+
+    #[test]
+    fn equality_on_rare_value_uses_uniformity() {
+        let (storage, catalog) = build_env();
+        let spec = bind(
+            "SELECT * FROM trades AS tr WHERE tr.company_id = 777",
+            &storage,
+        );
+        let overrides = CardinalityOverrides::new();
+        let est = CardinalityEstimator::new(&spec, &catalog, &overrides);
+        let rows = est.estimate(RelSet::single(0));
+        // ~10 rows truly; the uniform assumption over non-MCV values should land
+        // in the tens, far below the MCV estimate.
+        assert!(rows < 200.0, "estimate {rows}");
+    }
+
+    #[test]
+    fn range_selectivity_uses_histogram() {
+        let (storage, catalog) = build_env();
+        let spec = bind("SELECT * FROM trades AS tr WHERE tr.shares < 250", &storage);
+        let overrides = CardinalityOverrides::new();
+        let est = CardinalityEstimator::new(&spec, &catalog, &overrides);
+        let rows = est.estimate(RelSet::single(0));
+        assert!(
+            (rows - 10_000.0).abs() < 2_500.0,
+            "estimate {rows} should be about half the table"
+        );
+    }
+
+    #[test]
+    fn join_estimate_underestimates_skewed_join() {
+        // The Nasdaq example: company.symbol = 'SYM1' selects the heavy hitter, but the
+        // uniformity assumption on the join key underestimates the join size.
+        let (storage, catalog) = build_env();
+        let spec = bind(
+            "SELECT * FROM company AS c, trades AS tr
+             WHERE c.id = tr.company_id AND c.symbol = 'SYM1'",
+            &storage,
+        );
+        let overrides = CardinalityOverrides::new();
+        let est = CardinalityEstimator::new(&spec, &catalog, &overrides);
+        let joined = est.estimate(RelSet::all(2));
+        // True result is ~10 000 rows (half of trades); the independence+uniformity
+        // estimate is roughly |c_filtered| * |trades| / ndistinct = 1 * 20000 / 1000.
+        assert!(joined < 500.0, "estimate {joined} should be a big underestimate");
+    }
+
+    #[test]
+    fn overrides_take_priority_and_flow_upward() {
+        let (storage, catalog) = build_env();
+        let spec = bind(
+            "SELECT * FROM company AS c, trades AS tr WHERE c.id = tr.company_id",
+            &storage,
+        );
+        let mut overrides = CardinalityOverrides::new();
+        overrides.set(RelSet::single(0), 5.0);
+        let est = CardinalityEstimator::new(&spec, &catalog, &overrides);
+        assert_eq!(est.estimate(RelSet::single(0)), 5.0);
+        // The join estimate uses the overridden base cardinality.
+        let joined = est.estimate(RelSet::all(2));
+        let expected = 5.0 * 20_000.0 * est.join_edge_selectivity(&spec.join_edges[0]);
+        assert!((joined - expected.max(1.0)).abs() < 1.0);
+        // Full-set override wins over everything.
+        let mut overrides2 = CardinalityOverrides::new();
+        overrides2.set(RelSet::all(2), 123.0);
+        let est2 = CardinalityEstimator::new(&spec, &catalog, &overrides2);
+        assert_eq!(est2.estimate(RelSet::all(2)), 123.0);
+    }
+
+    #[test]
+    fn estimation_log_counts_distinct_subsets() {
+        let (storage, catalog) = build_env();
+        let spec = bind(
+            "SELECT * FROM company AS c, trades AS tr WHERE c.id = tr.company_id",
+            &storage,
+        );
+        let overrides = CardinalityOverrides::new();
+        let est = CardinalityEstimator::new(&spec, &catalog, &overrides);
+        est.estimate(RelSet::all(2));
+        est.estimate(RelSet::all(2));
+        est.estimate(RelSet::single(1));
+        let log = est.estimation_log();
+        assert_eq!(log.count_for_size(2), 1);
+        assert_eq!(log.count_for_size(1), 2); // both singles via the join estimate
+        assert_eq!(log.total(), 3);
+        assert_eq!(log.max_size(), 2);
+    }
+
+    #[test]
+    fn like_and_in_selectivities() {
+        let (storage, catalog) = build_env();
+        let spec = bind(
+            "SELECT * FROM company AS c WHERE c.symbol LIKE 'SYM1%'",
+            &storage,
+        );
+        let overrides = CardinalityOverrides::new();
+        let est = CardinalityEstimator::new(&spec, &catalog, &overrides);
+        let prefix_rows = est.estimate(RelSet::single(0));
+        assert!(prefix_rows < 1000.0 && prefix_rows >= 1.0);
+
+        let spec = bind(
+            "SELECT * FROM company AS c WHERE c.symbol IN ('SYM1', 'SYM2', 'SYM3')",
+            &storage,
+        );
+        let est = CardinalityEstimator::new(&spec, &catalog, &overrides);
+        let in_rows = est.estimate(RelSet::single(0));
+        assert!((in_rows - 3.0).abs() < 2.0, "IN estimate {in_rows}");
+    }
+
+    #[test]
+    fn not_and_or_selectivities() {
+        let (storage, catalog) = build_env();
+        let spec = bind(
+            "SELECT * FROM trades AS tr WHERE tr.shares < 100 OR tr.shares > 400",
+            &storage,
+        );
+        let overrides = CardinalityOverrides::new();
+        let est = CardinalityEstimator::new(&spec, &catalog, &overrides);
+        let rows = est.estimate(RelSet::single(0));
+        assert!(rows > 4_000.0 && rows < 12_000.0, "estimate {rows}");
+    }
+
+    #[test]
+    fn override_table_operations() {
+        let mut o = CardinalityOverrides::new();
+        assert!(o.is_empty());
+        o.set(RelSet::single(0), 10.0);
+        o.set(RelSet::all(2), 50.0);
+        assert_eq!(o.len(), 2);
+        assert_eq!(o.get(RelSet::single(0)), Some(10.0));
+        o.clear(RelSet::single(0));
+        assert_eq!(o.get(RelSet::single(0)), None);
+        let mut other = CardinalityOverrides::new();
+        other.set(RelSet::single(1), 7.0);
+        o.merge(&other);
+        assert_eq!(o.len(), 2);
+        assert_eq!(o.iter().count(), 2);
+    }
+
+    #[test]
+    fn estimation_log_merge() {
+        let mut a = EstimationLog::default();
+        a.record(1);
+        a.record(2);
+        let mut b = EstimationLog::default();
+        b.record(2);
+        b.record(5);
+        a.merge(&b);
+        assert_eq!(a.count_for_size(2), 2);
+        assert_eq!(a.count_for_size(5), 1);
+        assert_eq!(a.total(), 4);
+    }
+
+    #[test]
+    fn unanalyzed_table_uses_defaults() {
+        let (storage, _) = build_env();
+        let catalog = Catalog::new(); // no ANALYZE
+        let spec = bind(
+            "SELECT * FROM company AS c WHERE c.symbol = 'SYM1'",
+            &storage,
+        );
+        let overrides = CardinalityOverrides::new();
+        let est = CardinalityEstimator::new(&spec, &catalog, &overrides);
+        let rows = est.estimate(RelSet::single(0));
+        assert!((rows - DEFAULT_ROW_COUNT * DEFAULT_EQ_SEL).abs() < 1.0 || rows >= 1.0);
+    }
+}

@@ -1,0 +1,607 @@
+//! Join-order enumeration.
+//!
+//! Two strategies are provided, mirroring PostgreSQL's split between exhaustive dynamic
+//! programming and a heuristic fallback for very large join graphs:
+//!
+//! * [`EnumerationAlgorithm::DpCcp`] — the connected-subgraph / complement-pair
+//!   enumeration of Moerkotte & Neumann ("Analysis of Two Existing and One New Dynamic
+//!   Programming Algorithm", VLDB 2006). It enumerates every bushy join order without
+//!   Cartesian products and is efficient on the sparse (mostly snowflake-shaped) join
+//!   graphs of the Join Order Benchmark.
+//! * [`EnumerationAlgorithm::Greedy`] — greedy operator ordering (GOO): repeatedly join
+//!   the pair of sub-plans with the smallest estimated output. Used beyond the
+//!   `greedy_threshold` (PostgreSQL switches to GEQO at `geqo_threshold`), and as a
+//!   baseline for the ablation benchmarks.
+//!
+//! For every candidate join the enumerator prices a hash join (both build directions),
+//! an index nested-loop join (when the inner side is a single base relation with an
+//! index on the join key) and a sort-merge join, keeping the cheapest — so a large
+//! cardinality underestimate can flip the choice to a nested-loop strategy, which is
+//! exactly the failure mode the paper's query 18a walk-through describes.
+
+use crate::cardinality::CardinalityEstimator;
+use crate::cost::CostModel;
+use crate::error::PlanError;
+use crate::graph::JoinGraph;
+use crate::optimizer::OptimizerConfig;
+use crate::plan::{PhysicalPlan, PlanKind};
+use crate::relset::RelSet;
+use crate::spec::QuerySpec;
+use reopt_expr::{conjoin, Expr};
+use std::collections::HashMap;
+
+/// Which enumeration strategy to use.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EnumerationAlgorithm {
+    /// Exhaustive DP over connected subgraph / complement pairs (bushy, no cross joins).
+    DpCcp,
+    /// Greedy operator ordering.
+    Greedy,
+}
+
+/// Callback answering "does relation `rel` have an index on `column`?" and
+/// "how many rows does the underlying table have?".
+pub trait IndexInfo {
+    /// Whether an index exists on the (unqualified) column of the relation's table.
+    fn has_index(&self, rel: usize, column: &str) -> bool;
+    /// The unfiltered row count of the relation's table.
+    fn table_rows(&self, rel: usize) -> f64;
+}
+
+/// The join enumerator.
+pub struct JoinEnumerator<'a> {
+    spec: &'a QuerySpec,
+    graph: &'a JoinGraph,
+    estimator: &'a CardinalityEstimator<'a>,
+    cost_model: &'a CostModel,
+    config: &'a OptimizerConfig,
+    index_info: &'a dyn IndexInfo,
+}
+
+impl<'a> JoinEnumerator<'a> {
+    /// Create an enumerator for one query.
+    pub fn new(
+        spec: &'a QuerySpec,
+        graph: &'a JoinGraph,
+        estimator: &'a CardinalityEstimator<'a>,
+        cost_model: &'a CostModel,
+        config: &'a OptimizerConfig,
+        index_info: &'a dyn IndexInfo,
+    ) -> Self {
+        Self {
+            spec,
+            graph,
+            estimator,
+            cost_model,
+            config,
+            index_info,
+        }
+    }
+
+    /// Find the cheapest join order for the given per-relation access paths.
+    ///
+    /// `base_plans[i]` must be the chosen access path for relation `i`.
+    pub fn enumerate(
+        &self,
+        base_plans: Vec<PhysicalPlan>,
+        algorithm: EnumerationAlgorithm,
+    ) -> Result<PhysicalPlan, PlanError> {
+        assert_eq!(base_plans.len(), self.spec.relation_count());
+        if base_plans.len() == 1 {
+            return Ok(base_plans.into_iter().next().expect("one plan"));
+        }
+        if !self.graph.is_fully_connected() {
+            return Err(PlanError::DisconnectedJoinGraph);
+        }
+        match algorithm {
+            EnumerationAlgorithm::DpCcp => self.dpccp(base_plans),
+            EnumerationAlgorithm::Greedy => self.greedy(base_plans),
+        }
+    }
+
+    /// Exhaustive DP over csg-cmp pairs.
+    fn dpccp(&self, base_plans: Vec<PhysicalPlan>) -> Result<PhysicalPlan, PlanError> {
+        let n = base_plans.len();
+        let mut best: HashMap<RelSet, PhysicalPlan> = HashMap::new();
+        for plan in base_plans {
+            best.insert(plan.rel_set, plan);
+        }
+
+        let mut pairs = enumerate_csg_cmp_pairs(self.graph, n);
+        // Process pairs in increasing size of the joined set so sub-plans exist.
+        pairs.sort_by_key(|(a, b)| a.union(*b).len());
+
+        for (s1, s2) in pairs {
+            let (Some(left), Some(right)) = (best.get(&s1), best.get(&s2)) else {
+                continue;
+            };
+            let Some(candidate) = self.best_join(left, right) else {
+                continue;
+            };
+            let combined = s1.union(s2);
+            match best.get(&combined) {
+                Some(existing) if !candidate.cost.is_cheaper_than(existing.cost) => {}
+                _ => {
+                    best.insert(combined, candidate);
+                }
+            }
+        }
+
+        best.remove(&RelSet::all(n))
+            .ok_or(PlanError::DisconnectedJoinGraph)
+    }
+
+    /// Greedy operator ordering: repeatedly join the connected pair of components with
+    /// the smallest estimated result.
+    fn greedy(&self, base_plans: Vec<PhysicalPlan>) -> Result<PhysicalPlan, PlanError> {
+        let mut components: Vec<PhysicalPlan> = base_plans;
+        while components.len() > 1 {
+            let mut best_pair: Option<(usize, usize, PhysicalPlan)> = None;
+            for i in 0..components.len() {
+                for j in (i + 1)..components.len() {
+                    let Some(candidate) = self.best_join(&components[i], &components[j]) else {
+                        continue;
+                    };
+                    let better = match &best_pair {
+                        None => true,
+                        Some((_, _, current)) => {
+                            candidate.estimated_rows < current.estimated_rows
+                                || (candidate.estimated_rows == current.estimated_rows
+                                    && candidate.cost.is_cheaper_than(current.cost))
+                        }
+                    };
+                    if better {
+                        best_pair = Some((i, j, candidate));
+                    }
+                }
+            }
+            let Some((i, j, joined)) = best_pair else {
+                return Err(PlanError::DisconnectedJoinGraph);
+            };
+            // Remove j first (it is the larger index).
+            components.remove(j);
+            components.remove(i);
+            components.push(joined);
+        }
+        Ok(components.into_iter().next().expect("one component"))
+    }
+
+    /// The cheapest way to join two disjoint sub-plans, or `None` if no join edge
+    /// connects them (Cartesian products are not considered).
+    pub fn best_join(
+        &self,
+        left: &PhysicalPlan,
+        right: &PhysicalPlan,
+    ) -> Option<PhysicalPlan> {
+        let edges = self.spec.edges_between(left.rel_set, right.rel_set);
+        if edges.is_empty() {
+            return None;
+        }
+        let combined = left.rel_set.union(right.rel_set);
+        let output_rows = self.estimator.estimate(combined).max(1.0);
+        let complex: Vec<Expr> = self
+            .spec
+            .complex_predicates_for_join(left.rel_set, right.rel_set)
+            .into_iter()
+            .cloned()
+            .collect();
+
+        let mut candidates: Vec<PhysicalPlan> = Vec::new();
+
+        // Hash joins, both build directions.
+        if self.config.enable_hash_joins {
+            candidates.push(self.hash_join(left, right, &edges, &complex, output_rows));
+            candidates.push(self.hash_join(right, left, &edges, &complex, output_rows));
+        }
+
+        // Merge join (one orientation; cost is symmetric in our model).
+        if self.config.enable_merge_joins {
+            candidates.push(self.merge_join(left, right, &edges, &complex, output_rows));
+        }
+
+        // Index nested-loop joins when one side is a single base relation with an index
+        // on a join-key column.
+        if self.config.enable_index_nl_joins {
+            if let Some(plan) = self.index_nl_join(left, right, &edges, &complex, output_rows) {
+                candidates.push(plan);
+            }
+            if let Some(plan) = self.index_nl_join(right, left, &edges, &complex, output_rows) {
+                candidates.push(plan);
+            }
+        }
+
+        // Plain nested loop as a last resort (always available once there is an edge).
+        if candidates.is_empty() {
+            candidates.push(self.nested_loop_join(left, right, &edges, &complex, output_rows));
+        }
+
+        candidates
+            .into_iter()
+            .min_by(|a, b| {
+                a.cost
+                    .total
+                    .partial_cmp(&b.cost.total)
+                    .unwrap_or(std::cmp::Ordering::Equal)
+            })
+    }
+
+    fn join_keys(
+        &self,
+        outer: &PhysicalPlan,
+        edges: &[&crate::spec::JoinEdge],
+    ) -> Vec<(reopt_expr::ColumnRef, reopt_expr::ColumnRef)> {
+        edges
+            .iter()
+            .filter_map(|edge| edge.oriented(outer.rel_set))
+            .collect()
+    }
+
+    fn hash_join(
+        &self,
+        outer: &PhysicalPlan,
+        build: &PhysicalPlan,
+        edges: &[&crate::spec::JoinEdge],
+        complex: &[Expr],
+        output_rows: f64,
+    ) -> PhysicalPlan {
+        let keys = self.join_keys(outer, edges);
+        let cost = self.cost_model.hash_join(
+            outer.cost,
+            build.cost,
+            outer.estimated_rows,
+            build.estimated_rows,
+            output_rows,
+            keys.len(),
+        );
+        PhysicalPlan {
+            kind: PlanKind::HashJoin {
+                keys,
+                residual: conjoin(complex),
+            },
+            schema: outer.schema.join(&build.schema),
+            estimated_rows: output_rows,
+            cost,
+            rel_set: outer.rel_set.union(build.rel_set),
+            children: vec![outer.clone(), build.clone()],
+        }
+    }
+
+    fn merge_join(
+        &self,
+        left: &PhysicalPlan,
+        right: &PhysicalPlan,
+        edges: &[&crate::spec::JoinEdge],
+        complex: &[Expr],
+        output_rows: f64,
+    ) -> PhysicalPlan {
+        let keys = self.join_keys(left, edges);
+        let cost = self.cost_model.merge_join(
+            left.cost,
+            right.cost,
+            left.estimated_rows,
+            right.estimated_rows,
+            output_rows,
+            keys.len(),
+        );
+        PhysicalPlan {
+            kind: PlanKind::MergeJoin {
+                keys,
+                residual: conjoin(complex),
+            },
+            schema: left.schema.join(&right.schema),
+            estimated_rows: output_rows,
+            cost,
+            rel_set: left.rel_set.union(right.rel_set),
+            children: vec![left.clone(), right.clone()],
+        }
+    }
+
+    fn nested_loop_join(
+        &self,
+        outer: &PhysicalPlan,
+        inner: &PhysicalPlan,
+        edges: &[&crate::spec::JoinEdge],
+        complex: &[Expr],
+        output_rows: f64,
+    ) -> PhysicalPlan {
+        let mut predicates: Vec<Expr> = edges.iter().map(|e| e.to_expr()).collect();
+        predicates.extend(complex.iter().cloned());
+        let cost = self.cost_model.nested_loop_join(
+            outer.cost,
+            inner.cost,
+            outer.estimated_rows,
+            inner.estimated_rows,
+            output_rows,
+        );
+        PhysicalPlan {
+            kind: PlanKind::NestedLoopJoin {
+                predicate: conjoin(&predicates),
+            },
+            schema: outer.schema.join(&inner.schema),
+            estimated_rows: output_rows,
+            cost,
+            rel_set: outer.rel_set.union(inner.rel_set),
+            children: vec![outer.clone(), inner.clone()],
+        }
+    }
+
+    /// An index nested-loop join with `inner` as the indexed base relation, if possible.
+    fn index_nl_join(
+        &self,
+        outer: &PhysicalPlan,
+        inner: &PhysicalPlan,
+        edges: &[&crate::spec::JoinEdge],
+        complex: &[Expr],
+        output_rows: f64,
+    ) -> Option<PhysicalPlan> {
+        if inner.rel_set.len() != 1 {
+            return None;
+        }
+        let inner_rel = inner.rel_set.min_index().expect("single relation");
+        let relation = &self.spec.relations[inner_rel];
+
+        // Find an edge whose inner-side column has an index.
+        let mut chosen: Option<(usize, reopt_expr::ColumnRef, reopt_expr::ColumnRef)> = None;
+        for (edge_idx, edge) in edges.iter().enumerate() {
+            let (inner_col, outer_col) = edge.oriented(inner.rel_set)?;
+            if self.index_info.has_index(inner_rel, &inner_col.name) {
+                chosen = Some((edge_idx, inner_col, outer_col));
+                break;
+            }
+        }
+        let (chosen_idx, inner_col, outer_col) = chosen?;
+
+        // Remaining join edges (beyond the index key) plus complex predicates are
+        // residual filters on the joined row.
+        let mut residual: Vec<Expr> = edges
+            .iter()
+            .enumerate()
+            .filter(|(edge_idx, _)| *edge_idx != chosen_idx)
+            .map(|(_, e)| e.to_expr())
+            .collect();
+        residual.extend(complex.iter().cloned());
+
+        let inner_predicate = conjoin(&self.spec.local_predicates[inner_rel]);
+        let inner_table_rows = self.index_info.table_rows(inner_rel);
+        let matches_per_lookup =
+            (output_rows / outer.estimated_rows.max(1.0)).clamp(0.1, inner_table_rows);
+        let residual_count = residual.len()
+            + inner_predicate.is_some() as usize;
+        let cost = self.cost_model.index_nested_loop_join(
+            outer.cost,
+            outer.estimated_rows,
+            inner_table_rows,
+            matches_per_lookup,
+            output_rows,
+            residual_count,
+        );
+        Some(PhysicalPlan {
+            kind: PlanKind::IndexNestedLoopJoin {
+                inner_rel,
+                inner_alias: relation.alias.clone(),
+                inner_table: relation.table.clone(),
+                outer_key: outer_col,
+                inner_key: inner_col.name.clone(),
+                inner_predicate,
+                residual: conjoin(&residual),
+            },
+            schema: outer.schema.join(&relation.schema),
+            estimated_rows: output_rows,
+            cost,
+            rel_set: outer.rel_set.union(inner.rel_set),
+            children: vec![outer.clone()],
+        })
+    }
+}
+
+/// Enumerate every connected-subgraph / connected-complement pair of the join graph
+/// (each unordered pair is emitted once).
+pub fn enumerate_csg_cmp_pairs(graph: &JoinGraph, n: usize) -> Vec<(RelSet, RelSet)> {
+    let mut pairs = Vec::new();
+    for i in (0..n).rev() {
+        let start = RelSet::single(i);
+        emit_csg(graph, start, &mut pairs);
+        enumerate_csg_rec(graph, start, b_set(i), &mut pairs);
+    }
+    pairs
+}
+
+/// The "prohibited" set {0, ..., i}: nodes that earlier iterations are responsible for.
+fn b_set(i: usize) -> RelSet {
+    RelSet::all(i + 1)
+}
+
+fn enumerate_csg_rec(
+    graph: &JoinGraph,
+    set: RelSet,
+    prohibited: RelSet,
+    pairs: &mut Vec<(RelSet, RelSet)>,
+) {
+    let neighbors = graph.neighbors(set).difference(prohibited);
+    if neighbors.is_empty() {
+        return;
+    }
+    for subset in neighbors.nonempty_subsets() {
+        emit_csg(graph, set.union(subset), pairs);
+    }
+    for subset in neighbors.nonempty_subsets() {
+        enumerate_csg_rec(graph, set.union(subset), prohibited.union(neighbors), pairs);
+    }
+}
+
+fn emit_csg(graph: &JoinGraph, s1: RelSet, pairs: &mut Vec<(RelSet, RelSet)>) {
+    let min = s1.min_index().expect("csg is non-empty");
+    let prohibited = s1.union(b_set(min));
+    let neighbors = graph.neighbors(s1).difference(prohibited);
+    // Iterate neighbors in descending order, as in the original algorithm.
+    let mut neighbor_indexes: Vec<usize> = neighbors.iter().collect();
+    neighbor_indexes.reverse();
+    for &i in &neighbor_indexes {
+        let s2 = RelSet::single(i);
+        pairs.push((s1, s2));
+        enumerate_cmp_rec(
+            graph,
+            s1,
+            s2,
+            prohibited.union(b_set(i).intersect(neighbors)),
+            pairs,
+        );
+    }
+}
+
+fn enumerate_cmp_rec(
+    graph: &JoinGraph,
+    s1: RelSet,
+    s2: RelSet,
+    prohibited: RelSet,
+    pairs: &mut Vec<(RelSet, RelSet)>,
+) {
+    let neighbors = graph.neighbors(s2).difference(prohibited);
+    if neighbors.is_empty() {
+        return;
+    }
+    for subset in neighbors.nonempty_subsets() {
+        pairs.push((s1, s2.union(subset)));
+    }
+    for subset in neighbors.nonempty_subsets() {
+        enumerate_cmp_rec(graph, s1, s2.union(subset), prohibited.union(neighbors), pairs);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::{JoinEdge, RelationSpec};
+    use reopt_expr::ColumnRef;
+    use reopt_sql::{SelectExpr, SelectItem};
+    use reopt_storage::{Column, DataType, Schema};
+    use std::collections::HashSet;
+
+    /// Build a QuerySpec with the given undirected edges over `n` relations.
+    fn spec_with_edges(n: usize, edges: &[(usize, usize)]) -> QuerySpec {
+        let relations: Vec<RelationSpec> = (0..n)
+            .map(|i| RelationSpec {
+                index: i,
+                alias: format!("r{i}"),
+                table: format!("table{i}"),
+                schema: Schema::new(vec![Column::new("id", DataType::Int)])
+                    .qualified(&format!("r{i}")),
+            })
+            .collect();
+        let join_edges = edges
+            .iter()
+            .map(|&(a, b)| JoinEdge {
+                left_rel: a,
+                left_column: ColumnRef::qualified(format!("r{a}"), "id"),
+                right_rel: b,
+                right_column: ColumnRef::qualified(format!("r{b}"), "id"),
+            })
+            .collect();
+        QuerySpec {
+            local_predicates: vec![Vec::new(); n],
+            relations,
+            join_edges,
+            complex_predicates: vec![],
+            output: vec![SelectItem {
+                expr: SelectExpr::Wildcard,
+                alias: None,
+            }],
+            group_by: vec![],
+            order_by: vec![],
+            limit: None,
+        }
+    }
+
+    /// Brute-force enumeration of csg-cmp pairs for validation: every connected set S1,
+    /// every connected S2 disjoint from S1 with an edge between, counted once per
+    /// unordered pair.
+    fn brute_force_pairs(graph: &JoinGraph, spec: &QuerySpec, n: usize) -> usize {
+        let mut count = 0;
+        let all = 1u64 << n;
+        for m1 in 1..all {
+            let s1 = RelSet::from_mask(m1);
+            if !graph.is_connected(s1) {
+                continue;
+            }
+            for m2 in (m1 + 1)..all {
+                let s2 = RelSet::from_mask(m2);
+                if !s1.is_disjoint(s2) || !graph.is_connected(s2) {
+                    continue;
+                }
+                if !spec.edges_between(s1, s2).is_empty() {
+                    count += 1;
+                }
+            }
+        }
+        count
+    }
+
+    fn assert_pair_set_valid(n: usize, edges: &[(usize, usize)]) {
+        let spec = spec_with_edges(n, edges);
+        let graph = JoinGraph::new(&spec);
+        let pairs = enumerate_csg_cmp_pairs(&graph, n);
+        // No duplicates (as unordered pairs) and every pair valid.
+        let mut seen: HashSet<(u64, u64)> = HashSet::new();
+        for (s1, s2) in &pairs {
+            assert!(graph.is_connected(*s1), "{s1} not connected");
+            assert!(graph.is_connected(*s2), "{s2} not connected");
+            assert!(s1.is_disjoint(*s2));
+            assert!(!spec.edges_between(*s1, *s2).is_empty());
+            let key = if s1.mask() < s2.mask() {
+                (s1.mask(), s2.mask())
+            } else {
+                (s2.mask(), s1.mask())
+            };
+            assert!(seen.insert(key), "duplicate pair {s1} / {s2}");
+        }
+        assert_eq!(
+            pairs.len(),
+            brute_force_pairs(&graph, &spec, n),
+            "pair count mismatch for n={n}, edges={edges:?}"
+        );
+    }
+
+    #[test]
+    fn dpccp_pairs_chain() {
+        assert_pair_set_valid(4, &[(0, 1), (1, 2), (2, 3)]);
+        assert_pair_set_valid(6, &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 5)]);
+    }
+
+    #[test]
+    fn dpccp_pairs_star() {
+        assert_pair_set_valid(5, &[(0, 1), (0, 2), (0, 3), (0, 4)]);
+    }
+
+    #[test]
+    fn dpccp_pairs_cycle_and_clique() {
+        assert_pair_set_valid(4, &[(0, 1), (1, 2), (2, 3), (3, 0)]);
+        assert_pair_set_valid(4, &[(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3)]);
+    }
+
+    #[test]
+    fn dpccp_pairs_snowflake() {
+        // A small snowflake: hub 0, spokes 1-3, and leaves hanging off the spokes.
+        assert_pair_set_valid(7, &[(0, 1), (0, 2), (0, 3), (1, 4), (2, 5), (3, 6)]);
+    }
+
+    #[test]
+    fn dpccp_handles_two_relations() {
+        assert_pair_set_valid(2, &[(0, 1)]);
+        let spec = spec_with_edges(2, &[(0, 1)]);
+        let graph = JoinGraph::new(&spec);
+        let pairs = enumerate_csg_cmp_pairs(&graph, 2);
+        assert_eq!(pairs.len(), 1);
+    }
+
+    #[test]
+    fn csg_count_matches_known_chain_formula() {
+        // For a chain of n nodes the number of csg-cmp pairs is n*(n-1)*(n+1)/6.
+        for n in 2..=8 {
+            let edges: Vec<(usize, usize)> = (0..n - 1).map(|i| (i, i + 1)).collect();
+            let spec = spec_with_edges(n, &edges);
+            let graph = JoinGraph::new(&spec);
+            let pairs = enumerate_csg_cmp_pairs(&graph, n);
+            assert_eq!(pairs.len(), n * (n - 1) * (n + 1) / 6, "chain of {n}");
+        }
+    }
+}

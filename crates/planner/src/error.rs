@@ -1,0 +1,78 @@
+//! Planner errors.
+
+use reopt_storage::StorageError;
+use std::fmt;
+
+/// Errors raised while binding or optimizing a query.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PlanError {
+    /// A table referenced in FROM does not exist.
+    UnknownTable(String),
+    /// A column reference could not be resolved or was ambiguous.
+    UnknownColumn(String),
+    /// The same alias appears twice in FROM.
+    DuplicateAlias(String),
+    /// The query shape is outside the supported subset.
+    Unsupported(String),
+    /// Too many relations for the bitset representation (more than 64).
+    TooManyRelations(usize),
+    /// The join graph is disconnected and Cartesian products are disabled.
+    DisconnectedJoinGraph,
+    /// An underlying storage error.
+    Storage(String),
+}
+
+impl fmt::Display for PlanError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PlanError::UnknownTable(t) => write!(f, "unknown table '{t}'"),
+            PlanError::UnknownColumn(c) => write!(f, "unknown or ambiguous column '{c}'"),
+            PlanError::DuplicateAlias(a) => write!(f, "duplicate alias '{a}' in FROM"),
+            PlanError::Unsupported(detail) => write!(f, "unsupported query: {detail}"),
+            PlanError::TooManyRelations(n) => {
+                write!(f, "query references {n} relations; at most 64 are supported")
+            }
+            PlanError::DisconnectedJoinGraph => {
+                f.write_str("join graph is disconnected (Cartesian products are disabled)")
+            }
+            PlanError::Storage(detail) => write!(f, "storage error: {detail}"),
+        }
+    }
+}
+
+impl std::error::Error for PlanError {}
+
+impl From<StorageError> for PlanError {
+    fn from(err: StorageError) -> Self {
+        match err {
+            StorageError::TableNotFound(t) => PlanError::UnknownTable(t),
+            StorageError::ColumnNotFound(c) => PlanError::UnknownColumn(c),
+            other => PlanError::Storage(other.to_string()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn storage_errors_convert() {
+        let e: PlanError = StorageError::TableNotFound("t".into()).into();
+        assert_eq!(e, PlanError::UnknownTable("t".into()));
+        let e: PlanError = StorageError::ColumnNotFound("c".into()).into();
+        assert_eq!(e, PlanError::UnknownColumn("c".into()));
+        let e: PlanError = StorageError::TableExists("t".into()).into();
+        assert!(matches!(e, PlanError::Storage(_)));
+    }
+
+    #[test]
+    fn display_messages() {
+        assert!(PlanError::DisconnectedJoinGraph.to_string().contains("disconnected"));
+        assert!(PlanError::TooManyRelations(70).to_string().contains("70"));
+        assert!(PlanError::DuplicateAlias("t".into()).to_string().contains("'t'"));
+        assert!(PlanError::Unsupported("subqueries".into())
+            .to_string()
+            .contains("subqueries"));
+    }
+}

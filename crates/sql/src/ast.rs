@@ -1,0 +1,363 @@
+//! The abstract syntax tree produced by the parser.
+
+use reopt_expr::Expr;
+use std::fmt;
+
+/// Aggregate functions supported in SELECT lists.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AggregateFunc {
+    /// `MIN(expr)`
+    Min,
+    /// `MAX(expr)`
+    Max,
+    /// `COUNT(expr)` or `COUNT(*)`
+    Count,
+    /// `SUM(expr)`
+    Sum,
+    /// `AVG(expr)`
+    Avg,
+}
+
+impl AggregateFunc {
+    /// SQL spelling of the function name.
+    pub fn name(self) -> &'static str {
+        match self {
+            AggregateFunc::Min => "MIN",
+            AggregateFunc::Max => "MAX",
+            AggregateFunc::Count => "COUNT",
+            AggregateFunc::Sum => "SUM",
+            AggregateFunc::Avg => "AVG",
+        }
+    }
+
+    /// Parse a function name into an aggregate, if it is one.
+    pub fn from_name(name: &str) -> Option<Self> {
+        match name.to_ascii_uppercase().as_str() {
+            "MIN" => Some(AggregateFunc::Min),
+            "MAX" => Some(AggregateFunc::Max),
+            "COUNT" => Some(AggregateFunc::Count),
+            "SUM" => Some(AggregateFunc::Sum),
+            "AVG" => Some(AggregateFunc::Avg),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for AggregateFunc {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// A single expression in a SELECT list.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SelectExpr {
+    /// `*`
+    Wildcard,
+    /// An aggregate call; `arg` is `None` for `COUNT(*)`.
+    Aggregate {
+        /// The aggregate function.
+        func: AggregateFunc,
+        /// The argument, or `None` for `COUNT(*)`.
+        arg: Option<Expr>,
+    },
+    /// A scalar expression.
+    Scalar(Expr),
+}
+
+impl SelectExpr {
+    /// Render as SQL.
+    pub fn to_sql(&self) -> String {
+        match self {
+            SelectExpr::Wildcard => "*".to_string(),
+            SelectExpr::Aggregate { func, arg } => match arg {
+                Some(e) => format!("{}({})", func.name(), e.to_sql()),
+                None => format!("{}(*)", func.name()),
+            },
+            SelectExpr::Scalar(e) => e.to_sql(),
+        }
+    }
+}
+
+/// A SELECT-list item: an expression with an optional output alias.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SelectItem {
+    /// The expression.
+    pub expr: SelectExpr,
+    /// Output column alias (`AS alias`).
+    pub alias: Option<String>,
+}
+
+impl SelectItem {
+    /// Render as SQL.
+    pub fn to_sql(&self) -> String {
+        match &self.alias {
+            Some(alias) => format!("{} AS {alias}", self.expr.to_sql()),
+            None => self.expr.to_sql(),
+        }
+    }
+}
+
+/// A FROM-list entry: a base table with an alias (self-joins require distinct aliases).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct TableRef {
+    /// The table name in the catalog.
+    pub table: String,
+    /// The alias used to qualify columns; defaults to the table name.
+    pub alias: String,
+}
+
+impl TableRef {
+    /// A reference where the alias defaults to the table name.
+    pub fn new(table: impl Into<String>) -> Self {
+        let table = table.into().to_ascii_lowercase();
+        Self {
+            alias: table.clone(),
+            table,
+        }
+    }
+
+    /// A reference with an explicit alias.
+    pub fn aliased(table: impl Into<String>, alias: impl Into<String>) -> Self {
+        Self {
+            table: table.into().to_ascii_lowercase(),
+            alias: alias.into().to_ascii_lowercase(),
+        }
+    }
+
+    /// Render as SQL.
+    pub fn to_sql(&self) -> String {
+        if self.table == self.alias {
+            self.table.clone()
+        } else {
+            format!("{} AS {}", self.table, self.alias)
+        }
+    }
+}
+
+/// A single `ORDER BY` item.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OrderByItem {
+    /// The sort expression.
+    pub expr: Expr,
+    /// Whether the sort is ascending.
+    pub ascending: bool,
+}
+
+/// A parsed SELECT statement.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SelectStatement {
+    /// The SELECT list.
+    pub items: Vec<SelectItem>,
+    /// The FROM list (comma-joined base tables).
+    pub from: Vec<TableRef>,
+    /// The WHERE clause, if any.
+    pub where_clause: Option<Expr>,
+    /// GROUP BY expressions, if any.
+    pub group_by: Vec<Expr>,
+    /// ORDER BY items, if any.
+    pub order_by: Vec<OrderByItem>,
+    /// LIMIT, if any.
+    pub limit: Option<usize>,
+}
+
+impl SelectStatement {
+    /// Whether the statement contains any aggregate in its SELECT list.
+    pub fn has_aggregates(&self) -> bool {
+        self.items
+            .iter()
+            .any(|i| matches!(i.expr, SelectExpr::Aggregate { .. }))
+    }
+
+    /// The alias of every relation in the FROM list, in order.
+    pub fn aliases(&self) -> Vec<&str> {
+        self.from.iter().map(|t| t.alias.as_str()).collect()
+    }
+
+    /// Render as SQL (used to display re-optimized queries, Fig. 6 of the paper).
+    pub fn to_sql(&self) -> String {
+        let mut out = String::from("SELECT ");
+        let items: Vec<String> = self.items.iter().map(SelectItem::to_sql).collect();
+        out.push_str(&items.join(",\n       "));
+        out.push_str("\nFROM ");
+        let tables: Vec<String> = self.from.iter().map(TableRef::to_sql).collect();
+        out.push_str(&tables.join(",\n     "));
+        if let Some(w) = &self.where_clause {
+            out.push_str("\nWHERE ");
+            out.push_str(&w.to_sql());
+        }
+        if !self.group_by.is_empty() {
+            out.push_str("\nGROUP BY ");
+            let keys: Vec<String> = self.group_by.iter().map(Expr::to_sql).collect();
+            out.push_str(&keys.join(", "));
+        }
+        if !self.order_by.is_empty() {
+            out.push_str("\nORDER BY ");
+            let keys: Vec<String> = self
+                .order_by
+                .iter()
+                .map(|o| {
+                    format!(
+                        "{}{}",
+                        o.expr.to_sql(),
+                        if o.ascending { "" } else { " DESC" }
+                    )
+                })
+                .collect();
+            out.push_str(&keys.join(", "));
+        }
+        if let Some(limit) = self.limit {
+            out.push_str(&format!("\nLIMIT {limit}"));
+        }
+        out
+    }
+}
+
+impl fmt::Display for SelectStatement {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.to_sql())
+    }
+}
+
+/// A parsed statement.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Statement {
+    /// A SELECT query.
+    Select(SelectStatement),
+    /// `CREATE [TEMP|TEMPORARY] TABLE name AS SELECT ...`.
+    CreateTableAs {
+        /// The new table's name.
+        name: String,
+        /// Whether the table is temporary.
+        temporary: bool,
+        /// The defining query.
+        query: SelectStatement,
+    },
+    /// `EXPLAIN [ANALYZE] <statement>`.
+    Explain {
+        /// Whether to actually execute and report true cardinalities.
+        analyze: bool,
+        /// The explained statement.
+        statement: Box<Statement>,
+    },
+}
+
+impl Statement {
+    /// The SELECT at the heart of this statement, if any.
+    pub fn query(&self) -> Option<&SelectStatement> {
+        match self {
+            Statement::Select(q) => Some(q),
+            Statement::CreateTableAs { query, .. } => Some(query),
+            Statement::Explain { statement, .. } => statement.query(),
+        }
+    }
+
+    /// Render as SQL.
+    pub fn to_sql(&self) -> String {
+        match self {
+            Statement::Select(q) => q.to_sql(),
+            Statement::CreateTableAs {
+                name,
+                temporary,
+                query,
+            } => format!(
+                "CREATE {}TABLE {name} AS\n{}",
+                if *temporary { "TEMP " } else { "" },
+                query.to_sql()
+            ),
+            Statement::Explain { analyze, statement } => format!(
+                "EXPLAIN {}{}",
+                if *analyze { "ANALYZE " } else { "" },
+                statement.to_sql()
+            ),
+        }
+    }
+}
+
+impl fmt::Display for Statement {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.to_sql())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn aggregate_func_names_roundtrip() {
+        for func in [
+            AggregateFunc::Min,
+            AggregateFunc::Max,
+            AggregateFunc::Count,
+            AggregateFunc::Sum,
+            AggregateFunc::Avg,
+        ] {
+            assert_eq!(AggregateFunc::from_name(func.name()), Some(func));
+        }
+        assert_eq!(AggregateFunc::from_name("median"), None);
+    }
+
+    #[test]
+    fn table_ref_sql() {
+        assert_eq!(TableRef::new("title").to_sql(), "title");
+        assert_eq!(TableRef::aliased("cast_info", "ci").to_sql(), "cast_info AS ci");
+    }
+
+    #[test]
+    fn select_to_sql_contains_clauses() {
+        let stmt = SelectStatement {
+            items: vec![SelectItem {
+                expr: SelectExpr::Aggregate {
+                    func: AggregateFunc::Min,
+                    arg: Some(Expr::col("t", "title")),
+                },
+                alias: Some("movie_title".into()),
+            }],
+            from: vec![TableRef::aliased("title", "t"), TableRef::aliased("movie_keyword", "mk")],
+            where_clause: Some(Expr::eq(Expr::col("t", "id"), Expr::col("mk", "movie_id"))),
+            group_by: vec![],
+            order_by: vec![OrderByItem {
+                expr: Expr::col("t", "title"),
+                ascending: false,
+            }],
+            limit: Some(10),
+        };
+        let sql = stmt.to_sql();
+        assert!(sql.contains("MIN(t.title) AS movie_title"));
+        assert!(sql.contains("title AS t"));
+        assert!(sql.contains("WHERE t.id = mk.movie_id"));
+        assert!(sql.contains("ORDER BY t.title DESC"));
+        assert!(sql.contains("LIMIT 10"));
+        assert!(stmt.has_aggregates());
+        assert_eq!(stmt.aliases(), vec!["t", "mk"]);
+    }
+
+    #[test]
+    fn statement_query_accessor() {
+        let q = SelectStatement {
+            items: vec![SelectItem {
+                expr: SelectExpr::Wildcard,
+                alias: None,
+            }],
+            from: vec![TableRef::new("title")],
+            where_clause: None,
+            group_by: vec![],
+            order_by: vec![],
+            limit: None,
+        };
+        let create = Statement::CreateTableAs {
+            name: "temp1".into(),
+            temporary: true,
+            query: q.clone(),
+        };
+        assert!(create.query().is_some());
+        assert!(create.to_sql().starts_with("CREATE TEMP TABLE temp1 AS"));
+        let explain = Statement::Explain {
+            analyze: true,
+            statement: Box::new(Statement::Select(q)),
+        };
+        assert!(explain.to_sql().starts_with("EXPLAIN ANALYZE SELECT"));
+        assert!(explain.query().is_some());
+    }
+}

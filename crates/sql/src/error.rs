@@ -1,0 +1,41 @@
+//! Parse errors.
+
+use std::fmt;
+
+/// An error produced by the lexer or parser, with a byte offset into the input.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// Human-readable description.
+    pub message: String,
+    /// Byte offset into the SQL text where the error was detected.
+    pub offset: usize,
+}
+
+impl ParseError {
+    /// Create a parse error.
+    pub fn new(message: impl Into<String>, offset: usize) -> Self {
+        Self {
+            message: message.into(),
+            offset,
+        }
+    }
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "parse error at byte {}: {}", self.offset, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_offset_and_message() {
+        let e = ParseError::new("unexpected token", 17);
+        assert_eq!(e.to_string(), "parse error at byte 17: unexpected token");
+    }
+}

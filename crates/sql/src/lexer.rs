@@ -1,0 +1,449 @@
+//! SQL tokenizer.
+
+use crate::error::ParseError;
+use std::fmt;
+
+/// The kind of a token.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TokenKind {
+    /// Identifier or keyword (keywords are recognized by the parser, case-insensitively).
+    Ident(String),
+    /// String literal with quotes removed and doubled quotes unescaped.
+    StringLit(String),
+    /// Integer literal.
+    IntLit(i64),
+    /// Float literal.
+    FloatLit(f64),
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `,`
+    Comma,
+    /// `;`
+    Semicolon,
+    /// `.`
+    Dot,
+    /// `*`
+    Star,
+    /// `=`
+    Eq,
+    /// `<>` or `!=`
+    NotEq,
+    /// `<`
+    Lt,
+    /// `<=`
+    LtEq,
+    /// `>`
+    Gt,
+    /// `>=`
+    GtEq,
+    /// `+`
+    Plus,
+    /// `-`
+    Minus,
+    /// `/`
+    Slash,
+    /// End of input.
+    Eof,
+}
+
+impl fmt::Display for TokenKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TokenKind::Ident(s) => write!(f, "{s}"),
+            TokenKind::StringLit(s) => write!(f, "'{s}'"),
+            TokenKind::IntLit(v) => write!(f, "{v}"),
+            TokenKind::FloatLit(v) => write!(f, "{v}"),
+            TokenKind::LParen => f.write_str("("),
+            TokenKind::RParen => f.write_str(")"),
+            TokenKind::Comma => f.write_str(","),
+            TokenKind::Semicolon => f.write_str(";"),
+            TokenKind::Dot => f.write_str("."),
+            TokenKind::Star => f.write_str("*"),
+            TokenKind::Eq => f.write_str("="),
+            TokenKind::NotEq => f.write_str("<>"),
+            TokenKind::Lt => f.write_str("<"),
+            TokenKind::LtEq => f.write_str("<="),
+            TokenKind::Gt => f.write_str(">"),
+            TokenKind::GtEq => f.write_str(">="),
+            TokenKind::Plus => f.write_str("+"),
+            TokenKind::Minus => f.write_str("-"),
+            TokenKind::Slash => f.write_str("/"),
+            TokenKind::Eof => f.write_str("<eof>"),
+        }
+    }
+}
+
+/// A token plus its byte offset in the input.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Token {
+    /// The token kind (and value, for literals and identifiers).
+    pub kind: TokenKind,
+    /// Byte offset of the first character of the token.
+    pub offset: usize,
+}
+
+impl Token {
+    /// Whether this token is the given keyword (case-insensitive).
+    pub fn is_keyword(&self, kw: &str) -> bool {
+        matches!(&self.kind, TokenKind::Ident(s) if s.eq_ignore_ascii_case(kw))
+    }
+}
+
+/// The tokenizer. Call [`Lexer::tokenize`] to get the full token stream.
+#[derive(Debug)]
+pub struct Lexer<'a> {
+    input: &'a str,
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Lexer<'a> {
+    /// Create a lexer over `input`.
+    pub fn new(input: &'a str) -> Self {
+        Self {
+            input,
+            bytes: input.as_bytes(),
+            pos: 0,
+        }
+    }
+
+    /// Tokenize the whole input, appending a trailing [`TokenKind::Eof`].
+    pub fn tokenize(mut self) -> Result<Vec<Token>, ParseError> {
+        let mut tokens = Vec::new();
+        loop {
+            let token = self.next_token()?;
+            let eof = token.kind == TokenKind::Eof;
+            tokens.push(token);
+            if eof {
+                break;
+            }
+        }
+        Ok(tokens)
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn peek_ahead(&self, n: usize) -> Option<u8> {
+        self.bytes.get(self.pos + n).copied()
+    }
+
+    fn skip_whitespace_and_comments(&mut self) {
+        loop {
+            while matches!(self.peek(), Some(b) if b.is_ascii_whitespace()) {
+                self.pos += 1;
+            }
+            // SQL line comments: -- to end of line.
+            if self.peek() == Some(b'-') && self.peek_ahead(1) == Some(b'-') {
+                while let Some(b) = self.peek() {
+                    self.pos += 1;
+                    if b == b'\n' {
+                        break;
+                    }
+                }
+                continue;
+            }
+            // Block comments: /* ... */
+            if self.peek() == Some(b'/') && self.peek_ahead(1) == Some(b'*') {
+                self.pos += 2;
+                while self.pos < self.bytes.len() {
+                    if self.peek() == Some(b'*') && self.peek_ahead(1) == Some(b'/') {
+                        self.pos += 2;
+                        break;
+                    }
+                    self.pos += 1;
+                }
+                continue;
+            }
+            break;
+        }
+    }
+
+    fn next_token(&mut self) -> Result<Token, ParseError> {
+        self.skip_whitespace_and_comments();
+        let offset = self.pos;
+        let b = match self.peek() {
+            None => {
+                return Ok(Token {
+                    kind: TokenKind::Eof,
+                    offset,
+                })
+            }
+            Some(b) => b,
+        };
+
+        let kind = match b {
+            b'(' => {
+                self.pos += 1;
+                TokenKind::LParen
+            }
+            b')' => {
+                self.pos += 1;
+                TokenKind::RParen
+            }
+            b',' => {
+                self.pos += 1;
+                TokenKind::Comma
+            }
+            b';' => {
+                self.pos += 1;
+                TokenKind::Semicolon
+            }
+            b'.' => {
+                self.pos += 1;
+                TokenKind::Dot
+            }
+            b'*' => {
+                self.pos += 1;
+                TokenKind::Star
+            }
+            b'=' => {
+                self.pos += 1;
+                TokenKind::Eq
+            }
+            b'+' => {
+                self.pos += 1;
+                TokenKind::Plus
+            }
+            b'-' => {
+                self.pos += 1;
+                TokenKind::Minus
+            }
+            b'/' => {
+                self.pos += 1;
+                TokenKind::Slash
+            }
+            b'!' => {
+                if self.peek_ahead(1) == Some(b'=') {
+                    self.pos += 2;
+                    TokenKind::NotEq
+                } else {
+                    return Err(ParseError::new("unexpected character '!'", offset));
+                }
+            }
+            b'<' => {
+                if self.peek_ahead(1) == Some(b'=') {
+                    self.pos += 2;
+                    TokenKind::LtEq
+                } else if self.peek_ahead(1) == Some(b'>') {
+                    self.pos += 2;
+                    TokenKind::NotEq
+                } else {
+                    self.pos += 1;
+                    TokenKind::Lt
+                }
+            }
+            b'>' => {
+                if self.peek_ahead(1) == Some(b'=') {
+                    self.pos += 2;
+                    TokenKind::GtEq
+                } else {
+                    self.pos += 1;
+                    TokenKind::Gt
+                }
+            }
+            b'\'' => return self.lex_string(offset),
+            b'"' => return self.lex_quoted_ident(offset),
+            b'0'..=b'9' => return self.lex_number(offset),
+            b if b.is_ascii_alphabetic() || b == b'_' => return Ok(self.lex_ident(offset)),
+            other => {
+                return Err(ParseError::new(
+                    format!("unexpected character '{}'", other as char),
+                    offset,
+                ))
+            }
+        };
+        Ok(Token { kind, offset })
+    }
+
+    fn lex_string(&mut self, offset: usize) -> Result<Token, ParseError> {
+        // Skip opening quote.
+        self.pos += 1;
+        let mut value = String::new();
+        loop {
+            match self.peek() {
+                None => return Err(ParseError::new("unterminated string literal", offset)),
+                Some(b'\'') => {
+                    if self.peek_ahead(1) == Some(b'\'') {
+                        value.push('\'');
+                        self.pos += 2;
+                    } else {
+                        self.pos += 1;
+                        break;
+                    }
+                }
+                Some(_) => {
+                    // Advance one UTF-8 character.
+                    let rest = &self.input[self.pos..];
+                    let ch = rest.chars().next().expect("non-empty");
+                    value.push(ch);
+                    self.pos += ch.len_utf8();
+                }
+            }
+        }
+        Ok(Token {
+            kind: TokenKind::StringLit(value),
+            offset,
+        })
+    }
+
+    fn lex_quoted_ident(&mut self, offset: usize) -> Result<Token, ParseError> {
+        self.pos += 1;
+        let start = self.pos;
+        while let Some(b) = self.peek() {
+            if b == b'"' {
+                let ident = self.input[start..self.pos].to_string();
+                self.pos += 1;
+                return Ok(Token {
+                    kind: TokenKind::Ident(ident),
+                    offset,
+                });
+            }
+            self.pos += 1;
+        }
+        Err(ParseError::new("unterminated quoted identifier", offset))
+    }
+
+    fn lex_number(&mut self, offset: usize) -> Result<Token, ParseError> {
+        let start = self.pos;
+        while matches!(self.peek(), Some(b) if b.is_ascii_digit()) {
+            self.pos += 1;
+        }
+        let mut is_float = false;
+        if self.peek() == Some(b'.') && matches!(self.peek_ahead(1), Some(b) if b.is_ascii_digit())
+        {
+            is_float = true;
+            self.pos += 1;
+            while matches!(self.peek(), Some(b) if b.is_ascii_digit()) {
+                self.pos += 1;
+            }
+        }
+        if matches!(self.peek(), Some(b'e' | b'E')) {
+            let mut ahead = 1;
+            if matches!(self.peek_ahead(1), Some(b'+' | b'-')) {
+                ahead = 2;
+            }
+            if matches!(self.peek_ahead(ahead), Some(b) if b.is_ascii_digit()) {
+                is_float = true;
+                self.pos += ahead;
+                while matches!(self.peek(), Some(b) if b.is_ascii_digit()) {
+                    self.pos += 1;
+                }
+            }
+        }
+        let text = &self.input[start..self.pos];
+        let kind = if is_float {
+            TokenKind::FloatLit(
+                text.parse::<f64>()
+                    .map_err(|_| ParseError::new(format!("invalid number '{text}'"), offset))?,
+            )
+        } else {
+            TokenKind::IntLit(
+                text.parse::<i64>()
+                    .map_err(|_| ParseError::new(format!("invalid number '{text}'"), offset))?,
+            )
+        };
+        Ok(Token { kind, offset })
+    }
+
+    fn lex_ident(&mut self, offset: usize) -> Token {
+        let start = self.pos;
+        while matches!(self.peek(), Some(b) if b.is_ascii_alphanumeric() || b == b'_') {
+            self.pos += 1;
+        }
+        Token {
+            kind: TokenKind::Ident(self.input[start..self.pos].to_string()),
+            offset,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(sql: &str) -> Vec<TokenKind> {
+        Lexer::new(sql)
+            .tokenize()
+            .unwrap()
+            .into_iter()
+            .map(|t| t.kind)
+            .collect()
+    }
+
+    #[test]
+    fn lexes_simple_select() {
+        let toks = kinds("SELECT min(t.id) FROM title AS t WHERE t.production_year > 2000;");
+        assert!(toks.contains(&TokenKind::Ident("SELECT".into())));
+        assert!(toks.contains(&TokenKind::Gt));
+        assert!(toks.contains(&TokenKind::IntLit(2000)));
+        assert_eq!(*toks.last().unwrap(), TokenKind::Eof);
+    }
+
+    #[test]
+    fn lexes_strings_with_escapes() {
+        let toks = kinds("n.name LIKE '%Downey%Robert%' AND x = 'O''Brien'");
+        assert!(toks.contains(&TokenKind::StringLit("%Downey%Robert%".into())));
+        assert!(toks.contains(&TokenKind::StringLit("O'Brien".into())));
+    }
+
+    #[test]
+    fn lexes_operators() {
+        let toks = kinds("a <> b != c <= d >= e < f > g = h");
+        assert_eq!(
+            toks.iter()
+                .filter(|k| matches!(k, TokenKind::NotEq))
+                .count(),
+            2
+        );
+        assert!(toks.contains(&TokenKind::LtEq));
+        assert!(toks.contains(&TokenKind::GtEq));
+    }
+
+    #[test]
+    fn lexes_numbers() {
+        let toks = kinds("1 2.5 3e2 10.25e-1");
+        assert_eq!(toks[0], TokenKind::IntLit(1));
+        assert_eq!(toks[1], TokenKind::FloatLit(2.5));
+        assert_eq!(toks[2], TokenKind::FloatLit(300.0));
+        assert_eq!(toks[3], TokenKind::FloatLit(1.025));
+    }
+
+    #[test]
+    fn skips_comments() {
+        let toks = kinds("SELECT -- a comment\n 1 /* block */ , 2");
+        assert!(toks.contains(&TokenKind::IntLit(1)));
+        assert!(toks.contains(&TokenKind::IntLit(2)));
+        assert_eq!(toks.len(), 5); // SELECT 1 , 2 EOF
+    }
+
+    #[test]
+    fn quoted_identifiers() {
+        let toks = kinds("\"movie_info\" . \"info\"");
+        assert_eq!(toks[0], TokenKind::Ident("movie_info".into()));
+        assert_eq!(toks[1], TokenKind::Dot);
+    }
+
+    #[test]
+    fn unterminated_string_errors() {
+        assert!(Lexer::new("'abc").tokenize().is_err());
+        assert!(Lexer::new("\"abc").tokenize().is_err());
+    }
+
+    #[test]
+    fn unexpected_character_errors() {
+        assert!(Lexer::new("a ! b").tokenize().is_err());
+        assert!(Lexer::new("a ? b").tokenize().is_err());
+    }
+
+    #[test]
+    fn keyword_check_is_case_insensitive() {
+        let toks = Lexer::new("select").tokenize().unwrap();
+        assert!(toks[0].is_keyword("SELECT"));
+        assert!(toks[0].is_keyword("select"));
+        assert!(!toks[0].is_keyword("from"));
+    }
+}

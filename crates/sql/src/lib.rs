@@ -1,0 +1,32 @@
+//! # reopt-sql
+//!
+//! A lexer, parser and AST for the SQL subset used by the Join Order Benchmark and by
+//! the paper's re-optimization simulation:
+//!
+//! * `SELECT` lists with scalar expressions and the aggregates `MIN`/`MAX`/`COUNT`/`SUM`/
+//!   `AVG` (JOB queries are all `SELECT MIN(...) ... FROM ... WHERE ...`),
+//! * comma-separated `FROM` lists with `AS` aliases (including self-joins such as
+//!   `info_type AS it1, info_type AS it2`),
+//! * `WHERE` clauses built from `AND`/`OR`/`NOT`, comparisons, `IN` lists, `LIKE`,
+//!   `BETWEEN` and `IS [NOT] NULL`,
+//! * `GROUP BY`, `ORDER BY`, `LIMIT` (for the examples and tests),
+//! * `CREATE TEMP TABLE name AS SELECT ...` — the statement the re-optimization
+//!   controller emits when it materializes a mis-estimated sub-join (Fig. 6 of the
+//!   paper),
+//! * `EXPLAIN [ANALYZE] SELECT ...`.
+//!
+//! The parser produces [`Statement`]s whose predicates are
+//! [`reopt_expr::Expr`] trees, so everything downstream (binder, optimizer, executor)
+//! shares one expression type.
+
+pub mod ast;
+pub mod error;
+pub mod lexer;
+pub mod parser;
+
+pub use ast::{
+    AggregateFunc, OrderByItem, SelectExpr, SelectItem, SelectStatement, Statement, TableRef,
+};
+pub use error::ParseError;
+pub use lexer::{Lexer, Token, TokenKind};
+pub use parser::{parse_sql, parse_statements, Parser};

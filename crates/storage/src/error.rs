@@ -1,0 +1,72 @@
+//! Error type for the storage layer.
+
+use std::fmt;
+
+/// Errors raised by the storage layer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StorageError {
+    /// A table with this name already exists.
+    TableExists(String),
+    /// No table with this name exists.
+    TableNotFound(String),
+    /// No column with this name exists in the schema.
+    ColumnNotFound(String),
+    /// A row did not match the table schema (wrong arity or incompatible type).
+    SchemaMismatch {
+        /// Human-readable description of the mismatch.
+        detail: String,
+    },
+    /// An index with this name already exists on the table.
+    IndexExists(String),
+    /// No index with this name exists on the table.
+    IndexNotFound(String),
+}
+
+impl fmt::Display for StorageError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StorageError::TableExists(name) => write!(f, "table '{name}' already exists"),
+            StorageError::TableNotFound(name) => write!(f, "table '{name}' does not exist"),
+            StorageError::ColumnNotFound(name) => write!(f, "column '{name}' does not exist"),
+            StorageError::SchemaMismatch { detail } => write!(f, "schema mismatch: {detail}"),
+            StorageError::IndexExists(name) => write!(f, "index '{name}' already exists"),
+            StorageError::IndexNotFound(name) => write!(f, "index '{name}' does not exist"),
+        }
+    }
+}
+
+impl std::error::Error for StorageError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_descriptive() {
+        assert_eq!(
+            StorageError::TableExists("t".into()).to_string(),
+            "table 't' already exists"
+        );
+        assert_eq!(
+            StorageError::TableNotFound("t".into()).to_string(),
+            "table 't' does not exist"
+        );
+        assert_eq!(
+            StorageError::ColumnNotFound("c".into()).to_string(),
+            "column 'c' does not exist"
+        );
+        assert!(StorageError::SchemaMismatch {
+            detail: "arity".into()
+        }
+        .to_string()
+        .contains("arity"));
+        assert_eq!(
+            StorageError::IndexExists("i".into()).to_string(),
+            "index 'i' already exists"
+        );
+        assert_eq!(
+            StorageError::IndexNotFound("i".into()).to_string(),
+            "index 'i' does not exist"
+        );
+    }
+}

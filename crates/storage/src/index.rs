@@ -1,0 +1,292 @@
+//! Secondary indexes.
+//!
+//! The paper adds foreign-key indexes to every join column "making access path selection
+//! more challenging" (Section III-A): the optimizer must choose between sequential scans,
+//! index scans and index-nested-loop joins. Two index shapes are provided:
+//!
+//! * [`HashIndex`] — equality lookups (`col = const`, index-nested-loop join probes).
+//! * [`BTreeIndex`] — equality *and* range lookups (`col > const`, `BETWEEN`).
+//!
+//! Both map a key value to the [`RowId`]s holding it. NULL keys are not indexed, which
+//! matches SQL semantics for equality predicates (NULL never matches).
+
+use crate::row::RowId;
+use crate::value::Value;
+use std::collections::{BTreeMap, HashMap};
+use std::ops::Bound;
+
+/// The physical shape of an index.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum IndexKind {
+    /// Hash index: equality lookups only.
+    Hash,
+    /// B-tree index: equality and range lookups.
+    BTree,
+}
+
+/// A secondary index over a single column of a table.
+#[derive(Debug, Clone)]
+pub enum Index {
+    /// Hash-shaped index.
+    Hash(HashIndex),
+    /// B-tree-shaped index.
+    BTree(BTreeIndex),
+}
+
+impl Index {
+    /// Build an index of the requested kind over `column` from the rows provided.
+    pub fn build<'a>(
+        kind: IndexKind,
+        name: impl Into<String>,
+        column: usize,
+        rows: impl Iterator<Item = &'a crate::row::Row>,
+    ) -> Self {
+        match kind {
+            IndexKind::Hash => Index::Hash(HashIndex::build(name, column, rows)),
+            IndexKind::BTree => Index::BTree(BTreeIndex::build(name, column, rows)),
+        }
+    }
+
+    /// Index name.
+    pub fn name(&self) -> &str {
+        match self {
+            Index::Hash(i) => &i.name,
+            Index::BTree(i) => &i.name,
+        }
+    }
+
+    /// The indexed column ordinal.
+    pub fn column(&self) -> usize {
+        match self {
+            Index::Hash(i) => i.column,
+            Index::BTree(i) => i.column,
+        }
+    }
+
+    /// The index kind.
+    pub fn kind(&self) -> IndexKind {
+        match self {
+            Index::Hash(_) => IndexKind::Hash,
+            Index::BTree(_) => IndexKind::BTree,
+        }
+    }
+
+    /// Whether this index can serve range predicates.
+    pub fn supports_range(&self) -> bool {
+        matches!(self, Index::BTree(_))
+    }
+
+    /// Equality lookup: all row ids whose key equals `key`.
+    pub fn lookup(&self, key: &Value) -> &[RowId] {
+        match self {
+            Index::Hash(i) => i.lookup(key),
+            Index::BTree(i) => i.lookup(key),
+        }
+    }
+
+    /// Range lookup (B-tree only; hash indexes return an empty result).
+    pub fn range(&self, low: Bound<&Value>, high: Bound<&Value>) -> Vec<RowId> {
+        match self {
+            Index::Hash(_) => Vec::new(),
+            Index::BTree(i) => i.range(low, high),
+        }
+    }
+
+    /// Number of distinct keys in the index.
+    pub fn distinct_keys(&self) -> usize {
+        match self {
+            Index::Hash(i) => i.map.len(),
+            Index::BTree(i) => i.map.len(),
+        }
+    }
+
+    /// Total number of indexed entries (rows with non-NULL keys).
+    pub fn entry_count(&self) -> usize {
+        match self {
+            Index::Hash(i) => i.entries,
+            Index::BTree(i) => i.entries,
+        }
+    }
+
+    /// Register a newly appended row in the index.
+    pub fn insert(&mut self, key: &Value, row_id: RowId) {
+        match self {
+            Index::Hash(i) => i.insert(key, row_id),
+            Index::BTree(i) => i.insert(key, row_id),
+        }
+    }
+}
+
+/// Hash index: `Value -> Vec<RowId>`.
+#[derive(Debug, Clone)]
+pub struct HashIndex {
+    name: String,
+    column: usize,
+    map: HashMap<Value, Vec<RowId>>,
+    entries: usize,
+}
+
+impl HashIndex {
+    /// Build a hash index from rows.
+    pub fn build<'a>(
+        name: impl Into<String>,
+        column: usize,
+        rows: impl Iterator<Item = &'a crate::row::Row>,
+    ) -> Self {
+        let mut index = Self {
+            name: name.into(),
+            column,
+            map: HashMap::new(),
+            entries: 0,
+        };
+        for (row_id, row) in rows.enumerate() {
+            index.insert(row.value(column), row_id);
+        }
+        index
+    }
+
+    fn insert(&mut self, key: &Value, row_id: RowId) {
+        if key.is_null() {
+            return;
+        }
+        self.map.entry(key.clone()).or_default().push(row_id);
+        self.entries += 1;
+    }
+
+    fn lookup(&self, key: &Value) -> &[RowId] {
+        if key.is_null() {
+            return &[];
+        }
+        self.map.get(key).map(Vec::as_slice).unwrap_or(&[])
+    }
+}
+
+/// B-tree index: ordered `Value -> Vec<RowId>`.
+#[derive(Debug, Clone)]
+pub struct BTreeIndex {
+    name: String,
+    column: usize,
+    map: BTreeMap<Value, Vec<RowId>>,
+    entries: usize,
+}
+
+impl BTreeIndex {
+    /// Build a B-tree index from rows.
+    pub fn build<'a>(
+        name: impl Into<String>,
+        column: usize,
+        rows: impl Iterator<Item = &'a crate::row::Row>,
+    ) -> Self {
+        let mut index = Self {
+            name: name.into(),
+            column,
+            map: BTreeMap::new(),
+            entries: 0,
+        };
+        for (row_id, row) in rows.enumerate() {
+            index.insert(row.value(column), row_id);
+        }
+        index
+    }
+
+    fn insert(&mut self, key: &Value, row_id: RowId) {
+        if key.is_null() {
+            return;
+        }
+        self.map.entry(key.clone()).or_default().push(row_id);
+        self.entries += 1;
+    }
+
+    fn lookup(&self, key: &Value) -> &[RowId] {
+        if key.is_null() {
+            return &[];
+        }
+        self.map.get(key).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    fn range(&self, low: Bound<&Value>, high: Bound<&Value>) -> Vec<RowId> {
+        let low = clone_bound(low);
+        let high = clone_bound(high);
+        let mut out = Vec::new();
+        for (_, ids) in self.map.range((low, high)) {
+            out.extend_from_slice(ids);
+        }
+        out
+    }
+}
+
+fn clone_bound(b: Bound<&Value>) -> Bound<Value> {
+    match b {
+        Bound::Included(v) => Bound::Included(v.clone()),
+        Bound::Excluded(v) => Bound::Excluded(v.clone()),
+        Bound::Unbounded => Bound::Unbounded,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::row::Row;
+
+    fn rows() -> Vec<Row> {
+        vec![
+            Row::from_values(vec![Value::Int(1), Value::from("a")]),
+            Row::from_values(vec![Value::Int(2), Value::from("b")]),
+            Row::from_values(vec![Value::Int(2), Value::from("c")]),
+            Row::from_values(vec![Value::Null, Value::from("d")]),
+            Row::from_values(vec![Value::Int(5), Value::from("e")]),
+        ]
+    }
+
+    #[test]
+    fn hash_index_equality_lookup() {
+        let rows = rows();
+        let idx = Index::build(IndexKind::Hash, "ix", 0, rows.iter());
+        assert_eq!(idx.lookup(&Value::Int(2)), &[1, 2]);
+        assert_eq!(idx.lookup(&Value::Int(42)), &[] as &[RowId]);
+        assert_eq!(idx.lookup(&Value::Null), &[] as &[RowId]);
+        assert_eq!(idx.distinct_keys(), 3);
+        assert_eq!(idx.entry_count(), 4);
+        assert!(!idx.supports_range());
+    }
+
+    #[test]
+    fn btree_index_range_lookup() {
+        let rows = rows();
+        let idx = Index::build(IndexKind::BTree, "ix", 0, rows.iter());
+        let hits = idx.range(Bound::Included(&Value::Int(2)), Bound::Unbounded);
+        assert_eq!(hits, vec![1, 2, 4]);
+        let hits = idx.range(Bound::Excluded(&Value::Int(2)), Bound::Excluded(&Value::Int(5)));
+        assert!(hits.is_empty());
+        assert!(idx.supports_range());
+        assert_eq!(idx.kind(), IndexKind::BTree);
+    }
+
+    #[test]
+    fn hash_index_range_is_empty() {
+        let rows = rows();
+        let idx = Index::build(IndexKind::Hash, "ix", 0, rows.iter());
+        assert!(idx
+            .range(Bound::Unbounded, Bound::Unbounded)
+            .is_empty());
+    }
+
+    #[test]
+    fn insert_updates_index() {
+        let rows = rows();
+        let mut idx = Index::build(IndexKind::Hash, "ix", 0, rows.iter());
+        idx.insert(&Value::Int(1), 5);
+        assert_eq!(idx.lookup(&Value::Int(1)), &[0, 5]);
+        // NULL inserts are ignored.
+        idx.insert(&Value::Null, 6);
+        assert_eq!(idx.entry_count(), 5);
+    }
+
+    #[test]
+    fn index_metadata() {
+        let rows = rows();
+        let idx = Index::build(IndexKind::BTree, "title_id_btree", 0, rows.iter());
+        assert_eq!(idx.name(), "title_id_btree");
+        assert_eq!(idx.column(), 0);
+    }
+}

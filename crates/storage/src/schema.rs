@@ -1,0 +1,311 @@
+//! Table and intermediate-result schemas.
+//!
+//! A [`Schema`] is an ordered list of [`Column`]s. Columns in intermediate results
+//! produced by joins carry an optional *qualifier* (the table alias they came from), so
+//! `ci.movie_id` and `mk.movie_id` remain distinguishable after a join — exactly the
+//! lookup the executor and the re-optimization rewriter need.
+
+use crate::error::StorageError;
+use crate::value::DataType;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A single column definition.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Column {
+    /// Column name (lowercase by convention).
+    name: String,
+    /// Data type.
+    data_type: DataType,
+    /// Whether NULLs are allowed. Only used by statistics and data generators.
+    nullable: bool,
+    /// Optional qualifier (table alias) for columns of intermediate results.
+    qualifier: Option<String>,
+}
+
+impl Column {
+    /// Create a nullable, unqualified column.
+    pub fn new(name: impl Into<String>, data_type: DataType) -> Self {
+        Self {
+            name: name.into().to_ascii_lowercase(),
+            data_type,
+            nullable: true,
+            qualifier: None,
+        }
+    }
+
+    /// Create a NOT NULL column.
+    pub fn not_null(name: impl Into<String>, data_type: DataType) -> Self {
+        Self {
+            nullable: false,
+            ..Self::new(name, data_type)
+        }
+    }
+
+    /// Return a copy of this column carrying a qualifier (table alias).
+    pub fn with_qualifier(&self, qualifier: impl Into<String>) -> Self {
+        Self {
+            qualifier: Some(qualifier.into().to_ascii_lowercase()),
+            ..self.clone()
+        }
+    }
+
+    /// Column name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Column data type.
+    pub fn data_type(&self) -> DataType {
+        self.data_type
+    }
+
+    /// Whether the column admits NULLs.
+    pub fn is_nullable(&self) -> bool {
+        self.nullable
+    }
+
+    /// The qualifier (table alias), if any.
+    pub fn qualifier(&self) -> Option<&str> {
+        self.qualifier.as_deref()
+    }
+
+    /// Fully qualified name, `alias.column` or just `column`.
+    pub fn qualified_name(&self) -> String {
+        match &self.qualifier {
+            Some(q) => format!("{q}.{}", self.name),
+            None => self.name.clone(),
+        }
+    }
+
+    /// Whether this column matches a reference `(qualifier, name)`.
+    ///
+    /// A reference without a qualifier matches any column with the right name; a
+    /// reference with a qualifier requires the qualifiers to match too.
+    pub fn matches(&self, qualifier: Option<&str>, name: &str) -> bool {
+        if !self.name.eq_ignore_ascii_case(name) {
+            return false;
+        }
+        match qualifier {
+            None => true,
+            Some(q) => self
+                .qualifier
+                .as_deref()
+                .map(|own| own.eq_ignore_ascii_case(q))
+                .unwrap_or(false),
+        }
+    }
+}
+
+impl fmt::Display for Column {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} {}", self.qualified_name(), self.data_type)
+    }
+}
+
+/// An ordered list of columns.
+#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct Schema {
+    columns: Vec<Column>,
+}
+
+impl Schema {
+    /// Create a schema from a list of columns.
+    pub fn new(columns: Vec<Column>) -> Self {
+        Self { columns }
+    }
+
+    /// An empty schema.
+    pub fn empty() -> Self {
+        Self::default()
+    }
+
+    /// Number of columns.
+    pub fn len(&self) -> usize {
+        self.columns.len()
+    }
+
+    /// Whether the schema has no columns.
+    pub fn is_empty(&self) -> bool {
+        self.columns.is_empty()
+    }
+
+    /// The columns in order.
+    pub fn columns(&self) -> &[Column] {
+        &self.columns
+    }
+
+    /// Column at a given ordinal position.
+    pub fn column(&self, idx: usize) -> Option<&Column> {
+        self.columns.get(idx)
+    }
+
+    /// Find the ordinal position of a column by (optional qualifier, name).
+    ///
+    /// Returns an error if the column does not exist or the reference is ambiguous.
+    pub fn index_of(&self, qualifier: Option<&str>, name: &str) -> Result<usize, StorageError> {
+        let mut matches = self
+            .columns
+            .iter()
+            .enumerate()
+            .filter(|(_, c)| c.matches(qualifier, name));
+        match (matches.next(), matches.next()) {
+            (Some((idx, _)), None) => Ok(idx),
+            (Some(_), Some(_)) => Err(StorageError::ColumnNotFound(format!(
+                "ambiguous column reference '{}'",
+                display_ref(qualifier, name)
+            ))),
+            (None, _) => Err(StorageError::ColumnNotFound(display_ref(qualifier, name))),
+        }
+    }
+
+    /// Find the ordinal position of an unqualified column name.
+    pub fn index_of_unqualified(&self, name: &str) -> Result<usize, StorageError> {
+        self.index_of(None, name)
+    }
+
+    /// Whether a reference resolves to a column in this schema.
+    pub fn contains(&self, qualifier: Option<&str>, name: &str) -> bool {
+        self.columns.iter().any(|c| c.matches(qualifier, name))
+    }
+
+    /// Return a copy of this schema with every column qualified by `alias`.
+    pub fn qualified(&self, alias: &str) -> Schema {
+        Schema::new(
+            self.columns
+                .iter()
+                .map(|c| c.with_qualifier(alias))
+                .collect(),
+        )
+    }
+
+    /// Concatenate two schemas (the schema of a join result).
+    pub fn join(&self, other: &Schema) -> Schema {
+        let mut columns = self.columns.clone();
+        columns.extend(other.columns.iter().cloned());
+        Schema::new(columns)
+    }
+
+    /// Return a schema consisting of the columns at `indices`, in that order.
+    pub fn project(&self, indices: &[usize]) -> Schema {
+        Schema::new(
+            indices
+                .iter()
+                .filter_map(|&i| self.columns.get(i).cloned())
+                .collect(),
+        )
+    }
+
+    /// Append a column, returning its ordinal.
+    pub fn push(&mut self, column: Column) -> usize {
+        self.columns.push(column);
+        self.columns.len() - 1
+    }
+
+    /// Average tuple width in bytes implied by the column types; used by the cost model
+    /// before real statistics exist.
+    pub fn nominal_width(&self) -> usize {
+        self.columns
+            .iter()
+            .map(|c| match c.data_type() {
+                DataType::Int | DataType::Float => 8,
+                DataType::Bool => 1,
+                DataType::Text => 32,
+            })
+            .sum()
+    }
+}
+
+fn display_ref(qualifier: Option<&str>, name: &str) -> String {
+    match qualifier {
+        Some(q) => format!("{q}.{name}"),
+        None => name.to_string(),
+    }
+}
+
+impl fmt::Display for Schema {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let cols: Vec<String> = self.columns.iter().map(|c| c.to_string()).collect();
+        write!(f, "({})", cols.join(", "))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn movie_schema() -> Schema {
+        Schema::new(vec![
+            Column::not_null("id", DataType::Int),
+            Column::new("title", DataType::Text),
+            Column::new("production_year", DataType::Int),
+        ])
+    }
+
+    #[test]
+    fn index_of_unqualified_column() {
+        let schema = movie_schema();
+        assert_eq!(schema.index_of(None, "title").unwrap(), 1);
+        assert_eq!(schema.index_of(None, "TITLE").unwrap(), 1);
+        assert!(schema.index_of(None, "nope").is_err());
+    }
+
+    #[test]
+    fn qualified_lookup_requires_matching_alias() {
+        let schema = movie_schema().qualified("t");
+        assert_eq!(schema.index_of(Some("t"), "id").unwrap(), 0);
+        assert!(schema.index_of(Some("x"), "id").is_err());
+        // Unqualified reference still matches a qualified column.
+        assert_eq!(schema.index_of(None, "id").unwrap(), 0);
+    }
+
+    #[test]
+    fn ambiguous_reference_detected() {
+        let joined = movie_schema().qualified("a").join(&movie_schema().qualified("b"));
+        let err = joined.index_of(None, "id").unwrap_err();
+        assert!(err.to_string().contains("ambiguous"));
+        assert_eq!(joined.index_of(Some("b"), "id").unwrap(), 3);
+    }
+
+    #[test]
+    fn join_concatenates_columns() {
+        let a = movie_schema().qualified("a");
+        let b = movie_schema().qualified("b");
+        let j = a.join(&b);
+        assert_eq!(j.len(), 6);
+        assert_eq!(j.column(0).unwrap().qualified_name(), "a.id");
+        assert_eq!(j.column(3).unwrap().qualified_name(), "b.id");
+    }
+
+    #[test]
+    fn project_selects_columns() {
+        let schema = movie_schema();
+        let p = schema.project(&[2, 0]);
+        assert_eq!(p.len(), 2);
+        assert_eq!(p.column(0).unwrap().name(), "production_year");
+        assert_eq!(p.column(1).unwrap().name(), "id");
+    }
+
+    #[test]
+    fn nominal_width_sums_types() {
+        assert_eq!(movie_schema().nominal_width(), 8 + 32 + 8);
+    }
+
+    #[test]
+    fn column_display_and_matches() {
+        let c = Column::new("id", DataType::Int).with_qualifier("t");
+        assert_eq!(c.qualified_name(), "t.id");
+        assert!(c.matches(Some("T"), "ID"));
+        assert!(!c.matches(Some("u"), "id"));
+        assert!(c.matches(None, "id"));
+        assert_eq!(c.to_string(), "t.id int");
+    }
+
+    #[test]
+    fn push_appends_column() {
+        let mut schema = movie_schema();
+        let idx = schema.push(Column::new("kind_id", DataType::Int));
+        assert_eq!(idx, 3);
+        assert_eq!(schema.len(), 4);
+    }
+}

@@ -1,0 +1,339 @@
+//! Tables: a schema, a heap of rows, and secondary indexes.
+
+use crate::error::StorageError;
+use crate::index::{Index, IndexKind};
+use crate::row::{Row, RowId};
+use crate::schema::Schema;
+use crate::value::Value;
+use std::collections::BTreeMap;
+
+/// An in-memory table.
+#[derive(Debug, Clone)]
+pub struct Table {
+    name: String,
+    schema: Schema,
+    rows: Vec<Row>,
+    indexes: BTreeMap<String, Index>,
+    temporary: bool,
+}
+
+impl Table {
+    /// Create an empty table.
+    pub fn new(name: impl Into<String>, schema: Schema) -> Self {
+        Self {
+            name: name.into().to_ascii_lowercase(),
+            schema,
+            rows: Vec::new(),
+            indexes: BTreeMap::new(),
+            temporary: false,
+        }
+    }
+
+    /// Create a table pre-populated with rows (no schema validation per row; use
+    /// [`Table::push_row`] when validation matters).
+    pub fn with_rows(name: impl Into<String>, schema: Schema, rows: Vec<Row>) -> Self {
+        let mut table = Self::new(name, schema);
+        table.rows = rows;
+        table
+    }
+
+    /// Table name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Table schema.
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// Whether this table is a temporary table created during re-optimization.
+    pub fn is_temporary(&self) -> bool {
+        self.temporary
+    }
+
+    /// Mark or unmark the table as temporary.
+    pub fn set_temporary(&mut self, temporary: bool) {
+        self.temporary = temporary;
+    }
+
+    /// Number of rows.
+    pub fn row_count(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// All rows, in insertion (row id) order.
+    pub fn rows(&self) -> &[Row] {
+        &self.rows
+    }
+
+    /// A single row by id.
+    pub fn row(&self, id: RowId) -> Option<&Row> {
+        self.rows.get(id)
+    }
+
+    /// Average row width in bytes over a sample of rows (used by ANALYZE / cost model).
+    pub fn average_row_width(&self) -> usize {
+        if self.rows.is_empty() {
+            return self.schema.nominal_width();
+        }
+        let sample = self.rows.len().min(1024);
+        let total: usize = self.rows.iter().take(sample).map(Row::width).sum();
+        (total / sample).max(1)
+    }
+
+    /// Validate a row against the schema and append it, maintaining all indexes.
+    pub fn push_row(&mut self, row: Row) -> Result<RowId, StorageError> {
+        if row.len() != self.schema.len() {
+            return Err(StorageError::SchemaMismatch {
+                detail: format!(
+                    "table '{}' expects {} columns, row has {}",
+                    self.name,
+                    self.schema.len(),
+                    row.len()
+                ),
+            });
+        }
+        for (idx, value) in row.values().iter().enumerate() {
+            if let Some(value_type) = value.data_type() {
+                let column = self.schema.column(idx).expect("column exists");
+                if !value_type.coercible_to(column.data_type()) {
+                    return Err(StorageError::SchemaMismatch {
+                        detail: format!(
+                            "column '{}' of table '{}' has type {}, got {}",
+                            column.name(),
+                            self.name,
+                            column.data_type(),
+                            value_type
+                        ),
+                    });
+                }
+            }
+        }
+        let row_id = self.rows.len();
+        for index in self.indexes.values_mut() {
+            index.insert(row.value(index.column()), row_id);
+        }
+        self.rows.push(row);
+        Ok(row_id)
+    }
+
+    /// Append many rows with validation.
+    pub fn push_rows(&mut self, rows: Vec<Row>) -> Result<(), StorageError> {
+        self.rows.reserve(rows.len());
+        for row in rows {
+            self.push_row(row)?;
+        }
+        Ok(())
+    }
+
+    /// Append a row without validation (bulk-load path used by data generators).
+    pub fn push_row_unchecked(&mut self, row: Row) -> RowId {
+        let row_id = self.rows.len();
+        for index in self.indexes.values_mut() {
+            index.insert(row.value(index.column()), row_id);
+        }
+        self.rows.push(row);
+        row_id
+    }
+
+    /// Create an index over a column (by name). Fails if the name is taken or the column
+    /// does not exist.
+    pub fn create_index(
+        &mut self,
+        index_name: impl Into<String>,
+        column_name: &str,
+        kind: IndexKind,
+    ) -> Result<(), StorageError> {
+        let index_name = index_name.into().to_ascii_lowercase();
+        if self.indexes.contains_key(&index_name) {
+            return Err(StorageError::IndexExists(index_name));
+        }
+        let column = self.schema.index_of(None, column_name)?;
+        let index = Index::build(kind, index_name.clone(), column, self.rows.iter());
+        self.indexes.insert(index_name, index);
+        Ok(())
+    }
+
+    /// Drop an index by name.
+    pub fn drop_index(&mut self, index_name: &str) -> Result<(), StorageError> {
+        self.indexes
+            .remove(&index_name.to_ascii_lowercase())
+            .map(|_| ())
+            .ok_or_else(|| StorageError::IndexNotFound(index_name.to_string()))
+    }
+
+    /// All indexes on this table.
+    pub fn indexes(&self) -> impl Iterator<Item = &Index> {
+        self.indexes.values()
+    }
+
+    /// The first index (if any) over the given column ordinal, preferring B-trees when
+    /// `need_range` is set.
+    pub fn index_on_column(&self, column: usize, need_range: bool) -> Option<&Index> {
+        let mut fallback = None;
+        for index in self.indexes.values() {
+            if index.column() != column {
+                continue;
+            }
+            if need_range {
+                if index.supports_range() {
+                    return Some(index);
+                }
+            } else {
+                if matches!(index.kind(), IndexKind::Hash) {
+                    return Some(index);
+                }
+                fallback = Some(index);
+            }
+        }
+        if need_range {
+            None
+        } else {
+            fallback
+        }
+    }
+
+    /// Whether any index exists on the given column ordinal.
+    pub fn has_index_on(&self, column: usize) -> bool {
+        self.indexes.values().any(|i| i.column() == column)
+    }
+
+    /// Total number of distinct non-NULL values in a column, computed exactly.
+    /// Used by tests and by the perfect-cardinality oracle; ANALYZE uses sampling.
+    pub fn exact_distinct(&self, column: usize) -> usize {
+        let mut seen: std::collections::HashSet<&Value> = std::collections::HashSet::new();
+        for row in &self.rows {
+            let v = row.value(column);
+            if !v.is_null() {
+                seen.insert(v);
+            }
+        }
+        seen.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::Column;
+    use crate::value::DataType;
+
+    fn title_table() -> Table {
+        let schema = Schema::new(vec![
+            Column::not_null("id", DataType::Int),
+            Column::new("title", DataType::Text),
+            Column::new("production_year", DataType::Int),
+        ]);
+        Table::new("title", schema)
+    }
+
+    #[test]
+    fn push_row_validates_arity() {
+        let mut t = title_table();
+        let err = t
+            .push_row(Row::from_values(vec![Value::Int(1)]))
+            .unwrap_err();
+        assert!(matches!(err, StorageError::SchemaMismatch { .. }));
+    }
+
+    #[test]
+    fn push_row_validates_types() {
+        let mut t = title_table();
+        let err = t
+            .push_row(Row::from_values(vec![
+                Value::from("not an int"),
+                Value::from("x"),
+                Value::Int(2000),
+            ]))
+            .unwrap_err();
+        assert!(err.to_string().contains("has type int"));
+    }
+
+    #[test]
+    fn push_row_accepts_nulls_and_int_to_float() {
+        let schema = Schema::new(vec![Column::new("score", DataType::Float)]);
+        let mut t = Table::new("scores", schema);
+        t.push_row(Row::from_values(vec![Value::Int(3)])).unwrap();
+        t.push_row(Row::from_values(vec![Value::Null])).unwrap();
+        assert_eq!(t.row_count(), 2);
+    }
+
+    #[test]
+    fn index_creation_and_maintenance() {
+        let mut t = title_table();
+        for i in 0..10 {
+            t.push_row(Row::from_values(vec![
+                Value::Int(i),
+                Value::from(format!("movie {i}")),
+                Value::Int(1990 + (i % 5)),
+            ]))
+            .unwrap();
+        }
+        t.create_index("title_year", "production_year", IndexKind::BTree)
+            .unwrap();
+        // New inserts must be reflected by the index.
+        t.push_row(Row::from_values(vec![
+            Value::Int(10),
+            Value::from("movie 10"),
+            Value::Int(1991),
+        ]))
+        .unwrap();
+        let idx = t.index_on_column(2, true).unwrap();
+        assert_eq!(idx.lookup(&Value::Int(1991)).len(), 3);
+        assert!(t.has_index_on(2));
+        assert!(!t.has_index_on(1));
+    }
+
+    #[test]
+    fn duplicate_index_rejected() {
+        let mut t = title_table();
+        t.create_index("ix", "id", IndexKind::Hash).unwrap();
+        assert!(matches!(
+            t.create_index("ix", "id", IndexKind::Hash),
+            Err(StorageError::IndexExists(_))
+        ));
+        t.drop_index("ix").unwrap();
+        assert!(matches!(
+            t.drop_index("ix"),
+            Err(StorageError::IndexNotFound(_))
+        ));
+    }
+
+    #[test]
+    fn index_on_column_prefers_right_kind() {
+        let mut t = title_table();
+        t.create_index("hash_id", "id", IndexKind::Hash).unwrap();
+        t.create_index("btree_id", "id", IndexKind::BTree).unwrap();
+        assert_eq!(
+            t.index_on_column(0, false).unwrap().kind(),
+            IndexKind::Hash
+        );
+        assert_eq!(t.index_on_column(0, true).unwrap().kind(), IndexKind::BTree);
+        assert!(t.index_on_column(1, false).is_none());
+    }
+
+    #[test]
+    fn exact_distinct_ignores_nulls() {
+        let schema = Schema::new(vec![Column::new("x", DataType::Int)]);
+        let mut t = Table::new("t", schema);
+        for v in [Value::Int(1), Value::Int(1), Value::Int(2), Value::Null] {
+            t.push_row(Row::from_values(vec![v])).unwrap();
+        }
+        assert_eq!(t.exact_distinct(0), 2);
+    }
+
+    #[test]
+    fn average_row_width_has_floor() {
+        let t = title_table();
+        assert!(t.average_row_width() > 0);
+    }
+
+    #[test]
+    fn temporary_flag_roundtrip() {
+        let mut t = title_table();
+        assert!(!t.is_temporary());
+        t.set_temporary(true);
+        assert!(t.is_temporary());
+    }
+}

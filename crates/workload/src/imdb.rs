@@ -1,0 +1,924 @@
+//! Synthetic IMDB dataset generator.
+//!
+//! The real IMDB dataset is not redistributable, so the generator below produces a
+//! deterministic synthetic instance of the same schema with the statistical properties
+//! the paper's analysis hinges on:
+//!
+//! * **Skew on join keys** — movie and person popularity follow a power law: a small
+//!   number of "franchise" movies (low ids) collect a large share of the `cast_info`,
+//!   `movie_keyword`, `movie_companies` and `movie_info` rows; a few keywords (the
+//!   "superhero"/"sequel" class) account for a large fraction of `movie_keyword`.
+//! * **Correlation inside a table** — `production_year` correlates with `kind_id` and
+//!   with how much auxiliary information a movie has; `gender` correlates with the name
+//!   text (so `n.gender = 'm' AND n.name LIKE '%Tim%'` is redundant, not independent).
+//! * **Join-crossing correlation** — the franchise movies that carry the popular
+//!   keywords are exactly the movies with outsized cast lists and company lists, so a
+//!   filter on `keyword.keyword` changes the fan-out of joins several edges away —
+//!   the effect behind the query 6d walk-through in Section IV-D of the paper.
+//!
+//! Everything is generated from a seeded RNG, so a given `(scale, seed)` pair always
+//! produces the same database.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use reopt_core::{Database, DbError};
+use reopt_storage::{Column, DataType, IndexKind, Row, Schema, Table, Value};
+
+/// Configuration for the generator.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ImdbConfig {
+    /// Scale factor: 1.0 produces roughly 200k fact rows across the big tables.
+    pub scale: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for ImdbConfig {
+    fn default() -> Self {
+        Self {
+            scale: 0.2,
+            seed: 42,
+        }
+    }
+}
+
+impl ImdbConfig {
+    /// A configuration scaled for fast unit tests.
+    pub fn tiny() -> Self {
+        Self {
+            scale: 0.03,
+            seed: 7,
+        }
+    }
+
+    fn count(&self, base: usize) -> usize {
+        ((base as f64) * self.scale).ceil().max(4.0) as usize
+    }
+
+    /// Number of movies.
+    pub fn titles(&self) -> usize {
+        self.count(8_000)
+    }
+    /// Number of people.
+    pub fn names(&self) -> usize {
+        self.count(12_000)
+    }
+    /// Number of cast entries.
+    pub fn cast_infos(&self) -> usize {
+        self.count(60_000)
+    }
+    /// Number of keywords.
+    pub fn keywords(&self) -> usize {
+        self.count(2_000)
+    }
+    /// Number of movie-keyword links.
+    pub fn movie_keywords(&self) -> usize {
+        self.count(30_000)
+    }
+    /// Number of companies.
+    pub fn companies(&self) -> usize {
+        self.count(3_000)
+    }
+    /// Number of movie-company links.
+    pub fn movie_companies(&self) -> usize {
+        self.count(20_000)
+    }
+    /// Number of movie_info rows.
+    pub fn movie_infos(&self) -> usize {
+        self.count(40_000)
+    }
+    /// Number of movie_info_idx rows.
+    pub fn movie_info_idxs(&self) -> usize {
+        self.count(16_000)
+    }
+    /// Number of character names.
+    pub fn char_names(&self) -> usize {
+        self.count(8_000)
+    }
+    /// Number of alternative person names.
+    pub fn aka_names(&self) -> usize {
+        self.count(6_000)
+    }
+    /// Number of alternative titles.
+    pub fn aka_titles(&self) -> usize {
+        self.count(4_000)
+    }
+    /// Number of person_info rows.
+    pub fn person_infos(&self) -> usize {
+        self.count(15_000)
+    }
+    /// Number of movie links.
+    pub fn movie_links(&self) -> usize {
+        self.count(3_000)
+    }
+    /// Number of complete_cast rows.
+    pub fn complete_casts(&self) -> usize {
+        self.count(3_000)
+    }
+}
+
+/// Sample an index in `0..n` with a power-law bias towards low indexes
+/// (`skew` > 1 concentrates mass near zero; `skew` = 1 is uniform).
+fn skewed_index(rng: &mut StdRng, n: usize, skew: f64) -> usize {
+    let u: f64 = rng.gen_range(0.0..1.0);
+    let idx = (u.powf(skew) * n as f64) as usize;
+    idx.min(n.saturating_sub(1))
+}
+
+/// The most frequent keywords, mirroring the classes JOB predicates select on.
+pub const SPECIAL_KEYWORDS: &[&str] = &[
+    "character-name-in-title",
+    "superhero",
+    "sequel",
+    "based-on-comic",
+    "marvel-comics",
+    "violence",
+    "blockbuster",
+    "independent-film",
+    "tv-special",
+    "fight",
+    "second-part",
+    "murder",
+    "love",
+    "based-on-novel",
+    "revenge",
+    "female-nudity",
+];
+
+const GENRES: &[&str] = &[
+    "Action", "Drama", "Comedy", "Thriller", "Horror", "Documentary", "Romance", "Sci-Fi",
+    "Adventure", "Crime",
+];
+const COUNTRIES: &[&str] = &[
+    "USA", "UK", "Germany", "France", "Japan", "India", "Canada", "Italy", "Spain", "Sweden",
+];
+const COUNTRY_CODES: &[&str] = &[
+    "[us]", "[gb]", "[de]", "[fr]", "[jp]", "[in]", "[ca]", "[it]", "[es]", "[se]",
+];
+const MALE_FIRST: &[&str] = &[
+    "Robert", "Tim", "John", "Michael", "David", "James", "Daniel", "Tom", "Samuel", "George",
+];
+const FEMALE_FIRST: &[&str] = &[
+    "Anna", "Maria", "Susan", "Linda", "Emma", "Olivia", "Sophia", "Laura", "Karen", "Alice",
+];
+const LAST_NAMES: &[&str] = &[
+    "Smith", "Johnson", "Downey", "Williams", "Brown", "Jones", "Miller", "Davis", "Wilson",
+    "Anderson", "Taylor", "Thomas", "Moore", "Jackson", "Martin", "Lee", "Thompson", "White",
+    "Harris", "Clark",
+];
+
+struct TableBuilder {
+    table: Table,
+}
+
+impl TableBuilder {
+    fn new(name: &str, columns: Vec<Column>) -> Self {
+        Self {
+            table: Table::new(name, Schema::new(columns)),
+        }
+    }
+
+    fn row(&mut self, values: Vec<Value>) {
+        self.table.push_row_unchecked(Row::from_values(values));
+    }
+
+    fn finish(self) -> Table {
+        self.table
+    }
+}
+
+/// Generate the synthetic IMDB database into `db`: create all 21 tables, load them,
+/// build the primary-key and foreign-key indexes the paper adds, and run ANALYZE.
+pub fn load_imdb(db: &mut Database, config: &ImdbConfig) -> Result<(), DbError> {
+    let mut rng = StdRng::seed_from_u64(config.seed);
+
+    // ---- small dimension tables -------------------------------------------------
+    let kind_names = [
+        "movie",
+        "tv series",
+        "tv movie",
+        "video movie",
+        "tv mini series",
+        "video game",
+        "episode",
+    ];
+    let mut kind_type = TableBuilder::new(
+        "kind_type",
+        vec![
+            Column::not_null("id", DataType::Int),
+            Column::new("kind", DataType::Text),
+        ],
+    );
+    for (i, kind) in kind_names.iter().enumerate() {
+        kind_type.row(vec![Value::Int(i as i64 + 1), Value::from(*kind)]);
+    }
+
+    let role_names = [
+        "actor",
+        "actress",
+        "producer",
+        "writer",
+        "director",
+        "cinematographer",
+        "composer",
+        "editor",
+        "miscellaneous crew",
+        "costume designer",
+        "guest",
+        "self",
+    ];
+    let mut role_type = TableBuilder::new(
+        "role_type",
+        vec![
+            Column::not_null("id", DataType::Int),
+            Column::new("role", DataType::Text),
+        ],
+    );
+    for (i, role) in role_names.iter().enumerate() {
+        role_type.row(vec![Value::Int(i as i64 + 1), Value::from(*role)]);
+    }
+
+    let company_type_names = [
+        "production companies",
+        "distributors",
+        "special effects companies",
+        "miscellaneous companies",
+    ];
+    let mut company_type = TableBuilder::new(
+        "company_type",
+        vec![
+            Column::not_null("id", DataType::Int),
+            Column::new("kind", DataType::Text),
+        ],
+    );
+    for (i, kind) in company_type_names.iter().enumerate() {
+        company_type.row(vec![Value::Int(i as i64 + 1), Value::from(*kind)]);
+    }
+
+    let link_names = [
+        "follows",
+        "followed by",
+        "remake of",
+        "remade as",
+        "references",
+        "referenced in",
+        "spoofs",
+        "spoofed in",
+        "features",
+        "featured in",
+        "spin off from",
+        "spin off",
+        "version of",
+        "similar to",
+        "edited into",
+        "edited from",
+        "alternate language version of",
+        "unknown link",
+    ];
+    let mut link_type = TableBuilder::new(
+        "link_type",
+        vec![
+            Column::not_null("id", DataType::Int),
+            Column::new("link", DataType::Text),
+        ],
+    );
+    for (i, link) in link_names.iter().enumerate() {
+        link_type.row(vec![Value::Int(i as i64 + 1), Value::from(*link)]);
+    }
+
+    let comp_cast_names = ["cast", "crew", "complete", "complete+verified"];
+    let mut comp_cast_type = TableBuilder::new(
+        "comp_cast_type",
+        vec![
+            Column::not_null("id", DataType::Int),
+            Column::new("kind", DataType::Text),
+        ],
+    );
+    for (i, kind) in comp_cast_names.iter().enumerate() {
+        comp_cast_type.row(vec![Value::Int(i as i64 + 1), Value::from(*kind)]);
+    }
+
+    // info_type: 113 entries; the ids JOB's predicates name get fixed labels.
+    let mut info_type = TableBuilder::new(
+        "info_type",
+        vec![
+            Column::not_null("id", DataType::Int),
+            Column::new("info", DataType::Text),
+        ],
+    );
+    for i in 1..=113i64 {
+        let label = match i {
+            1 => "budget".to_string(),
+            2 => "votes".to_string(),
+            3 => "rating".to_string(),
+            4 => "genres".to_string(),
+            5 => "release dates".to_string(),
+            6 => "countries".to_string(),
+            7 => "languages".to_string(),
+            8 => "top 250 rank".to_string(),
+            9 => "bottom 10 rank".to_string(),
+            19 => "biography".to_string(),
+            20 => "birth date".to_string(),
+            _ => format!("info type {i:03}"),
+        };
+        info_type.row(vec![Value::Int(i), Value::from(label)]);
+    }
+
+    // ---- keyword ------------------------------------------------------------------
+    let n_keywords = config.keywords().max(SPECIAL_KEYWORDS.len() + 1);
+    let mut keyword = TableBuilder::new(
+        "keyword",
+        vec![
+            Column::not_null("id", DataType::Int),
+            Column::new("keyword", DataType::Text),
+        ],
+    );
+    for i in 0..n_keywords {
+        let text = if i < SPECIAL_KEYWORDS.len() {
+            SPECIAL_KEYWORDS[i].to_string()
+        } else {
+            format!("keyword-{i:05}")
+        };
+        keyword.row(vec![Value::Int(i as i64), Value::from(text)]);
+    }
+
+    // ---- title ----------------------------------------------------------------------
+    // Low ids are "franchise" movies: recent, popular, and superhero-flavoured titles.
+    let n_titles = config.titles();
+    let franchise_cutoff = (n_titles / 20).max(8);
+    let mut title = TableBuilder::new(
+        "title",
+        vec![
+            Column::not_null("id", DataType::Int),
+            Column::new("title", DataType::Text),
+            Column::new("kind_id", DataType::Int),
+            Column::new("production_year", DataType::Int),
+            Column::new("episode_nr", DataType::Int),
+        ],
+    );
+    for i in 0..n_titles {
+        let is_franchise = i < franchise_cutoff;
+        // production_year: franchise movies are recent; the rest spread over 1930-2019,
+        // biased towards recent decades; correlated with kind (episodes are recent).
+        let year = if is_franchise {
+            2000 + (rng.gen_range(0..20i64))
+        } else {
+            2019 - skewed_index(&mut rng, 90, 2.0) as i64
+        };
+        let kind_id = if is_franchise {
+            1
+        } else if year > 2005 && rng.gen_bool(0.35) {
+            7 // episode
+        } else {
+            1 + skewed_index(&mut rng, 7, 2.5) as i64
+        };
+        let text = if is_franchise {
+            format!("Super Hero Saga {i:04}")
+        } else {
+            format!("Movie {i:06}")
+        };
+        let episode_nr = if kind_id == 7 {
+            Value::Int(rng.gen_range(1..25))
+        } else {
+            Value::Null
+        };
+        title.row(vec![
+            Value::Int(i as i64),
+            Value::from(text),
+            Value::Int(kind_id),
+            Value::Int(year),
+            episode_nr,
+        ]);
+    }
+
+    // ---- name -------------------------------------------------------------------------
+    let n_names = config.names();
+    let mut name = TableBuilder::new(
+        "name",
+        vec![
+            Column::not_null("id", DataType::Int),
+            Column::new("name", DataType::Text),
+            Column::new("gender", DataType::Text),
+        ],
+    );
+    for i in 0..n_names {
+        let male = rng.gen_bool(0.6);
+        let first = if male {
+            MALE_FIRST[rng.gen_range(0..MALE_FIRST.len())]
+        } else {
+            FEMALE_FIRST[rng.gen_range(0..FEMALE_FIRST.len())]
+        };
+        let last = LAST_NAMES[rng.gen_range(0..LAST_NAMES.len())];
+        // IMDB formats names as "Last, First"; gender correlates perfectly with the
+        // first-name token, which is what defeats the independence assumption.
+        let gender = if male { "m" } else { "f" };
+        name.row(vec![
+            Value::Int(i as i64),
+            Value::from(format!("{last}, {first} {i:05}")),
+            Value::from(gender),
+        ]);
+    }
+
+    // ---- char_name ----------------------------------------------------------------------
+    let n_chars = config.char_names();
+    let mut char_name = TableBuilder::new(
+        "char_name",
+        vec![
+            Column::not_null("id", DataType::Int),
+            Column::new("name", DataType::Text),
+        ],
+    );
+    for i in 0..n_chars {
+        let text = if i < 20 {
+            format!("Hero Character {i:02}")
+        } else {
+            format!("Character {i:05}")
+        };
+        char_name.row(vec![Value::Int(i as i64), Value::from(text)]);
+    }
+
+    // ---- company_name ---------------------------------------------------------------------
+    let n_companies = config.companies();
+    let mut company_name = TableBuilder::new(
+        "company_name",
+        vec![
+            Column::not_null("id", DataType::Int),
+            Column::new("name", DataType::Text),
+            Column::new("country_code", DataType::Text),
+        ],
+    );
+    for i in 0..n_companies {
+        // Country codes are heavily skewed towards [us].
+        let code_idx = skewed_index(&mut rng, COUNTRY_CODES.len(), 2.5);
+        company_name.row(vec![
+            Value::Int(i as i64),
+            Value::from(format!("Studio {i:04} Productions")),
+            Value::from(COUNTRY_CODES[code_idx]),
+        ]);
+    }
+
+    // ---- cast_info -----------------------------------------------------------------------
+    // Franchise movies get far more cast rows (join-crossing correlation with keywords).
+    let n_cast = config.cast_infos();
+    let mut cast_info = TableBuilder::new(
+        "cast_info",
+        vec![
+            Column::not_null("id", DataType::Int),
+            Column::not_null("person_id", DataType::Int),
+            Column::not_null("movie_id", DataType::Int),
+            Column::new("person_role_id", DataType::Int),
+            Column::new("role_id", DataType::Int),
+            Column::new("note", DataType::Text),
+        ],
+    );
+    for i in 0..n_cast {
+        let movie_id = skewed_index(&mut rng, n_titles, 2.6) as i64;
+        let person_id = skewed_index(&mut rng, n_names, 2.2) as i64;
+        let role_id = 1 + skewed_index(&mut rng, role_names.len(), 2.0) as i64;
+        let note = match role_id {
+            3 => {
+                if rng.gen_bool(0.5) {
+                    Value::from("(producer)")
+                } else {
+                    Value::from("(executive producer)")
+                }
+            }
+            1 | 2 if rng.gen_bool(0.15) => Value::from("(voice)"),
+            _ if rng.gen_bool(0.05) => Value::from("(uncredited)"),
+            _ => Value::Null,
+        };
+        let person_role_id = if role_id <= 2 {
+            Value::Int(skewed_index(&mut rng, n_chars, 2.0) as i64)
+        } else {
+            Value::Null
+        };
+        cast_info.row(vec![
+            Value::Int(i as i64),
+            Value::Int(person_id),
+            Value::Int(movie_id),
+            person_role_id,
+            Value::Int(role_id),
+            note,
+        ]);
+    }
+
+    // ---- movie_keyword --------------------------------------------------------------------
+    // The popular (special) keywords land disproportionately on the franchise movies.
+    let n_mk = config.movie_keywords();
+    let mut movie_keyword = TableBuilder::new(
+        "movie_keyword",
+        vec![
+            Column::not_null("id", DataType::Int),
+            Column::not_null("movie_id", DataType::Int),
+            Column::not_null("keyword_id", DataType::Int),
+        ],
+    );
+    for i in 0..n_mk {
+        let keyword_id = skewed_index(&mut rng, n_keywords, 3.0);
+        let movie_id = if keyword_id < SPECIAL_KEYWORDS.len() && rng.gen_bool(0.6) {
+            // Popular keyword → very likely a franchise movie.
+            skewed_index(&mut rng, franchise_cutoff, 1.5)
+        } else {
+            skewed_index(&mut rng, n_titles, 2.0)
+        };
+        movie_keyword.row(vec![
+            Value::Int(i as i64),
+            Value::Int(movie_id as i64),
+            Value::Int(keyword_id as i64),
+        ]);
+    }
+
+    // ---- movie_companies ----------------------------------------------------------------
+    let n_mc = config.movie_companies();
+    let mut movie_companies = TableBuilder::new(
+        "movie_companies",
+        vec![
+            Column::not_null("id", DataType::Int),
+            Column::not_null("movie_id", DataType::Int),
+            Column::not_null("company_id", DataType::Int),
+            Column::new("company_type_id", DataType::Int),
+            Column::new("note", DataType::Text),
+        ],
+    );
+    for i in 0..n_mc {
+        let movie_id = skewed_index(&mut rng, n_titles, 2.4) as i64;
+        let company_id = skewed_index(&mut rng, n_companies, 2.2) as i64;
+        let company_type_id = 1 + skewed_index(&mut rng, 4, 2.5) as i64;
+        let note = if rng.gen_bool(0.25) {
+            Value::from("(co-production)")
+        } else if rng.gen_bool(0.1) {
+            Value::from("(presents)")
+        } else {
+            Value::Null
+        };
+        movie_companies.row(vec![
+            Value::Int(i as i64),
+            Value::Int(movie_id),
+            Value::Int(company_id),
+            Value::Int(company_type_id),
+            note,
+        ]);
+    }
+
+    // ---- movie_info ------------------------------------------------------------------------
+    let n_mi = config.movie_infos();
+    let mut movie_info = TableBuilder::new(
+        "movie_info",
+        vec![
+            Column::not_null("id", DataType::Int),
+            Column::not_null("movie_id", DataType::Int),
+            Column::not_null("info_type_id", DataType::Int),
+            Column::new("info", DataType::Text),
+        ],
+    );
+    for i in 0..n_mi {
+        // Recent / franchise movies have more info rows (correlation with year).
+        let movie_id = skewed_index(&mut rng, n_titles, 2.8) as i64;
+        let info_type_id = match skewed_index(&mut rng, 10, 1.8) {
+            0 => 4, // genres
+            1 => 6, // countries
+            2 => 5, // release dates
+            3 => 7, // languages
+            4 => 1, // budget
+            other => 10 + other as i64,
+        };
+        let info = match info_type_id {
+            4 => Value::from(GENRES[skewed_index(&mut rng, GENRES.len(), 1.8)]),
+            6 => Value::from(COUNTRIES[skewed_index(&mut rng, COUNTRIES.len(), 2.2)]),
+            5 => Value::from(format!("USA:{}", 1930 + rng.gen_range(0..90))),
+            7 => Value::from("English"),
+            1 => Value::from(format!("${}", 1_000_000 + rng.gen_range(0..200_000_000i64))),
+            _ => Value::from(format!("detail {i:05}")),
+        };
+        movie_info.row(vec![
+            Value::Int(i as i64),
+            Value::Int(movie_id),
+            Value::Int(info_type_id),
+            info,
+        ]);
+    }
+
+    // ---- movie_info_idx ----------------------------------------------------------------------
+    let n_mi_idx = config.movie_info_idxs();
+    let mut movie_info_idx = TableBuilder::new(
+        "movie_info_idx",
+        vec![
+            Column::not_null("id", DataType::Int),
+            Column::not_null("movie_id", DataType::Int),
+            Column::not_null("info_type_id", DataType::Int),
+            Column::new("info", DataType::Text),
+        ],
+    );
+    for i in 0..n_mi_idx {
+        let movie_id = skewed_index(&mut rng, n_titles, 2.2) as i64;
+        let info_type_id = match i % 3 {
+            0 => 2, // votes
+            1 => 3, // rating
+            _ => 8, // top 250 rank
+        };
+        let info = match info_type_id {
+            2 => Value::from(format!("{}", 10 + skewed_index(&mut rng, 2_000_000, 3.0))),
+            3 => Value::from(format!("{:.1}", 1.0 + rng.gen_range(0.0..9.0f64))),
+            _ => Value::from(format!("{}", 1 + rng.gen_range(0..250))),
+        };
+        movie_info_idx.row(vec![
+            Value::Int(i as i64),
+            Value::Int(movie_id),
+            Value::Int(info_type_id),
+            info,
+        ]);
+    }
+
+    // ---- aka_name / aka_title / person_info / movie_link / complete_cast ---------------------
+    let mut aka_name = TableBuilder::new(
+        "aka_name",
+        vec![
+            Column::not_null("id", DataType::Int),
+            Column::not_null("person_id", DataType::Int),
+            Column::new("name", DataType::Text),
+        ],
+    );
+    for i in 0..config.aka_names() {
+        let person_id = skewed_index(&mut rng, n_names, 2.0) as i64;
+        aka_name.row(vec![
+            Value::Int(i as i64),
+            Value::Int(person_id),
+            Value::from(format!("Alias {i:05}")),
+        ]);
+    }
+
+    let mut aka_title = TableBuilder::new(
+        "aka_title",
+        vec![
+            Column::not_null("id", DataType::Int),
+            Column::not_null("movie_id", DataType::Int),
+            Column::new("title", DataType::Text),
+        ],
+    );
+    for i in 0..config.aka_titles() {
+        let movie_id = skewed_index(&mut rng, n_titles, 2.0) as i64;
+        aka_title.row(vec![
+            Value::Int(i as i64),
+            Value::Int(movie_id),
+            Value::from(format!("Alternate Title {i:05}")),
+        ]);
+    }
+
+    let mut person_info = TableBuilder::new(
+        "person_info",
+        vec![
+            Column::not_null("id", DataType::Int),
+            Column::not_null("person_id", DataType::Int),
+            Column::not_null("info_type_id", DataType::Int),
+            Column::new("info", DataType::Text),
+        ],
+    );
+    for i in 0..config.person_infos() {
+        let person_id = skewed_index(&mut rng, n_names, 2.2) as i64;
+        let info_type_id = if i % 2 == 0 { 19 } else { 20 };
+        let info = if info_type_id == 19 {
+            Value::from(format!("Biography text {i:05}"))
+        } else {
+            Value::from(format!("19{:02}-01-01", rng.gen_range(20..99)))
+        };
+        person_info.row(vec![
+            Value::Int(i as i64),
+            Value::Int(person_id),
+            Value::Int(info_type_id),
+            info,
+        ]);
+    }
+
+    let mut movie_link = TableBuilder::new(
+        "movie_link",
+        vec![
+            Column::not_null("id", DataType::Int),
+            Column::not_null("movie_id", DataType::Int),
+            Column::not_null("linked_movie_id", DataType::Int),
+            Column::new("link_type_id", DataType::Int),
+        ],
+    );
+    for i in 0..config.movie_links() {
+        // Links connect franchise movies to each other (sequels, follows).
+        let movie_id = skewed_index(&mut rng, n_titles, 3.0) as i64;
+        let linked = skewed_index(&mut rng, n_titles, 3.0) as i64;
+        let link_type_id = 1 + skewed_index(&mut rng, link_names.len(), 2.0) as i64;
+        movie_link.row(vec![
+            Value::Int(i as i64),
+            Value::Int(movie_id),
+            Value::Int(linked),
+            Value::Int(link_type_id),
+        ]);
+    }
+
+    let mut complete_cast = TableBuilder::new(
+        "complete_cast",
+        vec![
+            Column::not_null("id", DataType::Int),
+            Column::not_null("movie_id", DataType::Int),
+            Column::new("subject_id", DataType::Int),
+            Column::new("status_id", DataType::Int),
+        ],
+    );
+    for i in 0..config.complete_casts() {
+        let movie_id = skewed_index(&mut rng, n_titles, 2.2) as i64;
+        complete_cast.row(vec![
+            Value::Int(i as i64),
+            Value::Int(movie_id),
+            Value::Int(1 + (i % 2) as i64),
+            Value::Int(3 + (i % 2) as i64),
+        ]);
+    }
+
+    // ---- register tables, indexes and statistics ---------------------------------------------
+    let tables = vec![
+        kind_type.finish(),
+        role_type.finish(),
+        company_type.finish(),
+        link_type.finish(),
+        comp_cast_type.finish(),
+        info_type.finish(),
+        keyword.finish(),
+        title.finish(),
+        name.finish(),
+        char_name.finish(),
+        company_name.finish(),
+        cast_info.finish(),
+        movie_keyword.finish(),
+        movie_companies.finish(),
+        movie_info.finish(),
+        movie_info_idx.finish(),
+        aka_name.finish(),
+        aka_title.finish(),
+        person_info.finish(),
+        movie_link.finish(),
+        complete_cast.finish(),
+    ];
+    for table in tables {
+        db.create_table(table)?;
+    }
+
+    // Primary keys on every `id` column, foreign-key indexes on every reference — the
+    // paper adds FK indexes "making access path selection more challenging".
+    let pk_tables = [
+        "kind_type",
+        "role_type",
+        "company_type",
+        "link_type",
+        "comp_cast_type",
+        "info_type",
+        "keyword",
+        "title",
+        "name",
+        "char_name",
+        "company_name",
+        "cast_info",
+        "movie_keyword",
+        "movie_companies",
+        "movie_info",
+        "movie_info_idx",
+        "aka_name",
+        "aka_title",
+        "person_info",
+        "movie_link",
+        "complete_cast",
+    ];
+    for table in pk_tables {
+        db.create_index(table, "id", IndexKind::BTree)?;
+    }
+    let fk_indexes = [
+        ("cast_info", "movie_id"),
+        ("cast_info", "person_id"),
+        ("cast_info", "role_id"),
+        ("cast_info", "person_role_id"),
+        ("movie_keyword", "movie_id"),
+        ("movie_keyword", "keyword_id"),
+        ("movie_companies", "movie_id"),
+        ("movie_companies", "company_id"),
+        ("movie_companies", "company_type_id"),
+        ("movie_info", "movie_id"),
+        ("movie_info", "info_type_id"),
+        ("movie_info_idx", "movie_id"),
+        ("movie_info_idx", "info_type_id"),
+        ("title", "kind_id"),
+        ("aka_name", "person_id"),
+        ("aka_title", "movie_id"),
+        ("person_info", "person_id"),
+        ("movie_link", "movie_id"),
+        ("movie_link", "linked_movie_id"),
+        ("movie_link", "link_type_id"),
+        ("complete_cast", "movie_id"),
+    ];
+    for (table, column) in fk_indexes {
+        db.create_index(table, column, IndexKind::Hash)?;
+    }
+
+    db.analyze_all()?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generator_is_deterministic() {
+        let config = ImdbConfig::tiny();
+        let mut a = Database::new();
+        load_imdb(&mut a, &config).unwrap();
+        let mut b = Database::new();
+        load_imdb(&mut b, &config).unwrap();
+        assert_eq!(a.storage().total_rows(), b.storage().total_rows());
+        let rows_a: Vec<_> = a.storage().table("cast_info").unwrap().rows().to_vec();
+        let rows_b: Vec<_> = b.storage().table("cast_info").unwrap().rows().to_vec();
+        assert_eq!(rows_a[..50], rows_b[..50]);
+    }
+
+    #[test]
+    fn all_21_tables_exist_with_statistics() {
+        let mut db = Database::new();
+        load_imdb(&mut db, &ImdbConfig::tiny()).unwrap();
+        assert_eq!(db.storage().table_count(), 21);
+        for table in db.storage().table_names() {
+            assert!(db.catalog().has_statistics(&table), "missing stats for {table}");
+        }
+        assert_eq!(db.storage().table("info_type").unwrap().row_count(), 113);
+        assert_eq!(db.storage().table("kind_type").unwrap().row_count(), 7);
+        assert_eq!(db.storage().table("role_type").unwrap().row_count(), 12);
+    }
+
+    #[test]
+    fn movie_keyword_is_skewed_towards_special_keywords() {
+        let mut db = Database::new();
+        load_imdb(&mut db, &ImdbConfig::tiny()).unwrap();
+        let mk = db.storage().table("movie_keyword").unwrap();
+        let total = mk.row_count() as f64;
+        let keyword_col = mk.schema().index_of(None, "keyword_id").unwrap();
+        let special = mk
+            .rows()
+            .iter()
+            .filter(|r| (r.value(keyword_col).as_int().unwrap() as usize) < SPECIAL_KEYWORDS.len())
+            .count() as f64;
+        // The special keywords are a tiny fraction of the keyword dictionary but a
+        // large fraction of the usages.
+        assert!(special / total > 0.3, "special share {}", special / total);
+    }
+
+    #[test]
+    fn referential_integrity_holds() {
+        let mut db = Database::new();
+        load_imdb(&mut db, &ImdbConfig::tiny()).unwrap();
+        let titles = db.storage().table("title").unwrap().row_count() as i64;
+        let ci = db.storage().table("cast_info").unwrap();
+        let movie_col = ci.schema().index_of(None, "movie_id").unwrap();
+        assert!(ci
+            .rows()
+            .iter()
+            .all(|r| { (0..titles).contains(&r.value(movie_col).as_int().unwrap()) }));
+        let keywords = db.storage().table("keyword").unwrap().row_count() as i64;
+        let mk = db.storage().table("movie_keyword").unwrap();
+        let kw_col = mk.schema().index_of(None, "keyword_id").unwrap();
+        assert!(mk
+            .rows()
+            .iter()
+            .all(|r| (0..keywords).contains(&r.value(kw_col).as_int().unwrap())));
+    }
+
+    #[test]
+    fn queries_run_against_the_generated_data() {
+        let mut db = Database::new();
+        load_imdb(&mut db, &ImdbConfig::tiny()).unwrap();
+        let output = db
+            .execute(
+                "SELECT count(*) AS c
+                 FROM movie_keyword AS mk, keyword AS k
+                 WHERE mk.keyword_id = k.id AND k.keyword = 'superhero'",
+            )
+            .unwrap();
+        assert!(output.rows[0].value(0).as_int().unwrap() > 0);
+        let output = db
+            .execute(
+                "SELECT min(t.title) AS movie, count(*) AS c
+                 FROM title AS t, cast_info AS ci, name AS n
+                 WHERE t.id = ci.movie_id AND ci.person_id = n.id AND n.gender = 'f'
+                   AND t.production_year > 2010",
+            )
+            .unwrap();
+        assert!(output.rows[0].value(1).as_int().unwrap() > 0);
+    }
+
+    #[test]
+    fn skewed_index_respects_bounds_and_bias() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut low = 0;
+        for _ in 0..1000 {
+            let idx = skewed_index(&mut rng, 100, 3.0);
+            assert!(idx < 100);
+            if idx < 10 {
+                low += 1;
+            }
+        }
+        // With cubic skew more than a third of the samples land in the lowest decile.
+        assert!(low > 333, "low-index share {low}/1000");
+    }
+}

@@ -1,0 +1,656 @@
+//! A JOB-style query suite.
+//!
+//! The Join Order Benchmark has 113 select-project-join queries over the IMDB schema,
+//! grouped into families that share a join graph and differ only in their filter
+//! constants. This module rebuilds that structure over the synthetic IMDB schema of
+//! [`crate::imdb`]: 21 families whose per-query table counts reproduce Table III of the
+//! paper exactly (3 queries with 4 tables, 20 with 5, 2 with 6, 16 with 7, 21 with 8,
+//! 14 with 9, 7 with 10, 10 with 11, 11 with 12, 6 with 14 and 3 with 17), and whose
+//! predicates select the skewed keyword/cast/company classes the generator plants.
+//!
+//! Queries `2d` and `7a` mirror the paper's deep-dive queries 6d and 18a: the same join
+//! graphs (Figures 3 and 4) with predicates on the popular-keyword class and on
+//! producer notes respectively.
+
+/// One query of the suite.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JobQuery {
+    /// Query identifier, e.g. "2d".
+    pub id: String,
+    /// Family number (queries in a family share a join graph).
+    pub family: usize,
+    /// Variant letter within the family.
+    pub variant: char,
+    /// Number of relations in the FROM list.
+    pub table_count: usize,
+    /// The SQL text.
+    pub sql: String,
+}
+
+const VARIANT_LETTERS: &[char] = &['a', 'b', 'c', 'd', 'e', 'f', 'g', 'h', 'i', 'j', 'k'];
+
+/// Rotating filter constants used to derive the variants of each family.
+const KEYWORD_SETS: &[&str] = &[
+    "'superhero', 'sequel', 'based-on-comic', 'marvel-comics'",
+    "'character-name-in-title'",
+    "'sequel', 'second-part', 'fight', 'violence'",
+    "'superhero', 'blockbuster'",
+    "'based-on-novel', 'murder', 'revenge'",
+    "'independent-film', 'tv-special'",
+    "'love', 'murder'",
+    "'superhero', 'sequel', 'second-part', 'marvel-comics', 'based-on-comic', 'tv-special', 'fight', 'violence'",
+    "'blockbuster', 'fight'",
+    "'based-on-comic'",
+    "'revenge', 'violence', 'murder'",
+];
+const YEARS: &[i64] = &[2000, 2010, 1990, 2005, 1980, 2015, 1995, 2008, 1985, 2012, 1975];
+const NAME_PATTERNS: &[&str] = &[
+    "%Downey%Robert%",
+    "%Tim%",
+    "X%",
+    "%Smith%",
+    "%Anna%",
+    "%John%",
+    "%son%",
+    "%Williams%",
+    "%Emma%",
+    "%Lee%",
+    "%an%",
+];
+const GENDERS: &[&str] = &["m", "f", "m", "f", "m", "m", "f", "m", "f", "m", "f"];
+const COUNTRY_CODES: &[&str] = &[
+    "[us]", "[gb]", "[de]", "[us]", "[fr]", "[jp]", "[us]", "[it]", "[in]", "[ca]", "[us]",
+];
+const GENRES: &[&str] = &[
+    "Action", "Drama", "Comedy", "Thriller", "Horror", "Sci-Fi", "Action", "Crime", "Romance",
+    "Adventure", "Drama",
+];
+const NOTES: &[&str] = &[
+    "'(producer)', '(executive producer)'",
+    "'(producer)'",
+    "'(executive producer)'",
+    "'(voice)'",
+    "'(producer)', '(voice)'",
+    "'(executive producer)', '(voice)'",
+    "'(producer)', '(executive producer)', '(voice)'",
+    "'(uncredited)'",
+    "'(producer)', '(uncredited)'",
+    "'(voice)', '(uncredited)'",
+    "'(executive producer)', '(uncredited)'",
+];
+const ROLES: &[&str] = &[
+    "actor", "actress", "producer", "director", "writer", "actor", "actress", "composer",
+    "editor", "actor", "actress",
+];
+const KINDS: &[&str] = &[
+    "movie",
+    "tv series",
+    "movie",
+    "tv movie",
+    "movie",
+    "episode",
+    "movie",
+    "video movie",
+    "movie",
+    "tv series",
+    "movie",
+];
+
+fn kw(variant: usize) -> &'static str {
+    KEYWORD_SETS[variant % KEYWORD_SETS.len()]
+}
+fn year(variant: usize) -> i64 {
+    YEARS[variant % YEARS.len()]
+}
+fn pattern(variant: usize) -> &'static str {
+    NAME_PATTERNS[variant % NAME_PATTERNS.len()]
+}
+fn gender(variant: usize) -> &'static str {
+    GENDERS[variant % GENDERS.len()]
+}
+fn country(variant: usize) -> &'static str {
+    COUNTRY_CODES[variant % COUNTRY_CODES.len()]
+}
+fn genre(variant: usize) -> &'static str {
+    GENRES[variant % GENRES.len()]
+}
+fn note(variant: usize) -> &'static str {
+    NOTES[variant % NOTES.len()]
+}
+fn role(variant: usize) -> &'static str {
+    ROLES[variant % ROLES.len()]
+}
+fn kind(variant: usize) -> &'static str {
+    KINDS[variant % KINDS.len()]
+}
+
+/// Family 1 — 4 tables: title, kind_type, movie_keyword, keyword.
+fn family1(v: usize) -> String {
+    format!(
+        "SELECT min(t.title) AS movie_title
+         FROM title AS t, kind_type AS kt, movie_keyword AS mk, keyword AS k
+         WHERE t.kind_id = kt.id AND mk.movie_id = t.id AND mk.keyword_id = k.id
+           AND kt.kind = '{}' AND k.keyword IN ({}) AND t.production_year > {}",
+        kind(v),
+        kw(v),
+        year(v)
+    )
+}
+
+/// Family 2 — 5 tables: the paper's query 6d join graph (Figure 3):
+/// cast_info, keyword, movie_keyword, name, title.
+fn family2(v: usize) -> String {
+    format!(
+        "SELECT min(k.keyword) AS movie_keyword, min(n.name) AS actor_name, min(t.title) AS hero_movie
+         FROM cast_info AS ci, keyword AS k, movie_keyword AS mk, name AS n, title AS t
+         WHERE k.keyword IN ({}) AND n.name LIKE '{}' AND t.production_year > {}
+           AND mk.keyword_id = k.id AND mk.movie_id = t.id AND ci.movie_id = t.id
+           AND ci.person_id = n.id",
+        kw(v),
+        pattern(v),
+        year(v)
+    )
+}
+
+/// Family 3 — 5 tables: title, movie_companies, company_name, company_type, kind_type.
+fn family3(v: usize) -> String {
+    format!(
+        "SELECT min(t.title) AS movie_title, min(cn.name) AS company
+         FROM title AS t, movie_companies AS mc, company_name AS cn, company_type AS ct, kind_type AS kt
+         WHERE mc.movie_id = t.id AND mc.company_id = cn.id AND mc.company_type_id = ct.id
+           AND t.kind_id = kt.id AND cn.country_code = '{}' AND ct.kind = 'production companies'
+           AND t.production_year > {}",
+        country(v),
+        year(v)
+    )
+}
+
+/// Family 4 — 5 tables: title, movie_info_idx, info_type, cast_info, name.
+fn family4(v: usize) -> String {
+    format!(
+        "SELECT min(t.title) AS movie_title, min(n.name) AS actor
+         FROM title AS t, movie_info_idx AS mi_idx, info_type AS it, cast_info AS ci, name AS n
+         WHERE mi_idx.movie_id = t.id AND mi_idx.info_type_id = it.id AND ci.movie_id = t.id
+           AND ci.person_id = n.id AND it.info = 'votes' AND n.gender = '{}'
+           AND t.production_year > {}",
+        gender(v),
+        year(v)
+    )
+}
+
+/// Family 5 — 5 tables: title, movie_link, link_type, movie_keyword, keyword.
+fn family5(v: usize) -> String {
+    format!(
+        "SELECT min(t.title) AS linked_movie
+         FROM title AS t, movie_link AS ml, link_type AS lt, movie_keyword AS mk, keyword AS k
+         WHERE ml.movie_id = t.id AND ml.link_type_id = lt.id AND mk.movie_id = t.id
+           AND mk.keyword_id = k.id AND k.keyword IN ({}) AND lt.link = 'follows'
+           AND t.production_year > {}",
+        kw(v),
+        year(v)
+    )
+}
+
+/// Family 6 — 6 tables: title, kind_type, movie_keyword, keyword, cast_info, name.
+fn family6(v: usize) -> String {
+    format!(
+        "SELECT min(t.title) AS movie_title, min(n.name) AS member
+         FROM title AS t, kind_type AS kt, movie_keyword AS mk, keyword AS k, cast_info AS ci, name AS n
+         WHERE t.kind_id = kt.id AND mk.movie_id = t.id AND mk.keyword_id = k.id
+           AND ci.movie_id = t.id AND ci.person_id = n.id
+           AND k.keyword IN ({}) AND kt.kind = '{}' AND n.name LIKE '{}'",
+        kw(v),
+        kind(v),
+        pattern(v)
+    )
+}
+
+/// Family 7 — 7 tables: the paper's query 18a join graph (Figure 4):
+/// cast_info, info_type (twice), movie_info, movie_info_idx, name, title.
+fn family7(v: usize) -> String {
+    format!(
+        "SELECT min(mi.info) AS movie_budget, min(mi_idx.info) AS movie_votes, min(t.title) AS movie_title
+         FROM cast_info AS ci, info_type AS it1, info_type AS it2, movie_info AS mi,
+              movie_info_idx AS mi_idx, name AS n, title AS t
+         WHERE ci.note IN ({}) AND it1.info = 'budget' AND it2.info = 'votes'
+           AND n.gender = '{}' AND n.name LIKE '{}'
+           AND t.id = mi.movie_id AND t.id = mi_idx.movie_id AND t.id = ci.movie_id
+           AND ci.person_id = n.id AND mi.info_type_id = it1.id AND mi_idx.info_type_id = it2.id",
+        note(v),
+        gender(v),
+        pattern(v)
+    )
+}
+
+/// Family 8 — 7 tables: title, cast_info, name, role_type, company_name, movie_companies, company_type.
+fn family8(v: usize) -> String {
+    format!(
+        "SELECT min(t.title) AS movie_title, min(n.name) AS person
+         FROM title AS t, cast_info AS ci, name AS n, role_type AS rt,
+              company_name AS cn, movie_companies AS mc, company_type AS ct
+         WHERE ci.movie_id = t.id AND ci.person_id = n.id AND ci.role_id = rt.id
+           AND mc.movie_id = t.id AND mc.company_id = cn.id AND mc.company_type_id = ct.id
+           AND rt.role = '{}' AND cn.country_code = '{}' AND t.production_year > {}",
+        role(v),
+        country(v),
+        year(v)
+    )
+}
+
+/// Family 9 — 7 tables: title, cast_info, name, char_name, role_type, movie_keyword, keyword.
+fn family9(v: usize) -> String {
+    format!(
+        "SELECT min(chn.name) AS character, min(t.title) AS movie_title
+         FROM title AS t, cast_info AS ci, name AS n, char_name AS chn, role_type AS rt,
+              movie_keyword AS mk, keyword AS k
+         WHERE ci.movie_id = t.id AND ci.person_id = n.id AND ci.person_role_id = chn.id
+           AND ci.role_id = rt.id AND mk.movie_id = t.id AND mk.keyword_id = k.id
+           AND k.keyword IN ({}) AND rt.role = '{}' AND n.name LIKE '{}'",
+        kw(v),
+        role(v),
+        pattern(v)
+    )
+}
+
+/// Family 10 — 7 tables: title, movie_companies, company_name, company_type, movie_info, info_type, kind_type.
+fn family10(v: usize) -> String {
+    format!(
+        "SELECT min(t.title) AS movie_title, min(mi.info) AS genre
+         FROM title AS t, movie_companies AS mc, company_name AS cn, company_type AS ct,
+              movie_info AS mi, info_type AS it, kind_type AS kt
+         WHERE mc.movie_id = t.id AND mc.company_id = cn.id AND mc.company_type_id = ct.id
+           AND mi.movie_id = t.id AND mi.info_type_id = it.id AND t.kind_id = kt.id
+           AND it.info = 'genres' AND mi.info = '{}' AND cn.country_code = '{}'
+           AND t.production_year > {}",
+        genre(v),
+        country(v),
+        year(v)
+    )
+}
+
+/// Family 11 — 8 tables: title, cast_info, name, movie_keyword, keyword, movie_companies, company_name, company_type.
+fn family11(v: usize) -> String {
+    format!(
+        "SELECT min(t.title) AS movie_title, min(n.name) AS actor, min(cn.name) AS studio
+         FROM title AS t, cast_info AS ci, name AS n, movie_keyword AS mk, keyword AS k,
+              movie_companies AS mc, company_name AS cn, company_type AS ct
+         WHERE ci.movie_id = t.id AND ci.person_id = n.id AND mk.movie_id = t.id
+           AND mk.keyword_id = k.id AND mc.movie_id = t.id AND mc.company_id = cn.id
+           AND mc.company_type_id = ct.id
+           AND k.keyword IN ({}) AND n.name LIKE '{}' AND cn.country_code = '{}'
+           AND t.production_year > {}",
+        kw(v),
+        pattern(v),
+        country(v),
+        year(v)
+    )
+}
+
+/// Family 12 — 8 tables: title, movie_info, info_type x2, movie_info_idx, cast_info, name, role_type.
+fn family12(v: usize) -> String {
+    format!(
+        "SELECT min(mi.info) AS budget, min(mi_idx.info) AS votes, min(n.name) AS producer
+         FROM title AS t, movie_info AS mi, info_type AS it1, movie_info_idx AS mi_idx,
+              info_type AS it2, cast_info AS ci, name AS n, role_type AS rt
+         WHERE mi.movie_id = t.id AND mi.info_type_id = it1.id AND mi_idx.movie_id = t.id
+           AND mi_idx.info_type_id = it2.id AND ci.movie_id = t.id AND ci.person_id = n.id
+           AND ci.role_id = rt.id
+           AND it1.info = 'budget' AND it2.info = 'rating' AND rt.role = '{}'
+           AND ci.note IN ({}) AND t.production_year > {}",
+        role(v),
+        note(v),
+        year(v)
+    )
+}
+
+/// Family 13 — 8 tables: title, movie_keyword, keyword, movie_link, link_type, movie_companies, company_name, kind_type.
+fn family13(v: usize) -> String {
+    format!(
+        "SELECT min(t.title) AS franchise_movie, min(cn.name) AS studio
+         FROM title AS t, movie_keyword AS mk, keyword AS k, movie_link AS ml, link_type AS lt,
+              movie_companies AS mc, company_name AS cn, kind_type AS kt
+         WHERE mk.movie_id = t.id AND mk.keyword_id = k.id AND ml.movie_id = t.id
+           AND ml.link_type_id = lt.id AND mc.movie_id = t.id AND mc.company_id = cn.id
+           AND t.kind_id = kt.id
+           AND k.keyword IN ({}) AND kt.kind = '{}' AND cn.country_code = '{}'",
+        kw(v),
+        kind(v),
+        country(v)
+    )
+}
+
+/// Family 14 — 9 tables: title, cast_info, name, char_name, role_type, movie_keyword, keyword, movie_companies, company_name.
+fn family14(v: usize) -> String {
+    format!(
+        "SELECT min(chn.name) AS character, min(n.name) AS actor, min(t.title) AS movie_title
+         FROM title AS t, cast_info AS ci, name AS n, char_name AS chn, role_type AS rt,
+              movie_keyword AS mk, keyword AS k, movie_companies AS mc, company_name AS cn
+         WHERE ci.movie_id = t.id AND ci.person_id = n.id AND ci.person_role_id = chn.id
+           AND ci.role_id = rt.id AND mk.movie_id = t.id AND mk.keyword_id = k.id
+           AND mc.movie_id = t.id AND mc.company_id = cn.id
+           AND k.keyword IN ({}) AND rt.role = '{}' AND cn.country_code = '{}'
+           AND t.production_year > {}",
+        kw(v),
+        role(v),
+        country(v),
+        year(v)
+    )
+}
+
+/// Family 15 — 9 tables: title, movie_info, info_type x2, movie_info_idx, movie_keyword, keyword, cast_info, name.
+fn family15(v: usize) -> String {
+    format!(
+        "SELECT min(mi.info) AS info, min(mi_idx.info) AS rating, min(t.title) AS movie_title
+         FROM title AS t, movie_info AS mi, info_type AS it1, movie_info_idx AS mi_idx,
+              info_type AS it2, movie_keyword AS mk, keyword AS k, cast_info AS ci, name AS n
+         WHERE mi.movie_id = t.id AND mi.info_type_id = it1.id AND mi_idx.movie_id = t.id
+           AND mi_idx.info_type_id = it2.id AND mk.movie_id = t.id AND mk.keyword_id = k.id
+           AND ci.movie_id = t.id AND ci.person_id = n.id
+           AND it1.info = 'genres' AND it2.info = 'votes' AND mi.info = '{}'
+           AND k.keyword IN ({}) AND n.gender = '{}' AND t.production_year > {}",
+        genre(v),
+        kw(v),
+        gender(v),
+        year(v)
+    )
+}
+
+/// Family 16 — 10 tables: title, cast_info, name, aka_name, movie_keyword, keyword,
+/// movie_companies, company_name, company_type, kind_type.
+fn family16(v: usize) -> String {
+    format!(
+        "SELECT min(an.name) AS alias, min(n.name) AS person, min(t.title) AS movie_title
+         FROM title AS t, cast_info AS ci, name AS n, aka_name AS an, movie_keyword AS mk,
+              keyword AS k, movie_companies AS mc, company_name AS cn, company_type AS ct,
+              kind_type AS kt
+         WHERE ci.movie_id = t.id AND ci.person_id = n.id AND an.person_id = n.id
+           AND mk.movie_id = t.id AND mk.keyword_id = k.id AND mc.movie_id = t.id
+           AND mc.company_id = cn.id AND mc.company_type_id = ct.id AND t.kind_id = kt.id
+           AND k.keyword IN ({}) AND n.name LIKE '{}' AND cn.country_code = '{}'
+           AND kt.kind = '{}' AND t.production_year > {}",
+        kw(v),
+        pattern(v),
+        country(v),
+        kind(v),
+        year(v)
+    )
+}
+
+/// Family 17 — 11 tables: adds char_name and role_type to the family-16 graph (no aka_name).
+fn family17(v: usize) -> String {
+    format!(
+        "SELECT min(chn.name) AS character, min(n.name) AS actor, min(t.title) AS movie_title
+         FROM title AS t, cast_info AS ci, name AS n, char_name AS chn, role_type AS rt,
+              movie_keyword AS mk, keyword AS k, movie_companies AS mc, company_name AS cn,
+              company_type AS ct, kind_type AS kt
+         WHERE ci.movie_id = t.id AND ci.person_id = n.id AND ci.person_role_id = chn.id
+           AND ci.role_id = rt.id AND mk.movie_id = t.id AND mk.keyword_id = k.id
+           AND mc.movie_id = t.id AND mc.company_id = cn.id AND mc.company_type_id = ct.id
+           AND t.kind_id = kt.id
+           AND k.keyword IN ({}) AND rt.role = '{}' AND cn.country_code = '{}'
+           AND kt.kind = '{}' AND t.production_year > {}",
+        kw(v),
+        role(v),
+        country(v),
+        kind(v),
+        year(v)
+    )
+}
+
+/// Family 18 — 11 tables: ratings + info + keywords + people.
+fn family18(v: usize) -> String {
+    format!(
+        "SELECT min(mi.info) AS budget, min(mi_idx.info) AS votes, min(t.title) AS movie_title
+         FROM title AS t, movie_info AS mi, info_type AS it1, movie_info_idx AS mi_idx,
+              info_type AS it2, cast_info AS ci, name AS n, role_type AS rt,
+              movie_keyword AS mk, keyword AS k, kind_type AS kt
+         WHERE mi.movie_id = t.id AND mi.info_type_id = it1.id AND mi_idx.movie_id = t.id
+           AND mi_idx.info_type_id = it2.id AND ci.movie_id = t.id AND ci.person_id = n.id
+           AND ci.role_id = rt.id AND mk.movie_id = t.id AND mk.keyword_id = k.id
+           AND t.kind_id = kt.id
+           AND it1.info = 'budget' AND it2.info = 'votes' AND k.keyword IN ({})
+           AND rt.role = '{}' AND n.gender = '{}' AND kt.kind = '{}'",
+        kw(v),
+        role(v),
+        gender(v),
+        kind(v)
+    )
+}
+
+/// Family 19 — 12 tables: the full people/keyword/company graph.
+fn family19(v: usize) -> String {
+    format!(
+        "SELECT min(an.name) AS alias, min(chn.name) AS character, min(t.title) AS movie_title
+         FROM title AS t, cast_info AS ci, name AS n, aka_name AS an, char_name AS chn,
+              role_type AS rt, movie_keyword AS mk, keyword AS k, movie_companies AS mc,
+              company_name AS cn, company_type AS ct, kind_type AS kt
+         WHERE ci.movie_id = t.id AND ci.person_id = n.id AND an.person_id = n.id
+           AND ci.person_role_id = chn.id AND ci.role_id = rt.id AND mk.movie_id = t.id
+           AND mk.keyword_id = k.id AND mc.movie_id = t.id AND mc.company_id = cn.id
+           AND mc.company_type_id = ct.id AND t.kind_id = kt.id
+           AND k.keyword IN ({}) AND rt.role = '{}' AND n.name LIKE '{}'
+           AND cn.country_code = '{}' AND kt.kind = '{}' AND t.production_year > {}",
+        kw(v),
+        role(v),
+        pattern(v),
+        country(v),
+        kind(v),
+        year(v)
+    )
+}
+
+/// Family 20 — 14 tables: family 19 plus movie_info and its info_type.
+fn family20(v: usize) -> String {
+    format!(
+        "SELECT min(an.name) AS alias, min(chn.name) AS character, min(mi.info) AS genre,
+                min(t.title) AS movie_title
+         FROM title AS t, cast_info AS ci, name AS n, aka_name AS an, char_name AS chn,
+              role_type AS rt, movie_keyword AS mk, keyword AS k, movie_companies AS mc,
+              company_name AS cn, company_type AS ct, kind_type AS kt,
+              movie_info AS mi, info_type AS it1
+         WHERE ci.movie_id = t.id AND ci.person_id = n.id AND an.person_id = n.id
+           AND ci.person_role_id = chn.id AND ci.role_id = rt.id AND mk.movie_id = t.id
+           AND mk.keyword_id = k.id AND mc.movie_id = t.id AND mc.company_id = cn.id
+           AND mc.company_type_id = ct.id AND t.kind_id = kt.id AND mi.movie_id = t.id
+           AND mi.info_type_id = it1.id
+           AND it1.info = 'genres' AND mi.info = '{}' AND k.keyword IN ({})
+           AND rt.role = '{}' AND cn.country_code = '{}' AND kt.kind = '{}'
+           AND t.production_year > {}",
+        genre(v),
+        kw(v),
+        role(v),
+        country(v),
+        kind(v),
+        year(v)
+    )
+}
+
+/// Family 21 — 17 tables: the largest graph, adding movie_info_idx (with its own
+/// info_type) and complete_cast to family 20.
+fn family21(v: usize) -> String {
+    format!(
+        "SELECT min(an.name) AS alias, min(chn.name) AS character, min(mi.info) AS genre,
+                min(mi_idx.info) AS votes, min(t.title) AS movie_title
+         FROM title AS t, cast_info AS ci, name AS n, aka_name AS an, char_name AS chn,
+              role_type AS rt, movie_keyword AS mk, keyword AS k, movie_companies AS mc,
+              company_name AS cn, company_type AS ct, kind_type AS kt,
+              movie_info AS mi, info_type AS it1, movie_info_idx AS mi_idx, info_type AS it2,
+              complete_cast AS cc
+         WHERE ci.movie_id = t.id AND ci.person_id = n.id AND an.person_id = n.id
+           AND ci.person_role_id = chn.id AND ci.role_id = rt.id AND mk.movie_id = t.id
+           AND mk.keyword_id = k.id AND mc.movie_id = t.id AND mc.company_id = cn.id
+           AND mc.company_type_id = ct.id AND t.kind_id = kt.id AND mi.movie_id = t.id
+           AND mi.info_type_id = it1.id AND mi_idx.movie_id = t.id AND mi_idx.info_type_id = it2.id
+           AND cc.movie_id = t.id
+           AND it1.info = 'genres' AND it2.info = 'votes' AND mi.info = '{}'
+           AND k.keyword IN ({}) AND rt.role = '{}' AND cn.country_code = '{}'
+           AND kt.kind = '{}' AND t.production_year > {}",
+        genre(v),
+        kw(v),
+        role(v),
+        country(v),
+        kind(v),
+        year(v)
+    )
+}
+
+/// `(family number, table count, variant count, generator)` for the whole suite.
+/// The variant counts reproduce Table III of the paper:
+/// 4→3, 5→20, 6→2, 7→16, 8→21, 9→14, 10→7, 11→10, 12→11, 14→6, 17→3 (113 total).
+fn families() -> Vec<(usize, usize, usize, fn(usize) -> String)> {
+    vec![
+        (1, 4, 3, family1 as fn(usize) -> String),
+        (2, 5, 5, family2),
+        (3, 5, 5, family3),
+        (4, 5, 5, family4),
+        (5, 5, 5, family5),
+        (6, 6, 2, family6),
+        (7, 7, 4, family7),
+        (8, 7, 4, family8),
+        (9, 7, 4, family9),
+        (10, 7, 4, family10),
+        (11, 8, 7, family11),
+        (12, 8, 7, family12),
+        (13, 8, 7, family13),
+        (14, 9, 7, family14),
+        (15, 9, 7, family15),
+        (16, 10, 7, family16),
+        (17, 11, 5, family17),
+        (18, 11, 5, family18),
+        (19, 12, 11, family19),
+        (20, 14, 6, family20),
+        (21, 17, 3, family21),
+    ]
+}
+
+/// The full 113-query suite.
+pub fn job_queries() -> Vec<JobQuery> {
+    let mut queries = Vec::with_capacity(113);
+    for (family, table_count, variants, generator) in families() {
+        for v in 0..variants {
+            let variant = VARIANT_LETTERS[v];
+            queries.push(JobQuery {
+                id: format!("{family}{variant}"),
+                family,
+                variant,
+                table_count,
+                sql: generator(v),
+            });
+        }
+    }
+    queries
+}
+
+/// Look up a query by id (e.g. "2d").
+pub fn job_query(id: &str) -> Option<JobQuery> {
+    job_queries().into_iter().find(|q| q.id == id)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::imdb::{load_imdb, ImdbConfig};
+    use reopt_core::Database;
+    use reopt_planner::bind_select;
+    use reopt_sql::parse_sql;
+    use std::collections::HashMap;
+
+    #[test]
+    fn suite_has_113_queries_with_unique_ids() {
+        let queries = job_queries();
+        assert_eq!(queries.len(), 113);
+        let mut ids = std::collections::HashSet::new();
+        for q in &queries {
+            assert!(ids.insert(q.id.clone()), "duplicate id {}", q.id);
+        }
+    }
+
+    #[test]
+    fn table_count_distribution_matches_table_iii() {
+        let mut histogram: HashMap<usize, usize> = HashMap::new();
+        for q in job_queries() {
+            *histogram.entry(q.table_count).or_default() += 1;
+        }
+        let expected = [
+            (4, 3),
+            (5, 20),
+            (6, 2),
+            (7, 16),
+            (8, 21),
+            (9, 14),
+            (10, 7),
+            (11, 10),
+            (12, 11),
+            (14, 6),
+            (17, 3),
+        ];
+        for (tables, count) in expected {
+            assert_eq!(histogram.get(&tables), Some(&count), "{tables}-table queries");
+        }
+        assert_eq!(histogram.values().sum::<usize>(), 113);
+    }
+
+    #[test]
+    fn every_query_parses_and_declares_its_table_count() {
+        for q in job_queries() {
+            let statement = parse_sql(&q.sql).unwrap_or_else(|e| panic!("query {}: {e}", q.id));
+            let select = statement.query().unwrap();
+            assert_eq!(
+                select.from.len(),
+                q.table_count,
+                "query {} declares {} tables but has {}",
+                q.id,
+                q.table_count,
+                select.from.len()
+            );
+            assert!(select.has_aggregates(), "query {} should aggregate", q.id);
+        }
+    }
+
+    #[test]
+    fn every_query_binds_against_the_synthetic_imdb_schema() {
+        let mut db = Database::new();
+        load_imdb(&mut db, &ImdbConfig::tiny()).unwrap();
+        for q in job_queries() {
+            let statement = parse_sql(&q.sql).unwrap();
+            let spec = bind_select(statement.query().unwrap(), db.storage())
+                .unwrap_or_else(|e| panic!("query {} does not bind: {e}", q.id));
+            assert_eq!(spec.relation_count(), q.table_count);
+            // Every query's join graph must be connected (no Cartesian products).
+            let graph = reopt_planner::JoinGraph::new(&spec);
+            assert!(graph.is_fully_connected(), "query {} is disconnected", q.id);
+        }
+    }
+
+    #[test]
+    fn deep_dive_queries_exist() {
+        let q2d = job_query("2d").unwrap();
+        assert_eq!(q2d.table_count, 5);
+        assert!(q2d.sql.contains("cast_info"));
+        let q7a = job_query("7a").unwrap();
+        assert_eq!(q7a.table_count, 7);
+        assert!(q7a.sql.contains("info_type AS it2"));
+        assert!(job_query("99z").is_none());
+    }
+
+    #[test]
+    fn variants_differ_within_a_family() {
+        let queries = job_queries();
+        let family2: Vec<&JobQuery> = queries.iter().filter(|q| q.family == 2).collect();
+        assert_eq!(family2.len(), 5);
+        assert_ne!(family2[0].sql, family2[1].sql);
+    }
+
+    #[test]
+    fn a_sample_of_queries_executes_end_to_end() {
+        let mut db = Database::new();
+        load_imdb(&mut db, &ImdbConfig::tiny()).unwrap();
+        for id in ["1a", "2d", "3b", "7a"] {
+            let q = job_query(id).unwrap();
+            let output = db
+                .execute(&q.sql)
+                .unwrap_or_else(|e| panic!("query {id} failed: {e}"));
+            assert_eq!(output.row_count(), 1, "aggregate query {id} returns one row");
+        }
+    }
+}

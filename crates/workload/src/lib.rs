@@ -1,0 +1,24 @@
+//! # reopt-workload
+//!
+//! The workloads the paper evaluates on, rebuilt synthetically:
+//!
+//! * [`imdb`] — a deterministic generator for the IMDB schema used by the Join Order
+//!   Benchmark (title, name, cast_info, keyword, movie_keyword, …) with the two
+//!   properties that make JOB hard for optimizers: **skew** (Zipf-distributed join keys:
+//!   a few movies/actors/keywords account for most of the facts) and **correlation**,
+//!   including *join-crossing* correlation (e.g. franchise movies have both the popular
+//!   keywords and far more cast entries, so a filter on `keyword` changes the fan-out of
+//!   a join two edges away).
+//! * [`job`] — a JOB-style suite of 113 select-project-join queries whose per-query
+//!   table counts match Table III of the paper.
+//! * [`nasdaq`] — the companies/trades example of Section IV-C (Tables IV and V), where
+//!   the uniformity assumption on the join key hides the fact that a handful of symbols
+//!   account for half the trading volume.
+
+pub mod imdb;
+pub mod job;
+pub mod nasdaq;
+
+pub use imdb::{load_imdb, ImdbConfig};
+pub use job::{job_queries, JobQuery};
+pub use nasdaq::{load_nasdaq, NasdaqConfig, APPL_QUERY};

@@ -1,0 +1,178 @@
+//! The Nasdaq companies/trades example of Section IV-C (Tables IV and V).
+//!
+//! "40 stocks out of 4000 in the NYSE account for 50% of the total volume": the trades
+//! table is generated so that a handful of symbols carry most of the volume. The
+//! uniformity assumption then badly underestimates the join
+//! `company.symbol = 'APPL' AND company.id = trades.company_id`, because the filter on
+//! `symbol` selects exactly the company whose join-key frequency is far above average —
+//! a textbook join-crossing skew, and the smallest reproducible instance of the failure
+//! mode the paper's JOB deep dives exhibit.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use reopt_core::{Database, DbError};
+use reopt_storage::{Column, DataType, IndexKind, Row, Schema, Table, Value};
+
+/// Configuration for the Nasdaq example generator.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NasdaqConfig {
+    /// Number of companies.
+    pub companies: usize,
+    /// Number of trades.
+    pub trades: usize,
+    /// Fraction of all trades that go to the hot symbols.
+    pub hot_fraction: f64,
+    /// Number of hot symbols sharing `hot_fraction` of the volume.
+    pub hot_symbols: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for NasdaqConfig {
+    fn default() -> Self {
+        Self {
+            companies: 4_000,
+            trades: 100_000,
+            hot_fraction: 0.5,
+            hot_symbols: 40,
+            seed: 17,
+        }
+    }
+}
+
+impl NasdaqConfig {
+    /// A configuration scaled for fast unit tests.
+    pub fn tiny() -> Self {
+        Self {
+            companies: 200,
+            trades: 5_000,
+            ..Self::default()
+        }
+    }
+}
+
+/// The SQL of the paper's example query (Section IV-C): all trades of APPL.
+pub const APPL_QUERY: &str = "SELECT count(*) AS appl_trades
+FROM company AS c, trades AS tr
+WHERE c.symbol = 'APPL' AND c.id = tr.company_id";
+
+/// Load the companies/trades example into the database (tables, indexes, ANALYZE).
+pub fn load_nasdaq(db: &mut Database, config: &NasdaqConfig) -> Result<(), DbError> {
+    let mut rng = StdRng::seed_from_u64(config.seed);
+
+    let mut company = Table::new(
+        "company",
+        Schema::new(vec![
+            Column::not_null("id", DataType::Int),
+            Column::new("symbol", DataType::Text),
+            Column::new("name", DataType::Text),
+        ]),
+    );
+    for i in 0..config.companies {
+        let symbol = match i {
+            0 => "APPL".to_string(),
+            1 => "GOOG".to_string(),
+            2 => "MSFT".to_string(),
+            3 => "AMZN".to_string(),
+            _ => format!("SYM{i:04}"),
+        };
+        company.push_row_unchecked(Row::from_values(vec![
+            Value::Int(i as i64),
+            Value::from(symbol.clone()),
+            Value::from(format!("{symbol} Inc.")),
+        ]));
+    }
+
+    let mut trades = Table::new(
+        "trades",
+        Schema::new(vec![
+            Column::not_null("id", DataType::Int),
+            Column::not_null("company_id", DataType::Int),
+            Column::new("shares", DataType::Int),
+            Column::new("price", DataType::Float),
+        ]),
+    );
+    let hot = config.hot_symbols.min(config.companies).max(1);
+    for i in 0..config.trades {
+        let company_id = if rng.gen_bool(config.hot_fraction) {
+            // Within the hot set, volume itself is skewed: APPL (id 0) dominates.
+            let r: f64 = rng.gen_range(0.0..1.0);
+            ((r * r) * hot as f64) as usize
+        } else {
+            rng.gen_range(0..config.companies)
+        } as i64;
+        trades.push_row_unchecked(Row::from_values(vec![
+            Value::Int(i as i64),
+            Value::Int(company_id),
+            Value::Int(rng.gen_range(1..5_000)),
+            Value::Float((rng.gen_range(100..90_000) as f64) / 100.0),
+        ]));
+    }
+
+    db.create_table(company)?;
+    db.create_table(trades)?;
+    db.create_index("company", "id", IndexKind::BTree)?;
+    db.create_index("company", "symbol", IndexKind::Hash)?;
+    db.create_index("trades", "company_id", IndexKind::Hash)?;
+    db.analyze_all()?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use reopt_planner::RelSet;
+
+    #[test]
+    fn hot_symbols_dominate_volume() {
+        let mut db = Database::new();
+        let config = NasdaqConfig::tiny();
+        load_nasdaq(&mut db, &config).unwrap();
+        let output = db.execute(APPL_QUERY).unwrap();
+        let appl_trades = output.rows[0].value(0).as_int().unwrap();
+        // APPL alone should hold far more than the uniform share (trades / companies).
+        let uniform_share = (config.trades / config.companies) as i64;
+        assert!(
+            appl_trades > uniform_share * 5,
+            "APPL trades {appl_trades} vs uniform share {uniform_share}"
+        );
+    }
+
+    #[test]
+    fn appl_join_is_underestimated_like_the_paper_says() {
+        let mut db = Database::new();
+        load_nasdaq(&mut db, &NasdaqConfig::tiny()).unwrap();
+        let output = db.execute(APPL_QUERY).unwrap();
+        let actual = output.rows[0].value(0).as_int().unwrap() as f64;
+        // The top join's estimate comes straight from the plan.
+        let plan = output.plan.as_ref().unwrap();
+        let join_estimate = plan.children[0].estimated_rows;
+        assert!(
+            join_estimate * 5.0 < actual,
+            "estimate {join_estimate} should be far below actual {actual}"
+        );
+        // ... and the estimate for the filtered company side is accurate (1 company).
+        let spec = output.spec.as_ref().unwrap();
+        let c = spec.relation_by_alias("c").unwrap();
+        let mut found = false;
+        plan.walk(&mut |node| {
+            if node.rel_set == RelSet::single(c) {
+                found = true;
+                assert!(node.estimated_rows < 10.0);
+            }
+        });
+        assert!(found);
+    }
+
+    #[test]
+    fn generator_is_deterministic() {
+        let mut a = Database::new();
+        load_nasdaq(&mut a, &NasdaqConfig::tiny()).unwrap();
+        let mut b = Database::new();
+        load_nasdaq(&mut b, &NasdaqConfig::tiny()).unwrap();
+        assert_eq!(
+            a.storage().table("trades").unwrap().rows()[..100],
+            b.storage().table("trades").unwrap().rows()[..100]
+        );
+    }
+}

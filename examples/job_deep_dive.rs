@@ -1,0 +1,53 @@
+//! The deep dives of Section IV-D of the paper: queries 6d and 18a (their analogues 2d
+//! and 7a in this suite). Prints the join graphs (Figures 3 and 4), the default plan
+//! with estimated vs. actual cardinalities, and how the picture changes under
+//! perfect-(2), perfect-(4) and fully perfect estimates.
+//!
+//! ```text
+//! cargo run --release --example job_deep_dive
+//! ```
+
+use reopt_repro::core::{Database, PerfectOracle};
+use reopt_repro::planner::{bind_select, JoinGraph};
+use reopt_repro::sql::parse_sql;
+use reopt_repro::workload::job::job_query;
+use reopt_repro::workload::{load_imdb, ImdbConfig};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut db = Database::new();
+    load_imdb(&mut db, &ImdbConfig { scale: 0.1, seed: 42 })?;
+    let mut oracle = PerfectOracle::new();
+
+    for (id, paper_id) in [("2d", "6d"), ("7a", "18a")] {
+        let query = job_query(id).expect("suite query exists");
+        println!("================ query {id} (paper query {paper_id}) ================");
+        println!("{}\n", query.sql.trim());
+
+        // The join graph (Figures 3 / 4).
+        let statement = parse_sql(&query.sql)?;
+        let select = statement.query().expect("SELECT").clone();
+        let spec = bind_select(&select, db.storage())?;
+        let graph = JoinGraph::new(&spec);
+        println!("join graph:\n{}", graph.to_ascii(&spec));
+
+        // Default plan with estimated vs. actual cardinalities.
+        println!("EXPLAIN ANALYZE (default estimator):");
+        println!("{}", db.explain_analyze(&query.sql)?);
+
+        // How much do perfect-(n) estimates change the picture?
+        for n in [0usize, 2, 4, 17] {
+            let overrides = oracle.overrides_for(&mut db, &select, n, id)?;
+            db.set_overrides(overrides);
+            let output = db.execute_select(&select)?;
+            db.clear_overrides();
+            println!(
+                "perfect-({n:<2}): execution {:>9.3} ms, planning {:>8.3} ms, plan depth {}",
+                output.execution_time.as_secs_f64() * 1e3,
+                output.planning_time.as_secs_f64() * 1e3,
+                output.plan.as_ref().map(|p| p.depth()).unwrap_or(0)
+            );
+        }
+        println!();
+    }
+    Ok(())
+}

@@ -1,0 +1,58 @@
+//! # reopt-repro
+//!
+//! A from-scratch Rust reproduction of *"How I Learned to Stop Worrying and Love
+//! Re-optimization"* (Perron, Shang, Kraska, Stonebraker — ICDE 2019): an in-memory
+//! analytic query engine with a PostgreSQL-style cost-based optimizer, an instrumented
+//! executor, a perfect-(n) cardinality oracle, and a mid-query re-optimization
+//! controller that materializes mis-estimated sub-joins into temporary tables and
+//! re-plans the remainder of the query.
+//!
+//! This crate is a façade that re-exports the workspace members:
+//!
+//! * [`storage`] — in-memory tables, values, schemas and secondary indexes,
+//! * [`expr`] — scalar expressions and predicate evaluation,
+//! * [`sql`] — the SQL lexer/parser for the JOB subset,
+//! * [`catalog`] — ANALYZE statistics (MCVs, histograms, n_distinct),
+//! * [`planner`] — selectivity/join estimation, cost model, DPccp join enumeration,
+//! * [`executor`] — physical operators with EXPLAIN ANALYZE instrumentation,
+//! * [`core`] — the [`Database`](core::Database) façade, the perfect-(n) oracle and the
+//!   re-optimization controller (the paper's contribution),
+//! * [`workload`] — the synthetic IMDB generator, the JOB-style 113-query suite and the
+//!   Nasdaq skew example.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use reopt_repro::core::{execute_with_reoptimization, Database, ReoptConfig};
+//! use reopt_repro::workload::{load_nasdaq, NasdaqConfig, APPL_QUERY};
+//!
+//! let mut db = Database::new();
+//! load_nasdaq(&mut db, &NasdaqConfig::tiny()).unwrap();
+//!
+//! // Plain execution with the default (PostgreSQL-style) estimator ...
+//! let plain = db.execute(APPL_QUERY).unwrap();
+//!
+//! // ... and the same query under mid-query re-optimization.
+//! let report = execute_with_reoptimization(&mut db, APPL_QUERY, &ReoptConfig::default()).unwrap();
+//! assert_eq!(report.final_rows, plain.rows);
+//! ```
+
+pub use reopt_catalog as catalog;
+pub use reopt_core as core;
+pub use reopt_executor as executor;
+pub use reopt_expr as expr;
+pub use reopt_planner as planner;
+pub use reopt_sql as sql;
+pub use reopt_storage as storage;
+pub use reopt_workload as workload;
+
+/// The crate version (useful for examples and experiment logs).
+pub const VERSION: &str = env!("CARGO_PKG_VERSION");
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn version_is_exposed() {
+        assert!(!super::VERSION.is_empty());
+    }
+}

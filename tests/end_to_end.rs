@@ -1,0 +1,156 @@
+//! Workspace-level integration tests: the whole stack (SQL → binder → optimizer →
+//! executor → re-optimization) against the synthetic workloads.
+
+use reopt_repro::core::{
+    execute_with_reoptimization, q_error, Database, PerfectOracle, ReoptConfig, ReoptMode,
+    SelectiveConfig,
+};
+use reopt_repro::sql::parse_sql;
+use reopt_repro::workload::job::{job_queries, job_query};
+use reopt_repro::workload::{load_imdb, load_nasdaq, ImdbConfig, NasdaqConfig, APPL_QUERY};
+
+fn imdb_database() -> Database {
+    let mut db = Database::new();
+    load_imdb(&mut db, &ImdbConfig { scale: 0.03, seed: 9 }).unwrap();
+    db
+}
+
+#[test]
+fn a_cross_section_of_the_suite_plans_and_executes() {
+    let mut db = imdb_database();
+    // One query per family keeps the runtime reasonable while touching every join graph.
+    let mut seen_families = std::collections::HashSet::new();
+    for query in job_queries() {
+        if !seen_families.insert(query.family) {
+            continue;
+        }
+        let output = db
+            .execute(&query.sql)
+            .unwrap_or_else(|e| panic!("query {} failed: {e}", query.id));
+        assert_eq!(output.row_count(), 1, "aggregate query {} returns one row", query.id);
+        let plan = output.plan.as_ref().unwrap();
+        assert_eq!(
+            plan.rel_set.len(),
+            query.table_count,
+            "plan of {} covers all relations",
+            query.id
+        );
+    }
+}
+
+#[test]
+fn reoptimization_preserves_results_on_skewed_queries() {
+    let mut db = imdb_database();
+    for id in ["1a", "2a", "2d", "6a", "9a", "11a"] {
+        let query = job_query(id).unwrap();
+        let expected = db.execute(&query.sql).unwrap();
+        for mode in [ReoptMode::Materialize, ReoptMode::InjectOnly] {
+            let config = ReoptConfig {
+                threshold: 8.0,
+                mode,
+                ..ReoptConfig::default()
+            };
+            let report = execute_with_reoptimization(&mut db, &query.sql, &config)
+                .unwrap_or_else(|e| panic!("re-optimizing {id} ({mode:?}) failed: {e}"));
+            assert_eq!(
+                report.final_rows, expected.rows,
+                "query {id} under {mode:?} changed its result"
+            );
+        }
+        // No temporary tables may survive.
+        assert_eq!(db.storage().table_count(), 21, "temp tables left behind by {id}");
+    }
+}
+
+#[test]
+fn perfect_oracle_eliminates_large_estimation_errors() {
+    let mut db = imdb_database();
+    let query = job_query("2d").unwrap();
+    let statement = parse_sql(&query.sql).unwrap();
+    let select = statement.query().unwrap().clone();
+
+    // Default run: record the worst join q-error.
+    let default_output = db.execute_select(&select).unwrap();
+    let worst_default = default_output
+        .metrics
+        .as_ref()
+        .unwrap()
+        .root
+        .joins_bottom_up()
+        .iter()
+        .map(|j| j.q_error())
+        .fold(1.0f64, f64::max);
+
+    // Perfect run: every join estimate must be (essentially) exact.
+    let mut oracle = PerfectOracle::new();
+    let overrides = oracle.overrides_for(&mut db, &select, 17, "2d").unwrap();
+    db.set_overrides(overrides);
+    let perfect_output = db.execute_select(&select).unwrap();
+    db.clear_overrides();
+    let worst_perfect = perfect_output
+        .metrics
+        .as_ref()
+        .unwrap()
+        .root
+        .joins_bottom_up()
+        .iter()
+        .map(|j| j.q_error())
+        .fold(1.0f64, f64::max);
+
+    assert!(
+        worst_perfect < 1.5,
+        "perfect estimates still show q-error {worst_perfect}"
+    );
+    assert!(
+        worst_default >= worst_perfect,
+        "default ({worst_default}) should not beat perfect ({worst_perfect})"
+    );
+    assert_eq!(perfect_output.rows, default_output.rows);
+}
+
+#[test]
+fn nasdaq_example_shows_underestimation_and_reopt_fixes_the_plan() {
+    let mut db = Database::new();
+    load_nasdaq(&mut db, &NasdaqConfig::tiny()).unwrap();
+    let output = db.execute(APPL_QUERY).unwrap();
+    let actual = output.rows[0].value(0).as_int().unwrap() as f64;
+    let estimate = output.plan.as_ref().unwrap().children[0].estimated_rows;
+    assert!(q_error(estimate, actual) > 4.0, "expected a large estimation error");
+
+    let report =
+        execute_with_reoptimization(&mut db, APPL_QUERY, &ReoptConfig::with_threshold(4.0))
+            .unwrap();
+    assert!(report.reoptimized());
+    assert_eq!(report.final_rows, output.rows);
+}
+
+#[test]
+fn selective_improvement_converges_on_a_job_query() {
+    let mut db = imdb_database();
+    let query = job_query("2a").unwrap();
+    let iterations = reopt_repro::core::selective_improvement(
+        &mut db,
+        &query.sql,
+        &SelectiveConfig {
+            threshold: 8.0,
+            max_iterations: 24,
+        },
+    )
+    .unwrap();
+    assert!(!iterations.is_empty());
+    let last = iterations.last().unwrap();
+    assert!(
+        last.corrected.is_none() || iterations.len() == 24,
+        "simulation should converge or hit the cap"
+    );
+}
+
+#[test]
+fn explain_analyze_reports_estimates_and_actuals_for_job() {
+    let mut db = imdb_database();
+    let query = job_query("3a").unwrap();
+    let text = db.explain_analyze(&query.sql).unwrap();
+    assert!(text.contains("actual rows="));
+    assert!(text.contains("q-error="));
+    assert!(text.contains("Execution Time"));
+}
