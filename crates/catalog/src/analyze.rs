@@ -250,7 +250,7 @@ mod tests {
     #[test]
     fn null_fraction_reported() {
         let mut values = vec![Value::Null; 250];
-        values.extend((0..750).map(|i| Value::Int(i)));
+        values.extend((0..750).map(Value::Int));
         let table = table_with_values(values);
         let stats = analyze_table(&table, &AnalyzeOptions::default());
         let col = stats.column("v").unwrap();

@@ -40,4 +40,44 @@ mod tests {
     fn default_threshold_matches_paper() {
         assert_eq!(DEFAULT_REOPT_THRESHOLD, 32.0);
     }
+
+    #[test]
+    fn symmetric_over_a_grid_of_cardinalities() {
+        let cards = [0.0, 0.5, 1.0, 2.0, 10.0, 1e3, 1e6, 1e12];
+        for &a in &cards {
+            for &b in &cards {
+                assert_eq!(q_error(a, b), q_error(b, a), "q({a}, {b}) not symmetric");
+            }
+        }
+    }
+
+    #[test]
+    fn identity_for_any_cardinality() {
+        for x in [0.0, 1.0, 3.5, 1e4, 1e9, f64::MAX] {
+            assert_eq!(q_error(x, x), 1.0, "q({x}, {x}) should be 1");
+        }
+    }
+
+    #[test]
+    fn zero_and_empty_cardinalities_clamp_to_one_row() {
+        // An empty actual result is treated as one row, so the error stays finite
+        // and equals the (clamped) estimate.
+        assert_eq!(q_error(1000.0, 0.0), 1000.0);
+        assert_eq!(q_error(0.0, 1000.0), 1000.0);
+        // Both empty: a perfect estimate, not 0/0.
+        assert_eq!(q_error(0.0, 0.0), 1.0);
+        // Sub-row estimates clamp up rather than exploding the ratio.
+        assert_eq!(q_error(1e-300, 1.0), 1.0);
+        assert_eq!(q_error(f64::MIN_POSITIVE, 2.0), 2.0);
+    }
+
+    #[test]
+    fn q_error_is_at_least_one() {
+        let cards = [0.0, 0.25, 1.0, 7.0, 123.0, 1e8];
+        for &a in &cards {
+            for &b in &cards {
+                assert!(q_error(a, b) >= 1.0, "q({a}, {b}) below 1");
+            }
+        }
+    }
 }

@@ -159,18 +159,32 @@ fn materialize_loop(
     let mut created_sql: Vec<String> = Vec::new();
     let mut temp_counter = 0usize;
 
+    // A wildcard select cannot be rewritten around a temp table: the rewrite
+    // renames subset columns to their mangled `alias_column` form (and the
+    // empty-`needed` fallback projects a placeholder), so `SELECT *` over the
+    // rewritten FROM list would change the output schema. Execute such queries
+    // once, unrewritten, and report no rounds.
+    let rewritable = !current
+        .items
+        .iter()
+        .any(|item| matches!(item.expr, SelectExpr::Wildcard));
+
     loop {
         let output = db.execute_select(&current)?;
         planning_time += output.planning_time;
         let metrics = output.metrics.as_ref().expect("select produces metrics");
         let spec = output.spec.as_ref().expect("select produces a spec");
 
-        let offending = metrics
-            .root
-            .joins_bottom_up()
-            .into_iter()
-            .find(|join| join.q_error() > config.threshold)
-            .cloned();
+        let offending = if rewritable {
+            metrics
+                .root
+                .joins_bottom_up()
+                .into_iter()
+                .find(|join| join.q_error() > config.threshold)
+                .cloned()
+        } else {
+            None
+        };
 
         let Some(bad_join) = offending else {
             // No join exceeds the threshold: this run is the final SELECT.
@@ -352,14 +366,14 @@ pub fn materialize_subset(
 
     // The temp table's defining query: project the needed columns as `alias_column`.
     let temp_items: Vec<SelectItem> = if needed.is_empty() {
-        // Nothing from the subset is referenced outside it (only possible when the
-        // subset is the whole query); keep a count so the table is still well formed.
+        // Nothing from the subset is referenced outside it: the subset is the
+        // whole query and the select list is bare `count(*)` (wildcard selects
+        // never reach the rewrite, see `materialize_loop`). The temp table must
+        // still hold ONE ROW PER JOIN ROW — materializing the aggregate itself
+        // would make the rewritten `count(*)` count a single row.
         vec![SelectItem {
-            expr: SelectExpr::Aggregate {
-                func: reopt_sql::AggregateFunc::Count,
-                arg: None,
-            },
-            alias: Some("materialized_rows".into()),
+            expr: SelectExpr::Scalar(Expr::Literal(reopt_storage::Value::Int(1))),
+            alias: Some("materialized_row".into()),
         }]
     } else {
         needed
@@ -577,11 +591,91 @@ mod tests {
     }
 
     #[test]
+    fn materializing_the_whole_query_keeps_count_semantics() {
+        // A two-relation query whose only join IS the whole query: the offending
+        // subset covers every relation and the select list is bare count(*), so
+        // the temp table must materialize one row per join row, not the count.
+        let mut db = test_database();
+        let sql = "SELECT count(*) AS c FROM movie_keyword AS mk, keyword AS k
+                   WHERE mk.keyword_id = k.id AND k.keyword = 'kw0'";
+        let expected = db.execute(sql).unwrap();
+        let config = ReoptConfig::with_threshold(4.0);
+        let report = execute_with_reoptimization(&mut db, sql, &config).unwrap();
+        assert!(report.reoptimized(), "skewed kw0 join must trigger");
+        assert_eq!(report.final_rows, expected.rows);
+        assert!(!db.storage().contains_table("reopt_temp1"));
+    }
+
+    #[test]
+    fn wildcard_selects_execute_unrewritten() {
+        // `SELECT *` cannot survive the temp-table rewrite (subset columns get
+        // mangled names), so the controller must run it plain even when a join
+        // is badly mis-estimated — and the rows must match plain execution.
+        let mut db = test_database();
+        let sql = "SELECT * FROM movie_keyword AS mk, keyword AS k
+                   WHERE mk.keyword_id = k.id AND k.keyword = 'kw0'";
+        let expected = db.execute(sql).unwrap();
+        let report =
+            execute_with_reoptimization(&mut db, sql, &ReoptConfig::with_threshold(2.0)).unwrap();
+        assert!(!report.reoptimized(), "wildcard queries must not be rewritten");
+        assert_eq!(report.final_rows, expected.rows);
+        assert_eq!(report.detection_time, Duration::ZERO);
+    }
+
+    #[test]
     fn non_select_statements_are_rejected() {
         let mut db = test_database();
         // A parse failure surfaces as a parse error, not a panic.
         let err = execute_with_reoptimization(&mut db, "NOT SQL", &ReoptConfig::default());
         assert!(err.is_err());
+    }
+
+    /// The worst join Q-error observed when executing `sql` with the default
+    /// estimator — the quantity the controller compares against its threshold.
+    fn worst_join_q_error(db: &mut Database, sql: &str) -> f64 {
+        let output = db.execute(sql).unwrap();
+        output
+            .metrics
+            .as_ref()
+            .unwrap()
+            .root
+            .joins_bottom_up()
+            .iter()
+            .map(|j| j.q_error())
+            .fold(1.0f64, f64::max)
+    }
+
+    #[test]
+    fn threshold_just_below_worst_q_error_triggers_replanning() {
+        let mut db = test_database();
+        let worst = worst_join_q_error(&mut db, SKEWED_SQL);
+        assert!(worst > 1.0, "the skewed query must show estimation error");
+
+        let config = ReoptConfig::with_threshold(worst * 0.99);
+        let report = execute_with_reoptimization(&mut db, SKEWED_SQL, &config).unwrap();
+        assert!(
+            report.reoptimized(),
+            "threshold {} below worst q-error {worst} must trigger",
+            worst * 0.99
+        );
+        assert!(report.rounds[0].q_error > config.threshold);
+    }
+
+    #[test]
+    fn threshold_just_above_worst_q_error_skips_replanning() {
+        let mut db = test_database();
+        let worst = worst_join_q_error(&mut db, SKEWED_SQL);
+
+        let config = ReoptConfig::with_threshold(worst * 1.01);
+        let report = execute_with_reoptimization(&mut db, SKEWED_SQL, &config).unwrap();
+        assert!(
+            !report.reoptimized(),
+            "threshold {} above worst q-error {worst} must not trigger",
+            worst * 1.01
+        );
+        // A skipped controller charges no detection time and leaves no rounds.
+        assert!(report.rounds.is_empty());
+        assert_eq!(report.detection_time, Duration::ZERO);
     }
 
     #[test]

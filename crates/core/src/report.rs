@@ -66,7 +66,7 @@ impl WorkloadRun {
     /// The `n` queries with the longest execution time, most expensive first.
     pub fn longest_running(&self, n: usize) -> Vec<&QueryRun> {
         let mut sorted: Vec<&QueryRun> = self.queries.iter().collect();
-        sorted.sort_by(|a, b| b.execution.cmp(&a.execution));
+        sorted.sort_by_key(|q| std::cmp::Reverse(q.execution));
         sorted.truncate(n);
         sorted
     }

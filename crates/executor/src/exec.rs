@@ -1020,10 +1020,12 @@ mod tests {
             (false, true, false),
             (false, false, true),
         ] {
-            let mut config = reopt_planner::OptimizerConfig::default();
-            config.enable_hash_joins = hash;
-            config.enable_merge_joins = merge;
-            config.enable_index_nl_joins = inl;
+            let config = reopt_planner::OptimizerConfig {
+                enable_hash_joins: hash,
+                enable_merge_joins: merge,
+                enable_index_nl_joins: inl,
+                ..Default::default()
+            };
             let optimizer = Optimizer::new(config);
             let planned = optimizer
                 .plan_select(

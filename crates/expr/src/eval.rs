@@ -98,14 +98,8 @@ impl Expr {
                 let v = expr.eval(row)?;
                 let lo = low.eval(row)?;
                 let hi = high.eval(row)?;
-                let ge_low = match v.sql_cmp(&lo) {
-                    Some(o) => Some(o != Ordering::Less),
-                    None => None,
-                };
-                let le_high = match v.sql_cmp(&hi) {
-                    Some(o) => Some(o != Ordering::Greater),
-                    None => None,
-                };
+                let ge_low = v.sql_cmp(&lo).map(|o| o != Ordering::Less);
+                let le_high = v.sql_cmp(&hi).map(|o| o != Ordering::Greater);
                 match (ge_low, le_high) {
                     (Some(a), Some(b)) => Ok(Value::Bool((a && b) != *negated)),
                     (Some(false), _) | (_, Some(false)) => Ok(Value::Bool(*negated)),

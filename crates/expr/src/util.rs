@@ -35,7 +35,7 @@ fn split_into(expr: &Expr, out: &mut Vec<Expr>) {
 pub fn conjoin(conjuncts: &[Expr]) -> Option<Expr> {
     let mut iter = conjuncts.iter().cloned();
     let first = iter.next()?;
-    Some(iter.fold(first, |acc, e| Expr::and(acc, e)))
+    Some(iter.fold(first, Expr::and))
 }
 
 /// Collect every column reference appearing in the expression (bound or unbound),

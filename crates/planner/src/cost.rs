@@ -33,14 +33,6 @@ impl Cost {
         Self { startup, total }
     }
 
-    /// Add two costs component-wise.
-    pub fn add(self, other: Cost) -> Cost {
-        Cost {
-            startup: self.startup + other.startup,
-            total: self.total + other.total,
-        }
-    }
-
     /// Add an amount to the total only.
     pub fn add_run_cost(self, amount: f64) -> Cost {
         Cost {
@@ -55,6 +47,18 @@ impl Cost {
             self.total < other.total
         } else {
             self.startup < other.startup
+        }
+    }
+}
+
+impl std::ops::Add for Cost {
+    type Output = Cost;
+
+    /// Add two costs component-wise.
+    fn add(self, other: Cost) -> Cost {
+        Cost {
+            startup: self.startup + other.startup,
+            total: self.total + other.total,
         }
     }
 }
@@ -245,7 +249,7 @@ mod tests {
         assert!(!b.is_cheaper_than(a));
         let c = Cost::new(0.5, 10.0);
         assert!(c.is_cheaper_than(a));
-        assert_eq!(a.add(b), Cost::new(1.5, 22.0));
+        assert_eq!(a + b, Cost::new(1.5, 22.0));
         assert_eq!(a.add_run_cost(5.0), Cost::new(1.0, 15.0));
         assert_eq!(format!("{a}"), "1.00..10.00");
     }

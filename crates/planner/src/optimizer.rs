@@ -727,8 +727,10 @@ mod tests {
              WHERE t.id = mk.movie_id AND mk.keyword_id = k.id",
         )
         .unwrap();
-        let mut config = OptimizerConfig::default();
-        config.greedy_threshold = 2; // force greedy
+        let config = OptimizerConfig {
+            greedy_threshold: 2, // force greedy
+            ..Default::default()
+        };
         let optimizer = Optimizer::new(config);
         let planned = optimizer
             .plan_select(

@@ -446,4 +446,38 @@ mod tests {
         assert!(toks[0].is_keyword("select"));
         assert!(!toks[0].is_keyword("from"));
     }
+
+    #[test]
+    fn token_display_round_trips_through_the_lexer() {
+        // Rendering every token with Display and re-lexing the result must
+        // reproduce the same token stream (for inputs without embedded quotes,
+        // which Display does not re-escape).
+        let sql = "SELECT min(t.title) AS movie_title, count(*) AS c \
+                   FROM title AS t, movie_keyword AS mk, keyword AS k \
+                   WHERE t.id = mk.movie_id AND mk.keyword_id = k.id \
+                     AND k.keyword = 'marvel-cinematic-universe' \
+                     AND t.production_year > 2010 AND t.kind_id <> 7;";
+        let original = kinds(sql);
+        let rendered = original
+            .iter()
+            .filter(|k| !matches!(k, TokenKind::Eof))
+            .map(|k| k.to_string())
+            .collect::<Vec<_>>()
+            .join(" ");
+        let relexed = kinds(&rendered);
+        assert_eq!(original, relexed);
+    }
+
+    #[test]
+    fn round_trip_preserves_every_operator_kind() {
+        let sql = "( ) , ; . * = <> < <= > >= + - /";
+        let original = kinds(sql);
+        let rendered = original
+            .iter()
+            .filter(|k| !matches!(k, TokenKind::Eof))
+            .map(|k| k.to_string())
+            .collect::<Vec<_>>()
+            .join(" ");
+        assert_eq!(original, kinds(&rendered));
+    }
 }

@@ -668,4 +668,47 @@ mod tests {
         let reparsed = parse_sql(&rendered).unwrap();
         assert_eq!(stmt, reparsed);
     }
+
+    #[test]
+    fn parses_job_6a_shape() {
+        // JOB query 6a verbatim from the benchmark (the marvel/Downey query the
+        // paper's deep dives revisit); only the schema subset differs.
+        let sql = "
+            SELECT min(k.keyword) AS movie_keyword,
+                   min(n.name) AS actor_name,
+                   min(t.title) AS marvel_movie
+            FROM cast_info AS ci, keyword AS k, movie_keyword AS mk, name AS n, title AS t
+            WHERE k.keyword = 'marvel-cinematic-universe'
+              AND n.name LIKE '%Downey%Robert%'
+              AND t.production_year > 2010
+              AND k.id = mk.keyword_id
+              AND t.id = mk.movie_id
+              AND t.id = ci.movie_id
+              AND ci.person_id = n.id
+              AND ci.movie_id = mk.movie_id;
+        ";
+        let stmt = parse_sql(sql).unwrap();
+        let q = stmt.query().unwrap();
+        assert_eq!(q.aliases(), vec!["ci", "k", "mk", "n", "t"]);
+        assert_eq!(q.items.len(), 3);
+        assert!(q.has_aggregates());
+        let conjuncts = reopt_expr::split_conjunction(q.where_clause.as_ref().unwrap());
+        // 3 filters + 5 join conditions.
+        assert_eq!(conjuncts.len(), 8);
+    }
+
+    #[test]
+    fn malformed_sql_reports_errors_not_panics() {
+        for bad in [
+            "SELECT min(t.title FROM title AS t",       // unbalanced paren
+            "SELECT t.id FROM title AS t WHERE",        // dangling WHERE
+            "SELECT t.id, FROM title AS t",             // trailing comma
+            "SELECT t.id FROM title AS t WHERE t.id BETWEEN 1", // half a BETWEEN
+            "SELECT t.id FROM title AS t GROUP BY",     // dangling GROUP BY
+            "FROM title AS t SELECT t.id",              // clauses out of order
+        ] {
+            let err = parse_sql(bad);
+            assert!(err.is_err(), "expected a parse error for {bad:?}");
+        }
+    }
 }

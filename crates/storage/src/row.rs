@@ -1,14 +1,13 @@
 //! Rows (tuples) and row identifiers.
 
 use crate::value::Value;
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Identifier of a row within a table heap (its position in insertion order).
 pub type RowId = usize;
 
 /// A materialized tuple.
-#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub struct Row {
     values: Vec<Value>,
 }

@@ -7,11 +7,10 @@
 
 use crate::error::StorageError;
 use crate::value::DataType;
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// A single column definition.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Column {
     /// Column name (lowercase by convention).
     name: String,
@@ -104,7 +103,7 @@ impl fmt::Display for Column {
 }
 
 /// An ordered list of columns.
-#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub struct Schema {
     columns: Vec<Column>,
 }

@@ -334,10 +334,9 @@ pub fn load_imdb(db: &mut Database, config: &ImdbConfig) -> Result<(), DbError> 
         ],
     );
     for i in 0..n_keywords {
-        let text = if i < SPECIAL_KEYWORDS.len() {
-            SPECIAL_KEYWORDS[i].to_string()
-        } else {
-            format!("keyword-{i:05}")
+        let text = match SPECIAL_KEYWORDS.get(i) {
+            Some(special) => special.to_string(),
+            None => format!("keyword-{i:05}"),
         };
         keyword.row(vec![Value::Int(i as i64), Value::from(text)]);
     }

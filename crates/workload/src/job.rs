@@ -494,10 +494,13 @@ fn family21(v: usize) -> String {
     )
 }
 
-/// `(family number, table count, variant count, generator)` for the whole suite.
+/// `(family number, table count, variant count, generator)` for one query family.
+type Family = (usize, usize, usize, fn(usize) -> String);
+
+/// The whole suite, one entry per family.
 /// The variant counts reproduce Table III of the paper:
 /// 4→3, 5→20, 6→2, 7→16, 8→21, 9→14, 10→7, 11→10, 12→11, 14→6, 17→3 (113 total).
-fn families() -> Vec<(usize, usize, usize, fn(usize) -> String)> {
+fn families() -> Vec<Family> {
     vec![
         (1, 4, 3, family1 as fn(usize) -> String),
         (2, 5, 5, family2),
@@ -527,8 +530,7 @@ fn families() -> Vec<(usize, usize, usize, fn(usize) -> String)> {
 pub fn job_queries() -> Vec<JobQuery> {
     let mut queries = Vec::with_capacity(113);
     for (family, table_count, variants, generator) in families() {
-        for v in 0..variants {
-            let variant = VARIANT_LETTERS[v];
+        for (v, &variant) in VARIANT_LETTERS.iter().enumerate().take(variants) {
             queries.push(JobQuery {
                 id: format!("{family}{variant}"),
                 family,
