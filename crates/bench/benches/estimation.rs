@@ -13,6 +13,7 @@ fn harness() -> Harness {
         stride: 1,
         threshold: 32.0,
         seed: 13,
+        ..HarnessConfig::default()
     })
     .expect("harness builds")
 }

@@ -3,6 +3,7 @@
 //! intermediate makes the nested-loop strategy catastrophically slower than a hash join).
 
 use criterion::{criterion_group, criterion_main, Criterion};
+use reopt_bench::{Harness, HarnessConfig};
 use reopt_core::Database;
 use reopt_executor::execute_plan;
 use reopt_planner::{CardinalityOverrides, Optimizer, OptimizerConfig};
@@ -66,5 +67,30 @@ fn full_query_execution(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, join_algorithms, full_query_execution);
+/// Join-heavy JOB queries: many-to-many fan-out through several joins under an
+/// aggregate, where the pipelined executor's win (no materialized intermediates) shows.
+fn job_join_heavy(c: &mut Criterion) {
+    let harness = Harness::new(HarnessConfig {
+        scale: 0.03,
+        stride: 1,
+        threshold: 32.0,
+        seed: 7,
+        ..HarnessConfig::default()
+    })
+    .expect("harness builds");
+    let mut group = c.benchmark_group("job_join_heavy");
+    group.sample_size(10);
+    for id in ["2a", "2d", "6a", "11a", "20a"] {
+        let query = harness.queries.iter().find(|q| q.id == id).unwrap().clone();
+        let statement = parse_sql(&query.sql).unwrap();
+        let select = statement.query().unwrap().clone();
+        let (planned, _) = harness.db.plan_select(&select).expect("plans");
+        group.bench_function(id, |b| {
+            b.iter(|| execute_plan(&planned.plan, harness.db.storage()).expect("executes"));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, join_algorithms, full_query_execution, job_join_heavy);
 criterion_main!(benches);

@@ -2,9 +2,10 @@
 //! greedy enumeration (the ablation called out in DESIGN.md), and planning with the
 //! perfect oracle's override table in place.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
 use reopt_bench::{Harness, HarnessConfig};
-use reopt_planner::{CardinalityOverrides, Optimizer, OptimizerConfig};
+use reopt_planner::enumerate::enumerate_csg_cmp_pairs;
+use reopt_planner::{bind_select, CardinalityOverrides, JoinGraph, Optimizer, OptimizerConfig};
 use reopt_sql::parse_sql;
 
 fn harness() -> Harness {
@@ -13,6 +14,7 @@ fn harness() -> Harness {
         stride: 1,
         threshold: 32.0,
         seed: 11,
+        ..HarnessConfig::default()
     })
     .expect("harness builds")
 }
@@ -77,5 +79,34 @@ fn dpccp_vs_greedy(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, planning_by_relation_count, dpccp_vs_greedy);
+/// Raw csg-cmp-pair enumeration over the biggest JOB join graphs: the component the
+/// bitset neighborhood-mask fast path targets (planning latency minus costing).
+fn csg_cmp_pair_enumeration(c: &mut Criterion) {
+    let harness = harness();
+    let mut group = c.benchmark_group("csg_cmp_pair_enumeration");
+    group.sample_size(10);
+    for table_count in [12usize, 14, 17] {
+        let query = harness
+            .queries
+            .iter()
+            .find(|q| q.table_count == table_count)
+            .expect("suite covers this size")
+            .clone();
+        let statement = parse_sql(&query.sql).unwrap();
+        let spec = bind_select(statement.query().unwrap(), harness.db.storage()).unwrap();
+        let graph = JoinGraph::new(&spec);
+        let n = spec.relation_count();
+        group.bench_function(BenchmarkId::from_parameter(table_count), |b| {
+            b.iter(|| black_box(enumerate_csg_cmp_pairs(&graph, n)));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    planning_by_relation_count,
+    dpccp_vs_greedy,
+    csg_cmp_pair_enumeration
+);
 criterion_main!(benches);

@@ -12,6 +12,7 @@ fn harness() -> Harness {
         stride: 1,
         threshold: 32.0,
         seed: 19,
+        ..HarnessConfig::default()
     })
     .expect("harness builds")
 }

@@ -1,0 +1,98 @@
+//! Release-mode perf/correctness smoke for CI.
+//!
+//! Executes one mid-size JOB query (12 tables) under plain execution and under both
+//! re-optimization modes, checks that all three agree on the result, and prints the
+//! timings plus the executor's peak buffered-row count. Exits non-zero on any
+//! divergence, which is what gates result-correctness regressions in CI.
+//!
+//! ```text
+//! cargo run --release -p reopt-bench --bin perf_smoke
+//! ```
+
+use reopt_bench::{Harness, HarnessConfig};
+use reopt_core::{execute_with_reoptimization, ReoptConfig, ReoptMode};
+use std::time::Instant;
+
+const QUERY_ID: &str = "11a";
+
+fn main() {
+    let config = HarnessConfig {
+        scale: 0.02,
+        stride: 1,
+        threshold: 8.0,
+        seed: 13,
+        ..HarnessConfig::default()
+    };
+    let build_start = Instant::now();
+    let mut harness = match Harness::new(config) {
+        Ok(harness) => harness,
+        Err(error) => {
+            eprintln!("perf_smoke: failed to build the harness: {error}");
+            std::process::exit(1);
+        }
+    };
+    eprintln!(
+        "perf_smoke: data loaded ({} rows) in {:.1}s",
+        harness.db.storage().total_rows(),
+        build_start.elapsed().as_secs_f64()
+    );
+
+    let query = harness
+        .queries
+        .iter()
+        .find(|q| q.id == QUERY_ID)
+        .expect("suite contains the smoke query")
+        .clone();
+
+    // Plain (default-optimizer) execution is the reference result.
+    let plain_start = Instant::now();
+    let plain = match harness.db.execute(&query.sql) {
+        Ok(output) => output,
+        Err(error) => {
+            eprintln!("perf_smoke: plain execution of {QUERY_ID} failed: {error}");
+            std::process::exit(1);
+        }
+    };
+    println!(
+        "perf_smoke: {QUERY_ID} plain        {:>8.3}s  (peak buffered rows {})",
+        plain_start.elapsed().as_secs_f64(),
+        plain.peak_buffered_rows
+    );
+
+    let mut failed = false;
+    for mode in [ReoptMode::Materialize, ReoptMode::InjectOnly] {
+        let config = ReoptConfig {
+            threshold: 8.0,
+            mode,
+            ..ReoptConfig::default()
+        };
+        let start = Instant::now();
+        match execute_with_reoptimization(&mut harness.db, &query.sql, &config) {
+            Ok(report) => {
+                println!(
+                    "perf_smoke: {QUERY_ID} {mode:?}  {:>8.3}s  (rounds {}, peak buffered rows {})",
+                    start.elapsed().as_secs_f64(),
+                    report.rounds.len(),
+                    report.peak_buffered_rows
+                );
+                if report.final_rows != plain.rows {
+                    eprintln!(
+                        "perf_smoke: RESULT MISMATCH for {QUERY_ID} under {mode:?}: \
+                         {:?} vs plain {:?}",
+                        report.final_rows, plain.rows
+                    );
+                    failed = true;
+                }
+            }
+            Err(error) => {
+                eprintln!("perf_smoke: re-optimized run ({mode:?}) failed: {error}");
+                failed = true;
+            }
+        }
+    }
+
+    if failed {
+        std::process::exit(1);
+    }
+    println!("perf_smoke: all modes agree");
+}

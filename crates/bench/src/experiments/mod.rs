@@ -76,6 +76,7 @@ mod tests {
             stride: 29,
             threshold: 32.0,
             seed: 5,
+            ..HarnessConfig::default()
         })
         .unwrap();
         for name in ["table3", "figures3_4", "figure6"] {

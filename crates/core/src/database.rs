@@ -24,6 +24,8 @@ pub struct QueryOutput {
     pub execution_time: Duration,
     /// Per-operator metrics (EXPLAIN ANALYZE view), when a plan was executed.
     pub metrics: Option<QueryMetrics>,
+    /// Peak rows buffered by pipeline breakers during execution (0 when nothing ran).
+    pub peak_buffered_rows: u64,
     /// The executed physical plan, when one was produced.
     pub plan: Option<PhysicalPlan>,
     /// The bound query, when one was produced.
@@ -230,6 +232,7 @@ impl Database {
                     planning_time: Duration::ZERO,
                     execution_time: Duration::ZERO,
                     metrics: None,
+                    peak_buffered_rows: 0,
                     plan: None,
                     spec: None,
                     estimation_log: EstimationLog::default(),
@@ -248,6 +251,7 @@ impl Database {
             planning_time,
             execution_time: result.metrics.execution_time,
             metrics: Some(result.metrics),
+            peak_buffered_rows: result.peak_buffered_rows,
             plan: Some(planned.plan),
             spec: Some(planned.spec),
             estimation_log: planned.estimation_log,

@@ -113,6 +113,9 @@ pub struct ReoptReport {
     /// Execution time spent in detection runs that were discarded after triggering a
     /// rewrite (not part of the paper's reported numbers; kept for transparency).
     pub detection_time: Duration,
+    /// Largest peak of pipeline-breaker buffered rows across every executed statement
+    /// (detection runs, materializations and the final SELECT).
+    pub peak_buffered_rows: u64,
     /// The final re-optimized script (CREATE TEMP TABLE statements + final SELECT).
     pub final_sql: String,
 }
@@ -158,20 +161,26 @@ fn materialize_loop(
     let mut detection_time = Duration::ZERO;
     let mut created_sql: Vec<String> = Vec::new();
     let mut temp_counter = 0usize;
+    let mut peak_buffered_rows = 0u64;
 
     // A wildcard select cannot be rewritten around a temp table: the rewrite
     // renames subset columns to their mangled `alias_column` form (and the
     // empty-`needed` fallback projects a placeholder), so `SELECT *` over the
-    // rewritten FROM list would change the output schema. Execute such queries
-    // once, unrewritten, and report no rounds.
-    let rewritable = !current
-        .items
-        .iter()
-        .any(|item| matches!(item.expr, SelectExpr::Wildcard));
+    // rewritten FROM list would change the output schema. A query with a LIMIT
+    // cannot be *detected* on: the pipelined executor stops pulling once the
+    // limit is satisfied, so join actual_rows are truncated counts and their
+    // q-errors are meaningless. Execute such queries once, unrewritten, and
+    // report no rounds.
+    let rewritable = current.limit.is_none()
+        && !current
+            .items
+            .iter()
+            .any(|item| matches!(item.expr, SelectExpr::Wildcard));
 
     loop {
         let output = db.execute_select(&current)?;
         planning_time += output.planning_time;
+        peak_buffered_rows = peak_buffered_rows.max(output.peak_buffered_rows);
         let metrics = output.metrics.as_ref().expect("select produces metrics");
         let spec = output.spec.as_ref().expect("select produces a spec");
 
@@ -200,6 +209,7 @@ fn materialize_loop(
                 planning_time,
                 execution_time: materialization_time + output.execution_time,
                 detection_time,
+                peak_buffered_rows,
                 final_sql,
             };
             db.drop_temporary_tables();
@@ -231,6 +241,7 @@ fn materialize_loop(
         };
         let create_output = db.create_table_as(&temp_name, true, &temp_query)?;
         materialization_time += create_output.execution_time;
+        peak_buffered_rows = peak_buffered_rows.max(create_output.peak_buffered_rows);
 
         rounds.push(ReoptRound {
             materialized_aliases: aliases,
@@ -255,19 +266,28 @@ fn inject_loop(
     let mut rounds: Vec<ReoptRound> = Vec::new();
     let mut planning_time = Duration::ZERO;
     let mut detection_time = Duration::ZERO;
+    let mut peak_buffered_rows = 0u64;
+    // As in `materialize_loop`: under a LIMIT the pipelined executor's join
+    // actual_rows are truncated counts, so never treat them as true cardinalities.
+    let detectable = original.limit.is_none();
 
     loop {
         let (planned, plan_time) = db.plan_select_with_overrides(&original, &injected)?;
         planning_time += plan_time;
         let result = reopt_executor::execute_plan(&planned.plan, db.storage())?;
+        peak_buffered_rows = peak_buffered_rows.max(result.peak_buffered_rows);
 
-        let offending = result
-            .metrics
-            .root
-            .joins_bottom_up()
-            .into_iter()
-            .find(|join| join.q_error() > config.threshold)
-            .cloned();
+        let offending = if detectable {
+            result
+                .metrics
+                .root
+                .joins_bottom_up()
+                .into_iter()
+                .find(|join| join.q_error() > config.threshold)
+                .cloned()
+        } else {
+            None
+        };
 
         let Some(bad_join) = offending else {
             return Ok(ReoptReport {
@@ -276,6 +296,7 @@ fn inject_loop(
                 planning_time,
                 execution_time: result.metrics.execution_time,
                 detection_time,
+                peak_buffered_rows,
                 final_sql: format!("{};", original.to_sql()),
             });
         };
@@ -620,6 +641,27 @@ mod tests {
         assert!(!report.reoptimized(), "wildcard queries must not be rewritten");
         assert_eq!(report.final_rows, expected.rows);
         assert_eq!(report.detection_time, Duration::ZERO);
+    }
+
+    #[test]
+    fn limit_queries_execute_unrewritten() {
+        // Under a LIMIT the pipelined executor stops pulling early, so join
+        // actual_rows are truncated counts; the controller must not mistake them
+        // for true cardinalities (and must not trigger rewrites from them).
+        let mut db = test_database();
+        let sql = "SELECT mk.movie_id AS m FROM movie_keyword AS mk, keyword AS k
+                   WHERE mk.keyword_id = k.id AND k.keyword = 'kw0' LIMIT 5";
+        let expected = db.execute(sql).unwrap();
+        for mode in [ReoptMode::Materialize, ReoptMode::InjectOnly] {
+            let config = ReoptConfig {
+                threshold: 1.1,
+                mode,
+                ..Default::default()
+            };
+            let report = execute_with_reoptimization(&mut db, sql, &config).unwrap();
+            assert!(!report.reoptimized(), "LIMIT queries must not be rewritten ({mode:?})");
+            assert_eq!(report.final_rows, expected.rows, "{mode:?} changed the result");
+        }
     }
 
     #[test]

@@ -67,6 +67,15 @@ pub fn selective_improvement(
         .query()
         .ok_or_else(|| DbError::Reoptimization("selective improvement needs a SELECT".into()))?
         .clone();
+    if select.limit.is_some() {
+        // Under a LIMIT the pipelined executor stops pulling early, so actual_rows are
+        // truncated counts, not true cardinalities — injecting them would corrupt every
+        // subsequent re-planning round (same carve-out as the re-optimization
+        // controller's).
+        return Err(DbError::Reoptimization(
+            "selective improvement cannot observe true cardinalities under a LIMIT".into(),
+        ));
+    }
 
     let mut injected = CardinalityOverrides::new();
     let mut iterations = Vec::new();
@@ -204,5 +213,13 @@ mod tests {
     fn rejects_non_select() {
         let mut db = test_database();
         assert!(selective_improvement(&mut db, "garbage", &SelectiveConfig::default()).is_err());
+    }
+
+    #[test]
+    fn rejects_limit_queries() {
+        // Truncated actual_rows under a LIMIT must not be injected as truth.
+        let mut db = test_database();
+        let sql = "SELECT t.id AS i FROM title AS t WHERE t.production_year > 1985 LIMIT 3";
+        assert!(selective_improvement(&mut db, sql, &SelectiveConfig::default()).is_err());
     }
 }

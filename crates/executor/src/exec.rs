@@ -1,4 +1,26 @@
-//! The operators.
+//! The pipelined operators.
+//!
+//! Execution is pull-based: every plan node becomes an operator with a
+//! `next_batch() -> Option<RowBatch>` method producing fixed-size batches of rows
+//! (default [`DEFAULT_BATCH_SIZE`]). Streaming operators (scans, filters, projections,
+//! the probe side of a hash join, the outer side of the nested-loop joins, limit) hold
+//! no more than one batch of state; only *pipeline breakers* buffer:
+//!
+//! * the build side of a hash join (the hash table),
+//! * the inner side of a plain nested-loop join,
+//! * both sorted inputs of a merge join,
+//! * the group states of an aggregate,
+//! * the full input of a sort,
+//! * the row-id list of an index scan (bounded by the base table).
+//!
+//! Buffered rows are accounted in a per-query [`MemoryTracker`]; the peak is surfaced as
+//! [`ExecutionResult::peak_buffered_rows`] so tests can assert that memory is bounded by
+//! pipeline-breaker output rather than join fan-out.
+//!
+//! Every operator is wrapped in a [`Metered`] shell that accumulates rows, batches and
+//! inclusive wall-clock time; the per-operator *self* time reported in [`QueryMetrics`]
+//! is the inclusive time minus the children's inclusive time, which reproduces the
+//! semantics of the old materializing executor ("elapsed excluding children").
 
 use crate::error::ExecError;
 use crate::metrics::{MetricsNode, OperatorMetrics, QueryMetrics};
@@ -6,10 +28,18 @@ use reopt_expr::Expr;
 use reopt_planner::plan::IndexLookup;
 use reopt_planner::{PhysicalPlan, PlanKind};
 use reopt_sql::AggregateFunc;
-use reopt_storage::{Row, Schema, Storage, Table, Value};
+use reopt_storage::{Index, Row, Schema, Storage, Table, Value};
+use std::cell::Cell;
 use std::collections::HashMap;
 use std::ops::Bound;
-use std::time::Instant;
+use std::rc::Rc;
+use std::time::{Duration, Instant};
+
+/// Default number of rows per batch.
+pub const DEFAULT_BATCH_SIZE: usize = 1024;
+
+/// A batch of rows flowing between operators.
+pub type RowBatch = Vec<Row>;
 
 /// The result of executing one plan.
 #[derive(Debug, Clone, PartialEq)]
@@ -20,199 +50,544 @@ pub struct ExecutionResult {
     pub schema: Schema,
     /// Per-operator metrics.
     pub metrics: QueryMetrics,
+    /// Peak number of rows buffered by pipeline breakers at any point of the run.
+    pub peak_buffered_rows: u64,
 }
 
-/// Execute a plan against storage.
+/// Execute a plan against storage with the default batch size.
 pub fn execute_plan(plan: &PhysicalPlan, storage: &Storage) -> Result<ExecutionResult, ExecError> {
     Executor::new(storage).execute(plan)
 }
 
-/// The plan executor.
+/// The plan executor: a factory for [`Pipeline`]s.
 pub struct Executor<'a> {
     storage: &'a Storage,
+    batch_size: usize,
 }
 
 impl<'a> Executor<'a> {
     /// Create an executor over the given storage.
     pub fn new(storage: &'a Storage) -> Self {
-        Self { storage }
+        Self {
+            storage,
+            batch_size: DEFAULT_BATCH_SIZE,
+        }
     }
 
-    /// Execute a plan, returning rows and metrics.
-    pub fn execute(&self, plan: &PhysicalPlan) -> Result<ExecutionResult, ExecError> {
-        let (rows, root) = self.run(plan)?;
-        let execution_time = root.total_elapsed();
-        Ok(ExecutionResult {
-            rows,
-            schema: plan.schema.clone(),
-            metrics: QueryMetrics {
-                root,
-                execution_time,
-            },
+    /// Create an executor with a custom batch size (clamped to at least one row).
+    pub fn with_batch_size(storage: &'a Storage, batch_size: usize) -> Self {
+        Self {
+            storage,
+            batch_size: batch_size.max(1),
+        }
+    }
+
+    /// Open a pipeline over the plan without running it. Pulling batches from the
+    /// pipeline is the suspend/resume seam a mid-query re-optimizer (or an async
+    /// scheduler) needs: execution can stop between any two batches.
+    pub fn open<'p>(&self, plan: &'p PhysicalPlan) -> Result<Pipeline<'p>, ExecError>
+    where
+        'a: 'p,
+    {
+        let tracker = Rc::new(MemoryTracker::default());
+        let ctx = BuildContext {
+            storage: self.storage,
+            batch_size: self.batch_size,
+            tracker: Rc::clone(&tracker),
+        };
+        let (root, stats) = build_operator(plan, &ctx)?;
+        Ok(Pipeline {
+            plan,
+            root,
+            stats,
+            tracker,
+            poisoned: false,
         })
     }
 
-    fn run(&self, plan: &PhysicalPlan) -> Result<(Vec<Row>, MetricsNode), ExecError> {
-        // Run children first so that each operator's elapsed time excludes its inputs.
-        let mut child_rows = Vec::with_capacity(plan.children.len());
-        let mut child_metrics = Vec::with_capacity(plan.children.len());
-        for child in &plan.children {
-            let (rows, metrics) = self.run(child)?;
-            child_rows.push(rows);
-            child_metrics.push(metrics);
+    /// Execute a plan to completion, returning rows and metrics.
+    pub fn execute(&self, plan: &PhysicalPlan) -> Result<ExecutionResult, ExecError> {
+        let mut pipeline = self.open(plan)?;
+        let mut rows = Vec::new();
+        while let Some(batch) = pipeline.next_batch()? {
+            rows.extend(batch);
         }
+        let metrics = pipeline.metrics();
+        Ok(ExecutionResult {
+            rows,
+            schema: plan.schema.clone(),
+            peak_buffered_rows: pipeline.peak_buffered_rows(),
+            metrics,
+        })
+    }
+}
 
+/// An opened plan: a tree of operators ready to produce batches.
+pub struct Pipeline<'p> {
+    plan: &'p PhysicalPlan,
+    root: Metered<'p>,
+    stats: StatsNode,
+    tracker: Rc<MemoryTracker>,
+    poisoned: bool,
+}
+
+impl Pipeline<'_> {
+    /// Produce the next (non-empty) batch of output rows, or `None` when exhausted.
+    ///
+    /// An `Err` poisons the pipeline: operators may hold partially-buffered state, so
+    /// every subsequent pull fails rather than risking silently wrong results.
+    pub fn next_batch(&mut self) -> Result<Option<RowBatch>, ExecError> {
+        if self.poisoned {
+            return Err(ExecError::InvalidPlan(
+                "pipeline poisoned by an earlier execution error".into(),
+            ));
+        }
+        let out = self.root.next_batch();
+        if out.is_err() {
+            self.poisoned = true;
+        }
+        out
+    }
+
+    /// The metrics tree observed so far (complete once `next_batch` returned `None`).
+    pub fn metrics(&self) -> QueryMetrics {
+        let root = assemble_metrics(self.plan, &self.stats);
+        let execution_time = root.total_elapsed();
+        QueryMetrics {
+            root,
+            execution_time,
+        }
+    }
+
+    /// Peak number of rows buffered by pipeline breakers so far.
+    pub fn peak_buffered_rows(&self) -> u64 {
+        self.tracker.peak.get()
+    }
+}
+
+/// Rows currently buffered by pipeline breakers, and the high-water mark.
+#[derive(Default)]
+struct MemoryTracker {
+    current: Cell<u64>,
+    peak: Cell<u64>,
+}
+
+impl MemoryTracker {
+    fn acquire(&self, rows: u64) {
+        let current = self.current.get() + rows;
+        self.current.set(current);
+        if current > self.peak.get() {
+            self.peak.set(current);
+        }
+    }
+}
+
+/// Per-operator counters, shared between the operator wrapper and metrics assembly.
+#[derive(Default)]
+struct OpStats {
+    rows: Cell<u64>,
+    batches: Cell<u64>,
+    /// Wall-clock time inside `next_batch`, *including* time spent pulling children.
+    inclusive: Cell<Duration>,
+}
+
+/// The stats tree, shaped like the plan tree.
+struct StatsNode {
+    stats: Rc<OpStats>,
+    children: Vec<StatsNode>,
+}
+
+fn assemble_metrics(plan: &PhysicalPlan, stats: &StatsNode) -> MetricsNode {
+    let children: Vec<MetricsNode> = plan
+        .children
+        .iter()
+        .zip(&stats.children)
+        .map(|(p, s)| assemble_metrics(p, s))
+        .collect();
+    let child_inclusive: Duration = stats
+        .children
+        .iter()
+        .map(|c| c.stats.inclusive.get())
+        .sum();
+    MetricsNode {
+        metrics: OperatorMetrics {
+            label: plan.label(),
+            rel_set: plan.rel_set,
+            is_join: plan.is_join(),
+            estimated_rows: plan.estimated_rows,
+            actual_rows: stats.stats.rows.get(),
+            batches: stats.stats.batches.get(),
+            elapsed: stats.stats.inclusive.get().saturating_sub(child_inclusive),
+        },
+        children,
+    }
+}
+
+/// Everything needed to translate a plan node into an operator.
+struct BuildContext<'p> {
+    storage: &'p Storage,
+    batch_size: usize,
+    tracker: Rc<MemoryTracker>,
+}
+
+/// A batch-producing operator.
+trait Operator {
+    /// The next non-empty batch, or `None` once exhausted.
+    fn next_batch(&mut self) -> Result<Option<RowBatch>, ExecError>;
+}
+
+/// An operator plus its shared counters. Parents pull through this wrapper so rows,
+/// batches and inclusive time are recorded uniformly.
+struct Metered<'p> {
+    inner: Box<dyn Operator + 'p>,
+    stats: Rc<OpStats>,
+}
+
+impl Metered<'_> {
+    fn next_batch(&mut self) -> Result<Option<RowBatch>, ExecError> {
         let start = Instant::now();
-        let rows = match &plan.kind {
-            PlanKind::SeqScan {
-                alias: _,
-                table,
-                predicate,
-                ..
-            } => self.seq_scan(plan, table, predicate.as_ref())?,
-            PlanKind::IndexScan {
-                table,
-                column,
-                lookup,
-                residual,
-                ..
-            } => self.index_scan(plan, table, column, lookup, residual.as_ref())?,
-            PlanKind::HashJoin { keys, residual } => {
-                let build_rows = child_rows.pop().expect("hash join has two children");
-                let probe_rows = child_rows.pop().expect("hash join has two children");
-                self.hash_join(plan, probe_rows, build_rows, keys, residual.as_ref())?
-            }
-            PlanKind::IndexNestedLoopJoin {
-                inner_table,
-                outer_key,
-                inner_key,
-                inner_predicate,
-                residual,
-                inner_alias,
-                ..
-            } => {
-                let outer_rows = child_rows.pop().expect("index nested loop has one child");
-                self.index_nl_join(
-                    plan,
-                    outer_rows,
-                    inner_table,
-                    inner_alias,
-                    outer_key,
-                    inner_key,
-                    inner_predicate.as_ref(),
-                    residual.as_ref(),
-                )?
-            }
-            PlanKind::NestedLoopJoin { predicate } => {
-                let inner_rows = child_rows.pop().expect("nested loop has two children");
-                let outer_rows = child_rows.pop().expect("nested loop has two children");
-                self.nested_loop_join(plan, outer_rows, inner_rows, predicate.as_ref())?
-            }
-            PlanKind::MergeJoin { keys, residual } => {
-                let right_rows = child_rows.pop().expect("merge join has two children");
-                let left_rows = child_rows.pop().expect("merge join has two children");
-                self.merge_join(plan, left_rows, right_rows, keys, residual.as_ref())?
-            }
-            PlanKind::Filter { predicate } => {
-                let input = child_rows.pop().expect("filter has one child");
-                self.filter(plan, input, predicate)?
-            }
-            PlanKind::Aggregate {
-                group_by,
-                aggregates,
-            } => {
-                let input = child_rows.pop().expect("aggregate has one child");
-                let input_schema = &plan.children[0].schema;
-                self.aggregate(input, input_schema, group_by, aggregates)?
-            }
-            PlanKind::Project { exprs } => {
-                let input = child_rows.pop().expect("project has one child");
-                let input_schema = &plan.children[0].schema;
-                self.project(input, input_schema, exprs)?
-            }
-            PlanKind::Sort { keys } => {
-                let input = child_rows.pop().expect("sort has one child");
-                let input_schema = &plan.children[0].schema;
-                self.sort(input, input_schema, keys)?
-            }
-            PlanKind::Limit { count } => {
-                let mut input = child_rows.pop().expect("limit has one child");
-                input.truncate(*count);
-                input
-            }
-        };
-        let elapsed = start.elapsed();
-
-        let metrics = MetricsNode {
-            metrics: OperatorMetrics {
-                label: plan.label(),
-                rel_set: plan.rel_set,
-                is_join: plan.is_join(),
-                estimated_rows: plan.estimated_rows,
-                actual_rows: rows.len() as u64,
-                elapsed,
-            },
-            children: child_metrics,
-        };
-        Ok((rows, metrics))
-    }
-
-    fn table(&self, name: &str) -> Result<&Table, ExecError> {
-        self.storage
-            .table(name)
-            .map_err(|_| ExecError::TableNotFound(name.to_string()))
-    }
-
-    fn bind(expr: &Expr, schema: &Schema) -> Result<Expr, ExecError> {
-        expr.bind(schema)
-            .map_err(|e| ExecError::BindError(e.to_string()))
-    }
-
-    fn seq_scan(
-        &self,
-        plan: &PhysicalPlan,
-        table: &str,
-        predicate: Option<&Expr>,
-    ) -> Result<Vec<Row>, ExecError> {
-        let table = self.table(table)?;
-        let predicate = predicate
-            .map(|p| Self::bind(p, &plan.schema))
-            .transpose()?;
-        let mut out = Vec::new();
-        for row in table.rows() {
-            if let Some(p) = &predicate {
-                if !p.eval_predicate(row)? {
-                    continue;
-                }
-            }
-            out.push(row.clone());
+        let out = self.inner.next_batch();
+        self.stats
+            .inclusive
+            .set(self.stats.inclusive.get() + start.elapsed());
+        if let Ok(Some(batch)) = &out {
+            self.stats.rows.set(self.stats.rows.get() + batch.len() as u64);
+            self.stats.batches.set(self.stats.batches.get() + 1);
         }
-        Ok(out)
+        out
     }
 
-    fn index_scan(
-        &self,
-        plan: &PhysicalPlan,
-        table: &str,
-        column: &str,
-        lookup: &IndexLookup,
-        residual: Option<&Expr>,
-    ) -> Result<Vec<Row>, ExecError> {
-        let table = self.table(table)?;
-        let column_idx = table.schema().index_of(None, column)?;
-        let needs_range = matches!(lookup, IndexLookup::Range { .. });
-        let index = table
-            .index_on_column(column_idx, needs_range)
-            .ok_or_else(|| {
-                ExecError::InvalidPlan(format!("no usable index on column '{column}'"))
-            })?;
+    /// Drain the operator completely (used by pipeline breakers), feeding every batch to
+    /// `consume`.
+    fn drain(
+        &mut self,
+        mut consume: impl FnMut(RowBatch) -> Result<(), ExecError>,
+    ) -> Result<(), ExecError> {
+        while let Some(batch) = self.next_batch()? {
+            consume(batch)?;
+        }
+        Ok(())
+    }
+}
 
-        let mut row_ids: Vec<usize> = match lookup {
-            IndexLookup::Equality(value) => index.lookup(value).to_vec(),
+fn bind(expr: &Expr, schema: &Schema) -> Result<Expr, ExecError> {
+    expr.bind(schema)
+        .map_err(|e| ExecError::BindError(e.to_string()))
+}
+
+fn bind_opt(expr: Option<&Expr>, schema: &Schema) -> Result<Option<Expr>, ExecError> {
+    expr.map(|e| bind(e, schema)).transpose()
+}
+
+fn key_index(schema: &Schema, reference: &reopt_expr::ColumnRef) -> Result<usize, ExecError> {
+    schema
+        .index_of(reference.qualifier.as_deref(), &reference.name)
+        .map_err(ExecError::from)
+}
+
+fn lookup_table<'p>(storage: &'p Storage, name: &str) -> Result<&'p Table, ExecError> {
+    storage
+        .table(name)
+        .map_err(|_| ExecError::TableNotFound(name.to_string()))
+}
+
+/// Translate a plan subtree into an operator tree, returning the root operator and the
+/// parallel stats tree.
+fn build_operator<'p>(
+    plan: &'p PhysicalPlan,
+    ctx: &BuildContext<'p>,
+) -> Result<(Metered<'p>, StatsNode), ExecError> {
+    let mut children = Vec::with_capacity(plan.children.len());
+    let mut child_stats = Vec::with_capacity(plan.children.len());
+    for child in &plan.children {
+        let (op, stats) = build_operator(child, ctx)?;
+        children.push(op);
+        child_stats.push(stats);
+    }
+
+    let batch_size = ctx.batch_size;
+    let op: Box<dyn Operator + 'p> = match &plan.kind {
+        PlanKind::SeqScan {
+            table, predicate, ..
+        } => {
+            let table = lookup_table(ctx.storage, table)?;
+            Box::new(SeqScanOp {
+                rows: table.rows(),
+                pos: 0,
+                predicate: bind_opt(predicate.as_ref(), &plan.schema)?,
+                batch_size,
+            })
+        }
+        PlanKind::IndexScan {
+            table,
+            column,
+            lookup,
+            residual,
+            ..
+        } => {
+            let table = lookup_table(ctx.storage, table)?;
+            let column_idx = table.schema().index_of(None, column)?;
+            let needs_range = matches!(lookup, IndexLookup::Range { .. });
+            let index = table
+                .index_on_column(column_idx, needs_range)
+                .ok_or_else(|| {
+                    ExecError::InvalidPlan(format!("no usable index on column '{column}'"))
+                })?;
+            Box::new(IndexScanOp {
+                table,
+                index,
+                lookup,
+                residual: bind_opt(residual.as_ref(), &plan.schema)?,
+                row_ids: None,
+                pos: 0,
+                batch_size,
+                tracker: Rc::clone(&ctx.tracker),
+            })
+        }
+        PlanKind::HashJoin { keys, residual } => {
+            let probe_schema = &plan.children[0].schema;
+            let build_schema = &plan.children[1].schema;
+            let probe_keys = keys
+                .iter()
+                .map(|(probe, _)| key_index(probe_schema, probe))
+                .collect::<Result<Vec<_>, _>>()?;
+            let build_keys = keys
+                .iter()
+                .map(|(_, build)| key_index(build_schema, build))
+                .collect::<Result<Vec<_>, _>>()?;
+            let build = children.pop().expect("hash join has two children");
+            let probe = children.pop().expect("hash join has two children");
+            Box::new(HashJoinOp {
+                probe,
+                build: Some(build),
+                probe_keys,
+                build_keys,
+                residual: bind_opt(residual.as_ref(), &plan.schema)?,
+                build_rows: Vec::new(),
+                table: HashMap::new(),
+                probe_batch: Vec::new(),
+                probe_batch_keys: Vec::new(),
+                probe_pos: 0,
+                match_pos: 0,
+                batch_size,
+                tracker: Rc::clone(&ctx.tracker),
+            })
+        }
+        PlanKind::IndexNestedLoopJoin {
+            inner_table,
+            inner_alias,
+            outer_key,
+            inner_key,
+            inner_predicate,
+            residual,
+            ..
+        } => {
+            let outer_schema = &plan.children[0].schema;
+            let table = lookup_table(ctx.storage, inner_table)?;
+            let outer_key_idx = key_index(outer_schema, outer_key)?;
+            let inner_key_idx = table.schema().index_of(None, inner_key)?;
+            let inner_schema = table.schema().qualified(inner_alias);
+            let outer = children.pop().expect("index nested loop has one child");
+            Box::new(IndexNlJoinOp {
+                outer,
+                table,
+                // Use an existing index if present; otherwise the first pull builds a
+                // transient lookup table (keeps the operator correct even if an index
+                // was dropped after planning).
+                index: table.index_on_column(inner_key_idx, false),
+                inner_key_idx,
+                transient: None,
+                outer_key_idx,
+                inner_predicate: bind_opt(inner_predicate.as_ref(), &inner_schema)?,
+                residual: bind_opt(residual.as_ref(), &plan.schema)?,
+                outer_batch: Vec::new(),
+                outer_pos: 0,
+                match_pos: 0,
+                batch_size,
+                tracker: Rc::clone(&ctx.tracker),
+            })
+        }
+        PlanKind::NestedLoopJoin { predicate } => {
+            let inner = children.pop().expect("nested loop has two children");
+            let outer = children.pop().expect("nested loop has two children");
+            Box::new(NestedLoopJoinOp {
+                outer,
+                inner: Some(inner),
+                predicate: bind_opt(predicate.as_ref(), &plan.schema)?,
+                inner_rows: Vec::new(),
+                outer_batch: Vec::new(),
+                outer_pos: 0,
+                inner_pos: 0,
+                batch_size,
+                tracker: Rc::clone(&ctx.tracker),
+            })
+        }
+        PlanKind::MergeJoin { keys, residual } => {
+            let left_schema = &plan.children[0].schema;
+            let right_schema = &plan.children[1].schema;
+            let left_keys = keys
+                .iter()
+                .map(|(l, _)| key_index(left_schema, l))
+                .collect::<Result<Vec<_>, _>>()?;
+            let right_keys = keys
+                .iter()
+                .map(|(_, r)| key_index(right_schema, r))
+                .collect::<Result<Vec<_>, _>>()?;
+            let right = children.pop().expect("merge join has two children");
+            let left = children.pop().expect("merge join has two children");
+            Box::new(MergeJoinOp {
+                inputs: Some((left, right)),
+                left_keys,
+                right_keys,
+                residual: bind_opt(residual.as_ref(), &plan.schema)?,
+                left: Vec::new(),
+                right: Vec::new(),
+                i: 0,
+                j: 0,
+                block: None,
+                batch_size,
+                tracker: Rc::clone(&ctx.tracker),
+            })
+        }
+        PlanKind::Filter { predicate } => {
+            let input = children.pop().expect("filter has one child");
+            Box::new(FilterOp {
+                input,
+                predicate: bind(predicate, &plan.children[0].schema)?,
+            })
+        }
+        PlanKind::Aggregate {
+            group_by,
+            aggregates,
+        } => {
+            let input = children.pop().expect("aggregate has one child");
+            let input_schema = &plan.children[0].schema;
+            let group_exprs = group_by
+                .iter()
+                .map(|e| bind(e, input_schema))
+                .collect::<Result<Vec<_>, _>>()?;
+            let agg_funcs: Vec<AggregateFunc> = aggregates.iter().map(|a| a.func).collect();
+            let agg_args = aggregates
+                .iter()
+                .map(|a| bind_opt(a.arg.as_ref(), input_schema))
+                .collect::<Result<Vec<_>, _>>()?;
+            Box::new(AggregateOp {
+                input: Some(input),
+                group_exprs,
+                agg_funcs,
+                agg_args,
+                emit: None,
+                batch_size,
+                tracker: Rc::clone(&ctx.tracker),
+            })
+        }
+        PlanKind::Project { exprs } => {
+            let input = children.pop().expect("project has one child");
+            let input_schema = &plan.children[0].schema;
+            Box::new(ProjectOp {
+                input,
+                exprs: exprs
+                    .iter()
+                    .map(|e| bind(&e.expr, input_schema))
+                    .collect::<Result<Vec<_>, _>>()?,
+            })
+        }
+        PlanKind::Sort { keys } => {
+            let input = children.pop().expect("sort has one child");
+            let input_schema = &plan.children[0].schema;
+            Box::new(SortOp {
+                input: Some(input),
+                keys: keys
+                    .iter()
+                    .map(|(e, asc)| Ok((bind(e, input_schema)?, *asc)))
+                    .collect::<Result<Vec<_>, ExecError>>()?,
+                sorted: Vec::new(),
+                pos: 0,
+                batch_size,
+                tracker: Rc::clone(&ctx.tracker),
+            })
+        }
+        PlanKind::Limit { count } => {
+            let input = children.pop().expect("limit has one child");
+            Box::new(LimitOp {
+                input,
+                remaining: *count,
+            })
+        }
+    };
+
+    let stats = Rc::new(OpStats::default());
+    Ok((
+        Metered {
+            inner: op,
+            stats: Rc::clone(&stats),
+        },
+        StatsNode {
+            stats,
+            children: child_stats,
+        },
+    ))
+}
+
+// ---------------------------------------------------------------------------
+// Streaming operators
+// ---------------------------------------------------------------------------
+
+/// Sequential scan: walks the table heap a batch-sized chunk at a time, cloning only
+/// the rows that pass the predicate.
+struct SeqScanOp<'p> {
+    rows: &'p [Row],
+    pos: usize,
+    predicate: Option<Expr>,
+    batch_size: usize,
+}
+
+impl Operator for SeqScanOp<'_> {
+    fn next_batch(&mut self) -> Result<Option<RowBatch>, ExecError> {
+        let mut out = Vec::with_capacity(self.batch_size.min(64));
+        while out.is_empty() && self.pos < self.rows.len() {
+            let chunk_end = self.pos.saturating_add(self.batch_size).min(self.rows.len());
+            let chunk = &self.rows[self.pos..chunk_end];
+            match &self.predicate {
+                Some(predicate) => {
+                    for row in chunk {
+                        if predicate.eval_predicate(row)? {
+                            out.push(row.clone());
+                        }
+                    }
+                }
+                None => out.extend(chunk.iter().cloned()),
+            }
+            self.pos = chunk_end;
+        }
+        Ok(if out.is_empty() { None } else { Some(out) })
+    }
+}
+
+/// Index scan: resolves the row-id list on the first pull (buffered state, bounded by
+/// the base table), then emits matching rows a batch at a time.
+struct IndexScanOp<'p> {
+    table: &'p Table,
+    index: &'p Index,
+    lookup: &'p IndexLookup,
+    residual: Option<Expr>,
+    row_ids: Option<Vec<usize>>,
+    pos: usize,
+    batch_size: usize,
+    tracker: Rc<MemoryTracker>,
+}
+
+impl IndexScanOp<'_> {
+    fn resolve_row_ids(&mut self) {
+        if self.row_ids.is_some() {
+            return;
+        }
+        let mut row_ids: Vec<usize> = match self.lookup {
+            IndexLookup::Equality(value) => self.index.lookup(value).to_vec(),
             IndexLookup::InList(values) => {
                 let mut ids = Vec::new();
                 for value in values {
-                    ids.extend_from_slice(index.lookup(value));
+                    ids.extend_from_slice(self.index.lookup(value));
                 }
                 ids
             }
@@ -227,390 +602,620 @@ impl<'a> Executor<'a> {
                     Some((value, false)) => Bound::Excluded(value),
                     None => Bound::Unbounded,
                 };
-                index.range(low_bound, high_bound)
+                self.index.range(low_bound, high_bound)
             }
         };
         row_ids.sort_unstable();
         row_ids.dedup();
-
-        let residual = residual
-            .map(|p| Self::bind(p, &plan.schema))
-            .transpose()?;
-        let mut out = Vec::new();
-        for row_id in row_ids {
-            let Some(row) = table.row(row_id) else {
-                continue;
-            };
-            if let Some(p) = &residual {
-                if !p.eval_predicate(row)? {
-                    continue;
-                }
-            }
-            out.push(row.clone());
-        }
-        Ok(out)
+        self.tracker.acquire(row_ids.len() as u64);
+        self.row_ids = Some(row_ids);
     }
+}
 
-    fn hash_join(
-        &self,
-        plan: &PhysicalPlan,
-        probe_rows: Vec<Row>,
-        build_rows: Vec<Row>,
-        keys: &[(reopt_expr::ColumnRef, reopt_expr::ColumnRef)],
-        residual: Option<&Expr>,
-    ) -> Result<Vec<Row>, ExecError> {
-        let probe_schema = &plan.children[0].schema;
-        let build_schema = &plan.children[1].schema;
-        let probe_keys: Vec<usize> = keys
-            .iter()
-            .map(|(probe, _)| {
-                probe_schema
-                    .index_of(probe.qualifier.as_deref(), &probe.name)
-                    .map_err(ExecError::from)
-            })
-            .collect::<Result<_, _>>()?;
-        let build_keys: Vec<usize> = keys
-            .iter()
-            .map(|(_, build)| {
-                build_schema
-                    .index_of(build.qualifier.as_deref(), &build.name)
-                    .map_err(ExecError::from)
-            })
-            .collect::<Result<_, _>>()?;
-
-        // Build phase.
-        let mut hash_table: HashMap<Vec<Value>, Vec<usize>> = HashMap::new();
-        for (row_idx, row) in build_rows.iter().enumerate() {
-            let Some(key) = extract_key(row, &build_keys) else {
-                continue;
-            };
-            hash_table.entry(key).or_default().push(row_idx);
-        }
-
-        let residual = residual
-            .map(|p| Self::bind(p, &plan.schema))
-            .transpose()?;
-
-        // Probe phase.
+impl Operator for IndexScanOp<'_> {
+    fn next_batch(&mut self) -> Result<Option<RowBatch>, ExecError> {
+        self.resolve_row_ids();
+        let row_ids = self.row_ids.as_ref().expect("resolved above");
         let mut out = Vec::new();
-        for probe_row in &probe_rows {
-            let Some(key) = extract_key(probe_row, &probe_keys) else {
-                continue;
-            };
-            let Some(matches) = hash_table.get(&key) else {
-                continue;
-            };
-            for &build_idx in matches {
-                let joined = probe_row.join(&build_rows[build_idx]);
-                if let Some(p) = &residual {
-                    if !p.eval_predicate(&joined)? {
-                        continue;
-                    }
-                }
-                out.push(joined);
-            }
-        }
-        Ok(out)
-    }
-
-    #[allow(clippy::too_many_arguments)]
-    fn index_nl_join(
-        &self,
-        plan: &PhysicalPlan,
-        outer_rows: Vec<Row>,
-        inner_table: &str,
-        inner_alias: &str,
-        outer_key: &reopt_expr::ColumnRef,
-        inner_key: &str,
-        inner_predicate: Option<&Expr>,
-        residual: Option<&Expr>,
-    ) -> Result<Vec<Row>, ExecError> {
-        let outer_schema = &plan.children[0].schema;
-        let table = self.table(inner_table)?;
-        let outer_key_idx = outer_schema
-            .index_of(outer_key.qualifier.as_deref(), &outer_key.name)
-            .map_err(ExecError::from)?;
-        let inner_key_idx = table.schema().index_of(None, inner_key)?;
-
-        let inner_schema = table.schema().qualified(inner_alias);
-        let inner_predicate = inner_predicate
-            .map(|p| Self::bind(p, &inner_schema))
-            .transpose()?;
-        let residual = residual
-            .map(|p| Self::bind(p, &plan.schema))
-            .transpose()?;
-
-        // Use an existing index if present, otherwise build a transient lookup table
-        // (this keeps the operator correct even if an index was dropped after planning).
-        let index = table.index_on_column(inner_key_idx, false);
-        let mut transient: Option<HashMap<Value, Vec<usize>>> = None;
-        if index.is_none() {
-            let mut map: HashMap<Value, Vec<usize>> = HashMap::new();
-            for (row_id, row) in table.rows().iter().enumerate() {
-                let key = row.value(inner_key_idx);
-                if !key.is_null() {
-                    map.entry(key.clone()).or_default().push(row_id);
-                }
-            }
-            transient = Some(map);
-        }
-
-        let mut out = Vec::new();
-        let empty: Vec<usize> = Vec::new();
-        for outer_row in &outer_rows {
-            let key = outer_row.value(outer_key_idx);
-            if key.is_null() {
-                continue;
-            }
-            let matches: &[usize] = match (&index, &transient) {
-                (Some(index), _) => index.lookup(key),
-                (None, Some(map)) => map.get(key).map(Vec::as_slice).unwrap_or(&empty),
-                (None, None) => &empty,
-            };
-            for &row_id in matches {
-                let Some(inner_row) = table.row(row_id) else {
+        while out.is_empty() && self.pos < row_ids.len() {
+            let chunk_end = self.pos.saturating_add(self.batch_size).min(row_ids.len());
+            for &row_id in &row_ids[self.pos..chunk_end] {
+                let Some(row) = self.table.row(row_id) else {
                     continue;
                 };
-                if let Some(p) = &inner_predicate {
-                    if !p.eval_predicate(inner_row)? {
+                if let Some(p) = &self.residual {
+                    if !p.eval_predicate(row)? {
                         continue;
                     }
                 }
-                let joined = outer_row.join(inner_row);
-                if let Some(p) = &residual {
-                    if !p.eval_predicate(&joined)? {
-                        continue;
-                    }
-                }
-                out.push(joined);
+                out.push(row.clone());
+            }
+            self.pos = chunk_end;
+        }
+        Ok(if out.is_empty() { None } else { Some(out) })
+    }
+}
+
+/// Filter: applies the predicate to each input batch in place.
+struct FilterOp<'p> {
+    input: Metered<'p>,
+    predicate: Expr,
+}
+
+impl Operator for FilterOp<'_> {
+    fn next_batch(&mut self) -> Result<Option<RowBatch>, ExecError> {
+        while let Some(mut batch) = self.input.next_batch()? {
+            self.predicate.filter_batch(&mut batch)?;
+            if !batch.is_empty() {
+                return Ok(Some(batch));
             }
         }
-        Ok(out)
+        Ok(None)
     }
+}
 
-    fn nested_loop_join(
-        &self,
-        plan: &PhysicalPlan,
-        outer_rows: Vec<Row>,
-        inner_rows: Vec<Row>,
-        predicate: Option<&Expr>,
-    ) -> Result<Vec<Row>, ExecError> {
-        let predicate = predicate
-            .map(|p| Self::bind(p, &plan.schema))
-            .transpose()?;
-        let mut out = Vec::new();
-        for outer_row in &outer_rows {
-            for inner_row in &inner_rows {
-                let joined = outer_row.join(inner_row);
-                if let Some(p) = &predicate {
-                    if !p.eval_predicate(&joined)? {
-                        continue;
-                    }
-                }
-                out.push(joined);
+/// Projection: maps each input batch through the output expressions.
+struct ProjectOp<'p> {
+    input: Metered<'p>,
+    exprs: Vec<Expr>,
+}
+
+impl Operator for ProjectOp<'_> {
+    fn next_batch(&mut self) -> Result<Option<RowBatch>, ExecError> {
+        let Some(batch) = self.input.next_batch()? else {
+            return Ok(None);
+        };
+        let mut out = Vec::with_capacity(batch.len());
+        for row in &batch {
+            let mut values = Vec::with_capacity(self.exprs.len());
+            for expr in &self.exprs {
+                values.push(expr.eval(row)?);
             }
+            out.push(Row::from_values(values));
         }
-        Ok(out)
+        Ok(Some(out))
+    }
+}
+
+/// Limit: stops pulling from its child once `count` rows have been emitted (early
+/// termination — upstream operators never produce the rows beyond the limit).
+struct LimitOp<'p> {
+    input: Metered<'p>,
+    remaining: usize,
+}
+
+impl Operator for LimitOp<'_> {
+    fn next_batch(&mut self) -> Result<Option<RowBatch>, ExecError> {
+        if self.remaining == 0 {
+            return Ok(None);
+        }
+        let Some(mut batch) = self.input.next_batch()? else {
+            return Ok(None);
+        };
+        if batch.len() > self.remaining {
+            batch.truncate(self.remaining);
+        }
+        self.remaining -= batch.len();
+        Ok(Some(batch))
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Joins
+// ---------------------------------------------------------------------------
+
+/// Hash join. The build side is a pipeline breaker (drained into the hash table on the
+/// first pull); probing is batch-at-a-time: keys for a whole probe batch are extracted
+/// up front, then the probe loop emits joined rows until the output batch is full,
+/// suspending mid-batch (and mid-match-list) when it is.
+struct HashJoinOp<'p> {
+    probe: Metered<'p>,
+    build: Option<Metered<'p>>,
+    probe_keys: Vec<usize>,
+    build_keys: Vec<usize>,
+    residual: Option<Expr>,
+    build_rows: Vec<Row>,
+    table: HashMap<Vec<Value>, Vec<usize>>,
+    probe_batch: RowBatch,
+    probe_batch_keys: Vec<Option<Vec<Value>>>,
+    probe_pos: usize,
+    match_pos: usize,
+    batch_size: usize,
+    tracker: Rc<MemoryTracker>,
+}
+
+impl HashJoinOp<'_> {
+    fn build_table(&mut self) -> Result<(), ExecError> {
+        let Some(mut build) = self.build.take() else {
+            return Ok(());
+        };
+        build.drain(|batch| {
+            self.tracker.acquire(batch.len() as u64);
+            for row in batch {
+                let row_idx = self.build_rows.len();
+                if let Some(key) = extract_key(&row, &self.build_keys) {
+                    self.table.entry(key).or_default().push(row_idx);
+                }
+                self.build_rows.push(row);
+            }
+            Ok(())
+        })
     }
 
-    fn merge_join(
-        &self,
-        plan: &PhysicalPlan,
-        left_rows: Vec<Row>,
-        right_rows: Vec<Row>,
-        keys: &[(reopt_expr::ColumnRef, reopt_expr::ColumnRef)],
-        residual: Option<&Expr>,
-    ) -> Result<Vec<Row>, ExecError> {
-        let left_schema = &plan.children[0].schema;
-        let right_schema = &plan.children[1].schema;
-        let left_keys: Vec<usize> = keys
-            .iter()
-            .map(|(l, _)| {
-                left_schema
-                    .index_of(l.qualifier.as_deref(), &l.name)
-                    .map_err(ExecError::from)
-            })
-            .collect::<Result<_, _>>()?;
-        let right_keys: Vec<usize> = keys
-            .iter()
-            .map(|(_, r)| {
-                right_schema
-                    .index_of(r.qualifier.as_deref(), &r.name)
-                    .map_err(ExecError::from)
-            })
-            .collect::<Result<_, _>>()?;
+    /// Pull the next probe batch and precompute its keys. Returns `false` at EOF.
+    fn refill_probe(&mut self) -> Result<bool, ExecError> {
+        let Some(batch) = self.probe.next_batch()? else {
+            return Ok(false);
+        };
+        self.probe_batch_keys.clear();
+        self.probe_batch_keys
+            .extend(batch.iter().map(|row| extract_key(row, &self.probe_keys)));
+        self.probe_batch = batch;
+        self.probe_pos = 0;
+        self.match_pos = 0;
+        Ok(true)
+    }
+}
 
-        // Sort both sides by their keys, dropping rows with NULL keys (they cannot
-        // match an equi-join).
-        let mut left: Vec<(Vec<Value>, Row)> = left_rows
-            .into_iter()
-            .filter_map(|row| extract_key(&row, &left_keys).map(|k| (k, row)))
-            .collect();
-        let mut right: Vec<(Vec<Value>, Row)> = right_rows
-            .into_iter()
-            .filter_map(|row| extract_key(&row, &right_keys).map(|k| (k, row)))
-            .collect();
-        left.sort_by(|a, b| a.0.cmp(&b.0));
-        right.sort_by(|a, b| a.0.cmp(&b.0));
-
-        let residual = residual
-            .map(|p| Self::bind(p, &plan.schema))
-            .transpose()?;
-
+impl Operator for HashJoinOp<'_> {
+    fn next_batch(&mut self) -> Result<Option<RowBatch>, ExecError> {
+        self.build_table()?;
         let mut out = Vec::new();
-        let (mut i, mut j) = (0usize, 0usize);
-        while i < left.len() && j < right.len() {
-            match left[i].0.cmp(&right[j].0) {
-                std::cmp::Ordering::Less => i += 1,
-                std::cmp::Ordering::Greater => j += 1,
-                std::cmp::Ordering::Equal => {
-                    // Find the ranges of equal keys on both sides and emit the product.
-                    let key = left[i].0.clone();
-                    let left_start = i;
-                    while i < left.len() && left[i].0 == key {
-                        i += 1;
+        'fill: loop {
+            if self.probe_pos >= self.probe_batch.len() {
+                if !self.refill_probe()? {
+                    break;
+                }
+                if self.probe_batch.is_empty() {
+                    continue;
+                }
+            }
+            while self.probe_pos < self.probe_batch.len() {
+                let matches = match &self.probe_batch_keys[self.probe_pos] {
+                    Some(key) => self.table.get(key).map(Vec::as_slice).unwrap_or(&[]),
+                    None => &[],
+                };
+                let probe_row = &self.probe_batch[self.probe_pos];
+                while self.match_pos < matches.len() {
+                    if out.len() >= self.batch_size {
+                        break 'fill;
                     }
-                    let right_start = j;
-                    while j < right.len() && right[j].0 == key {
-                        j += 1;
-                    }
-                    for (_, left_row) in &left[left_start..i] {
-                        for (_, right_row) in &right[right_start..j] {
-                            let joined = left_row.join(right_row);
-                            if let Some(p) = &residual {
-                                if !p.eval_predicate(&joined)? {
-                                    continue;
-                                }
-                            }
-                            out.push(joined);
+                    let build_idx = matches[self.match_pos];
+                    self.match_pos += 1;
+                    let joined = probe_row.join(&self.build_rows[build_idx]);
+                    if let Some(p) = &self.residual {
+                        if !p.eval_predicate(&joined)? {
+                            continue;
                         }
                     }
+                    out.push(joined);
+                }
+                self.probe_pos += 1;
+                self.match_pos = 0;
+            }
+            if out.len() >= self.batch_size {
+                break;
+            }
+        }
+        Ok(if out.is_empty() { None } else { Some(out) })
+    }
+}
+
+/// Index nested-loop join: streams the outer side, probing the inner table's index (or
+/// a transient hash map) per outer row, suspending mid-match-list when the output batch
+/// fills up.
+struct IndexNlJoinOp<'p> {
+    outer: Metered<'p>,
+    table: &'p Table,
+    index: Option<&'p Index>,
+    inner_key_idx: usize,
+    transient: Option<HashMap<Value, Vec<usize>>>,
+    outer_key_idx: usize,
+    inner_predicate: Option<Expr>,
+    residual: Option<Expr>,
+    outer_batch: RowBatch,
+    outer_pos: usize,
+    match_pos: usize,
+    batch_size: usize,
+    tracker: Rc<MemoryTracker>,
+}
+
+impl IndexNlJoinOp<'_> {
+    /// Without an index, the first pull builds a transient lookup table over the inner
+    /// side (buffered state, bounded by the base table).
+    fn ensure_lookup(&mut self) {
+        if self.index.is_some() || self.transient.is_some() {
+            return;
+        }
+        let mut map: HashMap<Value, Vec<usize>> = HashMap::new();
+        for (row_id, row) in self.table.rows().iter().enumerate() {
+            let key = row.value(self.inner_key_idx);
+            if !key.is_null() {
+                map.entry(key.clone()).or_default().push(row_id);
+            }
+        }
+        self.tracker
+            .acquire(map.values().map(Vec::len).sum::<usize>() as u64);
+        self.transient = Some(map);
+    }
+}
+
+impl Operator for IndexNlJoinOp<'_> {
+    fn next_batch(&mut self) -> Result<Option<RowBatch>, ExecError> {
+        self.ensure_lookup();
+        let mut out = Vec::new();
+        'fill: loop {
+            if self.outer_pos >= self.outer_batch.len() {
+                let Some(batch) = self.outer.next_batch()? else {
+                    break;
+                };
+                self.outer_batch = batch;
+                self.outer_pos = 0;
+                self.match_pos = 0;
+                continue;
+            }
+            while self.outer_pos < self.outer_batch.len() {
+                let outer_row = &self.outer_batch[self.outer_pos];
+                let key = outer_row.value(self.outer_key_idx);
+                let matches: &[usize] = if key.is_null() {
+                    &[]
+                } else {
+                    match (self.index, &self.transient) {
+                        (Some(index), _) => index.lookup(key),
+                        (None, Some(map)) => map.get(key).map(Vec::as_slice).unwrap_or(&[]),
+                        (None, None) => &[],
+                    }
+                };
+                while self.match_pos < matches.len() {
+                    if out.len() >= self.batch_size {
+                        break 'fill;
+                    }
+                    let row_id = matches[self.match_pos];
+                    self.match_pos += 1;
+                    let Some(inner_row) = self.table.row(row_id) else {
+                        continue;
+                    };
+                    if let Some(p) = &self.inner_predicate {
+                        if !p.eval_predicate(inner_row)? {
+                            continue;
+                        }
+                    }
+                    let joined = outer_row.join(inner_row);
+                    if let Some(p) = &self.residual {
+                        if !p.eval_predicate(&joined)? {
+                            continue;
+                        }
+                    }
+                    out.push(joined);
+                }
+                self.outer_pos += 1;
+                self.match_pos = 0;
+            }
+            if out.len() >= self.batch_size {
+                break;
+            }
+        }
+        Ok(if out.is_empty() { None } else { Some(out) })
+    }
+}
+
+/// Plain nested-loop join: the inner side is a pipeline breaker (buffered fully); the
+/// outer side streams, with a cursor over (outer row, inner row) pairs.
+struct NestedLoopJoinOp<'p> {
+    outer: Metered<'p>,
+    inner: Option<Metered<'p>>,
+    predicate: Option<Expr>,
+    inner_rows: Vec<Row>,
+    outer_batch: RowBatch,
+    outer_pos: usize,
+    inner_pos: usize,
+    batch_size: usize,
+    tracker: Rc<MemoryTracker>,
+}
+
+impl NestedLoopJoinOp<'_> {
+    fn buffer_inner(&mut self) -> Result<(), ExecError> {
+        let Some(mut inner) = self.inner.take() else {
+            return Ok(());
+        };
+        let inner_rows = &mut self.inner_rows;
+        let tracker = &self.tracker;
+        inner.drain(|batch| {
+            tracker.acquire(batch.len() as u64);
+            inner_rows.extend(batch);
+            Ok(())
+        })
+    }
+}
+
+impl Operator for NestedLoopJoinOp<'_> {
+    fn next_batch(&mut self) -> Result<Option<RowBatch>, ExecError> {
+        self.buffer_inner()?;
+        if self.inner_rows.is_empty() {
+            // No output is possible, but still drain the outer side so its subtree
+            // reports true actual cardinalities (the seed executor always executed
+            // both children; leaving actual_rows=0 would feed spurious q-errors to
+            // the re-optimization controller).
+            self.outer.drain(|_| Ok(()))?;
+            return Ok(None);
+        }
+        let mut out = Vec::new();
+        'fill: loop {
+            if self.outer_pos >= self.outer_batch.len() {
+                let Some(batch) = self.outer.next_batch()? else {
+                    break;
+                };
+                self.outer_batch = batch;
+                self.outer_pos = 0;
+                self.inner_pos = 0;
+                continue;
+            }
+            while self.outer_pos < self.outer_batch.len() {
+                let outer_row = &self.outer_batch[self.outer_pos];
+                while self.inner_pos < self.inner_rows.len() {
+                    if out.len() >= self.batch_size {
+                        break 'fill;
+                    }
+                    let inner_row = &self.inner_rows[self.inner_pos];
+                    self.inner_pos += 1;
+                    let joined = outer_row.join(inner_row);
+                    if let Some(p) = &self.predicate {
+                        if !p.eval_predicate(&joined)? {
+                            continue;
+                        }
+                    }
+                    out.push(joined);
+                }
+                self.outer_pos += 1;
+                self.inner_pos = 0;
+            }
+            if out.len() >= self.batch_size {
+                break;
+            }
+        }
+        Ok(if out.is_empty() { None } else { Some(out) })
+    }
+}
+
+/// The cursor inside a run of equal keys on both merge-join sides.
+struct MergeBlock {
+    /// End (exclusive) of the equal-key run on the left side.
+    i_end: usize,
+    /// End (exclusive) of the equal-key run on the right side.
+    j_end: usize,
+    /// Current left row within the run.
+    li: usize,
+    /// Current right row within the run.
+    ri: usize,
+}
+
+/// Sort-merge join: both inputs are pipeline breakers (buffered and sorted by their join
+/// keys); the merge itself streams, suspending inside equal-key blocks when the output
+/// batch fills up.
+struct MergeJoinOp<'p> {
+    inputs: Option<(Metered<'p>, Metered<'p>)>,
+    left_keys: Vec<usize>,
+    right_keys: Vec<usize>,
+    residual: Option<Expr>,
+    left: Vec<(Vec<Value>, Row)>,
+    right: Vec<(Vec<Value>, Row)>,
+    i: usize,
+    j: usize,
+    block: Option<MergeBlock>,
+    batch_size: usize,
+    tracker: Rc<MemoryTracker>,
+}
+
+impl MergeJoinOp<'_> {
+    fn buffer_and_sort(&mut self) -> Result<(), ExecError> {
+        let Some((mut left_input, mut right_input)) = self.inputs.take() else {
+            return Ok(());
+        };
+        drain_keyed(&mut left_input, &self.left_keys, &self.tracker, &mut self.left)?;
+        drain_keyed(&mut right_input, &self.right_keys, &self.tracker, &mut self.right)?;
+        self.left.sort_by(|a, b| a.0.cmp(&b.0));
+        self.right.sort_by(|a, b| a.0.cmp(&b.0));
+        Ok(())
+    }
+
+    /// Advance `i`/`j` to the next pair of equal keys, opening a block cursor.
+    fn open_next_block(&mut self) {
+        while self.i < self.left.len() && self.j < self.right.len() {
+            match self.left[self.i].0.cmp(&self.right[self.j].0) {
+                std::cmp::Ordering::Less => self.i += 1,
+                std::cmp::Ordering::Greater => self.j += 1,
+                std::cmp::Ordering::Equal => {
+                    let key = &self.left[self.i].0;
+                    let mut i_end = self.i + 1;
+                    while i_end < self.left.len() && &self.left[i_end].0 == key {
+                        i_end += 1;
+                    }
+                    let mut j_end = self.j + 1;
+                    while j_end < self.right.len() && &self.right[j_end].0 == key {
+                        j_end += 1;
+                    }
+                    self.block = Some(MergeBlock {
+                        i_end,
+                        j_end,
+                        li: self.i,
+                        ri: self.j,
+                    });
+                    return;
                 }
             }
         }
-        Ok(out)
     }
+}
 
-    fn filter(
-        &self,
-        plan: &PhysicalPlan,
-        input: Vec<Row>,
-        predicate: &Expr,
-    ) -> Result<Vec<Row>, ExecError> {
-        let predicate = Self::bind(predicate, &plan.children[0].schema)?;
+impl Operator for MergeJoinOp<'_> {
+    fn next_batch(&mut self) -> Result<Option<RowBatch>, ExecError> {
+        self.buffer_and_sort()?;
         let mut out = Vec::new();
-        for row in input {
-            if predicate.eval_predicate(&row)? {
-                out.push(row);
+        loop {
+            if self.block.is_none() {
+                self.open_next_block();
             }
+            let Some(block) = &mut self.block else {
+                break;
+            };
+            while block.li < block.i_end {
+                if out.len() >= self.batch_size {
+                    return Ok(Some(out));
+                }
+                let joined = self.left[block.li].1.join(&self.right[block.ri].1);
+                block.ri += 1;
+                if block.ri == block.j_end {
+                    block.ri = self.j;
+                    block.li += 1;
+                }
+                if let Some(p) = &self.residual {
+                    if !p.eval_predicate(&joined)? {
+                        continue;
+                    }
+                }
+                out.push(joined);
+            }
+            // Block exhausted: move past it.
+            self.i = block.i_end;
+            self.j = block.j_end;
+            self.block = None;
         }
-        Ok(out)
+        Ok(if out.is_empty() { None } else { Some(out) })
     }
+}
 
-    fn aggregate(
-        &self,
-        input: Vec<Row>,
-        input_schema: &Schema,
-        group_by: &[Expr],
-        aggregates: &[reopt_planner::AggregateExpr],
-    ) -> Result<Vec<Row>, ExecError> {
-        let group_exprs: Vec<Expr> = group_by
-            .iter()
-            .map(|e| Self::bind(e, input_schema))
-            .collect::<Result<_, _>>()?;
-        let agg_args: Vec<Option<Expr>> = aggregates
-            .iter()
-            .map(|a| a.arg.as_ref().map(|e| Self::bind(e, input_schema)).transpose())
-            .collect::<Result<_, _>>()?;
+// ---------------------------------------------------------------------------
+// Pipeline breakers: aggregate and sort
+// ---------------------------------------------------------------------------
 
-        if group_exprs.is_empty() {
+/// Aggregation: drains its input into accumulator states (the buffered state is one
+/// entry per group), then emits result rows in batches.
+struct AggregateOp<'p> {
+    input: Option<Metered<'p>>,
+    group_exprs: Vec<Expr>,
+    agg_funcs: Vec<AggregateFunc>,
+    agg_args: Vec<Option<Expr>>,
+    emit: Option<std::vec::IntoIter<(Vec<Value>, Vec<Accumulator>)>>,
+    batch_size: usize,
+    tracker: Rc<MemoryTracker>,
+}
+
+impl AggregateOp<'_> {
+    fn consume_input(&mut self) -> Result<(), ExecError> {
+        let Some(mut input) = self.input.take() else {
+            return Ok(());
+        };
+
+        if self.group_exprs.is_empty() {
             // Single-group aggregation always produces exactly one row.
             let mut accumulators: Vec<Accumulator> =
-                aggregates.iter().map(|a| Accumulator::new(a.func)).collect();
-            for row in &input {
-                for (accumulator, arg) in accumulators.iter_mut().zip(&agg_args) {
-                    accumulator.update(arg.as_ref(), row)?;
+                self.agg_funcs.iter().map(|&f| Accumulator::new(f)).collect();
+            let agg_args = &self.agg_args;
+            input.drain(|batch| {
+                for row in &batch {
+                    for (accumulator, arg) in accumulators.iter_mut().zip(agg_args) {
+                        accumulator.update(arg.as_ref(), row)?;
+                    }
                 }
-            }
-            let values: Vec<Value> = accumulators.into_iter().map(Accumulator::finish).collect();
-            return Ok(vec![Row::from_values(values)]);
+                Ok(())
+            })?;
+            self.tracker.acquire(1);
+            self.emit = Some(vec![(Vec::new(), accumulators)].into_iter());
+            return Ok(());
         }
 
         // Hash aggregation; groups are emitted in first-seen order for determinism.
         let mut groups: HashMap<Vec<Value>, usize> = HashMap::new();
         let mut states: Vec<(Vec<Value>, Vec<Accumulator>)> = Vec::new();
-        for row in &input {
-            let mut key = Vec::with_capacity(group_exprs.len());
-            for expr in &group_exprs {
-                key.push(expr.eval(row)?);
-            }
-            let idx = match groups.get(&key) {
-                Some(&idx) => idx,
-                None => {
-                    let idx = states.len();
-                    groups.insert(key.clone(), idx);
-                    states.push((
-                        key,
-                        aggregates.iter().map(|a| Accumulator::new(a.func)).collect(),
-                    ));
-                    idx
+        {
+            let group_exprs = &self.group_exprs;
+            let agg_funcs = &self.agg_funcs;
+            let agg_args = &self.agg_args;
+            let tracker = &self.tracker;
+            let states = &mut states;
+            input.drain(|batch| {
+                for row in &batch {
+                    let mut key = Vec::with_capacity(group_exprs.len());
+                    for expr in group_exprs {
+                        key.push(expr.eval(row)?);
+                    }
+                    let idx = match groups.get(&key) {
+                        Some(&idx) => idx,
+                        None => {
+                            let idx = states.len();
+                            groups.insert(key.clone(), idx);
+                            states.push((
+                                key,
+                                agg_funcs.iter().map(|&f| Accumulator::new(f)).collect(),
+                            ));
+                            tracker.acquire(1);
+                            idx
+                        }
+                    };
+                    for (accumulator, arg) in states[idx].1.iter_mut().zip(agg_args) {
+                        accumulator.update(arg.as_ref(), row)?;
+                    }
                 }
-            };
-            for (accumulator, arg) in states[idx].1.iter_mut().zip(&agg_args) {
-                accumulator.update(arg.as_ref(), row)?;
-            }
+                Ok(())
+            })?;
         }
-        Ok(states
-            .into_iter()
-            .map(|(mut key, accumulators)| {
-                key.extend(accumulators.into_iter().map(Accumulator::finish));
-                Row::from_values(key)
-            })
-            .collect())
+        self.emit = Some(states.into_iter());
+        Ok(())
     }
+}
 
-    fn project(
-        &self,
-        input: Vec<Row>,
-        input_schema: &Schema,
-        exprs: &[reopt_planner::OutputExpr],
-    ) -> Result<Vec<Row>, ExecError> {
-        let bound: Vec<Expr> = exprs
-            .iter()
-            .map(|e| Self::bind(&e.expr, input_schema))
-            .collect::<Result<_, _>>()?;
-        input
-            .into_iter()
-            .map(|row| {
-                let values: Result<Vec<Value>, ExecError> =
-                    bound.iter().map(|e| e.eval(&row).map_err(Into::into)).collect();
-                Ok(Row::from_values(values?))
-            })
-            .collect()
+impl Operator for AggregateOp<'_> {
+    fn next_batch(&mut self) -> Result<Option<RowBatch>, ExecError> {
+        self.consume_input()?;
+        // `emit` stays unset when a previous pull failed mid-drain; the pipeline is
+        // poisoned at that point and further pulls just report exhaustion.
+        let Some(emit) = self.emit.as_mut() else {
+            return Ok(None);
+        };
+        let mut out = Vec::with_capacity(self.batch_size.min(emit.len()));
+        for (key, accumulators) in emit.by_ref().take(self.batch_size) {
+            let mut values = key;
+            values.extend(accumulators.into_iter().map(Accumulator::finish));
+            out.push(Row::from_values(values));
+        }
+        Ok(if out.is_empty() { None } else { Some(out) })
     }
+}
 
-    fn sort(
-        &self,
-        input: Vec<Row>,
-        input_schema: &Schema,
-        keys: &[(Expr, bool)],
-    ) -> Result<Vec<Row>, ExecError> {
-        let bound: Vec<(Expr, bool)> = keys
-            .iter()
-            .map(|(e, asc)| Ok((Self::bind(e, input_schema)?, *asc)))
-            .collect::<Result<_, ExecError>>()?;
-        let mut keyed: Vec<(Vec<Value>, Row)> = input
-            .into_iter()
-            .map(|row| {
-                let key: Result<Vec<Value>, ExecError> = bound
-                    .iter()
-                    .map(|(e, _)| e.eval(&row).map_err(Into::into))
-                    .collect();
-                Ok((key?, row))
-            })
-            .collect::<Result<_, ExecError>>()?;
+/// Sort: drains and sorts its whole input (buffered), then emits batches.
+struct SortOp<'p> {
+    input: Option<Metered<'p>>,
+    keys: Vec<(Expr, bool)>,
+    sorted: Vec<Row>,
+    pos: usize,
+    batch_size: usize,
+    tracker: Rc<MemoryTracker>,
+}
+
+impl SortOp<'_> {
+    fn buffer_and_sort(&mut self) -> Result<(), ExecError> {
+        let Some(mut input) = self.input.take() else {
+            return Ok(());
+        };
+        let mut keyed: Vec<(Vec<Value>, Row)> = Vec::new();
+        {
+            let keys = &self.keys;
+            let tracker = &self.tracker;
+            input.drain(|batch| {
+                tracker.acquire(batch.len() as u64);
+                for row in batch {
+                    let mut key = Vec::with_capacity(keys.len());
+                    for (expr, _) in keys {
+                        key.push(expr.eval(&row)?);
+                    }
+                    keyed.push((key, row));
+                }
+                Ok(())
+            })?;
+        }
+        let directions: Vec<bool> = self.keys.iter().map(|(_, asc)| *asc).collect();
         keyed.sort_by(|a, b| {
-            for (idx, (_, ascending)) in bound.iter().enumerate() {
+            for (idx, ascending) in directions.iter().enumerate() {
                 let ordering = a.0[idx].cmp(&b.0[idx]);
                 let ordering = if *ascending { ordering } else { ordering.reverse() };
                 if ordering != std::cmp::Ordering::Equal {
@@ -619,8 +1224,41 @@ impl<'a> Executor<'a> {
             }
             std::cmp::Ordering::Equal
         });
-        Ok(keyed.into_iter().map(|(_, row)| row).collect())
+        self.sorted = keyed.into_iter().map(|(_, row)| row).collect();
+        Ok(())
     }
+}
+
+impl Operator for SortOp<'_> {
+    fn next_batch(&mut self) -> Result<Option<RowBatch>, ExecError> {
+        self.buffer_and_sort()?;
+        if self.pos >= self.sorted.len() {
+            return Ok(None);
+        }
+        let chunk_end = self.pos.saturating_add(self.batch_size).min(self.sorted.len());
+        let out = self.sorted[self.pos..chunk_end].to_vec();
+        self.pos = chunk_end;
+        Ok(Some(out))
+    }
+}
+
+/// Drain one merge-join input into a keyed buffer, dropping rows with NULL keys (they
+/// cannot match under equi-join semantics) and accounting the buffered rows.
+fn drain_keyed(
+    input: &mut Metered<'_>,
+    keys: &[usize],
+    tracker: &MemoryTracker,
+    out: &mut Vec<(Vec<Value>, Row)>,
+) -> Result<(), ExecError> {
+    input.drain(|batch| {
+        for row in batch {
+            if let Some(key) = extract_key(&row, keys) {
+                tracker.acquire(1);
+                out.push((key, row));
+            }
+        }
+        Ok(())
+    })
 }
 
 /// Extract a join key from a row; returns `None` when any key column is NULL (NULL never
@@ -822,18 +1460,38 @@ mod tests {
         (storage, catalog)
     }
 
-    fn run(sql: &str, storage: &Storage, catalog: &Catalog) -> ExecutionResult {
+    fn plan(
+        sql: &str,
+        storage: &Storage,
+        catalog: &Catalog,
+    ) -> reopt_planner::PlannedQuery {
         let optimizer = Optimizer::default();
         let statement = parse_sql(sql).unwrap();
-        let planned = optimizer
+        optimizer
             .plan_select(
                 statement.query().unwrap(),
                 storage,
                 catalog,
                 &CardinalityOverrides::new(),
             )
-            .unwrap();
+            .unwrap()
+    }
+
+    fn run(sql: &str, storage: &Storage, catalog: &Catalog) -> ExecutionResult {
+        let planned = plan(sql, storage, catalog);
         execute_plan(&planned.plan, storage).unwrap()
+    }
+
+    fn run_with_batch_size(
+        sql: &str,
+        storage: &Storage,
+        catalog: &Catalog,
+        batch_size: usize,
+    ) -> ExecutionResult {
+        let planned = plan(sql, storage, catalog);
+        Executor::with_batch_size(storage, batch_size)
+            .execute(&planned.plan)
+            .unwrap()
     }
 
     #[test]
@@ -1059,5 +1717,194 @@ mod tests {
         emptied.drop_table("keyword").unwrap();
         let err = execute_plan(&planned.plan, &emptied).unwrap_err();
         assert!(matches!(err, ExecError::TableNotFound(_)));
+    }
+
+    // -----------------------------------------------------------------------
+    // Batch-boundary edge cases
+    // -----------------------------------------------------------------------
+
+    /// Rows sorted into a canonical order for ordering-insensitive comparison.
+    fn sorted_rows(mut rows: Vec<Row>) -> Vec<Row> {
+        rows.sort_by(|a, b| {
+            format!("{a}").cmp(&format!("{b}"))
+        });
+        rows
+    }
+
+    /// Queries covering every operator kind, used by the batch-size sweeps.
+    const SWEEP_QUERIES: &[&str] = &[
+        // Streaming scans and filters.
+        "SELECT * FROM title AS t WHERE t.production_year >= 2015",
+        // Empty input through joins and aggregates.
+        "SELECT count(*) AS c FROM title AS t, movie_keyword AS mk
+         WHERE t.id = mk.movie_id AND t.production_year > 3000",
+        // Exactly one output row (single-batch output).
+        "SELECT * FROM title AS t WHERE t.id = 42",
+        // Join + group + sort + limit.
+        "SELECT t.production_year, count(*) AS movies
+         FROM title AS t, movie_keyword AS mk
+         WHERE t.id = mk.movie_id
+         GROUP BY t.production_year ORDER BY movies DESC, t.production_year ASC LIMIT 5",
+        // Multi-way join with aggregates.
+        "SELECT min(t.title) AS m, count(*) AS c
+         FROM title AS t, movie_keyword AS mk, keyword AS k
+         WHERE t.id = mk.movie_id AND mk.keyword_id = k.id AND k.keyword = 'kw3'",
+    ];
+
+    #[test]
+    fn batch_size_one_matches_default() {
+        let (storage, catalog) = build_env();
+        for sql in SWEEP_QUERIES {
+            let reference = run(sql, &storage, &catalog);
+            let tiny = run_with_batch_size(sql, &storage, &catalog, 1);
+            assert_eq!(
+                sorted_rows(tiny.rows),
+                sorted_rows(reference.rows.clone()),
+                "batch size 1 changed the result of {sql}"
+            );
+        }
+    }
+
+    #[test]
+    fn oversized_batch_matches_default() {
+        // A batch size larger than any intermediate result degenerates to
+        // operator-at-a-time materialization (the seed executor's regime).
+        let (storage, catalog) = build_env();
+        for sql in SWEEP_QUERIES {
+            let reference = run(sql, &storage, &catalog);
+            let huge = run_with_batch_size(sql, &storage, &catalog, 1 << 20);
+            assert_eq!(
+                sorted_rows(huge.rows),
+                sorted_rows(reference.rows.clone()),
+                "oversized batches changed the result of {sql}"
+            );
+        }
+    }
+
+    #[test]
+    fn input_of_exactly_one_batch() {
+        let (storage, catalog) = build_env();
+        // keyword has exactly 10 rows: batch size 10 consumes it in one batch.
+        let result = run_with_batch_size(
+            "SELECT count(*) AS c FROM keyword AS k",
+            &storage,
+            &catalog,
+            10,
+        );
+        assert_eq!(result.rows[0].value(0), &Value::Int(10));
+    }
+
+    #[test]
+    fn empty_inputs_flow_through_every_operator() {
+        let (storage, catalog) = build_env();
+        // No movie has production_year > 3000: scans, joins, sorts and projections all
+        // see empty inputs.
+        let result = run(
+            "SELECT t.title AS name FROM title AS t, movie_keyword AS mk
+             WHERE t.id = mk.movie_id AND t.production_year > 3000
+             ORDER BY name LIMIT 10",
+            &storage,
+            &catalog,
+        );
+        assert!(result.rows.is_empty());
+        assert_eq!(result.peak_buffered_rows, 0);
+    }
+
+    #[test]
+    fn limit_stops_pulling_upstream() {
+        let (storage, catalog) = build_env();
+        let planned = plan("SELECT * FROM title AS t LIMIT 3", &storage, &catalog);
+        let result = Executor::with_batch_size(&storage, 2)
+            .execute(&planned.plan)
+            .unwrap();
+        assert_eq!(result.rows.len(), 3);
+        // The scan must not have produced the whole table: with batch size 2 the limit
+        // needs at most two batches (4 rows), not 100.
+        let mut scan_rows = None;
+        result.metrics.root.walk(&mut |node| {
+            if node.metrics.label.starts_with("Seq Scan") {
+                scan_rows = Some(node.metrics.actual_rows);
+            }
+        });
+        assert!(scan_rows.unwrap() <= 4, "scan produced {scan_rows:?} rows");
+    }
+
+    #[test]
+    fn pipeline_surfaces_batches_and_buffered_rows() {
+        let (storage, catalog) = build_env();
+        let planned = plan(
+            "SELECT count(*) AS c FROM movie_keyword AS mk, keyword AS k
+             WHERE mk.keyword_id = k.id",
+            &storage,
+            &catalog,
+        );
+        let executor = Executor::with_batch_size(&storage, 16);
+        let mut pipeline = executor.open(&planned.plan).unwrap();
+        let mut total = 0usize;
+        while let Some(batch) = pipeline.next_batch().unwrap() {
+            assert!(!batch.is_empty(), "operators must not emit empty batches");
+            assert!(batch.len() <= 16, "batch exceeded the configured size");
+            total += batch.len();
+        }
+        assert_eq!(total, 1);
+        let metrics = pipeline.metrics();
+        let joins = metrics.root.joins_bottom_up();
+        assert_eq!(joins[0].actual_rows, 200);
+        assert!(joins[0].batches >= 200 / 16, "join output must be batched");
+        // The only buffered state is the hash-join build side (10 keyword rows at most,
+        // plus index-scan row ids if any) — far below the 200-row join output.
+        let peak = pipeline.peak_buffered_rows();
+        assert!(peak > 0 && peak < 200, "peak buffered rows {peak}");
+    }
+
+    #[test]
+    fn join_batches_respect_batch_size_under_fanout() {
+        // Every movie_keyword row matches keyword 3 ten+ten times; with batch size 4 the
+        // join must split its output across many batches, suspending mid-match-list.
+        let (storage, catalog) = build_env();
+        let planned = plan(
+            "SELECT count(*) AS c FROM movie_keyword AS mk, keyword AS k
+             WHERE mk.keyword_id = k.id",
+            &storage,
+            &catalog,
+        );
+        for batch_size in [1usize, 3, 7, 200, 1024] {
+            let result = Executor::with_batch_size(&storage, batch_size)
+                .execute(&planned.plan)
+                .unwrap();
+            assert_eq!(result.rows[0].value(0), &Value::Int(200), "batch {batch_size}");
+        }
+    }
+
+    #[test]
+    fn merge_join_suspends_inside_equal_key_blocks() {
+        let (storage, catalog) = build_env();
+        let statement = parse_sql(
+            "SELECT count(*) AS c FROM movie_keyword AS mk, keyword AS k
+             WHERE mk.keyword_id = k.id",
+        )
+        .unwrap();
+        let optimizer = Optimizer::new(reopt_planner::OptimizerConfig {
+            enable_hash_joins: false,
+            enable_merge_joins: true,
+            enable_index_nl_joins: false,
+            ..Default::default()
+        });
+        let planned = optimizer
+            .plan_select(
+                statement.query().unwrap(),
+                &storage,
+                &catalog,
+                &CardinalityOverrides::new(),
+            )
+            .unwrap();
+        // Each keyword matches 20 movie_keyword rows: equal-key blocks of 20 rows must
+        // be split across batches of 3 without losing or duplicating pairs.
+        for batch_size in [1usize, 3, 16, 4096] {
+            let result = Executor::with_batch_size(&storage, batch_size)
+                .execute(&planned.plan)
+                .unwrap();
+            assert_eq!(result.rows[0].value(0), &Value::Int(200), "batch {batch_size}");
+        }
     }
 }

@@ -1,21 +1,34 @@
 //! # reopt-executor
 //!
-//! Execution of physical plans with EXPLAIN ANALYZE style instrumentation.
+//! Pipelined, vectorized execution of physical plans with EXPLAIN ANALYZE style
+//! instrumentation.
 //!
-//! Operators are *materialized*: each node consumes its children fully and produces a
-//! `Vec<Row>`. The paper's re-optimization simulation itself breaks pipelines by
-//! materializing intermediate results into temporary tables, so a vector-at-a-time
-//! executor is a faithful substrate for the experiments (and keeps per-operator actual
-//! cardinalities trivially observable).
+//! Operators are *pull-based batch iterators*: every plan node becomes an operator with
+//! a `next_batch() -> Option<RowBatch>` method producing fixed-size row batches
+//! ([`exec::DEFAULT_BATCH_SIZE`] rows by default, configurable via
+//! [`Executor::with_batch_size`]). Memory is bounded to one in-flight batch per
+//! streaming operator plus the buffers of *pipeline breakers* — the build side of a
+//! hash join, the inner side of a nested-loop join, both sorted inputs of a merge
+//! join, aggregate group states and sort buffers. The total rows held by breakers are
+//! tracked and surfaced as [`ExecutionResult::peak_buffered_rows`], which is what lets
+//! the many-to-many JOB join graphs (tens of millions of intermediate rows) execute in
+//! bounded memory instead of materializing every intermediate.
+//!
+//! The batch seam doubles as a suspend/resume point: [`Executor::open`] returns a
+//! [`Pipeline`] that can be pulled one batch at a time, which is the hook a mid-query
+//! re-optimizer (or an async scheduler) needs to pause execution between batches.
 //!
 //! Every executed node produces an [`OperatorMetrics`] record with the estimated and
-//! actual output cardinality and the wall-clock time spent producing it — the
-//! information the paper extracts from `EXPLAIN ANALYZE` to drive re-optimization.
+//! actual output cardinality, the number of batches, and the wall-clock time spent
+//! producing them (self time, excluding children) — the information the paper extracts
+//! from `EXPLAIN ANALYZE` to drive re-optimization.
 
 pub mod error;
 pub mod exec;
 pub mod metrics;
 
 pub use error::ExecError;
-pub use exec::{execute_plan, ExecutionResult, Executor};
+pub use exec::{
+    execute_plan, ExecutionResult, Executor, Pipeline, RowBatch, DEFAULT_BATCH_SIZE,
+};
 pub use metrics::{MetricsNode, OperatorMetrics, QueryMetrics};

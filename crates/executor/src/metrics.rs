@@ -14,8 +14,12 @@ pub struct OperatorMetrics {
     pub is_join: bool,
     /// Estimated output cardinality (from the optimizer).
     pub estimated_rows: f64,
-    /// Actual output cardinality.
+    /// Actual output cardinality: the rows the operator *produced*. Under early
+    /// termination (a LIMIT upstream) this can be fewer than the operator's full
+    /// output would have been.
     pub actual_rows: u64,
+    /// Number of output batches the operator produced.
+    pub batches: u64,
     /// Wall-clock time spent in this operator, excluding its children.
     pub elapsed: Duration,
 }
@@ -96,10 +100,11 @@ impl MetricsNode {
         let indent = "  ".repeat(depth);
         let arrow = if depth == 0 { "" } else { "-> " };
         out.push_str(&format!(
-            "{indent}{arrow}{}  (estimated rows={:.0} actual rows={} q-error={:.2} time={:.3}ms)\n",
+            "{indent}{arrow}{}  (estimated rows={:.0} actual rows={} batches={} q-error={:.2} time={:.3}ms)\n",
             self.metrics.label,
             self.metrics.estimated_rows,
             self.metrics.actual_rows,
+            self.metrics.batches,
             self.metrics.q_error(),
             self.metrics.elapsed.as_secs_f64() * 1e3,
         ));
@@ -129,6 +134,7 @@ mod tests {
             is_join,
             estimated_rows: est,
             actual_rows: actual,
+            batches: 1,
             elapsed: Duration::from_millis(1),
         }
     }

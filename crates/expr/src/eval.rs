@@ -127,6 +127,27 @@ impl Expr {
             })?,
         })
     }
+
+    /// Retain only the rows of the batch that satisfy the predicate, in place — the
+    /// pipelined executor's filter inner loop.
+    /// On evaluation error the batch contents are unspecified and the first error is
+    /// returned.
+    pub fn filter_batch(&self, rows: &mut Vec<Row>) -> Result<(), EvalError> {
+        let mut first_error = None;
+        rows.retain(|row| match self.eval_predicate(row) {
+            Ok(keep) => keep,
+            Err(error) => {
+                if first_error.is_none() {
+                    first_error = Some(error);
+                }
+                false
+            }
+        });
+        match first_error {
+            Some(error) => Err(error),
+            None => Ok(()),
+        }
+    }
 }
 
 fn eval_binary(op: BinaryOp, left: &Expr, right: &Expr, row: &Row) -> Result<Value, EvalError> {
@@ -237,6 +258,36 @@ mod tests {
 
     fn bind(e: Expr) -> Expr {
         e.bind(&schema()).unwrap()
+    }
+
+    #[test]
+    fn filter_batch_retains_matches_and_surfaces_errors() {
+        let predicate = bind(Expr::binary(
+            BinaryOp::Gt,
+            Expr::col("t", "year"),
+            Expr::lit(2000),
+        ));
+        let mut rows = vec![
+            row(1, "a", Some(1999)),
+            row(2, "b", Some(2001)),
+            row(3, "c", None),
+            row(4, "d", Some(2010)),
+        ];
+        predicate.filter_batch(&mut rows).unwrap();
+        let ids: Vec<&Value> = rows.iter().map(|r| r.value(0)).collect();
+        assert_eq!(ids, vec![&Value::Int(2), &Value::Int(4)]);
+
+        // An evaluation error (division by zero) is reported, not swallowed.
+        let exploding = bind(Expr::binary(
+            BinaryOp::Gt,
+            Expr::binary(BinaryOp::Div, Expr::lit(1), Expr::lit(0)),
+            Expr::lit(0),
+        ));
+        let mut rows = vec![row(1, "a", Some(1999))];
+        assert_eq!(
+            exploding.filter_batch(&mut rows),
+            Err(EvalError::DivisionByZero)
+        );
     }
 
     #[test]

@@ -48,6 +48,27 @@ pub trait IndexInfo {
     fn table_rows(&self, rel: usize) -> f64;
 }
 
+/// Which join algorithm (and orientation) won the pricing race for one sub-plan pair.
+enum JoinChoiceKind {
+    /// Hash join; `swapped` means the right input is the probe side.
+    Hash { swapped: bool },
+    /// Sort-merge join.
+    Merge,
+    /// Index nested-loop join; `swapped` means the left input is the indexed inner.
+    IndexNl { swapped: bool },
+    /// Plain nested loop (only priced when nothing else is available).
+    NestedLoop,
+}
+
+/// A priced join decision: the winning algorithm plus the context needed to build the
+/// plan node without re-deriving edges, complex predicates or the output estimate.
+struct JoinChoice<'a> {
+    algorithm: JoinChoiceKind,
+    edges: Vec<&'a crate::spec::JoinEdge>,
+    complex: Vec<Expr>,
+    output_rows: f64,
+}
+
 /// The join enumerator.
 pub struct JoinEnumerator<'a> {
     spec: &'a QuerySpec,
@@ -107,24 +128,31 @@ impl<'a> JoinEnumerator<'a> {
             best.insert(plan.rel_set, plan);
         }
 
-        let mut pairs = enumerate_csg_cmp_pairs(self.graph, n);
-        // Process pairs in increasing size of the joined set so sub-plans exist.
-        pairs.sort_by_key(|(a, b)| a.union(*b).len());
-
+        // Process pairs in increasing size of the joined set so sub-plans exist:
+        // bucket by size (O(pairs)) instead of sorting the whole pair list.
+        let pairs = enumerate_csg_cmp_pairs(self.graph, n);
+        let mut buckets: Vec<Vec<(RelSet, RelSet)>> = vec![Vec::new(); n + 1];
         for (s1, s2) in pairs {
-            let (Some(left), Some(right)) = (best.get(&s1), best.get(&s2)) else {
-                continue;
-            };
-            let Some(candidate) = self.best_join(left, right) else {
-                continue;
-            };
+            buckets[s1.union(s2).len()].push((s1, s2));
+        }
+
+        for (s1, s2) in buckets.into_iter().flatten() {
             let combined = s1.union(s2);
-            match best.get(&combined) {
-                Some(existing) if !candidate.cost.is_cheaper_than(existing.cost) => {}
-                _ => {
-                    best.insert(combined, candidate);
+            let candidate = {
+                let (Some(left), Some(right)) = (best.get(&s1), best.get(&s2)) else {
+                    continue;
+                };
+                // Price every join strategy first; a plan (with its cloned subtrees)
+                // is only materialized when the winner actually improves the DP table.
+                let Some((cost, choice)) = self.cheapest_join(left, right) else {
+                    continue;
+                };
+                match best.get(&combined) {
+                    Some(existing) if !cost.is_cheaper_than(existing.cost) => continue,
+                    _ => self.materialize_join(left, right, &choice),
                 }
-            }
+            };
+            best.insert(combined, candidate);
         }
 
         best.remove(&RelSet::all(n))
@@ -136,28 +164,32 @@ impl<'a> JoinEnumerator<'a> {
     fn greedy(&self, base_plans: Vec<PhysicalPlan>) -> Result<PhysicalPlan, PlanError> {
         let mut components: Vec<PhysicalPlan> = base_plans;
         while components.len() > 1 {
-            let mut best_pair: Option<(usize, usize, PhysicalPlan)> = None;
+            let mut best_pair: Option<(usize, usize, crate::cost::Cost, JoinChoice<'a>)> = None;
             for i in 0..components.len() {
                 for j in (i + 1)..components.len() {
-                    let Some(candidate) = self.best_join(&components[i], &components[j]) else {
+                    let Some((cost, choice)) =
+                        self.cheapest_join(&components[i], &components[j])
+                    else {
                         continue;
                     };
                     let better = match &best_pair {
                         None => true,
-                        Some((_, _, current)) => {
-                            candidate.estimated_rows < current.estimated_rows
-                                || (candidate.estimated_rows == current.estimated_rows
-                                    && candidate.cost.is_cheaper_than(current.cost))
+                        Some((_, _, best_cost, best_choice)) => {
+                            choice.output_rows < best_choice.output_rows
+                                || (choice.output_rows == best_choice.output_rows
+                                    && cost.is_cheaper_than(*best_cost))
                         }
                     };
                     if better {
-                        best_pair = Some((i, j, candidate));
+                        best_pair = Some((i, j, cost, choice));
                     }
                 }
             }
-            let Some((i, j, joined)) = best_pair else {
+            // Only the round's winner is materialized into a plan node.
+            let Some((i, j, _, choice)) = best_pair else {
                 return Err(PlanError::DisconnectedJoinGraph);
             };
+            let joined = self.materialize_join(&components[i], &components[j], &choice);
             // Remove j first (it is the larger index).
             components.remove(j);
             components.remove(i);
@@ -173,6 +205,19 @@ impl<'a> JoinEnumerator<'a> {
         left: &PhysicalPlan,
         right: &PhysicalPlan,
     ) -> Option<PhysicalPlan> {
+        let (_, choice) = self.cheapest_join(left, right)?;
+        Some(self.materialize_join(left, right, &choice))
+    }
+
+    /// Price every enabled join strategy for two disjoint sub-plans and return the
+    /// winner's cost plus a descriptor that [`Self::materialize_join`] can turn into a
+    /// plan. Costing does not clone the sub-plans, so losing strategies (and DP
+    /// candidates that never beat the table) cost nothing but arithmetic.
+    fn cheapest_join(
+        &self,
+        left: &PhysicalPlan,
+        right: &PhysicalPlan,
+    ) -> Option<(crate::cost::Cost, JoinChoice<'a>)> {
         let edges = self.spec.edges_between(left.rel_set, right.rel_set);
         if edges.is_empty() {
             return None;
@@ -185,44 +230,188 @@ impl<'a> JoinEnumerator<'a> {
             .into_iter()
             .cloned()
             .collect();
+        // Every edge from `edges_between` spans the two disjoint sets, so each one
+        // orients and contributes a join key.
+        let key_count = edges.len();
 
-        let mut candidates: Vec<PhysicalPlan> = Vec::new();
+        let mut candidates: Vec<(crate::cost::Cost, JoinChoiceKind)> = Vec::new();
 
         // Hash joins, both build directions.
         if self.config.enable_hash_joins {
-            candidates.push(self.hash_join(left, right, &edges, &complex, output_rows));
-            candidates.push(self.hash_join(right, left, &edges, &complex, output_rows));
+            candidates.push((
+                self.cost_model.hash_join(
+                    left.cost,
+                    right.cost,
+                    left.estimated_rows,
+                    right.estimated_rows,
+                    output_rows,
+                    key_count,
+                ),
+                JoinChoiceKind::Hash { swapped: false },
+            ));
+            candidates.push((
+                self.cost_model.hash_join(
+                    right.cost,
+                    left.cost,
+                    right.estimated_rows,
+                    left.estimated_rows,
+                    output_rows,
+                    key_count,
+                ),
+                JoinChoiceKind::Hash { swapped: true },
+            ));
         }
 
         // Merge join (one orientation; cost is symmetric in our model).
         if self.config.enable_merge_joins {
-            candidates.push(self.merge_join(left, right, &edges, &complex, output_rows));
+            candidates.push((
+                self.cost_model.merge_join(
+                    left.cost,
+                    right.cost,
+                    left.estimated_rows,
+                    right.estimated_rows,
+                    output_rows,
+                    key_count,
+                ),
+                JoinChoiceKind::Merge,
+            ));
         }
 
         // Index nested-loop joins when one side is a single base relation with an index
         // on a join-key column.
         if self.config.enable_index_nl_joins {
-            if let Some(plan) = self.index_nl_join(left, right, &edges, &complex, output_rows) {
-                candidates.push(plan);
+            if let Some(cost) = self.index_nl_cost(left, right, &edges, &complex, output_rows) {
+                candidates.push((cost, JoinChoiceKind::IndexNl { swapped: false }));
             }
-            if let Some(plan) = self.index_nl_join(right, left, &edges, &complex, output_rows) {
-                candidates.push(plan);
+            if let Some(cost) = self.index_nl_cost(right, left, &edges, &complex, output_rows) {
+                candidates.push((cost, JoinChoiceKind::IndexNl { swapped: true }));
             }
         }
 
         // Plain nested loop as a last resort (always available once there is an edge).
         if candidates.is_empty() {
-            candidates.push(self.nested_loop_join(left, right, &edges, &complex, output_rows));
+            candidates.push((
+                self.cost_model.nested_loop_join(
+                    left.cost,
+                    right.cost,
+                    left.estimated_rows,
+                    right.estimated_rows,
+                    output_rows,
+                ),
+                JoinChoiceKind::NestedLoop,
+            ));
         }
 
-        candidates
-            .into_iter()
-            .min_by(|a, b| {
-                a.cost
-                    .total
-                    .partial_cmp(&b.cost.total)
-                    .unwrap_or(std::cmp::Ordering::Equal)
-            })
+        let (cost, algorithm) = candidates.into_iter().min_by(|a, b| {
+            a.0.total
+                .partial_cmp(&b.0.total)
+                .unwrap_or(std::cmp::Ordering::Equal)
+        })?;
+        Some((
+            cost,
+            JoinChoice {
+                algorithm,
+                edges,
+                complex,
+                output_rows,
+            },
+        ))
+    }
+
+    /// Build the plan a [`Self::cheapest_join`] descriptor stands for (this is where
+    /// the sub-plans are cloned into the join node).
+    fn materialize_join(
+        &self,
+        left: &PhysicalPlan,
+        right: &PhysicalPlan,
+        choice: &JoinChoice<'a>,
+    ) -> PhysicalPlan {
+        let JoinChoice {
+            algorithm,
+            edges,
+            complex,
+            output_rows,
+        } = choice;
+        match algorithm {
+            JoinChoiceKind::Hash { swapped: false } => {
+                self.hash_join(left, right, edges, complex, *output_rows)
+            }
+            JoinChoiceKind::Hash { swapped: true } => {
+                self.hash_join(right, left, edges, complex, *output_rows)
+            }
+            JoinChoiceKind::Merge => self.merge_join(left, right, edges, complex, *output_rows),
+            JoinChoiceKind::IndexNl { swapped: false } => self
+                .index_nl_join(left, right, edges, complex, *output_rows)
+                .expect("priced index nested-loop candidate materializes"),
+            JoinChoiceKind::IndexNl { swapped: true } => self
+                .index_nl_join(right, left, edges, complex, *output_rows)
+                .expect("priced index nested-loop candidate materializes"),
+            JoinChoiceKind::NestedLoop => {
+                self.nested_loop_join(left, right, edges, complex, *output_rows)
+            }
+        }
+    }
+
+    /// The index-lookup key for an index nested-loop join with `inner` as the single
+    /// indexed base relation: the first orientable edge whose inner-side column has an
+    /// index (a non-orientable edge aborts the candidate, as in the seed enumerator).
+    /// Shared by pricing and materialization so their eligibility cannot drift.
+    fn index_nl_key(
+        &self,
+        inner: &PhysicalPlan,
+        edges: &[&crate::spec::JoinEdge],
+    ) -> Option<(usize, reopt_expr::ColumnRef, reopt_expr::ColumnRef)> {
+        if inner.rel_set.len() != 1 {
+            return None;
+        }
+        let inner_rel = inner.rel_set.min_index().expect("single relation");
+        for (edge_idx, edge) in edges.iter().enumerate() {
+            let (inner_col, outer_col) = edge.oriented(inner.rel_set)?;
+            if self.index_info.has_index(inner_rel, &inner_col.name) {
+                return Some((edge_idx, inner_col, outer_col));
+            }
+        }
+        None
+    }
+
+    /// The cost of an index nested-loop join with `inner_rel` as the indexed base
+    /// relation (shared by [`Self::cheapest_join`] and [`Self::index_nl_join`]).
+    fn index_nl_cost_for(
+        &self,
+        outer: &PhysicalPlan,
+        inner_rel: usize,
+        edge_count: usize,
+        complex_count: usize,
+        output_rows: f64,
+    ) -> crate::cost::Cost {
+        let inner_table_rows = self.index_info.table_rows(inner_rel);
+        let matches_per_lookup =
+            (output_rows / outer.estimated_rows.max(1.0)).clamp(0.1, inner_table_rows);
+        let has_inner_predicate = !self.spec.local_predicates[inner_rel].is_empty();
+        let residual_count = (edge_count - 1) + complex_count + (has_inner_predicate as usize);
+        self.cost_model.index_nested_loop_join(
+            outer.cost,
+            outer.estimated_rows,
+            inner_table_rows,
+            matches_per_lookup,
+            output_rows,
+            residual_count,
+        )
+    }
+
+    /// The cost of an index nested-loop join with `inner` as the indexed base relation,
+    /// if possible (pricing counterpart of [`Self::index_nl_join`]).
+    fn index_nl_cost(
+        &self,
+        outer: &PhysicalPlan,
+        inner: &PhysicalPlan,
+        edges: &[&crate::spec::JoinEdge],
+        complex: &[Expr],
+        output_rows: f64,
+    ) -> Option<crate::cost::Cost> {
+        self.index_nl_key(inner, edges)?;
+        let inner_rel = inner.rel_set.min_index().expect("single relation");
+        Some(self.index_nl_cost_for(outer, inner_rel, edges.len(), complex.len(), output_rows))
     }
 
     fn join_keys(
@@ -334,22 +523,9 @@ impl<'a> JoinEnumerator<'a> {
         complex: &[Expr],
         output_rows: f64,
     ) -> Option<PhysicalPlan> {
-        if inner.rel_set.len() != 1 {
-            return None;
-        }
+        let (chosen_idx, inner_col, outer_col) = self.index_nl_key(inner, edges)?;
         let inner_rel = inner.rel_set.min_index().expect("single relation");
         let relation = &self.spec.relations[inner_rel];
-
-        // Find an edge whose inner-side column has an index.
-        let mut chosen: Option<(usize, reopt_expr::ColumnRef, reopt_expr::ColumnRef)> = None;
-        for (edge_idx, edge) in edges.iter().enumerate() {
-            let (inner_col, outer_col) = edge.oriented(inner.rel_set)?;
-            if self.index_info.has_index(inner_rel, &inner_col.name) {
-                chosen = Some((edge_idx, inner_col, outer_col));
-                break;
-            }
-        }
-        let (chosen_idx, inner_col, outer_col) = chosen?;
 
         // Remaining join edges (beyond the index key) plus complex predicates are
         // residual filters on the joined row.
@@ -362,19 +538,7 @@ impl<'a> JoinEnumerator<'a> {
         residual.extend(complex.iter().cloned());
 
         let inner_predicate = conjoin(&self.spec.local_predicates[inner_rel]);
-        let inner_table_rows = self.index_info.table_rows(inner_rel);
-        let matches_per_lookup =
-            (output_rows / outer.estimated_rows.max(1.0)).clamp(0.1, inner_table_rows);
-        let residual_count = residual.len()
-            + inner_predicate.is_some() as usize;
-        let cost = self.cost_model.index_nested_loop_join(
-            outer.cost,
-            outer.estimated_rows,
-            inner_table_rows,
-            matches_per_lookup,
-            output_rows,
-            residual_count,
-        );
+        let cost = self.index_nl_cost_for(outer, inner_rel, edges.len(), complex.len(), output_rows);
         Some(PhysicalPlan {
             kind: PlanKind::IndexNestedLoopJoin {
                 inner_rel,
@@ -433,10 +597,9 @@ fn emit_csg(graph: &JoinGraph, s1: RelSet, pairs: &mut Vec<(RelSet, RelSet)>) {
     let min = s1.min_index().expect("csg is non-empty");
     let prohibited = s1.union(b_set(min));
     let neighbors = graph.neighbors(s1).difference(prohibited);
-    // Iterate neighbors in descending order, as in the original algorithm.
-    let mut neighbor_indexes: Vec<usize> = neighbors.iter().collect();
-    neighbor_indexes.reverse();
-    for &i in &neighbor_indexes {
+    // Iterate neighbors in descending order, as in the original algorithm
+    // (allocation-free bitset walk from the highest set bit down).
+    for i in neighbors.iter_descending() {
         let s2 = RelSet::single(i);
         pairs.push((s1, s2));
         enumerate_cmp_rec(

@@ -124,6 +124,12 @@ impl RelSet {
         RelSetIter(self.0)
     }
 
+    /// Iterate over the relation indexes in descending order (allocation-free; the
+    /// DPccp enumerator visits neighborhoods highest-index-first).
+    pub fn iter_descending(self) -> impl Iterator<Item = usize> {
+        RelSetIterDesc(self.0)
+    }
+
     /// Iterate over every non-empty subset of this set.
     ///
     /// Uses the standard `(sub - 1) & mask` trick; the number of subsets is
@@ -149,6 +155,22 @@ impl Iterator for RelSetIter {
         } else {
             let index = self.0.trailing_zeros() as usize;
             self.0 &= self.0 - 1;
+            Some(index)
+        }
+    }
+}
+
+struct RelSetIterDesc(u64);
+
+impl Iterator for RelSetIterDesc {
+    type Item = usize;
+
+    fn next(&mut self) -> Option<usize> {
+        if self.0 == 0 {
+            None
+        } else {
+            let index = 63 - self.0.leading_zeros() as usize;
+            self.0 &= !(1u64 << index);
             Some(index)
         }
     }
@@ -245,6 +267,13 @@ mod tests {
         let s = RelSet::from_indexes([9, 1, 4]);
         assert_eq!(s.iter().collect::<Vec<_>>(), vec![1, 4, 9]);
         assert_eq!(s.to_string(), "{1,4,9}");
+    }
+
+    #[test]
+    fn descending_iteration_mirrors_ascending() {
+        let s = RelSet::from_indexes([9, 1, 4, 63, 0]);
+        assert_eq!(s.iter_descending().collect::<Vec<_>>(), vec![63, 9, 4, 1, 0]);
+        assert_eq!(RelSet::EMPTY.iter_descending().count(), 0);
     }
 
     #[test]

@@ -1,0 +1,241 @@
+//! Offline shim for the subset of the `criterion` API used by this workspace.
+//!
+//! See `shims/README.md`. Benches compile unchanged against it; running them
+//! performs a warm-up pass plus a fixed-budget timing loop and prints the
+//! mean wall-clock time per iteration — enough for coarse regression checks,
+//! without criterion's statistical machinery or report output.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Shim of `criterion::BenchmarkId`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> Self {
+        Self {
+            id: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        Self {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(id: &str) -> Self {
+        Self { id: id.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(id: String) -> Self {
+        Self { id }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// Shim of `criterion::Bencher`: runs the closure under a timing loop.
+pub struct Bencher {
+    iters: u64,
+    mean: Duration,
+}
+
+impl Bencher {
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        // Warm-up and a rough per-iteration estimate.
+        let warmup_start = Instant::now();
+        black_box(routine());
+        let per_iter = warmup_start.elapsed().max(Duration::from_nanos(1));
+
+        // Fit the measured iterations into a ~1s budget.
+        let budget = Duration::from_secs(1);
+        let iters = (budget.as_nanos() / per_iter.as_nanos()).clamp(1, self.iters as u128) as u64;
+
+        let start = Instant::now();
+        for _ in 0..iters {
+            black_box(routine());
+        }
+        self.iters = iters;
+        self.mean = start.elapsed() / iters as u32;
+    }
+
+    pub fn iter_with_large_drop<O, F: FnMut() -> O>(&mut self, routine: F) {
+        self.iter(routine)
+    }
+}
+
+/// Shim of `criterion::BenchmarkGroup` (measurement type erased).
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: u64,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n as u64;
+        self
+    }
+
+    pub fn measurement_time(&mut self, _dur: Duration) -> &mut Self {
+        self
+    }
+
+    pub fn warm_up_time(&mut self, _dur: Duration) -> &mut Self {
+        self
+    }
+
+    pub fn throughput(&mut self, _throughput: Throughput) -> &mut Self {
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, id.into());
+        let samples = self.sample_size;
+        self.criterion.run_one(&full, samples, f);
+        self
+    }
+
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        self.bench_function(id, |b| f(b, input))
+    }
+
+    pub fn finish(self) {}
+}
+
+/// Shim of `criterion::Throughput`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Throughput {
+    Bytes(u64),
+    Elements(u64),
+}
+
+/// Shim of `criterion::Criterion`.
+pub struct Criterion {
+    default_sample_size: u64,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self {
+            default_sample_size: 100,
+        }
+    }
+}
+
+impl Criterion {
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let sample_size = self.default_sample_size;
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            sample_size,
+        }
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into().to_string();
+        let samples = self.default_sample_size;
+        self.run_one(&id, samples, f);
+        self
+    }
+
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.default_sample_size = n as u64;
+        self
+    }
+
+    /// Final-summary hook emitted by `criterion_main!`; a no-op in the shim.
+    pub fn final_summary(&mut self) {}
+
+    fn run_one<F: FnMut(&mut Bencher)>(&mut self, id: &str, sample_size: u64, mut f: F) {
+        let mut bencher = Bencher {
+            iters: sample_size.max(1),
+            mean: Duration::ZERO,
+        };
+        f(&mut bencher);
+        println!(
+            "{id:<60} {:>12.3} µs/iter ({} iters)",
+            bencher.mean.as_nanos() as f64 / 1_000.0,
+            bencher.iters
+        );
+    }
+}
+
+/// Shim of `criterion::criterion_group!`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Shim of `criterion::criterion_main!`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_runs_routine_and_records_mean() {
+        let mut c = Criterion::default();
+        let mut ran = 0u64;
+        c.sample_size(5).bench_function("shim_smoke", |b| {
+            b.iter(|| {
+                ran += 1;
+                black_box(ran)
+            })
+        });
+        assert!(ran >= 2, "warm-up plus at least one measured iteration");
+    }
+
+    #[test]
+    fn groups_compose_names() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("g");
+        group.sample_size(2).bench_function("f", |b| b.iter(|| 1 + 1));
+        group.bench_with_input(BenchmarkId::from_parameter(42), &42, |b, &x| {
+            b.iter(|| x * 2)
+        });
+        group.finish();
+    }
+}

@@ -5,8 +5,10 @@ use reopt_repro::core::{
     execute_with_reoptimization, q_error, Database, PerfectOracle, ReoptConfig, ReoptMode,
     SelectiveConfig,
 };
+use reopt_repro::executor::{execute_plan, Executor};
+use reopt_repro::planner::{CardinalityOverrides, Optimizer, OptimizerConfig, PlannedQuery};
 use reopt_repro::sql::parse_sql;
-use reopt_repro::workload::job::{job_queries, job_query};
+use reopt_repro::workload::job::{job_queries, job_query, JobQuery};
 use reopt_repro::workload::{load_imdb, load_nasdaq, ImdbConfig, NasdaqConfig, APPL_QUERY};
 
 fn imdb_database() -> Database {
@@ -15,44 +17,53 @@ fn imdb_database() -> Database {
     db
 }
 
+/// Plan a suite query with greedy enumeration (exhaustive DPccp on the 14- and 17-table
+/// families would dominate test time; greedy still runs the whole binder/estimator
+/// stack).
+fn plan_greedy(db: &Database, query: &JobQuery) -> PlannedQuery {
+    let statement = parse_sql(&query.sql).unwrap();
+    let select = statement.query().unwrap().clone();
+    let optimizer = Optimizer::new(OptimizerConfig {
+        greedy_threshold: 8,
+        ..Default::default()
+    });
+    optimizer
+        .plan_select(
+            &select,
+            db.storage(),
+            db.catalog(),
+            &CardinalityOverrides::new(),
+        )
+        .unwrap_or_else(|e| panic!("query {} failed to plan: {e}", query.id))
+}
+
 #[test]
 fn a_cross_section_of_the_suite_plans_and_executes() {
     let mut db = imdb_database();
     // One query per family keeps the runtime reasonable while touching every join graph.
-    //
-    // The 14- and 17-table families (20 and 21) are planned but not executed: the
-    // executor materializes every operator's full output, and the many-to-many
-    // fan-out of those join graphs produces tens of millions of intermediate rows
-    // even at tiny scale (see ROADMAP "Open items"). Their planning still runs the
-    // whole binder/estimator/enumerator stack; greedy enumeration keeps it fast.
+    // The 14- and 17-table families (20 and 21) are planned greedily (exhaustive DPccp
+    // needs seconds per query); family 20 executes here too, while family 21's 17-table
+    // fan-out at this scale (~240M joined rows) is CPU-bound even pipelined, so its
+    // end-to-end execution runs at a smaller scale in
+    // `large_job_families_execute_with_bounded_memory`.
     let mut seen_families = std::collections::HashSet::new();
     for query in job_queries() {
         if !seen_families.insert(query.family) {
             continue;
         }
         if query.table_count > 12 {
-            let statement = parse_sql(&query.sql).unwrap();
-            let select = statement.query().unwrap().clone();
-            let optimizer = reopt_repro::planner::Optimizer::new(
-                reopt_repro::planner::OptimizerConfig {
-                    greedy_threshold: 8,
-                    ..Default::default()
-                },
-            );
-            let planned = optimizer
-                .plan_select(
-                    &select,
-                    db.storage(),
-                    db.catalog(),
-                    &reopt_repro::planner::CardinalityOverrides::new(),
-                )
-                .unwrap_or_else(|e| panic!("query {} failed to plan: {e}", query.id));
+            let planned = plan_greedy(&db, &query);
             assert_eq!(
                 planned.plan.rel_set.len(),
                 query.table_count,
                 "plan of {} covers all relations",
                 query.id
             );
+            if query.table_count <= 14 {
+                let result = execute_plan(&planned.plan, db.storage())
+                    .unwrap_or_else(|e| panic!("query {} failed to execute: {e}", query.id));
+                assert_eq!(result.rows.len(), 1, "aggregate query {} returns one row", query.id);
+            }
             continue;
         }
         let output = db
@@ -66,6 +77,88 @@ fn a_cross_section_of_the_suite_plans_and_executes() {
             "plan of {} covers all relations",
             query.id
         );
+    }
+}
+
+#[test]
+fn large_job_families_execute_with_bounded_memory() {
+    // Families 20 (14 tables) and 21 (17 tables) were plan-only under the seed
+    // executor: their many-to-many join graphs fan out to tens of millions of
+    // materialized intermediate rows. The pipelined executor streams that fan-out
+    // through the final aggregate, so peak buffered state is bounded by the pipeline
+    // breakers (hash-join build sides, aggregate groups), not the join fan-out.
+    // Scale 0.02 keeps family 21's ~14M joined rows inside the test budget while
+    // still dwarfing the buffered state by orders of magnitude.
+    let mut db = Database::new();
+    load_imdb(&mut db, &ImdbConfig { scale: 0.02, seed: 9 }).unwrap();
+    for id in ["20a", "21a"] {
+        let query = job_query(id).unwrap();
+        let planned = plan_greedy(&db, &query);
+        let result = execute_plan(&planned.plan, db.storage())
+            .unwrap_or_else(|e| panic!("query {id} failed to execute: {e}"));
+        assert_eq!(result.rows.len(), 1, "aggregate query {id} returns one row");
+
+        let fan_out = result
+            .metrics
+            .root
+            .joins_bottom_up()
+            .iter()
+            .map(|j| j.actual_rows)
+            .max()
+            .expect("query has joins");
+        assert!(
+            result.peak_buffered_rows > 0,
+            "{id}: pipeline breakers must report buffered state"
+        );
+        assert!(
+            result.peak_buffered_rows < fan_out,
+            "{id}: peak buffered rows {} must stay below the join fan-out {}",
+            result.peak_buffered_rows,
+            fan_out
+        );
+    }
+}
+
+#[test]
+fn pipelined_results_match_materialized_execution() {
+    // Cross-check: for one query per executable family, the pipelined executor
+    // (default batches) must produce the same rows as an effectively materializing
+    // run (a batch size larger than any intermediate — the seed executor's
+    // operator-at-a-time regime) and as a batch-size-1 run on the smaller families.
+    let mut db = Database::new();
+    load_imdb(&mut db, &ImdbConfig { scale: 0.02, seed: 9 }).unwrap();
+    let sort_rows = |mut rows: Vec<reopt_repro::storage::Row>| {
+        rows.sort_by_key(|row| format!("{row}"));
+        rows
+    };
+    let mut seen_families = std::collections::HashSet::new();
+    for query in job_queries() {
+        if !seen_families.insert(query.family) || query.table_count > 12 {
+            continue;
+        }
+        let planned = plan_greedy(&db, &query);
+        let pipelined = execute_plan(&planned.plan, db.storage())
+            .unwrap_or_else(|e| panic!("query {} failed: {e}", query.id));
+        let materialized = Executor::with_batch_size(db.storage(), usize::MAX)
+            .execute(&planned.plan)
+            .unwrap_or_else(|e| panic!("query {} failed materialized: {e}", query.id));
+        assert_eq!(
+            sort_rows(pipelined.rows.clone()),
+            sort_rows(materialized.rows),
+            "query {}: pipelined and materialized executions disagree",
+            query.id
+        );
+        if query.table_count <= 6 {
+            let row_at_a_time = Executor::with_batch_size(db.storage(), 1)
+                .execute(&planned.plan)
+                .unwrap_or_else(|e| panic!("query {} failed at batch size 1: {e}", query.id));
+            assert_eq!(
+                sort_rows(pipelined.rows),
+                sort_rows(row_at_a_time.rows),
+                "query {}: batch-size-1 execution disagrees",
+                query.id
+            );
+        }
     }
 }
 
