@@ -1,10 +1,13 @@
 //! Re-optimization overhead benchmarks: the cost of a plain execution vs. the
-//! materialize-and-replan scheme vs. the inject-only ablation, on a query with a badly
-//! under-estimated skewed join.
+//! materialize-and-replan scheme vs. the inject-only ablation vs. true mid-query
+//! re-optimization (suspend at the breaker, reuse the build state, re-plan the
+//! remainder), on a query with a badly under-estimated skewed join.
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use reopt_bench::{Harness, HarnessConfig};
-use reopt_core::{execute_with_reoptimization, ReoptConfig, ReoptMode};
+use reopt_core::{execute_with_reoptimization, Database, ReoptConfig, ReoptMode};
+use reopt_planner::OptimizerConfig;
+use reopt_workload::{job_queries, load_imdb, ImdbConfig};
 
 fn harness() -> Harness {
     Harness::new(HarnessConfig {
@@ -48,6 +51,53 @@ fn reoptimization_modes(c: &mut Criterion) {
     group.finish();
 }
 
+/// Mid-query re-optimization against the restart-based scheme on the same skewed
+/// query: the mode pays one partial run up to the suspension (whose breaker build is
+/// *reused* as a virtual leaf) instead of a full detection restart plus a
+/// re-materialization. Hash-join-only plans are forced so the mis-estimated subtree
+/// lands on a build side — the default plans here lean on index-nested-loop joins,
+/// whose base-table inners give a mid-query monitor nothing to suspend on.
+fn mid_query(c: &mut Criterion) {
+    let mut db = Database::with_config(OptimizerConfig {
+        enable_index_scans: false,
+        enable_index_nl_joins: false,
+        enable_merge_joins: false,
+        ..Default::default()
+    });
+    load_imdb(&mut db, &ImdbConfig { scale: 0.03, seed: 19 }).expect("imdb loads");
+    // Family 10's join-crossing correlation mis-estimates a mid-plan hash build by
+    // three orders of magnitude.
+    let query = job_queries()
+        .into_iter()
+        .find(|q| q.id == "10a")
+        .unwrap();
+
+    let mut group = c.benchmark_group("mid_query");
+    group.sample_size(10);
+    group.bench_function("plain_execution", |b| {
+        b.iter(|| db.execute(&query.sql).expect("runs"));
+    });
+    for (label, mode) in [
+        ("materialize_and_replan", ReoptMode::Materialize),
+        ("mid_query_replan", ReoptMode::MidQuery),
+    ] {
+        group.bench_function(label, |b| {
+            let config = ReoptConfig {
+                threshold: 8.0,
+                mode,
+                ..ReoptConfig::default()
+            };
+            b.iter(|| {
+                let report =
+                    execute_with_reoptimization(&mut db, &query.sql, &config).expect("runs");
+                assert!(report.reoptimized(), "{label} must trigger on 10a");
+                report
+            });
+        });
+    }
+    group.finish();
+}
+
 fn threshold_sensitivity(c: &mut Criterion) {
     let mut harness = harness();
     let query = harness
@@ -69,5 +119,5 @@ fn threshold_sensitivity(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, reoptimization_modes, threshold_sensitivity);
+criterion_group!(benches, reoptimization_modes, mid_query, threshold_sensitivity);
 criterion_main!(benches);

@@ -1,9 +1,10 @@
 //! Release-mode perf/correctness smoke for CI.
 //!
-//! Executes one mid-size JOB query (12 tables) under plain execution and under both
-//! re-optimization modes, checks that all three agree on the result, and prints the
-//! timings plus the executor's peak buffered-row count. Exits non-zero on any
-//! divergence, which is what gates result-correctness regressions in CI.
+//! Executes one mid-size JOB query (12 tables) under plain execution and under all
+//! three re-optimization modes (Materialize, InjectOnly, MidQuery), checks that all
+//! four agree on the result, and prints the timings plus the executor's peak
+//! buffered-row count. Exits non-zero on any divergence, which is what gates
+//! result-correctness regressions in CI.
 //!
 //! ```text
 //! cargo run --release -p reopt-bench --bin perf_smoke
@@ -60,7 +61,7 @@ fn main() {
     );
 
     let mut failed = false;
-    for mode in [ReoptMode::Materialize, ReoptMode::InjectOnly] {
+    for mode in [ReoptMode::Materialize, ReoptMode::InjectOnly, ReoptMode::MidQuery] {
         let config = ReoptConfig {
             threshold: 8.0,
             mode,
@@ -69,10 +70,16 @@ fn main() {
         let start = Instant::now();
         match execute_with_reoptimization(&mut harness.db, &query.sql, &config) {
             Ok(report) => {
+                let reused: u64 = report
+                    .rounds
+                    .iter()
+                    .filter_map(|round| round.reused_rows)
+                    .sum();
                 println!(
-                    "perf_smoke: {QUERY_ID} {mode:?}  {:>8.3}s  (rounds {}, peak buffered rows {})",
+                    "perf_smoke: {QUERY_ID} {mode:?}  {:>8.3}s  (rounds {}, reused rows {}, peak buffered rows {})",
                     start.elapsed().as_secs_f64(),
                     report.rounds.len(),
+                    reused,
                     report.peak_buffered_rows
                 );
                 if report.final_rows != plain.rows {
@@ -94,5 +101,5 @@ fn main() {
     if failed {
         std::process::exit(1);
     }
-    println!("perf_smoke: all modes agree");
+    println!("perf_smoke: all four modes agree");
 }

@@ -1,5 +1,5 @@
 //! One module per table / figure of the paper. Every experiment takes the shared
-//! [`Harness`](crate::Harness) and returns the text it printed, so the binary can both
+//! [`Harness`] and returns the text it printed, so the binary can both
 //! display and archive results.
 
 pub mod figure1;

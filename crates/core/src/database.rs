@@ -182,7 +182,72 @@ impl Database {
         Ok((planned, start.elapsed()))
     }
 
+    /// Plan an already-bound query (e.g. a collapsed spec produced by
+    /// [`reopt_planner::collapse_spec`]) with extra overrides merged on top of the
+    /// session ones. Used by the mid-query re-optimization controller, whose rewritten
+    /// queries exist only as specs — their virtual leaf tables have no SQL form.
+    pub fn plan_bound_with_overrides(
+        &self,
+        spec: QuerySpec,
+        extra: &CardinalityOverrides,
+    ) -> Result<(PlannedQuery, Duration), DbError> {
+        let mut merged = self.overrides.clone();
+        merged.merge(extra);
+        let start = Instant::now();
+        let planned = self
+            .optimizer
+            .plan_spec(spec, &self.storage, &self.catalog, &merged)?;
+        Ok((planned, start.elapsed()))
+    }
+
+    /// Register already-materialized rows as a temporary table and ANALYZE it, so the
+    /// next planning round sees its true cardinality. The schema may carry qualified
+    /// column names (the mid-query controller registers breaker state whose columns
+    /// keep their original relation aliases). Dropped by
+    /// [`Database::drop_temporary_tables`] like every other temporary table.
+    pub fn register_materialized_table(
+        &mut self,
+        name: &str,
+        schema: Schema,
+        rows: Vec<Row>,
+    ) -> Result<(), DbError> {
+        let mut table = Table::with_rows(name, schema, rows);
+        table.set_temporary(true);
+        self.storage.create_or_replace_table(table);
+        self.catalog.analyze(&self.storage, name)?;
+        Ok(())
+    }
+
     /// Parse and execute a single SQL statement.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use reopt_core::Database;
+    /// use reopt_storage::{Column, DataType, Row, Schema, Table, Value};
+    ///
+    /// let mut db = Database::new();
+    /// let mut movies = Table::new(
+    ///     "movies",
+    ///     Schema::new(vec![
+    ///         Column::not_null("id", DataType::Int),
+    ///         Column::new("year", DataType::Int),
+    ///     ]),
+    /// );
+    /// for i in 0..10i64 {
+    ///     movies
+    ///         .push_row(Row::from_values(vec![i.into(), (2000 + i).into()]))
+    ///         .unwrap();
+    /// }
+    /// db.create_table(movies).unwrap();
+    /// db.analyze_all().unwrap();
+    ///
+    /// let output = db
+    ///     .execute("SELECT count(*) AS c FROM movies AS m WHERE m.year >= 2005")
+    ///     .unwrap();
+    /// assert_eq!(output.rows[0].value(0), &Value::Int(5));
+    /// assert!(output.metrics.is_some()); // EXPLAIN ANALYZE style metrics come free
+    /// ```
     pub fn execute(&mut self, sql: &str) -> Result<QueryOutput, DbError> {
         let statement = parse_sql(sql)?;
         self.execute_statement(&statement)
@@ -353,7 +418,13 @@ pub(crate) mod tests {
 
     /// A tiny movies/keywords database used across the core tests.
     pub(crate) fn test_database() -> Database {
-        let mut db = Database::new();
+        test_database_with_config(OptimizerConfig::default())
+    }
+
+    /// The same database with a custom optimizer configuration (used by tests that
+    /// need a deterministic plan shape, e.g. hash joins only).
+    pub(crate) fn test_database_with_config(config: OptimizerConfig) -> Database {
+        let mut db = Database::with_config(config);
 
         let mut title = Table::new(
             "title",

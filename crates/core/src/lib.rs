@@ -34,6 +34,6 @@ pub use database::{Database, QueryOutput};
 pub use error::DbError;
 pub use oracle::{connected_subsets_up_to, PerfectOracle};
 pub use qerror::{q_error, DEFAULT_REOPT_THRESHOLD};
-pub use reopt::{execute_with_reoptimization, ReoptConfig, ReoptMode, ReoptReport, ReoptRound};
+pub use reopt::{execute_with_reoptimization, ReoptConfig, ReoptMode, ReoptReport, ReoptRound, ReoptRoundKind};
 pub use report::{relative_runtime_buckets, QueryRun, RuntimeBucket, WorkloadRun};
 pub use selective::{selective_improvement, SelectiveConfig, SelectiveIteration};

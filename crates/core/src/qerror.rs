@@ -6,7 +6,7 @@ pub const DEFAULT_REOPT_THRESHOLD: f64 = 32.0;
 
 /// The Q-error of an estimate: `max(estimated/actual, actual/estimated)`, with both
 /// sides clamped to at least one row. A perfect estimate has Q-error 1; the metric is
-/// symmetric in over- and under-estimation (Moerkotte, Neumann & Steidl, reference [36]
+/// symmetric in over- and under-estimation (Moerkotte, Neumann & Steidl, reference \[36\]
 /// of the paper).
 pub fn q_error(estimated: f64, actual: f64) -> f64 {
     let estimated = estimated.max(1.0);

@@ -17,25 +17,55 @@
 //! of the simulation, not of the simulated system). Both are surfaced separately in the
 //! [`ReoptReport`], along with the detection cost for transparency.
 //!
-//! Two modes are provided:
+//! Three modes are provided:
 //!
 //! * [`ReoptMode::Materialize`] — the paper's scheme (temporary tables, full
 //!   materialization cost, statistics on the temp table give the re-planner the true
-//!   cardinality of the materialized sub-join).
+//!   cardinality of the materialized sub-join). Detection requires a *restart*: a full
+//!   execution of the current query whose per-join true cardinalities are compared
+//!   against the estimates afterwards.
 //! * [`ReoptMode::InjectOnly`] — an optimistic variant that skips materialization and
 //!   only injects the observed cardinality before re-planning the *original* query; it
 //!   bounds from below the cost a more sophisticated in-flight re-optimizer (e.g.
 //!   Rio-style proactive plans) could achieve, and is used by the ablation benches.
+//! * [`ReoptMode::MidQuery`] — goes beyond the paper: true *mid-flight*
+//!   re-optimization on the executor's batch seam. A
+//!   [`BreakerMonitor`] watches every
+//!   pipeline-breaker completion (hash-join build drained, nested-loop inner
+//!   buffered, merge/aggregate/sort input consumed — the first points where true
+//!   subtree cardinalities exist, even under a LIMIT). When a completed, reusable
+//!   subtree's q-error exceeds the threshold, execution suspends; the breaker's rows
+//!   are registered as a virtual leaf table with true statistics, the remaining join
+//!   order is re-planned from the collapsed query
+//!   ([`reopt_planner::collapse_spec`]) with every observed cardinality re-injected
+//!   ([`reopt_planner::remap_rel_set`]), and execution resumes on the new plan —
+//!   reusing the already-built state instead of re-executing it.
+//!
+//! Detection in the restart modes only consumes **exhausted** operator counts
+//! ([`OperatorMetrics::exhausted`](reopt_executor::OperatorMetrics::exhausted)):
+//! operators truncated by early termination under a LIMIT report partial
+//! `actual_rows`, which must never be mistaken for true cardinalities. Fully-drained
+//! operators (including every breaker input) are fair game, which makes *detection*
+//! under LIMIT safe; the *rewrite* additionally requires the output to be
+//! plan-order-insensitive (single-row aggregates — see `reopt_safe_under_limit`),
+//! because a multi-row output truncated by a LIMIT could keep a different subset
+//! under a different join order.
 
 use crate::database::Database;
 use crate::error::DbError;
-use crate::qerror::DEFAULT_REOPT_THRESHOLD;
+use crate::qerror::{q_error, DEFAULT_REOPT_THRESHOLD};
+use reopt_executor::{
+    BreakerDecision, BreakerEvent, BreakerMonitor, BreakerState, ExecError, Executor,
+    QueryMetrics,
+};
 use reopt_expr::{ColumnRef, Expr};
-use reopt_planner::{CardinalityOverrides, QuerySpec, RelSet};
+use reopt_planner::{collapse_spec, remap_rel_set, CardinalityOverrides, QuerySpec, RelSet};
 use reopt_sql::{parse_sql, SelectExpr, SelectItem, SelectStatement, Statement, TableRef};
 use reopt_storage::Row;
+use std::cell::RefCell;
 use std::collections::BTreeSet;
-use std::time::Duration;
+use std::rc::Rc;
+use std::time::{Duration, Instant};
 
 /// How the controller applies what it learned from a mis-estimated join.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -46,6 +76,31 @@ pub enum ReoptMode {
     /// Only inject the observed cardinality into the estimator and re-plan the original
     /// query (no materialization cost; an optimistic lower bound).
     InjectOnly,
+    /// Suspend the running pipeline at the pipeline-breaker boundary where the
+    /// mis-estimate surfaced, reuse the completed breaker state as a virtual leaf
+    /// table, and re-plan only the remaining join order (true mid-query
+    /// re-optimization; no detection restart, no re-execution of finished work).
+    MidQuery,
+}
+
+/// Whether a round restarted the query or re-planned it mid-flight.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReoptRoundKind {
+    /// The round came from a detection run that executed the query to completion and
+    /// restarted it ([`ReoptMode::Materialize`] / [`ReoptMode::InjectOnly`]).
+    Restart,
+    /// The round suspended a running pipeline at a breaker boundary and resumed on a
+    /// re-planned remainder ([`ReoptMode::MidQuery`]).
+    MidQuery,
+}
+
+impl std::fmt::Display for ReoptRoundKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ReoptRoundKind::Restart => write!(f, "restart"),
+            ReoptRoundKind::MidQuery => write!(f, "mid-query"),
+        }
+    }
 }
 
 /// Re-optimization configuration.
@@ -71,6 +126,24 @@ impl Default for ReoptConfig {
 
 impl ReoptConfig {
     /// A configuration with a specific threshold (used by the Figure-7 sweep).
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use reopt_core::{ReoptConfig, ReoptMode};
+    ///
+    /// // The paper's configuration: materialize-and-replan at q-error 32.
+    /// let config = ReoptConfig::default();
+    /// assert_eq!(config.threshold, 32.0);
+    /// assert_eq!(config.mode, ReoptMode::Materialize);
+    ///
+    /// // A mid-query configuration with a custom trigger threshold.
+    /// let config = ReoptConfig {
+    ///     mode: ReoptMode::MidQuery,
+    ///     ..ReoptConfig::with_threshold(8.0)
+    /// };
+    /// assert_eq!(config.threshold, 8.0);
+    /// ```
     pub fn with_threshold(threshold: f64) -> Self {
         Self {
             threshold,
@@ -82,10 +155,12 @@ impl ReoptConfig {
 /// One re-optimization round.
 #[derive(Debug, Clone)]
 pub struct ReoptRound {
+    /// Whether this round restarted the query or re-planned it mid-flight.
+    pub kind: ReoptRoundKind,
     /// The aliases of the relations that were materialized (or whose cardinality was
     /// injected).
     pub materialized_aliases: Vec<String>,
-    /// The temporary table name (Materialize mode only).
+    /// The temporary table name (Materialize and MidQuery modes).
     pub temp_table: Option<String>,
     /// The optimizer's estimate for the offending join.
     pub estimated_rows: f64,
@@ -95,8 +170,12 @@ pub struct ReoptRound {
     pub q_error: f64,
     /// The `CREATE TEMP TABLE` statement issued (Materialize mode only), as SQL text.
     pub create_sql: Option<String>,
-    /// Execution time of the materialization.
+    /// Execution time of the materialization. For mid-query rounds this is only the
+    /// cost of registering and analyzing the already-built breaker state.
     pub materialization_time: Duration,
+    /// Rows of completed breaker state carried into the re-planned remainder instead
+    /// of being re-executed (MidQuery rounds only).
+    pub reused_rows: Option<u64>,
 }
 
 /// The outcome of running a query under the re-optimization scheme.
@@ -116,8 +195,14 @@ pub struct ReoptReport {
     /// Largest peak of pipeline-breaker buffered rows across every executed statement
     /// (detection runs, materializations and the final SELECT).
     pub peak_buffered_rows: u64,
-    /// The final re-optimized script (CREATE TEMP TABLE statements + final SELECT).
+    /// The final re-optimized script (CREATE TEMP TABLE statements + final SELECT; for
+    /// mid-query rounds, comment lines describing the reused breaker state + the
+    /// collapsed final SELECT over the virtual tables).
     pub final_sql: String,
+    /// The metrics tree of the final execution, when one ran to completion. Lets
+    /// callers verify plan shape and state reuse (a mid-query round's virtual table
+    /// appears as a scan whose `actual_rows` equals the reused row count).
+    pub final_metrics: Option<QueryMetrics>,
 }
 
 impl ReoptReport {
@@ -146,7 +231,34 @@ pub fn execute_with_reoptimization(
     match config.mode {
         ReoptMode::Materialize => materialize_loop(db, select, config),
         ReoptMode::InjectOnly => inject_loop(db, select, config),
+        ReoptMode::MidQuery => mid_query_loop(db, select, config),
     }
+}
+
+/// Whether the SELECT list contains a wildcard. Wildcard queries have no projection
+/// node, so their output column order follows the join order — re-planning could
+/// silently permute the output. Every mode runs them plain.
+fn has_wildcard(select: &SelectStatement) -> bool {
+    select
+        .items
+        .iter()
+        .any(|item| matches!(item.expr, SelectExpr::Wildcard))
+}
+
+/// Whether re-planning this query can change *which* rows a LIMIT keeps. Detection
+/// under a LIMIT is sound (the `exhausted` flags guarantee only true cardinalities
+/// are consumed), but the *rewrite* is only result-preserving when the output is
+/// plan-order-insensitive: a multi-row output (plain projection, or GROUP BY groups
+/// emitted in first-seen order) truncated by a LIMIT would keep a different subset
+/// under a different join order. A single-row aggregate — the common benchmark shape
+/// — can never be truncated, so those queries stay re-optimizable under LIMIT.
+fn reopt_safe_under_limit(select: &SelectStatement) -> bool {
+    select.limit.is_none()
+        || (select.group_by.is_empty()
+            && select
+                .items
+                .iter()
+                .any(|item| matches!(item.expr, SelectExpr::Aggregate { .. })))
 }
 
 fn materialize_loop(
@@ -166,16 +278,13 @@ fn materialize_loop(
     // A wildcard select cannot be rewritten around a temp table: the rewrite
     // renames subset columns to their mangled `alias_column` form (and the
     // empty-`needed` fallback projects a placeholder), so `SELECT *` over the
-    // rewritten FROM list would change the output schema. A query with a LIMIT
-    // cannot be *detected* on: the pipelined executor stops pulling once the
-    // limit is satisfied, so join actual_rows are truncated counts and their
-    // q-errors are meaningless. Execute such queries once, unrewritten, and
-    // report no rounds.
-    let rewritable = current.limit.is_none()
-        && !current
-            .items
-            .iter()
-            .any(|item| matches!(item.expr, SelectExpr::Wildcard));
+    // rewritten FROM list would change the output schema. Execute such queries
+    // once, unrewritten, and report no rounds. Queries with a LIMIT *are*
+    // detectable when their output cannot be order-sensitively truncated
+    // (`reopt_safe_under_limit`): the per-operator `exhausted` flag filters out
+    // joins whose actual_rows were truncated by early termination, so only true
+    // cardinalities ever reach the q-error comparison.
+    let rewritable = !has_wildcard(&current) && reopt_safe_under_limit(&current);
 
     loop {
         let output = db.execute_select(&current)?;
@@ -189,7 +298,7 @@ fn materialize_loop(
                 .root
                 .joins_bottom_up()
                 .into_iter()
-                .find(|join| join.q_error() > config.threshold)
+                .find(|join| join.exhausted && join.q_error() > config.threshold)
                 .cloned()
         } else {
             None
@@ -211,6 +320,7 @@ fn materialize_loop(
                 detection_time,
                 peak_buffered_rows,
                 final_sql,
+                final_metrics: output.metrics,
             };
             db.drop_temporary_tables();
             return Ok(report);
@@ -244,6 +354,7 @@ fn materialize_loop(
         peak_buffered_rows = peak_buffered_rows.max(create_output.peak_buffered_rows);
 
         rounds.push(ReoptRound {
+            kind: ReoptRoundKind::Restart,
             materialized_aliases: aliases,
             temp_table: Some(temp_name),
             estimated_rows: bad_join.estimated_rows,
@@ -251,6 +362,7 @@ fn materialize_loop(
             q_error: bad_join.q_error(),
             create_sql: Some(create_statement.to_sql()),
             materialization_time: create_output.execution_time,
+            reused_rows: None,
         });
         created_sql.push(format!("{};", create_statement.to_sql()));
         current = rewritten;
@@ -267,9 +379,11 @@ fn inject_loop(
     let mut planning_time = Duration::ZERO;
     let mut detection_time = Duration::ZERO;
     let mut peak_buffered_rows = 0u64;
-    // As in `materialize_loop`: under a LIMIT the pipelined executor's join
-    // actual_rows are truncated counts, so never treat them as true cardinalities.
-    let detectable = original.limit.is_none();
+    // A re-planned wildcard query could permute its output columns (no projection
+    // node); run such queries plain. LIMIT queries are detectable via the
+    // per-operator `exhausted` flag when their output cannot be order-sensitively
+    // truncated, as in `materialize_loop`.
+    let detectable = !has_wildcard(&original) && reopt_safe_under_limit(&original);
 
     loop {
         let (planned, plan_time) = db.plan_select_with_overrides(&original, &injected)?;
@@ -283,7 +397,7 @@ fn inject_loop(
                 .root
                 .joins_bottom_up()
                 .into_iter()
-                .find(|join| join.q_error() > config.threshold)
+                .find(|join| join.exhausted && join.q_error() > config.threshold)
                 .cloned()
         } else {
             None
@@ -298,6 +412,7 @@ fn inject_loop(
                 detection_time,
                 peak_buffered_rows,
                 final_sql: format!("{};", original.to_sql()),
+                final_metrics: Some(result.metrics),
             });
         };
         if rounds.len() >= config.max_rounds {
@@ -314,6 +429,7 @@ fn inject_loop(
             .collect();
         injected.set(bad_join.rel_set, bad_join.actual_rows as f64);
         rounds.push(ReoptRound {
+            kind: ReoptRoundKind::Restart,
             materialized_aliases: aliases,
             temp_table: None,
             estimated_rows: bad_join.estimated_rows,
@@ -321,7 +437,283 @@ fn inject_loop(
             q_error: bad_join.q_error(),
             create_sql: None,
             materialization_time: Duration::ZERO,
+            reused_rows: None,
         });
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Mid-query re-optimization
+// ---------------------------------------------------------------------------
+
+/// The policy half of mid-query re-optimization: watches breaker completions, records
+/// every observation (they are all true cardinalities), and suspends execution when a
+/// *reusable* completed subtree — a hash-build side or nested-loop inner that covers a
+/// proper subset of the query's relations — misses its estimate by more than the
+/// threshold.
+struct MidQueryMonitor {
+    threshold: f64,
+    all_relations: RelSet,
+    events: Vec<BreakerEvent>,
+    triggered: Option<BreakerEvent>,
+}
+
+impl MidQueryMonitor {
+    fn new(threshold: f64, all_relations: RelSet) -> Self {
+        Self {
+            threshold,
+            all_relations,
+            events: Vec::new(),
+            triggered: None,
+        }
+    }
+}
+
+impl BreakerMonitor for MidQueryMonitor {
+    fn on_breaker_complete(&mut self, event: &BreakerEvent) -> BreakerDecision {
+        self.events.push(event.clone());
+        // Suspending on a subtree that covers the whole query would gain nothing
+        // (there is no remaining join order to re-plan), and non-reusable state
+        // (merge/aggregate/sort buffers) cannot seed a virtual leaf — those events
+        // are still recorded and re-injected as overrides at the next re-plan.
+        if self.triggered.is_none()
+            && event.reusable
+            && !event.rel_set.is_empty()
+            && event.rel_set.is_proper_subset_of(self.all_relations)
+            && q_error(event.estimated_rows, event.actual_rows as f64) > self.threshold
+        {
+            self.triggered = Some(event.clone());
+            return BreakerDecision::Suspend;
+        }
+        BreakerDecision::Continue
+    }
+}
+
+/// Render a bound (possibly collapsed) query back into a SELECT statement for the
+/// report's `final_sql`. Virtual tables render under their generated names; the text
+/// documents the executed shape, it is not meant to be re-runnable.
+fn spec_to_statement(spec: &QuerySpec) -> SelectStatement {
+    let mut predicates: Vec<Expr> = Vec::new();
+    for rel_predicates in &spec.local_predicates {
+        predicates.extend(rel_predicates.iter().cloned());
+    }
+    for edge in &spec.join_edges {
+        predicates.push(edge.to_expr());
+    }
+    for (_, predicate) in &spec.complex_predicates {
+        predicates.push(predicate.clone());
+    }
+    SelectStatement {
+        items: spec.output.clone(),
+        from: spec
+            .relations
+            .iter()
+            .map(|relation| {
+                if relation.alias.eq_ignore_ascii_case(&relation.table) {
+                    TableRef::new(relation.table.clone())
+                } else {
+                    TableRef::aliased(relation.table.clone(), relation.alias.clone())
+                }
+            })
+            .collect(),
+        where_clause: reopt_expr::conjoin(&predicates),
+        group_by: spec.group_by.clone(),
+        order_by: spec.order_by.clone(),
+        limit: spec.limit,
+    }
+}
+
+/// One pipeline run of the mid-query loop.
+enum MidQueryOutcome {
+    /// The pipeline ran to completion.
+    Completed(Vec<Row>, QueryMetrics),
+    /// The monitor suspended the pipeline; the completed breaker states were
+    /// extracted, and the partial run's execution time is reported for transparency.
+    Suspended(Vec<BreakerState>, Duration),
+    /// A real execution error.
+    Failed(ExecError),
+}
+
+fn mid_query_loop(
+    db: &mut Database,
+    original: SelectStatement,
+    config: &ReoptConfig,
+) -> Result<ReoptReport, DbError> {
+    let result = mid_query_loop_inner(db, original, config);
+    // Virtual tables are session-temporary; never leak them, even on error.
+    db.drop_temporary_tables();
+    result
+}
+
+fn mid_query_loop_inner(
+    db: &mut Database,
+    original: SelectStatement,
+    config: &ReoptConfig,
+) -> Result<ReoptReport, DbError> {
+    let reoptimizable = !has_wildcard(&original) && reopt_safe_under_limit(&original);
+
+    let mut rounds: Vec<ReoptRound> = Vec::new();
+    let mut planning_time = Duration::ZERO;
+    let mut materialization_time = Duration::ZERO;
+    let mut detection_time = Duration::ZERO;
+    let mut peak_buffered_rows = 0u64;
+    // Comment lines describing the reused state, prepended to `final_sql`.
+    let mut annotations: Vec<String> = Vec::new();
+    // Observed true cardinalities, remapped across collapses, re-injected every round.
+    let mut carried = CardinalityOverrides::new();
+    let mut virt_counter = 0usize;
+
+    let (mut planned, plan_time) = db.plan_select(&original)?;
+    planning_time += plan_time;
+
+    loop {
+        // Past the round budget the monitor is simply not installed: the final plan
+        // runs to completion instead of failing the query (unlike the restart modes,
+        // a mid-query round leaves no way to "re-run the original").
+        let monitor = (reoptimizable && rounds.len() < config.max_rounds)
+            .then(|| Rc::new(RefCell::new(MidQueryMonitor::new(
+                config.threshold,
+                planned.spec.all_relations(),
+            ))));
+
+        let outcome = {
+            let executor = Executor::new(db.storage());
+            let handle = monitor
+                .clone()
+                .map(|m| m as Rc<RefCell<dyn BreakerMonitor>>);
+            let mut pipeline = executor.open_monitored(&planned.plan, handle)?;
+            let mut rows: Vec<Row> = Vec::new();
+            let outcome = loop {
+                match pipeline.next_batch() {
+                    Ok(Some(batch)) => rows.extend(batch),
+                    Ok(None) => break MidQueryOutcome::Completed(rows, pipeline.metrics()),
+                    Err(ExecError::Suspended) => {
+                        break MidQueryOutcome::Suspended(
+                            pipeline.take_breaker_states(),
+                            pipeline.metrics().execution_time,
+                        )
+                    }
+                    Err(error) => break MidQueryOutcome::Failed(error),
+                }
+            };
+            peak_buffered_rows = peak_buffered_rows.max(pipeline.peak_buffered_rows());
+            outcome
+        };
+
+        match outcome {
+            MidQueryOutcome::Failed(error) => return Err(error.into()),
+            MidQueryOutcome::Completed(rows, metrics) => {
+                let mut final_sql = annotations.join("\n");
+                if !final_sql.is_empty() {
+                    final_sql.push('\n');
+                }
+                let statement = if rounds.is_empty() {
+                    original
+                } else {
+                    spec_to_statement(&planned.spec)
+                };
+                final_sql.push_str(&statement.to_sql());
+                final_sql.push(';');
+                return Ok(ReoptReport {
+                    rounds,
+                    final_rows: rows,
+                    planning_time,
+                    execution_time: materialization_time + metrics.execution_time,
+                    detection_time,
+                    peak_buffered_rows,
+                    final_sql,
+                    final_metrics: Some(metrics),
+                });
+            }
+            MidQueryOutcome::Suspended(states, partial_time) => {
+                // The suspended run's work is charged to detection_time for parity
+                // with the restart modes, although part of it (the reused breaker
+                // build) is *not* discarded — mid-query's true overhead is lower.
+                detection_time += partial_time;
+                let monitor = monitor.expect("suspension implies a monitor");
+                let trigger = monitor
+                    .borrow()
+                    .triggered
+                    .clone()
+                    .ok_or_else(|| {
+                        DbError::Reoptimization(
+                            "pipeline suspended without a trigger event".into(),
+                        )
+                    })?;
+                let subset = trigger.rel_set;
+                let state = states
+                    .into_iter()
+                    .find(|state| state.rel_set == subset)
+                    .ok_or_else(|| {
+                        DbError::Reoptimization(
+                            "suspended breaker state was not extractable".into(),
+                        )
+                    })?;
+
+                virt_counter += 1;
+                let virt_name = format!("reopt_mq{virt_counter}");
+                let aliases: Vec<String> = subset
+                    .iter()
+                    .map(|rel| planned.spec.relations[rel].alias.clone())
+                    .collect();
+                let reused_rows = state.rows.len() as u64;
+
+                // Register the completed breaker state as a virtual leaf with true
+                // statistics. Registration + ANALYZE is the whole materialization
+                // cost — the rows were already built by the suspended pipeline.
+                let materialize_start = Instant::now();
+                db.register_materialized_table(&virt_name, state.schema.clone(), state.rows)?;
+                let materialize_elapsed = materialize_start.elapsed();
+                materialization_time += materialize_elapsed;
+
+                // Collapse the query around the virtual leaf and re-inject every
+                // observation that survives the re-indexing.
+                let collapsed =
+                    collapse_spec(&planned.spec, subset, &virt_name, &virt_name, state.schema);
+                let mut overrides = CardinalityOverrides::new();
+                for (set, rows) in carried.iter() {
+                    if let Some(mapped) =
+                        remap_rel_set(set, subset, &collapsed.mapping, collapsed.virtual_index)
+                    {
+                        overrides.set(mapped, rows);
+                    }
+                }
+                for event in &monitor.borrow().events {
+                    if let Some(mapped) = remap_rel_set(
+                        event.rel_set,
+                        subset,
+                        &collapsed.mapping,
+                        collapsed.virtual_index,
+                    ) {
+                        overrides.set(mapped, event.actual_rows as f64);
+                    }
+                }
+                carried = overrides;
+
+                annotations.push(format!(
+                    "-- {virt_name}: reused in-flight {:?} state over [{}] ({reused_rows} rows)",
+                    trigger.kind,
+                    aliases.join(", "),
+                ));
+
+                let (replanned, replan_time) =
+                    db.plan_bound_with_overrides(collapsed.spec, &carried)?;
+                planning_time += replan_time;
+                planned = replanned;
+
+                rounds.push(ReoptRound {
+                    kind: ReoptRoundKind::MidQuery,
+                    materialized_aliases: aliases,
+                    temp_table: Some(virt_name),
+                    estimated_rows: trigger.estimated_rows,
+                    actual_rows: trigger.actual_rows,
+                    q_error: q_error(trigger.estimated_rows, trigger.actual_rows as f64),
+                    create_sql: None,
+                    materialization_time: materialize_elapsed,
+                    reused_rows: Some(reused_rows),
+                });
+            }
+        }
     }
 }
 
@@ -644,24 +1036,240 @@ mod tests {
     }
 
     #[test]
-    fn limit_queries_execute_unrewritten() {
-        // Under a LIMIT the pipelined executor stops pulling early, so join
-        // actual_rows are truncated counts; the controller must not mistake them
-        // for true cardinalities (and must not trigger rewrites from them).
+    fn truncated_joins_under_limit_never_trigger() {
+        // The LIMIT stops the executor after 5 of the 300 join rows, so the join's
+        // actual_rows is a truncated count: the metrics must flag it as not exhausted
+        // and detection must ignore it in every mode.
         let mut db = test_database();
         let sql = "SELECT mk.movie_id AS m FROM movie_keyword AS mk, keyword AS k
                    WHERE mk.keyword_id = k.id AND k.keyword = 'kw0' LIMIT 5";
         let expected = db.execute(sql).unwrap();
-        for mode in [ReoptMode::Materialize, ReoptMode::InjectOnly] {
+        let metrics = expected.metrics.as_ref().unwrap();
+        let truncated_joins: Vec<_> = metrics
+            .root
+            .joins_bottom_up()
+            .into_iter()
+            .filter(|join| !join.exhausted)
+            .collect();
+        assert!(
+            !truncated_joins.is_empty(),
+            "early termination must leave the join un-exhausted"
+        );
+        for mode in [ReoptMode::Materialize, ReoptMode::InjectOnly, ReoptMode::MidQuery] {
             let config = ReoptConfig {
                 threshold: 1.1,
                 mode,
                 ..Default::default()
             };
             let report = execute_with_reoptimization(&mut db, sql, &config).unwrap();
-            assert!(!report.reoptimized(), "LIMIT queries must not be rewritten ({mode:?})");
+            assert!(
+                !report.reoptimized(),
+                "truncated counts must not trigger rewrites ({mode:?})"
+            );
             assert_eq!(report.final_rows, expected.rows, "{mode:?} changed the result");
         }
+    }
+
+    #[test]
+    fn order_sensitive_limits_are_never_rewritten() {
+        // The joins below a GROUP BY fully drain (they are exhausted and violate the
+        // threshold), but LIMIT over a multi-group output keeps whichever groups the
+        // plan emits first — re-planning could keep a *different* subset. Every mode
+        // must leave such queries alone.
+        let mut db = test_database();
+        let sql = "SELECT mk.movie_id AS m, count(*) AS c
+                   FROM movie_keyword AS mk, keyword AS k
+                   WHERE mk.keyword_id = k.id AND k.keyword = 'kw0'
+                   GROUP BY mk.movie_id LIMIT 5";
+        let expected = db.execute(sql).unwrap();
+        let metrics = expected.metrics.as_ref().unwrap();
+        assert!(
+            metrics.root.joins_bottom_up().iter().all(|j| j.exhausted),
+            "the aggregate drains the joins even though the limit truncates groups"
+        );
+        for mode in [ReoptMode::Materialize, ReoptMode::InjectOnly, ReoptMode::MidQuery] {
+            let config = ReoptConfig {
+                threshold: 1.1,
+                mode,
+                ..Default::default()
+            };
+            let report = execute_with_reoptimization(&mut db, sql, &config).unwrap();
+            assert!(
+                !report.reoptimized(),
+                "order-sensitive LIMIT output must not be re-optimized ({mode:?})"
+            );
+            assert_eq!(report.final_rows, expected.rows, "{mode:?} changed the result");
+        }
+    }
+
+    #[test]
+    fn exhausted_joins_under_limit_are_detected() {
+        // An aggregate query always produces one row, so LIMIT 5 never terminates
+        // early: every operator drains, the joins are exhausted, and re-optimization
+        // under LIMIT works again (the ROADMAP's "Re-optimization under LIMIT" item).
+        let mut db = test_database();
+        let sql = "SELECT count(*) AS c
+                   FROM title AS t, movie_keyword AS mk, keyword AS k
+                   WHERE t.id = mk.movie_id AND mk.keyword_id = k.id
+                     AND k.keyword = 'kw0' AND t.production_year > 1985 LIMIT 5";
+        let expected = db.execute(sql).unwrap();
+        let metrics = expected.metrics.as_ref().unwrap();
+        assert!(
+            metrics.root.joins_bottom_up().iter().all(|j| j.exhausted),
+            "an aggregate below the limit drains every join"
+        );
+        for mode in [ReoptMode::Materialize, ReoptMode::InjectOnly] {
+            let config = ReoptConfig {
+                threshold: 4.0,
+                mode,
+                ..Default::default()
+            };
+            let report = execute_with_reoptimization(&mut db, sql, &config).unwrap();
+            assert!(
+                report.reoptimized(),
+                "exhausted counts under LIMIT must be detectable ({mode:?})"
+            );
+            assert_eq!(report.final_rows, expected.rows, "{mode:?} changed the result");
+        }
+    }
+
+    /// A database whose plans only use hash joins (and sequential scans), so the
+    /// skewed subtree deterministically lands on a hash-join build side — the state
+    /// the mid-query controller reuses.
+    fn hash_join_only_database() -> Database {
+        crate::database::tests::test_database_with_config(reopt_planner::OptimizerConfig {
+            enable_index_scans: false,
+            enable_index_nl_joins: false,
+            enable_merge_joins: false,
+            ..Default::default()
+        })
+    }
+
+    #[test]
+    fn mid_query_mode_matches_plain_results_and_reuses_build_state() {
+        let mut db = hash_join_only_database();
+        let expected = db.execute(SKEWED_SQL).unwrap();
+
+        let config = ReoptConfig {
+            threshold: 4.0,
+            mode: ReoptMode::MidQuery,
+            ..Default::default()
+        };
+        let report = execute_with_reoptimization(&mut db, SKEWED_SQL, &config).unwrap();
+        assert_eq!(report.final_rows, expected.rows);
+        assert!(report.reoptimized(), "the skewed build side must trigger");
+
+        // Every round is a tagged mid-query round that reused breaker state.
+        for round in &report.rounds {
+            assert_eq!(round.kind, ReoptRoundKind::MidQuery);
+            assert!(round.create_sql.is_none(), "no CREATE TEMP TABLE is issued");
+            assert!(round.reused_rows.unwrap() > 0, "build state must be reused");
+            assert!(round.q_error > 4.0);
+        }
+        let round = &report.rounds[0];
+        let virt_name = round.temp_table.clone().unwrap();
+        assert!(virt_name.starts_with("reopt_mq"));
+
+        // Reuse is visible in the final metrics: the virtual table appears as a scan
+        // producing exactly the reused rows — the subtree behind it never re-ran.
+        let metrics = report.final_metrics.as_ref().expect("final run has metrics");
+        let mut reused_scan_rows = None;
+        metrics.root.walk(&mut |node| {
+            if node.metrics.label.contains(&virt_name) {
+                reused_scan_rows = Some(node.metrics.actual_rows);
+            }
+        });
+        assert_eq!(
+            reused_scan_rows,
+            Some(round.reused_rows.unwrap()),
+            "the re-planned query must scan the reused state: {}",
+            metrics.root.render()
+        );
+
+        // The report documents the reuse and the collapsed final query.
+        assert!(report.final_sql.contains(&virt_name), "{}", report.final_sql);
+        assert!(report.final_sql.contains("-- reopt_mq1: reused in-flight"));
+        // Virtual tables are temporary and cleaned up.
+        assert!(!db.storage().contains_table(&virt_name));
+        // The discarded work (detection) is accounted separately.
+        assert!(report.total_time() >= report.execution_time);
+    }
+
+    #[test]
+    fn mid_query_report_renders_round_kinds() {
+        let mut db = hash_join_only_database();
+        let config = ReoptConfig {
+            threshold: 4.0,
+            mode: ReoptMode::MidQuery,
+            ..Default::default()
+        };
+        let report = execute_with_reoptimization(&mut db, SKEWED_SQL, &config).unwrap();
+        let rendered = report.render();
+        assert!(rendered.contains("[mid-query]"), "{rendered}");
+        assert!(rendered.contains("reused"), "{rendered}");
+        assert!(!rendered.contains("[restart]"), "{rendered}");
+
+        let restart = execute_with_reoptimization(
+            &mut db,
+            SKEWED_SQL,
+            &ReoptConfig::with_threshold(4.0),
+        )
+        .unwrap();
+        let rendered = restart.render();
+        assert!(rendered.contains("[restart]"), "{rendered}");
+        assert!(rendered.contains("materialized as"), "{rendered}");
+    }
+
+    #[test]
+    fn mid_query_mode_works_under_limit() {
+        // Mid-query detection observes breaker completions, which are full drains
+        // even under a LIMIT — the mode needs no LIMIT carve-out at all.
+        let mut db = hash_join_only_database();
+        let sql = "SELECT count(*) AS c
+                   FROM title AS t, movie_keyword AS mk, keyword AS k
+                   WHERE t.id = mk.movie_id AND mk.keyword_id = k.id
+                     AND k.keyword = 'kw0' LIMIT 3";
+        let expected = db.execute(sql).unwrap();
+        let config = ReoptConfig {
+            threshold: 4.0,
+            mode: ReoptMode::MidQuery,
+            ..Default::default()
+        };
+        let report = execute_with_reoptimization(&mut db, sql, &config).unwrap();
+        assert!(report.reoptimized(), "breaker completions are LIMIT-safe");
+        assert_eq!(report.final_rows, expected.rows);
+    }
+
+    #[test]
+    fn mid_query_high_threshold_never_triggers() {
+        let mut db = test_database();
+        let expected = db.execute(SKEWED_SQL).unwrap();
+        let config = ReoptConfig {
+            threshold: 1e9,
+            mode: ReoptMode::MidQuery,
+            ..Default::default()
+        };
+        let report = execute_with_reoptimization(&mut db, SKEWED_SQL, &config).unwrap();
+        assert!(!report.reoptimized());
+        assert_eq!(report.final_rows, expected.rows);
+        assert_eq!(report.detection_time, Duration::ZERO);
+        assert!(report.final_sql.ends_with(';'));
+    }
+
+    #[test]
+    fn mid_query_wildcards_execute_plain() {
+        let mut db = hash_join_only_database();
+        let sql = "SELECT * FROM movie_keyword AS mk, keyword AS k
+                   WHERE mk.keyword_id = k.id AND k.keyword = 'kw0'";
+        let expected = db.execute(sql).unwrap();
+        let config = ReoptConfig {
+            threshold: 2.0,
+            mode: ReoptMode::MidQuery,
+            ..Default::default()
+        };
+        let report = execute_with_reoptimization(&mut db, sql, &config).unwrap();
+        assert!(!report.reoptimized(), "wildcard queries must run unmodified");
+        assert_eq!(report.final_rows, expected.rows);
     }
 
     #[test]

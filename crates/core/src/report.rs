@@ -1,6 +1,50 @@
-//! Per-query and per-workload run records shared by the experiment harnesses.
+//! Per-query and per-workload run records shared by the experiment harnesses, plus the
+//! human-readable rendering of a [`ReoptReport`].
 
+use crate::reopt::{ReoptReport, ReoptRoundKind};
 use std::time::Duration;
+
+impl ReoptReport {
+    /// Render the report as human-readable text, tagging every round with its kind so
+    /// that mid-query rounds (pipeline suspended and resumed, state reused) are
+    /// distinguishable from restart rounds (query re-executed from scratch).
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for (idx, round) in self.rounds.iter().enumerate() {
+            out.push_str(&format!(
+                "round {} [{}]  {}  estimated={:.0} actual={} q-error={:.1}",
+                idx + 1,
+                round.kind,
+                round.materialized_aliases.join(" \u{22c8} "),
+                round.estimated_rows,
+                round.actual_rows,
+                round.q_error,
+            ));
+            match (&round.temp_table, round.kind) {
+                (Some(name), ReoptRoundKind::MidQuery) => {
+                    let reused = round.reused_rows.unwrap_or(0);
+                    out.push_str(&format!("  -> reused {reused} buffered rows as {name}"));
+                }
+                (Some(name), ReoptRoundKind::Restart) => {
+                    out.push_str(&format!("  -> materialized as {name}"));
+                }
+                (None, _) => out.push_str("  -> injected"),
+            }
+            out.push('\n');
+        }
+        if self.rounds.is_empty() {
+            out.push_str("no re-optimization rounds\n");
+        }
+        out.push_str(&format!(
+            "planning {:.3} ms, execution {:.3} ms, detection {:.3} ms, peak buffered rows {}\n",
+            self.planning_time.as_secs_f64() * 1e3,
+            self.execution_time.as_secs_f64() * 1e3,
+            self.detection_time.as_secs_f64() * 1e3,
+            self.peak_buffered_rows,
+        ));
+        out
+    }
+}
 
 /// The timings of one query under one configuration.
 #[derive(Debug, Clone, PartialEq)]

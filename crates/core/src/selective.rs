@@ -67,15 +67,11 @@ pub fn selective_improvement(
         .query()
         .ok_or_else(|| DbError::Reoptimization("selective improvement needs a SELECT".into()))?
         .clone();
-    if select.limit.is_some() {
-        // Under a LIMIT the pipelined executor stops pulling early, so actual_rows are
-        // truncated counts, not true cardinalities — injecting them would corrupt every
-        // subsequent re-planning round (same carve-out as the re-optimization
-        // controller's).
-        return Err(DbError::Reoptimization(
-            "selective improvement cannot observe true cardinalities under a LIMIT".into(),
-        ));
-    }
+    // Under a LIMIT the pipelined executor may stop pulling early, so some operators
+    // report truncated actual_rows. Detection and correction below only consume
+    // *exhausted* operator counts (operators that ran to completion), which keeps
+    // truncated counts from ever being injected as truth — LIMIT queries simply see
+    // fewer correctable operators.
 
     let mut injected = CardinalityOverrides::new();
     let mut iterations = Vec::new();
@@ -100,11 +96,12 @@ pub fn selective_improvement(
                 break;
             }
             Some(node) => {
-                // Correct this operator's estimate and every estimate below it.
+                // Correct this operator's estimate and every *exhausted* estimate
+                // below it (truncated counts are never true cardinalities).
                 let mut corrected_sets = 0;
                 node.walk(&mut |descendant| {
                     let set = descendant.metrics.rel_set;
-                    if !set.is_empty() {
+                    if !set.is_empty() && descendant.metrics.exhausted {
                         injected.set(set, descendant.metrics.actual_rows as f64);
                         corrected_sets += 1;
                     }
@@ -131,7 +128,9 @@ fn lowest_mis_estimated(root: &MetricsNode, threshold: f64) -> Option<&MetricsNo
     candidates
         .into_iter()
         .filter(|(_, _, node)| {
-            !node.metrics.rel_set.is_empty() && node.metrics.q_error() > threshold
+            node.metrics.exhausted
+                && !node.metrics.rel_set.is_empty()
+                && node.metrics.q_error() > threshold
         })
         .min_by(|a, b| {
             a.2.metrics
@@ -216,10 +215,18 @@ mod tests {
     }
 
     #[test]
-    fn rejects_limit_queries() {
-        // Truncated actual_rows under a LIMIT must not be injected as truth.
+    fn truncated_counts_under_limit_are_never_injected() {
+        // The LIMIT stops the scan after 3 rows, so its actual_rows is a truncated
+        // count: no operator is both exhausted and correctable, and the simulation
+        // converges immediately without injecting anything.
         let mut db = test_database();
         let sql = "SELECT t.id AS i FROM title AS t WHERE t.production_year > 1985 LIMIT 3";
-        assert!(selective_improvement(&mut db, sql, &SelectiveConfig::default()).is_err());
+        let config = SelectiveConfig {
+            threshold: 1.0001, // everything exhausted would be "wrong"
+            max_iterations: 4,
+        };
+        let iterations = selective_improvement(&mut db, sql, &config).unwrap();
+        assert_eq!(iterations[0].corrections_so_far, 0);
+        assert!(iterations[0].corrected.is_none());
     }
 }

@@ -16,6 +16,11 @@ pub enum ExecError {
     Eval(String),
     /// The plan shape was invalid (wrong number of children, missing index, ...).
     InvalidPlan(String),
+    /// Execution was suspended by a [`BreakerMonitor`](crate::exec::BreakerMonitor)
+    /// at a pipeline-breaker boundary so a re-optimizer can take over. Not a failure:
+    /// the pipeline's completed breaker state remains extractable via
+    /// [`Pipeline::take_breaker_states`](crate::exec::Pipeline::take_breaker_states).
+    Suspended,
 }
 
 impl fmt::Display for ExecError {
@@ -25,6 +30,9 @@ impl fmt::Display for ExecError {
             ExecError::BindError(detail) => write!(f, "binding error: {detail}"),
             ExecError::Eval(detail) => write!(f, "evaluation error: {detail}"),
             ExecError::InvalidPlan(detail) => write!(f, "invalid plan: {detail}"),
+            ExecError::Suspended => {
+                write!(f, "execution suspended at a pipeline-breaker boundary for re-optimization")
+            }
         }
     }
 }

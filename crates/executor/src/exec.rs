@@ -13,11 +13,11 @@
 //! * the full input of a sort,
 //! * the row-id list of an index scan (bounded by the base table).
 //!
-//! Buffered rows are accounted in a per-query [`MemoryTracker`]; the peak is surfaced as
+//! Buffered rows are accounted in a per-query `MemoryTracker`; the peak is surfaced as
 //! [`ExecutionResult::peak_buffered_rows`] so tests can assert that memory is bounded by
 //! pipeline-breaker output rather than join fan-out.
 //!
-//! Every operator is wrapped in a [`Metered`] shell that accumulates rows, batches and
+//! Every operator is wrapped in a `Metered` shell that accumulates rows, batches and
 //! inclusive wall-clock time; the per-operator *self* time reported in [`QueryMetrics`]
 //! is the inclusive time minus the children's inclusive time, which reproduces the
 //! semantics of the old materializing executor ("elapsed excluding children").
@@ -28,8 +28,9 @@ use reopt_expr::Expr;
 use reopt_planner::plan::IndexLookup;
 use reopt_planner::{PhysicalPlan, PlanKind};
 use reopt_sql::AggregateFunc;
+use reopt_planner::RelSet;
 use reopt_storage::{Index, Row, Schema, Storage, Table, Value};
-use std::cell::Cell;
+use std::cell::{Cell, RefCell};
 use std::collections::HashMap;
 use std::ops::Bound;
 use std::rc::Rc;
@@ -40,6 +41,96 @@ pub const DEFAULT_BATCH_SIZE: usize = 1024;
 
 /// A batch of rows flowing between operators.
 pub type RowBatch = Vec<Row>;
+
+/// Which pipeline breaker finished materializing its input.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BreakerKind {
+    /// The build side of a hash join was fully drained into the hash table.
+    HashBuild,
+    /// The inner side of a plain nested-loop join was fully buffered.
+    NestedLoopInner,
+    /// One sorted input of a merge join was fully buffered (NULL join keys dropped).
+    MergeInput,
+    /// An aggregate consumed its whole input.
+    AggregateInput,
+    /// A sort buffered its whole input.
+    SortInput,
+}
+
+/// A completed pipeline-breaker input: the first point during execution where the
+/// *true* cardinality of the subtree feeding the breaker becomes known — even under a
+/// LIMIT, because breakers always drain their input completely before producing
+/// anything.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BreakerEvent {
+    /// Which breaker completed.
+    pub kind: BreakerKind,
+    /// The base relations covered by the completed input subtree.
+    pub rel_set: RelSet,
+    /// The optimizer's estimate for that subtree.
+    pub estimated_rows: f64,
+    /// The observed (true) cardinality of the subtree.
+    pub actual_rows: u64,
+    /// Whether the breaker's buffered state is an exact, reusable materialization of
+    /// `rel_set` (true for hash-build sides and nested-loop inners; false for merge
+    /// inputs, which drop NULL-key rows, and for aggregate/sort state).
+    pub reusable: bool,
+}
+
+/// Decision returned by a [`BreakerMonitor`] after each breaker completion.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BreakerDecision {
+    /// Keep executing.
+    Continue,
+    /// Unwind out of `next_batch` with [`ExecError::Suspended`]; the pipeline stops,
+    /// but its completed breaker state can still be extracted with
+    /// [`Pipeline::take_breaker_states`].
+    Suspend,
+}
+
+/// Observer of pipeline-breaker completions: the mechanism a mid-query re-optimizer
+/// uses to watch true cardinalities appear during a run and suspend execution when an
+/// estimate turns out badly wrong. The executor provides the events; the policy (for
+/// example a q-error threshold) lives in the caller.
+pub trait BreakerMonitor {
+    /// Called exactly once per breaker input, immediately after it finished
+    /// materializing.
+    fn on_breaker_complete(&mut self, event: &BreakerEvent) -> BreakerDecision;
+}
+
+/// Shared handle to a monitor; operators borrow it mutably only for the duration of a
+/// single callback.
+pub type MonitorHandle = Rc<RefCell<dyn BreakerMonitor>>;
+
+/// A completed breaker materialization extracted from a suspended pipeline: the exact
+/// output of the subtree covering `rel_set`, with all predicates local to that subtree
+/// already applied. A re-optimizer can register these rows as a virtual leaf table and
+/// re-plan the remaining joins around it instead of re-executing the subtree.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BreakerState {
+    /// Which breaker the state came from.
+    pub kind: BreakerKind,
+    /// The base relations the materialized rows cover.
+    pub rel_set: RelSet,
+    /// The schema of `rows` (columns qualified by the original relation aliases).
+    pub schema: Schema,
+    /// The materialized rows.
+    pub rows: Vec<Row>,
+}
+
+/// Report a breaker completion to the monitor, if one is installed, translating a
+/// `Suspend` decision into [`ExecError::Suspended`].
+fn notify_breaker(
+    monitor: &Option<MonitorHandle>,
+    event: BreakerEvent,
+) -> Result<(), ExecError> {
+    if let Some(monitor) = monitor {
+        if monitor.borrow_mut().on_breaker_complete(&event) == BreakerDecision::Suspend {
+            return Err(ExecError::Suspended);
+        }
+    }
+    Ok(())
+}
 
 /// The result of executing one plan.
 #[derive(Debug, Clone, PartialEq)]
@@ -85,7 +176,56 @@ impl<'a> Executor<'a> {
     /// Open a pipeline over the plan without running it. Pulling batches from the
     /// pipeline is the suspend/resume seam a mid-query re-optimizer (or an async
     /// scheduler) needs: execution can stop between any two batches.
+    ///
+    /// # Examples
+    ///
+    /// Pull a query one batch at a time instead of running it to completion:
+    ///
+    /// ```
+    /// use reopt_catalog::Catalog;
+    /// use reopt_executor::Executor;
+    /// use reopt_planner::{CardinalityOverrides, Optimizer};
+    /// use reopt_sql::parse_sql;
+    /// use reopt_storage::{Column, DataType, Row, Schema, Storage, Table};
+    ///
+    /// let mut storage = Storage::new();
+    /// let mut t = Table::new("t", Schema::new(vec![Column::new("id", DataType::Int)]));
+    /// for i in 0..10i64 {
+    ///     t.push_row(Row::from_values(vec![i.into()])).unwrap();
+    /// }
+    /// storage.create_table(t).unwrap();
+    /// let mut catalog = Catalog::new();
+    /// catalog.analyze_all(&storage).unwrap();
+    ///
+    /// let statement = parse_sql("SELECT t.id AS id FROM t AS t").unwrap();
+    /// let planned = Optimizer::default()
+    ///     .plan_select(statement.query().unwrap(), &storage, &catalog, &CardinalityOverrides::new())
+    ///     .unwrap();
+    ///
+    /// let executor = Executor::with_batch_size(&storage, 4);
+    /// let mut pipeline = executor.open(&planned.plan).unwrap();
+    /// let mut rows = 0;
+    /// while let Some(batch) = pipeline.next_batch().unwrap() {
+    ///     rows += batch.len(); // execution can pause between any two batches
+    /// }
+    /// assert_eq!(rows, 10);
+    /// ```
     pub fn open<'p>(&self, plan: &'p PhysicalPlan) -> Result<Pipeline<'p>, ExecError>
+    where
+        'a: 'p,
+    {
+        self.open_monitored(plan, None)
+    }
+
+    /// Open a pipeline with a [`BreakerMonitor`] installed: the monitor observes every
+    /// pipeline-breaker completion (the points where true subtree cardinalities first
+    /// become known) and can suspend execution there. This is the hook the mid-query
+    /// re-optimization controller attaches to.
+    pub fn open_monitored<'p>(
+        &self,
+        plan: &'p PhysicalPlan,
+        monitor: Option<MonitorHandle>,
+    ) -> Result<Pipeline<'p>, ExecError>
     where
         'a: 'p,
     {
@@ -94,6 +234,7 @@ impl<'a> Executor<'a> {
             storage: self.storage,
             batch_size: self.batch_size,
             tracker: Rc::clone(&tracker),
+            monitor,
         };
         let (root, stats) = build_operator(plan, &ctx)?;
         Ok(Pipeline {
@@ -102,6 +243,7 @@ impl<'a> Executor<'a> {
             stats,
             tracker,
             poisoned: false,
+            suspended: false,
         })
     }
 
@@ -129,23 +271,48 @@ pub struct Pipeline<'p> {
     stats: StatsNode,
     tracker: Rc<MemoryTracker>,
     poisoned: bool,
+    suspended: bool,
 }
 
 impl Pipeline<'_> {
     /// Produce the next (non-empty) batch of output rows, or `None` when exhausted.
     ///
     /// An `Err` poisons the pipeline: operators may hold partially-buffered state, so
-    /// every subsequent pull fails rather than risking silently wrong results.
+    /// every subsequent pull fails rather than risking silently wrong results. The one
+    /// exception is [`ExecError::Suspended`] (a [`BreakerMonitor`] stopped execution):
+    /// the pipeline refuses further pulls but its completed breaker state stays
+    /// extractable via [`Pipeline::take_breaker_states`].
     pub fn next_batch(&mut self) -> Result<Option<RowBatch>, ExecError> {
+        if self.suspended {
+            return Err(ExecError::Suspended);
+        }
         if self.poisoned {
             return Err(ExecError::InvalidPlan(
                 "pipeline poisoned by an earlier execution error".into(),
             ));
         }
         let out = self.root.next_batch();
-        if out.is_err() {
-            self.poisoned = true;
+        match &out {
+            Err(ExecError::Suspended) => self.suspended = true,
+            Err(_) => self.poisoned = true,
+            Ok(_) => {}
         }
+        out
+    }
+
+    /// Whether a [`BreakerMonitor`] suspended this pipeline.
+    pub fn is_suspended(&self) -> bool {
+        self.suspended
+    }
+
+    /// Move every *completed* breaker materialization out of the operator tree
+    /// (hash-join build sides and nested-loop inners, innermost first). Used after a
+    /// monitor suspension: the extracted rows become virtual leaf tables for the
+    /// re-planned remainder of the query, so the work of building them is not lost.
+    /// The pipeline must not be pulled again afterwards.
+    pub fn take_breaker_states(&mut self) -> Vec<BreakerState> {
+        let mut out = Vec::new();
+        self.root.inner.collect_breaker_states(&mut out);
         out
     }
 
@@ -187,6 +354,9 @@ impl MemoryTracker {
 struct OpStats {
     rows: Cell<u64>,
     batches: Cell<u64>,
+    /// Whether the operator returned `None` (ran to completion): only then is `rows` a
+    /// true cardinality rather than a count truncated by early termination.
+    exhausted: Cell<bool>,
     /// Wall-clock time inside `next_batch`, *including* time spent pulling children.
     inclusive: Cell<Duration>,
 }
@@ -209,6 +379,11 @@ fn assemble_metrics(plan: &PhysicalPlan, stats: &StatsNode) -> MetricsNode {
         .iter()
         .map(|c| c.stats.inclusive.get())
         .sum();
+    // An operator's count is a true cardinality only if it ran to completion AND so
+    // did its whole subtree: a Limit that hit its count returns `None` without
+    // draining its child, and its actual_rows is a truncated count for its rel_set.
+    let exhausted = stats.stats.exhausted.get()
+        && children.iter().all(|child| child.metrics.exhausted);
     MetricsNode {
         metrics: OperatorMetrics {
             label: plan.label(),
@@ -217,6 +392,7 @@ fn assemble_metrics(plan: &PhysicalPlan, stats: &StatsNode) -> MetricsNode {
             estimated_rows: plan.estimated_rows,
             actual_rows: stats.stats.rows.get(),
             batches: stats.stats.batches.get(),
+            exhausted,
             elapsed: stats.stats.inclusive.get().saturating_sub(child_inclusive),
         },
         children,
@@ -228,12 +404,18 @@ struct BuildContext<'p> {
     storage: &'p Storage,
     batch_size: usize,
     tracker: Rc<MemoryTracker>,
+    monitor: Option<MonitorHandle>,
 }
 
 /// A batch-producing operator.
 trait Operator {
     /// The next non-empty batch, or `None` once exhausted.
     fn next_batch(&mut self) -> Result<Option<RowBatch>, ExecError>;
+
+    /// Move any *completed* breaker materialization out of this operator (and recurse
+    /// into children). The default is a no-op for leaf operators without buffered
+    /// subtree state.
+    fn collect_breaker_states(&mut self, _out: &mut Vec<BreakerState>) {}
 }
 
 /// An operator plus its shared counters. Parents pull through this wrapper so rows,
@@ -250,9 +432,13 @@ impl Metered<'_> {
         self.stats
             .inclusive
             .set(self.stats.inclusive.get() + start.elapsed());
-        if let Ok(Some(batch)) = &out {
-            self.stats.rows.set(self.stats.rows.get() + batch.len() as u64);
-            self.stats.batches.set(self.stats.batches.get() + 1);
+        match &out {
+            Ok(Some(batch)) => {
+                self.stats.rows.set(self.stats.rows.get() + batch.len() as u64);
+                self.stats.batches.set(self.stats.batches.get() + 1);
+            }
+            Ok(None) => self.stats.exhausted.set(true),
+            Err(_) => {}
         }
         out
     }
@@ -360,6 +546,10 @@ fn build_operator<'p>(
             Box::new(HashJoinOp {
                 probe,
                 build: Some(build),
+                build_done: false,
+                build_rel_set: plan.children[1].rel_set,
+                build_estimated_rows: plan.children[1].estimated_rows,
+                build_schema: plan.children[1].schema.clone(),
                 probe_keys,
                 build_keys,
                 residual: bind_opt(residual.as_ref(), &plan.schema)?,
@@ -371,6 +561,7 @@ fn build_operator<'p>(
                 match_pos: 0,
                 batch_size,
                 tracker: Rc::clone(&ctx.tracker),
+                monitor: ctx.monitor.clone(),
             })
         }
         PlanKind::IndexNestedLoopJoin {
@@ -413,6 +604,10 @@ fn build_operator<'p>(
             Box::new(NestedLoopJoinOp {
                 outer,
                 inner: Some(inner),
+                inner_done: false,
+                inner_rel_set: plan.children[1].rel_set,
+                inner_estimated_rows: plan.children[1].estimated_rows,
+                inner_schema: plan.children[1].schema.clone(),
                 predicate: bind_opt(predicate.as_ref(), &plan.schema)?,
                 inner_rows: Vec::new(),
                 outer_batch: Vec::new(),
@@ -420,6 +615,7 @@ fn build_operator<'p>(
                 inner_pos: 0,
                 batch_size,
                 tracker: Rc::clone(&ctx.tracker),
+                monitor: ctx.monitor.clone(),
             })
         }
         PlanKind::MergeJoin { keys, residual } => {
@@ -437,6 +633,11 @@ fn build_operator<'p>(
             let left = children.pop().expect("merge join has two children");
             Box::new(MergeJoinOp {
                 inputs: Some((left, right)),
+                inputs_done: false,
+                input_meta: [
+                    (plan.children[0].rel_set, plan.children[0].estimated_rows),
+                    (plan.children[1].rel_set, plan.children[1].estimated_rows),
+                ],
                 left_keys,
                 right_keys,
                 residual: bind_opt(residual.as_ref(), &plan.schema)?,
@@ -447,6 +648,7 @@ fn build_operator<'p>(
                 block: None,
                 batch_size,
                 tracker: Rc::clone(&ctx.tracker),
+                monitor: ctx.monitor.clone(),
             })
         }
         PlanKind::Filter { predicate } => {
@@ -473,12 +675,15 @@ fn build_operator<'p>(
                 .collect::<Result<Vec<_>, _>>()?;
             Box::new(AggregateOp {
                 input: Some(input),
+                input_done: false,
+                input_meta: (plan.children[0].rel_set, plan.children[0].estimated_rows),
                 group_exprs,
                 agg_funcs,
                 agg_args,
                 emit: None,
                 batch_size,
                 tracker: Rc::clone(&ctx.tracker),
+                monitor: ctx.monitor.clone(),
             })
         }
         PlanKind::Project { exprs } => {
@@ -497,6 +702,8 @@ fn build_operator<'p>(
             let input_schema = &plan.children[0].schema;
             Box::new(SortOp {
                 input: Some(input),
+                input_done: false,
+                input_meta: (plan.children[0].rel_set, plan.children[0].estimated_rows),
                 keys: keys
                     .iter()
                     .map(|(e, asc)| Ok((bind(e, input_schema)?, *asc)))
@@ -505,6 +712,7 @@ fn build_operator<'p>(
                 pos: 0,
                 batch_size,
                 tracker: Rc::clone(&ctx.tracker),
+                monitor: ctx.monitor.clone(),
             })
         }
         PlanKind::Limit { count } => {
@@ -652,6 +860,10 @@ impl Operator for FilterOp<'_> {
         }
         Ok(None)
     }
+
+    fn collect_breaker_states(&mut self, out: &mut Vec<BreakerState>) {
+        self.input.inner.collect_breaker_states(out);
+    }
 }
 
 /// Projection: maps each input batch through the output expressions.
@@ -674,6 +886,10 @@ impl Operator for ProjectOp<'_> {
             out.push(Row::from_values(values));
         }
         Ok(Some(out))
+    }
+
+    fn collect_breaker_states(&mut self, out: &mut Vec<BreakerState>) {
+        self.input.inner.collect_breaker_states(out);
     }
 }
 
@@ -698,6 +914,10 @@ impl Operator for LimitOp<'_> {
         self.remaining -= batch.len();
         Ok(Some(batch))
     }
+
+    fn collect_breaker_states(&mut self, out: &mut Vec<BreakerState>) {
+        self.input.inner.collect_breaker_states(out);
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -710,7 +930,13 @@ impl Operator for LimitOp<'_> {
 /// suspending mid-batch (and mid-match-list) when it is.
 struct HashJoinOp<'p> {
     probe: Metered<'p>,
+    /// The build child is retained (not dropped) after draining so that nested breaker
+    /// states below it stay reachable for [`Operator::collect_breaker_states`].
     build: Option<Metered<'p>>,
+    build_done: bool,
+    build_rel_set: RelSet,
+    build_estimated_rows: f64,
+    build_schema: Schema,
     probe_keys: Vec<usize>,
     build_keys: Vec<usize>,
     residual: Option<Expr>,
@@ -722,14 +948,18 @@ struct HashJoinOp<'p> {
     match_pos: usize,
     batch_size: usize,
     tracker: Rc<MemoryTracker>,
+    monitor: Option<MonitorHandle>,
 }
 
 impl HashJoinOp<'_> {
     fn build_table(&mut self) -> Result<(), ExecError> {
+        if self.build_done {
+            return Ok(());
+        }
         let Some(mut build) = self.build.take() else {
             return Ok(());
         };
-        build.drain(|batch| {
+        let result = build.drain(|batch| {
             self.tracker.acquire(batch.len() as u64);
             for row in batch {
                 let row_idx = self.build_rows.len();
@@ -739,7 +969,25 @@ impl HashJoinOp<'_> {
                 self.build_rows.push(row);
             }
             Ok(())
-        })
+        });
+        // Only monitored pipelines (which may suspend and extract breaker state) need
+        // the drained subtree kept alive; everywhere else, drop it now so nested
+        // breaker buffers are freed as execution proceeds.
+        if self.monitor.is_some() {
+            self.build = Some(build);
+        }
+        result?;
+        self.build_done = true;
+        notify_breaker(
+            &self.monitor,
+            BreakerEvent {
+                kind: BreakerKind::HashBuild,
+                rel_set: self.build_rel_set,
+                estimated_rows: self.build_estimated_rows,
+                actual_rows: self.build_rows.len() as u64,
+                reusable: true,
+            },
+        )
     }
 
     /// Pull the next probe batch and precompute its keys. Returns `false` at EOF.
@@ -798,6 +1046,25 @@ impl Operator for HashJoinOp<'_> {
             }
         }
         Ok(if out.is_empty() { None } else { Some(out) })
+    }
+
+    fn collect_breaker_states(&mut self, out: &mut Vec<BreakerState>) {
+        // Innermost states first: recurse before extracting this operator's own build.
+        self.probe.inner.collect_breaker_states(out);
+        if let Some(build) = &mut self.build {
+            build.inner.collect_breaker_states(out);
+        }
+        // An empty completed build is still extractable: knowing a subtree produced
+        // zero rows is exactly the kind of truth a re-optimizer wants to reuse.
+        if self.build_done {
+            self.table.clear();
+            out.push(BreakerState {
+                kind: BreakerKind::HashBuild,
+                rel_set: self.build_rel_set,
+                schema: self.build_schema.clone(),
+                rows: std::mem::take(&mut self.build_rows),
+            });
+        }
     }
 }
 
@@ -897,13 +1164,22 @@ impl Operator for IndexNlJoinOp<'_> {
         }
         Ok(if out.is_empty() { None } else { Some(out) })
     }
+
+    fn collect_breaker_states(&mut self, out: &mut Vec<BreakerState>) {
+        self.outer.inner.collect_breaker_states(out);
+    }
 }
 
 /// Plain nested-loop join: the inner side is a pipeline breaker (buffered fully); the
 /// outer side streams, with a cursor over (outer row, inner row) pairs.
 struct NestedLoopJoinOp<'p> {
     outer: Metered<'p>,
+    /// Retained after draining so nested breaker states stay reachable.
     inner: Option<Metered<'p>>,
+    inner_done: bool,
+    inner_rel_set: RelSet,
+    inner_estimated_rows: f64,
+    inner_schema: Schema,
     predicate: Option<Expr>,
     inner_rows: Vec<Row>,
     outer_batch: RowBatch,
@@ -911,20 +1187,42 @@ struct NestedLoopJoinOp<'p> {
     inner_pos: usize,
     batch_size: usize,
     tracker: Rc<MemoryTracker>,
+    monitor: Option<MonitorHandle>,
 }
 
 impl NestedLoopJoinOp<'_> {
     fn buffer_inner(&mut self) -> Result<(), ExecError> {
+        if self.inner_done {
+            return Ok(());
+        }
         let Some(mut inner) = self.inner.take() else {
             return Ok(());
         };
-        let inner_rows = &mut self.inner_rows;
-        let tracker = &self.tracker;
-        inner.drain(|batch| {
-            tracker.acquire(batch.len() as u64);
-            inner_rows.extend(batch);
-            Ok(())
-        })
+        let result = {
+            let inner_rows = &mut self.inner_rows;
+            let tracker = &self.tracker;
+            inner.drain(|batch| {
+                tracker.acquire(batch.len() as u64);
+                inner_rows.extend(batch);
+                Ok(())
+            })
+        };
+        // As in HashJoinOp: retain the drained child only for monitored pipelines.
+        if self.monitor.is_some() {
+            self.inner = Some(inner);
+        }
+        result?;
+        self.inner_done = true;
+        notify_breaker(
+            &self.monitor,
+            BreakerEvent {
+                kind: BreakerKind::NestedLoopInner,
+                rel_set: self.inner_rel_set,
+                estimated_rows: self.inner_estimated_rows,
+                actual_rows: self.inner_rows.len() as u64,
+                reusable: true,
+            },
+        )
     }
 }
 
@@ -975,6 +1273,22 @@ impl Operator for NestedLoopJoinOp<'_> {
         }
         Ok(if out.is_empty() { None } else { Some(out) })
     }
+
+    fn collect_breaker_states(&mut self, out: &mut Vec<BreakerState>) {
+        self.outer.inner.collect_breaker_states(out);
+        if let Some(inner) = &mut self.inner {
+            inner.inner.collect_breaker_states(out);
+        }
+        // As for hash builds: an empty completed inner is still extractable truth.
+        if self.inner_done {
+            out.push(BreakerState {
+                kind: BreakerKind::NestedLoopInner,
+                rel_set: self.inner_rel_set,
+                schema: self.inner_schema.clone(),
+                rows: std::mem::take(&mut self.inner_rows),
+            });
+        }
+    }
 }
 
 /// The cursor inside a run of equal keys on both merge-join sides.
@@ -993,7 +1307,11 @@ struct MergeBlock {
 /// keys); the merge itself streams, suspending inside equal-key blocks when the output
 /// batch fills up.
 struct MergeJoinOp<'p> {
+    /// Retained after draining so nested breaker states stay reachable.
     inputs: Option<(Metered<'p>, Metered<'p>)>,
+    inputs_done: bool,
+    /// `(rel_set, estimated_rows)` of the left and right inputs.
+    input_meta: [(RelSet, f64); 2],
     left_keys: Vec<usize>,
     right_keys: Vec<usize>,
     residual: Option<Expr>,
@@ -1004,15 +1322,50 @@ struct MergeJoinOp<'p> {
     block: Option<MergeBlock>,
     batch_size: usize,
     tracker: Rc<MemoryTracker>,
+    monitor: Option<MonitorHandle>,
 }
 
 impl MergeJoinOp<'_> {
     fn buffer_and_sort(&mut self) -> Result<(), ExecError> {
+        if self.inputs_done {
+            return Ok(());
+        }
         let Some((mut left_input, mut right_input)) = self.inputs.take() else {
             return Ok(());
         };
-        drain_keyed(&mut left_input, &self.left_keys, &self.tracker, &mut self.left)?;
-        drain_keyed(&mut right_input, &self.right_keys, &self.tracker, &mut self.right)?;
+        let result = (|| -> Result<(), ExecError> {
+            // Merge inputs drop NULL-key rows while buffering, so the buffered counts
+            // undercount: report the metered child row counts instead, and mark the
+            // state as not reusable.
+            drain_keyed(&mut left_input, &self.left_keys, &self.tracker, &mut self.left)?;
+            notify_breaker(
+                &self.monitor,
+                BreakerEvent {
+                    kind: BreakerKind::MergeInput,
+                    rel_set: self.input_meta[0].0,
+                    estimated_rows: self.input_meta[0].1,
+                    actual_rows: left_input.stats.rows.get(),
+                    reusable: false,
+                },
+            )?;
+            drain_keyed(&mut right_input, &self.right_keys, &self.tracker, &mut self.right)?;
+            notify_breaker(
+                &self.monitor,
+                BreakerEvent {
+                    kind: BreakerKind::MergeInput,
+                    rel_set: self.input_meta[1].0,
+                    estimated_rows: self.input_meta[1].1,
+                    actual_rows: right_input.stats.rows.get(),
+                    reusable: false,
+                },
+            )
+        })();
+        // As in HashJoinOp: retain the drained children only for monitored pipelines.
+        if self.monitor.is_some() {
+            self.inputs = Some((left_input, right_input));
+        }
+        result?;
+        self.inputs_done = true;
         self.left.sort_by(|a, b| a.0.cmp(&b.0));
         self.right.sort_by(|a, b| a.0.cmp(&b.0));
         Ok(())
@@ -1082,6 +1435,15 @@ impl Operator for MergeJoinOp<'_> {
         }
         Ok(if out.is_empty() { None } else { Some(out) })
     }
+
+    fn collect_breaker_states(&mut self, out: &mut Vec<BreakerState>) {
+        // The keyed, NULL-filtered merge buffers themselves are not reusable; only
+        // recurse into the children for nested states.
+        if let Some((left, right)) = &mut self.inputs {
+            left.inner.collect_breaker_states(out);
+            right.inner.collect_breaker_states(out);
+        }
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -1091,76 +1453,105 @@ impl Operator for MergeJoinOp<'_> {
 /// Aggregation: drains its input into accumulator states (the buffered state is one
 /// entry per group), then emits result rows in batches.
 struct AggregateOp<'p> {
+    /// Retained after draining so nested breaker states stay reachable.
     input: Option<Metered<'p>>,
+    input_done: bool,
+    /// `(rel_set, estimated_rows)` of the input subtree.
+    input_meta: (RelSet, f64),
     group_exprs: Vec<Expr>,
     agg_funcs: Vec<AggregateFunc>,
     agg_args: Vec<Option<Expr>>,
     emit: Option<std::vec::IntoIter<(Vec<Value>, Vec<Accumulator>)>>,
     batch_size: usize,
     tracker: Rc<MemoryTracker>,
+    monitor: Option<MonitorHandle>,
 }
 
 impl AggregateOp<'_> {
     fn consume_input(&mut self) -> Result<(), ExecError> {
+        if self.input_done {
+            return Ok(());
+        }
         let Some(mut input) = self.input.take() else {
             return Ok(());
         };
 
-        if self.group_exprs.is_empty() {
+        let result = if self.group_exprs.is_empty() {
             // Single-group aggregation always produces exactly one row.
             let mut accumulators: Vec<Accumulator> =
                 self.agg_funcs.iter().map(|&f| Accumulator::new(f)).collect();
             let agg_args = &self.agg_args;
-            input.drain(|batch| {
+            let result = input.drain(|batch| {
                 for row in &batch {
                     for (accumulator, arg) in accumulators.iter_mut().zip(agg_args) {
                         accumulator.update(arg.as_ref(), row)?;
                     }
                 }
                 Ok(())
-            })?;
-            self.tracker.acquire(1);
-            self.emit = Some(vec![(Vec::new(), accumulators)].into_iter());
-            return Ok(());
-        }
-
-        // Hash aggregation; groups are emitted in first-seen order for determinism.
-        let mut groups: HashMap<Vec<Value>, usize> = HashMap::new();
-        let mut states: Vec<(Vec<Value>, Vec<Accumulator>)> = Vec::new();
-        {
-            let group_exprs = &self.group_exprs;
-            let agg_funcs = &self.agg_funcs;
-            let agg_args = &self.agg_args;
-            let tracker = &self.tracker;
-            let states = &mut states;
-            input.drain(|batch| {
-                for row in &batch {
-                    let mut key = Vec::with_capacity(group_exprs.len());
-                    for expr in group_exprs {
-                        key.push(expr.eval(row)?);
-                    }
-                    let idx = match groups.get(&key) {
-                        Some(&idx) => idx,
-                        None => {
-                            let idx = states.len();
-                            groups.insert(key.clone(), idx);
-                            states.push((
-                                key,
-                                agg_funcs.iter().map(|&f| Accumulator::new(f)).collect(),
-                            ));
-                            tracker.acquire(1);
-                            idx
+            });
+            if result.is_ok() {
+                self.tracker.acquire(1);
+                self.emit = Some(vec![(Vec::new(), accumulators)].into_iter());
+            }
+            result
+        } else {
+            // Hash aggregation; groups are emitted in first-seen order for determinism.
+            let mut groups: HashMap<Vec<Value>, usize> = HashMap::new();
+            let mut states: Vec<(Vec<Value>, Vec<Accumulator>)> = Vec::new();
+            let result = {
+                let group_exprs = &self.group_exprs;
+                let agg_funcs = &self.agg_funcs;
+                let agg_args = &self.agg_args;
+                let tracker = &self.tracker;
+                let states = &mut states;
+                input.drain(|batch| {
+                    for row in &batch {
+                        let mut key = Vec::with_capacity(group_exprs.len());
+                        for expr in group_exprs {
+                            key.push(expr.eval(row)?);
                         }
-                    };
-                    for (accumulator, arg) in states[idx].1.iter_mut().zip(agg_args) {
-                        accumulator.update(arg.as_ref(), row)?;
+                        let idx = match groups.get(&key) {
+                            Some(&idx) => idx,
+                            None => {
+                                let idx = states.len();
+                                groups.insert(key.clone(), idx);
+                                states.push((
+                                    key,
+                                    agg_funcs.iter().map(|&f| Accumulator::new(f)).collect(),
+                                ));
+                                tracker.acquire(1);
+                                idx
+                            }
+                        };
+                        for (accumulator, arg) in states[idx].1.iter_mut().zip(agg_args) {
+                            accumulator.update(arg.as_ref(), row)?;
+                        }
                     }
-                }
-                Ok(())
-            })?;
+                    Ok(())
+                })
+            };
+            if result.is_ok() {
+                self.emit = Some(states.into_iter());
+            }
+            result
+        };
+        let input_rows = input.stats.rows.get();
+        // As in HashJoinOp: retain the drained child only for monitored pipelines.
+        if self.monitor.is_some() {
+            self.input = Some(input);
         }
-        self.emit = Some(states.into_iter());
-        Ok(())
+        result?;
+        self.input_done = true;
+        notify_breaker(
+            &self.monitor,
+            BreakerEvent {
+                kind: BreakerKind::AggregateInput,
+                rel_set: self.input_meta.0,
+                estimated_rows: self.input_meta.1,
+                actual_rows: input_rows,
+                reusable: false,
+            },
+        )
     }
 }
 
@@ -1180,25 +1571,40 @@ impl Operator for AggregateOp<'_> {
         }
         Ok(if out.is_empty() { None } else { Some(out) })
     }
+
+    fn collect_breaker_states(&mut self, out: &mut Vec<BreakerState>) {
+        // Group states are not a reusable materialization; only recurse.
+        if let Some(input) = &mut self.input {
+            input.inner.collect_breaker_states(out);
+        }
+    }
 }
 
 /// Sort: drains and sorts its whole input (buffered), then emits batches.
 struct SortOp<'p> {
+    /// Retained after draining so nested breaker states stay reachable.
     input: Option<Metered<'p>>,
+    input_done: bool,
+    /// `(rel_set, estimated_rows)` of the input subtree.
+    input_meta: (RelSet, f64),
     keys: Vec<(Expr, bool)>,
     sorted: Vec<Row>,
     pos: usize,
     batch_size: usize,
     tracker: Rc<MemoryTracker>,
+    monitor: Option<MonitorHandle>,
 }
 
 impl SortOp<'_> {
     fn buffer_and_sort(&mut self) -> Result<(), ExecError> {
+        if self.input_done {
+            return Ok(());
+        }
         let Some(mut input) = self.input.take() else {
             return Ok(());
         };
         let mut keyed: Vec<(Vec<Value>, Row)> = Vec::new();
-        {
+        let result = {
             let keys = &self.keys;
             let tracker = &self.tracker;
             input.drain(|batch| {
@@ -1211,8 +1617,25 @@ impl SortOp<'_> {
                     keyed.push((key, row));
                 }
                 Ok(())
-            })?;
+            })
+        };
+        let input_rows = input.stats.rows.get();
+        // As in HashJoinOp: retain the drained child only for monitored pipelines.
+        if self.monitor.is_some() {
+            self.input = Some(input);
         }
+        result?;
+        self.input_done = true;
+        notify_breaker(
+            &self.monitor,
+            BreakerEvent {
+                kind: BreakerKind::SortInput,
+                rel_set: self.input_meta.0,
+                estimated_rows: self.input_meta.1,
+                actual_rows: input_rows,
+                reusable: false,
+            },
+        )?;
         let directions: Vec<bool> = self.keys.iter().map(|(_, asc)| *asc).collect();
         keyed.sort_by(|a, b| {
             for (idx, ascending) in directions.iter().enumerate() {
@@ -1239,6 +1662,13 @@ impl Operator for SortOp<'_> {
         let out = self.sorted[self.pos..chunk_end].to_vec();
         self.pos = chunk_end;
         Ok(Some(out))
+    }
+
+    fn collect_breaker_states(&mut self, out: &mut Vec<BreakerState>) {
+        // The sort buffer is not a join-subtree materialization; only recurse.
+        if let Some(input) = &mut self.input {
+            input.inner.collect_breaker_states(out);
+        }
     }
 }
 
@@ -1821,12 +2251,128 @@ mod tests {
         // The scan must not have produced the whole table: with batch size 2 the limit
         // needs at most two batches (4 rows), not 100.
         let mut scan_rows = None;
+        let mut scan_exhausted = None;
         result.metrics.root.walk(&mut |node| {
             if node.metrics.label.starts_with("Seq Scan") {
                 scan_rows = Some(node.metrics.actual_rows);
+                scan_exhausted = Some(node.metrics.exhausted);
             }
         });
         assert!(scan_rows.unwrap() <= 4, "scan produced {scan_rows:?} rows");
+        // The truncated scan is flagged so its count is never mistaken for a true
+        // cardinality — and the flag propagates up: the root Limit's actual_rows is
+        // a truncated count for its relation set, so it must not be exhausted either.
+        assert_eq!(scan_exhausted, Some(false));
+        assert!(!result.metrics.root.metrics.exhausted);
+    }
+
+    #[test]
+    fn operators_are_exhausted_after_a_full_run() {
+        let (storage, catalog) = build_env();
+        let result = run(
+            "SELECT count(*) AS c FROM movie_keyword AS mk, keyword AS k
+             WHERE mk.keyword_id = k.id",
+            &storage,
+            &catalog,
+        );
+        result
+            .metrics
+            .root
+            .walk(&mut |node| assert!(node.metrics.exhausted, "{}", node.metrics.label));
+    }
+
+    /// A monitor that suspends at the first completed hash build covering more than
+    /// `min_rels` relations, recording everything it saw.
+    struct SuspendOnBuild {
+        min_rels: usize,
+        events: Vec<BreakerEvent>,
+    }
+
+    impl BreakerMonitor for SuspendOnBuild {
+        fn on_breaker_complete(&mut self, event: &BreakerEvent) -> BreakerDecision {
+            self.events.push(event.clone());
+            if event.kind == BreakerKind::HashBuild && event.rel_set.len() >= self.min_rels {
+                BreakerDecision::Suspend
+            } else {
+                BreakerDecision::Continue
+            }
+        }
+    }
+
+    #[test]
+    fn monitor_suspension_extracts_completed_build_state() {
+        let (storage, catalog) = build_env();
+        // Force hash joins so the plan has extractable build sides.
+        let statement = parse_sql(
+            "SELECT count(*) AS c
+             FROM title AS t, movie_keyword AS mk, keyword AS k
+             WHERE t.id = mk.movie_id AND mk.keyword_id = k.id AND k.keyword = 'kw3'",
+        )
+        .unwrap();
+        let optimizer = Optimizer::new(reopt_planner::OptimizerConfig {
+            enable_index_scans: false,
+            enable_index_nl_joins: false,
+            enable_merge_joins: false,
+            ..Default::default()
+        });
+        let planned = optimizer
+            .plan_select(
+                statement.query().unwrap(),
+                &storage,
+                &catalog,
+                &CardinalityOverrides::new(),
+            )
+            .unwrap();
+
+        let monitor = Rc::new(RefCell::new(SuspendOnBuild {
+            min_rels: 2,
+            events: Vec::new(),
+        }));
+        let executor = Executor::new(&storage);
+        let mut pipeline = executor
+            .open_monitored(&planned.plan, Some(monitor.clone()))
+            .unwrap();
+        let err = pipeline.next_batch().unwrap_err();
+        assert_eq!(err, ExecError::Suspended);
+        assert!(pipeline.is_suspended());
+        // Further pulls keep failing with the same signal.
+        assert_eq!(pipeline.next_batch().unwrap_err(), ExecError::Suspended);
+
+        // The two-relation build side (mk ⋈ k) was completed and is extractable,
+        // with all its predicates applied: 20 rows for keyword 3.
+        let states = pipeline.take_breaker_states();
+        let build = states
+            .iter()
+            .find(|s| s.rel_set.len() == 2)
+            .expect("two-relation build state");
+        assert_eq!(build.kind, BreakerKind::HashBuild);
+        assert_eq!(build.rows.len(), 20);
+        assert_eq!(build.schema.len(), 4, "mk and k columns, original qualifiers");
+        assert!(build.schema.index_of(Some("mk"), "movie_id").is_ok());
+        // The monitor saw the inner (single-relation) build complete first.
+        let events = &monitor.borrow().events;
+        assert!(events.len() >= 2);
+        assert_eq!(events[0].rel_set.len(), 1);
+        assert!(events.iter().all(|e| e.kind == BreakerKind::HashBuild));
+    }
+
+    #[test]
+    fn unmonitored_pipelines_never_suspend() {
+        let (storage, catalog) = build_env();
+        let planned = plan(
+            "SELECT count(*) AS c FROM movie_keyword AS mk, keyword AS k
+             WHERE mk.keyword_id = k.id",
+            &storage,
+            &catalog,
+        );
+        let executor = Executor::new(&storage);
+        let mut pipeline = executor.open_monitored(&planned.plan, None).unwrap();
+        let mut rows = 0;
+        while let Some(batch) = pipeline.next_batch().unwrap() {
+            rows += batch.len();
+        }
+        assert_eq!(rows, 1);
+        assert!(!pipeline.is_suspended());
     }
 
     #[test]

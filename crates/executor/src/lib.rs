@@ -17,6 +17,13 @@
 //! The batch seam doubles as a suspend/resume point: [`Executor::open`] returns a
 //! [`Pipeline`] that can be pulled one batch at a time, which is the hook a mid-query
 //! re-optimizer (or an async scheduler) needs to pause execution between batches.
+//! Going further, [`Executor::open_monitored`] installs a [`BreakerMonitor`] that is
+//! called at every *pipeline-breaker completion* — the points where true subtree
+//! cardinalities first become known, even mid-flight inside a single root
+//! `next_batch` call — and may suspend execution there. A suspended [`Pipeline`]
+//! surrenders its completed hash-build sides and nested-loop inners via
+//! [`Pipeline::take_breaker_states`] so a re-optimizer can re-plan the remaining
+//! joins around the already-computed state instead of restarting from scratch.
 //!
 //! Every executed node produces an [`OperatorMetrics`] record with the estimated and
 //! actual output cardinality, the number of batches, and the wall-clock time spent
@@ -29,6 +36,7 @@ pub mod metrics;
 
 pub use error::ExecError;
 pub use exec::{
-    execute_plan, ExecutionResult, Executor, Pipeline, RowBatch, DEFAULT_BATCH_SIZE,
+    execute_plan, BreakerDecision, BreakerEvent, BreakerKind, BreakerMonitor, BreakerState,
+    ExecutionResult, Executor, MonitorHandle, Pipeline, RowBatch, DEFAULT_BATCH_SIZE,
 };
 pub use metrics::{MetricsNode, OperatorMetrics, QueryMetrics};

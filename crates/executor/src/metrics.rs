@@ -16,17 +16,24 @@ pub struct OperatorMetrics {
     pub estimated_rows: f64,
     /// Actual output cardinality: the rows the operator *produced*. Under early
     /// termination (a LIMIT upstream) this can be fewer than the operator's full
-    /// output would have been.
+    /// output would have been; check [`OperatorMetrics::exhausted`] before treating
+    /// this as a true cardinality.
     pub actual_rows: u64,
     /// Number of output batches the operator produced.
     pub batches: u64,
+    /// Whether the operator **and its entire subtree** ran to completion. Operators
+    /// terminated early — typically by a LIMIT upstream — report `false`, as does a
+    /// Limit node that hit its count without draining its input (its `actual_rows`
+    /// is a truncated count for its relation set). Only exhausted counts are true
+    /// cardinalities; re-optimization detection must not consume anything else.
+    pub exhausted: bool,
     /// Wall-clock time spent in this operator, excluding its children.
     pub elapsed: Duration,
 }
 
 impl OperatorMetrics {
     /// The Q-error of this operator: `max(est/actual, actual/est)` with both sides
-    /// clamped to at least one row, as in Moerkotte et al. (reference [36] of the paper).
+    /// clamped to at least one row, as in Moerkotte et al. (reference \[36\] of the paper).
     pub fn q_error(&self) -> f64 {
         let estimated = self.estimated_rows.max(1.0);
         let actual = (self.actual_rows as f64).max(1.0);
@@ -99,8 +106,9 @@ impl MetricsNode {
     fn render_into(&self, depth: usize, out: &mut String) {
         let indent = "  ".repeat(depth);
         let arrow = if depth == 0 { "" } else { "-> " };
+        let partial = if self.metrics.exhausted { "" } else { " partial" };
         out.push_str(&format!(
-            "{indent}{arrow}{}  (estimated rows={:.0} actual rows={} batches={} q-error={:.2} time={:.3}ms)\n",
+            "{indent}{arrow}{}  (estimated rows={:.0} actual rows={}{partial} batches={} q-error={:.2} time={:.3}ms)\n",
             self.metrics.label,
             self.metrics.estimated_rows,
             self.metrics.actual_rows,
@@ -135,8 +143,21 @@ mod tests {
             estimated_rows: est,
             actual_rows: actual,
             batches: 1,
+            exhausted: true,
             elapsed: Duration::from_millis(1),
         }
+    }
+
+    #[test]
+    fn partial_operators_are_flagged_in_render() {
+        let mut m = metrics("Hash Join", &[0, 1], true, 10.0, 5);
+        m.exhausted = false;
+        let tree = MetricsNode {
+            metrics: m,
+            children: vec![],
+        };
+        let rendered = tree.render();
+        assert!(rendered.contains("actual rows=5 partial"), "{rendered}");
     }
 
     #[test]

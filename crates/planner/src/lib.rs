@@ -18,6 +18,9 @@
 //! * [`enumerate`] — DPccp join-order enumeration over connected subgraphs (bushy plans,
 //!   no Cartesian products) with a greedy (GOO) fallback beyond a configurable relation
 //!   count, mirroring PostgreSQL's GEQO threshold.
+//! * [`partial`] — plan-from-partial-state: collapse an already-materialized relation
+//!   subset into a virtual leaf so join enumeration is seeded with the pre-joined set
+//!   (the mid-query re-optimization hook).
 //! * [`plan`] / [`optimizer`] / [`explain`] — physical plan construction and rendering.
 
 pub mod binder;
@@ -28,6 +31,7 @@ pub mod error;
 pub mod explain;
 pub mod graph;
 pub mod optimizer;
+pub mod partial;
 pub mod plan;
 pub mod relset;
 pub mod spec;
@@ -40,6 +44,7 @@ pub use error::PlanError;
 pub use explain::explain_plan;
 pub use graph::JoinGraph;
 pub use optimizer::{Optimizer, OptimizerConfig, PlannedQuery};
+pub use partial::{collapse_spec, remap_rel_set, CollapsedSpec};
 pub use plan::{AggregateExpr, JoinAlgorithm, OutputExpr, PhysicalPlan, PlanKind, ScanKind};
 pub use relset::RelSet;
 pub use spec::{JoinEdge, QuerySpec, RelationSpec};

@@ -1,0 +1,326 @@
+//! Plan-from-partial-state: seed join enumeration with pre-joined relation sets.
+//!
+//! The mid-query re-optimization controller suspends a running pipeline once a
+//! pipeline breaker finishes materializing a badly mis-estimated subtree. At that
+//! point the subtree's output — every row, with all of the subtree's local predicates
+//! and join edges already applied — exists in memory (a completed hash-build side or
+//! nested-loop inner). Rather than discarding that work, the controller registers the
+//! rows as a *virtual leaf table* and asks the optimizer to re-plan only the
+//! **remaining** join order.
+//!
+//! [`collapse_spec`] performs the query-level half of that: it rewrites a bound
+//! [`QuerySpec`] so the materialized subset becomes a single base relation backed by
+//! the virtual table. Because intermediate schemas in this engine keep every column of
+//! every base relation (qualified by its original alias), no column renaming or
+//! expression rewriting is needed — join edges, residual predicates, the SELECT list,
+//! GROUP BY and ORDER BY continue to bind against the virtual relation's schema
+//! verbatim. Join enumeration over the collapsed spec is therefore *seeded* with the
+//! pre-joined set as one atomic leaf: DPccp can no longer split it, and the true
+//! cardinality of the set (from the virtual table's ANALYZE statistics) anchors every
+//! estimate above it.
+//!
+//! [`remap_rel_set`] translates relation subsets between the original and collapsed
+//! indexings so that observed cardinalities from the suspended run can be re-injected
+//! as [`CardinalityOverrides`](crate::CardinalityOverrides) for the re-planning round.
+
+use crate::relset::RelSet;
+use crate::spec::{JoinEdge, QuerySpec, RelationSpec};
+use reopt_storage::Schema;
+
+/// The result of collapsing a relation subset into a virtual leaf relation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CollapsedSpec {
+    /// The rewritten query: the subset's relations replaced by one virtual relation.
+    pub spec: QuerySpec,
+    /// Maps old relation indexes to new ones; `None` for members of the collapsed
+    /// subset (they are all represented by [`CollapsedSpec::virtual_index`]).
+    pub mapping: Vec<Option<usize>>,
+    /// The index of the virtual relation in the new spec.
+    pub virtual_index: usize,
+}
+
+/// Collapse `subset` into a single virtual relation named `alias`, backed by the
+/// storage table `table` whose schema is the materialized subtree's output schema
+/// (columns qualified by the *original* relation aliases).
+///
+/// Everything the subtree already computed is dropped from the collapsed spec: the
+/// subset members' local predicates, the join edges fully inside the subset, and the
+/// complex predicates fully inside the subset. Edges and predicates crossing the
+/// boundary are kept verbatim — their column references still resolve because the
+/// virtual relation's schema retains the original qualifiers.
+///
+/// # Panics
+///
+/// Panics if `subset` is empty or covers every relation of the query (there would be
+/// nothing left to plan).
+pub fn collapse_spec(
+    spec: &QuerySpec,
+    subset: RelSet,
+    alias: &str,
+    table: &str,
+    schema: Schema,
+) -> CollapsedSpec {
+    assert!(!subset.is_empty(), "cannot collapse an empty subset");
+    assert!(
+        subset.is_proper_subset_of(spec.all_relations()),
+        "cannot collapse the whole query"
+    );
+
+    let mut mapping: Vec<Option<usize>> = Vec::with_capacity(spec.relation_count());
+    let mut relations: Vec<RelationSpec> = Vec::new();
+    let mut local_predicates: Vec<Vec<reopt_expr::Expr>> = Vec::new();
+    for relation in &spec.relations {
+        if subset.contains(relation.index) {
+            mapping.push(None);
+        } else {
+            let index = relations.len();
+            mapping.push(Some(index));
+            relations.push(RelationSpec {
+                index,
+                alias: relation.alias.clone(),
+                table: relation.table.clone(),
+                schema: relation.schema.clone(),
+            });
+            local_predicates.push(spec.local_predicates[relation.index].clone());
+        }
+    }
+    let virtual_index = relations.len();
+    relations.push(RelationSpec {
+        index: virtual_index,
+        alias: alias.to_string(),
+        table: table.to_string(),
+        schema,
+    });
+    // The virtual relation's predicates were all applied while materializing it.
+    local_predicates.push(Vec::new());
+
+    let map_rel = |old: usize| mapping[old].unwrap_or(virtual_index);
+
+    let join_edges: Vec<JoinEdge> = spec
+        .join_edges
+        .iter()
+        .filter(|edge| !(subset.contains(edge.left_rel) && subset.contains(edge.right_rel)))
+        .map(|edge| JoinEdge {
+            left_rel: map_rel(edge.left_rel),
+            left_column: edge.left_column.clone(),
+            right_rel: map_rel(edge.right_rel),
+            right_column: edge.right_column.clone(),
+        })
+        .collect();
+
+    let complex_predicates = spec
+        .complex_predicates
+        .iter()
+        .filter(|(set, _)| !set.is_subset_of(subset))
+        .map(|(set, predicate)| {
+            let remapped = RelSet::from_indexes(set.iter().map(map_rel));
+            (remapped, predicate.clone())
+        })
+        .collect();
+
+    CollapsedSpec {
+        spec: QuerySpec {
+            relations,
+            local_predicates,
+            join_edges,
+            complex_predicates,
+            output: spec.output.clone(),
+            group_by: spec.group_by.clone(),
+            order_by: spec.order_by.clone(),
+            limit: spec.limit,
+        },
+        mapping,
+        virtual_index,
+    }
+}
+
+/// Translate a relation subset from the original indexing into the collapsed one.
+///
+/// Returns `None` when the set cannot be expressed in the collapsed spec: a strict
+/// subset of the collapsed relations (its cardinality is interior to the virtual leaf)
+/// or a partial overlap (the virtual leaf cannot be split). Sets disjoint from the
+/// collapsed subset map member-wise; sets containing it map onto the remapped members
+/// plus the virtual relation; the collapsed subset itself maps to the virtual
+/// singleton.
+pub fn remap_rel_set(
+    set: RelSet,
+    subset: RelSet,
+    mapping: &[Option<usize>],
+    virtual_index: usize,
+) -> Option<RelSet> {
+    if set.is_empty() {
+        return None;
+    }
+    let outside = set.difference(subset);
+    let mapped = RelSet::from_indexes(
+        outside
+            .iter()
+            .map(|rel| mapping[rel].expect("relation outside the subset has a mapping")),
+    );
+    if set.is_disjoint(subset) {
+        Some(mapped)
+    } else if subset.is_subset_of(set) {
+        Some(mapped.insert(virtual_index))
+    } else {
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use reopt_expr::{ColumnRef, Expr};
+    use reopt_sql::{SelectExpr, SelectItem};
+    use reopt_storage::{Column, DataType};
+
+    fn rel(index: usize, alias: &str, table: &str, columns: &[&str]) -> RelationSpec {
+        RelationSpec {
+            index,
+            alias: alias.into(),
+            table: table.into(),
+            schema: Schema::new(
+                columns
+                    .iter()
+                    .map(|c| Column::new(*c, DataType::Int))
+                    .collect(),
+            )
+            .qualified(alias),
+        }
+    }
+
+    /// A chain t -(id = mk.movie_id)- mk -(keyword_id = k.id)- k with a filter on k
+    /// and a complex predicate across t and k.
+    fn spec() -> QuerySpec {
+        QuerySpec {
+            relations: vec![
+                rel(0, "t", "title", &["id", "production_year"]),
+                rel(1, "mk", "movie_keyword", &["movie_id", "keyword_id"]),
+                rel(2, "k", "keyword", &["id", "keyword"]),
+            ],
+            local_predicates: vec![
+                vec![],
+                vec![],
+                vec![Expr::eq(Expr::col("k", "keyword"), Expr::lit(7))],
+            ],
+            join_edges: vec![
+                JoinEdge {
+                    left_rel: 0,
+                    left_column: ColumnRef::qualified("t", "id"),
+                    right_rel: 1,
+                    right_column: ColumnRef::qualified("mk", "movie_id"),
+                },
+                JoinEdge {
+                    left_rel: 1,
+                    left_column: ColumnRef::qualified("mk", "keyword_id"),
+                    right_rel: 2,
+                    right_column: ColumnRef::qualified("k", "id"),
+                },
+            ],
+            complex_predicates: vec![(
+                RelSet::from_indexes([0, 2]),
+                Expr::binary(
+                    reopt_expr::BinaryOp::Gt,
+                    Expr::col("t", "id"),
+                    Expr::col("k", "id"),
+                ),
+            )],
+            output: vec![SelectItem {
+                expr: SelectExpr::Wildcard,
+                alias: None,
+            }],
+            group_by: vec![],
+            order_by: vec![],
+            limit: None,
+        }
+    }
+
+    fn virtual_schema(spec: &QuerySpec, subset: RelSet) -> Schema {
+        spec.schema_of(subset)
+    }
+
+    #[test]
+    fn collapse_replaces_subset_with_virtual_leaf() {
+        let spec = spec();
+        let subset = RelSet::from_indexes([1, 2]);
+        let collapsed = collapse_spec(
+            &spec,
+            subset,
+            "mq1",
+            "reopt_mq1",
+            virtual_schema(&spec, subset),
+        );
+
+        assert_eq!(collapsed.spec.relation_count(), 2);
+        assert_eq!(collapsed.mapping, vec![Some(0), None, None]);
+        assert_eq!(collapsed.virtual_index, 1);
+        // The surviving relation is re-indexed, the virtual one appended.
+        assert_eq!(collapsed.spec.relations[0].alias, "t");
+        assert_eq!(collapsed.spec.relations[0].index, 0);
+        assert_eq!(collapsed.spec.relations[1].alias, "mq1");
+        assert_eq!(collapsed.spec.relations[1].table, "reopt_mq1");
+        // The k filter was applied inside the subtree and is gone; the virtual
+        // relation carries no local predicates.
+        assert!(collapsed.spec.local_predicates[1].is_empty());
+        // The mk-k edge collapsed away; the t-mk edge now targets the virtual leaf
+        // with its original column references intact.
+        assert_eq!(collapsed.spec.join_edges.len(), 1);
+        let edge = &collapsed.spec.join_edges[0];
+        assert_eq!((edge.left_rel, edge.right_rel), (0, 1));
+        assert_eq!(edge.right_column, ColumnRef::qualified("mk", "movie_id"));
+        // The t/k complex predicate crosses the boundary: kept, with k mapped to the
+        // virtual index.
+        assert_eq!(collapsed.spec.complex_predicates.len(), 1);
+        assert_eq!(
+            collapsed.spec.complex_predicates[0].0,
+            RelSet::from_indexes([0, 1])
+        );
+        // The virtual schema still binds the original qualified columns.
+        let schema = &collapsed.spec.relations[1].schema;
+        assert!(schema.index_of(Some("mk"), "movie_id").is_ok());
+        assert!(schema.index_of(Some("k"), "keyword").is_ok());
+    }
+
+    #[test]
+    fn collapse_of_singleton_keeps_other_relations() {
+        let spec = spec();
+        let subset = RelSet::single(2);
+        let collapsed =
+            collapse_spec(&spec, subset, "mq1", "reopt_mq1", virtual_schema(&spec, subset));
+        assert_eq!(collapsed.spec.relation_count(), 3);
+        assert_eq!(collapsed.virtual_index, 2);
+        // Both edges survive; the mk-k edge now points at the virtual leaf.
+        assert_eq!(collapsed.spec.join_edges.len(), 2);
+        assert_eq!(collapsed.spec.join_edges[1].right_rel, 2);
+        // k's filter is gone (applied during materialization).
+        assert!(collapsed.spec.local_predicates[2].is_empty());
+    }
+
+    #[test]
+    fn remap_translates_observed_subsets() {
+        let spec = spec();
+        let subset = RelSet::from_indexes([1, 2]);
+        let collapsed =
+            collapse_spec(&spec, subset, "mq1", "reopt_mq1", virtual_schema(&spec, subset));
+        let remap = |set: RelSet| {
+            remap_rel_set(set, subset, &collapsed.mapping, collapsed.virtual_index)
+        };
+        // Disjoint: maps member-wise.
+        assert_eq!(remap(RelSet::single(0)), Some(RelSet::single(0)));
+        // The subset itself: the virtual singleton.
+        assert_eq!(remap(subset), Some(RelSet::single(1)));
+        // A superset: outside members plus the virtual leaf.
+        assert_eq!(remap(RelSet::all(3)), Some(RelSet::from_indexes([0, 1])));
+        // Interior and partially-overlapping sets are inexpressible.
+        assert_eq!(remap(RelSet::single(1)), None);
+        assert_eq!(remap(RelSet::from_indexes([0, 1])), None);
+        assert_eq!(remap(RelSet::EMPTY), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot collapse the whole query")]
+    fn collapsing_everything_panics() {
+        let spec = spec();
+        let subset = RelSet::all(3);
+        collapse_spec(&spec, subset, "mq1", "reopt_mq1", Schema::empty());
+    }
+}

@@ -168,7 +168,7 @@ fn reoptimization_preserves_results_on_skewed_queries() {
     for id in ["1a", "2a", "2d", "6a", "9a", "11a"] {
         let query = job_query(id).unwrap();
         let expected = db.execute(&query.sql).unwrap();
-        for mode in [ReoptMode::Materialize, ReoptMode::InjectOnly] {
+        for mode in [ReoptMode::Materialize, ReoptMode::InjectOnly, ReoptMode::MidQuery] {
             let config = ReoptConfig {
                 threshold: 8.0,
                 mode,
@@ -184,6 +184,59 @@ fn reoptimization_preserves_results_on_skewed_queries() {
         // No temporary tables may survive.
         assert_eq!(db.storage().table_count(), 21, "temp tables left behind by {id}");
     }
+}
+
+#[test]
+fn mid_query_reopt_reuses_hash_build_state_on_a_skewed_job_query() {
+    // Force hash joins so the mis-estimated subtree deterministically lands on a
+    // build side — the state mid-query re-optimization suspends on and reuses.
+    let mut db = Database::with_config(OptimizerConfig {
+        enable_index_scans: false,
+        enable_index_nl_joins: false,
+        enable_merge_joins: false,
+        ..Default::default()
+    });
+    load_imdb(&mut db, &ImdbConfig { scale: 0.03, seed: 9 }).unwrap();
+
+    // Family 10's join-crossing correlation (franchise movies have both the popular
+    // keywords and far more cast entries) mis-estimates a mid-plan subtree by three
+    // orders of magnitude at this scale.
+    let query = job_query("10a").unwrap();
+    let expected = db.execute(&query.sql).unwrap();
+
+    let config = ReoptConfig {
+        threshold: 8.0,
+        mode: ReoptMode::MidQuery,
+        ..ReoptConfig::default()
+    };
+    let report = execute_with_reoptimization(&mut db, &query.sql, &config).unwrap();
+    assert_eq!(report.final_rows, expected.rows, "mid-query changed the result");
+    assert!(report.reoptimized(), "the skewed keyword join must trigger");
+
+    // At least one completed hash-build side crossed the re-plan, and the final
+    // metrics prove it: the virtual table is scanned, producing exactly the reused
+    // rows instead of re-executing the subtree behind it.
+    let reused_round = report
+        .rounds
+        .iter()
+        .find(|round| round.reused_rows.unwrap_or(0) > 0)
+        .expect("a mid-query round reusing build state");
+    let virt_name = reused_round.temp_table.clone().unwrap();
+    let metrics = report.final_metrics.as_ref().unwrap();
+    let mut reused_scan_rows = None;
+    metrics.root.walk(&mut |node| {
+        if node.metrics.label.contains(&virt_name) {
+            reused_scan_rows = Some(node.metrics.actual_rows);
+        }
+    });
+    assert_eq!(
+        reused_scan_rows,
+        Some(reused_round.reused_rows.unwrap()),
+        "final plan must scan the reused state:\n{}",
+        metrics.root.render()
+    );
+    // No virtual tables survive the report.
+    assert!(!db.storage().contains_table(&virt_name));
 }
 
 #[test]
