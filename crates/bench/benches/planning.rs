@@ -32,6 +32,28 @@ fn planning_by_relation_count(c: &mut Criterion) {
             .clone();
         let statement = parse_sql(&query.sql).unwrap();
         let select = statement.query().unwrap().clone();
+
+        // The estimator memoizes join-edge selectivities across DP pairs: every
+        // subset estimate beyond the first touch of an edge must be a memo hit, and
+        // the bigger the join graph the more the memo carries (a 17-relation DPccp
+        // run walks each edge thousands of times).
+        let (planned, _) = harness.db.plan_select(&select).expect("plans");
+        let log = &planned.estimation_log;
+        let hit_rate = log.selectivity_memo_hit_rate();
+        assert!(
+            hit_rate > 0.5,
+            "{table_count}-relation planning: selectivity memo hit rate {hit_rate:.3} \
+             ({} hits / {} misses) — memoization across DP pairs regressed",
+            log.selectivity_memo_hits,
+            log.selectivity_memo_misses,
+        );
+        if table_count >= 10 {
+            assert!(
+                hit_rate > 0.9,
+                "{table_count}-relation planning: expected >90% memo hits, got {hit_rate:.3}"
+            );
+        }
+
         group.bench_with_input(
             BenchmarkId::from_parameter(table_count),
             &select,

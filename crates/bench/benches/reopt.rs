@@ -95,6 +95,48 @@ fn mid_query(c: &mut Criterion) {
             });
         });
     }
+
+    // The index-NL scenario: under the *default* optimizer configuration the same
+    // query plans as a pure index-nested-loop pipeline — no breaker state exists, so
+    // the old breaker-only monitor never fired here and MidQuery silently degenerated
+    // to plain execution. Streaming Progress events close that gap: the skewed join
+    // overshoots its estimate after a few batches and the policy re-plans mid-flight,
+    // where the restart policy pays a full detection execution per round.
+    let mut default_db = Database::new();
+    load_imdb(&mut default_db, &ImdbConfig { scale: 0.03, seed: 19 }).expect("imdb loads");
+    group.bench_function("index_nl_plain", |b| {
+        b.iter(|| default_db.execute(&query.sql).expect("runs"));
+    });
+    group.bench_function("index_nl_materialize_restart", |b| {
+        // The paper's threshold (32): only the two-orders-of-magnitude violation
+        // triggers, so both policies perform exactly one corrective round.
+        let config = ReoptConfig::with_threshold(32.0);
+        b.iter(|| {
+            let report = execute_with_reoptimization(&mut default_db, &query.sql, &config)
+                .expect("runs");
+            assert!(report.reoptimized(), "restart must trigger on index-NL 10a");
+            report
+        });
+    });
+    group.bench_function("index_nl_progress_replan", |b| {
+        let config = ReoptConfig {
+            threshold: 32.0,
+            mode: ReoptMode::MidQuery,
+            ..ReoptConfig::default()
+        };
+        b.iter(|| {
+            let report = execute_with_reoptimization(&mut default_db, &query.sql, &config)
+                .expect("runs");
+            assert!(
+                report
+                    .rounds
+                    .iter()
+                    .any(|round| round.trigger == reopt_core::ReoptTrigger::Progress),
+                "a streaming progress event must trigger on index-NL 10a"
+            );
+            report
+        });
+    });
     group.finish();
 }
 

@@ -1,24 +1,49 @@
 //! Release-mode perf/correctness smoke for CI.
 //!
-//! Executes one mid-size JOB query (12 tables) under plain execution and under all
-//! three re-optimization modes (Materialize, InjectOnly, MidQuery), checks that all
-//! four agree on the result, and prints the timings plus the executor's peak
-//! buffered-row count. Exits non-zero on any divergence, which is what gates
-//! result-correctness regressions in CI.
+//! Walks the JOB suite family by family (up to `REOPT_SMOKE_PER_FAMILY` queries per
+//! family, default 3, skipping queries joining more than `REOPT_SMOKE_MAX_TABLES`
+//! relations, default 12) and executes every selected query under plain execution and
+//! under all three built-in re-optimization policies (materialize-restart,
+//! inject-only, mid-query) through the policy driver, checking that all four agree on
+//! the result. The first query of every family additionally runs the
+//! selective-improvement policy to completion. Exits non-zero on any divergence,
+//! which is what gates result-correctness regressions in CI — a concrete step from
+//! the old single-query smoke toward full 113-query suite coverage.
 //!
 //! ```text
 //! cargo run --release -p reopt-bench --bin perf_smoke
+//! REOPT_SMOKE_PER_FAMILY=5 REOPT_SMOKE_MAX_TABLES=17 REOPT_SCALE=0.05 \
+//!     cargo run --release -p reopt-bench --bin perf_smoke
 //! ```
 
 use reopt_bench::{Harness, HarnessConfig};
-use reopt_core::{execute_with_reoptimization, ReoptConfig, ReoptMode};
-use std::time::Instant;
+use reopt_core::{
+    execute_with_reoptimization, selective_improvement, ReoptConfig, ReoptMode, SelectiveConfig,
+};
+use reopt_workload::JobQuery;
+use std::time::{Duration, Instant};
 
-const QUERY_ID: &str = "11a";
+fn env_usize(name: &str, default: usize) -> usize {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+fn env_f64(name: &str, default: f64) -> f64 {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
 
 fn main() {
+    let per_family = env_usize("REOPT_SMOKE_PER_FAMILY", 3).max(1);
+    let max_tables = env_usize("REOPT_SMOKE_MAX_TABLES", 12).max(2);
+    let scale = env_f64("REOPT_SCALE", 0.02);
+
     let config = HarnessConfig {
-        scale: 0.02,
+        scale,
         stride: 1,
         threshold: 8.0,
         seed: 13,
@@ -38,68 +63,112 @@ fn main() {
         build_start.elapsed().as_secs_f64()
     );
 
-    let query = harness
-        .queries
-        .iter()
-        .find(|q| q.id == QUERY_ID)
-        .expect("suite contains the smoke query")
-        .clone();
-
-    // Plain (default-optimizer) execution is the reference result.
-    let plain_start = Instant::now();
-    let plain = match harness.db.execute(&query.sql) {
-        Ok(output) => output,
-        Err(error) => {
-            eprintln!("perf_smoke: plain execution of {QUERY_ID} failed: {error}");
-            std::process::exit(1);
+    // Up to `per_family` queries of every family, smallest variants first as listed.
+    let mut selected: Vec<JobQuery> = Vec::new();
+    let mut family_counts = std::collections::HashMap::new();
+    for query in &harness.queries {
+        if query.table_count > max_tables {
+            continue;
         }
-    };
-    println!(
-        "perf_smoke: {QUERY_ID} plain        {:>8.3}s  (peak buffered rows {})",
-        plain_start.elapsed().as_secs_f64(),
-        plain.peak_buffered_rows
+        let count = family_counts.entry(query.family).or_insert(0usize);
+        if *count < per_family {
+            *count += 1;
+            selected.push(query.clone());
+        }
+    }
+    eprintln!(
+        "perf_smoke: {} queries across {} families (<= {per_family}/family, <= {max_tables} tables)",
+        selected.len(),
+        family_counts.len()
     );
 
+    let modes = [ReoptMode::Materialize, ReoptMode::InjectOnly, ReoptMode::MidQuery];
+    let mut mode_time = [Duration::ZERO; 3];
+    let mut mode_rounds = [0usize; 3];
+    let mut plain_time = Duration::ZERO;
+    let mut selective_runs = 0usize;
+    let mut seen_families = std::collections::HashSet::new();
     let mut failed = false;
-    for mode in [ReoptMode::Materialize, ReoptMode::InjectOnly, ReoptMode::MidQuery] {
-        let config = ReoptConfig {
-            threshold: 8.0,
-            mode,
-            ..ReoptConfig::default()
+
+    for query in &selected {
+        let id = &query.id;
+        let plain_start = Instant::now();
+        let plain = match harness.db.execute(&query.sql) {
+            Ok(output) => output,
+            Err(error) => {
+                eprintln!("perf_smoke: plain execution of {id} failed: {error}");
+                failed = true;
+                continue;
+            }
         };
-        let start = Instant::now();
-        match execute_with_reoptimization(&mut harness.db, &query.sql, &config) {
-            Ok(report) => {
-                let reused: u64 = report
-                    .rounds
-                    .iter()
-                    .filter_map(|round| round.reused_rows)
-                    .sum();
-                println!(
-                    "perf_smoke: {QUERY_ID} {mode:?}  {:>8.3}s  (rounds {}, reused rows {}, peak buffered rows {})",
-                    start.elapsed().as_secs_f64(),
-                    report.rounds.len(),
-                    reused,
-                    report.peak_buffered_rows
-                );
-                if report.final_rows != plain.rows {
-                    eprintln!(
-                        "perf_smoke: RESULT MISMATCH for {QUERY_ID} under {mode:?}: \
-                         {:?} vs plain {:?}",
-                        report.final_rows, plain.rows
-                    );
+        plain_time += plain_start.elapsed();
+
+        for (idx, mode) in modes.iter().enumerate() {
+            let config = ReoptConfig {
+                threshold: 8.0,
+                mode: *mode,
+                ..ReoptConfig::default()
+            };
+            let start = Instant::now();
+            match execute_with_reoptimization(&mut harness.db, &query.sql, &config) {
+                Ok(report) => {
+                    mode_time[idx] += start.elapsed();
+                    mode_rounds[idx] += report.rounds.len();
+                    if report.final_rows != plain.rows {
+                        eprintln!(
+                            "perf_smoke: RESULT MISMATCH for {id} under {} ({mode:?}): \
+                             {:?} vs plain {:?}",
+                            report.policy, report.final_rows, plain.rows
+                        );
+                        failed = true;
+                    }
+                }
+                Err(error) => {
+                    eprintln!("perf_smoke: re-optimized run of {id} ({mode:?}) failed: {error}");
                     failed = true;
                 }
             }
-            Err(error) => {
-                eprintln!("perf_smoke: re-optimized run ({mode:?}) failed: {error}");
-                failed = true;
+        }
+
+        // The selective-improvement policy re-executes up to its iteration budget;
+        // run it once per family to keep the smoke's runtime linear in the suite.
+        if seen_families.insert(query.family) {
+            let selective = SelectiveConfig {
+                threshold: 8.0,
+                max_iterations: 8,
+            };
+            match selective_improvement(&mut harness.db, &query.sql, &selective) {
+                Ok(iterations) => {
+                    selective_runs += 1;
+                    if iterations.is_empty() {
+                        eprintln!("perf_smoke: selective improvement of {id} recorded no runs");
+                        failed = true;
+                    }
+                }
+                Err(error) => {
+                    eprintln!("perf_smoke: selective improvement of {id} failed: {error}");
+                    failed = true;
+                }
             }
         }
     }
+
+    println!(
+        "perf_smoke: {} queries  plain {:>7.2}s",
+        selected.len(),
+        plain_time.as_secs_f64()
+    );
+    for (idx, mode) in modes.iter().enumerate() {
+        println!(
+            "perf_smoke: {mode:?}  {:>7.2}s  ({} rounds total)",
+            mode_time[idx].as_secs_f64(),
+            mode_rounds[idx]
+        );
+    }
+    println!("perf_smoke: selective improvement converged on {selective_runs} families");
 
     if failed {
         std::process::exit(1);
     }
-    println!("perf_smoke: all four modes agree");
+    println!("perf_smoke: plain + all policies agree on every query");
 }

@@ -383,10 +383,37 @@ impl Database {
         Ok(text)
     }
 
+    /// Run a query under an arbitrary re-optimization policy: the new entry point of
+    /// the unified control plane. Equivalent to
+    /// [`execute_with_policy`](crate::reopt::execute_with_policy); the paper's three
+    /// modes remain reachable through
+    /// [`execute_with_reoptimization`](crate::execute_with_reoptimization) /
+    /// [`ReoptConfig::policy`](crate::ReoptConfig::policy). See
+    /// [`crate::policy`] for the decision semantics and a minimal policy
+    /// implementation.
+    pub fn execute_with_policy(
+        &mut self,
+        sql: &str,
+        policy: &mut dyn crate::policy::ReoptPolicy,
+    ) -> Result<crate::reopt::ReoptReport, DbError> {
+        crate::reopt::execute_with_policy(self, sql, policy)
+    }
+
     /// Drop every temporary table (created by re-optimization) and its statistics.
     pub fn drop_temporary_tables(&mut self) {
         for name in self.storage.drop_temporary_tables() {
             self.catalog.remove_statistics(&name);
+        }
+    }
+
+    /// Drop specific tables (and their statistics), ignoring names that no longer
+    /// exist. The policy driver uses this to clean up exactly the temporary tables
+    /// *it* created, leaving any user-created session temp tables alone.
+    pub fn drop_tables(&mut self, names: &[String]) {
+        for name in names {
+            if self.storage.drop_table(name).is_ok() {
+                self.catalog.remove_statistics(name);
+            }
         }
     }
 }

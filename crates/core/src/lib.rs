@@ -12,19 +12,24 @@
 //! * [`oracle`] — the **perfect-(n)** cardinality oracle: true cardinalities for every
 //!   connected relation subset of at most `n` relations, injected into the estimator
 //!   (Sections III-B and V-B, Figures 1, 2 and 8).
-//! * [`reopt`] — the re-optimization controller simulating the paper's scheme: find the
-//!   lowest join whose Q-error exceeds the threshold, materialize that sub-join as a
-//!   temporary table (`CREATE TEMP TABLE ... AS SELECT ...`), rewrite the remainder of
-//!   the query around it, re-plan, repeat (Section V, Figure 6).
+//! * [`policy`] — the pluggable re-optimization control plane: the [`ReoptPolicy`]
+//!   trait (observe executor events and completed runs, decide
+//!   `Continue | Restart | ReplanMidQuery`) and the built-in policies the paper's
+//!   schemes are expressed as.
+//! * [`reopt`] — the unified driver ([`execute_with_policy`]) behind every scheme:
+//!   temp-table materialization and query rewriting (Section V, Figure 6),
+//!   cardinality injection, and mid-flight suspension with breaker-state reuse.
+//!   [`ReoptMode`] survives as a thin constructor over the built-in policies.
 //! * [`selective`] — the LEO-style *selective improvement* simulation of Section IV-E
 //!   (Figure 5): iteratively correct the lowest mis-estimated operator's cardinality and
-//!   re-plan, without materialization.
+//!   re-plan, without materialization — now a built-in policy on the same driver.
 //! * [`report`] — per-query and per-workload run records shared by the experiment
 //!   harnesses in `reopt-bench`.
 
 pub mod database;
 pub mod error;
 pub mod oracle;
+pub mod policy;
 pub mod qerror;
 pub mod reopt;
 pub mod report;
@@ -33,7 +38,14 @@ pub mod selective;
 pub use database::{Database, QueryOutput};
 pub use error::DbError;
 pub use oracle::{connected_subsets_up_to, PerfectOracle};
+pub use policy::{
+    Correction, MidQueryPolicy, PolicyContext, PolicyDecision, ReoptPolicy, ReoptTrigger,
+    RestartPolicy, SelectivePolicy, Violation,
+};
 pub use qerror::{q_error, DEFAULT_REOPT_THRESHOLD};
-pub use reopt::{execute_with_reoptimization, ReoptConfig, ReoptMode, ReoptReport, ReoptRound, ReoptRoundKind};
+pub use reopt::{
+    execute_with_policy, execute_with_reoptimization, ReoptConfig, ReoptMode, ReoptReport,
+    ReoptRound, ReoptRoundKind,
+};
 pub use report::{relative_runtime_buckets, QueryRun, RuntimeBucket, WorkloadRun};
 pub use selective::{selective_improvement, SelectiveConfig, SelectiveIteration};

@@ -1,4 +1,4 @@
-//! The re-optimization controller (Section V of the paper).
+//! The re-optimization driver (Section V of the paper, generalized).
 //!
 //! The paper simulates a simple mid-query re-optimization scheme:
 //!
@@ -10,56 +10,57 @@
 //!    temporary table and re-plan.
 //! 4. Repeat until no join operator exceeds the threshold.
 //!
-//! The reported *planning time* is the planning time of the original query plus the
-//! planning time of every rewritten SELECT; the reported *execution time* is the
-//! execution time of every `CREATE TEMP TABLE` plus the final SELECT (the paper does not
-//! charge the temp-table planning, and the intermediate detection runs are an artifact
-//! of the simulation, not of the simulated system). Both are surfaced separately in the
-//! [`ReoptReport`], along with the detection cost for transparency.
+//! That scheme — and every variant this crate studies — is one instance of the same
+//! control loop: *observe* cardinality truth, *decide*, *re-plan*. This module is the
+//! mechanism half of that loop: [`execute_with_policy`] is a single driver that plans,
+//! executes (forwarding the executor's [`ExecEvent`] stream to the policy), and applies
+//! whatever a [`ReoptPolicy`] decides:
 //!
-//! Three modes are provided:
+//! * [`PolicyDecision::Restart`] with `materialize: true` — split the violating subset
+//!   off as a temporary table ([`materialize_subset`], Figure 6 of the paper), rewrite
+//!   the remainder around it and start over.
+//! * [`PolicyDecision::Restart`] with `materialize: false` — inject the observed
+//!   cardinalities into the estimator and re-plan the same query.
+//! * [`PolicyDecision::ReplanMidQuery`] — suspend the running pipeline where the
+//!   violation surfaced; when the trigger is a *reusable* completed breaker (hash-build
+//!   side or nested-loop inner) its rows are registered as a virtual leaf table with
+//!   true statistics, the query is collapsed around it
+//!   ([`reopt_planner::collapse_spec`]) and only the remainder is re-planned — the
+//!   already-built state is never re-executed. When the trigger is a streaming
+//!   [`Progress`](crate::policy::ReoptTrigger::Progress) observation (e.g. an index-NL
+//!   pipeline overshooting its estimate, where no breaker state exists), the observed
+//!   bound plus every exact observation from the aborted run is injected and the
+//!   remainder re-planned from scratch — catching the mis-estimate after a few cheap
+//!   batches instead of a full detection run.
 //!
-//! * [`ReoptMode::Materialize`] — the paper's scheme (temporary tables, full
-//!   materialization cost, statistics on the temp table give the re-planner the true
-//!   cardinality of the materialized sub-join). Detection requires a *restart*: a full
-//!   execution of the current query whose per-join true cardinalities are compared
-//!   against the estimates afterwards.
-//! * [`ReoptMode::InjectOnly`] — an optimistic variant that skips materialization and
-//!   only injects the observed cardinality before re-planning the *original* query; it
-//!   bounds from below the cost a more sophisticated in-flight re-optimizer (e.g.
-//!   Rio-style proactive plans) could achieve, and is used by the ablation benches.
-//! * [`ReoptMode::MidQuery`] — goes beyond the paper: true *mid-flight*
-//!   re-optimization on the executor's batch seam. A
-//!   [`BreakerMonitor`] watches every
-//!   pipeline-breaker completion (hash-join build drained, nested-loop inner
-//!   buffered, merge/aggregate/sort input consumed — the first points where true
-//!   subtree cardinalities exist, even under a LIMIT). When a completed, reusable
-//!   subtree's q-error exceeds the threshold, execution suspends; the breaker's rows
-//!   are registered as a virtual leaf table with true statistics, the remaining join
-//!   order is re-planned from the collapsed query
-//!   ([`reopt_planner::collapse_spec`]) with every observed cardinality re-injected
-//!   ([`reopt_planner::remap_rel_set`]), and execution resumes on the new plan —
-//!   reusing the already-built state instead of re-executing it.
+//! The paper's three modes survive as [`ReoptMode`], a thin constructor over the
+//! built-in policies ([`ReoptConfig::policy`]); the selective-improvement simulation
+//! drives the same loop through [`SelectivePolicy`](crate::SelectivePolicy).
 //!
-//! Detection in the restart modes only consumes **exhausted** operator counts
-//! ([`OperatorMetrics::exhausted`](reopt_executor::OperatorMetrics::exhausted)):
-//! operators truncated by early termination under a LIMIT report partial
-//! `actual_rows`, which must never be mistaken for true cardinalities. Fully-drained
-//! operators (including every breaker input) are fair game, which makes *detection*
-//! under LIMIT safe; the *rewrite* additionally requires the output to be
-//! plan-order-insensitive (single-row aggregates — see `reopt_safe_under_limit`),
-//! because a multi-row output truncated by a LIMIT could keep a different subset
-//! under a different join order.
+//! The reported *planning time* is the planning time of the original query plus every
+//! re-planning round; the reported *execution time* is every materialization plus the
+//! final run; work that was executed and then abandoned (full detection runs for the
+//! restart policies, the partial run up to a suspension for mid-query rounds) is
+//! surfaced separately as detection time. Detection only ever consumes **exhausted**
+//! operator counts ([`OperatorMetrics::exhausted`](reopt_executor::OperatorMetrics)):
+//! operators truncated by early termination under a LIMIT report partial `actual_rows`,
+//! which must never be mistaken for true cardinalities. The *rewrite* additionally
+//! requires the output to be plan-order-insensitive (single-row aggregates — see
+//! `reopt_safe_under_limit`), because a multi-row output truncated by a LIMIT could
+//! keep a different subset under a different join order; wildcard selects run plain
+//! under every policy (no projection node, so a re-planned join order would permute
+//! their columns).
 
 use crate::database::Database;
 use crate::error::DbError;
-use crate::qerror::{q_error, DEFAULT_REOPT_THRESHOLD};
+use crate::policy::{PolicyContext, PolicyDecision, ReoptPolicy, ReoptTrigger, Violation};
+use crate::qerror::DEFAULT_REOPT_THRESHOLD;
 use reopt_executor::{
-    BreakerDecision, BreakerEvent, BreakerMonitor, BreakerState, ExecError, Executor,
-    QueryMetrics,
+    BreakerState, ExecError, ExecEvent, ExecutionObserver, Executor, ObserverDecision,
+    ObserverHandle, QueryMetrics,
 };
 use reopt_expr::{ColumnRef, Expr};
-use reopt_planner::{collapse_spec, remap_rel_set, CardinalityOverrides, QuerySpec, RelSet};
+use reopt_planner::{collapse_spec, CardinalityOverrides, PlannedQuery, QuerySpec, RelSet};
 use reopt_sql::{parse_sql, SelectExpr, SelectItem, SelectStatement, Statement, TableRef};
 use reopt_storage::Row;
 use std::cell::RefCell;
@@ -67,30 +68,34 @@ use std::collections::BTreeSet;
 use std::rc::Rc;
 use std::time::{Duration, Instant};
 
-/// How the controller applies what it learned from a mis-estimated join.
+/// The paper's three re-optimization schemes, kept as a thin constructor over the
+/// policy API ([`ReoptConfig::policy`]).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum ReoptMode {
     /// Materialize the mis-estimated sub-join into a temporary table and rewrite the
-    /// remainder of the query around it (the paper's simulation).
+    /// remainder of the query around it (the paper's simulation;
+    /// [`RestartPolicy`](crate::RestartPolicy) with `materialize: true`).
     Materialize,
     /// Only inject the observed cardinality into the estimator and re-plan the original
-    /// query (no materialization cost; an optimistic lower bound).
+    /// query (no materialization cost; an optimistic lower bound;
+    /// [`RestartPolicy`](crate::RestartPolicy) with `materialize: false`).
     InjectOnly,
-    /// Suspend the running pipeline at the pipeline-breaker boundary where the
-    /// mis-estimate surfaced, reuse the completed breaker state as a virtual leaf
-    /// table, and re-plan only the remaining join order (true mid-query
-    /// re-optimization; no detection restart, no re-execution of finished work).
+    /// Suspend the running pipeline where the mis-estimate surfaced — a completed
+    /// breaker or a streaming progress report — reuse completed breaker state as a
+    /// virtual leaf table where possible, and re-plan only the remaining join order
+    /// ([`MidQueryPolicy`](crate::MidQueryPolicy)).
     MidQuery,
 }
 
 /// Whether a round restarted the query or re-planned it mid-flight.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum ReoptRoundKind {
-    /// The round came from a detection run that executed the query to completion and
-    /// restarted it ([`ReoptMode::Materialize`] / [`ReoptMode::InjectOnly`]).
+    /// The round came from a restart decision: the current execution was abandoned
+    /// (usually after running to completion as a detection run) and the query
+    /// restarted with what was learned.
     Restart,
-    /// The round suspended a running pipeline at a breaker boundary and resumed on a
-    /// re-planned remainder ([`ReoptMode::MidQuery`]).
+    /// The round suspended a running pipeline mid-flight and resumed on a re-planned
+    /// remainder.
     MidQuery,
 }
 
@@ -108,9 +113,10 @@ impl std::fmt::Display for ReoptRoundKind {
 pub struct ReoptConfig {
     /// Q-error threshold that triggers re-optimization (the paper uses 32).
     pub threshold: f64,
-    /// Maximum number of materialize-and-replan rounds.
+    /// Maximum number of re-optimization rounds; past the budget the current plan
+    /// runs to completion.
     pub max_rounds: usize,
-    /// Materialize or inject-only.
+    /// Which built-in policy to run.
     pub mode: ReoptMode,
 }
 
@@ -150,6 +156,28 @@ impl ReoptConfig {
             ..Self::default()
         }
     }
+
+    /// The built-in [`ReoptPolicy`] this configuration stands for. `ReoptMode` is the
+    /// backward-compatible constructor; new callers can implement the trait directly
+    /// and pass it to [`execute_with_policy`].
+    pub fn policy(&self) -> Box<dyn ReoptPolicy> {
+        match self.mode {
+            ReoptMode::Materialize => Box::new(crate::policy::RestartPolicy {
+                threshold: self.threshold,
+                materialize: true,
+                max_rounds: self.max_rounds,
+            }),
+            ReoptMode::InjectOnly => Box::new(crate::policy::RestartPolicy {
+                threshold: self.threshold,
+                materialize: false,
+                max_rounds: self.max_rounds,
+            }),
+            ReoptMode::MidQuery => Box::new(crate::policy::MidQueryPolicy {
+                threshold: self.threshold,
+                max_rounds: self.max_rounds,
+            }),
+        }
+    }
 }
 
 /// One re-optimization round.
@@ -157,43 +185,60 @@ impl ReoptConfig {
 pub struct ReoptRound {
     /// Whether this round restarted the query or re-planned it mid-flight.
     pub kind: ReoptRoundKind,
+    /// Which event kind triggered the round: a completed detection run, a breaker
+    /// completion, or a streaming progress report.
+    pub trigger: ReoptTrigger,
+    /// The violating relation subset, in the indexing of the plan that was running
+    /// when the round triggered.
+    pub rel_set: RelSet,
     /// The aliases of the relations that were materialized (or whose cardinality was
     /// injected).
     pub materialized_aliases: Vec<String>,
-    /// The temporary table name (Materialize and MidQuery modes).
+    /// The temporary table name (materialize restarts and state-reusing mid-query
+    /// rounds).
     pub temp_table: Option<String>,
-    /// The optimizer's estimate for the offending join.
+    /// The optimizer's estimate for the offending subset.
     pub estimated_rows: f64,
-    /// The observed cardinality of the offending join.
+    /// The observed cardinality (a lower bound for progress-triggered rounds).
     pub actual_rows: u64,
     /// The Q-error that triggered this round.
     pub q_error: f64,
-    /// The `CREATE TEMP TABLE` statement issued (Materialize mode only), as SQL text.
+    /// The `CREATE TEMP TABLE` statement issued (materialize restarts only), as SQL.
     pub create_sql: Option<String>,
     /// Execution time of the materialization. For mid-query rounds this is only the
     /// cost of registering and analyzing the already-built breaker state.
     pub materialization_time: Duration,
     /// Rows of completed breaker state carried into the re-planned remainder instead
-    /// of being re-executed (MidQuery rounds only).
+    /// of being re-executed (mid-query rounds only).
     pub reused_rows: Option<u64>,
+    /// Planning time of the run that raised this round's trigger.
+    pub planning_time: Duration,
+    /// Executed-then-abandoned work of this round: a full detection run for restart
+    /// rounds, the partial run up to the suspension for mid-query rounds (whose
+    /// dominant component — any reused breaker build — is *not* actually discarded).
+    pub detection_time: Duration,
+    /// Number of cardinalities injected into the estimator by this round.
+    pub corrections: usize,
 }
 
-/// The outcome of running a query under the re-optimization scheme.
+/// The outcome of running a query under a re-optimization policy.
 #[derive(Debug, Clone)]
 pub struct ReoptReport {
+    /// The name of the policy that drove the run ([`ReoptPolicy::name`]).
+    pub policy: String,
     /// The rounds that were triggered (empty when the first plan was good enough).
     pub rounds: Vec<ReoptRound>,
     /// The rows of the final query.
     pub final_rows: Vec<Row>,
-    /// Planning time: original query + every rewritten SELECT.
+    /// Planning time: original query + every re-planning round.
     pub planning_time: Duration,
-    /// Execution time: every CREATE TEMP TABLE + the final SELECT.
+    /// Execution time: every materialization + the final run.
     pub execution_time: Duration,
-    /// Execution time spent in detection runs that were discarded after triggering a
-    /// rewrite (not part of the paper's reported numbers; kept for transparency).
+    /// Execution time spent in runs that were abandoned after triggering a round (not
+    /// part of the paper's reported numbers; kept for transparency).
     pub detection_time: Duration,
     /// Largest peak of pipeline-breaker buffered rows across every executed statement
-    /// (detection runs, materializations and the final SELECT).
+    /// (detection runs, materializations and the final run).
     pub peak_buffered_rows: u64,
     /// The final re-optimized script (CREATE TEMP TABLE statements + final SELECT; for
     /// mid-query rounds, comment lines describing the reused breaker state + the
@@ -217,27 +262,42 @@ impl ReoptReport {
     }
 }
 
-/// Run a query under the re-optimization scheme.
+/// Run a query under one of the paper's re-optimization modes. Equivalent to
+/// [`execute_with_policy`] with the mode's built-in policy ([`ReoptConfig::policy`]).
 pub fn execute_with_reoptimization(
     db: &mut Database,
     sql: &str,
     config: &ReoptConfig,
+) -> Result<ReoptReport, DbError> {
+    let mut policy = config.policy();
+    execute_with_policy(db, sql, policy.as_mut())
+}
+
+/// Run a query under an arbitrary [`ReoptPolicy`]: the unified driver behind every
+/// re-optimization scheme in this crate. See the [module documentation](self) for the
+/// decision semantics and [`crate::policy`] for the built-in policies.
+pub fn execute_with_policy(
+    db: &mut Database,
+    sql: &str,
+    policy: &mut dyn ReoptPolicy,
 ) -> Result<ReoptReport, DbError> {
     let statement = parse_sql(sql)?;
     let select = statement
         .query()
         .ok_or_else(|| DbError::Reoptimization("re-optimization needs a SELECT".into()))?
         .clone();
-    match config.mode {
-        ReoptMode::Materialize => materialize_loop(db, select, config),
-        ReoptMode::InjectOnly => inject_loop(db, select, config),
-        ReoptMode::MidQuery => mid_query_loop(db, select, config),
-    }
+    let mut driver = Driver::new(select);
+    let result = driver.run(db, policy);
+    // Never leak the driver's temp/virtual tables, even on error — but drop only the
+    // tables *this* run created: a user's own session temp tables must survive a
+    // policy that never materializes anything.
+    db.drop_tables(&driver.created_tables);
+    result
 }
 
 /// Whether the SELECT list contains a wildcard. Wildcard queries have no projection
 /// node, so their output column order follows the join order — re-planning could
-/// silently permute the output. Every mode runs them plain.
+/// silently permute the output. Every policy runs them plain.
 fn has_wildcard(select: &SelectStatement) -> bool {
     select
         .items
@@ -261,232 +321,592 @@ fn reopt_safe_under_limit(select: &SelectStatement) -> bool {
                 .any(|item| matches!(item.expr, SelectExpr::Aggregate { .. })))
 }
 
-fn materialize_loop(
-    db: &mut Database,
-    original: SelectStatement,
-    config: &ReoptConfig,
-) -> Result<ReoptReport, DbError> {
-    let mut current = original;
-    let mut rounds: Vec<ReoptRound> = Vec::new();
-    let mut planning_time = Duration::ZERO;
-    let mut materialization_time = Duration::ZERO;
-    let mut detection_time = Duration::ZERO;
-    let mut created_sql: Vec<String> = Vec::new();
-    let mut temp_counter = 0usize;
-    let mut peak_buffered_rows = 0u64;
+// ---------------------------------------------------------------------------
+// The driver
+// ---------------------------------------------------------------------------
 
-    // A wildcard select cannot be rewritten around a temp table: the rewrite
-    // renames subset columns to their mangled `alias_column` form (and the
-    // empty-`needed` fallback projects a placeholder), so `SELECT *` over the
-    // rewritten FROM list would change the output schema. Execute such queries
-    // once, unrewritten, and report no rounds. Queries with a LIMIT *are*
-    // detectable when their output cannot be order-sensitively truncated
-    // (`reopt_safe_under_limit`): the per-operator `exhausted` flag filters out
-    // joins whose actual_rows were truncated by early termination, so only true
-    // cardinalities ever reach the q-error comparison.
-    let rewritable = !has_wildcard(&current) && reopt_safe_under_limit(&current);
+/// Forwards executor events to the policy and captures the first non-`Continue`
+/// decision, which suspends the pipeline immediately.
+struct PolicyObserver<'a> {
+    policy: &'a mut dyn ReoptPolicy,
+    ctx: PolicyContext,
+    decision: Option<PolicyDecision>,
+}
 
-    loop {
-        let output = db.execute_select(&current)?;
-        planning_time += output.planning_time;
-        peak_buffered_rows = peak_buffered_rows.max(output.peak_buffered_rows);
-        let metrics = output.metrics.as_ref().expect("select produces metrics");
-        let spec = output.spec.as_ref().expect("select produces a spec");
-
-        let offending = if rewritable {
-            metrics
-                .root
-                .joins_bottom_up()
-                .into_iter()
-                .find(|join| join.exhausted && join.q_error() > config.threshold)
-                .cloned()
-        } else {
-            None
-        };
-
-        let Some(bad_join) = offending else {
-            // No join exceeds the threshold: this run is the final SELECT.
-            let mut final_sql = created_sql.join("\n");
-            if !final_sql.is_empty() {
-                final_sql.push('\n');
-            }
-            final_sql.push_str(&current.to_sql());
-            final_sql.push(';');
-            let report = ReoptReport {
-                rounds,
-                final_rows: output.rows,
-                planning_time,
-                execution_time: materialization_time + output.execution_time,
-                detection_time,
-                peak_buffered_rows,
-                final_sql,
-                final_metrics: output.metrics,
-            };
-            db.drop_temporary_tables();
-            return Ok(report);
-        };
-
-        if rounds.len() >= config.max_rounds {
-            db.drop_temporary_tables();
-            return Err(DbError::Reoptimization(format!(
-                "exceeded {} re-optimization rounds",
-                config.max_rounds
-            )));
+impl ExecutionObserver for PolicyObserver<'_> {
+    fn on_event(&mut self, event: &ExecEvent) -> ObserverDecision {
+        if self.decision.is_some() {
+            return ObserverDecision::Continue;
         }
-
-        detection_time += output.execution_time;
-        temp_counter += 1;
-        let temp_name = format!("reopt_temp{temp_counter}");
-        let subset = bad_join.rel_set;
-        let aliases: Vec<String> = subset
-            .iter()
-            .map(|rel| spec.relations[rel].alias.clone())
-            .collect();
-
-        let (temp_query, rewritten) = materialize_subset(spec, &current, subset, &temp_name);
-        let create_statement = Statement::CreateTableAs {
-            name: temp_name.clone(),
-            temporary: true,
-            query: temp_query.clone(),
-        };
-        let create_output = db.create_table_as(&temp_name, true, &temp_query)?;
-        materialization_time += create_output.execution_time;
-        peak_buffered_rows = peak_buffered_rows.max(create_output.peak_buffered_rows);
-
-        rounds.push(ReoptRound {
-            kind: ReoptRoundKind::Restart,
-            materialized_aliases: aliases,
-            temp_table: Some(temp_name),
-            estimated_rows: bad_join.estimated_rows,
-            actual_rows: bad_join.actual_rows,
-            q_error: bad_join.q_error(),
-            create_sql: Some(create_statement.to_sql()),
-            materialization_time: create_output.execution_time,
-            reused_rows: None,
-        });
-        created_sql.push(format!("{};", create_statement.to_sql()));
-        current = rewritten;
+        match self.policy.on_event(event, &self.ctx) {
+            PolicyDecision::Continue => ObserverDecision::Continue,
+            decision => {
+                self.decision = Some(decision);
+                ObserverDecision::Suspend
+            }
+        }
     }
 }
 
-fn inject_loop(
-    db: &mut Database,
-    original: SelectStatement,
-    config: &ReoptConfig,
-) -> Result<ReoptReport, DbError> {
-    let mut injected = CardinalityOverrides::new();
-    let mut rounds: Vec<ReoptRound> = Vec::new();
-    let mut planning_time = Duration::ZERO;
-    let mut detection_time = Duration::ZERO;
-    let mut peak_buffered_rows = 0u64;
-    // A re-planned wildcard query could permute its output columns (no projection
-    // node); run such queries plain. LIMIT queries are detectable via the
-    // per-operator `exhausted` flag when their output cannot be order-sensitively
-    // truncated, as in `materialize_loop`.
-    let detectable = !has_wildcard(&original) && reopt_safe_under_limit(&original);
+/// How one pipeline run ended.
+enum RunOutcome {
+    /// The pipeline ran to completion.
+    Completed(Vec<Row>, QueryMetrics),
+    /// The policy suspended the pipeline; the completed breaker states were extracted
+    /// and the partial run's metrics tree retained — every count in it is either a
+    /// true cardinality (exhausted subtree) or a lower bound worth injecting.
+    Suspended(Vec<BreakerState>, QueryMetrics),
+}
 
-    loop {
-        let (planned, plan_time) = db.plan_select_with_overrides(&original, &injected)?;
-        planning_time += plan_time;
-        let result = reopt_executor::execute_plan(&planned.plan, db.storage())?;
-        peak_buffered_rows = peak_buffered_rows.max(result.peak_buffered_rows);
+/// One pipeline run plus the decision the policy took during it, if any.
+struct RunResult {
+    outcome: RunOutcome,
+    decision: Option<PolicyDecision>,
+    peak_buffered_rows: u64,
+}
 
-        let offending = if detectable {
-            result
-                .metrics
-                .root
-                .joins_bottom_up()
-                .into_iter()
-                .find(|join| join.exhausted && join.q_error() > config.threshold)
-                .cloned()
-        } else {
-            None
-        };
-
-        let Some(bad_join) = offending else {
-            return Ok(ReoptReport {
-                rounds,
-                final_rows: result.rows,
-                planning_time,
-                execution_time: result.metrics.execution_time,
-                detection_time,
-                peak_buffered_rows,
-                final_sql: format!("{};", original.to_sql()),
-                final_metrics: Some(result.metrics),
-            });
-        };
-        if rounds.len() >= config.max_rounds {
-            return Err(DbError::Reoptimization(format!(
-                "exceeded {} re-optimization rounds",
-                config.max_rounds
-            )));
+/// Every cardinality observation in a (possibly partial) metrics tree, shallowest
+/// node first: exact counts for operators whose whole subtree ran to completion, and
+/// produced-rows lower bounds where an unfinished operator already overshot its
+/// estimate (truth >= produced > estimate, so the bound is strictly closer to the
+/// truth). Only joins and leaf scans are harvested — their output is the filtered
+/// cardinality of their relation set, which is exactly what a
+/// [`CardinalityOverrides`] entry means; aggregates/sorts/projections share a rel_set
+/// with different row semantics.
+fn harvest_observations(metrics: &QueryMetrics) -> Vec<(RelSet, f64)> {
+    let mut out = Vec::new();
+    metrics.root.walk(&mut |node| {
+        let m = &node.metrics;
+        if m.rel_set.is_empty() || !(m.is_join || node.children.is_empty()) {
+            return;
         }
-        detection_time += result.metrics.execution_time;
-        let aliases: Vec<String> = bad_join
-            .rel_set
-            .iter()
-            .map(|rel| planned.spec.relations[rel].alias.clone())
-            .collect();
-        injected.set(bad_join.rel_set, bad_join.actual_rows as f64);
-        rounds.push(ReoptRound {
+        if m.exhausted || (m.actual_rows as f64) > m.estimated_rows {
+            out.push((m.rel_set, m.actual_rows as f64));
+        }
+    });
+    out
+}
+
+/// The mutable state of one [`execute_with_policy`] call.
+struct Driver {
+    original: SelectStatement,
+    /// The statement form of the current query (rewritten by materialize restarts).
+    current: SelectStatement,
+    /// The bound form after a mid-query collapse (takes precedence over `current`).
+    collapsed: Option<QuerySpec>,
+    /// Corrections and carried observations, keyed in the current query's indexing.
+    injected: CardinalityOverrides,
+    rounds: Vec<ReoptRound>,
+    planning_time: Duration,
+    materialization_time: Duration,
+    detection_time: Duration,
+    peak_buffered_rows: u64,
+    /// `CREATE TEMP TABLE` script lines (materialize restarts).
+    created_sql: Vec<String>,
+    /// Comment lines describing reused breaker state (mid-query rounds).
+    annotations: Vec<String>,
+    /// Every temp/virtual table this run registered, dropped on the way out.
+    created_tables: Vec<String>,
+    temp_counter: usize,
+    virt_counter: usize,
+}
+
+impl Driver {
+    fn new(original: SelectStatement) -> Self {
+        Self {
+            current: original.clone(),
+            original,
+            collapsed: None,
+            injected: CardinalityOverrides::new(),
+            rounds: Vec::new(),
+            planning_time: Duration::ZERO,
+            materialization_time: Duration::ZERO,
+            detection_time: Duration::ZERO,
+            peak_buffered_rows: 0,
+            created_sql: Vec::new(),
+            annotations: Vec::new(),
+            created_tables: Vec::new(),
+            temp_counter: 0,
+            virt_counter: 0,
+        }
+    }
+
+    fn run(
+        &mut self,
+        db: &mut Database,
+        policy: &mut dyn ReoptPolicy,
+    ) -> Result<ReoptReport, DbError> {
+        // Safety gate shared by every policy; see `has_wildcard` and
+        // `reopt_safe_under_limit`. Unsafe queries execute plain, with no observer
+        // and no rounds.
+        let rewrite_safe = !has_wildcard(&self.original) && reopt_safe_under_limit(&self.original);
+
+        loop {
+            let (planned, plan_time) = match &self.collapsed {
+                Some(spec) => db.plan_bound_with_overrides(spec.clone(), &self.injected)?,
+                None => db.plan_select_with_overrides(&self.current, &self.injected)?,
+            };
+            self.planning_time += plan_time;
+
+            // Past the round budget the policy is simply not consulted: the final
+            // plan runs to completion instead of failing the query (a mid-query
+            // round leaves no way to "re-run the original" anyway).
+            let budget_open = rewrite_safe && self.rounds.len() < policy.max_rounds();
+            let ctx = PolicyContext {
+                all_relations: planned.spec.all_relations(),
+                rounds: self.rounds.len(),
+            };
+            let observe = budget_open && policy.wants_events();
+            let run = run_pipeline(db, &planned, policy, ctx.clone(), observe)?;
+            self.peak_buffered_rows = self.peak_buffered_rows.max(run.peak_buffered_rows);
+
+            match run.outcome {
+                RunOutcome::Completed(rows, metrics) => {
+                    let decision = if budget_open {
+                        policy.on_complete(&metrics, &planned.spec, &ctx)
+                    } else {
+                        PolicyDecision::Continue
+                    };
+                    match decision {
+                        PolicyDecision::Continue => {
+                            return Ok(self.finalize(policy.name(), &planned, rows, metrics));
+                        }
+                        PolicyDecision::ReplanMidQuery { .. } => {
+                            return Err(DbError::Reoptimization(
+                                "ReplanMidQuery is only valid from on_event — a completed \
+                                 run has nothing left to suspend"
+                                    .into(),
+                            ));
+                        }
+                        PolicyDecision::Restart {
+                            materialize,
+                            violation,
+                            corrections,
+                        } => {
+                            self.detection_time += metrics.execution_time;
+                            self.apply_restart(
+                                db,
+                                &planned,
+                                plan_time,
+                                metrics.execution_time,
+                                materialize,
+                                violation,
+                                &corrections,
+                            )?;
+                        }
+                    }
+                }
+                RunOutcome::Suspended(states, partial_metrics) => {
+                    let partial_time = partial_metrics.execution_time;
+                    self.detection_time += partial_time;
+                    let decision = run.decision.ok_or_else(|| {
+                        DbError::Reoptimization(
+                            "pipeline suspended without a policy decision".into(),
+                        )
+                    })?;
+                    match decision {
+                        PolicyDecision::Continue => {
+                            return Err(DbError::Reoptimization(
+                                "pipeline suspended on a Continue decision".into(),
+                            ));
+                        }
+                        PolicyDecision::Restart {
+                            materialize,
+                            violation,
+                            corrections,
+                        } => {
+                            // An event-triggered restart: the abandoned partial run
+                            // is the whole detection cost.
+                            self.apply_restart(
+                                db,
+                                &planned,
+                                plan_time,
+                                partial_time,
+                                materialize,
+                                violation,
+                                &corrections,
+                            )?;
+                        }
+                        PolicyDecision::ReplanMidQuery { violation } => {
+                            self.apply_mid_query(
+                                db,
+                                &planned,
+                                plan_time,
+                                violation,
+                                &partial_metrics,
+                                states,
+                            )?;
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Apply a [`PolicyDecision::Restart`]: materialize the violating subset as a
+    /// temporary table (rewriting the statement around it) or inject the policy's
+    /// corrections, then loop.
+    #[allow(clippy::too_many_arguments)]
+    fn apply_restart(
+        &mut self,
+        db: &mut Database,
+        planned: &PlannedQuery,
+        plan_time: Duration,
+        detection: Duration,
+        materialize: bool,
+        violation: Violation,
+        corrections: &[crate::policy::Correction],
+    ) -> Result<(), DbError> {
+        let mut round = ReoptRound {
             kind: ReoptRoundKind::Restart,
-            materialized_aliases: aliases,
+            trigger: violation.trigger,
+            rel_set: violation.rel_set,
+            materialized_aliases: aliases_of(&planned.spec, violation.rel_set),
             temp_table: None,
-            estimated_rows: bad_join.estimated_rows,
-            actual_rows: bad_join.actual_rows,
-            q_error: bad_join.q_error(),
+            estimated_rows: violation.estimated_rows,
+            actual_rows: violation.actual_rows,
+            q_error: violation.q_error(),
             create_sql: None,
             materialization_time: Duration::ZERO,
             reused_rows: None,
-        });
+            planning_time: plan_time,
+            detection_time: detection,
+            corrections: 0,
+        };
+        if materialize {
+            // A materialize restart rewrites the SQL statement; once a mid-query
+            // round collapsed the query into a bound spec there is no statement left
+            // to rewrite. The built-in policies never mix the two.
+            if self.collapsed.is_some() {
+                return Err(DbError::Reoptimization(
+                    "cannot materialize-restart after a mid-query re-plan collapsed the query"
+                        .into(),
+                ));
+            }
+            self.temp_counter += 1;
+            let temp_name = format!("reopt_temp{}", self.temp_counter);
+            let (temp_query, rewritten) =
+                materialize_subset(&planned.spec, &self.current, violation.rel_set, &temp_name);
+            let create_output = db.create_table_as(&temp_name, true, &temp_query)?;
+            self.materialization_time += create_output.execution_time;
+            self.peak_buffered_rows =
+                self.peak_buffered_rows.max(create_output.peak_buffered_rows);
+            let create_statement = Statement::CreateTableAs {
+                name: temp_name.clone(),
+                temporary: true,
+                query: temp_query,
+            };
+            round.materialization_time = create_output.execution_time;
+            round.create_sql = Some(create_statement.to_sql());
+            self.created_tables.push(temp_name.clone());
+            round.temp_table = Some(temp_name);
+            self.created_sql.push(format!("{};", create_statement.to_sql()));
+            // The rewrite re-numbers the relations (the temp table replaces the
+            // subset and lands at the end of the FROM list, which is how the binder
+            // will re-index them): carried overrides from earlier inject rounds must
+            // be remapped or they would silently pin the wrong relations.
+            let mut mapping: Vec<Option<usize>> = Vec::with_capacity(planned.spec.relation_count());
+            let mut next = 0usize;
+            for rel in 0..planned.spec.relation_count() {
+                if violation.rel_set.contains(rel) {
+                    mapping.push(None);
+                } else {
+                    mapping.push(Some(next));
+                    next += 1;
+                }
+            }
+            let mut remapped = CardinalityOverrides::new();
+            for (set, observed) in self.injected.iter() {
+                if let Some(mapped) =
+                    reopt_planner::remap_rel_set(set, violation.rel_set, &mapping, next)
+                {
+                    remapped.set(mapped, observed);
+                }
+            }
+            self.injected = remapped;
+            self.current = rewritten;
+        } else {
+            for correction in corrections {
+                self.injected.set(correction.rel_set, correction.rows);
+            }
+            round.corrections = corrections.len();
+        }
+        self.rounds.push(round);
+        Ok(())
+    }
+
+    /// Apply a [`PolicyDecision::ReplanMidQuery`]: reuse completed breaker state as a
+    /// virtual leaf where possible, re-inject every observation the aborted run
+    /// produced (exact counts and overshooting lower bounds alike, harvested from its
+    /// metrics tree), and re-plan the remainder.
+    fn apply_mid_query(
+        &mut self,
+        db: &mut Database,
+        planned: &PlannedQuery,
+        plan_time: Duration,
+        violation: Violation,
+        partial_metrics: &QueryMetrics,
+        states: Vec<BreakerState>,
+    ) -> Result<(), DbError> {
+        let spec = &planned.spec;
+        let partial_time = partial_metrics.execution_time;
+        let observations = harvest_observations(partial_metrics);
+        let mut round = ReoptRound {
+            kind: ReoptRoundKind::MidQuery,
+            trigger: violation.trigger,
+            rel_set: violation.rel_set,
+            materialized_aliases: aliases_of(spec, violation.rel_set),
+            temp_table: None,
+            estimated_rows: violation.estimated_rows,
+            actual_rows: violation.actual_rows,
+            q_error: violation.q_error(),
+            create_sql: None,
+            materialization_time: Duration::ZERO,
+            reused_rows: None,
+            planning_time: plan_time,
+            detection_time: partial_time,
+            corrections: 0,
+        };
+
+        // Exact reusable state to collapse around: the violating subset itself when
+        // the trigger was a reusable breaker completion; otherwise — a streaming
+        // progress overshoot, or a policy that triggered on a non-reusable breaker
+        // (merge/aggregate/sort inputs buffer no exact materialization) — the
+        // largest completed reusable breaker elsewhere in the suspended plan, which
+        // may already have been partially consumed by its parent (the buffered rows
+        // themselves are complete, so the collapse stays exact; the re-planned
+        // remainder recomputes any partially-done probing). When nothing is
+        // reusable the round falls back to pure injection below.
+        let exact_idx = (violation.trigger == ReoptTrigger::BreakerComplete)
+            .then(|| {
+                states
+                    .iter()
+                    .position(|state| state.rel_set == violation.rel_set)
+            })
+            .flatten();
+        let reuse = match exact_idx {
+            Some(idx) => {
+                let mut states = states;
+                Some(states.swap_remove(idx))
+            }
+            None => best_reusable_state(states, spec.all_relations(), violation.rel_set),
+        };
+
+        match reuse {
+            Some(state) => {
+                let BreakerState {
+                    kind,
+                    rel_set: subset,
+                    schema,
+                    rows,
+                } = state;
+                self.virt_counter += 1;
+                let virt_name = format!("reopt_mq{}", self.virt_counter);
+                let reused_rows = rows.len() as u64;
+                let state_aliases = aliases_of(spec, subset);
+
+                // Register the completed breaker state as a virtual leaf with true
+                // statistics. Registration + ANALYZE is the whole materialization
+                // cost — the rows were already built by the suspended pipeline.
+                let materialize_start = Instant::now();
+                db.register_materialized_table(&virt_name, schema.clone(), rows)?;
+                let materialize_elapsed = materialize_start.elapsed();
+                self.materialization_time += materialize_elapsed;
+                round.materialization_time = materialize_elapsed;
+
+                // Collapse the query around the virtual leaf and re-index every
+                // observation that survives: the carried overrides, everything the
+                // aborted run observed, and (for progress triggers) the violating
+                // lower bound itself.
+                let collapsed = collapse_spec(spec, subset, &virt_name, &virt_name, schema);
+                let mut overrides = CardinalityOverrides::new();
+                for (set, observed) in self.injected.iter() {
+                    if let Some(mapped) = collapsed.remap(set) {
+                        overrides.set(mapped, observed);
+                    }
+                }
+                for (set, observed) in &observations {
+                    if let Some(mapped) = collapsed.remap(*set) {
+                        overrides.set(mapped, *observed);
+                    }
+                }
+                // When the collapse happened around a different subset than the
+                // violation (progress triggers, or a non-reusable breaker trigger
+                // that fell back to another state), the violating observation itself
+                // still needs injecting — last, and never downgrading a harvested
+                // count (the violation includes the in-flight batch the suspension
+                // discarded). The collapsed subset's own cardinality is carried by
+                // the virtual table's statistics.
+                if subset != violation.rel_set {
+                    if let Some(mapped) = collapsed.remap(violation.rel_set) {
+                        let bound = (violation.actual_rows as f64)
+                            .max(overrides.get(mapped).unwrap_or(0.0));
+                        overrides.set(mapped, bound);
+                    }
+                }
+                round.corrections = overrides.len();
+                self.injected = overrides;
+
+                self.annotations.push(format!(
+                    "-- {virt_name}: reused in-flight {kind:?} state over [{}] ({reused_rows} rows)",
+                    state_aliases.join(", "),
+                ));
+                self.created_tables.push(virt_name.clone());
+                round.temp_table = Some(virt_name);
+                round.reused_rows = Some(reused_rows);
+                self.collapsed = Some(collapsed.spec);
+            }
+            None => {
+                // Nothing reusable (e.g. a pure index-NL pipeline buffers no breaker
+                // state at all): inject the observed bound plus everything else the
+                // aborted run learned and re-plan from scratch — the point of the
+                // cheap trigger is that very little work is lost, and in a pipelined
+                // plan the operators above the violation have usually produced most
+                // of their output too, so one suspension corrects many estimates.
+                let mut corrections = 0usize;
+                for (set, observed) in &observations {
+                    self.injected.set(*set, *observed);
+                    corrections += 1;
+                }
+                // The violation goes in last, and never downgrades: its count
+                // includes the in-flight batch the suspension discarded, so it can
+                // exceed the metrics-tree count harvested for the same subset.
+                if !violation.rel_set.is_empty() {
+                    let bound = (violation.actual_rows as f64)
+                        .max(self.injected.get(violation.rel_set).unwrap_or(0.0));
+                    if self.injected.get(violation.rel_set).is_none() {
+                        corrections += 1;
+                    }
+                    self.injected.set(violation.rel_set, bound);
+                }
+                round.corrections = corrections;
+            }
+        }
+        self.rounds.push(round);
+        Ok(())
+    }
+
+    /// Build the report once a run completed and the policy accepted it.
+    fn finalize(
+        &mut self,
+        policy_name: &str,
+        planned: &PlannedQuery,
+        rows: Vec<Row>,
+        metrics: QueryMetrics,
+    ) -> ReoptReport {
+        let mut parts: Vec<String> = std::mem::take(&mut self.created_sql);
+        parts.append(&mut self.annotations);
+        let statement_sql = if self.collapsed.is_some() {
+            // A collapsed query exists only as a bound spec; render it back to SQL
+            // for the report (virtual tables appear under their generated names —
+            // the text documents the executed shape, it is not meant to be re-run).
+            spec_to_statement(&planned.spec).to_sql()
+        } else if self.rounds.is_empty() {
+            self.original.to_sql()
+        } else {
+            self.current.to_sql()
+        };
+        parts.push(format!("{statement_sql};"));
+        ReoptReport {
+            policy: policy_name.to_string(),
+            rounds: std::mem::take(&mut self.rounds),
+            final_rows: rows,
+            planning_time: self.planning_time,
+            execution_time: self.materialization_time + metrics.execution_time,
+            detection_time: self.detection_time,
+            peak_buffered_rows: self.peak_buffered_rows,
+            final_sql: parts.join("\n"),
+            final_metrics: Some(metrics),
+        }
     }
 }
 
-// ---------------------------------------------------------------------------
-// Mid-query re-optimization
-// ---------------------------------------------------------------------------
+/// Execute one plan, forwarding events to the policy when `observe` is set, until it
+/// completes or the policy suspends it.
+fn run_pipeline(
+    db: &Database,
+    planned: &PlannedQuery,
+    policy: &mut dyn ReoptPolicy,
+    ctx: PolicyContext,
+    observe: bool,
+) -> Result<RunResult, DbError> {
+    let executor = Executor::new(db.storage());
+    let adapter = observe.then(|| {
+        Rc::new(RefCell::new(PolicyObserver {
+            policy,
+            ctx,
+            decision: None,
+        }))
+    });
 
-/// The policy half of mid-query re-optimization: watches breaker completions, records
-/// every observation (they are all true cardinalities), and suspends execution when a
-/// *reusable* completed subtree — a hash-build side or nested-loop inner that covers a
-/// proper subset of the query's relations — misses its estimate by more than the
-/// threshold.
-struct MidQueryMonitor {
-    threshold: f64,
+    let (outcome, peak_buffered_rows) = {
+        let handle = adapter
+            .as_ref()
+            .map(|a| Rc::clone(a) as ObserverHandle<'_>);
+        let mut pipeline = executor.open_observed(&planned.plan, handle)?;
+        let mut rows: Vec<Row> = Vec::new();
+        let outcome = loop {
+            match pipeline.next_batch() {
+                Ok(Some(batch)) => rows.extend(batch),
+                Ok(None) => break RunOutcome::Completed(rows, pipeline.metrics()),
+                Err(ExecError::Suspended) => {
+                    break RunOutcome::Suspended(
+                        pipeline.take_breaker_states(),
+                        pipeline.metrics(),
+                    )
+                }
+                Err(error) => return Err(error.into()),
+            }
+        };
+        (outcome, pipeline.peak_buffered_rows())
+    };
+
+    let decision = match adapter {
+        Some(adapter) => {
+            // The pipeline (and with it every operator's handle clone) is dropped, so
+            // the adapter is uniquely owned again.
+            Rc::try_unwrap(adapter)
+                .unwrap_or_else(|_| unreachable!("pipeline dropped all observer handles"))
+                .into_inner()
+                .decision
+        }
+        None => None,
+    };
+    Ok(RunResult {
+        outcome,
+        decision,
+        peak_buffered_rows,
+    })
+}
+
+/// The aliases of a relation subset, in index order.
+fn aliases_of(spec: &QuerySpec, subset: RelSet) -> Vec<String> {
+    subset
+        .iter()
+        .map(|rel| spec.relations[rel].alias.clone())
+        .collect()
+}
+
+/// The largest completed reusable breaker state that can seed a virtual leaf without
+/// making the violating subset inexpressible after the collapse: it must be a
+/// non-empty proper subset of the query, and either disjoint from or contained in the
+/// violating subset (a partial overlap would leave the fresh bound un-injectable, and
+/// the same violation would immediately re-trigger).
+fn best_reusable_state(
+    states: Vec<BreakerState>,
     all_relations: RelSet,
-    events: Vec<BreakerEvent>,
-    triggered: Option<BreakerEvent>,
-}
-
-impl MidQueryMonitor {
-    fn new(threshold: f64, all_relations: RelSet) -> Self {
-        Self {
-            threshold,
-            all_relations,
-            events: Vec::new(),
-            triggered: None,
-        }
-    }
-}
-
-impl BreakerMonitor for MidQueryMonitor {
-    fn on_breaker_complete(&mut self, event: &BreakerEvent) -> BreakerDecision {
-        self.events.push(event.clone());
-        // Suspending on a subtree that covers the whole query would gain nothing
-        // (there is no remaining join order to re-plan), and non-reusable state
-        // (merge/aggregate/sort buffers) cannot seed a virtual leaf — those events
-        // are still recorded and re-injected as overrides at the next re-plan.
-        if self.triggered.is_none()
-            && event.reusable
-            && !event.rel_set.is_empty()
-            && event.rel_set.is_proper_subset_of(self.all_relations)
-            && q_error(event.estimated_rows, event.actual_rows as f64) > self.threshold
-        {
-            self.triggered = Some(event.clone());
-            return BreakerDecision::Suspend;
-        }
-        BreakerDecision::Continue
-    }
+    violation_set: RelSet,
+) -> Option<BreakerState> {
+    states
+        .into_iter()
+        .filter(|state| {
+            !state.rel_set.is_empty() && state.rel_set.is_proper_subset_of(all_relations)
+        })
+        .filter(|state| {
+            violation_set.is_disjoint(state.rel_set)
+                || state.rel_set.is_subset_of(violation_set)
+        })
+        .max_by_key(|state| state.rel_set.len())
 }
 
 /// Render a bound (possibly collapsed) query back into a SELECT statement for the
@@ -520,200 +940,6 @@ fn spec_to_statement(spec: &QuerySpec) -> SelectStatement {
         group_by: spec.group_by.clone(),
         order_by: spec.order_by.clone(),
         limit: spec.limit,
-    }
-}
-
-/// One pipeline run of the mid-query loop.
-enum MidQueryOutcome {
-    /// The pipeline ran to completion.
-    Completed(Vec<Row>, QueryMetrics),
-    /// The monitor suspended the pipeline; the completed breaker states were
-    /// extracted, and the partial run's execution time is reported for transparency.
-    Suspended(Vec<BreakerState>, Duration),
-    /// A real execution error.
-    Failed(ExecError),
-}
-
-fn mid_query_loop(
-    db: &mut Database,
-    original: SelectStatement,
-    config: &ReoptConfig,
-) -> Result<ReoptReport, DbError> {
-    let result = mid_query_loop_inner(db, original, config);
-    // Virtual tables are session-temporary; never leak them, even on error.
-    db.drop_temporary_tables();
-    result
-}
-
-fn mid_query_loop_inner(
-    db: &mut Database,
-    original: SelectStatement,
-    config: &ReoptConfig,
-) -> Result<ReoptReport, DbError> {
-    let reoptimizable = !has_wildcard(&original) && reopt_safe_under_limit(&original);
-
-    let mut rounds: Vec<ReoptRound> = Vec::new();
-    let mut planning_time = Duration::ZERO;
-    let mut materialization_time = Duration::ZERO;
-    let mut detection_time = Duration::ZERO;
-    let mut peak_buffered_rows = 0u64;
-    // Comment lines describing the reused state, prepended to `final_sql`.
-    let mut annotations: Vec<String> = Vec::new();
-    // Observed true cardinalities, remapped across collapses, re-injected every round.
-    let mut carried = CardinalityOverrides::new();
-    let mut virt_counter = 0usize;
-
-    let (mut planned, plan_time) = db.plan_select(&original)?;
-    planning_time += plan_time;
-
-    loop {
-        // Past the round budget the monitor is simply not installed: the final plan
-        // runs to completion instead of failing the query (unlike the restart modes,
-        // a mid-query round leaves no way to "re-run the original").
-        let monitor = (reoptimizable && rounds.len() < config.max_rounds)
-            .then(|| Rc::new(RefCell::new(MidQueryMonitor::new(
-                config.threshold,
-                planned.spec.all_relations(),
-            ))));
-
-        let outcome = {
-            let executor = Executor::new(db.storage());
-            let handle = monitor
-                .clone()
-                .map(|m| m as Rc<RefCell<dyn BreakerMonitor>>);
-            let mut pipeline = executor.open_monitored(&planned.plan, handle)?;
-            let mut rows: Vec<Row> = Vec::new();
-            let outcome = loop {
-                match pipeline.next_batch() {
-                    Ok(Some(batch)) => rows.extend(batch),
-                    Ok(None) => break MidQueryOutcome::Completed(rows, pipeline.metrics()),
-                    Err(ExecError::Suspended) => {
-                        break MidQueryOutcome::Suspended(
-                            pipeline.take_breaker_states(),
-                            pipeline.metrics().execution_time,
-                        )
-                    }
-                    Err(error) => break MidQueryOutcome::Failed(error),
-                }
-            };
-            peak_buffered_rows = peak_buffered_rows.max(pipeline.peak_buffered_rows());
-            outcome
-        };
-
-        match outcome {
-            MidQueryOutcome::Failed(error) => return Err(error.into()),
-            MidQueryOutcome::Completed(rows, metrics) => {
-                let mut final_sql = annotations.join("\n");
-                if !final_sql.is_empty() {
-                    final_sql.push('\n');
-                }
-                let statement = if rounds.is_empty() {
-                    original
-                } else {
-                    spec_to_statement(&planned.spec)
-                };
-                final_sql.push_str(&statement.to_sql());
-                final_sql.push(';');
-                return Ok(ReoptReport {
-                    rounds,
-                    final_rows: rows,
-                    planning_time,
-                    execution_time: materialization_time + metrics.execution_time,
-                    detection_time,
-                    peak_buffered_rows,
-                    final_sql,
-                    final_metrics: Some(metrics),
-                });
-            }
-            MidQueryOutcome::Suspended(states, partial_time) => {
-                // The suspended run's work is charged to detection_time for parity
-                // with the restart modes, although part of it (the reused breaker
-                // build) is *not* discarded — mid-query's true overhead is lower.
-                detection_time += partial_time;
-                let monitor = monitor.expect("suspension implies a monitor");
-                let trigger = monitor
-                    .borrow()
-                    .triggered
-                    .clone()
-                    .ok_or_else(|| {
-                        DbError::Reoptimization(
-                            "pipeline suspended without a trigger event".into(),
-                        )
-                    })?;
-                let subset = trigger.rel_set;
-                let state = states
-                    .into_iter()
-                    .find(|state| state.rel_set == subset)
-                    .ok_or_else(|| {
-                        DbError::Reoptimization(
-                            "suspended breaker state was not extractable".into(),
-                        )
-                    })?;
-
-                virt_counter += 1;
-                let virt_name = format!("reopt_mq{virt_counter}");
-                let aliases: Vec<String> = subset
-                    .iter()
-                    .map(|rel| planned.spec.relations[rel].alias.clone())
-                    .collect();
-                let reused_rows = state.rows.len() as u64;
-
-                // Register the completed breaker state as a virtual leaf with true
-                // statistics. Registration + ANALYZE is the whole materialization
-                // cost — the rows were already built by the suspended pipeline.
-                let materialize_start = Instant::now();
-                db.register_materialized_table(&virt_name, state.schema.clone(), state.rows)?;
-                let materialize_elapsed = materialize_start.elapsed();
-                materialization_time += materialize_elapsed;
-
-                // Collapse the query around the virtual leaf and re-inject every
-                // observation that survives the re-indexing.
-                let collapsed =
-                    collapse_spec(&planned.spec, subset, &virt_name, &virt_name, state.schema);
-                let mut overrides = CardinalityOverrides::new();
-                for (set, rows) in carried.iter() {
-                    if let Some(mapped) =
-                        remap_rel_set(set, subset, &collapsed.mapping, collapsed.virtual_index)
-                    {
-                        overrides.set(mapped, rows);
-                    }
-                }
-                for event in &monitor.borrow().events {
-                    if let Some(mapped) = remap_rel_set(
-                        event.rel_set,
-                        subset,
-                        &collapsed.mapping,
-                        collapsed.virtual_index,
-                    ) {
-                        overrides.set(mapped, event.actual_rows as f64);
-                    }
-                }
-                carried = overrides;
-
-                annotations.push(format!(
-                    "-- {virt_name}: reused in-flight {:?} state over [{}] ({reused_rows} rows)",
-                    trigger.kind,
-                    aliases.join(", "),
-                ));
-
-                let (replanned, replan_time) =
-                    db.plan_bound_with_overrides(collapsed.spec, &carried)?;
-                planning_time += replan_time;
-                planned = replanned;
-
-                rounds.push(ReoptRound {
-                    kind: ReoptRoundKind::MidQuery,
-                    materialized_aliases: aliases,
-                    temp_table: Some(virt_name),
-                    estimated_rows: trigger.estimated_rows,
-                    actual_rows: trigger.actual_rows,
-                    q_error: q_error(trigger.estimated_rows, trigger.actual_rows as f64),
-                    create_sql: None,
-                    materialization_time: materialize_elapsed,
-                    reused_rows: Some(reused_rows),
-                });
-            }
-        }
     }
 }
 
@@ -781,7 +1007,7 @@ pub fn materialize_subset(
     let temp_items: Vec<SelectItem> = if needed.is_empty() {
         // Nothing from the subset is referenced outside it: the subset is the
         // whole query and the select list is bare `count(*)` (wildcard selects
-        // never reach the rewrite, see `materialize_loop`). The temp table must
+        // never reach the rewrite, see `Driver::run`). The temp table must
         // still hold ONE ROW PER JOIN ROW — materializing the aggregate itself
         // would make the rewritten `count(*)` count a single row.
         vec![SelectItem {
@@ -909,6 +1135,8 @@ fn mangled_name(reference: &ColumnRef) -> String {
 mod tests {
     use super::*;
     use crate::database::tests::test_database;
+    use crate::policy::Correction;
+    use crate::qerror::q_error;
     use reopt_planner::bind_select;
     use reopt_storage::Value;
 
@@ -966,9 +1194,12 @@ mod tests {
         let report = execute_with_reoptimization(&mut db, SKEWED_SQL, &config).unwrap();
         assert!(report.reoptimized(), "expected at least one round");
         assert_eq!(report.final_rows, expected.rows);
+        assert_eq!(report.policy, "materialize-restart");
         assert!(report.final_sql.contains("CREATE TEMP TABLE reopt_temp1"));
         assert!(report.rounds[0].q_error > 4.0);
         assert!(report.rounds[0].create_sql.is_some());
+        assert_eq!(report.rounds[0].trigger, ReoptTrigger::DetectionRun);
+        assert_eq!(report.rounds[0].corrections, 0, "the temp table carries the truth");
         assert!(!report.rounds[0].materialized_aliases.is_empty());
         // Temporary tables are cleaned up.
         assert!(!db.storage().contains_table("reopt_temp1"));
@@ -999,7 +1230,9 @@ mod tests {
         let report = execute_with_reoptimization(&mut db, SKEWED_SQL, &config).unwrap();
         assert_eq!(report.final_rows, expected.rows);
         assert!(report.reoptimized());
+        assert_eq!(report.policy, "inject-only");
         assert!(report.rounds.iter().all(|r| r.temp_table.is_none()));
+        assert!(report.rounds.iter().all(|r| r.corrections == 1));
         assert_eq!(db.storage().table_count(), 3, "no temp tables left behind");
     }
 
@@ -1022,7 +1255,7 @@ mod tests {
     #[test]
     fn wildcard_selects_execute_unrewritten() {
         // `SELECT *` cannot survive the temp-table rewrite (subset columns get
-        // mangled names), so the controller must run it plain even when a join
+        // mangled names), so the driver must run it plain even when a join
         // is badly mis-estimated — and the rows must match plain execution.
         let mut db = test_database();
         let sql = "SELECT * FROM movie_keyword AS mk, keyword AS k
@@ -1039,7 +1272,7 @@ mod tests {
     fn truncated_joins_under_limit_never_trigger() {
         // The LIMIT stops the executor after 5 of the 300 join rows, so the join's
         // actual_rows is a truncated count: the metrics must flag it as not exhausted
-        // and detection must ignore it in every mode.
+        // and detection must ignore it under every policy.
         let mut db = test_database();
         let sql = "SELECT mk.movie_id AS m FROM movie_keyword AS mk, keyword AS k
                    WHERE mk.keyword_id = k.id AND k.keyword = 'kw0' LIMIT 5";
@@ -1074,7 +1307,7 @@ mod tests {
     fn order_sensitive_limits_are_never_rewritten() {
         // The joins below a GROUP BY fully drain (they are exhausted and violate the
         // threshold), but LIMIT over a multi-group output keeps whichever groups the
-        // plan emits first — re-planning could keep a *different* subset. Every mode
+        // plan emits first — re-planning could keep a *different* subset. Every policy
         // must leave such queries alone.
         let mut db = test_database();
         let sql = "SELECT mk.movie_id AS m, count(*) AS c
@@ -1135,11 +1368,22 @@ mod tests {
 
     /// A database whose plans only use hash joins (and sequential scans), so the
     /// skewed subtree deterministically lands on a hash-join build side — the state
-    /// the mid-query controller reuses.
+    /// the mid-query policy reuses.
     fn hash_join_only_database() -> Database {
         crate::database::tests::test_database_with_config(reopt_planner::OptimizerConfig {
             enable_index_scans: false,
             enable_index_nl_joins: false,
+            enable_merge_joins: false,
+            ..Default::default()
+        })
+    }
+
+    /// A database whose plans lean exclusively on index nested-loop joins — streaming
+    /// pipelines with no reusable breaker state at all, the shape the ROADMAP said
+    /// MidQuery could never fire on before progress events existed.
+    fn index_nl_only_database() -> Database {
+        crate::database::tests::test_database_with_config(reopt_planner::OptimizerConfig {
+            enable_hash_joins: false,
             enable_merge_joins: false,
             ..Default::default()
         })
@@ -1158,10 +1402,12 @@ mod tests {
         let report = execute_with_reoptimization(&mut db, SKEWED_SQL, &config).unwrap();
         assert_eq!(report.final_rows, expected.rows);
         assert!(report.reoptimized(), "the skewed build side must trigger");
+        assert_eq!(report.policy, "mid-query");
 
         // Every round is a tagged mid-query round that reused breaker state.
         for round in &report.rounds {
             assert_eq!(round.kind, ReoptRoundKind::MidQuery);
+            assert_eq!(round.trigger, ReoptTrigger::BreakerComplete);
             assert!(round.create_sql.is_none(), "no CREATE TEMP TABLE is issued");
             assert!(round.reused_rows.unwrap() > 0, "build state must be reused");
             assert!(round.q_error > 4.0);
@@ -1196,6 +1442,65 @@ mod tests {
     }
 
     #[test]
+    fn index_nl_pipelines_replan_on_progress_overshoot() {
+        // The ROADMAP's "mid-query triggers for index-NL pipelines" item: plans whose
+        // joins are all index nested loops buffer no breaker state, so the old
+        // breaker-only monitor never fired. Streaming progress events now surface the
+        // overshoot (the skewed kw0 join produces 25x its estimate) and the policy
+        // re-plans mid-flight by injecting the observed bound.
+        let mut db = index_nl_only_database();
+        let expected = db.execute(SKEWED_SQL).unwrap();
+        let metrics = expected.metrics.as_ref().unwrap();
+        let worst = metrics
+            .root
+            .joins_bottom_up()
+            .iter()
+            .map(|j| j.q_error())
+            .fold(1.0f64, f64::max);
+        assert!(worst > 4.0, "the skewed join must be badly mis-estimated ({worst})");
+
+        let config = ReoptConfig {
+            threshold: 4.0,
+            mode: ReoptMode::MidQuery,
+            ..Default::default()
+        };
+        let report = execute_with_reoptimization(&mut db, SKEWED_SQL, &config).unwrap();
+        assert!(
+            report.reoptimized(),
+            "streaming progress must trigger where breakers cannot:\n{}",
+            report.final_sql
+        );
+        assert_eq!(report.final_rows, expected.rows, "re-planning changed the result");
+        let round = &report.rounds[0];
+        assert_eq!(round.kind, ReoptRoundKind::MidQuery);
+        assert_eq!(round.trigger, ReoptTrigger::Progress);
+        assert!(round.corrections >= 1, "the observed bound must be injected");
+        assert!(round.q_error > 4.0);
+        // An index-NL pipeline has nothing to reuse; the round documents that.
+        assert_eq!(round.reused_rows, None);
+        assert!(round.temp_table.is_none());
+        // The rendered report tags the trigger.
+        assert!(report.render().contains("[mid-query via progress]"), "{}", report.render());
+    }
+
+    #[test]
+    fn mid_query_triggers_on_default_plans() {
+        // With the default optimizer configuration the synthetic-data plans lean on
+        // index-NL joins (see BENCH_MIDQUERY.json notes) — exactly the shape that
+        // previously made MidQuery a silent no-op. Progress triggers close that gap.
+        let mut db = test_database();
+        let expected = db.execute(SKEWED_SQL).unwrap();
+        let config = ReoptConfig {
+            threshold: 4.0,
+            mode: ReoptMode::MidQuery,
+            ..Default::default()
+        };
+        let report = execute_with_reoptimization(&mut db, SKEWED_SQL, &config).unwrap();
+        assert!(report.reoptimized(), "default plans must now trigger mid-query rounds");
+        assert_eq!(report.final_rows, expected.rows);
+    }
+
+    #[test]
     fn mid_query_report_renders_round_kinds() {
         let mut db = hash_join_only_database();
         let config = ReoptConfig {
@@ -1205,8 +1510,9 @@ mod tests {
         };
         let report = execute_with_reoptimization(&mut db, SKEWED_SQL, &config).unwrap();
         let rendered = report.render();
-        assert!(rendered.contains("[mid-query]"), "{rendered}");
+        assert!(rendered.contains("[mid-query via breaker]"), "{rendered}");
         assert!(rendered.contains("reused"), "{rendered}");
+        assert!(rendered.contains("policy mid-query"), "{rendered}");
         assert!(!rendered.contains("[restart]"), "{rendered}");
 
         let restart = execute_with_reoptimization(
@@ -1281,7 +1587,7 @@ mod tests {
     }
 
     /// The worst join Q-error observed when executing `sql` with the default
-    /// estimator — the quantity the controller compares against its threshold.
+    /// estimator — the quantity the policies compare against their threshold.
     fn worst_join_q_error(db: &mut Database, sql: &str) -> f64 {
         let output = db.execute(sql).unwrap();
         output
@@ -1323,7 +1629,7 @@ mod tests {
             "threshold {} above worst q-error {worst} must not trigger",
             worst * 1.01
         );
-        // A skipped controller charges no detection time and leaves no rounds.
+        // A skipped policy charges no detection time and leaves no rounds.
         assert!(report.rounds.is_empty());
         assert_eq!(report.detection_time, Duration::ZERO);
     }
@@ -1342,5 +1648,311 @@ mod tests {
             expected.rows[0].value(0).as_int().unwrap()
         );
         assert_ne!(expected.rows[0].value(0), &Value::Int(0));
+    }
+
+    // -----------------------------------------------------------------------
+    // The policy API itself
+    // -----------------------------------------------------------------------
+
+    /// A policy that restarts (inject-only) as soon as the *first* reusable breaker
+    /// completion violates its threshold — exercising the event-triggered-restart
+    /// path of the driver, which abandons the partial run instead of paying a full
+    /// detection execution.
+    struct RestartOnFirstBreaker {
+        threshold: f64,
+        fired: bool,
+    }
+
+    impl ReoptPolicy for RestartOnFirstBreaker {
+        fn name(&self) -> &str {
+            "restart-on-first-breaker"
+        }
+
+        fn wants_events(&self) -> bool {
+            true
+        }
+
+        fn on_event(&mut self, event: &ExecEvent, _ctx: &PolicyContext) -> PolicyDecision {
+            let ExecEvent::BreakerComplete(breaker) = event else {
+                return PolicyDecision::Continue;
+            };
+            if self.fired
+                || breaker.rel_set.is_empty()
+                || q_error(breaker.estimated_rows, breaker.actual_rows as f64) <= self.threshold
+            {
+                return PolicyDecision::Continue;
+            }
+            self.fired = true;
+            PolicyDecision::Restart {
+                materialize: false,
+                violation: Violation {
+                    rel_set: breaker.rel_set,
+                    estimated_rows: breaker.estimated_rows,
+                    actual_rows: breaker.actual_rows,
+                    trigger: ReoptTrigger::BreakerComplete,
+                },
+                corrections: vec![Correction {
+                    rel_set: breaker.rel_set,
+                    rows: breaker.actual_rows as f64,
+                }],
+            }
+        }
+
+        fn on_complete(
+            &mut self,
+            _metrics: &QueryMetrics,
+            _spec: &QuerySpec,
+            _ctx: &PolicyContext,
+        ) -> PolicyDecision {
+            PolicyDecision::Continue
+        }
+    }
+
+    /// A policy that re-plans mid-query on ANY breaker violation, including
+    /// non-reusable ones (merge/aggregate/sort inputs) — the driver must fall back to
+    /// injection instead of failing when no exact state is extractable.
+    struct ReplanOnAnyBreaker {
+        threshold: f64,
+    }
+
+    impl ReoptPolicy for ReplanOnAnyBreaker {
+        fn name(&self) -> &str {
+            "replan-on-any-breaker"
+        }
+
+        fn wants_events(&self) -> bool {
+            true
+        }
+
+        fn on_event(&mut self, event: &ExecEvent, ctx: &PolicyContext) -> PolicyDecision {
+            let ExecEvent::BreakerComplete(breaker) = event else {
+                return PolicyDecision::Continue;
+            };
+            if breaker.rel_set.is_empty()
+                || !breaker.rel_set.is_proper_subset_of(ctx.all_relations)
+                || q_error(breaker.estimated_rows, breaker.actual_rows as f64) <= self.threshold
+            {
+                return PolicyDecision::Continue;
+            }
+            PolicyDecision::ReplanMidQuery {
+                violation: Violation {
+                    rel_set: breaker.rel_set,
+                    estimated_rows: breaker.estimated_rows,
+                    actual_rows: breaker.actual_rows,
+                    trigger: ReoptTrigger::BreakerComplete,
+                },
+            }
+        }
+
+        fn on_complete(
+            &mut self,
+            _: &QueryMetrics,
+            _: &QuerySpec,
+            _: &PolicyContext,
+        ) -> PolicyDecision {
+            PolicyDecision::Continue
+        }
+    }
+
+    #[test]
+    fn non_reusable_breaker_triggers_fall_back_to_injection() {
+        // Merge-join-only plans: the skewed mk ⋈ k subtree surfaces as a MergeInput
+        // breaker completion, which buffers no reusable materialization. Triggering
+        // on it must degrade gracefully to an inject-and-replan round, not error.
+        let mut db = crate::database::tests::test_database_with_config(
+            reopt_planner::OptimizerConfig {
+                enable_hash_joins: false,
+                enable_index_nl_joins: false,
+                enable_index_scans: false,
+                ..Default::default()
+            },
+        );
+        let expected = db.execute(SKEWED_SQL).unwrap();
+        let mut policy = ReplanOnAnyBreaker { threshold: 4.0 };
+        let report = execute_with_policy(&mut db, SKEWED_SQL, &mut policy).unwrap();
+        assert_eq!(report.final_rows, expected.rows);
+        assert!(report.reoptimized(), "the skewed merge input must trigger");
+        let round = &report.rounds[0];
+        assert_eq!(round.kind, ReoptRoundKind::MidQuery);
+        assert_eq!(round.trigger, ReoptTrigger::BreakerComplete);
+        assert!(round.corrections >= 1, "the observation must be injected");
+    }
+
+    #[test]
+    fn custom_policies_can_restart_from_events() {
+        let mut db = hash_join_only_database();
+        let expected = db.execute(SKEWED_SQL).unwrap();
+        let mut policy = RestartOnFirstBreaker {
+            threshold: 4.0,
+            fired: false,
+        };
+        let report = execute_with_policy(&mut db, SKEWED_SQL, &mut policy).unwrap();
+        assert_eq!(report.policy, "restart-on-first-breaker");
+        assert_eq!(report.final_rows, expected.rows);
+        assert_eq!(report.rounds.len(), 1);
+        let round = &report.rounds[0];
+        // An event-triggered restart: restart semantics, in-flight trigger.
+        assert_eq!(round.kind, ReoptRoundKind::Restart);
+        assert_eq!(round.trigger, ReoptTrigger::BreakerComplete);
+        assert_eq!(round.corrections, 1);
+        assert!(round.temp_table.is_none());
+        assert!(report.render().contains("[restart via breaker]"), "{}", report.render());
+    }
+
+    #[test]
+    fn user_temp_tables_survive_every_policy() {
+        // The driver drops exactly the temp/virtual tables it created — a session
+        // temp table the user made beforehand must survive both non-materializing
+        // and materializing policies.
+        let mut db = test_database();
+        db.execute(
+            "CREATE TEMP TABLE user_temp AS SELECT k.id AS kid FROM keyword AS k",
+        )
+        .unwrap();
+        for mode in [ReoptMode::InjectOnly, ReoptMode::MidQuery, ReoptMode::Materialize] {
+            let config = ReoptConfig {
+                threshold: 4.0,
+                mode,
+                ..Default::default()
+            };
+            execute_with_reoptimization(&mut db, SKEWED_SQL, &config).unwrap();
+            assert!(
+                db.storage().contains_table("user_temp"),
+                "{mode:?} dropped a user-created temp table"
+            );
+        }
+        assert!(!db.storage().contains_table("reopt_temp1"), "driver tables are dropped");
+        db.drop_temporary_tables();
+        assert!(!db.storage().contains_table("user_temp"));
+    }
+
+    /// Injects on its first round, then materializes on the second — mixing the two
+    /// restart flavors, which forces the driver to remap the carried overrides
+    /// across the temp-table rewrite's re-indexing.
+    struct InjectThenMaterialize {
+        threshold: f64,
+        rounds_done: usize,
+    }
+
+    impl ReoptPolicy for InjectThenMaterialize {
+        fn name(&self) -> &str {
+            "inject-then-materialize"
+        }
+
+        fn on_complete(
+            &mut self,
+            metrics: &QueryMetrics,
+            _spec: &QuerySpec,
+            _ctx: &PolicyContext,
+        ) -> PolicyDecision {
+            let joins = metrics.root.joins_bottom_up();
+            let target = match self.rounds_done {
+                // Round 1: the worst violating join, injected.
+                0 => joins
+                    .iter()
+                    .find(|join| join.exhausted && join.q_error() > self.threshold)
+                    .copied(),
+                // Round 2: any exhausted multi-relation join, materialized — with
+                // the round-1 override still carried in the driver.
+                1 => joins
+                    .iter()
+                    .find(|join| join.exhausted && join.rel_set.len() >= 2)
+                    .copied(),
+                _ => None,
+            };
+            let Some(join) = target else {
+                return PolicyDecision::Continue;
+            };
+            let materialize = self.rounds_done == 1;
+            self.rounds_done += 1;
+            PolicyDecision::Restart {
+                materialize,
+                violation: Violation {
+                    rel_set: join.rel_set,
+                    estimated_rows: join.estimated_rows,
+                    actual_rows: join.actual_rows,
+                    trigger: ReoptTrigger::DetectionRun,
+                },
+                corrections: if materialize {
+                    Vec::new()
+                } else {
+                    vec![Correction {
+                        rel_set: join.rel_set,
+                        rows: join.actual_rows as f64,
+                    }]
+                },
+            }
+        }
+    }
+
+    #[test]
+    fn inject_then_materialize_rounds_compose() {
+        let mut db = test_database();
+        let expected = db.execute(SKEWED_SQL).unwrap();
+        let mut policy = InjectThenMaterialize {
+            threshold: 4.0,
+            rounds_done: 0,
+        };
+        let report = execute_with_policy(&mut db, SKEWED_SQL, &mut policy).unwrap();
+        assert_eq!(report.final_rows, expected.rows);
+        assert_eq!(report.rounds.len(), 2, "{}", report.render());
+        assert!(report.rounds[0].temp_table.is_none());
+        assert!(report.rounds[1].temp_table.is_some());
+        assert!(!db.storage().contains_table("reopt_temp1"));
+    }
+
+    #[test]
+    fn zero_round_budget_runs_plain() {
+        struct EagerButBudgetless;
+        impl ReoptPolicy for EagerButBudgetless {
+            fn name(&self) -> &str {
+                "budgetless"
+            }
+            fn max_rounds(&self) -> usize {
+                0
+            }
+            fn on_complete(
+                &mut self,
+                _: &QueryMetrics,
+                _: &QuerySpec,
+                _: &PolicyContext,
+            ) -> PolicyDecision {
+                panic!("a zero-budget policy must never be consulted");
+            }
+        }
+        let mut db = test_database();
+        let expected = db.execute(SKEWED_SQL).unwrap();
+        let report = execute_with_policy(&mut db, SKEWED_SQL, &mut EagerButBudgetless).unwrap();
+        assert!(!report.reoptimized());
+        assert_eq!(report.final_rows, expected.rows);
+        assert_eq!(report.policy, "budgetless");
+    }
+
+    #[test]
+    fn replan_mid_query_from_on_complete_is_rejected() {
+        struct BadPolicy;
+        impl ReoptPolicy for BadPolicy {
+            fn name(&self) -> &str {
+                "bad"
+            }
+            fn on_complete(
+                &mut self,
+                _: &QueryMetrics,
+                _: &QuerySpec,
+                _: &PolicyContext,
+            ) -> PolicyDecision {
+                PolicyDecision::ReplanMidQuery {
+                    violation: Violation {
+                        rel_set: RelSet::single(0),
+                        estimated_rows: 1.0,
+                        actual_rows: 100,
+                        trigger: ReoptTrigger::DetectionRun,
+                    },
+                }
+            }
+        }
+        let mut db = test_database();
+        let err = execute_with_policy(&mut db, SKEWED_SQL, &mut BadPolicy);
+        assert!(err.is_err(), "ReplanMidQuery from on_complete must be rejected");
     }
 }

@@ -1,20 +1,26 @@
 //! Per-query and per-workload run records shared by the experiment harnesses, plus the
 //! human-readable rendering of a [`ReoptReport`].
 
+use crate::policy::ReoptTrigger;
 use crate::reopt::{ReoptReport, ReoptRoundKind};
 use std::time::Duration;
 
 impl ReoptReport {
-    /// Render the report as human-readable text, tagging every round with its kind so
-    /// that mid-query rounds (pipeline suspended and resumed, state reused) are
-    /// distinguishable from restart rounds (query re-executed from scratch).
+    /// Render the report as human-readable text, tagging every round with its kind
+    /// and trigger so that mid-query rounds (pipeline suspended and resumed, state
+    /// reused) are distinguishable from restart rounds (query re-executed from
+    /// scratch), and breaker-triggered rounds from streaming-progress ones.
     pub fn render(&self) -> String {
         let mut out = String::new();
         for (idx, round) in self.rounds.iter().enumerate() {
+            let tag = if round.trigger == ReoptTrigger::DetectionRun {
+                round.kind.to_string()
+            } else {
+                format!("{} via {}", round.kind, round.trigger)
+            };
             out.push_str(&format!(
-                "round {} [{}]  {}  estimated={:.0} actual={} q-error={:.1}",
+                "round {} [{tag}]  {}  estimated={:.0} actual={} q-error={:.1}",
                 idx + 1,
-                round.kind,
                 round.materialized_aliases.join(" \u{22c8} "),
                 round.estimated_rows,
                 round.actual_rows,
@@ -28,7 +34,11 @@ impl ReoptReport {
                 (Some(name), ReoptRoundKind::Restart) => {
                     out.push_str(&format!("  -> materialized as {name}"));
                 }
-                (None, _) => out.push_str("  -> injected"),
+                (None, _) => out.push_str(&format!(
+                    "  -> injected {} cardinalit{}",
+                    round.corrections,
+                    if round.corrections == 1 { "y" } else { "ies" }
+                )),
             }
             out.push('\n');
         }
@@ -36,7 +46,8 @@ impl ReoptReport {
             out.push_str("no re-optimization rounds\n");
         }
         out.push_str(&format!(
-            "planning {:.3} ms, execution {:.3} ms, detection {:.3} ms, peak buffered rows {}\n",
+            "policy {}: planning {:.3} ms, execution {:.3} ms, detection {:.3} ms, peak buffered rows {}\n",
+            self.policy,
             self.planning_time.as_secs_f64() * 1e3,
             self.execution_time.as_secs_f64() * 1e3,
             self.detection_time.as_secs_f64() * 1e3,

@@ -8,13 +8,18 @@
 //! per-iteration execution time and shows that (a) dozens of corrections can be needed
 //! before a good plan appears and (b) correcting only a subset of estimates can
 //! transiently make the plan *worse* than the original.
+//!
+//! The simulation is one inject-restart loop among several, so it runs on the unified
+//! policy driver: [`selective_improvement`] is a thin wrapper that executes the query
+//! under [`SelectivePolicy`] via [`execute_with_policy`] and maps the report's rounds
+//! back onto the per-iteration records Figure 5 plots.
 
 use crate::database::Database;
 use crate::error::DbError;
+use crate::policy::SelectivePolicy;
 use crate::qerror::DEFAULT_REOPT_THRESHOLD;
-use reopt_executor::MetricsNode;
-use reopt_planner::{CardinalityOverrides, RelSet};
-use reopt_sql::parse_sql;
+use crate::reopt::execute_with_policy;
+use reopt_planner::RelSet;
 use std::time::Duration;
 
 /// Configuration for the selective-improvement simulation.
@@ -45,11 +50,17 @@ pub struct SelectiveIteration {
     pub planning_time: Duration,
     /// Execution time of this iteration (the y-axis of Figure 5).
     pub execution_time: Duration,
-    /// The relation subset whose estimate was corrected after this iteration, if any.
+    /// The relation subset whose estimate was corrected after this iteration. `None`
+    /// means the iteration was clean; on the *final* iteration of a budget-exhausted
+    /// run this instead reports the subset that still violated the threshold (no
+    /// correction was applied — the budget was spent), so non-convergence is never
+    /// mistaken for convergence.
     pub corrected: Option<RelSet>,
-    /// The Q-error of the corrected operator.
+    /// The Q-error of the corrected (or, on a budget-exhausted final iteration,
+    /// still-violating) operator; 1.0 when the iteration was clean.
     pub q_error: f64,
-    /// The number of estimates injected so far (cumulative).
+    /// The number of *distinct* subsets corrected so far (cumulative; re-correcting
+    /// an already-corrected subtree does not inflate the count).
     pub corrections_so_far: usize,
 }
 
@@ -57,101 +68,62 @@ pub struct SelectiveIteration {
 ///
 /// Returns one record per executed iteration; the last iteration is the one where no
 /// operator exceeded the threshold any more (or the iteration limit was hit).
+///
+/// Detection and correction only consume *exhausted* operator counts (operators whose
+/// whole subtree ran to completion), which keeps counts truncated by a LIMIT from
+/// ever being injected as truth — such queries simply see fewer correctable
+/// operators. Re-planning itself is additionally gated by the driver's shared safety
+/// rules (wildcard selects and order-sensitive LIMIT outputs run plain).
 pub fn selective_improvement(
     db: &mut Database,
     sql: &str,
     config: &SelectiveConfig,
 ) -> Result<Vec<SelectiveIteration>, DbError> {
-    let statement = parse_sql(sql)?;
-    let select = statement
-        .query()
-        .ok_or_else(|| DbError::Reoptimization("selective improvement needs a SELECT".into()))?
-        .clone();
-    // Under a LIMIT the pipelined executor may stop pulling early, so some operators
-    // report truncated actual_rows. Detection and correction below only consume
-    // *exhausted* operator counts (operators that ran to completion), which keeps
-    // truncated counts from ever being injected as truth — LIMIT queries simply see
-    // fewer correctable operators.
+    // `max_iterations` counts *executions*; the final execution is the driver's
+    // budget-exhausted (or converged) run, so the policy gets one less round.
+    let mut policy = SelectivePolicy::new(
+        config.threshold,
+        config.max_iterations.saturating_sub(1),
+    );
+    let report = execute_with_policy(db, sql, &mut policy)?;
+    let distinct = policy.distinct_corrections_by_round();
 
-    let mut injected = CardinalityOverrides::new();
     let mut iterations = Vec::new();
-
-    for iteration in 0..config.max_iterations {
-        let (planned, planning_time) = db.plan_select_with_overrides(&select, &injected)?;
-        let result = reopt_executor::execute_plan(&planned.plan, db.storage())?;
-
-        // Find the lowest operator whose estimate is off by more than the threshold.
-        let offending = lowest_mis_estimated(&result.metrics.root, config.threshold);
-
-        match offending {
-            None => {
-                iterations.push(SelectiveIteration {
-                    iteration,
-                    planning_time,
-                    execution_time: result.metrics.execution_time,
-                    corrected: None,
-                    q_error: 1.0,
-                    corrections_so_far: injected.len(),
-                });
-                break;
-            }
-            Some(node) => {
-                // Correct this operator's estimate and every *exhausted* estimate
-                // below it (truncated counts are never true cardinalities).
-                let mut corrected_sets = 0;
-                node.walk(&mut |descendant| {
-                    let set = descendant.metrics.rel_set;
-                    if !set.is_empty() && descendant.metrics.exhausted {
-                        injected.set(set, descendant.metrics.actual_rows as f64);
-                        corrected_sets += 1;
-                    }
-                });
-                iterations.push(SelectiveIteration {
-                    iteration,
-                    planning_time,
-                    execution_time: result.metrics.execution_time,
-                    corrected: Some(node.metrics.rel_set),
-                    q_error: node.metrics.q_error(),
-                    corrections_so_far: injected.len(),
-                });
-            }
-        }
+    let mut round_planning = Duration::ZERO;
+    for (iteration, round) in report.rounds.iter().enumerate() {
+        round_planning += round.planning_time;
+        iterations.push(SelectiveIteration {
+            iteration,
+            planning_time: round.planning_time,
+            execution_time: round.detection_time,
+            corrected: Some(round.rel_set),
+            q_error: round.q_error,
+            corrections_so_far: distinct.get(iteration).copied().unwrap_or(0),
+        });
     }
+    // The final run. No correction was applied after it — but it only counts as
+    // *converged* if nothing exceeds the threshold any more; when the iteration
+    // budget was spent first, report the still-violating operator honestly instead
+    // of pretending the loop finished.
+    let (corrected, q_error) = report
+        .final_metrics
+        .as_ref()
+        .and_then(|metrics| metrics.root.lowest_mis_estimated(config.threshold))
+        .map(|node| (Some(node.metrics.rel_set), node.metrics.q_error()))
+        .unwrap_or((None, 1.0));
+    iterations.push(SelectiveIteration {
+        iteration: report.rounds.len(),
+        planning_time: report.planning_time.saturating_sub(round_planning),
+        execution_time: report
+            .final_metrics
+            .as_ref()
+            .map(|m| m.execution_time)
+            .unwrap_or(report.execution_time),
+        corrected,
+        q_error,
+        corrections_so_far: distinct.last().copied().unwrap_or(0),
+    });
     Ok(iterations)
-}
-
-/// The lowest (smallest relation set, deepest) operator whose Q-error exceeds the
-/// threshold, if any.
-fn lowest_mis_estimated(root: &MetricsNode, threshold: f64) -> Option<&MetricsNode> {
-    let mut candidates: Vec<(usize, usize, &MetricsNode)> = Vec::new();
-    collect_with_depth(root, 0, &mut candidates);
-    candidates
-        .into_iter()
-        .filter(|(_, _, node)| {
-            node.metrics.exhausted
-                && !node.metrics.rel_set.is_empty()
-                && node.metrics.q_error() > threshold
-        })
-        .min_by(|a, b| {
-            a.2.metrics
-                .rel_set
-                .len()
-                .cmp(&b.2.metrics.rel_set.len())
-                .then(b.1.cmp(&a.1))
-                .then(a.0.cmp(&b.0))
-        })
-        .map(|(_, _, node)| node)
-}
-
-fn collect_with_depth<'a>(
-    node: &'a MetricsNode,
-    depth: usize,
-    out: &mut Vec<(usize, usize, &'a MetricsNode)>,
-) {
-    out.push((out.len(), depth, node));
-    for child in &node.children {
-        collect_with_depth(child, depth + 1, out);
-    }
 }
 
 #[cfg(test)]

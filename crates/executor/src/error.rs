@@ -16,9 +16,10 @@ pub enum ExecError {
     Eval(String),
     /// The plan shape was invalid (wrong number of children, missing index, ...).
     InvalidPlan(String),
-    /// Execution was suspended by a [`BreakerMonitor`](crate::exec::BreakerMonitor)
-    /// at a pipeline-breaker boundary so a re-optimizer can take over. Not a failure:
-    /// the pipeline's completed breaker state remains extractable via
+    /// Execution was suspended by an [`ExecutionObserver`](crate::exec::ExecutionObserver)
+    /// — at a pipeline-breaker boundary, a streaming progress report, or the root
+    /// batch seam — so a re-optimizer can take over. Not a failure: the pipeline's
+    /// completed breaker state remains extractable via
     /// [`Pipeline::take_breaker_states`](crate::exec::Pipeline::take_breaker_states).
     Suspended,
 }

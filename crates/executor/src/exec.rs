@@ -77,30 +77,122 @@ pub struct BreakerEvent {
     pub reusable: bool,
 }
 
-/// Decision returned by a [`BreakerMonitor`] after each breaker completion.
+/// What prompted a streaming operator to report progress.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum BreakerDecision {
+pub enum ProgressSource {
+    /// A periodic report: the operator produced another
+    /// [`Executor::with_progress_interval`] output batches.
+    OutputBatches,
+    /// The outer side of an index nested-loop join exhausted: every outer row has been
+    /// probed, so the reported count is the join's final output cardinality.
+    OuterExhausted,
+}
+
+/// An in-flight report from a *streaming* join operator: produced-vs-estimated rows,
+/// available long before any pipeline breaker above the operator completes. Unless
+/// [`ProgressEvent::exhausted`] is set the produced count is only a **lower bound** on
+/// the operator's true cardinality — an observer can conclude that an estimate is an
+/// underestimate (overshoot), never that it is an overestimate.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ProgressEvent {
+    /// What prompted the report.
+    pub source: ProgressSource,
+    /// The base relations covered by the reporting operator.
+    pub rel_set: RelSet,
+    /// The optimizer's estimate for the operator's output.
+    pub estimated_rows: f64,
+    /// Rows produced so far (a lower bound unless `exhausted`).
+    pub produced_rows: u64,
+    /// Output batches produced so far.
+    pub batches: u64,
+    /// When true the operator's output is complete and `produced_rows` is its true
+    /// cardinality (e.g. an index-NL join whose outer side exhausted).
+    pub exhausted: bool,
+}
+
+/// An execution event delivered to an [`ExecutionObserver`]: either a pipeline breaker
+/// finished materializing its input (a *true* subtree cardinality), or a streaming
+/// operator reported progress (a lower bound, available much earlier).
+#[derive(Debug, Clone, PartialEq)]
+pub enum ExecEvent {
+    /// A pipeline breaker completed its input.
+    BreakerComplete(BreakerEvent),
+    /// A streaming operator reported produced-vs-estimated rows.
+    Progress(ProgressEvent),
+}
+
+impl ExecEvent {
+    /// The base relations the event's observation covers.
+    pub fn rel_set(&self) -> RelSet {
+        match self {
+            ExecEvent::BreakerComplete(e) => e.rel_set,
+            ExecEvent::Progress(e) => e.rel_set,
+        }
+    }
+
+    /// The optimizer's estimate for the observed subtree.
+    pub fn estimated_rows(&self) -> f64 {
+        match self {
+            ExecEvent::BreakerComplete(e) => e.estimated_rows,
+            ExecEvent::Progress(e) => e.estimated_rows,
+        }
+    }
+
+    /// The observed row count (exact iff [`ExecEvent::is_exact`]).
+    pub fn observed_rows(&self) -> u64 {
+        match self {
+            ExecEvent::BreakerComplete(e) => e.actual_rows,
+            ExecEvent::Progress(e) => e.produced_rows,
+        }
+    }
+
+    /// Whether the observed count is a true cardinality (breaker completions always
+    /// are; progress reports only once the operator exhausted) rather than a lower
+    /// bound on one.
+    pub fn is_exact(&self) -> bool {
+        match self {
+            ExecEvent::BreakerComplete(_) => true,
+            ExecEvent::Progress(e) => e.exhausted,
+        }
+    }
+}
+
+/// Decision returned by an [`ExecutionObserver`] after each event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ObserverDecision {
     /// Keep executing.
     Continue,
-    /// Unwind out of `next_batch` with [`ExecError::Suspended`]; the pipeline stops,
-    /// but its completed breaker state can still be extracted with
-    /// [`Pipeline::take_breaker_states`].
+    /// Unwind out of `next_batch` with [`ExecError::Suspended`] immediately; the
+    /// pipeline stops mid-pull, but its completed breaker state can still be extracted
+    /// with [`Pipeline::take_breaker_states`]. Rows of the in-flight root batch are
+    /// discarded, which is what a mid-query re-planner wants (it restarts the
+    /// remainder anyway).
     Suspend,
+    /// Let the current root `next_batch` pull finish and deliver its batch, then
+    /// suspend on the root batch seam: the *next* pull returns
+    /// [`ExecError::Suspended`]. This is the clean hand-off point for schedulers that
+    /// must not lose produced rows. Note that whether any rows remain beyond the
+    /// seam is unknowable without doing more work: if the event that armed the
+    /// suspension fired during the pull that produced the *last* batch, the next
+    /// pull still reports `Suspended` rather than exhaustion — callers must treat a
+    /// seam suspension as "remainder unknown, possibly empty".
+    SuspendAtRootSeam,
 }
 
-/// Observer of pipeline-breaker completions: the mechanism a mid-query re-optimizer
-/// uses to watch true cardinalities appear during a run and suspend execution when an
-/// estimate turns out badly wrong. The executor provides the events; the policy (for
-/// example a q-error threshold) lives in the caller.
-pub trait BreakerMonitor {
-    /// Called exactly once per breaker input, immediately after it finished
-    /// materializing.
-    fn on_breaker_complete(&mut self, event: &BreakerEvent) -> BreakerDecision;
+/// Observer of execution events: the mechanism a mid-query re-optimizer (or an async
+/// scheduler) uses to watch cardinality truth appear during a run and suspend
+/// execution when an estimate turns out badly wrong. The executor provides the
+/// events — breaker completions (exact) and streaming progress (early lower bounds) —
+/// the decision policy (for example a q-error threshold) lives in the caller.
+pub trait ExecutionObserver {
+    /// Called once per event, synchronously, from inside the producing operator.
+    fn on_event(&mut self, event: &ExecEvent) -> ObserverDecision;
 }
 
-/// Shared handle to a monitor; operators borrow it mutably only for the duration of a
-/// single callback.
-pub type MonitorHandle = Rc<RefCell<dyn BreakerMonitor>>;
+/// Shared handle to an observer; operators borrow it mutably only for the duration of
+/// a single callback. The lifetime lets callers install observers that borrow from
+/// the surrounding control loop (e.g. a re-optimization policy).
+pub type ObserverHandle<'p> = Rc<RefCell<dyn ExecutionObserver + 'p>>;
 
 /// A completed breaker materialization extracted from a suspended pipeline: the exact
 /// output of the subtree covering `rel_set`, with all predicates local to that subtree
@@ -118,18 +210,108 @@ pub struct BreakerState {
     pub rows: Vec<Row>,
 }
 
-/// Report a breaker completion to the monitor, if one is installed, translating a
-/// `Suspend` decision into [`ExecError::Suspended`].
-fn notify_breaker(
-    monitor: &Option<MonitorHandle>,
-    event: BreakerEvent,
-) -> Result<(), ExecError> {
-    if let Some(monitor) = monitor {
-        if monitor.borrow_mut().on_breaker_complete(&event) == BreakerDecision::Suspend {
-            return Err(ExecError::Suspended);
+/// The per-operator view of the installed observer: the shared handle, the root-seam
+/// suspension flag, and the progress cadence. Cloned into every operator that emits
+/// events.
+struct ObserverCtx<'p> {
+    observer: Option<ObserverHandle<'p>>,
+    /// Set when an observer asked to suspend on the root batch seam; checked by
+    /// [`Pipeline::next_batch`] before every pull.
+    root_seam: Rc<Cell<bool>>,
+    /// Emit a [`ProgressEvent`] every this many output batches (0 disables periodic
+    /// reports).
+    progress_every: u64,
+}
+
+impl<'p> ObserverCtx<'p> {
+    fn clone_ref(&self) -> ObserverCtx<'p> {
+        ObserverCtx {
+            observer: self.observer.clone(),
+            root_seam: Rc::clone(&self.root_seam),
+            progress_every: self.progress_every,
         }
     }
-    Ok(())
+
+    /// Whether an observer is installed (drained breaker children are only retained
+    /// for observed pipelines, so their state stays extractable after a suspension).
+    fn active(&self) -> bool {
+        self.observer.is_some()
+    }
+
+    /// Report an event, translating the decision into control flow: `Suspend` unwinds
+    /// with [`ExecError::Suspended`], `SuspendAtRootSeam` arms the root-seam flag.
+    fn notify(&self, event: ExecEvent) -> Result<(), ExecError> {
+        if let Some(observer) = &self.observer {
+            match observer.borrow_mut().on_event(&event) {
+                ObserverDecision::Continue => {}
+                ObserverDecision::Suspend => return Err(ExecError::Suspended),
+                ObserverDecision::SuspendAtRootSeam => self.root_seam.set(true),
+            }
+        }
+        Ok(())
+    }
+
+    fn notify_breaker(&self, event: BreakerEvent) -> Result<(), ExecError> {
+        self.notify(ExecEvent::BreakerComplete(event))
+    }
+}
+
+/// Output-side progress accounting for a streaming join: counts produced rows and
+/// batches, reporting every `progress_every` batches (and once on exhaustion for
+/// index-NL joins, where the count is final).
+struct ProgressMeter {
+    rel_set: RelSet,
+    estimated_rows: f64,
+    produced_rows: u64,
+    batches: u64,
+    exhausted_reported: bool,
+}
+
+impl ProgressMeter {
+    fn new(rel_set: RelSet, estimated_rows: f64) -> Self {
+        Self {
+            rel_set,
+            estimated_rows,
+            produced_rows: 0,
+            batches: 0,
+            exhausted_reported: false,
+        }
+    }
+
+    /// Account one output batch and emit a periodic progress report when due.
+    fn tick(&mut self, ctx: &ObserverCtx<'_>, batch_len: usize) -> Result<(), ExecError> {
+        self.produced_rows += batch_len as u64;
+        self.batches += 1;
+        if ctx.active() && ctx.progress_every > 0 && self.batches % ctx.progress_every == 0 {
+            ctx.notify(ExecEvent::Progress(ProgressEvent {
+                source: ProgressSource::OutputBatches,
+                rel_set: self.rel_set,
+                estimated_rows: self.estimated_rows,
+                produced_rows: self.produced_rows,
+                batches: self.batches,
+                exhausted: false,
+            }))?;
+        }
+        Ok(())
+    }
+
+    /// Emit the one-shot exhaustion report (index-NL outer side done): `pending` rows
+    /// are produced but not yet ticked (the batch under construction).
+    fn finish(&mut self, ctx: &ObserverCtx<'_>, pending: usize) -> Result<(), ExecError> {
+        if self.exhausted_reported || !ctx.active() {
+            self.exhausted_reported = true;
+            return Ok(());
+        }
+        self.exhausted_reported = true;
+        ctx.notify(ExecEvent::Progress(ProgressEvent {
+            source: ProgressSource::OuterExhausted,
+            rel_set: self.rel_set,
+            estimated_rows: self.estimated_rows,
+            produced_rows: self.produced_rows + pending as u64,
+            batches: self.batches,
+            exhausted: true,
+        }))
+    }
 }
 
 /// The result of executing one plan.
@@ -150,10 +332,15 @@ pub fn execute_plan(plan: &PhysicalPlan, storage: &Storage) -> Result<ExecutionR
     Executor::new(storage).execute(plan)
 }
 
+/// Default progress cadence: streaming joins report produced-vs-estimated rows every
+/// this many output batches when an [`ExecutionObserver`] is installed.
+pub const DEFAULT_PROGRESS_INTERVAL: u64 = 8;
+
 /// The plan executor: a factory for [`Pipeline`]s.
 pub struct Executor<'a> {
     storage: &'a Storage,
     batch_size: usize,
+    progress_every: u64,
 }
 
 impl<'a> Executor<'a> {
@@ -162,6 +349,7 @@ impl<'a> Executor<'a> {
         Self {
             storage,
             batch_size: DEFAULT_BATCH_SIZE,
+            progress_every: DEFAULT_PROGRESS_INTERVAL,
         }
     }
 
@@ -170,7 +358,16 @@ impl<'a> Executor<'a> {
         Self {
             storage,
             batch_size: batch_size.max(1),
+            progress_every: DEFAULT_PROGRESS_INTERVAL,
         }
+    }
+
+    /// Set the progress cadence: streaming joins report a [`ProgressEvent`] every
+    /// `every_batches` output batches (0 disables periodic reports; index-NL
+    /// outer-exhaustion reports still fire).
+    pub fn with_progress_interval(mut self, every_batches: u64) -> Self {
+        self.progress_every = every_batches;
+        self
     }
 
     /// Open a pipeline over the plan without running it. Pulling batches from the
@@ -214,27 +411,34 @@ impl<'a> Executor<'a> {
     where
         'a: 'p,
     {
-        self.open_monitored(plan, None)
+        self.open_observed(plan, None)
     }
 
-    /// Open a pipeline with a [`BreakerMonitor`] installed: the monitor observes every
+    /// Open a pipeline with an [`ExecutionObserver`] installed: the observer sees every
     /// pipeline-breaker completion (the points where true subtree cardinalities first
-    /// become known) and can suspend execution there. This is the hook the mid-query
-    /// re-optimization controller attaches to.
-    pub fn open_monitored<'p>(
+    /// become known) *and* the progress reports of streaming joins (early lower bounds
+    /// on those cardinalities), and can suspend execution — either immediately or on
+    /// the root batch seam. This is the hook the re-optimization control plane
+    /// attaches to.
+    pub fn open_observed<'p>(
         &self,
         plan: &'p PhysicalPlan,
-        monitor: Option<MonitorHandle>,
+        observer: Option<ObserverHandle<'p>>,
     ) -> Result<Pipeline<'p>, ExecError>
     where
         'a: 'p,
     {
         let tracker = Rc::new(MemoryTracker::default());
+        let root_seam = Rc::new(Cell::new(false));
         let ctx = BuildContext {
             storage: self.storage,
             batch_size: self.batch_size,
             tracker: Rc::clone(&tracker),
-            monitor,
+            obs: ObserverCtx {
+                observer,
+                root_seam: Rc::clone(&root_seam),
+                progress_every: self.progress_every,
+            },
         };
         let (root, stats) = build_operator(plan, &ctx)?;
         Ok(Pipeline {
@@ -242,6 +446,7 @@ impl<'a> Executor<'a> {
             root,
             stats,
             tracker,
+            root_seam,
             poisoned: false,
             suspended: false,
         })
@@ -270,6 +475,8 @@ pub struct Pipeline<'p> {
     root: Metered<'p>,
     stats: StatsNode,
     tracker: Rc<MemoryTracker>,
+    /// Armed by an [`ObserverDecision::SuspendAtRootSeam`]; honored before the next pull.
+    root_seam: Rc<Cell<bool>>,
     poisoned: bool,
     suspended: bool,
 }
@@ -279,9 +486,10 @@ impl Pipeline<'_> {
     ///
     /// An `Err` poisons the pipeline: operators may hold partially-buffered state, so
     /// every subsequent pull fails rather than risking silently wrong results. The one
-    /// exception is [`ExecError::Suspended`] (a [`BreakerMonitor`] stopped execution):
-    /// the pipeline refuses further pulls but its completed breaker state stays
-    /// extractable via [`Pipeline::take_breaker_states`].
+    /// exception is [`ExecError::Suspended`] (an [`ExecutionObserver`] stopped
+    /// execution, either mid-pull or on the root batch seam): the pipeline refuses
+    /// further pulls but its completed breaker state stays extractable via
+    /// [`Pipeline::take_breaker_states`].
     pub fn next_batch(&mut self) -> Result<Option<RowBatch>, ExecError> {
         if self.suspended {
             return Err(ExecError::Suspended);
@@ -290,6 +498,12 @@ impl Pipeline<'_> {
             return Err(ExecError::InvalidPlan(
                 "pipeline poisoned by an earlier execution error".into(),
             ));
+        }
+        // A root-seam suspension requested during the previous pull takes effect here,
+        // after that pull's batch was delivered and before any new work starts.
+        if self.root_seam.get() {
+            self.suspended = true;
+            return Err(ExecError::Suspended);
         }
         let out = self.root.next_batch();
         match &out {
@@ -300,14 +514,14 @@ impl Pipeline<'_> {
         out
     }
 
-    /// Whether a [`BreakerMonitor`] suspended this pipeline.
+    /// Whether an [`ExecutionObserver`] suspended this pipeline.
     pub fn is_suspended(&self) -> bool {
         self.suspended
     }
 
     /// Move every *completed* breaker materialization out of the operator tree
-    /// (hash-join build sides and nested-loop inners, innermost first). Used after a
-    /// monitor suspension: the extracted rows become virtual leaf tables for the
+    /// (hash-join build sides and nested-loop inners, innermost first). Used after an
+    /// observer suspension: the extracted rows become virtual leaf tables for the
     /// re-planned remainder of the query, so the work of building them is not lost.
     /// The pipeline must not be pulled again afterwards.
     pub fn take_breaker_states(&mut self) -> Vec<BreakerState> {
@@ -404,7 +618,7 @@ struct BuildContext<'p> {
     storage: &'p Storage,
     batch_size: usize,
     tracker: Rc<MemoryTracker>,
-    monitor: Option<MonitorHandle>,
+    obs: ObserverCtx<'p>,
 }
 
 /// A batch-producing operator.
@@ -561,7 +775,8 @@ fn build_operator<'p>(
                 match_pos: 0,
                 batch_size,
                 tracker: Rc::clone(&ctx.tracker),
-                monitor: ctx.monitor.clone(),
+                obs: ctx.obs.clone_ref(),
+                progress: ProgressMeter::new(plan.rel_set, plan.estimated_rows),
             })
         }
         PlanKind::IndexNestedLoopJoin {
@@ -596,6 +811,8 @@ fn build_operator<'p>(
                 match_pos: 0,
                 batch_size,
                 tracker: Rc::clone(&ctx.tracker),
+                obs: ctx.obs.clone_ref(),
+                progress: ProgressMeter::new(plan.rel_set, plan.estimated_rows),
             })
         }
         PlanKind::NestedLoopJoin { predicate } => {
@@ -615,7 +832,8 @@ fn build_operator<'p>(
                 inner_pos: 0,
                 batch_size,
                 tracker: Rc::clone(&ctx.tracker),
-                monitor: ctx.monitor.clone(),
+                obs: ctx.obs.clone_ref(),
+                progress: ProgressMeter::new(plan.rel_set, plan.estimated_rows),
             })
         }
         PlanKind::MergeJoin { keys, residual } => {
@@ -648,7 +866,8 @@ fn build_operator<'p>(
                 block: None,
                 batch_size,
                 tracker: Rc::clone(&ctx.tracker),
-                monitor: ctx.monitor.clone(),
+                obs: ctx.obs.clone_ref(),
+                progress: ProgressMeter::new(plan.rel_set, plan.estimated_rows),
             })
         }
         PlanKind::Filter { predicate } => {
@@ -683,7 +902,7 @@ fn build_operator<'p>(
                 emit: None,
                 batch_size,
                 tracker: Rc::clone(&ctx.tracker),
-                monitor: ctx.monitor.clone(),
+                obs: ctx.obs.clone_ref(),
             })
         }
         PlanKind::Project { exprs } => {
@@ -712,7 +931,7 @@ fn build_operator<'p>(
                 pos: 0,
                 batch_size,
                 tracker: Rc::clone(&ctx.tracker),
-                monitor: ctx.monitor.clone(),
+                obs: ctx.obs.clone_ref(),
             })
         }
         PlanKind::Limit { count } => {
@@ -948,7 +1167,8 @@ struct HashJoinOp<'p> {
     match_pos: usize,
     batch_size: usize,
     tracker: Rc<MemoryTracker>,
-    monitor: Option<MonitorHandle>,
+    obs: ObserverCtx<'p>,
+    progress: ProgressMeter,
 }
 
 impl HashJoinOp<'_> {
@@ -970,24 +1190,21 @@ impl HashJoinOp<'_> {
             }
             Ok(())
         });
-        // Only monitored pipelines (which may suspend and extract breaker state) need
+        // Only observed pipelines (which may suspend and extract breaker state) need
         // the drained subtree kept alive; everywhere else, drop it now so nested
         // breaker buffers are freed as execution proceeds.
-        if self.monitor.is_some() {
+        if self.obs.active() {
             self.build = Some(build);
         }
         result?;
         self.build_done = true;
-        notify_breaker(
-            &self.monitor,
-            BreakerEvent {
-                kind: BreakerKind::HashBuild,
-                rel_set: self.build_rel_set,
-                estimated_rows: self.build_estimated_rows,
-                actual_rows: self.build_rows.len() as u64,
-                reusable: true,
-            },
-        )
+        self.obs.notify_breaker(BreakerEvent {
+            kind: BreakerKind::HashBuild,
+            rel_set: self.build_rel_set,
+            estimated_rows: self.build_estimated_rows,
+            actual_rows: self.build_rows.len() as u64,
+            reusable: true,
+        })
     }
 
     /// Pull the next probe batch and precompute its keys. Returns `false` at EOF.
@@ -1045,7 +1262,12 @@ impl Operator for HashJoinOp<'_> {
                 break;
             }
         }
-        Ok(if out.is_empty() { None } else { Some(out) })
+        if out.is_empty() {
+            Ok(None)
+        } else {
+            self.progress.tick(&self.obs, out.len())?;
+            Ok(Some(out))
+        }
     }
 
     fn collect_breaker_states(&mut self, out: &mut Vec<BreakerState>) {
@@ -1085,6 +1307,8 @@ struct IndexNlJoinOp<'p> {
     match_pos: usize,
     batch_size: usize,
     tracker: Rc<MemoryTracker>,
+    obs: ObserverCtx<'p>,
+    progress: ProgressMeter,
 }
 
 impl IndexNlJoinOp<'_> {
@@ -1114,6 +1338,11 @@ impl Operator for IndexNlJoinOp<'_> {
         'fill: loop {
             if self.outer_pos >= self.outer_batch.len() {
                 let Some(batch) = self.outer.next_batch()? else {
+                    // Every outer row has been probed: the rows counted so far plus
+                    // the batch under construction are the join's complete output, so
+                    // the progress report carries a true cardinality — the earliest
+                    // one an index-NL pipeline ever produces (it has no breaker).
+                    self.progress.finish(&self.obs, out.len())?;
                     break;
                 };
                 self.outer_batch = batch;
@@ -1162,7 +1391,12 @@ impl Operator for IndexNlJoinOp<'_> {
                 break;
             }
         }
-        Ok(if out.is_empty() { None } else { Some(out) })
+        if out.is_empty() {
+            Ok(None)
+        } else {
+            self.progress.tick(&self.obs, out.len())?;
+            Ok(Some(out))
+        }
     }
 
     fn collect_breaker_states(&mut self, out: &mut Vec<BreakerState>) {
@@ -1187,7 +1421,8 @@ struct NestedLoopJoinOp<'p> {
     inner_pos: usize,
     batch_size: usize,
     tracker: Rc<MemoryTracker>,
-    monitor: Option<MonitorHandle>,
+    obs: ObserverCtx<'p>,
+    progress: ProgressMeter,
 }
 
 impl NestedLoopJoinOp<'_> {
@@ -1207,22 +1442,19 @@ impl NestedLoopJoinOp<'_> {
                 Ok(())
             })
         };
-        // As in HashJoinOp: retain the drained child only for monitored pipelines.
-        if self.monitor.is_some() {
+        // As in HashJoinOp: retain the drained child only for observed pipelines.
+        if self.obs.active() {
             self.inner = Some(inner);
         }
         result?;
         self.inner_done = true;
-        notify_breaker(
-            &self.monitor,
-            BreakerEvent {
-                kind: BreakerKind::NestedLoopInner,
-                rel_set: self.inner_rel_set,
-                estimated_rows: self.inner_estimated_rows,
-                actual_rows: self.inner_rows.len() as u64,
-                reusable: true,
-            },
-        )
+        self.obs.notify_breaker(BreakerEvent {
+            kind: BreakerKind::NestedLoopInner,
+            rel_set: self.inner_rel_set,
+            estimated_rows: self.inner_estimated_rows,
+            actual_rows: self.inner_rows.len() as u64,
+            reusable: true,
+        })
     }
 }
 
@@ -1271,7 +1503,11 @@ impl Operator for NestedLoopJoinOp<'_> {
                 break;
             }
         }
-        Ok(if out.is_empty() { None } else { Some(out) })
+        if out.is_empty() {
+            return Ok(None);
+        }
+        self.progress.tick(&self.obs, out.len())?;
+        Ok(Some(out))
     }
 
     fn collect_breaker_states(&mut self, out: &mut Vec<BreakerState>) {
@@ -1322,7 +1558,8 @@ struct MergeJoinOp<'p> {
     block: Option<MergeBlock>,
     batch_size: usize,
     tracker: Rc<MemoryTracker>,
-    monitor: Option<MonitorHandle>,
+    obs: ObserverCtx<'p>,
+    progress: ProgressMeter,
 }
 
 impl MergeJoinOp<'_> {
@@ -1338,30 +1575,24 @@ impl MergeJoinOp<'_> {
             // undercount: report the metered child row counts instead, and mark the
             // state as not reusable.
             drain_keyed(&mut left_input, &self.left_keys, &self.tracker, &mut self.left)?;
-            notify_breaker(
-                &self.monitor,
-                BreakerEvent {
-                    kind: BreakerKind::MergeInput,
-                    rel_set: self.input_meta[0].0,
-                    estimated_rows: self.input_meta[0].1,
-                    actual_rows: left_input.stats.rows.get(),
-                    reusable: false,
-                },
-            )?;
+            self.obs.notify_breaker(BreakerEvent {
+                kind: BreakerKind::MergeInput,
+                rel_set: self.input_meta[0].0,
+                estimated_rows: self.input_meta[0].1,
+                actual_rows: left_input.stats.rows.get(),
+                reusable: false,
+            })?;
             drain_keyed(&mut right_input, &self.right_keys, &self.tracker, &mut self.right)?;
-            notify_breaker(
-                &self.monitor,
-                BreakerEvent {
-                    kind: BreakerKind::MergeInput,
-                    rel_set: self.input_meta[1].0,
-                    estimated_rows: self.input_meta[1].1,
-                    actual_rows: right_input.stats.rows.get(),
-                    reusable: false,
-                },
-            )
+            self.obs.notify_breaker(BreakerEvent {
+                kind: BreakerKind::MergeInput,
+                rel_set: self.input_meta[1].0,
+                estimated_rows: self.input_meta[1].1,
+                actual_rows: right_input.stats.rows.get(),
+                reusable: false,
+            })
         })();
-        // As in HashJoinOp: retain the drained children only for monitored pipelines.
-        if self.monitor.is_some() {
+        // As in HashJoinOp: retain the drained children only for observed pipelines.
+        if self.obs.active() {
             self.inputs = Some((left_input, right_input));
         }
         result?;
@@ -1413,6 +1644,7 @@ impl Operator for MergeJoinOp<'_> {
             };
             while block.li < block.i_end {
                 if out.len() >= self.batch_size {
+                    self.progress.tick(&self.obs, out.len())?;
                     return Ok(Some(out));
                 }
                 let joined = self.left[block.li].1.join(&self.right[block.ri].1);
@@ -1433,7 +1665,11 @@ impl Operator for MergeJoinOp<'_> {
             self.j = block.j_end;
             self.block = None;
         }
-        Ok(if out.is_empty() { None } else { Some(out) })
+        if out.is_empty() {
+            return Ok(None);
+        }
+        self.progress.tick(&self.obs, out.len())?;
+        Ok(Some(out))
     }
 
     fn collect_breaker_states(&mut self, out: &mut Vec<BreakerState>) {
@@ -1464,7 +1700,7 @@ struct AggregateOp<'p> {
     emit: Option<std::vec::IntoIter<(Vec<Value>, Vec<Accumulator>)>>,
     batch_size: usize,
     tracker: Rc<MemoryTracker>,
-    monitor: Option<MonitorHandle>,
+    obs: ObserverCtx<'p>,
 }
 
 impl AggregateOp<'_> {
@@ -1536,22 +1772,19 @@ impl AggregateOp<'_> {
             result
         };
         let input_rows = input.stats.rows.get();
-        // As in HashJoinOp: retain the drained child only for monitored pipelines.
-        if self.monitor.is_some() {
+        // As in HashJoinOp: retain the drained child only for observed pipelines.
+        if self.obs.active() {
             self.input = Some(input);
         }
         result?;
         self.input_done = true;
-        notify_breaker(
-            &self.monitor,
-            BreakerEvent {
-                kind: BreakerKind::AggregateInput,
-                rel_set: self.input_meta.0,
-                estimated_rows: self.input_meta.1,
-                actual_rows: input_rows,
-                reusable: false,
-            },
-        )
+        self.obs.notify_breaker(BreakerEvent {
+            kind: BreakerKind::AggregateInput,
+            rel_set: self.input_meta.0,
+            estimated_rows: self.input_meta.1,
+            actual_rows: input_rows,
+            reusable: false,
+        })
     }
 }
 
@@ -1592,7 +1825,7 @@ struct SortOp<'p> {
     pos: usize,
     batch_size: usize,
     tracker: Rc<MemoryTracker>,
-    monitor: Option<MonitorHandle>,
+    obs: ObserverCtx<'p>,
 }
 
 impl SortOp<'_> {
@@ -1620,22 +1853,19 @@ impl SortOp<'_> {
             })
         };
         let input_rows = input.stats.rows.get();
-        // As in HashJoinOp: retain the drained child only for monitored pipelines.
-        if self.monitor.is_some() {
+        // As in HashJoinOp: retain the drained child only for observed pipelines.
+        if self.obs.active() {
             self.input = Some(input);
         }
         result?;
         self.input_done = true;
-        notify_breaker(
-            &self.monitor,
-            BreakerEvent {
-                kind: BreakerKind::SortInput,
-                rel_set: self.input_meta.0,
-                estimated_rows: self.input_meta.1,
-                actual_rows: input_rows,
-                reusable: false,
-            },
-        )?;
+        self.obs.notify_breaker(BreakerEvent {
+            kind: BreakerKind::SortInput,
+            rel_set: self.input_meta.0,
+            estimated_rows: self.input_meta.1,
+            actual_rows: input_rows,
+            reusable: false,
+        })?;
         let directions: Vec<bool> = self.keys.iter().map(|(_, asc)| *asc).collect();
         keyed.sort_by(|a, b| {
             for (idx, ascending) in directions.iter().enumerate() {
@@ -2281,20 +2511,23 @@ mod tests {
             .walk(&mut |node| assert!(node.metrics.exhausted, "{}", node.metrics.label));
     }
 
-    /// A monitor that suspends at the first completed hash build covering more than
+    /// An observer that suspends at the first completed hash build covering more than
     /// `min_rels` relations, recording everything it saw.
     struct SuspendOnBuild {
         min_rels: usize,
         events: Vec<BreakerEvent>,
     }
 
-    impl BreakerMonitor for SuspendOnBuild {
-        fn on_breaker_complete(&mut self, event: &BreakerEvent) -> BreakerDecision {
+    impl ExecutionObserver for SuspendOnBuild {
+        fn on_event(&mut self, event: &ExecEvent) -> ObserverDecision {
+            let ExecEvent::BreakerComplete(event) = event else {
+                return ObserverDecision::Continue;
+            };
             self.events.push(event.clone());
             if event.kind == BreakerKind::HashBuild && event.rel_set.len() >= self.min_rels {
-                BreakerDecision::Suspend
+                ObserverDecision::Suspend
             } else {
-                BreakerDecision::Continue
+                ObserverDecision::Continue
             }
         }
     }
@@ -2330,7 +2563,7 @@ mod tests {
         }));
         let executor = Executor::new(&storage);
         let mut pipeline = executor
-            .open_monitored(&planned.plan, Some(monitor.clone()))
+            .open_observed(&planned.plan, Some(monitor.clone() as ObserverHandle))
             .unwrap();
         let err = pipeline.next_batch().unwrap_err();
         assert_eq!(err, ExecError::Suspended);
@@ -2366,7 +2599,7 @@ mod tests {
             &catalog,
         );
         let executor = Executor::new(&storage);
-        let mut pipeline = executor.open_monitored(&planned.plan, None).unwrap();
+        let mut pipeline = executor.open_observed(&planned.plan, None).unwrap();
         let mut rows = 0;
         while let Some(batch) = pipeline.next_batch().unwrap() {
             rows += batch.len();
@@ -2420,6 +2653,156 @@ mod tests {
                 .unwrap();
             assert_eq!(result.rows[0].value(0), &Value::Int(200), "batch {batch_size}");
         }
+    }
+
+    /// Records every event; Progress events get a configurable decision back.
+    struct RecordingObserver {
+        events: Vec<ExecEvent>,
+        on_progress: ObserverDecision,
+    }
+
+    impl RecordingObserver {
+        fn new(on_progress: ObserverDecision) -> Rc<RefCell<Self>> {
+            Rc::new(RefCell::new(Self {
+                events: Vec::new(),
+                on_progress,
+            }))
+        }
+    }
+
+    impl ExecutionObserver for RecordingObserver {
+        fn on_event(&mut self, event: &ExecEvent) -> ObserverDecision {
+            self.events.push(event.clone());
+            match event {
+                ExecEvent::Progress(_) => self.on_progress,
+                ExecEvent::BreakerComplete(_) => ObserverDecision::Continue,
+            }
+        }
+    }
+
+    /// An index-NL-only plan over the 200-row mk ⋈ k join (inner mk via its
+    /// keyword_id index).
+    fn index_nl_plan(storage: &Storage, catalog: &Catalog) -> reopt_planner::PlannedQuery {
+        let statement = parse_sql(
+            "SELECT count(*) AS c FROM movie_keyword AS mk, keyword AS k
+             WHERE mk.keyword_id = k.id",
+        )
+        .unwrap();
+        let optimizer = Optimizer::new(reopt_planner::OptimizerConfig {
+            enable_hash_joins: false,
+            enable_merge_joins: false,
+            enable_index_nl_joins: true,
+            ..Default::default()
+        });
+        optimizer
+            .plan_select(
+                statement.query().unwrap(),
+                storage,
+                catalog,
+                &CardinalityOverrides::new(),
+            )
+            .unwrap()
+    }
+
+    #[test]
+    fn streaming_joins_report_progress_and_final_cardinality() {
+        let (storage, catalog) = build_env();
+        let planned = index_nl_plan(&storage, &catalog);
+        let observer = RecordingObserver::new(ObserverDecision::Continue);
+        let executor = Executor::with_batch_size(&storage, 16).with_progress_interval(2);
+        let mut pipeline = executor
+            .open_observed(&planned.plan, Some(observer.clone() as ObserverHandle))
+            .unwrap();
+        while pipeline.next_batch().unwrap().is_some() {}
+
+        let events = &observer.borrow().events;
+        let progress: Vec<&ProgressEvent> = events
+            .iter()
+            .filter_map(|e| match e {
+                ExecEvent::Progress(p) => Some(p),
+                _ => None,
+            })
+            .collect();
+        // 200 join rows at batch size 16 → ~13 batches → periodic reports every 2.
+        let periodic: Vec<_> = progress
+            .iter()
+            .filter(|p| p.source == ProgressSource::OutputBatches)
+            .collect();
+        assert!(periodic.len() >= 4, "expected periodic reports, got {progress:?}");
+        assert!(periodic.windows(2).all(|w| w[0].produced_rows < w[1].produced_rows));
+        assert!(periodic.iter().all(|p| !p.exhausted && p.rel_set.len() == 2));
+
+        // The outer side exhausted exactly once, reporting the true cardinality.
+        let finals: Vec<_> = progress
+            .iter()
+            .filter(|p| p.source == ProgressSource::OuterExhausted)
+            .collect();
+        assert_eq!(finals.len(), 1);
+        assert!(finals[0].exhausted);
+        assert_eq!(finals[0].produced_rows, 200);
+        let event = ExecEvent::Progress((*finals[0]).clone());
+        assert!(event.is_exact());
+        assert_eq!(event.observed_rows(), 200);
+    }
+
+    #[test]
+    fn progress_interval_zero_disables_periodic_reports() {
+        let (storage, catalog) = build_env();
+        let planned = index_nl_plan(&storage, &catalog);
+        let observer = RecordingObserver::new(ObserverDecision::Continue);
+        let executor = Executor::with_batch_size(&storage, 16).with_progress_interval(0);
+        let mut pipeline = executor
+            .open_observed(&planned.plan, Some(observer.clone() as ObserverHandle))
+            .unwrap();
+        while pipeline.next_batch().unwrap().is_some() {}
+        let events = &observer.borrow().events;
+        // Only the one-shot outer-exhaustion report (and breaker completions) remain.
+        assert!(events.iter().all(|e| match e {
+            ExecEvent::Progress(p) => p.source == ProgressSource::OuterExhausted,
+            ExecEvent::BreakerComplete(_) => true,
+        }));
+        assert!(events.iter().any(|e| matches!(e, ExecEvent::Progress(_))));
+    }
+
+    #[test]
+    fn root_seam_suspension_delivers_the_inflight_batch_first() {
+        let (storage, catalog) = build_env();
+        // A projection root (no aggregate): the join's first progress report arms the
+        // root seam mid-pull, but the pull's batch must still be delivered.
+        let statement = parse_sql(
+            "SELECT mk.movie_id AS m FROM movie_keyword AS mk, keyword AS k
+             WHERE mk.keyword_id = k.id",
+        )
+        .unwrap();
+        let optimizer = Optimizer::new(reopt_planner::OptimizerConfig {
+            enable_hash_joins: false,
+            enable_merge_joins: false,
+            enable_index_nl_joins: true,
+            ..Default::default()
+        });
+        let planned = optimizer
+            .plan_select(
+                statement.query().unwrap(),
+                &storage,
+                &catalog,
+                &CardinalityOverrides::new(),
+            )
+            .unwrap();
+        let observer = RecordingObserver::new(ObserverDecision::SuspendAtRootSeam);
+        let executor = Executor::with_batch_size(&storage, 16).with_progress_interval(1);
+        let mut pipeline = executor
+            .open_observed(&planned.plan, Some(observer.clone() as ObserverHandle))
+            .unwrap();
+
+        let first = pipeline.next_batch().unwrap();
+        assert_eq!(first.map(|b| b.len()), Some(16), "in-flight batch is delivered");
+        assert!(!pipeline.is_suspended(), "suspension waits for the seam");
+        assert_eq!(pipeline.next_batch().unwrap_err(), ExecError::Suspended);
+        assert!(pipeline.is_suspended());
+        // Suspension on the seam keeps breaker state extractable, like mid-drain
+        // suspension does (here there are no reusable breakers in an index-NL plan).
+        let states = pipeline.take_breaker_states();
+        assert!(states.is_empty());
     }
 
     #[test]

@@ -17,10 +17,14 @@
 //! The batch seam doubles as a suspend/resume point: [`Executor::open`] returns a
 //! [`Pipeline`] that can be pulled one batch at a time, which is the hook a mid-query
 //! re-optimizer (or an async scheduler) needs to pause execution between batches.
-//! Going further, [`Executor::open_monitored`] installs a [`BreakerMonitor`] that is
-//! called at every *pipeline-breaker completion* — the points where true subtree
-//! cardinalities first become known, even mid-flight inside a single root
-//! `next_batch` call — and may suspend execution there. A suspended [`Pipeline`]
+//! Going further, [`Executor::open_observed`] installs an [`ExecutionObserver`] that
+//! receives a stream of [`ExecEvent`]s: every *pipeline-breaker completion* (the
+//! points where true subtree cardinalities first become known, even mid-flight inside
+//! a single root `next_batch` call) and the *progress reports* of streaming joins —
+//! produced-vs-estimated rows every N output batches plus a final report when an
+//! index-NL join's outer side exhausts — so a cardinality overshoot is detectable
+//! long before any breaker completes. The observer may suspend execution immediately
+//! or on the root batch seam ([`ObserverDecision`]). A suspended [`Pipeline`]
 //! surrenders its completed hash-build sides and nested-loop inners via
 //! [`Pipeline::take_breaker_states`] so a re-optimizer can re-plan the remaining
 //! joins around the already-computed state instead of restarting from scratch.
@@ -36,7 +40,8 @@ pub mod metrics;
 
 pub use error::ExecError;
 pub use exec::{
-    execute_plan, BreakerDecision, BreakerEvent, BreakerKind, BreakerMonitor, BreakerState,
-    ExecutionResult, Executor, MonitorHandle, Pipeline, RowBatch, DEFAULT_BATCH_SIZE,
+    execute_plan, BreakerEvent, BreakerKind, BreakerState, ExecEvent, ExecutionObserver,
+    ExecutionResult, Executor, ObserverDecision, ObserverHandle, Pipeline, ProgressEvent,
+    ProgressSource, RowBatch, DEFAULT_BATCH_SIZE, DEFAULT_PROGRESS_INTERVAL,
 };
 pub use metrics::{MetricsNode, OperatorMetrics, QueryMetrics};

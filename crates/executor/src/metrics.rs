@@ -89,6 +89,44 @@ impl MetricsNode {
         }
     }
 
+    /// The lowest operator whose Q-error exceeds `threshold`, if any: smallest
+    /// relation set first, ties broken by depth (deepest first) then visit order.
+    /// Only *exhausted* operators over a non-empty relation set qualify — truncated
+    /// counts are never true cardinalities. This is the detection primitive shared by
+    /// the restart and selective-improvement re-optimization policies ("the lowest
+    /// operator in the plan whose estimate is off", Sections IV-E and V of the paper).
+    pub fn lowest_mis_estimated(&self, threshold: f64) -> Option<&MetricsNode> {
+        let mut candidates: Vec<(usize, usize, &MetricsNode)> = Vec::new();
+        self.collect_with_depth(0, &mut candidates);
+        candidates
+            .into_iter()
+            .filter(|(_, _, node)| {
+                node.metrics.exhausted
+                    && !node.metrics.rel_set.is_empty()
+                    && node.metrics.q_error() > threshold
+            })
+            .min_by(|a, b| {
+                a.2.metrics
+                    .rel_set
+                    .len()
+                    .cmp(&b.2.metrics.rel_set.len())
+                    .then(b.1.cmp(&a.1))
+                    .then(a.0.cmp(&b.0))
+            })
+            .map(|(_, _, node)| node)
+    }
+
+    fn collect_with_depth<'a>(
+        &'a self,
+        depth: usize,
+        out: &mut Vec<(usize, usize, &'a MetricsNode)>,
+    ) {
+        out.push((out.len(), depth, self));
+        for child in &self.children {
+            child.collect_with_depth(depth + 1, out);
+        }
+    }
+
     /// Total wall-clock time across all operators.
     pub fn total_elapsed(&self) -> Duration {
         let mut total = Duration::ZERO;

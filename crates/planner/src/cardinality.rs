@@ -46,9 +46,23 @@ pub const DEFAULT_PREFIX_SEL: f64 = 0.02;
 pub const DEFAULT_ROW_COUNT: f64 = 1000.0;
 
 /// Injected cardinalities, keyed by relation subset.
-#[derive(Debug, Clone, Default, PartialEq)]
+#[derive(Debug, Clone, Default)]
 pub struct CardinalityOverrides {
     map: HashMap<RelSet, f64>,
+    /// Multi-relation override sets bucketed by size (`by_size[len]`), kept in sync
+    /// with `map`. [`CardinalityOverrides::largest_anchor_within`] is called for
+    /// every uncached multi-relation estimate, and a perfect-(n) oracle run injects
+    /// thousands of subsets — walking size buckets from the largest candidate down
+    /// finds the anchor without scanning the whole table per estimate.
+    by_size: Vec<Vec<RelSet>>,
+}
+
+impl PartialEq for CardinalityOverrides {
+    fn eq(&self, other: &Self) -> bool {
+        // `by_size` is a derived index whose bucket ordering depends on insertion
+        // history; logical equality is the map's.
+        self.map == other.map
+    }
 }
 
 impl CardinalityOverrides {
@@ -59,7 +73,13 @@ impl CardinalityOverrides {
 
     /// Pin the cardinality of `set` to `rows`.
     pub fn set(&mut self, set: RelSet, rows: f64) {
-        self.map.insert(set, rows.max(0.0));
+        if self.map.insert(set, rows.max(0.0)).is_none() && set.len() >= 2 {
+            let size = set.len();
+            if self.by_size.len() <= size {
+                self.by_size.resize(size + 1, Vec::new());
+            }
+            self.by_size[size].push(set);
+        }
     }
 
     /// The injected cardinality for `set`, if any.
@@ -69,7 +89,11 @@ impl CardinalityOverrides {
 
     /// Remove an override.
     pub fn clear(&mut self, set: RelSet) {
-        self.map.remove(&set);
+        if self.map.remove(&set).is_some() && set.len() >= 2 {
+            if let Some(bucket) = self.by_size.get_mut(set.len()) {
+                bucket.retain(|entry| *entry != set);
+            }
+        }
     }
 
     /// Number of overrides.
@@ -85,7 +109,7 @@ impl CardinalityOverrides {
     /// Merge another override table into this one (later entries win).
     pub fn merge(&mut self, other: &CardinalityOverrides) {
         for (set, rows) in &other.map {
-            self.map.insert(*set, *rows);
+            self.set(*set, *rows);
         }
     }
 
@@ -93,13 +117,45 @@ impl CardinalityOverrides {
     pub fn iter(&self) -> impl Iterator<Item = (RelSet, f64)> + '_ {
         self.map.iter().map(|(s, r)| (*s, *r))
     }
+
+    /// The largest injected multi-relation subset that is a *proper* subset of `set`
+    /// (ties broken deterministically by bitmask). The estimator anchors superset
+    /// estimates on it, the way PostgreSQL's bottom-up join-rows computation lets an
+    /// injected sub-join cardinality flow into every estimate above it — without this,
+    /// correcting one join leaves all its supersets as wrong as before and a
+    /// re-optimization loop has to rediscover the error one level at a time.
+    pub fn largest_anchor_within(&self, set: RelSet) -> Option<(RelSet, f64)> {
+        // Walk size buckets from the largest candidate down; the first bucket with a
+        // match wins, so densely-populated override tables (the perfect-(n) oracle)
+        // are not scanned in full for every estimate.
+        let max_candidate = set.len().saturating_sub(1).min(self.by_size.len().saturating_sub(1));
+        for size in (2..=max_candidate).rev() {
+            let best = self.by_size[size]
+                .iter()
+                .filter(|s| s.is_proper_subset_of(set))
+                .max_by_key(|s| s.mask());
+            if let Some(anchor) = best {
+                return Some((*anchor, self.map[anchor]));
+            }
+        }
+        None
+    }
 }
 
 /// A count of how many distinct relation subsets of each size had their cardinality
-/// estimated while planning (Table I of the paper).
+/// estimated while planning (Table I of the paper), plus the estimator's cache and
+/// memo counters (the DPccp enumerator requests the same subsets and re-derives the
+/// same edge selectivities across thousands of csg-cmp pairs; these counters show how
+/// much of that work was served from memory).
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct EstimationLog {
     counts: Vec<u64>,
+    /// Estimator calls answered from the per-subset cardinality cache.
+    pub subset_cache_hits: u64,
+    /// Join-edge / complex-predicate selectivity lookups served from the per-edge memo.
+    pub selectivity_memo_hits: u64,
+    /// Selectivity lookups that had to be computed (first touch of each edge).
+    pub selectivity_memo_misses: u64,
 }
 
 impl EstimationLog {
@@ -109,6 +165,16 @@ impl EstimationLog {
             self.counts.resize(size + 1, 0);
         }
         self.counts[size] += 1;
+    }
+
+    /// Fraction of selectivity lookups served from the memo (0 when none happened).
+    pub fn selectivity_memo_hit_rate(&self) -> f64 {
+        let total = self.selectivity_memo_hits + self.selectivity_memo_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.selectivity_memo_hits as f64 / total as f64
+        }
     }
 
     /// Number of distinct subsets of exactly `size` relations estimated.
@@ -131,6 +197,9 @@ impl EstimationLog {
                 self.counts[size] += count;
             }
         }
+        self.subset_cache_hits += other.subset_cache_hits;
+        self.selectivity_memo_hits += other.selectivity_memo_hits;
+        self.selectivity_memo_misses += other.selectivity_memo_misses;
     }
 
     /// The largest subset size with a recorded estimate.
@@ -148,6 +217,13 @@ pub struct CardinalityEstimator<'a> {
     catalog: &'a Catalog,
     overrides: &'a CardinalityOverrides,
     cache: RefCell<HashMap<RelSet, f64>>,
+    /// Per-edge join selectivities, computed once per planning call: the DPccp
+    /// enumerator prices every csg-cmp pair, and each multi-relation estimate walks
+    /// the edges inside its set — without the memo the same catalog lookups repeat
+    /// thousands of times on the large JOB join graphs.
+    edge_selectivity: RefCell<Vec<Option<f64>>>,
+    /// Per-predicate selectivities of the complex (multi-relation) predicates.
+    complex_selectivity: RefCell<Vec<Option<f64>>>,
     log: RefCell<EstimationLog>,
 }
 
@@ -163,6 +239,8 @@ impl<'a> CardinalityEstimator<'a> {
             catalog,
             overrides,
             cache: RefCell::new(HashMap::new()),
+            edge_selectivity: RefCell::new(vec![None; spec.join_edges.len()]),
+            complex_selectivity: RefCell::new(vec![None; spec.complex_predicates.len()]),
             log: RefCell::new(EstimationLog::default()),
         }
     }
@@ -184,6 +262,7 @@ impl<'a> CardinalityEstimator<'a> {
             return 0.0;
         }
         if let Some(rows) = self.cache.borrow().get(&set) {
+            self.log.borrow_mut().subset_cache_hits += 1;
             return *rows;
         }
         self.log.borrow_mut().record(set.len());
@@ -224,23 +303,62 @@ impl<'a> CardinalityEstimator<'a> {
             let rows = self.raw_table_rows(rel) * self.local_selectivity(rel);
             return rows.max(1.0);
         }
+        // Anchor on the largest injected subset, if any: an observed sub-join
+        // cardinality then flows into every superset estimate (as PostgreSQL's
+        // bottom-up join-rows computation propagates injected path rows), instead of
+        // every superset being rebuilt from the same wrong base estimates.
+        let mut anchored = RelSet::EMPTY;
         let mut rows: f64 = 1.0;
-        for rel in set.iter() {
+        if let Some((anchor, anchor_rows)) = self.overrides.largest_anchor_within(set) {
+            anchored = anchor;
+            rows = anchor_rows.max(1.0);
+        }
+        for rel in set.difference(anchored).iter() {
             // Reuse (and cache / log) the single-relation estimate so that injected
             // base-table cardinalities (perfect-(1)) flow into join estimates.
             rows *= self.estimate(RelSet::single(rel));
         }
-        for edge in self.spec.edges_within(set) {
-            rows *= self.join_edge_selectivity(edge);
+        for edge_idx in self.spec.edge_indexes_within(set) {
+            let edge = &self.spec.join_edges[edge_idx];
+            // Edges interior to the anchor are already reflected in its observed rows.
+            if anchored.contains(edge.left_rel) && anchored.contains(edge.right_rel) {
+                continue;
+            }
+            rows *= self.memoized_edge_selectivity(edge_idx);
         }
-        for (pred_set, predicate) in &self.spec.complex_predicates {
-            if pred_set.is_subset_of(set) {
+        for (pred_idx, (pred_set, _)) in self.spec.complex_predicates.iter().enumerate() {
+            if pred_set.is_subset_of(set) && !pred_set.is_subset_of(anchored) {
                 // A residual predicate touching several relations: charge a default
                 // selectivity depending on its shape.
-                rows *= self.generic_selectivity(predicate);
+                rows *= self.memoized_complex_selectivity(pred_idx);
             }
         }
         rows.max(1.0)
+    }
+
+    /// The memoized selectivity of join edge `edge_idx`: computed on first touch,
+    /// served from the memo for every later subset containing the edge.
+    fn memoized_edge_selectivity(&self, edge_idx: usize) -> f64 {
+        if let Some(selectivity) = self.edge_selectivity.borrow()[edge_idx] {
+            self.log.borrow_mut().selectivity_memo_hits += 1;
+            return selectivity;
+        }
+        self.log.borrow_mut().selectivity_memo_misses += 1;
+        let selectivity = self.join_edge_selectivity(&self.spec.join_edges[edge_idx]);
+        self.edge_selectivity.borrow_mut()[edge_idx] = Some(selectivity);
+        selectivity
+    }
+
+    /// The memoized selectivity of complex predicate `pred_idx`.
+    fn memoized_complex_selectivity(&self, pred_idx: usize) -> f64 {
+        if let Some(selectivity) = self.complex_selectivity.borrow()[pred_idx] {
+            self.log.borrow_mut().selectivity_memo_hits += 1;
+            return selectivity;
+        }
+        self.log.borrow_mut().selectivity_memo_misses += 1;
+        let selectivity = self.generic_selectivity(&self.spec.complex_predicates[pred_idx].1);
+        self.complex_selectivity.borrow_mut()[pred_idx] = Some(selectivity);
+        selectivity
     }
 
     /// Selectivity of one equi-join edge under the uniformity assumption:
@@ -627,6 +745,93 @@ mod tests {
         assert_eq!(log.count_for_size(1), 2); // both singles via the join estimate
         assert_eq!(log.total(), 3);
         assert_eq!(log.max_size(), 2);
+    }
+
+    #[test]
+    fn selectivity_memo_serves_repeated_edge_lookups() {
+        let (storage, catalog) = build_env();
+        let spec = bind(
+            "SELECT * FROM company AS c, trades AS tr WHERE c.id = tr.company_id",
+            &storage,
+        );
+        let overrides = CardinalityOverrides::new();
+        let est = CardinalityEstimator::new(&spec, &catalog, &overrides);
+        // First multi-relation estimate touches the edge: one memo miss, no hits.
+        est.estimate(RelSet::all(2));
+        let log = est.estimation_log();
+        assert_eq!(log.selectivity_memo_misses, 1);
+        assert_eq!(log.selectivity_memo_hits, 0);
+        // Identical subsets are served by the subset cache (the memo is not even
+        // consulted), so force a recomputation path by clearing the subset cache.
+        est.cache.borrow_mut().clear();
+        est.estimate(RelSet::all(2));
+        let log = est.estimation_log();
+        assert_eq!(log.selectivity_memo_misses, 1, "the edge is computed once");
+        assert_eq!(log.selectivity_memo_hits, 1);
+        assert!(log.selectivity_memo_hit_rate() > 0.49);
+        // Repeated estimates of a cached subset count as subset-cache hits.
+        est.estimate(RelSet::all(2));
+        assert_eq!(est.estimation_log().subset_cache_hits, 1);
+    }
+
+    #[test]
+    fn largest_anchor_prefers_biggest_subset_and_survives_clear_and_merge() {
+        let mut o = CardinalityOverrides::new();
+        o.set(RelSet::single(0), 5.0); // singles never anchor (they flow per-relation)
+        o.set(RelSet::from_indexes([0, 1]), 100.0);
+        o.set(RelSet::from_indexes([0, 1, 2]), 900.0);
+        o.set(RelSet::from_indexes([1, 3]), 50.0);
+
+        let all4 = RelSet::all(4);
+        assert_eq!(
+            o.largest_anchor_within(all4),
+            Some((RelSet::from_indexes([0, 1, 2]), 900.0))
+        );
+        // A proper subset is required: the set itself never anchors.
+        assert_eq!(
+            o.largest_anchor_within(RelSet::from_indexes([0, 1])),
+            None,
+            "only the single-relation override remains inside, which never anchors"
+        );
+        // Overwriting an entry keeps the index consistent (no duplicate bucket rows).
+        o.set(RelSet::from_indexes([0, 1, 2]), 901.0);
+        assert_eq!(
+            o.largest_anchor_within(all4),
+            Some((RelSet::from_indexes([0, 1, 2]), 901.0))
+        );
+        // Clearing the anchor falls back to the next-largest candidate.
+        o.clear(RelSet::from_indexes([0, 1, 2]));
+        let (anchor, _) = o.largest_anchor_within(all4).unwrap();
+        assert_eq!(anchor.len(), 2);
+        // Merge rebuilds the index for incoming sets.
+        let mut other = CardinalityOverrides::new();
+        other.set(RelSet::from_indexes([0, 2, 3]), 70.0);
+        o.merge(&other);
+        assert_eq!(
+            o.largest_anchor_within(all4),
+            Some((RelSet::from_indexes([0, 2, 3]), 70.0))
+        );
+    }
+
+    #[test]
+    fn estimation_log_merges_cache_counters() {
+        let mut a = EstimationLog::default();
+        a.record(2);
+        a.subset_cache_hits = 3;
+        a.selectivity_memo_hits = 9;
+        a.selectivity_memo_misses = 1;
+        let b = EstimationLog {
+            subset_cache_hits: 2,
+            selectivity_memo_hits: 1,
+            selectivity_memo_misses: 1,
+            ..Default::default()
+        };
+        a.merge(&b);
+        assert_eq!(a.subset_cache_hits, 5);
+        assert_eq!(a.selectivity_memo_hits, 10);
+        assert_eq!(a.selectivity_memo_misses, 2);
+        assert!((a.selectivity_memo_hit_rate() - 10.0 / 12.0).abs() < 1e-9);
+        assert_eq!(EstimationLog::default().selectivity_memo_hit_rate(), 0.0);
     }
 
     #[test]

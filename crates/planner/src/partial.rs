@@ -22,6 +22,16 @@
 //! [`remap_rel_set`] translates relation subsets between the original and collapsed
 //! indexings so that observed cardinalities from the suspended run can be re-injected
 //! as [`CardinalityOverrides`](crate::CardinalityOverrides) for the re-planning round.
+//!
+//! The collapse also accepts a **mid-stream, partially-consumed** breaker set: when a
+//! suspension is triggered by a streaming progress signal rather than the breaker's
+//! own completion, a completed hash build elsewhere in the plan may already have been
+//! partially probed by its parent. The buffered rows themselves are still the exact,
+//! complete materialization of their subtree (breakers fully drain their input before
+//! anything consumes them), so collapsing around such a set stays correct — the
+//! re-planned remainder simply recomputes whatever probing was in flight. The only
+//! constraints are structural and unchanged: the subset must be a non-empty proper
+//! subset of the query's relations.
 
 use crate::relset::RelSet;
 use crate::spec::{JoinEdge, QuerySpec, RelationSpec};
@@ -32,11 +42,22 @@ use reopt_storage::Schema;
 pub struct CollapsedSpec {
     /// The rewritten query: the subset's relations replaced by one virtual relation.
     pub spec: QuerySpec,
+    /// The subset (in the *original* indexing) that was collapsed.
+    pub subset: RelSet,
     /// Maps old relation indexes to new ones; `None` for members of the collapsed
     /// subset (they are all represented by [`CollapsedSpec::virtual_index`]).
     pub mapping: Vec<Option<usize>>,
     /// The index of the virtual relation in the new spec.
     pub virtual_index: usize,
+}
+
+impl CollapsedSpec {
+    /// Translate a relation subset from the original indexing into this collapse's
+    /// indexing (see [`remap_rel_set`]). Returns `None` when the set is inexpressible:
+    /// interior to the virtual leaf, or partially overlapping it.
+    pub fn remap(&self, set: RelSet) -> Option<RelSet> {
+        remap_rel_set(set, self.subset, &self.mapping, self.virtual_index)
+    }
 }
 
 /// Collapse `subset` into a single virtual relation named `alias`, backed by the
@@ -129,6 +150,7 @@ pub fn collapse_spec(
             order_by: spec.order_by.clone(),
             limit: spec.limit,
         },
+        subset,
         mapping,
         virtual_index,
     }

@@ -125,6 +125,17 @@ impl QuerySpec {
             .collect()
     }
 
+    /// Indexes (into [`QuerySpec::join_edges`]) of the edges fully inside `set`.
+    /// Allocation-free counterpart of [`QuerySpec::edges_within`] for callers that
+    /// memoize per-edge state (the cardinality estimator's selectivity memo).
+    pub fn edge_indexes_within(&self, set: RelSet) -> impl Iterator<Item = usize> + '_ {
+        self.join_edges
+            .iter()
+            .enumerate()
+            .filter(move |(_, e)| set.contains(e.left_rel) && set.contains(e.right_rel))
+            .map(|(i, _)| i)
+    }
+
     /// All join edges connecting the disjoint sets `a` and `b`.
     pub fn edges_between(&self, a: RelSet, b: RelSet) -> Vec<&JoinEdge> {
         self.join_edges.iter().filter(|e| e.connects(a, b)).collect()

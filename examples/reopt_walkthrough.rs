@@ -10,8 +10,10 @@
 //! ```
 
 use reopt_repro::core::{
-    execute_with_reoptimization, Database, PerfectOracle, ReoptConfig, ReoptMode,
+    execute_with_reoptimization, q_error, Database, PerfectOracle, PolicyContext, PolicyDecision,
+    ReoptConfig, ReoptMode, ReoptPolicy, ReoptTrigger, Violation,
 };
+use reopt_repro::executor::ExecEvent;
 use reopt_repro::sql::parse_sql;
 use reopt_repro::workload::job::job_query;
 use reopt_repro::workload::{load_imdb, ImdbConfig};
@@ -85,9 +87,59 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         perfect_output.execution_time.as_secs_f64() * 1e3
     );
 
+    // The modes above are thin constructors over the pluggable policy API; the same
+    // query can run under a hand-written `ReoptPolicy`. This one re-plans mid-flight
+    // on the very first executor event — breaker completion or streaming progress
+    // report — that proves an estimate wrong by more than 16x.
+    struct FirstViolation;
+    impl ReoptPolicy for FirstViolation {
+        fn name(&self) -> &str {
+            "first-violation"
+        }
+        fn wants_events(&self) -> bool {
+            true
+        }
+        fn on_event(&mut self, event: &ExecEvent, ctx: &PolicyContext) -> PolicyDecision {
+            let rel_set = event.rel_set();
+            let observed = event.observed_rows();
+            let proven_underestimate = observed as f64 > 16.0 * event.estimated_rows().max(1.0);
+            if !rel_set.is_empty()
+                && rel_set.is_proper_subset_of(ctx.all_relations)
+                && (proven_underestimate
+                    || (event.is_exact() && q_error(event.estimated_rows(), observed as f64) > 16.0))
+            {
+                PolicyDecision::ReplanMidQuery {
+                    violation: Violation {
+                        rel_set,
+                        estimated_rows: event.estimated_rows(),
+                        actual_rows: observed,
+                        trigger: if matches!(event, ExecEvent::Progress(_)) {
+                            ReoptTrigger::Progress
+                        } else {
+                            ReoptTrigger::BreakerComplete
+                        },
+                    },
+                }
+            } else {
+                PolicyDecision::Continue
+            }
+        }
+        fn on_complete(
+            &mut self,
+            _: &reopt_repro::executor::QueryMetrics,
+            _: &reopt_repro::planner::QuerySpec,
+            _: &PolicyContext,
+        ) -> PolicyDecision {
+            PolicyDecision::Continue
+        }
+    }
+    let custom = db.execute_with_policy(&query.sql, &mut FirstViolation)?;
+    println!("\n---- custom policy ({}) ----\n{}", custom.policy, custom.render());
+
     assert_eq!(report.final_rows, default_output.rows);
     assert_eq!(inject.final_rows, default_output.rows);
     assert_eq!(perfect_output.rows, default_output.rows);
-    println!("\nall four strategies returned identical results");
+    assert_eq!(custom.final_rows, default_output.rows);
+    println!("all five strategies returned identical results");
     Ok(())
 }

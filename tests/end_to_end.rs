@@ -3,7 +3,7 @@
 
 use reopt_repro::core::{
     execute_with_reoptimization, q_error, Database, PerfectOracle, ReoptConfig, ReoptMode,
-    SelectiveConfig,
+    ReoptRoundKind, ReoptTrigger, SelectiveConfig,
 };
 use reopt_repro::executor::{execute_plan, Executor};
 use reopt_repro::planner::{CardinalityOverrides, Optimizer, OptimizerConfig, PlannedQuery};
@@ -237,6 +237,41 @@ fn mid_query_reopt_reuses_hash_build_state_on_a_skewed_job_query() {
     );
     // No virtual tables survive the report.
     assert!(!db.storage().contains_table(&virt_name));
+}
+
+#[test]
+fn index_nl_job_plans_replan_on_progress_signals() {
+    // Under the default optimizer configuration the JOB plans at this scale lean on
+    // index-nested-loop joins whose inners are base tables: no reusable breaker state
+    // exists, so the old breaker-only MidQuery mode never fired here (see the
+    // BENCH_MIDQUERY.json setup note). Streaming progress events close that gap: the
+    // skewed keyword join overshoots its estimate after a few batches, the pipeline
+    // suspends, the observed bound is injected, and the remainder re-plans — with the
+    // result still agreeing with plain execution.
+    let mut db = imdb_database();
+    let query = job_query("10a").unwrap();
+    let expected = db.execute(&query.sql).unwrap();
+
+    let config = ReoptConfig {
+        threshold: 8.0,
+        mode: ReoptMode::MidQuery,
+        ..ReoptConfig::default()
+    };
+    let report = execute_with_reoptimization(&mut db, &query.sql, &config).unwrap();
+    assert_eq!(report.final_rows, expected.rows, "mid-query changed the result");
+    assert!(
+        report.reoptimized(),
+        "streaming triggers must fire on index-NL plans:\n{}",
+        report.final_sql
+    );
+    let progress_round = report
+        .rounds
+        .iter()
+        .find(|round| round.trigger == ReoptTrigger::Progress)
+        .expect("at least one progress-triggered round");
+    assert_eq!(progress_round.kind, ReoptRoundKind::MidQuery);
+    assert!(progress_round.corrections >= 1, "the observed bound is injected");
+    assert!(report.render().contains("via progress"), "{}", report.render());
 }
 
 #[test]
