@@ -5,10 +5,25 @@
 use criterion::{criterion_group, criterion_main, Criterion};
 use reopt_bench::{Harness, HarnessConfig};
 use reopt_core::Database;
-use reopt_executor::execute_plan;
+use reopt_executor::Executor;
 use reopt_planner::{CardinalityOverrides, Optimizer, OptimizerConfig};
 use reopt_sql::parse_sql;
 use reopt_workload::{load_nasdaq, NasdaqConfig};
+
+/// Every group in this file pins the single-threaded engine: these benches continue
+/// the BENCH_BASELINE → BENCH_PIPELINED → BENCH_MIDQUERY trajectory, whose numbers
+/// would become incomparable if `default_thread_count()` silently switched engines
+/// with the host's core count. The thread dimension is benchmarked explicitly in
+/// `parallel_exec.rs`.
+fn execute_single_threaded(
+    plan: &reopt_planner::PhysicalPlan,
+    storage: &reopt_storage::Storage,
+) -> reopt_executor::ExecutionResult {
+    Executor::new(storage)
+        .with_threads(1)
+        .execute(plan)
+        .expect("executes")
+}
 
 const VOLUME_QUERY: &str = "SELECT count(*) AS c
 FROM company AS c, trades AS tr
@@ -51,7 +66,7 @@ fn join_algorithms(c: &mut Criterion) {
             .plan_select(&select, db.storage(), db.catalog(), &overrides)
             .unwrap();
         group.bench_function(label, |b| {
-            b.iter(|| execute_plan(&planned.plan, db.storage()).expect("executes"));
+            b.iter(|| execute_single_threaded(&planned.plan, db.storage()));
         });
     }
     group.finish();
@@ -59,6 +74,7 @@ fn join_algorithms(c: &mut Criterion) {
 
 fn full_query_execution(c: &mut Criterion) {
     let mut db = database();
+    db.set_threads(Some(1));
     let mut group = c.benchmark_group("end_to_end_nasdaq");
     group.sample_size(10);
     group.bench_function("plan_and_execute", |b| {
@@ -86,7 +102,7 @@ fn job_join_heavy(c: &mut Criterion) {
         let select = statement.query().unwrap().clone();
         let (planned, _) = harness.db.plan_select(&select).expect("plans");
         group.bench_function(id, |b| {
-            b.iter(|| execute_plan(&planned.plan, harness.db.storage()).expect("executes"));
+            b.iter(|| execute_single_threaded(&planned.plan, harness.db.storage()));
         });
     }
     group.finish();

@@ -1,0 +1,52 @@
+//! Morsel-driven parallel execution benchmarks: join-heavy JOB queries executed at
+//! 1/2/4/8 worker threads through `Executor::with_threads`. Thread count 1 takes the
+//! single-threaded engine (the exact code path of the `job_join_heavy` group in
+//! `execution.rs`), so the 1-thread numbers double as the baseline for the speedup
+//! ratios recorded in `BENCH_PARALLEL.json`.
+//!
+//! Interpreting results requires knowing the core count of the box: on a single-vCPU
+//! machine the >1-thread numbers measure pure coordination overhead (workers
+//! time-slice one core), not speedup.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use reopt_bench::{Harness, HarnessConfig};
+use reopt_executor::Executor;
+use reopt_sql::parse_sql;
+
+/// Join-heavy JOB queries whose plans the parallel engine fully supports (hash and
+/// index-NL joins under a single-row aggregate).
+const QUERIES: &[&str] = &["2a", "6a", "20a"];
+
+fn parallel_exec(c: &mut Criterion) {
+    let harness = Harness::new(HarnessConfig {
+        scale: 0.03,
+        stride: 1,
+        threshold: 32.0,
+        seed: 7,
+        ..HarnessConfig::default()
+    })
+    .expect("harness builds");
+    let mut group = c.benchmark_group("parallel_exec");
+    group.sample_size(10);
+    for id in QUERIES {
+        let query = harness
+            .queries
+            .iter()
+            .find(|q| &q.id == id)
+            .expect("query exists")
+            .clone();
+        let statement = parse_sql(&query.sql).unwrap();
+        let select = statement.query().unwrap().clone();
+        let (planned, _) = harness.db.plan_select(&select).expect("plans");
+        for threads in [1usize, 2, 4, 8] {
+            group.bench_function(BenchmarkId::new(*id, threads), |b| {
+                let executor = Executor::new(harness.db.storage()).with_threads(threads);
+                b.iter(|| executor.execute(&planned.plan).expect("executes"));
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, parallel_exec);
+criterion_main!(benches);

@@ -36,7 +36,11 @@ fn planning_by_relation_count(c: &mut Criterion) {
         // The estimator memoizes join-edge selectivities across DP pairs: every
         // subset estimate beyond the first touch of an edge must be a memo hit, and
         // the bigger the join graph the more the memo carries (a 17-relation DPccp
-        // run walks each edge thousands of times).
+        // run walks each edge thousands of times). Above `greedy_threshold`
+        // (empirically 12 — see `OptimizerConfig::greedy_threshold` for the
+        // measurements behind the crossover) the default configuration enumerates
+        // greedily instead, which makes far fewer subset estimates; the DP-strength
+        // hit-rate floor only applies inside the DP regime.
         let (planned, _) = harness.db.plan_select(&select).expect("plans");
         let log = &planned.estimation_log;
         let hit_rate = log.selectivity_memo_hit_rate();
@@ -47,7 +51,8 @@ fn planning_by_relation_count(c: &mut Criterion) {
             log.selectivity_memo_hits,
             log.selectivity_memo_misses,
         );
-        if table_count >= 10 {
+        let dp_regime = table_count <= OptimizerConfig::default().greedy_threshold;
+        if table_count >= 10 && dp_regime {
             assert!(
                 hit_rate > 0.9,
                 "{table_count}-relation planning: expected >90% memo hits, got {hit_rate:.3}"

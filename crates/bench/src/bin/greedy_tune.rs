@@ -1,0 +1,60 @@
+//! One-off measurement backing the `greedy_threshold` default: for suite queries of
+//! increasing relation count, plan with exhaustive DPccp and with greedy enumeration,
+//! and compare planning latency against the execution time of the produced plans.
+//! See `OptimizerConfig::greedy_threshold` for the recorded conclusions.
+
+use reopt_bench::{Harness, HarnessConfig};
+use reopt_executor::Executor;
+use reopt_planner::{CardinalityOverrides, Optimizer, OptimizerConfig};
+use reopt_sql::parse_sql;
+use std::time::Instant;
+
+fn main() {
+    let harness = Harness::new(HarnessConfig {
+        scale: 0.03,
+        stride: 1,
+        threshold: 32.0,
+        seed: 7,
+        ..HarnessConfig::default()
+    })
+    .expect("harness builds");
+
+    println!("id tables | dp_plan_ms dp_exec_ms dp_cost | greedy_plan_ms greedy_exec_ms greedy_cost");
+    for id in ["2a", "6a", "8a", "10a", "13a", "17a", "20a", "21a"] {
+        let Some(query) = harness.queries.iter().find(|q| q.id == id) else {
+            continue;
+        };
+        let statement = parse_sql(&query.sql).unwrap();
+        let select = statement.query().unwrap().clone();
+        let overrides = CardinalityOverrides::new();
+        let mut record = Vec::new();
+        for greedy_threshold in [64usize, 2] {
+            let optimizer = Optimizer::new(OptimizerConfig {
+                greedy_threshold,
+                ..OptimizerConfig::default()
+            });
+            let plan_start = Instant::now();
+            let planned = optimizer
+                .plan_select(&select, harness.db.storage(), harness.db.catalog(), &overrides)
+                .unwrap();
+            let plan_ms = plan_start.elapsed().as_secs_f64() * 1e3;
+            let exec_start = Instant::now();
+            let result = Executor::new(harness.db.storage())
+                .with_threads(1)
+                .execute(&planned.plan)
+                .unwrap();
+            let exec_ms = exec_start.elapsed().as_secs_f64() * 1e3;
+            record.push((plan_ms, exec_ms, planned.plan.cost.total, result.rows.len()));
+        }
+        println!(
+            "{id} {:2} | {:9.2} {:9.1} {:12.0} | {:9.2} {:9.1} {:12.0}",
+            query.table_count,
+            record[0].0,
+            record[0].1,
+            record[0].2,
+            record[1].0,
+            record[1].1,
+            record[1].2,
+        );
+    }
+}

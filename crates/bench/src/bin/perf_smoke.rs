@@ -10,9 +10,18 @@
 //! which is what gates result-correctness regressions in CI — a concrete step from
 //! the old single-query smoke toward full 113-query suite coverage.
 //!
+//! The smoke also gates the `REOPT_THREADS` dimension: every query's reference result
+//! is computed by a **forced single-threaded** plain run, and every other execution
+//! (plain and re-optimizing alike) runs at the configured thread count, so running
+//! the smoke with `REOPT_THREADS=4` proves that morsel-driven parallel execution —
+//! including mid-query re-optimization over parallel pipelines — produces exactly the
+//! single-threaded results. Rows are compared in sorted order when the query has no
+//! ORDER BY (output order is not plan-defined there, and parallel morsel interleaving
+//! legitimately permutes it); ORDER BY queries are compared exactly.
+//!
 //! ```text
 //! cargo run --release -p reopt-bench --bin perf_smoke
-//! REOPT_SMOKE_PER_FAMILY=5 REOPT_SMOKE_MAX_TABLES=17 REOPT_SCALE=0.05 \
+//! REOPT_THREADS=4 REOPT_SMOKE_PER_FAMILY=5 REOPT_SMOKE_MAX_TABLES=17 REOPT_SCALE=0.05 \
 //!     cargo run --release -p reopt-bench --bin perf_smoke
 //! ```
 
@@ -20,6 +29,7 @@ use reopt_bench::{Harness, HarnessConfig};
 use reopt_core::{
     execute_with_reoptimization, selective_improvement, ReoptConfig, ReoptMode, SelectiveConfig,
 };
+use reopt_storage::Row;
 use reopt_workload::JobQuery;
 use std::time::{Duration, Instant};
 
@@ -35,6 +45,24 @@ fn env_f64(name: &str, default: f64) -> f64 {
         .ok()
         .and_then(|v| v.parse().ok())
         .unwrap_or(default)
+}
+
+/// Canonicalize rows for comparison: sorted unless the query pins its output order
+/// with an ORDER BY.
+fn canonical(rows: &[Row], order_sensitive: bool) -> Vec<String> {
+    let mut rendered: Vec<String> = rows.iter().map(|row| format!("{row}")).collect();
+    if !order_sensitive {
+        rendered.sort();
+    }
+    rendered
+}
+
+/// Whether the query's output order is plan-defined (ORDER BY present).
+fn is_order_sensitive(sql: &str) -> bool {
+    reopt_sql::parse_sql(sql)
+        .ok()
+        .and_then(|statement| statement.query().map(|select| !select.order_by.is_empty()))
+        .unwrap_or(false)
 }
 
 fn main() {
@@ -57,10 +85,13 @@ fn main() {
             std::process::exit(1);
         }
     };
+    let threads = harness.db.threads();
     eprintln!(
-        "perf_smoke: data loaded ({} rows) in {:.1}s",
+        "perf_smoke: data loaded ({} rows) in {:.1}s; executing at {} thread{}",
         harness.db.storage().total_rows(),
-        build_start.elapsed().as_secs_f64()
+        build_start.elapsed().as_secs_f64(),
+        threads,
+        if threads == 1 { "" } else { "s" },
     );
 
     // Up to `per_family` queries of every family, smallest variants first as listed.
@@ -86,22 +117,50 @@ fn main() {
     let mut mode_time = [Duration::ZERO; 3];
     let mut mode_rounds = [0usize; 3];
     let mut plain_time = Duration::ZERO;
+    let mut single_time = Duration::ZERO;
     let mut selective_runs = 0usize;
     let mut seen_families = std::collections::HashSet::new();
     let mut failed = false;
 
     for query in &selected {
         let id = &query.id;
+        let order_sensitive = is_order_sensitive(&query.sql);
+
+        // The reference result: a forced single-threaded plain execution. Everything
+        // else below runs at the configured thread count and must match it.
+        harness.db.set_threads(Some(1));
+        let single_start = Instant::now();
+        let reference = match harness.db.execute(&query.sql) {
+            Ok(output) => canonical(&output.rows, order_sensitive),
+            Err(error) => {
+                eprintln!("perf_smoke: single-threaded execution of {id} failed: {error}");
+                failed = true;
+                harness.db.set_threads(None);
+                continue;
+            }
+        };
+        single_time += single_start.elapsed();
+        harness.db.set_threads(None);
+
         let plain_start = Instant::now();
-        let plain = match harness.db.execute(&query.sql) {
-            Ok(output) => output,
+        match harness.db.execute(&query.sql) {
+            Ok(output) => {
+                plain_time += plain_start.elapsed();
+                let got = canonical(&output.rows, order_sensitive);
+                if got != reference {
+                    eprintln!(
+                        "perf_smoke: RESULT MISMATCH for {id}: plain at {threads} threads \
+                         {got:?} vs single-threaded {reference:?}"
+                    );
+                    failed = true;
+                }
+            }
             Err(error) => {
                 eprintln!("perf_smoke: plain execution of {id} failed: {error}");
                 failed = true;
                 continue;
             }
-        };
-        plain_time += plain_start.elapsed();
+        }
 
         for (idx, mode) in modes.iter().enumerate() {
             let config = ReoptConfig {
@@ -114,11 +173,12 @@ fn main() {
                 Ok(report) => {
                     mode_time[idx] += start.elapsed();
                     mode_rounds[idx] += report.rounds.len();
-                    if report.final_rows != plain.rows {
+                    let got = canonical(&report.final_rows, order_sensitive);
+                    if got != reference {
                         eprintln!(
-                            "perf_smoke: RESULT MISMATCH for {id} under {} ({mode:?}): \
-                             {:?} vs plain {:?}",
-                            report.policy, report.final_rows, plain.rows
+                            "perf_smoke: RESULT MISMATCH for {id} under {} ({mode:?}, \
+                             {} threads): {got:?} vs single-threaded {reference:?}",
+                            report.policy, report.threads
                         );
                         failed = true;
                     }
@@ -154,8 +214,9 @@ fn main() {
     }
 
     println!(
-        "perf_smoke: {} queries  plain {:>7.2}s",
+        "perf_smoke: {} queries  single-threaded {:>7.2}s  plain at {threads} thread(s) {:>7.2}s",
         selected.len(),
+        single_time.as_secs_f64(),
         plain_time.as_secs_f64()
     );
     for (idx, mode) in modes.iter().enumerate() {
@@ -170,5 +231,8 @@ fn main() {
     if failed {
         std::process::exit(1);
     }
-    println!("perf_smoke: plain + all policies agree on every query");
+    println!(
+        "perf_smoke: single-threaded reference, plain at {threads} thread(s) and all policies \
+         agree on every query"
+    );
 }

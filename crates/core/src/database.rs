@@ -2,7 +2,7 @@
 
 use crate::error::DbError;
 use reopt_catalog::Catalog;
-use reopt_executor::{execute_plan, QueryMetrics};
+use reopt_executor::{default_thread_count, Executor, QueryMetrics};
 use reopt_planner::{
     explain_plan, CardinalityOverrides, EstimationLog, Optimizer, OptimizerConfig, PhysicalPlan,
     PlannedQuery, QuerySpec,
@@ -54,6 +54,10 @@ pub struct Database {
     catalog: Catalog,
     optimizer: Optimizer,
     overrides: CardinalityOverrides,
+    /// Worker-pool size for execution; `None` defers to
+    /// [`reopt_executor::default_thread_count`] (`REOPT_THREADS` or the machine's
+    /// available parallelism).
+    threads: Option<usize>,
 }
 
 impl Default for Database {
@@ -75,7 +79,20 @@ impl Database {
             catalog: Catalog::new(),
             optimizer: Optimizer::new(config),
             overrides: CardinalityOverrides::new(),
+            threads: None,
         }
+    }
+
+    /// Pin the executor worker-pool size for every statement this database runs
+    /// (`1` = always the single-threaded engine). `None` restores the default:
+    /// `REOPT_THREADS` or the machine's available parallelism.
+    pub fn set_threads(&mut self, threads: Option<usize>) {
+        self.threads = threads.map(|t| t.max(1));
+    }
+
+    /// The executor worker-pool size every statement runs with.
+    pub fn threads(&self) -> usize {
+        self.threads.unwrap_or_else(default_thread_count)
     }
 
     /// Shared access to storage.
@@ -309,7 +326,9 @@ impl Database {
     /// Execute a SELECT statement.
     pub fn execute_select(&mut self, select: &SelectStatement) -> Result<QueryOutput, DbError> {
         let (planned, planning_time) = self.plan_select(select)?;
-        let result = execute_plan(&planned.plan, &self.storage)?;
+        let result = Executor::new(&self.storage)
+            .with_threads(self.threads())
+            .execute(&planned.plan)?;
         Ok(QueryOutput {
             rows: result.rows,
             schema: result.schema,

@@ -226,6 +226,10 @@ pub struct ReoptRound {
 pub struct ReoptReport {
     /// The name of the policy that drove the run ([`ReoptPolicy::name`]).
     pub policy: String,
+    /// The executor worker-pool size every run (detection, materialization and final)
+    /// used. `1` means the single-threaded engine; larger counts select the
+    /// morsel-driven parallel engine for every plan it supports.
+    pub threads: usize,
     /// The rounds that were triggered (empty when the first plan was good enough).
     pub rounds: Vec<ReoptRound>,
     /// The rows of the final query.
@@ -469,7 +473,13 @@ impl Driver {
                     };
                     match decision {
                         PolicyDecision::Continue => {
-                            return Ok(self.finalize(policy.name(), &planned, rows, metrics));
+                            return Ok(self.finalize(
+                                policy.name(),
+                                db.threads(),
+                                &planned,
+                                rows,
+                                metrics,
+                            ));
                         }
                         PolicyDecision::ReplanMidQuery { .. } => {
                             return Err(DbError::Reoptimization(
@@ -790,6 +800,7 @@ impl Driver {
     fn finalize(
         &mut self,
         policy_name: &str,
+        threads: usize,
         planned: &PlannedQuery,
         rows: Vec<Row>,
         metrics: QueryMetrics,
@@ -809,6 +820,7 @@ impl Driver {
         parts.push(format!("{statement_sql};"));
         ReoptReport {
             policy: policy_name.to_string(),
+            threads,
             rounds: std::mem::take(&mut self.rounds),
             final_rows: rows,
             planning_time: self.planning_time,
@@ -830,7 +842,7 @@ fn run_pipeline(
     ctx: PolicyContext,
     observe: bool,
 ) -> Result<RunResult, DbError> {
-    let executor = Executor::new(db.storage());
+    let executor = Executor::new(db.storage()).with_threads(db.threads());
     let adapter = observe.then(|| {
         Rc::new(RefCell::new(PolicyObserver {
             policy,

@@ -46,8 +46,10 @@ impl ReoptReport {
             out.push_str("no re-optimization rounds\n");
         }
         out.push_str(&format!(
-            "policy {}: planning {:.3} ms, execution {:.3} ms, detection {:.3} ms, peak buffered rows {}\n",
+            "policy {} ({} thread{}): planning {:.3} ms, execution {:.3} ms, detection {:.3} ms, peak buffered rows {}\n",
             self.policy,
+            self.threads,
+            if self.threads == 1 { "" } else { "s" },
             self.planning_time.as_secs_f64() * 1e3,
             self.execution_time.as_secs_f64() * 1e3,
             self.detection_time.as_secs_f64() * 1e3,

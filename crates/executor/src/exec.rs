@@ -314,6 +314,22 @@ impl ProgressMeter {
     }
 }
 
+/// The thread count the executor uses when none is configured explicitly: the
+/// `REOPT_THREADS` environment variable when set to a positive integer, otherwise the
+/// machine's available parallelism. A value of 1 always selects the single-threaded
+/// engine.
+pub fn default_thread_count() -> usize {
+    std::env::var("REOPT_THREADS")
+        .ok()
+        .and_then(|value| value.parse::<usize>().ok())
+        .filter(|&threads| threads >= 1)
+        .unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(std::num::NonZeroUsize::get)
+                .unwrap_or(1)
+        })
+}
+
 /// The result of executing one plan.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ExecutionResult {
@@ -341,15 +357,18 @@ pub struct Executor<'a> {
     storage: &'a Storage,
     batch_size: usize,
     progress_every: u64,
+    threads: usize,
 }
 
 impl<'a> Executor<'a> {
-    /// Create an executor over the given storage.
+    /// Create an executor over the given storage with [`default_thread_count`]
+    /// threads.
     pub fn new(storage: &'a Storage) -> Self {
         Self {
             storage,
             batch_size: DEFAULT_BATCH_SIZE,
             progress_every: DEFAULT_PROGRESS_INTERVAL,
+            threads: default_thread_count(),
         }
     }
 
@@ -359,7 +378,23 @@ impl<'a> Executor<'a> {
             storage,
             batch_size: batch_size.max(1),
             progress_every: DEFAULT_PROGRESS_INTERVAL,
+            threads: default_thread_count(),
         }
+    }
+
+    /// Set the worker-pool size for morsel-driven parallel execution (clamped to at
+    /// least one). `threads == 1` always takes the single-threaded engine; with more
+    /// threads, plans whose operators all have a parallel implementation
+    /// ([`crate::parallel::plan_supported`]) run on the worker pool and everything
+    /// else falls back to the single-threaded engine unchanged.
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads.max(1);
+        self
+    }
+
+    /// The configured worker-pool size.
+    pub fn thread_count(&self) -> usize {
+        self.threads
     }
 
     /// Set the progress cadence: streaming joins report a [`ProgressEvent`] every
@@ -428,6 +463,18 @@ impl<'a> Executor<'a> {
     where
         'a: 'p,
     {
+        if self.threads > 1 && crate::parallel::plan_supported(plan) {
+            return Ok(Pipeline {
+                inner: PipelineImpl::Parallel(crate::parallel::ParallelPipeline::new(
+                    plan,
+                    self.storage,
+                    self.batch_size,
+                    self.threads,
+                    self.progress_every,
+                    observer,
+                )),
+            });
+        }
         let tracker = Rc::new(MemoryTracker::default());
         let root_seam = Rc::new(Cell::new(false));
         let ctx = BuildContext {
@@ -442,13 +489,15 @@ impl<'a> Executor<'a> {
         };
         let (root, stats) = build_operator(plan, &ctx)?;
         Ok(Pipeline {
-            plan,
-            root,
-            stats,
-            tracker,
-            root_seam,
-            poisoned: false,
-            suspended: false,
+            inner: PipelineImpl::Single(SinglePipeline {
+                plan,
+                root,
+                stats,
+                tracker,
+                root_seam,
+                poisoned: false,
+                suspended: false,
+            }),
         })
     }
 
@@ -469,8 +518,77 @@ impl<'a> Executor<'a> {
     }
 }
 
-/// An opened plan: a tree of operators ready to produce batches.
+/// An opened plan, ready to produce batches: either a single-threaded operator tree
+/// or a morsel-driven parallel run ([`Executor::with_threads`]). Both engines honor
+/// the same contract — batch pulls, observer events, suspension, breaker-state
+/// extraction, metrics and buffered-row accounting — so callers never branch on the
+/// engine.
 pub struct Pipeline<'p> {
+    inner: PipelineImpl<'p>,
+}
+
+enum PipelineImpl<'p> {
+    Single(SinglePipeline<'p>),
+    Parallel(crate::parallel::ParallelPipeline<'p>),
+}
+
+impl Pipeline<'_> {
+    /// Produce the next (non-empty) batch of output rows, or `None` when exhausted.
+    ///
+    /// An `Err` poisons the pipeline: operators may hold partially-buffered state, so
+    /// every subsequent pull fails rather than risking silently wrong results. The one
+    /// exception is [`ExecError::Suspended`] (an [`ExecutionObserver`] stopped
+    /// execution, either mid-pull or on the root batch seam): the pipeline refuses
+    /// further pulls but its completed breaker state stays extractable via
+    /// [`Pipeline::take_breaker_states`].
+    pub fn next_batch(&mut self) -> Result<Option<RowBatch>, ExecError> {
+        match &mut self.inner {
+            PipelineImpl::Single(p) => p.next_batch(),
+            PipelineImpl::Parallel(p) => p.next_batch(),
+        }
+    }
+
+    /// Whether an [`ExecutionObserver`] suspended this pipeline.
+    pub fn is_suspended(&self) -> bool {
+        match &self.inner {
+            PipelineImpl::Single(p) => p.is_suspended(),
+            PipelineImpl::Parallel(p) => p.is_suspended(),
+        }
+    }
+
+    /// Move every *completed* breaker materialization out of the pipeline (hash-join
+    /// build sides and nested-loop inners, innermost first). Used after an observer
+    /// suspension: the extracted rows become virtual leaf tables for the re-planned
+    /// remainder of the query, so the work of building them is not lost. The pipeline
+    /// must not be pulled again afterwards.
+    pub fn take_breaker_states(&mut self) -> Vec<BreakerState> {
+        match &mut self.inner {
+            PipelineImpl::Single(p) => p.take_breaker_states(),
+            PipelineImpl::Parallel(p) => p.take_breaker_states(),
+        }
+    }
+
+    /// The metrics tree observed so far (complete once `next_batch` returned `None`).
+    /// For parallel runs, per-operator counters are aggregated across workers and
+    /// `elapsed` is summed worker CPU time.
+    pub fn metrics(&self) -> QueryMetrics {
+        match &self.inner {
+            PipelineImpl::Single(p) => p.metrics(),
+            PipelineImpl::Parallel(p) => p.metrics(),
+        }
+    }
+
+    /// Peak number of rows buffered by pipeline breakers so far.
+    pub fn peak_buffered_rows(&self) -> u64 {
+        match &self.inner {
+            PipelineImpl::Single(p) => p.peak_buffered_rows(),
+            PipelineImpl::Parallel(p) => p.peak_buffered_rows(),
+        }
+    }
+}
+
+/// The single-threaded engine: a tree of pull-based operators.
+pub(crate) struct SinglePipeline<'p> {
     plan: &'p PhysicalPlan,
     root: Metered<'p>,
     stats: StatsNode,
@@ -481,7 +599,7 @@ pub struct Pipeline<'p> {
     suspended: bool,
 }
 
-impl Pipeline<'_> {
+impl SinglePipeline<'_> {
     /// Produce the next (non-empty) batch of output rows, or `None` when exhausted.
     ///
     /// An `Err` poisons the pipeline: operators may hold partially-buffered state, so
@@ -670,25 +788,59 @@ impl Metered<'_> {
     }
 }
 
-fn bind(expr: &Expr, schema: &Schema) -> Result<Expr, ExecError> {
+pub(crate) fn bind(expr: &Expr, schema: &Schema) -> Result<Expr, ExecError> {
     expr.bind(schema)
         .map_err(|e| ExecError::BindError(e.to_string()))
 }
 
-fn bind_opt(expr: Option<&Expr>, schema: &Schema) -> Result<Option<Expr>, ExecError> {
+pub(crate) fn bind_opt(expr: Option<&Expr>, schema: &Schema) -> Result<Option<Expr>, ExecError> {
     expr.map(|e| bind(e, schema)).transpose()
 }
 
-fn key_index(schema: &Schema, reference: &reopt_expr::ColumnRef) -> Result<usize, ExecError> {
+pub(crate) fn key_index(
+    schema: &Schema,
+    reference: &reopt_expr::ColumnRef,
+) -> Result<usize, ExecError> {
     schema
         .index_of(reference.qualifier.as_deref(), &reference.name)
         .map_err(ExecError::from)
 }
 
-fn lookup_table<'p>(storage: &'p Storage, name: &str) -> Result<&'p Table, ExecError> {
+pub(crate) fn lookup_table<'p>(storage: &'p Storage, name: &str) -> Result<&'p Table, ExecError> {
     storage
         .table(name)
         .map_err(|_| ExecError::TableNotFound(name.to_string()))
+}
+
+/// Resolve the sorted, deduplicated row-id list of an index lookup (shared by the
+/// single-threaded index-scan operator and the parallel engine's index-scan source).
+pub(crate) fn resolve_index_row_ids(index: &Index, lookup: &IndexLookup) -> Vec<usize> {
+    let mut row_ids: Vec<usize> = match lookup {
+        IndexLookup::Equality(value) => index.lookup(value).to_vec(),
+        IndexLookup::InList(values) => {
+            let mut ids = Vec::new();
+            for value in values {
+                ids.extend_from_slice(index.lookup(value));
+            }
+            ids
+        }
+        IndexLookup::Range { low, high } => {
+            let low_bound = match low {
+                Some((value, true)) => Bound::Included(value),
+                Some((value, false)) => Bound::Excluded(value),
+                None => Bound::Unbounded,
+            };
+            let high_bound = match high {
+                Some((value, true)) => Bound::Included(value),
+                Some((value, false)) => Bound::Excluded(value),
+                None => Bound::Unbounded,
+            };
+            index.range(low_bound, high_bound)
+        }
+    };
+    row_ids.sort_unstable();
+    row_ids.dedup();
+    row_ids
 }
 
 /// Translate a plan subtree into an operator tree, returning the root operator and the
@@ -1009,31 +1161,7 @@ impl IndexScanOp<'_> {
         if self.row_ids.is_some() {
             return;
         }
-        let mut row_ids: Vec<usize> = match self.lookup {
-            IndexLookup::Equality(value) => self.index.lookup(value).to_vec(),
-            IndexLookup::InList(values) => {
-                let mut ids = Vec::new();
-                for value in values {
-                    ids.extend_from_slice(self.index.lookup(value));
-                }
-                ids
-            }
-            IndexLookup::Range { low, high } => {
-                let low_bound = match low {
-                    Some((value, true)) => Bound::Included(value),
-                    Some((value, false)) => Bound::Excluded(value),
-                    None => Bound::Unbounded,
-                };
-                let high_bound = match high {
-                    Some((value, true)) => Bound::Included(value),
-                    Some((value, false)) => Bound::Excluded(value),
-                    None => Bound::Unbounded,
-                };
-                self.index.range(low_bound, high_bound)
-            }
-        };
-        row_ids.sort_unstable();
-        row_ids.dedup();
+        let row_ids = resolve_index_row_ids(self.index, self.lookup);
         self.tracker.acquire(row_ids.len() as u64);
         self.row_ids = Some(row_ids);
     }
@@ -1923,7 +2051,7 @@ fn drain_keyed(
 
 /// Extract a join key from a row; returns `None` when any key column is NULL (NULL never
 /// joins under equi-join semantics).
-fn extract_key(row: &Row, columns: &[usize]) -> Option<Vec<Value>> {
+pub(crate) fn extract_key(row: &Row, columns: &[usize]) -> Option<Vec<Value>> {
     let mut key = Vec::with_capacity(columns.len());
     for &idx in columns {
         let value = row.value(idx);
@@ -1937,7 +2065,7 @@ fn extract_key(row: &Row, columns: &[usize]) -> Option<Vec<Value>> {
 
 /// Aggregate accumulator state.
 #[derive(Debug, Clone)]
-enum Accumulator {
+pub(crate) enum Accumulator {
     Min(Option<Value>),
     Max(Option<Value>),
     Count { star: bool, count: u64 },
@@ -1946,7 +2074,7 @@ enum Accumulator {
 }
 
 impl Accumulator {
-    fn new(func: AggregateFunc) -> Self {
+    pub(crate) fn new(func: AggregateFunc) -> Self {
         match func {
             AggregateFunc::Min => Accumulator::Min(None),
             AggregateFunc::Max => Accumulator::Max(None),
@@ -1963,7 +2091,64 @@ impl Accumulator {
         }
     }
 
-    fn update(&mut self, arg: Option<&Expr>, row: &Row) -> Result<(), ExecError> {
+    /// Merge another partial state of the same aggregate into this one (the merge
+    /// step of parallel partial aggregation). Merging is exact for MIN/MAX/COUNT and
+    /// for SUM/AVG over integers (f64 addition below 2^53 is associative); the
+    /// parallel engine only runs SUM/AVG on integer columns for that reason.
+    pub(crate) fn merge(&mut self, other: Accumulator) {
+        match (self, other) {
+            (Accumulator::Min(current), Accumulator::Min(Some(v)))
+                if current.as_ref().map(|c| &v < c).unwrap_or(true) =>
+            {
+                *current = Some(v);
+            }
+            (Accumulator::Max(current), Accumulator::Max(Some(v)))
+                if current.as_ref().map(|c| &v > c).unwrap_or(true) =>
+            {
+                *current = Some(v);
+            }
+            (
+                Accumulator::Count { star, count },
+                Accumulator::Count {
+                    star: other_star,
+                    count: other_count,
+                },
+            ) => {
+                // `star` is display bookkeeping: a worker that saw rows knows whether
+                // the aggregate was COUNT(*) or COUNT(expr).
+                if other_count > 0 {
+                    *star = other_star;
+                }
+                *count += other_count;
+            }
+            (
+                Accumulator::Sum { sum, any, is_float },
+                Accumulator::Sum {
+                    sum: other_sum,
+                    any: other_any,
+                    is_float: other_is_float,
+                },
+            ) => {
+                *sum += other_sum;
+                *any |= other_any;
+                *is_float |= other_is_float;
+            }
+            (
+                Accumulator::Avg { sum, count },
+                Accumulator::Avg {
+                    sum: other_sum,
+                    count: other_count,
+                },
+            ) => {
+                *sum += other_sum;
+                *count += other_count;
+            }
+            // Mismatched or empty partials carry nothing to merge.
+            _ => {}
+        }
+    }
+
+    pub(crate) fn update(&mut self, arg: Option<&Expr>, row: &Row) -> Result<(), ExecError> {
         let value = match arg {
             Some(expr) => Some(expr.eval(row)?),
             None => None,
@@ -2018,7 +2203,7 @@ impl Accumulator {
         Ok(())
     }
 
-    fn finish(self) -> Value {
+    pub(crate) fn finish(self) -> Value {
         match self {
             Accumulator::Min(v) | Accumulator::Max(v) => v.unwrap_or(Value::Null),
             Accumulator::Count { count, .. } => Value::Int(count as i64),
@@ -2137,9 +2322,17 @@ mod tests {
             .unwrap()
     }
 
+    // This module is the single-threaded engine's battery, so every helper pins
+    // `with_threads(1)`: without the pin, `default_thread_count()` would silently
+    // route these tests through the parallel engine on multi-core hosts (or under
+    // an ambient REOPT_THREADS), losing the coverage. The parallel engine has its
+    // own battery in `crate::parallel::tests`, which pins 2/4/8 explicitly.
     fn run(sql: &str, storage: &Storage, catalog: &Catalog) -> ExecutionResult {
         let planned = plan(sql, storage, catalog);
-        execute_plan(&planned.plan, storage).unwrap()
+        Executor::new(storage)
+            .with_threads(1)
+            .execute(&planned.plan)
+            .unwrap()
     }
 
     fn run_with_batch_size(
@@ -2150,6 +2343,7 @@ mod tests {
     ) -> ExecutionResult {
         let planned = plan(sql, storage, catalog);
         Executor::with_batch_size(storage, batch_size)
+            .with_threads(1)
             .execute(&planned.plan)
             .unwrap()
     }
@@ -2353,7 +2547,10 @@ mod tests {
                     &CardinalityOverrides::new(),
                 )
                 .unwrap();
-            let result = execute_plan(&planned.plan, &storage).unwrap();
+            let result = Executor::new(&storage)
+                .with_threads(1)
+                .execute(&planned.plan)
+                .unwrap();
             results.push(result.rows[0].value(0).clone());
         }
         assert_eq!(results[0], results[1]);
@@ -2474,7 +2671,7 @@ mod tests {
     fn limit_stops_pulling_upstream() {
         let (storage, catalog) = build_env();
         let planned = plan("SELECT * FROM title AS t LIMIT 3", &storage, &catalog);
-        let result = Executor::with_batch_size(&storage, 2)
+        let result = Executor::with_batch_size(&storage, 2).with_threads(1)
             .execute(&planned.plan)
             .unwrap();
         assert_eq!(result.rows.len(), 3);
@@ -2561,7 +2758,7 @@ mod tests {
             min_rels: 2,
             events: Vec::new(),
         }));
-        let executor = Executor::new(&storage);
+        let executor = Executor::new(&storage).with_threads(1);
         let mut pipeline = executor
             .open_observed(&planned.plan, Some(monitor.clone() as ObserverHandle))
             .unwrap();
@@ -2598,7 +2795,7 @@ mod tests {
             &storage,
             &catalog,
         );
-        let executor = Executor::new(&storage);
+        let executor = Executor::new(&storage).with_threads(1);
         let mut pipeline = executor.open_observed(&planned.plan, None).unwrap();
         let mut rows = 0;
         while let Some(batch) = pipeline.next_batch().unwrap() {
@@ -2617,7 +2814,7 @@ mod tests {
             &storage,
             &catalog,
         );
-        let executor = Executor::with_batch_size(&storage, 16);
+        let executor = Executor::with_batch_size(&storage, 16).with_threads(1);
         let mut pipeline = executor.open(&planned.plan).unwrap();
         let mut total = 0usize;
         while let Some(batch) = pipeline.next_batch().unwrap() {
@@ -2649,6 +2846,7 @@ mod tests {
         );
         for batch_size in [1usize, 3, 7, 200, 1024] {
             let result = Executor::with_batch_size(&storage, batch_size)
+                .with_threads(1)
                 .execute(&planned.plan)
                 .unwrap();
             assert_eq!(result.rows[0].value(0), &Value::Int(200), "batch {batch_size}");
@@ -2709,7 +2907,9 @@ mod tests {
         let (storage, catalog) = build_env();
         let planned = index_nl_plan(&storage, &catalog);
         let observer = RecordingObserver::new(ObserverDecision::Continue);
-        let executor = Executor::with_batch_size(&storage, 16).with_progress_interval(2);
+        let executor = Executor::with_batch_size(&storage, 16)
+            .with_threads(1)
+            .with_progress_interval(2);
         let mut pipeline = executor
             .open_observed(&planned.plan, Some(observer.clone() as ObserverHandle))
             .unwrap();
@@ -2750,7 +2950,9 @@ mod tests {
         let (storage, catalog) = build_env();
         let planned = index_nl_plan(&storage, &catalog);
         let observer = RecordingObserver::new(ObserverDecision::Continue);
-        let executor = Executor::with_batch_size(&storage, 16).with_progress_interval(0);
+        let executor = Executor::with_batch_size(&storage, 16)
+            .with_threads(1)
+            .with_progress_interval(0);
         let mut pipeline = executor
             .open_observed(&planned.plan, Some(observer.clone() as ObserverHandle))
             .unwrap();
@@ -2789,7 +2991,9 @@ mod tests {
             )
             .unwrap();
         let observer = RecordingObserver::new(ObserverDecision::SuspendAtRootSeam);
-        let executor = Executor::with_batch_size(&storage, 16).with_progress_interval(1);
+        let executor = Executor::with_batch_size(&storage, 16)
+            .with_threads(1)
+            .with_progress_interval(1);
         let mut pipeline = executor
             .open_observed(&planned.plan, Some(observer.clone() as ObserverHandle))
             .unwrap();
@@ -2831,6 +3035,7 @@ mod tests {
         // be split across batches of 3 without losing or duplicating pairs.
         for batch_size in [1usize, 3, 16, 4096] {
             let result = Executor::with_batch_size(&storage, batch_size)
+                .with_threads(1)
                 .execute(&planned.plan)
                 .unwrap();
             assert_eq!(result.rows[0].value(0), &Value::Int(200), "batch {batch_size}");

@@ -37,11 +37,12 @@
 pub mod error;
 pub mod exec;
 pub mod metrics;
+pub mod parallel;
 
 pub use error::ExecError;
 pub use exec::{
-    execute_plan, BreakerEvent, BreakerKind, BreakerState, ExecEvent, ExecutionObserver,
-    ExecutionResult, Executor, ObserverDecision, ObserverHandle, Pipeline, ProgressEvent,
-    ProgressSource, RowBatch, DEFAULT_BATCH_SIZE, DEFAULT_PROGRESS_INTERVAL,
+    default_thread_count, execute_plan, BreakerEvent, BreakerKind, BreakerState, ExecEvent,
+    ExecutionObserver, ExecutionResult, Executor, ObserverDecision, ObserverHandle, Pipeline,
+    ProgressEvent, ProgressSource, RowBatch, DEFAULT_BATCH_SIZE, DEFAULT_PROGRESS_INTERVAL,
 };
 pub use metrics::{MetricsNode, OperatorMetrics, QueryMetrics};

@@ -1,0 +1,2150 @@
+//! Morsel-driven parallel execution.
+//!
+//! The plan is decomposed into *pipelines* at pipeline-breaker seams, exactly the
+//! decomposition HyPer-style morsel-driven schedulers use: every hash-join build side
+//! is a pipeline that terminates in a build sink, the probe spine is a pipeline that
+//! terminates at the root (or at an aggregate/sort sink), and pipelines execute in
+//! dependency order — a join's build pipeline completes (and fires its
+//! [`BreakerEvent`]) before the probe pipeline that consumes the hash table starts.
+//!
+//! Within one pipeline the driving source (a table heap, an index-scan row-id list, or
+//! a materialized breaker output) is split into **morsels** — runs of
+//! [`MORSEL_BATCHES`] batches — handed to a pool of `std::thread` workers through an
+//! atomic work-stealing cursor. Each worker pushes its morsel through the pipeline's
+//! operator chain (filters, projections, hash probes against the shared immutable
+//! partitioned hash table, index-NL probes against shared storage) and feeds the
+//! pipeline sink:
+//!
+//! * **root / sort sinks** exchange row batches through a *bounded* channel to the
+//!   coordinator, so streaming operators keep flat memory no matter how fast workers
+//!   produce;
+//! * **hash-join build sinks** partition rows by join-key hash into per-worker,
+//!   per-partition buffers; the merge step assembles one hash-table partition per
+//!   worker in parallel once every worker finished;
+//! * **aggregation sinks** accumulate per-worker partial aggregation states, merged by
+//!   the coordinator at the breaker (merge order is irrelevant because only exact,
+//!   order-insensitive accumulators are admitted — see [`plan_supported`]).
+//!
+//! Pipelines whose source is smaller than two morsels run *inline* on the coordinator
+//! through the same chain/sink code, so tiny dimension-table builds never pay thread
+//! spawn latency.
+//!
+//! # The observer contract under parallelism
+//!
+//! The installed [`ExecutionObserver`](crate::exec::ExecutionObserver) is only ever
+//! invoked from the coordinator thread (observers are deliberately not `Send`). Events
+//! funnel to it in a defined order:
+//!
+//! * workers enqueue [`ProgressEvent`]s into a mutex-ordered queue (snapshots are taken
+//!   under the queue lock, so produced-row counts are monotonic in delivery order);
+//! * the coordinator drains that queue — in queue order — before delivering any
+//!   coordinator-generated event, and emits exactly one [`BreakerEvent`] per breaker,
+//!   carrying worker-aggregated actual rows, when the merge step completes;
+//! * breaker events therefore arrive innermost-first, exactly as in single-threaded
+//!   execution.
+//!
+//! A `Suspend` decision sets a quiesce flag; workers observe it on the next batch
+//! boundary and drain out, the coordinator joins them, and the pipeline reports
+//! [`ExecError::Suspended`] with every *completed* build retained so
+//! [`Pipeline::take_breaker_states`](crate::exec::Pipeline::take_breaker_states) still
+//! extracts reusable state — mid-query re-optimization works unchanged at
+//! `threads > 1`. `SuspendAtRootSeam` also quiesces, but the first already-produced
+//! root batch is delivered before the next pull reports `Suspended`.
+//!
+//! Per-operator metrics aggregate across workers: `actual_rows`/`batches` are summed
+//! atomics, `elapsed` is the summed per-operator CPU time across all workers (so it
+//! can exceed wall clock), `exhausted` is only set when an operator's whole pipeline
+//! ran to completion, and buffered rows are tracked through one shared atomic
+//! high-water mark.
+//!
+//! Plans containing operators without a parallel implementation (plain nested-loop
+//! joins, merge joins, LIMIT — whose early-termination contract is inherently
+//! sequential — and SUM/AVG aggregates over non-integer inputs, where float addition
+//! order would make results run-dependent) fall back to the single-threaded engine;
+//! see [`plan_supported`].
+
+use crate::error::ExecError;
+use crate::exec::{
+    bind as bind_exec, bind_opt as bind_exec_opt, extract_key, key_index as key_index_exec,
+    lookup_table as lookup_table_exec, resolve_index_row_ids, Accumulator, BreakerEvent,
+    BreakerKind, BreakerState, ExecEvent, ObserverHandle, ProgressEvent, ProgressSource, RowBatch,
+};
+use crate::metrics::{MetricsNode, OperatorMetrics, QueryMetrics};
+use reopt_expr::Expr;
+use reopt_planner::{PhysicalPlan, PlanKind};
+use reopt_sql::AggregateFunc;
+use reopt_storage::{DataType, Index, Row, Schema, Storage, Table, Value};
+use std::collections::hash_map::RandomState;
+use std::collections::{HashMap, VecDeque};
+use std::hash::BuildHasher;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::mpsc::{sync_channel, RecvTimeoutError};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+/// Rows per morsel, in units of the executor batch size: each morsel is a contiguous
+/// run of this many batches of the pipeline's driving source.
+pub const MORSEL_BATCHES: usize = 4;
+
+/// Whether the parallel engine implements every operator in the plan. Plans that fail
+/// this check execute on the single-threaded engine regardless of the configured
+/// thread count.
+pub fn plan_supported(plan: &PhysicalPlan) -> bool {
+    let here = match &plan.kind {
+        // LIMIT's early-termination contract ("upstream operators never produce the
+        // rows beyond the limit") is inherently sequential; plain NL and merge joins
+        // have no partitioned implementation yet.
+        PlanKind::Limit { .. } | PlanKind::NestedLoopJoin { .. } | PlanKind::MergeJoin { .. } => {
+            false
+        }
+        PlanKind::Aggregate { aggregates, .. } => {
+            let input = &plan.children[0].schema;
+            aggregates.iter().all(|aggregate| match aggregate.func {
+                AggregateFunc::Min | AggregateFunc::Max | AggregateFunc::Count => true,
+                // Partial SUM/AVG states merge in worker order, which is only
+                // deterministic (and equal to the sequential result) when the inputs
+                // are integers: f64 addition over them is exact below 2^53. Anything
+                // float-valued falls back to the sequential engine.
+                AggregateFunc::Sum | AggregateFunc::Avg => match &aggregate.arg {
+                    Some(Expr::Column(reference)) => input
+                        .index_of(reference.qualifier.as_deref(), &reference.name)
+                        .ok()
+                        .and_then(|idx| input.column(idx))
+                        .map(|column| column.data_type() == DataType::Int)
+                        .unwrap_or(false),
+                    _ => false,
+                },
+            })
+        }
+        _ => true,
+    };
+    here && plan.children.iter().all(plan_supported)
+}
+
+// ---------------------------------------------------------------------------
+// Shared (Sync) run state
+// ---------------------------------------------------------------------------
+
+/// Why the coordinator stopped the run before completion.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum StopMode {
+    /// `ObserverDecision::Suspend`: discard in-flight output, report `Suspended`.
+    Immediate,
+    /// `ObserverDecision::SuspendAtRootSeam`: deliver the first produced root batch,
+    /// then report `Suspended`.
+    Seam,
+}
+
+/// State shared between the coordinator and the workers (everything here is `Sync`).
+struct Shared {
+    /// Set by the coordinator to quiesce every worker at the next batch boundary.
+    quiesce: AtomicBool,
+    /// Set alongside `quiesce` for a root-seam suspension: workers finish their
+    /// in-flight batch (so it can be delivered) instead of dropping it mid-step.
+    seam: AtomicBool,
+    /// Whether an observer is installed (workers skip event bookkeeping otherwise).
+    observer_active: bool,
+    /// Progress cadence (0 disables periodic reports).
+    progress_every: u64,
+    /// Worker-enqueued events, drained by the coordinator in FIFO order.
+    events: Mutex<VecDeque<ExecEvent>>,
+    /// First worker error; its presence also quiesces the run.
+    error: Mutex<Option<ExecError>>,
+    /// Rows currently buffered by breakers (partial and merged states alike).
+    buffered_current: AtomicU64,
+    /// High-water mark of `buffered_current`.
+    buffered_peak: AtomicU64,
+}
+
+impl Shared {
+    fn acquire(&self, rows: u64) {
+        let current = self.buffered_current.fetch_add(rows, Ordering::SeqCst) + rows;
+        self.buffered_peak.fetch_max(current, Ordering::SeqCst);
+    }
+
+    fn fail(&self, error: ExecError) {
+        let mut slot = self.error.lock().expect("error lock");
+        if slot.is_none() {
+            *slot = Some(error);
+        }
+        self.quiesce.store(true, Ordering::SeqCst);
+    }
+
+    /// Whether in-flight work should be abandoned mid-step (immediate suspension or
+    /// an error — but not a seam suspension, whose in-flight batch is delivered).
+    fn drop_inflight(&self) -> bool {
+        self.quiesce.load(Ordering::Relaxed) && !self.seam.load(Ordering::Relaxed)
+    }
+
+    /// Worker-side backpressure behind the observer: yield (bounded) until the
+    /// coordinator drained the event queue. The single-threaded engine dispatches
+    /// events synchronously from inside the producing operator; this approximates
+    /// that under parallelism, so a suspension decision stops the pool after at most
+    /// one in-flight step per worker instead of however much work the pool can race
+    /// through while the coordinator thread waits for CPU (which on few-core hosts
+    /// can be milliseconds).
+    fn wait_for_event_drain(&self) {
+        if !self.observer_active {
+            return;
+        }
+        for _ in 0..100_000 {
+            if self.quiesce.load(Ordering::Relaxed) {
+                return;
+            }
+            if self.events.lock().expect("event queue").is_empty() {
+                return;
+            }
+            std::thread::yield_now();
+        }
+    }
+}
+
+/// Per-plan-node execution counters (the parallel analogue of `OpStats`).
+#[derive(Default)]
+struct ParStats {
+    rows: AtomicU64,
+    batches: AtomicU64,
+    nanos: AtomicU64,
+    exhausted: AtomicBool,
+}
+
+impl ParStats {
+    fn record(&self, rows: usize, elapsed: Duration) {
+        if rows > 0 {
+            self.rows.fetch_add(rows as u64, Ordering::SeqCst);
+            self.batches.fetch_add(1, Ordering::SeqCst);
+        }
+        self.nanos
+            .fetch_add(elapsed.as_nanos() as u64, Ordering::SeqCst);
+    }
+}
+
+/// The stats tree, shaped like the plan tree.
+struct StatsTree {
+    stats: std::sync::Arc<ParStats>,
+    children: Vec<StatsTree>,
+}
+
+fn build_stats_tree(plan: &PhysicalPlan) -> StatsTree {
+    StatsTree {
+        stats: std::sync::Arc::new(ParStats::default()),
+        children: plan.children.iter().map(build_stats_tree).collect(),
+    }
+}
+
+fn assemble_metrics(plan: &PhysicalPlan, stats: &StatsTree) -> MetricsNode {
+    let children: Vec<MetricsNode> = plan
+        .children
+        .iter()
+        .zip(&stats.children)
+        .map(|(p, s)| assemble_metrics(p, s))
+        .collect();
+    let exhausted = stats.stats.exhausted.load(Ordering::SeqCst)
+        && children.iter().all(|child| child.metrics.exhausted);
+    MetricsNode {
+        metrics: OperatorMetrics {
+            label: plan.label(),
+            rel_set: plan.rel_set,
+            is_join: plan.is_join(),
+            estimated_rows: plan.estimated_rows,
+            actual_rows: stats.stats.rows.load(Ordering::SeqCst),
+            batches: stats.stats.batches.load(Ordering::SeqCst),
+            exhausted,
+            elapsed: Duration::from_nanos(stats.stats.nanos.load(Ordering::SeqCst)),
+        },
+        children,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Shared hash table for parallel joins
+// ---------------------------------------------------------------------------
+
+/// Rows of one build partition buffer, pre-extracted join key first.
+type KeyedRows = Vec<(Vec<Value>, Row)>;
+
+/// One merged hash-table partition: join key → matching build rows.
+type PartitionMap = HashMap<Vec<Value>, Vec<Row>>;
+
+/// The merged, immutable result of a partitioned parallel hash-join build: one hash
+/// map per partition (partitioned by join-key hash), probed concurrently by every
+/// worker of the probe pipeline. NULL-key rows never match an equi-join but are part
+/// of the breaker's materialization, so they are retained for state extraction.
+#[derive(Clone)]
+struct JoinTable {
+    hasher: RandomState,
+    parts: Vec<PartitionMap>,
+    unkeyed: Vec<Row>,
+    total_rows: u64,
+}
+
+impl JoinTable {
+    fn partition_of(&self, key: &[Value]) -> usize {
+        (self.hasher.hash_one(key) as usize) % self.parts.len()
+    }
+
+    fn lookup(&self, key: &[Value]) -> &[Row] {
+        self.parts[self.partition_of(key)]
+            .get(key)
+            .map(Vec::as_slice)
+            .unwrap_or(&[])
+    }
+
+    /// Flatten back into the breaker's materialized rows (bag semantics; the order is
+    /// unspecified, like any registered virtual table).
+    fn into_rows(self) -> Vec<Row> {
+        let mut rows = self.unkeyed;
+        for part in self.parts {
+            for (_, mut bucket) in part {
+                rows.append(&mut bucket);
+            }
+        }
+        rows
+    }
+}
+
+/// A completed parallel build retained (only for observed pipelines) so that
+/// suspension can surrender it as a [`BreakerState`].
+struct CompletedBuild {
+    kind: BreakerKind,
+    rel_set: reopt_planner::RelSet,
+    schema: Schema,
+    table: std::sync::Arc<JoinTable>,
+}
+
+// ---------------------------------------------------------------------------
+// Pipeline sources and operator chain steps
+// ---------------------------------------------------------------------------
+
+/// The driving input of one pipeline, split into morsels.
+enum Source<'p> {
+    /// A sequential scan over a table heap.
+    Table {
+        rows: &'p [Row],
+        predicate: Option<Expr>,
+        stats: std::sync::Arc<ParStats>,
+    },
+    /// An index scan: the row-id list is resolved up front by the coordinator.
+    TableIds {
+        table: &'p Table,
+        ids: Vec<usize>,
+        residual: Option<Expr>,
+        stats: std::sync::Arc<ParStats>,
+    },
+    /// A materialized upstream breaker output (aggregate/sort emission).
+    Rows(Vec<Row>),
+}
+
+impl Source<'_> {
+    fn len(&self) -> usize {
+        match self {
+            Source::Table { rows, .. } => rows.len(),
+            Source::TableIds { ids, .. } => ids.len(),
+            Source::Rows(rows) => rows.len(),
+        }
+    }
+
+    /// Materialize one batch-sized chunk of the source, applying the scan predicate.
+    fn scan(&self, range: std::ops::Range<usize>) -> Result<RowBatch, ExecError> {
+        let start = Instant::now();
+        let out = match self {
+            Source::Table {
+                rows, predicate, ..
+            } => {
+                let chunk = &rows[range];
+                match predicate {
+                    Some(predicate) => {
+                        let mut out = Vec::new();
+                        for row in chunk {
+                            if predicate.eval_predicate(row)? {
+                                out.push(row.clone());
+                            }
+                        }
+                        out
+                    }
+                    None => chunk.to_vec(),
+                }
+            }
+            Source::TableIds {
+                table,
+                ids,
+                residual,
+                ..
+            } => {
+                let mut out = Vec::new();
+                for &row_id in &ids[range] {
+                    let Some(row) = table.row(row_id) else {
+                        continue;
+                    };
+                    if let Some(p) = residual {
+                        if !p.eval_predicate(row)? {
+                            continue;
+                        }
+                    }
+                    out.push(row.clone());
+                }
+                out
+            }
+            Source::Rows(rows) => rows[range].to_vec(),
+        };
+        match self {
+            Source::Table { stats, .. } | Source::TableIds { stats, .. } => {
+                stats.record(out.len(), start.elapsed());
+            }
+            Source::Rows(_) => {}
+        }
+        Ok(out)
+    }
+
+    fn mark_exhausted(&self) {
+        match self {
+            Source::Table { stats, .. } | Source::TableIds { stats, .. } => {
+                stats.exhausted.store(true, Ordering::SeqCst);
+            }
+            Source::Rows(_) => {}
+        }
+    }
+}
+
+/// Progress metadata of a join step (mirrors the single-threaded `ProgressMeter`).
+struct ProgressInfo {
+    rel_set: reopt_planner::RelSet,
+    estimated_rows: f64,
+    /// Index-NL joins report a final exact cardinality once their pipeline drains.
+    reports_exhaustion: bool,
+}
+
+/// One streaming operator of a pipeline chain.
+enum StepKind<'p> {
+    Filter(Expr),
+    Project(Vec<Expr>),
+    HashProbe {
+        table: std::sync::Arc<JoinTable>,
+        keys: Vec<usize>,
+        residual: Option<Expr>,
+    },
+    IndexProbe {
+        table: &'p Table,
+        index: Option<&'p Index>,
+        transient: Option<std::sync::Arc<HashMap<Value, Vec<usize>>>>,
+        outer_key: usize,
+        inner_predicate: Option<Expr>,
+        residual: Option<Expr>,
+    },
+}
+
+struct Step<'p> {
+    kind: StepKind<'p>,
+    stats: std::sync::Arc<ParStats>,
+    progress: Option<ProgressInfo>,
+}
+
+impl Step<'_> {
+    /// Apply the step to one batch, recording stats in output-batch units (a fan-out
+    /// join may produce several batches' worth of rows from one input chunk) and, for
+    /// join steps with an observer installed, enqueueing periodic progress events.
+    fn apply(
+        &self,
+        batch: RowBatch,
+        shared: &Shared,
+        batch_size: usize,
+    ) -> Result<RowBatch, ExecError> {
+        let start = Instant::now();
+        let out = match &self.kind {
+            StepKind::Filter(predicate) => {
+                let mut batch = batch;
+                predicate.filter_batch(&mut batch)?;
+                batch
+            }
+            StepKind::Project(exprs) => {
+                let mut out = Vec::with_capacity(batch.len());
+                for row in &batch {
+                    let mut values = Vec::with_capacity(exprs.len());
+                    for expr in exprs {
+                        values.push(expr.eval(row)?);
+                    }
+                    out.push(Row::from_values(values));
+                }
+                out
+            }
+            StepKind::HashProbe {
+                table,
+                keys,
+                residual,
+            } => {
+                let mut out = Vec::new();
+                for row in &batch {
+                    // An immediate quiesce request (suspension or a peer worker's
+                    // error) stops fan-out work promptly: the partial output is
+                    // still accounted, the worker drains at the next boundary.
+                    if shared.drop_inflight() {
+                        break;
+                    }
+                    let Some(key) = extract_key(row, keys) else {
+                        continue;
+                    };
+                    for build_row in table.lookup(&key) {
+                        let joined = row.join(build_row);
+                        if let Some(p) = residual {
+                            if !p.eval_predicate(&joined)? {
+                                continue;
+                            }
+                        }
+                        out.push(joined);
+                    }
+                }
+                out
+            }
+            StepKind::IndexProbe {
+                table,
+                index,
+                transient,
+                outer_key,
+                inner_predicate,
+                residual,
+            } => {
+                let mut out = Vec::new();
+                for outer_row in &batch {
+                    if shared.drop_inflight() {
+                        break;
+                    }
+                    let key = outer_row.value(*outer_key);
+                    let matches: &[usize] = if key.is_null() {
+                        &[]
+                    } else {
+                        match (index, transient) {
+                            (Some(index), _) => index.lookup(key),
+                            (None, Some(map)) => map.get(key).map(Vec::as_slice).unwrap_or(&[]),
+                            (None, None) => &[],
+                        }
+                    };
+                    for &row_id in matches {
+                        let Some(inner_row) = table.row(row_id) else {
+                            continue;
+                        };
+                        if let Some(p) = inner_predicate {
+                            if !p.eval_predicate(inner_row)? {
+                                continue;
+                            }
+                        }
+                        let joined = outer_row.join(inner_row);
+                        if let Some(p) = residual {
+                            if !p.eval_predicate(&joined)? {
+                                continue;
+                            }
+                        }
+                        out.push(joined);
+                    }
+                }
+                out
+            }
+        };
+        let elapsed = start.elapsed();
+        self.stats
+            .nanos
+            .fetch_add(elapsed.as_nanos() as u64, Ordering::SeqCst);
+        // Account in output-batch units so `batches` and the progress cadence match
+        // the single-threaded engine, which paces join output at the batch size.
+        let mut remaining = out.len();
+        while remaining > 0 {
+            let len = remaining.min(batch_size);
+            remaining -= len;
+            self.stats.rows.fetch_add(len as u64, Ordering::SeqCst);
+            let batches = self.stats.batches.fetch_add(1, Ordering::SeqCst) + 1;
+            if let Some(progress) = &self.progress {
+                if shared.observer_active
+                    && shared.progress_every > 0
+                    && batches % shared.progress_every == 0
+                {
+                    // Snapshot the produced count under the queue lock: later events
+                    // in the queue always carry counts >= earlier ones.
+                    let mut queue = shared.events.lock().expect("event queue");
+                    let produced = self.stats.rows.load(Ordering::SeqCst);
+                    queue.push_back(ExecEvent::Progress(ProgressEvent {
+                        source: ProgressSource::OutputBatches,
+                        rel_set: progress.rel_set,
+                        estimated_rows: progress.estimated_rows,
+                        produced_rows: produced,
+                        batches,
+                        exhausted: false,
+                    }));
+                }
+            }
+        }
+        Ok(out)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Pipeline sinks
+// ---------------------------------------------------------------------------
+
+/// Per-worker partial state of a hash-join build sink: rows partitioned by key hash.
+struct BuildLocal {
+    parts: Vec<KeyedRows>,
+    unkeyed: Vec<Row>,
+}
+
+/// Per-worker partial aggregation state (group key -> accumulators, first-seen order).
+struct AggLocal {
+    groups: HashMap<Vec<Value>, usize>,
+    states: Vec<(Vec<Value>, Vec<Accumulator>)>,
+}
+
+/// The aggregate computation of one pipeline sink (shared by workers by reference).
+struct AggSpec {
+    group_exprs: Vec<Expr>,
+    agg_funcs: Vec<AggregateFunc>,
+    agg_args: Vec<Option<Expr>>,
+}
+
+impl AggSpec {
+    fn consume(&self, local: &mut AggLocal, batch: &[Row], shared: &Shared) -> Result<(), ExecError> {
+        for row in batch {
+            let mut key = Vec::with_capacity(self.group_exprs.len());
+            for expr in &self.group_exprs {
+                key.push(expr.eval(row)?);
+            }
+            let idx = match local.groups.get(&key) {
+                Some(&idx) => idx,
+                None => {
+                    let idx = local.states.len();
+                    local.groups.insert(key.clone(), idx);
+                    local.states.push((
+                        key,
+                        self.agg_funcs.iter().map(|&f| Accumulator::new(f)).collect(),
+                    ));
+                    shared.acquire(1);
+                    idx
+                }
+            };
+            for (accumulator, arg) in local.states[idx].1.iter_mut().zip(&self.agg_args) {
+                accumulator.update(arg.as_ref(), row)?;
+            }
+        }
+        Ok(())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The engine
+// ---------------------------------------------------------------------------
+
+/// The per-run coordinator: owns the (non-`Send`) observer handle and drives every
+/// pipeline of the plan.
+struct Engine<'p> {
+    storage: &'p Storage,
+    batch_size: usize,
+    threads: usize,
+    observer: Option<ObserverHandle<'p>>,
+    shared: Shared,
+    stop: std::cell::Cell<Option<StopMode>>,
+    completed_builds: Vec<CompletedBuild>,
+}
+
+impl<'p> Engine<'p> {
+    fn stopped(&self) -> bool {
+        self.stop.get().is_some()
+    }
+
+    /// Drain worker-enqueued events into the observer, in queue order. After a
+    /// suspension decision the rest of the queue is discarded (matching the
+    /// single-threaded contract: a suspended pipeline delivers no further events).
+    fn pump_events(&self) {
+        if !self.shared.observer_active {
+            return;
+        }
+        loop {
+            let event = {
+                let mut queue = self.shared.events.lock().expect("event queue");
+                if self.stopped() {
+                    queue.clear();
+                    return;
+                }
+                queue.pop_front()
+            };
+            let Some(event) = event else {
+                return;
+            };
+            self.dispatch(&event);
+        }
+    }
+
+    /// Deliver one coordinator-generated event, after flushing queued worker events so
+    /// the funnel order is preserved.
+    fn deliver_event(&self, event: ExecEvent) {
+        if !self.shared.observer_active {
+            return;
+        }
+        self.pump_events();
+        if self.stopped() {
+            return;
+        }
+        self.dispatch(&event);
+    }
+
+    fn dispatch(&self, event: &ExecEvent) {
+        use crate::exec::ObserverDecision;
+        let Some(observer) = &self.observer else {
+            return;
+        };
+        match observer.borrow_mut().on_event(event) {
+            ObserverDecision::Continue => {}
+            ObserverDecision::Suspend => {
+                self.stop.set(Some(StopMode::Immediate));
+                self.shared.quiesce.store(true, Ordering::SeqCst);
+            }
+            ObserverDecision::SuspendAtRootSeam => {
+                self.stop.set(Some(StopMode::Seam));
+                self.shared.seam.store(true, Ordering::SeqCst);
+                self.shared.quiesce.store(true, Ordering::SeqCst);
+            }
+        }
+    }
+
+    fn take_error(&self) -> Option<ExecError> {
+        self.shared.error.lock().expect("error lock").take()
+    }
+
+    // -- plan evaluation ----------------------------------------------------
+
+    /// Evaluate a plan node to its materialized output rows.
+    fn eval_rows(&mut self, plan: &'p PhysicalPlan, stats: &StatsTree) -> Result<Vec<Row>, ExecError> {
+        if self.stopped() {
+            return Ok(Vec::new());
+        }
+        match &plan.kind {
+            PlanKind::Aggregate {
+                group_by,
+                aggregates,
+            } => {
+                let child = &plan.children[0];
+                let child_stats = &stats.children[0];
+                let input_schema = &child.schema;
+                let spec = AggSpec {
+                    group_exprs: group_by
+                        .iter()
+                        .map(|e| bind_exec(e, input_schema))
+                        .collect::<Result<Vec<_>, _>>()?,
+                    agg_funcs: aggregates.iter().map(|a| a.func).collect(),
+                    agg_args: aggregates
+                        .iter()
+                        .map(|a| bind_exec_opt(a.arg.as_ref(), input_schema))
+                        .collect::<Result<Vec<_>, _>>()?,
+                };
+                let locals = self.run_pipeline_agg(child, child_stats, &spec)?;
+                if self.stopped() {
+                    return Ok(Vec::new());
+                }
+                let merge_start = Instant::now();
+                let input_rows = child_stats.stats.rows.load(Ordering::SeqCst);
+                self.deliver_event(ExecEvent::BreakerComplete(BreakerEvent {
+                    kind: BreakerKind::AggregateInput,
+                    rel_set: child.rel_set,
+                    estimated_rows: child.estimated_rows,
+                    actual_rows: input_rows,
+                    reusable: false,
+                }));
+                if self.stopped() {
+                    return Ok(Vec::new());
+                }
+                let rows = merge_aggregates(&spec, group_by.is_empty(), locals, &self.shared);
+                stats.stats.record(rows.len(), merge_start.elapsed());
+                stats.stats.exhausted.store(true, Ordering::SeqCst);
+                Ok(rows)
+            }
+            PlanKind::Sort { keys } => {
+                let child = &plan.children[0];
+                let child_stats = &stats.children[0];
+                let input_schema = &child.schema;
+                let bound_keys: Vec<(Expr, bool)> = keys
+                    .iter()
+                    .map(|(e, asc)| Ok((bind_exec(e, input_schema)?, *asc)))
+                    .collect::<Result<Vec<_>, ExecError>>()?;
+                let rows = self.run_pipeline_collect(child, child_stats)?;
+                if self.stopped() {
+                    return Ok(Vec::new());
+                }
+                let sort_start = Instant::now();
+                self.shared.acquire(rows.len() as u64);
+                self.deliver_event(ExecEvent::BreakerComplete(BreakerEvent {
+                    kind: BreakerKind::SortInput,
+                    rel_set: child.rel_set,
+                    estimated_rows: child.estimated_rows,
+                    actual_rows: child_stats.stats.rows.load(Ordering::SeqCst),
+                    reusable: false,
+                }));
+                if self.stopped() {
+                    return Ok(Vec::new());
+                }
+                let rows = sort_rows(rows, &bound_keys)?;
+                stats.stats.record(rows.len(), sort_start.elapsed());
+                stats.stats.exhausted.store(true, Ordering::SeqCst);
+                Ok(rows)
+            }
+            _ => self.run_pipeline_collect(plan, stats),
+        }
+    }
+
+    /// Build a hash-join table from a build-side subtree: a pipeline ending in a
+    /// partitioned build sink, plus the breaker completion event and (for observed
+    /// runs) the retained state.
+    fn eval_build(
+        &mut self,
+        plan: &'p PhysicalPlan,
+        stats: &StatsTree,
+        keys: Vec<usize>,
+        join_stats: &std::sync::Arc<ParStats>,
+    ) -> Result<std::sync::Arc<JoinTable>, ExecError> {
+        let compiled = self.compile(plan, stats)?;
+        let factory = BuildSinkFactory {
+            hasher: RandomState::new(),
+            keys,
+            nparts: compiled.workers.max(1),
+            shared: &self.shared,
+        };
+        let worker_locals = self.execute_pipeline(&compiled, &factory)?;
+        let hasher = factory.hasher;
+        if self.stopped() {
+            return Ok(std::sync::Arc::new(JoinTable {
+                hasher,
+                parts: vec![HashMap::new()],
+                unkeyed: Vec::new(),
+                total_rows: 0,
+            }));
+        }
+
+        // The merge step: one hash map per partition, assembled in parallel when the
+        // build is large enough to be worth it.
+        let merge_start = Instant::now();
+        let table = merge_build(hasher, worker_locals, self.threads);
+        join_stats
+            .nanos
+            .fetch_add(merge_start.elapsed().as_nanos() as u64, Ordering::SeqCst);
+
+        let table = std::sync::Arc::new(table);
+        if self.shared.observer_active {
+            self.completed_builds.push(CompletedBuild {
+                kind: BreakerKind::HashBuild,
+                rel_set: plan.rel_set,
+                schema: plan.schema.clone(),
+                table: std::sync::Arc::clone(&table),
+            });
+        }
+        self.deliver_event(ExecEvent::BreakerComplete(BreakerEvent {
+            kind: BreakerKind::HashBuild,
+            rel_set: plan.rel_set,
+            estimated_rows: plan.estimated_rows,
+            actual_rows: table.total_rows,
+            reusable: true,
+        }));
+        Ok(table)
+    }
+
+    /// Compile the streaming segment rooted at `plan` down to its driving source,
+    /// executing hash-join builds (and materializing aggregate/sort outputs) along the
+    /// way. Returns the compiled pipeline and the worker count to run it with.
+    fn compile(
+        &mut self,
+        plan: &'p PhysicalPlan,
+        stats: &StatsTree,
+    ) -> Result<Compiled<'p>, ExecError> {
+        let mut steps: Vec<Step<'p>> = Vec::new();
+        let mut exhaust_marks: Vec<std::sync::Arc<ParStats>> = Vec::new();
+        let mut node = plan;
+        let mut node_stats = stats;
+        let source = loop {
+            if self.stopped() {
+                break Source::Rows(Vec::new());
+            }
+            match &node.kind {
+                PlanKind::Filter { predicate } => {
+                    steps.push(Step {
+                        kind: StepKind::Filter(bind_exec(predicate, &node.children[0].schema)?),
+                        stats: std::sync::Arc::clone(&node_stats.stats),
+                        progress: None,
+                    });
+                    exhaust_marks.push(std::sync::Arc::clone(&node_stats.stats));
+                    node = &node.children[0];
+                    node_stats = &node_stats.children[0];
+                }
+                PlanKind::Project { exprs } => {
+                    let input_schema = &node.children[0].schema;
+                    steps.push(Step {
+                        kind: StepKind::Project(
+                            exprs
+                                .iter()
+                                .map(|e| bind_exec(&e.expr, input_schema))
+                                .collect::<Result<Vec<_>, _>>()?,
+                        ),
+                        stats: std::sync::Arc::clone(&node_stats.stats),
+                        progress: None,
+                    });
+                    exhaust_marks.push(std::sync::Arc::clone(&node_stats.stats));
+                    node = &node.children[0];
+                    node_stats = &node_stats.children[0];
+                }
+                PlanKind::HashJoin { keys, residual } => {
+                    let probe_schema = &node.children[0].schema;
+                    let build_schema = &node.children[1].schema;
+                    let probe_keys = keys
+                        .iter()
+                        .map(|(probe, _)| key_index_exec(probe_schema, probe))
+                        .collect::<Result<Vec<_>, _>>()?;
+                    let build_keys = keys
+                        .iter()
+                        .map(|(_, build)| key_index_exec(build_schema, build))
+                        .collect::<Result<Vec<_>, _>>()?;
+                    let table = self.eval_build(
+                        &node.children[1],
+                        &node_stats.children[1],
+                        build_keys,
+                        &node_stats.stats,
+                    )?;
+                    steps.push(Step {
+                        kind: StepKind::HashProbe {
+                            table,
+                            keys: probe_keys,
+                            residual: bind_exec_opt(residual.as_ref(), &node.schema)?,
+                        },
+                        stats: std::sync::Arc::clone(&node_stats.stats),
+                        progress: Some(ProgressInfo {
+                            rel_set: node.rel_set,
+                            estimated_rows: node.estimated_rows,
+                            reports_exhaustion: false,
+                        }),
+                    });
+                    exhaust_marks.push(std::sync::Arc::clone(&node_stats.stats));
+                    node = &node.children[0];
+                    node_stats = &node_stats.children[0];
+                }
+                PlanKind::IndexNestedLoopJoin {
+                    inner_table,
+                    inner_alias,
+                    outer_key,
+                    inner_key,
+                    inner_predicate,
+                    residual,
+                    ..
+                } => {
+                    let outer_schema = &node.children[0].schema;
+                    let table = lookup_table_exec(self.storage, inner_table)?;
+                    let outer_key_idx = key_index_exec(outer_schema, outer_key)?;
+                    let inner_key_idx = table.schema().index_of(None, inner_key)?;
+                    let inner_schema = table.schema().qualified(inner_alias);
+                    let index = table.index_on_column(inner_key_idx, false);
+                    let transient = if index.is_none() {
+                        // No usable index: build a transient lookup table once,
+                        // shared read-only by every worker (bounded by the base
+                        // table, like the single-threaded operator).
+                        let mut map: HashMap<Value, Vec<usize>> = HashMap::new();
+                        for (row_id, row) in table.rows().iter().enumerate() {
+                            let key = row.value(inner_key_idx);
+                            if !key.is_null() {
+                                map.entry(key.clone()).or_default().push(row_id);
+                            }
+                        }
+                        self.shared
+                            .acquire(map.values().map(Vec::len).sum::<usize>() as u64);
+                        Some(std::sync::Arc::new(map))
+                    } else {
+                        None
+                    };
+                    steps.push(Step {
+                        kind: StepKind::IndexProbe {
+                            table,
+                            index,
+                            transient,
+                            outer_key: outer_key_idx,
+                            inner_predicate: bind_exec_opt(inner_predicate.as_ref(), &inner_schema)?,
+                            residual: bind_exec_opt(residual.as_ref(), &node.schema)?,
+                        },
+                        stats: std::sync::Arc::clone(&node_stats.stats),
+                        progress: Some(ProgressInfo {
+                            rel_set: node.rel_set,
+                            estimated_rows: node.estimated_rows,
+                            reports_exhaustion: true,
+                        }),
+                    });
+                    exhaust_marks.push(std::sync::Arc::clone(&node_stats.stats));
+                    node = &node.children[0];
+                    node_stats = &node_stats.children[0];
+                }
+                PlanKind::SeqScan {
+                    table, predicate, ..
+                } => {
+                    let table = lookup_table_exec(self.storage, table)?;
+                    break Source::Table {
+                        rows: table.rows(),
+                        predicate: bind_exec_opt(predicate.as_ref(), &node.schema)?,
+                        stats: std::sync::Arc::clone(&node_stats.stats),
+                    };
+                }
+                PlanKind::IndexScan {
+                    table,
+                    column,
+                    lookup,
+                    residual,
+                    ..
+                } => {
+                    let table = lookup_table_exec(self.storage, table)?;
+                    let column_idx = table.schema().index_of(None, column)?;
+                    let needs_range =
+                        matches!(lookup, reopt_planner::plan::IndexLookup::Range { .. });
+                    let index = table
+                        .index_on_column(column_idx, needs_range)
+                        .ok_or_else(|| {
+                            ExecError::InvalidPlan(format!("no usable index on column '{column}'"))
+                        })?;
+                    let ids = resolve_index_row_ids(index, lookup);
+                    self.shared.acquire(ids.len() as u64);
+                    break Source::TableIds {
+                        table,
+                        ids,
+                        residual: bind_exec_opt(residual.as_ref(), &node.schema)?,
+                        stats: std::sync::Arc::clone(&node_stats.stats),
+                    };
+                }
+                PlanKind::Aggregate { .. } | PlanKind::Sort { .. } => {
+                    // A breaker in the middle of the chain: materialize its output and
+                    // use it as the driving source of this pipeline.
+                    break Source::Rows(self.eval_rows(node, node_stats)?);
+                }
+                PlanKind::Limit { .. }
+                | PlanKind::NestedLoopJoin { .. }
+                | PlanKind::MergeJoin { .. } => {
+                    return Err(ExecError::InvalidPlan(
+                        "operator has no parallel implementation (plan_supported must gate this)"
+                            .into(),
+                    ));
+                }
+            }
+        };
+        // Steps were collected root-down; they apply source-up.
+        steps.reverse();
+        let total = source.len();
+        let morsel_rows = self.batch_size.saturating_mul(MORSEL_BATCHES).max(1);
+        let morsels = total.div_ceil(morsel_rows).max(1);
+        let workers = self.threads.min(morsels).max(1);
+        Ok(Compiled {
+            source,
+            steps,
+            exhaust_marks,
+            morsel_rows,
+            morsels,
+            workers,
+        })
+    }
+
+    /// Run a compiled pipeline into per-worker sink states, returning one local state
+    /// per worker. Inline (single worker) execution uses the same sink code on the
+    /// coordinator thread, with the event pump interleaved after every chain batch.
+    fn execute_pipeline<S: SinkFactory>(
+        &self,
+        compiled: &Compiled<'p>,
+        factory: &S,
+    ) -> Result<Vec<S::Local>, ExecError> {
+        let shared = &self.shared;
+        let cursor = AtomicUsize::new(0);
+        let mut worker_locals: Vec<S::Local> = Vec::new();
+        if compiled.workers <= 1 {
+            let mut local = factory.make();
+            let result = worker_loop(
+                compiled,
+                shared,
+                &cursor,
+                &mut |batch| factory.consume(&mut local, batch),
+                &|| self.pump_events(),
+            );
+            worker_locals.push(local);
+            result?;
+        } else {
+            let done = AtomicUsize::new(0);
+            let locals = Mutex::new(Vec::<S::Local>::new());
+            std::thread::scope(|scope| {
+                for _ in 0..compiled.workers {
+                    let done = &done;
+                    let cursor = &cursor;
+                    let locals = &locals;
+                    scope.spawn(move || {
+                        let mut local = factory.make();
+                        if let Err(error) = worker_loop(
+                            compiled,
+                            shared,
+                            cursor,
+                            &mut |batch| factory.consume(&mut local, batch),
+                            &|| shared.wait_for_event_drain(),
+                        ) {
+                            shared.fail(error);
+                        }
+                        locals.lock().expect("sink locals").push(local);
+                        done.fetch_add(1, Ordering::SeqCst);
+                    });
+                }
+                // The coordinator pumps worker-enqueued events while the pool drains
+                // the morsel queue; scope exit joins the workers.
+                while done.load(Ordering::SeqCst) < compiled.workers {
+                    self.pump_events();
+                    std::thread::sleep(Duration::from_micros(50));
+                }
+            });
+            self.pump_events();
+            worker_locals = locals.into_inner().expect("sink locals");
+        }
+        if let Some(error) = self.take_error() {
+            return Err(error);
+        }
+        if !self.stopped() && !self.shared.quiesce.load(Ordering::SeqCst) {
+            self.finish_pipeline(compiled);
+        }
+        Ok(worker_locals)
+    }
+
+    /// Mark a fully-drained pipeline's operators exhausted and emit the one-shot
+    /// exact-cardinality progress reports of its index-NL joins (outer side drained:
+    /// the produced count is the join's true output cardinality).
+    fn finish_pipeline(&self, compiled: &Compiled<'p>) {
+        compiled.source.mark_exhausted();
+        for mark in &compiled.exhaust_marks {
+            mark.exhausted.store(true, Ordering::SeqCst);
+        }
+        for step in &compiled.steps {
+            if let Some(progress) = &step.progress {
+                if progress.reports_exhaustion {
+                    self.deliver_event(ExecEvent::Progress(ProgressEvent {
+                        source: ProgressSource::OuterExhausted,
+                        rel_set: progress.rel_set,
+                        estimated_rows: progress.estimated_rows,
+                        produced_rows: step.stats.rows.load(Ordering::SeqCst),
+                        batches: step.stats.batches.load(Ordering::SeqCst),
+                        exhausted: true,
+                    }));
+                    if self.stopped() {
+                        return;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Run a pipeline that collects its output rows: workers exchange batches through
+    /// a bounded channel; the coordinator consumes them (so memory stays flat at
+    /// `workers x channel depth` batches) while pumping observer events.
+    fn run_pipeline_collect(
+        &mut self,
+        plan: &'p PhysicalPlan,
+        stats: &StatsTree,
+    ) -> Result<Vec<Row>, ExecError> {
+        let compiled = self.compile(plan, stats)?;
+        if self.stopped() {
+            return Ok(Vec::new());
+        }
+        let shared = &self.shared;
+        let cursor = AtomicUsize::new(0);
+        let mut out_rows: Vec<Row> = Vec::new();
+        if compiled.workers <= 1 {
+            let out = &mut out_rows;
+            let this = &*self;
+            let result = worker_loop(
+                &compiled,
+                shared,
+                &cursor,
+                &mut |batch| {
+                    out.extend(batch);
+                    Ok(())
+                },
+                &|| this.pump_events(),
+            );
+            result?;
+        } else {
+            let (tx, rx) = sync_channel::<RowBatch>(compiled.workers * 2);
+            std::thread::scope(|scope| {
+                for _ in 0..compiled.workers {
+                    let tx = tx.clone();
+                    let cursor = &cursor;
+                    let compiled = &compiled;
+                    scope.spawn(move || {
+                        let result = worker_loop(
+                            compiled,
+                            shared,
+                            cursor,
+                            &mut |batch| {
+                                // The chain re-chunks to the batch size, so each
+                                // exchange message is at most one batch; a closed
+                                // channel means the coordinator is shutting the
+                                // pipeline down.
+                                let _ = tx.send(batch);
+                                Ok(())
+                            },
+                            &|| shared.wait_for_event_drain(),
+                        );
+                        if let Err(error) = result {
+                            shared.fail(error);
+                        }
+                    });
+                }
+                drop(tx);
+                loop {
+                    match rx.recv_timeout(Duration::from_micros(100)) {
+                        Ok(batch) => out_rows.extend(batch),
+                        Err(RecvTimeoutError::Timeout) => {}
+                        Err(RecvTimeoutError::Disconnected) => break,
+                    }
+                    self.pump_events();
+                }
+            });
+            self.pump_events();
+        }
+        if let Some(error) = self.take_error() {
+            return Err(error);
+        }
+        if !self.stopped() && !self.shared.quiesce.load(Ordering::SeqCst) {
+            self.finish_pipeline(&compiled);
+        }
+        Ok(out_rows)
+    }
+
+    /// Run a pipeline into per-worker partial-aggregation states.
+    fn run_pipeline_agg(
+        &mut self,
+        plan: &'p PhysicalPlan,
+        stats: &StatsTree,
+        spec: &AggSpec,
+    ) -> Result<Vec<AggLocal>, ExecError> {
+        let compiled = self.compile(plan, stats)?;
+        if self.stopped() {
+            return Ok(Vec::new());
+        }
+        let factory = AggSinkFactory {
+            spec,
+            shared: &self.shared,
+        };
+        self.execute_pipeline(&compiled, &factory)
+    }
+
+    fn breaker_states(&mut self) -> Vec<BreakerState> {
+        self.completed_builds
+            .drain(..)
+            .map(|build| {
+                let table = std::sync::Arc::try_unwrap(build.table)
+                    .unwrap_or_else(|shared| (*shared).clone());
+                BreakerState {
+                    kind: build.kind,
+                    rel_set: build.rel_set,
+                    schema: build.schema,
+                    rows: table.into_rows(),
+                }
+            })
+            .collect()
+    }
+}
+
+/// A compiled pipeline: driving source, operator chain, and parallelism parameters.
+struct Compiled<'p> {
+    source: Source<'p>,
+    steps: Vec<Step<'p>>,
+    /// Stats of every chain operator, marked exhausted when the pipeline drains.
+    exhaust_marks: Vec<std::sync::Arc<ParStats>>,
+    morsel_rows: usize,
+    morsels: usize,
+    workers: usize,
+}
+
+/// The morsel loop of one worker: steal morsels off the shared cursor, push each
+/// batch-sized chunk through the chain, feed the sink, quiesce promptly when asked.
+fn worker_loop(
+    compiled: &Compiled<'_>,
+    shared: &Shared,
+    cursor: &AtomicUsize,
+    sink: &mut dyn FnMut(RowBatch) -> Result<(), ExecError>,
+    pump: &dyn Fn(),
+) -> Result<(), ExecError> {
+    let total = compiled.source.len();
+    loop {
+        if shared.quiesce.load(Ordering::SeqCst) {
+            return Ok(());
+        }
+        let morsel = cursor.fetch_add(1, Ordering::SeqCst);
+        if morsel >= compiled.morsels {
+            return Ok(());
+        }
+        let start = morsel.saturating_mul(compiled.morsel_rows).min(total);
+        let end = start.saturating_add(compiled.morsel_rows).min(total);
+        let mut pos = start;
+        let chunk = (compiled.morsel_rows / MORSEL_BATCHES.max(1)).max(1);
+        while pos < end {
+            if shared.quiesce.load(Ordering::SeqCst) {
+                return Ok(());
+            }
+            let chunk_end = pos.saturating_add(chunk).min(end);
+            let rows = compiled.source.scan(pos..chunk_end)?;
+            pos = chunk_end;
+            if rows.is_empty() {
+                continue;
+            }
+            push_chain(&compiled.steps, rows, shared, chunk, sink, pump)?;
+        }
+    }
+}
+
+/// Push one batch through the remaining chain steps, re-chunking fan-out output to
+/// the batch size between steps so every downstream operator (and the sink exchange)
+/// sees batch-sized units. `pump` runs after every step (the inline coordinator
+/// drains observer events there, so a suspension decision stops the descent after at
+/// most one step's output instead of a whole morsel's fan-out; threaded workers pass
+/// a no-op — their coordinator pumps concurrently).
+fn push_chain(
+    steps: &[Step<'_>],
+    batch: RowBatch,
+    shared: &Shared,
+    batch_size: usize,
+    sink: &mut dyn FnMut(RowBatch) -> Result<(), ExecError>,
+    pump: &dyn Fn(),
+) -> Result<(), ExecError> {
+    let Some((step, rest)) = steps.split_first() else {
+        return sink(batch);
+    };
+    let out = step.apply(batch, shared, batch_size)?;
+    pump();
+    if out.is_empty() || shared.drop_inflight() {
+        return Ok(());
+    }
+    if out.len() <= batch_size {
+        return push_chain(rest, out, shared, batch_size, sink, pump);
+    }
+    let mut iter = out.into_iter();
+    loop {
+        let chunk: RowBatch = iter.by_ref().take(batch_size).collect();
+        if chunk.is_empty() {
+            return Ok(());
+        }
+        push_chain(rest, chunk, shared, batch_size, sink, pump)?;
+        if shared.drop_inflight() {
+            return Ok(());
+        }
+    }
+}
+
+/// A pipeline sink with per-worker local state: `make` is called once per worker,
+/// `consume` once per produced chain batch, and `execute_pipeline` returns every
+/// worker's local state for the merge step.
+trait SinkFactory: Sync {
+    type Local: Send;
+    fn make(&self) -> Self::Local;
+    fn consume(&self, local: &mut Self::Local, batch: RowBatch) -> Result<(), ExecError>;
+}
+
+/// Partitioned hash-join build sink: rows land in per-worker, per-partition buffers,
+/// keyed and pre-hashed with the table's shared hasher.
+struct BuildSinkFactory<'a> {
+    hasher: RandomState,
+    keys: Vec<usize>,
+    nparts: usize,
+    shared: &'a Shared,
+}
+
+impl SinkFactory for BuildSinkFactory<'_> {
+    type Local = BuildLocal;
+
+    fn make(&self) -> BuildLocal {
+        BuildLocal {
+            parts: (0..self.nparts).map(|_| Vec::new()).collect(),
+            unkeyed: Vec::new(),
+        }
+    }
+
+    fn consume(&self, local: &mut BuildLocal, batch: RowBatch) -> Result<(), ExecError> {
+        self.shared.acquire(batch.len() as u64);
+        for row in batch {
+            match extract_key(&row, &self.keys) {
+                Some(key) => {
+                    let part = (self.hasher.hash_one(&key[..]) as usize) % local.parts.len();
+                    local.parts[part].push((key, row));
+                }
+                None => local.unkeyed.push(row),
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Partial-aggregation sink: one accumulator set per group per worker.
+struct AggSinkFactory<'a> {
+    spec: &'a AggSpec,
+    shared: &'a Shared,
+}
+
+impl SinkFactory for AggSinkFactory<'_> {
+    type Local = AggLocal;
+
+    fn make(&self) -> AggLocal {
+        let mut local = AggLocal {
+            groups: HashMap::new(),
+            states: Vec::new(),
+        };
+        if self.spec.group_exprs.is_empty() {
+            local.states.push((
+                Vec::new(),
+                self.spec
+                    .agg_funcs
+                    .iter()
+                    .map(|&f| Accumulator::new(f))
+                    .collect(),
+            ));
+        }
+        local
+    }
+
+    fn consume(&self, local: &mut AggLocal, batch: RowBatch) -> Result<(), ExecError> {
+        if self.spec.group_exprs.is_empty() {
+            for row in &batch {
+                for (accumulator, arg) in local.states[0].1.iter_mut().zip(&self.spec.agg_args) {
+                    accumulator.update(arg.as_ref(), row)?;
+                }
+            }
+            Ok(())
+        } else {
+            self.spec.consume(local, &batch, self.shared)
+        }
+    }
+}
+
+/// Merge the per-worker partitioned build buffers into one [`JoinTable`], in parallel
+/// across partitions when the build is large.
+fn merge_build(hasher: RandomState, locals: Vec<BuildLocal>, threads: usize) -> JoinTable {
+    let nparts = locals.iter().map(|l| l.parts.len()).max().unwrap_or(1);
+    let keyed_total: usize = locals
+        .iter()
+        .map(|l| l.parts.iter().map(Vec::len).sum::<usize>())
+        .sum();
+    // Transpose into per-partition buckets of per-worker buffers, moving the NULL-key
+    // rows out along the way.
+    let mut unkeyed: Vec<Row> = Vec::new();
+    let mut partition_inputs: Vec<Vec<KeyedRows>> = (0..nparts).map(|_| Vec::new()).collect();
+    for mut local in locals {
+        unkeyed.append(&mut local.unkeyed);
+        for (part, bucket) in local.parts.into_iter().enumerate() {
+            partition_inputs[part].push(bucket);
+        }
+    }
+    let merge_one = |buckets: Vec<KeyedRows>| {
+        let mut map: PartitionMap = HashMap::new();
+        for bucket in buckets {
+            for (key, row) in bucket {
+                map.entry(key).or_default().push(row);
+            }
+        }
+        map
+    };
+    let parts: Vec<PartitionMap> = if threads > 1 && keyed_total > 65_536 {
+        let slots: Vec<Mutex<Option<PartitionMap>>> =
+            (0..nparts).map(|_| Mutex::new(None)).collect();
+        let inputs: Vec<Mutex<Option<Vec<KeyedRows>>>> = partition_inputs
+            .into_iter()
+            .map(|i| Mutex::new(Some(i)))
+            .collect();
+        std::thread::scope(|scope| {
+            for part in 0..nparts {
+                let slots = &slots;
+                let inputs = &inputs;
+                scope.spawn(move || {
+                    let input = inputs[part].lock().expect("merge input").take().unwrap();
+                    let map = merge_one(input);
+                    *slots[part].lock().expect("merge slot") = Some(map);
+                });
+            }
+        });
+        slots
+            .into_iter()
+            .map(|slot| slot.into_inner().expect("merge slot").unwrap_or_default())
+            .collect()
+    } else {
+        partition_inputs.into_iter().map(merge_one).collect()
+    };
+    let total_rows = (keyed_total + unkeyed.len()) as u64;
+    JoinTable {
+        hasher,
+        parts,
+        unkeyed,
+        total_rows,
+    }
+}
+
+/// Merge per-worker partial aggregation states and emit the result rows. Locals
+/// arrive in worker *completion* order, which is nondeterministic — that is safe
+/// precisely because [`plan_supported`] only admits exact, merge-order-insensitive
+/// accumulators (MIN/MAX/COUNT, integer SUM/AVG) to the parallel engine; anything
+/// float-valued falls back to the single-threaded engine rather than depending on an
+/// ordering this merge cannot provide.
+fn merge_aggregates(
+    spec: &AggSpec,
+    single_group: bool,
+    locals: Vec<AggLocal>,
+    shared: &Shared,
+) -> Vec<Row> {
+    if single_group {
+        let mut merged: Vec<Accumulator> =
+            spec.agg_funcs.iter().map(|&f| Accumulator::new(f)).collect();
+        for local in locals {
+            if let Some((_, state)) = local.states.into_iter().next() {
+                for (accumulator, partial) in merged.iter_mut().zip(state) {
+                    accumulator.merge(partial);
+                }
+            }
+        }
+        shared.acquire(1);
+        return vec![Row::from_values(
+            merged.into_iter().map(Accumulator::finish).collect(),
+        )];
+    }
+    let mut groups: HashMap<Vec<Value>, usize> = HashMap::new();
+    let mut states: Vec<(Vec<Value>, Vec<Accumulator>)> = Vec::new();
+    for local in locals {
+        for (key, partial) in local.states {
+            match groups.get(&key) {
+                Some(&idx) => {
+                    for (accumulator, p) in states[idx].1.iter_mut().zip(partial) {
+                        accumulator.merge(p);
+                    }
+                }
+                None => {
+                    groups.insert(key.clone(), states.len());
+                    states.push((key, partial));
+                }
+            }
+        }
+    }
+    states
+        .into_iter()
+        .map(|(key, accumulators)| {
+            let mut values = key;
+            values.extend(accumulators.into_iter().map(Accumulator::finish));
+            Row::from_values(values)
+        })
+        .collect()
+}
+
+/// Sort materialized rows by the bound sort keys (the parallel analogue of `SortOp`).
+fn sort_rows(rows: Vec<Row>, keys: &[(Expr, bool)]) -> Result<Vec<Row>, ExecError> {
+    let mut keyed: Vec<(Vec<Value>, Row)> = Vec::with_capacity(rows.len());
+    for row in rows {
+        let mut key = Vec::with_capacity(keys.len());
+        for (expr, _) in keys {
+            key.push(expr.eval(&row)?);
+        }
+        keyed.push((key, row));
+    }
+    let directions: Vec<bool> = keys.iter().map(|(_, asc)| *asc).collect();
+    keyed.sort_by(|a, b| {
+        for (idx, ascending) in directions.iter().enumerate() {
+            let ordering = a.0[idx].cmp(&b.0[idx]);
+            let ordering = if *ascending { ordering } else { ordering.reverse() };
+            if ordering != std::cmp::Ordering::Equal {
+                return ordering;
+            }
+        }
+        std::cmp::Ordering::Equal
+    });
+    Ok(keyed.into_iter().map(|(_, row)| row).collect())
+}
+
+// ---------------------------------------------------------------------------
+// The public pipeline facade
+// ---------------------------------------------------------------------------
+
+/// How far a parallel pipeline has progressed.
+enum RunState {
+    NotStarted,
+    /// The run completed (or seam-suspended); rows are served in batch-size chunks.
+    Serving {
+        rows: Vec<Row>,
+        pos: usize,
+        /// Seam suspension: once `rows` is exhausted, report `Suspended` instead of
+        /// end-of-stream.
+        seam: bool,
+    },
+    Suspended,
+    Poisoned,
+}
+
+/// A morsel-driven parallel execution of one plan, behind the same contract as the
+/// single-threaded [`Pipeline`](crate::exec::Pipeline): the whole plan runs (inside
+/// the first `next_batch` call) on a worker pool, pipelines exchange batches through
+/// bounded channels, and the output is served batch by batch.
+///
+/// One consequence of run-to-completion-in-first-pull: the **root result set is
+/// buffered inside the pipeline** before the first batch is served (the bounded
+/// exchange limits in-flight queue depth, not the collected output). For
+/// [`Executor::execute`](crate::exec::Executor) and the re-optimization driver —
+/// which collect all rows anyway — total memory is unchanged from single-threaded
+/// execution, merely held one layer lower; but a consumer streaming `next_batch` to
+/// avoid materializing a huge result should run such plans at `threads == 1`. This
+/// buffer is intentionally *not* charged to `peak_buffered_rows`, which keeps its
+/// cross-engine meaning of breaker-buffered rows (the single-threaded engine never
+/// counts the caller's output buffer either). A streaming root exchange that keeps
+/// the pool alive across pulls is the logged follow-up.
+pub(crate) struct ParallelPipeline<'p> {
+    plan: &'p PhysicalPlan,
+    storage: &'p Storage,
+    batch_size: usize,
+    threads: usize,
+    progress_every: u64,
+    observer: Option<ObserverHandle<'p>>,
+    stats: StatsTree,
+    state: RunState,
+    breaker_states: Vec<BreakerState>,
+    peak_buffered_rows: u64,
+    wall: Duration,
+}
+
+impl<'p> ParallelPipeline<'p> {
+    pub(crate) fn new(
+        plan: &'p PhysicalPlan,
+        storage: &'p Storage,
+        batch_size: usize,
+        threads: usize,
+        progress_every: u64,
+        observer: Option<ObserverHandle<'p>>,
+    ) -> Self {
+        let stats = build_stats_tree(plan);
+        Self {
+            plan,
+            storage,
+            batch_size,
+            threads,
+            progress_every,
+            observer,
+            stats,
+            state: RunState::NotStarted,
+            breaker_states: Vec::new(),
+            peak_buffered_rows: 0,
+            wall: Duration::ZERO,
+        }
+    }
+
+    /// Execute the whole plan on the worker pool. Called on the first pull.
+    fn run(&mut self) -> Result<(), ExecError> {
+        let start = Instant::now();
+        let mut engine = Engine {
+            storage: self.storage,
+            batch_size: self.batch_size,
+            threads: self.threads,
+            observer: self.observer.clone(),
+            shared: Shared {
+                quiesce: AtomicBool::new(false),
+                seam: AtomicBool::new(false),
+                observer_active: self.observer.is_some(),
+                progress_every: self.progress_every,
+                events: Mutex::new(VecDeque::new()),
+                error: Mutex::new(None),
+                buffered_current: AtomicU64::new(0),
+                buffered_peak: AtomicU64::new(0),
+            },
+            stop: std::cell::Cell::new(None),
+            completed_builds: Vec::new(),
+        };
+        let result = engine.eval_rows(self.plan, &self.stats);
+        engine.pump_events();
+        self.peak_buffered_rows = engine.shared.buffered_peak.load(Ordering::SeqCst);
+        self.wall = start.elapsed();
+        match result {
+            Err(error) => {
+                self.state = RunState::Poisoned;
+                Err(error)
+            }
+            Ok(rows) => {
+                self.breaker_states = engine.breaker_states();
+                match engine.stop.get() {
+                    Some(StopMode::Immediate) => {
+                        // In-flight output is discarded, exactly like a mid-pull
+                        // suspension of the single-threaded root.
+                        self.state = RunState::Suspended;
+                        Err(ExecError::Suspended)
+                    }
+                    Some(StopMode::Seam) => {
+                        // Deliver the first produced root batch, then suspend: the
+                        // clean hand-off for schedulers that must not lose the batch
+                        // that was in flight when the decision was made.
+                        let mut rows = rows;
+                        rows.truncate(self.batch_size);
+                        self.state = RunState::Serving {
+                            rows,
+                            pos: 0,
+                            seam: true,
+                        };
+                        Ok(())
+                    }
+                    None => {
+                        self.stats.stats.exhausted.store(true, Ordering::SeqCst);
+                        self.state = RunState::Serving {
+                            rows,
+                            pos: 0,
+                            seam: false,
+                        };
+                        Ok(())
+                    }
+                }
+            }
+        }
+    }
+
+    pub(crate) fn next_batch(&mut self) -> Result<Option<RowBatch>, ExecError> {
+        match &mut self.state {
+            RunState::NotStarted => {
+                self.run()?;
+                self.next_batch()
+            }
+            RunState::Suspended => Err(ExecError::Suspended),
+            RunState::Poisoned => Err(ExecError::InvalidPlan(
+                "pipeline poisoned by an earlier execution error".into(),
+            )),
+            RunState::Serving { rows, pos, seam } => {
+                if *pos >= rows.len() {
+                    if *seam {
+                        self.state = RunState::Suspended;
+                        return Err(ExecError::Suspended);
+                    }
+                    return Ok(None);
+                }
+                let end = (*pos + self.batch_size).min(rows.len());
+                let batch = rows[*pos..end].to_vec();
+                *pos = end;
+                Ok(Some(batch))
+            }
+        }
+    }
+
+    pub(crate) fn is_suspended(&self) -> bool {
+        matches!(self.state, RunState::Suspended)
+    }
+
+    pub(crate) fn take_breaker_states(&mut self) -> Vec<BreakerState> {
+        std::mem::take(&mut self.breaker_states)
+    }
+
+    pub(crate) fn metrics(&self) -> QueryMetrics {
+        QueryMetrics {
+            root: assemble_metrics(self.plan, &self.stats),
+            execution_time: self.wall,
+        }
+    }
+
+    pub(crate) fn peak_buffered_rows(&self) -> u64 {
+        self.peak_buffered_rows
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exec::{
+        ExecutionObserver, Executor, ObserverDecision, ObserverHandle, DEFAULT_BATCH_SIZE,
+    };
+    use reopt_catalog::Catalog;
+    use reopt_planner::{CardinalityOverrides, Optimizer, OptimizerConfig};
+    use reopt_sql::parse_sql;
+    use reopt_storage::{Column, DataType, IndexKind};
+    use std::cell::RefCell;
+    use std::rc::Rc;
+
+    /// A movie database big enough that default-batch-size pipelines split into
+    /// several morsels (title: 12k rows, movie_keyword: 24k rows).
+    fn build_env() -> (Storage, Catalog) {
+        let mut storage = Storage::new();
+
+        let mut title = Table::new(
+            "title",
+            Schema::new(vec![
+                Column::not_null("id", DataType::Int),
+                Column::new("title", DataType::Text),
+                Column::new("production_year", DataType::Int),
+                Column::new("rating", DataType::Float),
+            ]),
+        );
+        for i in 0..12_000i64 {
+            title
+                .push_row(Row::from_values(vec![
+                    Value::Int(i),
+                    Value::from(format!("movie {i:05}")),
+                    Value::Int(1970 + (i % 50)),
+                    Value::Float((i % 100) as f64 / 10.0),
+                ]))
+                .unwrap();
+        }
+        title.create_index("title_pkey", "id", IndexKind::BTree).unwrap();
+
+        let mut keyword = Table::new(
+            "keyword",
+            Schema::new(vec![
+                Column::not_null("id", DataType::Int),
+                Column::new("keyword", DataType::Text),
+            ]),
+        );
+        for i in 0..40i64 {
+            keyword
+                .push_row(Row::from_values(vec![
+                    Value::Int(i),
+                    Value::from(format!("kw{i}")),
+                ]))
+                .unwrap();
+        }
+
+        let mut movie_keyword = Table::new(
+            "movie_keyword",
+            Schema::new(vec![
+                Column::not_null("movie_id", DataType::Int),
+                Column::not_null("keyword_id", DataType::Int),
+            ]),
+        );
+        for i in 0..12_000i64 {
+            movie_keyword
+                .push_row(Row::from_values(vec![Value::Int(i), Value::Int(i % 40)]))
+                .unwrap();
+            movie_keyword
+                .push_row(Row::from_values(vec![Value::Int(i), Value::Int((i + 1) % 40)]))
+                .unwrap();
+        }
+        movie_keyword
+            .create_index("mk_movie", "movie_id", IndexKind::Hash)
+            .unwrap();
+        movie_keyword
+            .create_index("mk_keyword", "keyword_id", IndexKind::Hash)
+            .unwrap();
+
+        storage.create_table(title).unwrap();
+        storage.create_table(keyword).unwrap();
+        storage.create_table(movie_keyword).unwrap();
+        let mut catalog = Catalog::new();
+        catalog.analyze_all(&storage).unwrap();
+        (storage, catalog)
+    }
+
+    fn plan_with(
+        sql: &str,
+        storage: &Storage,
+        catalog: &Catalog,
+        config: OptimizerConfig,
+    ) -> reopt_planner::PlannedQuery {
+        let statement = parse_sql(sql).unwrap();
+        Optimizer::new(config)
+            .plan_select(
+                statement.query().unwrap(),
+                storage,
+                catalog,
+                &CardinalityOverrides::new(),
+            )
+            .unwrap()
+    }
+
+    fn plan(sql: &str, storage: &Storage, catalog: &Catalog) -> reopt_planner::PlannedQuery {
+        plan_with(sql, storage, catalog, OptimizerConfig::default())
+    }
+
+    fn sorted_rows(rows: &[Row]) -> Vec<String> {
+        let mut rendered: Vec<String> = rows.iter().map(|row| format!("{row}")).collect();
+        rendered.sort();
+        rendered
+    }
+
+    /// Queries covering scans, filters, projections, hash and index-NL joins, grouped
+    /// and single-row aggregation, and sorting.
+    const SWEEP_QUERIES: &[&str] = &[
+        "SELECT count(*) AS c FROM title AS t WHERE t.production_year >= 2010",
+        "SELECT t.id AS id, t.title AS name FROM title AS t WHERE t.id < 50",
+        "SELECT min(t.title) AS m, count(*) AS c
+         FROM title AS t, movie_keyword AS mk, keyword AS k
+         WHERE t.id = mk.movie_id AND mk.keyword_id = k.id AND k.keyword = 'kw3'",
+        "SELECT t.production_year, count(*) AS movies
+         FROM title AS t, movie_keyword AS mk
+         WHERE t.id = mk.movie_id AND t.production_year >= 2015
+         GROUP BY t.production_year",
+        "SELECT t.production_year, count(*) AS movies
+         FROM title AS t
+         GROUP BY t.production_year
+         ORDER BY movies DESC, t.production_year ASC",
+        "SELECT sum(t.id) AS s, avg(t.id) AS a FROM title AS t WHERE t.id < 1000",
+    ];
+
+    #[test]
+    fn parallel_matches_single_threaded_on_every_operator_shape() {
+        let (storage, catalog) = build_env();
+        for sql in SWEEP_QUERIES {
+            let planned = plan(sql, &storage, &catalog);
+            let reference = Executor::new(&storage)
+                .with_threads(1)
+                .execute(&planned.plan)
+                .unwrap();
+            for threads in [2usize, 4, 8] {
+                let parallel = Executor::new(&storage)
+                    .with_threads(threads)
+                    .execute(&planned.plan)
+                    .unwrap();
+                assert_eq!(
+                    sorted_rows(&parallel.rows),
+                    sorted_rows(&reference.rows),
+                    "threads={threads} changed the result of {sql}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn batch_size_one_parallel_matches_default() {
+        let (storage, catalog) = build_env();
+        let sql = "SELECT min(t.title) AS m, count(*) AS c
+                   FROM title AS t, movie_keyword AS mk
+                   WHERE t.id = mk.movie_id AND t.production_year >= 2018";
+        let planned = plan(sql, &storage, &catalog);
+        let reference = Executor::new(&storage)
+            .with_threads(1)
+            .execute(&planned.plan)
+            .unwrap();
+        let tiny = Executor::with_batch_size(&storage, 1)
+            .with_threads(4)
+            .execute(&planned.plan)
+            .unwrap();
+        assert_eq!(sorted_rows(&tiny.rows), sorted_rows(&reference.rows));
+    }
+
+    #[test]
+    fn empty_inputs_flow_through_parallel_pipelines() {
+        let (storage, catalog) = build_env();
+        // No title survives the predicate: scans, joins and aggregates all see empty
+        // inputs, across every batch size.
+        let sql = "SELECT count(*) AS c
+                   FROM title AS t, movie_keyword AS mk
+                   WHERE t.id = mk.movie_id AND t.production_year > 3000";
+        let planned = plan(sql, &storage, &catalog);
+        for batch_size in [1usize, 7, DEFAULT_BATCH_SIZE] {
+            let result = Executor::with_batch_size(&storage, batch_size)
+                .with_threads(4)
+                .execute(&planned.plan)
+                .unwrap();
+            assert_eq!(result.rows.len(), 1, "batch {batch_size}");
+            assert_eq!(result.rows[0].value(0), &Value::Int(0), "batch {batch_size}");
+        }
+    }
+
+    #[test]
+    fn more_threads_than_morsels_degrades_gracefully() {
+        let (storage, catalog) = build_env();
+        // keyword has 40 rows: at the default batch size that is a single morsel, so
+        // the pipeline runs inline no matter how many threads are configured; with
+        // batch size 2 (8-row morsels) it splits into 5 morsels, capping the pool at
+        // 5 workers. Both must produce the exact table.
+        let sql = "SELECT count(*) AS c FROM keyword AS k";
+        let planned = plan(sql, &storage, &catalog);
+        for batch_size in [2usize, DEFAULT_BATCH_SIZE] {
+            let result = Executor::with_batch_size(&storage, batch_size)
+                .with_threads(64)
+                .execute(&planned.plan)
+                .unwrap();
+            assert_eq!(result.rows[0].value(0), &Value::Int(40), "batch {batch_size}");
+        }
+    }
+
+    #[test]
+    fn parallel_metrics_aggregate_across_workers() {
+        let (storage, catalog) = build_env();
+        let sql = "SELECT count(*) AS c
+                   FROM title AS t, movie_keyword AS mk
+                   WHERE t.id = mk.movie_id";
+        let planned = plan(sql, &storage, &catalog);
+        let executor = Executor::with_batch_size(&storage, 256).with_threads(4);
+        let mut pipeline = executor.open(&planned.plan).unwrap();
+        let mut rows = 0usize;
+        while let Some(batch) = pipeline.next_batch().unwrap() {
+            assert!(batch.len() <= 256);
+            rows += batch.len();
+        }
+        assert_eq!(rows, 1);
+        let metrics = pipeline.metrics();
+        let joins = metrics.root.joins_bottom_up();
+        assert_eq!(joins[0].actual_rows, 24_000, "worker counts must sum exactly");
+        assert!(joins[0].batches >= 24_000 / 256, "join output is batched");
+        metrics
+            .root
+            .walk(&mut |node| assert!(node.metrics.exhausted, "{}", node.metrics.label));
+        assert!(metrics.execution_time > Duration::ZERO);
+        // Only breaker state is buffered (a build side or index lookaside), never the
+        // 24k-row join output.
+        let peak = pipeline.peak_buffered_rows();
+        assert!(peak > 0 && peak < 24_000, "peak buffered rows {peak}");
+    }
+
+    /// Suspends on the first event that satisfies `trigger`, recording every event.
+    struct SuspendWhen {
+        events: Vec<ExecEvent>,
+        trigger: fn(&ExecEvent) -> bool,
+        decision: crate::exec::ObserverDecision,
+    }
+
+    impl ExecutionObserver for SuspendWhen {
+        fn on_event(&mut self, event: &ExecEvent) -> ObserverDecision {
+            self.events.push(event.clone());
+            if (self.trigger)(event) {
+                self.decision
+            } else {
+                ObserverDecision::Continue
+            }
+        }
+    }
+
+    /// Hash-joins-only configuration so the plan deterministically has build sides.
+    fn hash_only() -> OptimizerConfig {
+        OptimizerConfig {
+            enable_index_scans: false,
+            enable_index_nl_joins: false,
+            enable_merge_joins: false,
+            ..OptimizerConfig::default()
+        }
+    }
+
+    #[test]
+    fn suspension_races_breaker_completion_without_losing_state() {
+        let (storage, catalog) = build_env();
+        let sql = "SELECT count(*) AS c
+                   FROM title AS t, movie_keyword AS mk, keyword AS k
+                   WHERE t.id = mk.movie_id AND mk.keyword_id = k.id AND k.keyword = 'kw3'";
+        let planned = plan_with(sql, &storage, &catalog, hash_only());
+        // Suspend on the first *progress* event of the probe spine: the decision
+        // lands while the worker pool is mid-pipeline, after at least one build
+        // completed — the parallel engine must quiesce every worker and still
+        // surrender the completed builds.
+        let observer = Rc::new(RefCell::new(SuspendWhen {
+            events: Vec::new(),
+            trigger: |event| matches!(event, ExecEvent::Progress(_)),
+            decision: ObserverDecision::Suspend,
+        }));
+        let executor = Executor::with_batch_size(&storage, 64)
+            .with_threads(4)
+            .with_progress_interval(1);
+        let mut pipeline = executor
+            .open_observed(&planned.plan, Some(observer.clone() as ObserverHandle))
+            .unwrap();
+        let err = pipeline.next_batch().unwrap_err();
+        assert_eq!(err, ExecError::Suspended);
+        assert!(pipeline.is_suspended());
+        assert_eq!(pipeline.next_batch().unwrap_err(), ExecError::Suspended);
+
+        let states = pipeline.take_breaker_states();
+        assert!(!states.is_empty(), "completed builds survive the race");
+        for state in &states {
+            assert_eq!(state.kind, BreakerKind::HashBuild);
+        }
+        // Events stopped at the suspension decision: exactly one progress event was
+        // delivered, and every breaker event preceding it completed innermost-first.
+        let events = &observer.borrow().events;
+        let progress_count = events
+            .iter()
+            .filter(|e| matches!(e, ExecEvent::Progress(_)))
+            .count();
+        assert_eq!(progress_count, 1, "no events are delivered after suspension");
+        let breaker_sizes: Vec<usize> = events
+            .iter()
+            .filter_map(|e| match e {
+                ExecEvent::BreakerComplete(b) => Some(b.rel_set.len()),
+                _ => None,
+            })
+            .collect();
+        assert!(!breaker_sizes.is_empty());
+        assert!(
+            breaker_sizes.windows(2).all(|w| w[0] <= w[1]),
+            "breaker completions funnel innermost-first: {breaker_sizes:?}"
+        );
+    }
+
+    #[test]
+    fn suspending_on_a_breaker_keeps_that_build_extractable() {
+        let (storage, catalog) = build_env();
+        let sql = "SELECT count(*) AS c
+                   FROM title AS t, movie_keyword AS mk, keyword AS k
+                   WHERE t.id = mk.movie_id AND mk.keyword_id = k.id AND k.keyword = 'kw3'";
+        let planned = plan_with(sql, &storage, &catalog, hash_only());
+        let observer = Rc::new(RefCell::new(SuspendWhen {
+            events: Vec::new(),
+            trigger: |event| match event {
+                ExecEvent::BreakerComplete(b) => b.rel_set.len() >= 2,
+                _ => false,
+            },
+            decision: ObserverDecision::Suspend,
+        }));
+        let executor = Executor::new(&storage).with_threads(4);
+        let mut pipeline = executor
+            .open_observed(&planned.plan, Some(observer.clone() as ObserverHandle))
+            .unwrap();
+        assert_eq!(pipeline.next_batch().unwrap_err(), ExecError::Suspended);
+        let states = pipeline.take_breaker_states();
+        let build = states
+            .iter()
+            .find(|s| s.rel_set.len() == 2)
+            .expect("two-relation build state");
+        // kw3 is attached to movies with id % 40 in {3} plus (id+1) % 40 == 3:
+        // 2 * 12000/40 = 600 rows, built in parallel partitions and reassembled.
+        assert_eq!(build.rows.len(), 600);
+        assert_eq!(build.schema.len(), 4, "mk and k columns, original qualifiers");
+        assert!(build.schema.index_of(Some("mk"), "movie_id").is_ok());
+    }
+
+    #[test]
+    fn root_seam_suspension_delivers_one_batch_then_suspends() {
+        let (storage, catalog) = build_env();
+        let sql = "SELECT mk.movie_id AS m FROM movie_keyword AS mk, keyword AS k
+                   WHERE mk.keyword_id = k.id";
+        let planned = plan_with(sql, &storage, &catalog, hash_only());
+        let observer = Rc::new(RefCell::new(SuspendWhen {
+            events: Vec::new(),
+            trigger: |event| matches!(event, ExecEvent::Progress(_)),
+            decision: ObserverDecision::SuspendAtRootSeam,
+        }));
+        let executor = Executor::with_batch_size(&storage, 32)
+            .with_threads(4)
+            .with_progress_interval(1);
+        let mut pipeline = executor
+            .open_observed(&planned.plan, Some(observer.clone() as ObserverHandle))
+            .unwrap();
+        let first = pipeline.next_batch().unwrap().expect("in-flight batch delivered");
+        assert!(!first.is_empty() && first.len() <= 32);
+        assert!(!pipeline.is_suspended(), "suspension waits for the seam");
+        assert_eq!(pipeline.next_batch().unwrap_err(), ExecError::Suspended);
+        assert!(pipeline.is_suspended());
+    }
+
+    #[test]
+    fn unsupported_shapes_fall_back_to_the_single_threaded_engine() {
+        let (storage, catalog) = build_env();
+        // LIMIT has no parallel implementation.
+        let limited = plan("SELECT t.id AS id FROM title AS t LIMIT 3", &storage, &catalog);
+        assert!(!plan_supported(&limited.plan));
+        let result = Executor::new(&storage)
+            .with_threads(4)
+            .execute(&limited.plan)
+            .unwrap();
+        assert_eq!(result.rows.len(), 3);
+        // AVG over a float column would merge partial sums in a run-dependent order.
+        let float_avg = plan("SELECT avg(t.rating) AS a FROM title AS t", &storage, &catalog);
+        assert!(!plan_supported(&float_avg.plan));
+        // ... while integer SUM/AVG and MIN/COUNT parallelize.
+        let int_agg = plan(
+            "SELECT sum(t.id) AS s, min(t.title) AS m FROM title AS t",
+            &storage,
+            &catalog,
+        );
+        assert!(plan_supported(&int_agg.plan));
+    }
+
+    #[test]
+    fn errors_inside_workers_poison_the_pipeline() {
+        let (storage, catalog) = build_env();
+        let planned = plan("SELECT count(*) AS c FROM keyword AS k", &storage, &catalog);
+        let mut emptied = storage.clone();
+        emptied.drop_table("keyword").unwrap();
+        let executor = Executor::new(&emptied).with_threads(4);
+        let mut pipeline = executor.open(&planned.plan).unwrap();
+        let err = pipeline.next_batch().unwrap_err();
+        assert!(matches!(err, ExecError::TableNotFound(_)));
+        // Poisoned thereafter.
+        assert!(pipeline.next_batch().is_err());
+    }
+}
+

@@ -240,6 +240,102 @@ fn mid_query_reopt_reuses_hash_build_state_on_a_skewed_job_query() {
 }
 
 #[test]
+fn mid_query_reopt_at_four_threads_reuses_a_parallel_built_hash_side() {
+    // The same scenario as mid_query_reopt_reuses_hash_build_state_on_a_skewed_job_query,
+    // but executed on the morsel-driven parallel engine: the skewed hash-build side is
+    // assembled by partitioned parallel workers, the breaker-completion event funnels
+    // to the policy, all workers quiesce on the suspension, and the partition-merged
+    // build state crosses the re-plan as a virtual leaf.
+    let mut db = Database::with_config(OptimizerConfig {
+        enable_index_scans: false,
+        enable_index_nl_joins: false,
+        enable_merge_joins: false,
+        ..Default::default()
+    });
+    load_imdb(&mut db, &ImdbConfig { scale: 0.03, seed: 9 }).unwrap();
+    let query = job_query("10a").unwrap();
+
+    db.set_threads(Some(1));
+    let expected = db.execute(&query.sql).unwrap();
+    db.set_threads(Some(4));
+
+    let config = ReoptConfig {
+        threshold: 8.0,
+        mode: ReoptMode::MidQuery,
+        ..ReoptConfig::default()
+    };
+    let report = execute_with_reoptimization(&mut db, &query.sql, &config).unwrap();
+    assert_eq!(report.threads, 4);
+    assert_eq!(
+        report.final_rows, expected.rows,
+        "parallel mid-query diverged from single-threaded execution"
+    );
+    assert!(report.reoptimized(), "the skewed keyword join must trigger");
+
+    let reused_round = report
+        .rounds
+        .iter()
+        .find(|round| round.reused_rows.unwrap_or(0) > 0)
+        .expect("a mid-query round reusing a parallel-built hash side");
+    let virt_name = reused_round.temp_table.clone().unwrap();
+    let metrics = report.final_metrics.as_ref().unwrap();
+    let mut reused_scan_rows = None;
+    metrics.root.walk(&mut |node| {
+        if node.metrics.label.contains(&virt_name) {
+            reused_scan_rows = Some(node.metrics.actual_rows);
+        }
+    });
+    assert_eq!(
+        reused_scan_rows,
+        Some(reused_round.reused_rows.unwrap()),
+        "final plan must scan the reused parallel-built state:\n{}",
+        metrics.root.render()
+    );
+    assert!(!db.storage().contains_table(&virt_name));
+}
+
+#[test]
+fn parallel_execution_matches_single_threaded_across_the_suite_cross_section() {
+    // Every ~10th suite query (plus both threads settings sharing one loaded
+    // database): the morsel-driven engine must reproduce the single-threaded rows
+    // exactly, modulo row order, which is not plan-defined for these aggregates.
+    let mut db = imdb_database();
+    let sorted = |rows: &[reopt_repro::storage::Row]| -> Vec<String> {
+        let mut rendered: Vec<String> = rows.iter().map(|row| format!("{row}")).collect();
+        rendered.sort();
+        rendered
+    };
+    let mut compared = 0usize;
+    for query in job_queries().iter().step_by(10) {
+        if query.table_count > 8 {
+            continue;
+        }
+        db.set_threads(Some(1));
+        let reference = db.execute(&query.sql).unwrap();
+        db.set_threads(Some(4));
+        let parallel = db.execute(&query.sql).unwrap();
+        assert_eq!(
+            sorted(&parallel.rows),
+            sorted(&reference.rows),
+            "threads=4 changed the result of {}",
+            query.id
+        );
+        // The flat-memory property survives parallelism: buffered rows stay within a
+        // small constant factor of the single-threaded run (worker-partitioned builds
+        // buffer the same rows, just spread across partitions).
+        assert!(
+            parallel.peak_buffered_rows <= reference.peak_buffered_rows.saturating_mul(4).max(64),
+            "{}: parallel peak {} vs single-threaded {}",
+            query.id,
+            parallel.peak_buffered_rows,
+            reference.peak_buffered_rows
+        );
+        compared += 1;
+    }
+    assert!(compared >= 5, "cross-section too small ({compared} queries)");
+}
+
+#[test]
 fn index_nl_job_plans_replan_on_progress_signals() {
     // Under the default optimizer configuration the JOB plans at this scale lean on
     // index-nested-loop joins whose inners are base tables: no reusable breaker state
