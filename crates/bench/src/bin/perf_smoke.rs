@@ -27,7 +27,8 @@
 
 use reopt_bench::{Harness, HarnessConfig};
 use reopt_core::{
-    execute_with_reoptimization, selective_improvement, ReoptConfig, ReoptMode, SelectiveConfig,
+    execute_with_reoptimization, feedback_enabled_by_default, selective_improvement, ReoptConfig,
+    ReoptMode, SelectiveConfig,
 };
 use reopt_storage::Row;
 use reopt_workload::JobQuery;
@@ -163,9 +164,15 @@ fn main() {
         }
 
         for (idx, mode) in modes.iter().enumerate() {
+            // Feedback stays off here no matter what REOPT_FEEDBACK says: this
+            // phase compares the policies against each other, and cross-query
+            // seeding (mode N learning from mode N-1 on the same query) would
+            // blur exactly that comparison. The feedback phase below is the
+            // one that exercises the cache.
             let config = ReoptConfig {
                 threshold: 8.0,
                 mode: *mode,
+                feedback: false,
                 ..ReoptConfig::default()
             };
             let start = Instant::now();
@@ -211,6 +218,131 @@ fn main() {
                 }
             }
         }
+    }
+
+    // --- Cross-query feedback phase -------------------------------------------
+    // Run the whole selected set twice under the materialize-restart policy with
+    // the catalog's feedback cache cleared first. Pass 1 pays for discovery and
+    // fills the cache; pass 2 must be row-identical to the single-threaded plain
+    // reference while needing strictly fewer re-optimization rounds with a
+    // strictly lower median violation q-error — the cross-query payoff the cache
+    // exists for. Skipped when REOPT_FEEDBACK=0 (the cache is then off
+    // everywhere and there is nothing to measure). Set REOPT_FEEDBACK_JSON to a
+    // path to dump the pass data (the source of BENCH_FEEDBACK.json).
+    let mut feedback_passes: Vec<(usize, f64, Duration)> = Vec::new();
+    if feedback_enabled_by_default() {
+        harness.db.catalog_mut().feedback_mut().clear();
+        // The recorded/hits totals are lifetime counters (clear() drops entries,
+        // not history); snapshot them so the printed stats cover this phase only
+        // and not the earlier selective-improvement runs.
+        let recorded_before = harness.db.catalog().feedback().total_recorded();
+        let hits_before = harness.db.catalog().feedback().total_hits();
+        for pass in 1..=2usize {
+            let mut rounds = 0usize;
+            let mut q_errors: Vec<f64> = Vec::new();
+            let mut elapsed = Duration::ZERO;
+            for query in &selected {
+                let id = &query.id;
+                let order_sensitive = is_order_sensitive(&query.sql);
+                harness.db.set_threads(Some(1));
+                let reference = match harness.db.execute(&query.sql) {
+                    Ok(output) => canonical(&output.rows, order_sensitive),
+                    Err(error) => {
+                        eprintln!("perf_smoke: feedback reference run of {id} failed: {error}");
+                        failed = true;
+                        harness.db.set_threads(None);
+                        continue;
+                    }
+                };
+                harness.db.set_threads(None);
+                let config = ReoptConfig {
+                    threshold: 8.0,
+                    mode: ReoptMode::Materialize,
+                    feedback: true,
+                    ..ReoptConfig::default()
+                };
+                let start = Instant::now();
+                match execute_with_reoptimization(&mut harness.db, &query.sql, &config) {
+                    Ok(report) => {
+                        elapsed += start.elapsed();
+                        rounds += report.rounds.len();
+                        q_errors.extend(report.rounds.iter().map(|round| round.q_error));
+                        let got = canonical(&report.final_rows, order_sensitive);
+                        if got != reference {
+                            eprintln!(
+                                "perf_smoke: RESULT MISMATCH for {id} on feedback pass {pass}: \
+                                 {got:?} vs single-threaded {reference:?}"
+                            );
+                            failed = true;
+                        }
+                    }
+                    Err(error) => {
+                        eprintln!("perf_smoke: feedback pass {pass} of {id} failed: {error}");
+                        failed = true;
+                    }
+                }
+            }
+            q_errors.sort_by(|a, b| a.partial_cmp(b).expect("q-errors are finite"));
+            let median = if q_errors.is_empty() {
+                1.0
+            } else {
+                q_errors[q_errors.len() / 2]
+            };
+            println!(
+                "perf_smoke: feedback pass {pass}: {rounds} rounds, median violation \
+                 q-error {median:.2}, {:.2}s",
+                elapsed.as_secs_f64()
+            );
+            feedback_passes.push((rounds, median, elapsed));
+        }
+        let (rounds_1, median_1, _) = feedback_passes[0];
+        let (rounds_2, median_2, _) = feedback_passes[1];
+        if rounds_2 >= rounds_1 {
+            eprintln!(
+                "perf_smoke: FEEDBACK REGRESSION: pass 2 rounds did not decrease \
+                 ({rounds_2} vs {rounds_1})"
+            );
+            failed = true;
+        }
+        if median_2 >= median_1 {
+            eprintln!(
+                "perf_smoke: FEEDBACK REGRESSION: pass 2 median q-error did not decrease \
+                 ({median_2} vs {median_1})"
+            );
+            failed = true;
+        }
+        let cache = harness.db.catalog().feedback();
+        let recorded = cache.total_recorded() - recorded_before;
+        let hits = cache.total_hits() - hits_before;
+        println!(
+            "perf_smoke: feedback cache holds {} entries ({recorded} recorded, {hits} hits)",
+            cache.len(),
+        );
+        if let Ok(path) = std::env::var("REOPT_FEEDBACK_JSON") {
+            let json = format!(
+                "{{\n  \"queries\": {},\n  \"threads\": {threads},\n  \"policy\": \
+                 \"materialize-restart\",\n  \"threshold\": 8.0,\n  \"pass1\": {{ \"rounds\": {}, \
+                 \"median_q_error\": {:.3}, \"seconds\": {:.3} }},\n  \"pass2\": {{ \"rounds\": {}, \
+                 \"median_q_error\": {:.3}, \"seconds\": {:.3} }},\n  \"cache\": {{ \"entries\": {}, \
+                 \"recorded\": {}, \"hits\": {} }}\n}}\n",
+                selected.len(),
+                rounds_1,
+                median_1,
+                feedback_passes[0].2.as_secs_f64(),
+                rounds_2,
+                median_2,
+                feedback_passes[1].2.as_secs_f64(),
+                cache.len(),
+                recorded,
+                hits,
+            );
+            if let Err(error) = std::fs::write(&path, json) {
+                eprintln!("perf_smoke: failed to write {path}: {error}");
+                failed = true;
+            }
+        }
+    } else {
+        println!("perf_smoke: feedback phase skipped (REOPT_FEEDBACK=0)");
     }
 
     println!(

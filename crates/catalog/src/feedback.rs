@@ -1,0 +1,324 @@
+//! Cross-query cardinality feedback.
+//!
+//! The re-optimization driver observes true cardinalities while a query runs —
+//! exhausted scans, completed breaker joins, progress lower bounds. Without feedback,
+//! every observation dies with its query and the next run of the same template
+//! rediscovers the same mis-estimates from scratch. The [`FeedbackCache`] is the
+//! catalog-resident store that persists those observations across queries, keyed by a
+//! normalized *(relation set, predicate signature)* so that any later query joining
+//! the same tables under the same predicates can be seeded with the observed truth.
+//!
+//! The catalog sits below the planner in the crate graph, so keys are built from
+//! primitive normalized strings the planner supplies (see `reopt-planner`'s
+//! `feedback` module): per-relation fingerprints (table name plus alias-normalized
+//! predicate SQL), join-edge strings with canonical relation ordinals, and complex
+//! predicate strings. Key equality is structural; a near-miss in normalization only
+//! loses a seeding opportunity, it can never corrupt results (injected cardinalities
+//! steer the optimizer, not the executor).
+//!
+//! Entries carry the same exact-versus-lower-bound distinction as the planner's
+//! override table: exact counts overwrite, bounds only ever grow and never demote an
+//! exact count unless they exceed it (which proves the count stale). The store is
+//! bounded; least-recently-used entries are evicted first.
+
+use std::collections::HashMap;
+
+/// Default maximum number of cached feedback entries.
+pub const DEFAULT_FEEDBACK_CAPACITY: usize = 1024;
+
+/// The identity of one base relation inside a feedback key: the table it scans and
+/// its filter predicates, rendered as alias-normalized SQL and sorted.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct RelationFingerprint {
+    /// Lowercase table name.
+    pub table: String,
+    /// Normalized local-predicate SQL strings, sorted.
+    pub predicates: Vec<String>,
+}
+
+impl RelationFingerprint {
+    /// Build a fingerprint, normalizing case and predicate order.
+    pub fn new(table: impl Into<String>, mut predicates: Vec<String>) -> Self {
+        predicates.sort();
+        Self {
+            table: table.into().to_ascii_lowercase(),
+            predicates,
+        }
+    }
+}
+
+/// A normalized key identifying a relation subset of some query: the multiset of
+/// relation fingerprints, the join edges among them (with endpoints as canonical
+/// ordinals), and the complex predicates applied within the subset.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct FeedbackKey {
+    /// Relation fingerprints, sorted.
+    pub relations: Vec<RelationFingerprint>,
+    /// Canonicalized join-edge strings (`r0.col = r1.col`), sorted.
+    pub edges: Vec<String>,
+    /// Canonicalized complex-predicate strings, sorted.
+    pub predicates: Vec<String>,
+}
+
+impl FeedbackKey {
+    /// Build a key, sorting each component so equal signatures compare equal.
+    pub fn new(
+        mut relations: Vec<RelationFingerprint>,
+        mut edges: Vec<String>,
+        mut predicates: Vec<String>,
+    ) -> Self {
+        relations.sort();
+        edges.sort();
+        predicates.sort();
+        Self {
+            relations,
+            edges,
+            predicates,
+        }
+    }
+
+    /// Whether any relation in the key scans `table`.
+    pub fn references_table(&self, table: &str) -> bool {
+        let table = table.to_ascii_lowercase();
+        self.relations.iter().any(|r| r.table == table)
+    }
+}
+
+/// One cached observation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FeedbackEntry {
+    /// Observed cardinality.
+    pub rows: f64,
+    /// Whether `rows` is a true count (operator ran to completion) or only a lower
+    /// bound (operator suspended mid-stream).
+    pub exact: bool,
+    /// LRU recency stamp (larger = used more recently).
+    last_used: u64,
+}
+
+/// The bounded cross-query feedback store.
+#[derive(Debug, Clone)]
+pub struct FeedbackCache {
+    entries: HashMap<FeedbackKey, FeedbackEntry>,
+    capacity: usize,
+    clock: u64,
+    recorded: u64,
+    hits: u64,
+}
+
+impl Default for FeedbackCache {
+    fn default() -> Self {
+        Self::with_capacity(DEFAULT_FEEDBACK_CAPACITY)
+    }
+}
+
+impl FeedbackCache {
+    /// An empty cache with the default capacity.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// An empty cache bounded to `capacity` entries (at least one).
+    pub fn with_capacity(capacity: usize) -> Self {
+        Self {
+            entries: HashMap::new(),
+            capacity: capacity.max(1),
+            clock: 0,
+            recorded: 0,
+            hits: 0,
+        }
+    }
+
+    fn tick(&mut self) -> u64 {
+        self.clock += 1;
+        self.clock
+    }
+
+    /// Record an observation. Exact counts overwrite whatever is stored; lower
+    /// bounds never shrink an entry and never demote an exact count unless the bound
+    /// exceeds it (the count must then be stale).
+    pub fn record(&mut self, key: FeedbackKey, rows: f64, exact: bool) {
+        let rows = rows.max(0.0);
+        let stamp = self.tick();
+        if let Some(existing) = self.entries.get_mut(&key) {
+            existing.last_used = stamp;
+            if exact {
+                existing.rows = rows;
+                existing.exact = true;
+            } else if rows > existing.rows {
+                existing.rows = rows;
+                existing.exact = false;
+            }
+            return;
+        }
+        self.recorded += 1;
+        self.entries.insert(
+            key,
+            FeedbackEntry {
+                rows,
+                exact,
+                last_used: stamp,
+            },
+        );
+        if self.entries.len() > self.capacity {
+            self.evict_lru();
+        }
+    }
+
+    fn evict_lru(&mut self) {
+        if let Some(victim) = self
+            .entries
+            .iter()
+            .min_by_key(|(_, e)| e.last_used)
+            .map(|(k, _)| k.clone())
+        {
+            self.entries.remove(&victim);
+        }
+    }
+
+    /// Look up an observation, bumping its recency.
+    pub fn lookup(&mut self, key: &FeedbackKey) -> Option<(f64, bool)> {
+        let stamp = self.tick();
+        let entry = self.entries.get_mut(key)?;
+        entry.last_used = stamp;
+        self.hits += 1;
+        Some((entry.rows, entry.exact))
+    }
+
+    /// Iterate over all entries without touching recency (the planner's seeding pass
+    /// scans the store to match entries against a new query).
+    pub fn iter(&self) -> impl Iterator<Item = (&FeedbackKey, f64, bool)> + '_ {
+        self.entries.iter().map(|(k, e)| (k, e.rows, e.exact))
+    }
+
+    /// Drop every entry that references `table`. Called when the table's contents or
+    /// statistics change (ingest, ANALYZE, drop): the cached counts no longer
+    /// describe the data, so they are forgotten and re-learned on the next run.
+    pub fn invalidate_table(&mut self, table: &str) {
+        self.entries.retain(|k, _| !k.references_table(table));
+    }
+
+    /// Drop everything.
+    pub fn clear(&mut self) {
+        self.entries.clear();
+    }
+
+    /// Number of cached entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// The configured capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Total distinct entries ever recorded (monotone; survives eviction).
+    pub fn total_recorded(&self) -> u64 {
+        self.recorded
+    }
+
+    /// Total successful lookups.
+    pub fn total_hits(&self) -> u64 {
+        self.hits
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key(tables: &[&str], edges: &[&str]) -> FeedbackKey {
+        FeedbackKey::new(
+            tables
+                .iter()
+                .map(|t| RelationFingerprint::new(*t, vec![]))
+                .collect(),
+            edges.iter().map(|e| e.to_string()).collect(),
+            vec![],
+        )
+    }
+
+    #[test]
+    fn key_normalization_is_order_insensitive() {
+        let a = FeedbackKey::new(
+            vec![
+                RelationFingerprint::new("Title", vec!["@.x = 1".into(), "@.y = 2".into()]),
+                RelationFingerprint::new("keyword", vec![]),
+            ],
+            vec!["r0.id = r1.movie_id".into()],
+            vec![],
+        );
+        let b = FeedbackKey::new(
+            vec![
+                RelationFingerprint::new("keyword", vec![]),
+                RelationFingerprint::new("title", vec!["@.y = 2".into(), "@.x = 1".into()]),
+            ],
+            vec!["r0.id = r1.movie_id".into()],
+            vec![],
+        );
+        assert_eq!(a, b);
+        assert!(a.references_table("TITLE"));
+        assert!(!a.references_table("trades"));
+    }
+
+    #[test]
+    fn record_and_lookup_with_exactness_merge() {
+        let mut cache = FeedbackCache::new();
+        let k = key(&["title", "movie_keyword"], &["r0.id = r1.movie_id"]);
+        // A bound lands as a bound and only grows.
+        cache.record(k.clone(), 100.0, false);
+        cache.record(k.clone(), 50.0, false);
+        assert_eq!(cache.lookup(&k), Some((100.0, false)));
+        cache.record(k.clone(), 150.0, false);
+        assert_eq!(cache.lookup(&k), Some((150.0, false)));
+        // An exact count overwrites even downward.
+        cache.record(k.clone(), 120.0, true);
+        assert_eq!(cache.lookup(&k), Some((120.0, true)));
+        // A bound below the exact count is ignored; above it, the count is stale.
+        cache.record(k.clone(), 110.0, false);
+        assert_eq!(cache.lookup(&k), Some((120.0, true)));
+        cache.record(k.clone(), 300.0, false);
+        assert_eq!(cache.lookup(&k), Some((300.0, false)));
+        assert_eq!(cache.len(), 1);
+        assert_eq!(cache.total_recorded(), 1);
+        assert!(cache.total_hits() >= 5);
+    }
+
+    #[test]
+    fn lru_eviction_keeps_recently_used_entries() {
+        let mut cache = FeedbackCache::with_capacity(2);
+        let a = key(&["a"], &[]);
+        let b = key(&["b"], &[]);
+        let c = key(&["c"], &[]);
+        cache.record(a.clone(), 1.0, true);
+        cache.record(b.clone(), 2.0, true);
+        // Touch `a` so `b` is the LRU victim when `c` arrives.
+        assert!(cache.lookup(&a).is_some());
+        cache.record(c.clone(), 3.0, true);
+        assert_eq!(cache.len(), 2);
+        assert!(cache.lookup(&a).is_some());
+        assert!(cache.lookup(&b).is_none());
+        assert!(cache.lookup(&c).is_some());
+    }
+
+    #[test]
+    fn invalidation_drops_only_entries_referencing_the_table() {
+        let mut cache = FeedbackCache::new();
+        let tk = key(&["title", "keyword"], &["r0.id = r1.movie_id"]);
+        let other = key(&["company"], &[]);
+        cache.record(tk.clone(), 10.0, true);
+        cache.record(other.clone(), 20.0, true);
+        cache.invalidate_table("keyword");
+        assert!(cache.lookup(&tk).is_none());
+        assert!(cache.lookup(&other).is_some());
+        cache.clear();
+        assert!(cache.is_empty());
+        assert_eq!(cache.capacity(), DEFAULT_FEEDBACK_CAPACITY);
+    }
+}

@@ -16,9 +16,13 @@
 //! failure modes (skew, correlation, join-crossing correlation) the paper studies.
 
 pub mod analyze;
+pub mod feedback;
 pub mod stats;
 
 pub use analyze::{analyze_table, AnalyzeOptions};
+pub use feedback::{
+    FeedbackCache, FeedbackEntry, FeedbackKey, RelationFingerprint, DEFAULT_FEEDBACK_CAPACITY,
+};
 pub use stats::{ColumnStatistics, Histogram, MostCommonValues, TableStatistics};
 
 use reopt_storage::{Storage, StorageError};
@@ -29,11 +33,13 @@ use std::collections::BTreeMap;
 /// generous default because ANALYZE here is cheap (in-memory data).
 pub const DEFAULT_STATISTICS_TARGET: usize = 200;
 
-/// The catalog: per-table statistics plus ANALYZE configuration.
+/// The catalog: per-table statistics plus ANALYZE configuration, plus the
+/// cross-query cardinality [`FeedbackCache`].
 #[derive(Debug, Clone, Default)]
 pub struct Catalog {
     statistics: BTreeMap<String, TableStatistics>,
     statistics_target: Option<usize>,
+    feedback: FeedbackCache,
 }
 
 impl Catalog {
@@ -64,6 +70,10 @@ impl Catalog {
         );
         self.statistics
             .insert(table_name.to_ascii_lowercase(), stats);
+        // Fresh statistics supersede anything learned about the old contents: drop
+        // the table's feedback entries so the next run re-learns against the new
+        // statistics instead of anchoring on stale observed counts.
+        self.feedback.invalidate_table(table_name);
         Ok(())
     }
 
@@ -88,9 +98,22 @@ impl Catalog {
             .insert(table_name.to_ascii_lowercase(), stats);
     }
 
-    /// Drop statistics for a table (when it is dropped).
+    /// Drop statistics for a table (when it is dropped). Feedback entries that
+    /// reference the table are dropped with it.
     pub fn remove_statistics(&mut self, table_name: &str) {
         self.statistics.remove(&table_name.to_ascii_lowercase());
+        self.feedback.invalidate_table(table_name);
+    }
+
+    /// The cross-query cardinality feedback cache.
+    pub fn feedback(&self) -> &FeedbackCache {
+        &self.feedback
+    }
+
+    /// Mutable access to the feedback cache (the reopt driver records observations;
+    /// ingest paths invalidate).
+    pub fn feedback_mut(&mut self) -> &mut FeedbackCache {
+        &mut self.feedback
     }
 
     /// Whether statistics exist for a table.

@@ -235,6 +235,19 @@ impl Database {
         Ok(())
     }
 
+    /// Append rows to an existing table. Cached cardinality feedback that references
+    /// the table is invalidated immediately — the observed counts no longer describe
+    /// the data — while statistics stay as they are until the next ANALYZE (matching
+    /// how a real system's stats go stale between ANALYZE runs).
+    pub fn ingest_rows(&mut self, table: &str, rows: Vec<Row>) -> Result<(), DbError> {
+        let target = self.storage.table_mut(table)?;
+        for row in rows {
+            target.push_row(row)?;
+        }
+        self.catalog.feedback_mut().invalidate_table(table);
+        Ok(())
+    }
+
     /// Parse and execute a single SQL statement.
     ///
     /// # Examples

@@ -47,9 +47,22 @@
 //! which must never be mistaken for true cardinalities. The *rewrite* additionally
 //! requires the output to be plan-order-insensitive (single-row aggregates — see
 //! `reopt_safe_under_limit`), because a multi-row output truncated by a LIMIT could
-//! keep a different subset under a different join order; wildcard selects run plain
-//! under every policy (no projection node, so a re-planned join order would permute
-//! their columns).
+//! keep a different subset under a different join order. Wildcard selects re-plan
+//! safely across restarts (the optimizer pins their output projection to FROM order,
+//! so a different join order no longer permutes their columns), but materialize
+//! restarts degrade to injection for them (the temp table's mangled column names
+//! would leak into the expansion) and mid-query collapses stay carved out entirely
+//! (a virtual leaf's schema would replace the expanded base-relation columns).
+//!
+//! Every run also feeds the catalog's cross-query
+//! [`FeedbackCache`](reopt_catalog::FeedbackCache): observed true cardinalities — exhausted
+//! operators, completed breakers, progress lower bounds — are recorded under
+//! normalized *(relation set, predicate signature)* keys in the **original** query's
+//! indexing, and the next query over the same tables and predicates seeds its first
+//! planning pass from them ([`reopt_planner::seed_overrides_from_cache`]). Feedback
+//! defaults on and is controlled per-run by [`ReoptConfig::with_feedback`] /
+//! [`execute_with_policy_feedback`] and globally by the `REOPT_FEEDBACK` environment
+//! variable (`0` disables).
 
 use crate::database::Database;
 use crate::error::DbError;
@@ -60,7 +73,10 @@ use reopt_executor::{
     ObserverHandle, QueryMetrics,
 };
 use reopt_expr::{ColumnRef, Expr};
-use reopt_planner::{collapse_spec, CardinalityOverrides, PlannedQuery, QuerySpec, RelSet};
+use reopt_planner::{
+    bind_select, collapse_spec, feedback_key, seed_overrides_from_cache, CardinalityOverrides,
+    Exactness, PlannedQuery, QuerySpec, RelSet,
+};
 use reopt_sql::{parse_sql, SelectExpr, SelectItem, SelectStatement, Statement, TableRef};
 use reopt_storage::Row;
 use std::cell::RefCell;
@@ -118,6 +134,10 @@ pub struct ReoptConfig {
     pub max_rounds: usize,
     /// Which built-in policy to run.
     pub mode: ReoptMode,
+    /// Whether the run consults and feeds the catalog's cross-query cardinality
+    /// feedback cache. Defaults to [`feedback_enabled_by_default`] (the
+    /// `REOPT_FEEDBACK` environment variable; on unless set to `0`).
+    pub feedback: bool,
 }
 
 impl Default for ReoptConfig {
@@ -126,8 +146,17 @@ impl Default for ReoptConfig {
             threshold: DEFAULT_REOPT_THRESHOLD,
             max_rounds: 16,
             mode: ReoptMode::Materialize,
+            feedback: feedback_enabled_by_default(),
         }
     }
+}
+
+/// Whether cross-query cardinality feedback is enabled by default: the
+/// `REOPT_FEEDBACK` environment variable, treated as on unless set to `0`.
+pub fn feedback_enabled_by_default() -> bool {
+    std::env::var("REOPT_FEEDBACK")
+        .map(|value| value != "0")
+        .unwrap_or(true)
 }
 
 impl ReoptConfig {
@@ -155,6 +184,15 @@ impl ReoptConfig {
             threshold,
             ..Self::default()
         }
+    }
+
+    /// The same configuration with cross-query cardinality feedback forced on or off,
+    /// overriding the `REOPT_FEEDBACK` environment default. Tests that assert exact
+    /// round counts across several runs on one database pin this off; benchmark
+    /// second-pass runs pin it on.
+    pub fn with_feedback(mut self, feedback: bool) -> Self {
+        self.feedback = feedback;
+        self
     }
 
     /// The built-in [`ReoptPolicy`] this configuration stands for. `ReoptMode` is the
@@ -274,23 +312,37 @@ pub fn execute_with_reoptimization(
     config: &ReoptConfig,
 ) -> Result<ReoptReport, DbError> {
     let mut policy = config.policy();
-    execute_with_policy(db, sql, policy.as_mut())
+    execute_with_policy_feedback(db, sql, policy.as_mut(), config.feedback)
 }
 
 /// Run a query under an arbitrary [`ReoptPolicy`]: the unified driver behind every
 /// re-optimization scheme in this crate. See the [module documentation](self) for the
-/// decision semantics and [`crate::policy`] for the built-in policies.
+/// decision semantics and [`crate::policy`] for the built-in policies. Cross-query
+/// cardinality feedback follows the `REOPT_FEEDBACK` environment default; use
+/// [`execute_with_policy_feedback`] to pin it per-run.
 pub fn execute_with_policy(
     db: &mut Database,
     sql: &str,
     policy: &mut dyn ReoptPolicy,
+) -> Result<ReoptReport, DbError> {
+    execute_with_policy_feedback(db, sql, policy, feedback_enabled_by_default())
+}
+
+/// [`execute_with_policy`] with cross-query cardinality feedback explicitly on or
+/// off for this run (seeding the first planning pass from the catalog's
+/// `FeedbackCache` and recording every observed cardinality back into it).
+pub fn execute_with_policy_feedback(
+    db: &mut Database,
+    sql: &str,
+    policy: &mut dyn ReoptPolicy,
+    feedback: bool,
 ) -> Result<ReoptReport, DbError> {
     let statement = parse_sql(sql)?;
     let select = statement
         .query()
         .ok_or_else(|| DbError::Reoptimization("re-optimization needs a SELECT".into()))?
         .clone();
-    let mut driver = Driver::new(select);
+    let mut driver = Driver::new(select, feedback);
     let result = driver.run(db, policy);
     // Never leak the driver's temp/virtual tables, even on error — but drop only the
     // tables *this* run created: a user's own session temp tables must survive a
@@ -299,9 +351,12 @@ pub fn execute_with_policy(
     result
 }
 
-/// Whether the SELECT list contains a wildcard. Wildcard queries have no projection
-/// node, so their output column order follows the join order — re-planning could
-/// silently permute the output. Every policy runs them plain.
+/// Whether the SELECT list contains a wildcard. The optimizer pins a wildcard's
+/// output projection to FROM order, so restart-style re-planning is safe; but the
+/// temp-table rewrite (mangled column names) and the mid-query collapse (a virtual
+/// leaf's schema replaces the expanded base columns) would still change the expanded
+/// column set, so the driver degrades materialize restarts to injection and never
+/// observes events (no mid-query rounds) for wildcard queries.
 fn has_wildcard(select: &SelectStatement) -> bool {
     select
         .items
@@ -376,19 +431,33 @@ struct RunResult {
 /// truth). Only joins and leaf scans are harvested — their output is the filtered
 /// cardinality of their relation set, which is exactly what a
 /// [`CardinalityOverrides`] entry means; aggregates/sorts/projections share a rel_set
-/// with different row semantics.
-fn harvest_observations(metrics: &QueryMetrics) -> Vec<(RelSet, f64)> {
+/// with different row semantics. Each observation is tagged: an exhausted subtree's
+/// count is [`Exactness::Exact`]; an unfinished operator that merely overshot its
+/// estimate has only produced a lower bound ([`Exactness::AtLeast`]).
+fn harvest_observations(metrics: &QueryMetrics) -> Vec<(RelSet, f64, Exactness)> {
     let mut out = Vec::new();
     metrics.root.walk(&mut |node| {
         let m = &node.metrics;
         if m.rel_set.is_empty() || !(m.is_join || node.children.is_empty()) {
             return;
         }
-        if m.exhausted || (m.actual_rows as f64) > m.estimated_rows {
-            out.push((m.rel_set, m.actual_rows as f64));
+        if m.exhausted {
+            out.push((m.rel_set, m.actual_rows as f64, Exactness::Exact));
+        } else if (m.actual_rows as f64) > m.estimated_rows {
+            out.push((m.rel_set, m.actual_rows as f64, Exactness::AtLeast));
         }
     });
     out
+}
+
+/// The exactness of a violation's observed count: a completed detection run or
+/// breaker completion saw the true cardinality; a streaming progress report has only
+/// a lower bound.
+fn violation_exactness(trigger: ReoptTrigger) -> Exactness {
+    match trigger {
+        ReoptTrigger::Progress => Exactness::AtLeast,
+        _ => Exactness::Exact,
+    }
 }
 
 /// The mutable state of one [`execute_with_policy`] call.
@@ -398,6 +467,19 @@ struct Driver {
     current: SelectStatement,
     /// The bound form after a mid-query collapse (takes precedence over `current`).
     collapsed: Option<QuerySpec>,
+    /// Whether this run consults and feeds the catalog's cross-query feedback cache.
+    feedback: bool,
+    /// Whether the SELECT list contains a wildcard (see [`has_wildcard`]).
+    wildcard: bool,
+    /// The original query in bound form — the indexing every feedback-cache key uses.
+    original_spec: Option<QuerySpec>,
+    /// Per-relation mapping from the *current* query's indexing back to the original
+    /// query's: identity at first, composed across every materialize rewrite (the
+    /// temp relation expands to the subset it materialized) and mid-query collapse
+    /// (the virtual leaf likewise). `None` marks a relation with no original-space
+    /// image; observations touching it are never recorded — a driver-created leaf
+    /// must not outlive its table in the cache.
+    to_original: Vec<Option<RelSet>>,
     /// Corrections and carried observations, keyed in the current query's indexing.
     injected: CardinalityOverrides,
     rounds: Vec<ReoptRound>,
@@ -416,11 +498,16 @@ struct Driver {
 }
 
 impl Driver {
-    fn new(original: SelectStatement) -> Self {
+    fn new(original: SelectStatement, feedback: bool) -> Self {
+        let wildcard = has_wildcard(&original);
         Self {
             current: original.clone(),
             original,
             collapsed: None,
+            feedback,
+            wildcard,
+            original_spec: None,
+            to_original: Vec::new(),
             injected: CardinalityOverrides::new(),
             rounds: Vec::new(),
             planning_time: Duration::ZERO,
@@ -440,10 +527,26 @@ impl Driver {
         db: &mut Database,
         policy: &mut dyn ReoptPolicy,
     ) -> Result<ReoptReport, DbError> {
-        // Safety gate shared by every policy; see `has_wildcard` and
-        // `reopt_safe_under_limit`. Unsafe queries execute plain, with no observer
-        // and no rounds.
-        let rewrite_safe = !has_wildcard(&self.original) && reopt_safe_under_limit(&self.original);
+        // LIMIT safety gate shared by every policy (see `reopt_safe_under_limit`);
+        // unsafe queries execute plain, with no observer and no rounds. Wildcard
+        // queries re-plan across restarts but never observe events (no mid-query
+        // collapse; see `has_wildcard`).
+        let limit_safe = reopt_safe_under_limit(&self.original);
+
+        // Bind the original once: its indexing is the coordinate system of every
+        // feedback-cache key this run reads or writes.
+        let original_spec = bind_select(&self.original, db.storage())?;
+        self.to_original = (0..original_spec.relation_count())
+            .map(|rel| Some(RelSet::single(rel)))
+            .collect();
+        if self.feedback && limit_safe {
+            // Seed the first planning pass from the cache. Queries whose LIMIT makes
+            // re-planning order-sensitive plan unseeded: a seeded first plan could
+            // keep a different row subset than the same query planned cold.
+            let seeds = seed_overrides_from_cache(&original_spec, db.catalog_mut().feedback_mut());
+            self.injected.merge(&seeds);
+        }
+        self.original_spec = Some(original_spec);
 
         loop {
             let (planned, plan_time) = match &self.collapsed {
@@ -455,17 +558,21 @@ impl Driver {
             // Past the round budget the policy is simply not consulted: the final
             // plan runs to completion instead of failing the query (a mid-query
             // round leaves no way to "re-run the original" anyway).
-            let budget_open = rewrite_safe && self.rounds.len() < policy.max_rounds();
+            let budget_open = limit_safe && self.rounds.len() < policy.max_rounds();
             let ctx = PolicyContext {
                 all_relations: planned.spec.all_relations(),
                 rounds: self.rounds.len(),
             };
-            let observe = budget_open && policy.wants_events();
+            let observe = budget_open && !self.wildcard && policy.wants_events();
             let run = run_pipeline(db, &planned, policy, ctx.clone(), observe)?;
             self.peak_buffered_rows = self.peak_buffered_rows.max(run.peak_buffered_rows);
 
             match run.outcome {
                 RunOutcome::Completed(rows, metrics) => {
+                    // Harvest into the cross-query cache before anything remaps the
+                    // indexing: a completed run's exhausted counts are truths worth
+                    // keeping whether or not the policy restarts.
+                    self.record_feedback(db, &harvest_observations(&metrics));
                     let decision = if budget_open {
                         policy.on_complete(&metrics, &planned.spec, &ctx)
                     } else {
@@ -509,6 +616,25 @@ impl Driver {
                 RunOutcome::Suspended(states, partial_metrics) => {
                     let partial_time = partial_metrics.execution_time;
                     self.detection_time += partial_time;
+                    let mut observed = harvest_observations(&partial_metrics);
+                    if let Some(
+                        PolicyDecision::Restart { violation, .. }
+                        | PolicyDecision::ReplanMidQuery { violation },
+                    ) = &run.decision
+                    {
+                        // The violation can exceed the metrics-tree count for the
+                        // same subset (it includes the in-flight batch the
+                        // suspension discarded); the cache's merge rules keep
+                        // whichever observation says more.
+                        if !violation.rel_set.is_empty() {
+                            observed.push((
+                                violation.rel_set,
+                                violation.actual_rows as f64,
+                                violation_exactness(violation.trigger),
+                            ));
+                        }
+                    }
+                    self.record_feedback(db, &observed);
                     let decision = run.decision.ok_or_else(|| {
                         DbError::Reoptimization(
                             "pipeline suspended without a policy decision".into(),
@@ -567,6 +693,12 @@ impl Driver {
         violation: Violation,
         corrections: &[crate::policy::Correction],
     ) -> Result<(), DbError> {
+        // A wildcard SELECT survives re-planning (its projection is pinned to FROM
+        // order) but not the temp-table rewrite, whose mangled column names would
+        // leak into the expansion: degrade to an inject-only round carrying the
+        // violation's observed count.
+        let degraded = materialize && self.wildcard;
+        let materialize = materialize && !degraded;
         let mut round = ReoptRound {
             kind: ReoptRoundKind::Restart,
             trigger: violation.trigger,
@@ -626,23 +758,81 @@ impl Driver {
                 }
             }
             let mut remapped = CardinalityOverrides::new();
-            for (set, observed) in self.injected.iter() {
+            for (set, observed, exactness) in self.injected.iter_entries() {
                 if let Some(mapped) =
                     reopt_planner::remap_rel_set(set, violation.rel_set, &mapping, next)
                 {
-                    remapped.set(mapped, observed);
+                    match exactness {
+                        Exactness::Exact => remapped.set(mapped, observed),
+                        Exactness::AtLeast => remapped.set_at_least(mapped, observed),
+                    }
                 }
             }
             self.injected = remapped;
+            // Compose the original-space mapping: the temp relation (index `next`)
+            // expands to everything the materialized subset stood for.
+            let mut new_to_original: Vec<Option<RelSet>> = vec![None; next + 1];
+            for rel in 0..planned.spec.relation_count() {
+                if let Some(Some(new_index)) = mapping.get(rel) {
+                    new_to_original[*new_index] = self.to_original.get(rel).copied().flatten();
+                }
+            }
+            new_to_original[next] = self.original_image(violation.rel_set);
+            self.to_original = new_to_original;
             self.current = rewritten;
         } else {
             for correction in corrections {
-                self.injected.set(correction.rel_set, correction.rows);
+                match violation_exactness(violation.trigger) {
+                    Exactness::Exact => self.injected.set(correction.rel_set, correction.rows),
+                    Exactness::AtLeast => {
+                        self.injected.set_at_least(correction.rel_set, correction.rows)
+                    }
+                }
             }
             round.corrections = corrections.len();
+            if degraded && !violation.rel_set.is_empty() {
+                self.injected
+                    .set(violation.rel_set, violation.actual_rows as f64);
+                round.corrections += 1;
+            }
         }
         self.rounds.push(round);
         Ok(())
+    }
+
+    /// The original-space image of a relation set in the *current* query's indexing,
+    /// or `None` when any member has no image (see [`Driver::to_original`]).
+    fn original_image(&self, set: RelSet) -> Option<RelSet> {
+        let mut out = RelSet::EMPTY;
+        for rel in set.iter() {
+            out = out.union((*self.to_original.get(rel)?)?);
+        }
+        (!out.is_empty()).then_some(out)
+    }
+
+    /// Record exactness-tagged observations (in the current indexing) into the
+    /// catalog's cross-query feedback cache, translated back to the original query's
+    /// indexing and keyed by its normalized predicate signature. Observations that
+    /// touch a relation with no original-space image are discarded — a key must
+    /// never reference a driver-created temp or virtual leaf.
+    fn record_feedback(&self, db: &mut Database, observations: &[(RelSet, f64, Exactness)]) {
+        if !self.feedback || observations.is_empty() {
+            return;
+        }
+        let Some(spec) = self.original_spec.as_ref() else {
+            return;
+        };
+        for (set, rows, exactness) in observations {
+            let Some(original) = self.original_image(*set) else {
+                continue;
+            };
+            let Some(key) = feedback_key(spec, original) else {
+                continue;
+            };
+            db.catalog_mut()
+                .feedback_mut()
+                .record(key, *rows, *exactness == Exactness::Exact);
+        }
     }
 
     /// Apply a [`PolicyDecision::ReplanMidQuery`]: reuse completed breaker state as a
@@ -730,14 +920,20 @@ impl Driver {
                 // lower bound itself.
                 let collapsed = collapse_spec(spec, subset, &virt_name, &virt_name, schema);
                 let mut overrides = CardinalityOverrides::new();
-                for (set, observed) in self.injected.iter() {
+                for (set, observed, exactness) in self.injected.iter_entries() {
                     if let Some(mapped) = collapsed.remap(set) {
-                        overrides.set(mapped, observed);
+                        match exactness {
+                            Exactness::Exact => overrides.set(mapped, observed),
+                            Exactness::AtLeast => overrides.set_at_least(mapped, observed),
+                        }
                     }
                 }
-                for (set, observed) in &observations {
+                for (set, observed, exactness) in &observations {
                     if let Some(mapped) = collapsed.remap(*set) {
-                        overrides.set(mapped, *observed);
+                        match exactness {
+                            Exactness::Exact => overrides.set(mapped, *observed),
+                            Exactness::AtLeast => overrides.set_at_least(mapped, *observed),
+                        }
                     }
                 }
                 // When the collapse happened around a different subset than the
@@ -745,17 +941,35 @@ impl Driver {
                 // that fell back to another state), the violating observation itself
                 // still needs injecting — last, and never downgrading a harvested
                 // count (the violation includes the in-flight batch the suspension
-                // discarded). The collapsed subset's own cardinality is carried by
-                // the virtual table's statistics.
+                // discarded; `set_at_least` keeps whichever says more). The collapsed
+                // subset's own cardinality is carried by the virtual table's
+                // statistics.
                 if subset != violation.rel_set {
                     if let Some(mapped) = collapsed.remap(violation.rel_set) {
-                        let bound = (violation.actual_rows as f64)
-                            .max(overrides.get(mapped).unwrap_or(0.0));
-                        overrides.set(mapped, bound);
+                        match violation_exactness(violation.trigger) {
+                            Exactness::Exact => {
+                                overrides.set(mapped, violation.actual_rows as f64)
+                            }
+                            Exactness::AtLeast => {
+                                overrides.set_at_least(mapped, violation.actual_rows as f64)
+                            }
+                        }
                     }
                 }
                 round.corrections = overrides.len();
                 self.injected = overrides;
+
+                // Compose the original-space mapping: the virtual leaf expands to
+                // everything the collapsed subset stood for.
+                let mut new_to_original: Vec<Option<RelSet>> =
+                    vec![None; collapsed.virtual_index + 1];
+                for rel in 0..spec.relation_count() {
+                    if let Some(Some(new_index)) = collapsed.mapping.get(rel) {
+                        new_to_original[*new_index] = self.to_original.get(rel).copied().flatten();
+                    }
+                }
+                new_to_original[collapsed.virtual_index] = self.original_image(subset);
+                self.to_original = new_to_original;
 
                 self.annotations.push(format!(
                     "-- {virt_name}: reused in-flight {kind:?} state over [{}] ({reused_rows} rows)",
@@ -774,20 +988,29 @@ impl Driver {
                 // plan the operators above the violation have usually produced most
                 // of their output too, so one suspension corrects many estimates.
                 let mut corrections = 0usize;
-                for (set, observed) in &observations {
-                    self.injected.set(*set, *observed);
+                for (set, observed, exactness) in &observations {
+                    match exactness {
+                        Exactness::Exact => self.injected.set(*set, *observed),
+                        Exactness::AtLeast => self.injected.set_at_least(*set, *observed),
+                    }
                     corrections += 1;
                 }
                 // The violation goes in last, and never downgrades: its count
                 // includes the in-flight batch the suspension discarded, so it can
-                // exceed the metrics-tree count harvested for the same subset.
+                // exceed the metrics-tree count harvested for the same subset
+                // (`set_at_least` keeps whichever says more).
                 if !violation.rel_set.is_empty() {
-                    let bound = (violation.actual_rows as f64)
-                        .max(self.injected.get(violation.rel_set).unwrap_or(0.0));
                     if self.injected.get(violation.rel_set).is_none() {
                         corrections += 1;
                     }
-                    self.injected.set(violation.rel_set, bound);
+                    match violation_exactness(violation.trigger) {
+                        Exactness::Exact => self
+                            .injected
+                            .set(violation.rel_set, violation.actual_rows as f64),
+                        Exactness::AtLeast => self
+                            .injected
+                            .set_at_least(violation.rel_set, violation.actual_rows as f64),
+                    }
                 }
                 round.corrections = corrections;
             }
@@ -1265,19 +1488,37 @@ mod tests {
     }
 
     #[test]
-    fn wildcard_selects_execute_unrewritten() {
+    fn wildcard_selects_replan_without_rewrite() {
         // `SELECT *` cannot survive the temp-table rewrite (subset columns get
-        // mangled names), so the driver must run it plain even when a join
-        // is badly mis-estimated — and the rows must match plain execution.
+        // mangled names), but with the projection pinned to FROM order it CAN be
+        // re-planned: the materialize policy degrades to injecting the observed
+        // count and restarts. The output must match plain execution as a multiset
+        // (the corrected join order may emit rows in a different order).
         let mut db = test_database();
         let sql = "SELECT * FROM movie_keyword AS mk, keyword AS k
                    WHERE mk.keyword_id = k.id AND k.keyword = 'kw0'";
         let expected = db.execute(sql).unwrap();
-        let report =
-            execute_with_reoptimization(&mut db, sql, &ReoptConfig::with_threshold(2.0)).unwrap();
-        assert!(!report.reoptimized(), "wildcard queries must not be rewritten");
-        assert_eq!(report.final_rows, expected.rows);
-        assert_eq!(report.detection_time, Duration::ZERO);
+        let report = execute_with_reoptimization(
+            &mut db,
+            sql,
+            &ReoptConfig::with_threshold(2.0).with_feedback(false),
+        )
+        .unwrap();
+        assert!(
+            report.reoptimized(),
+            "the mis-estimated wildcard join must still be corrected"
+        );
+        assert!(
+            report.rounds.iter().all(|r| r.temp_table.is_none()),
+            "wildcard rounds must degrade to injection, never rewrite"
+        );
+        assert!(report.rounds.iter().all(|r| r.corrections >= 1));
+        let mut got = report.final_rows.clone();
+        let mut want = expected.rows.clone();
+        got.sort_by(|a, b| format!("{a:?}").cmp(&format!("{b:?}")));
+        want.sort_by(|a, b| format!("{a:?}").cmp(&format!("{b:?}")));
+        assert_eq!(got, want, "re-planning changed the wildcard result set");
+        assert!(report.detection_time > Duration::ZERO);
     }
 
     #[test]
@@ -1364,9 +1605,12 @@ mod tests {
             "an aggregate below the limit drains every join"
         );
         for mode in [ReoptMode::Materialize, ReoptMode::InjectOnly] {
+            // Feedback off: this test runs both modes against the same database and
+            // asserts each one re-discovers the violation from scratch.
             let config = ReoptConfig {
                 threshold: 4.0,
                 mode,
+                feedback: false,
                 ..Default::default()
             };
             let report = execute_with_reoptimization(&mut db, sql, &config).unwrap();
@@ -1515,9 +1759,12 @@ mod tests {
     #[test]
     fn mid_query_report_renders_round_kinds() {
         let mut db = hash_join_only_database();
+        // Feedback off: the second (restart) run must mis-estimate the same join
+        // again rather than be seeded by what the first run learned.
         let config = ReoptConfig {
             threshold: 4.0,
             mode: ReoptMode::MidQuery,
+            feedback: false,
             ..Default::default()
         };
         let report = execute_with_reoptimization(&mut db, SKEWED_SQL, &config).unwrap();
@@ -1530,7 +1777,7 @@ mod tests {
         let restart = execute_with_reoptimization(
             &mut db,
             SKEWED_SQL,
-            &ReoptConfig::with_threshold(4.0),
+            &ReoptConfig::with_threshold(4.0).with_feedback(false),
         )
         .unwrap();
         let rendered = restart.render();
@@ -1966,5 +2213,244 @@ mod tests {
         let mut db = test_database();
         let err = execute_with_policy(&mut db, SKEWED_SQL, &mut BadPolicy);
         assert!(err.is_err(), "ReplanMidQuery from on_complete must be rejected");
+    }
+
+    #[test]
+    fn feedback_seeds_the_next_run_of_the_same_template() {
+        // The tentpole scenario: the first run of the skewed query discovers the
+        // mis-estimate the hard way (re-optimization rounds); the harvested truths
+        // land in the catalog's feedback cache and the second run of the same
+        // template plans right from the start.
+        let mut db = test_database();
+        let expected = db.execute(SKEWED_SQL).unwrap();
+        let config = ReoptConfig::with_threshold(4.0).with_feedback(true);
+
+        let first = execute_with_reoptimization(&mut db, SKEWED_SQL, &config).unwrap();
+        assert!(first.reoptimized(), "the first run must pay for the discovery");
+        assert_eq!(first.final_rows, expected.rows);
+        assert!(
+            !db.catalog().feedback().is_empty(),
+            "the run must leave observations behind"
+        );
+
+        let second = execute_with_reoptimization(&mut db, SKEWED_SQL, &config).unwrap();
+        assert_eq!(second.final_rows, expected.rows, "seeding changed the result");
+        assert!(
+            second.rounds.len() < first.rounds.len(),
+            "the seeded run must need fewer rounds ({} vs {})",
+            second.rounds.len(),
+            first.rounds.len()
+        );
+    }
+
+    #[test]
+    fn feedback_seeds_across_modes_and_query_variants() {
+        // Observations are keyed by (relation set, predicate signature), not by the
+        // whole query: a different SELECT list and alias spelling over the same
+        // joins and predicates still hits the cached entries, and a different
+        // policy consumes what another policy learned.
+        let mut db = test_database();
+        let config = ReoptConfig {
+            threshold: 4.0,
+            mode: ReoptMode::InjectOnly,
+            feedback: true,
+            ..Default::default()
+        };
+        let first = execute_with_reoptimization(&mut db, SKEWED_SQL, &config).unwrap();
+        assert!(first.reoptimized());
+
+        // Same join graph and predicates, different aliases, projection and mode.
+        let variant = "SELECT count(*) AS n
+            FROM title AS film, movie_keyword AS link, keyword AS tag
+            WHERE film.id = link.movie_id AND link.keyword_id = tag.id
+              AND tag.keyword = 'kw0' AND film.production_year > 1985";
+        let expected = db.execute(variant).unwrap();
+        let report = execute_with_reoptimization(
+            &mut db,
+            variant,
+            &ReoptConfig::with_threshold(4.0).with_feedback(true),
+        )
+        .unwrap();
+        assert_eq!(report.final_rows, expected.rows);
+        assert!(
+            !report.reoptimized(),
+            "the variant must be seeded by the first run's observations:\n{}",
+            report.render()
+        );
+    }
+
+    #[test]
+    fn feedback_keys_never_reference_driver_created_tables() {
+        // The stale-override hazard: materialize restarts re-index observations
+        // against `reopt_temp*` tables and mid-query rounds against `reopt_mq*`
+        // virtual leaves. Every recorded key must be mapped back to the original
+        // relations (or discarded) — a key naming a driver-created table would
+        // anchor a later, unrelated query on garbage.
+        let mut db = test_database();
+        let config = ReoptConfig::with_threshold(4.0).with_feedback(true);
+        let report = execute_with_reoptimization(&mut db, SKEWED_SQL, &config).unwrap();
+        assert!(
+            report.rounds.iter().any(|r| r.temp_table.is_some()),
+            "the scenario must actually rewrite through a temp table"
+        );
+
+        let mut db2 = crate::database::tests::test_database_with_config(
+            reopt_planner::OptimizerConfig {
+                enable_index_scans: false,
+                enable_index_nl_joins: false,
+                enable_merge_joins: false,
+                ..Default::default()
+            },
+        );
+        let mid = ReoptConfig {
+            threshold: 4.0,
+            mode: ReoptMode::MidQuery,
+            feedback: true,
+            ..Default::default()
+        };
+        let mid_report = execute_with_reoptimization(&mut db2, SKEWED_SQL, &mid).unwrap();
+        assert!(
+            mid_report.rounds.iter().any(|r| {
+                r.temp_table.as_deref().is_some_and(|t| t.starts_with("reopt_mq"))
+            }),
+            "the scenario must collapse through a virtual leaf"
+        );
+
+        for db in [&db, &db2] {
+            assert!(!db.catalog().feedback().is_empty());
+            for (key, _, _) in db.catalog().feedback().iter() {
+                for relation in &key.relations {
+                    assert!(
+                        !relation.table.starts_with("reopt_"),
+                        "feedback key references a driver-created table: {key:?}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn ingest_analyze_and_temp_drop_invalidate_feedback() {
+        let mut db = test_database();
+        let config = ReoptConfig::with_threshold(4.0).with_feedback(true);
+        let references = |db: &Database, table: &str| {
+            db.catalog()
+                .feedback()
+                .iter()
+                .any(|(key, _, _)| key.references_table(table))
+        };
+        let populate = |db: &mut Database| {
+            execute_with_reoptimization(db, SKEWED_SQL, &config).unwrap();
+            assert!(references(db, "keyword") && references(db, "movie_keyword"));
+        };
+
+        // Ingest into a referenced table drops the stale entries immediately;
+        // entries over unrelated subsets survive.
+        populate(&mut db);
+        db.ingest_rows(
+            "keyword",
+            vec![Row::from_values(vec![Value::Int(50), Value::from("kw50")])],
+        )
+        .unwrap();
+        assert!(
+            !references(&db, "keyword"),
+            "ingest must evict entries referencing the table"
+        );
+        assert!(
+            !db.catalog().feedback().is_empty(),
+            "subsets not touching the ingested table must survive"
+        );
+
+        // ANALYZE refreshes statistics and likewise forgets what was learned
+        // against the old ones.
+        populate(&mut db);
+        db.analyze("movie_keyword").unwrap();
+        assert!(
+            !references(&db, "movie_keyword"),
+            "ANALYZE must evict entries referencing the table"
+        );
+
+        // Dropping a temporary table takes its feedback entries with it.
+        populate(&mut db);
+        db.execute(
+            "CREATE TEMP TABLE kw0_links AS
+               SELECT mk.movie_id AS movie_id FROM movie_keyword AS mk, keyword AS k
+               WHERE mk.keyword_id = k.id AND k.keyword = 'kw0'",
+        )
+        .unwrap();
+        execute_with_reoptimization(
+            &mut db,
+            "SELECT count(*) AS c FROM title AS t, kw0_links AS l WHERE t.id = l.movie_id",
+            &config,
+        )
+        .unwrap();
+        let references_temp = |db: &Database| {
+            db.catalog()
+                .feedback()
+                .iter()
+                .any(|(key, _, _)| key.references_table("kw0_links"))
+        };
+        assert!(references_temp(&db), "the temp-table query must record feedback");
+        db.drop_temporary_tables();
+        assert!(
+            !references_temp(&db),
+            "dropping the temp table must evict its feedback entries"
+        );
+        assert!(
+            !db.catalog().feedback().is_empty(),
+            "entries over base tables survive the temp drop"
+        );
+    }
+
+    #[test]
+    fn feedback_disabled_records_and_seeds_nothing() {
+        let mut db = test_database();
+        let config = ReoptConfig::with_threshold(4.0).with_feedback(false);
+        let first = execute_with_reoptimization(&mut db, SKEWED_SQL, &config).unwrap();
+        assert!(first.reoptimized());
+        assert!(db.catalog().feedback().is_empty(), "feedback off must not record");
+        let second = execute_with_reoptimization(&mut db, SKEWED_SQL, &config).unwrap();
+        assert_eq!(
+            second.rounds.len(),
+            first.rounds.len(),
+            "without feedback every run rediscovers the same violations"
+        );
+    }
+
+    #[test]
+    fn wildcard_join_corrects_through_inject_rounds() {
+        // Regression (satellite of the wildcard carve-out fix): a badly
+        // mis-estimated `SELECT *` join must now actually get corrected — the
+        // restart rounds re-plan it with the observed counts injected — instead of
+        // silently running the bad plan to completion.
+        let mut db = test_database();
+        let sql = "SELECT * FROM title AS t, movie_keyword AS mk, keyword AS k
+                   WHERE t.id = mk.movie_id AND mk.keyword_id = k.id
+                     AND k.keyword = 'kw0' AND t.production_year > 1985";
+        let expected = db.execute(sql).unwrap();
+        let config = ReoptConfig::with_threshold(4.0).with_feedback(false);
+        let report = execute_with_reoptimization(&mut db, sql, &config).unwrap();
+        assert!(report.reoptimized(), "the skewed wildcard join must trigger");
+        assert!(report.rounds.iter().all(|r| r.temp_table.is_none()));
+        let mut got: Vec<String> = report.final_rows.iter().map(|r| format!("{r}")).collect();
+        let mut want: Vec<String> = expected.rows.iter().map(|r| format!("{r}")).collect();
+        got.sort();
+        want.sort();
+        assert_eq!(got, want, "correction changed the wildcard result set");
+        // The final round's injected counts leave the re-planned query accurate:
+        // its worst q-error must beat the original violation.
+        let final_metrics = report.final_metrics.as_ref().unwrap();
+        let worst_final = final_metrics
+            .root
+            .joins_bottom_up()
+            .iter()
+            .map(|j| j.q_error())
+            .fold(1.0f64, f64::max);
+        assert!(
+            worst_final < report.rounds[0].q_error,
+            "the corrected plan must estimate better than the violation \
+             ({worst_final} vs {})",
+            report.rounds[0].q_error
+        );
     }
 }

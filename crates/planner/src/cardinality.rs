@@ -45,10 +45,32 @@ pub const DEFAULT_PREFIX_SEL: f64 = 0.02;
 /// Fallback row count for tables that were never analyzed.
 pub const DEFAULT_ROW_COUNT: f64 = 1000.0;
 
+/// Whether an injected cardinality is a true count or only a lower bound.
+///
+/// The re-optimization driver observes both kinds: a completed (exhausted) operator
+/// yields an *exact* count, while a suspended streaming join mid-probe has only seen
+/// *at least* that many rows. The estimator pins estimates on exact entries but merely
+/// floors the model on lower bounds — memoizing a bound as truth would freeze an
+/// estimate below the real cardinality forever.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Exactness {
+    /// A true cardinality: the operator ran to completion.
+    #[default]
+    Exact,
+    /// A lower bound: the operator was suspended after producing this many rows.
+    AtLeast,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct OverrideEntry {
+    rows: f64,
+    exactness: Exactness,
+}
+
 /// Injected cardinalities, keyed by relation subset.
 #[derive(Debug, Clone, Default)]
 pub struct CardinalityOverrides {
-    map: HashMap<RelSet, f64>,
+    map: HashMap<RelSet, OverrideEntry>,
     /// Multi-relation override sets bucketed by size (`by_size[len]`), kept in sync
     /// with `map`. [`CardinalityOverrides::largest_anchor_within`] is called for
     /// every uncached multi-relation estimate, and a perfect-(n) oracle run injects
@@ -71,9 +93,12 @@ impl CardinalityOverrides {
         Self::default()
     }
 
-    /// Pin the cardinality of `set` to `rows`.
-    pub fn set(&mut self, set: RelSet, rows: f64) {
-        if self.map.insert(set, rows.max(0.0)).is_none() && set.len() >= 2 {
+    fn insert_entry(&mut self, set: RelSet, rows: f64, exactness: Exactness) {
+        let entry = OverrideEntry {
+            rows: rows.max(0.0),
+            exactness,
+        };
+        if self.map.insert(set, entry).is_none() && set.len() >= 2 {
             let size = set.len();
             if self.by_size.len() <= size {
                 self.by_size.resize(size + 1, Vec::new());
@@ -82,9 +107,31 @@ impl CardinalityOverrides {
         }
     }
 
-    /// The injected cardinality for `set`, if any.
+    /// Pin the cardinality of `set` to `rows` (an exact, observed count).
+    pub fn set(&mut self, set: RelSet, rows: f64) {
+        self.insert_entry(set, rows, Exactness::Exact);
+    }
+
+    /// Record that `set` produces *at least* `rows` rows. An existing entry is only
+    /// replaced when the bound says more than it does: an exact count stands unless
+    /// the bound exceeds it (the count was stale), and a previous bound only grows.
+    pub fn set_at_least(&mut self, set: RelSet, rows: f64) {
+        if let Some(existing) = self.map.get(&set) {
+            if rows <= existing.rows {
+                return;
+            }
+        }
+        self.insert_entry(set, rows, Exactness::AtLeast);
+    }
+
+    /// The injected cardinality for `set`, if any (exact or bound).
     pub fn get(&self, set: RelSet) -> Option<f64> {
-        self.map.get(&set).copied()
+        self.map.get(&set).map(|e| e.rows)
+    }
+
+    /// The injected cardinality and its exactness for `set`, if any.
+    pub fn get_entry(&self, set: RelSet) -> Option<(f64, Exactness)> {
+        self.map.get(&set).map(|e| (e.rows, e.exactness))
     }
 
     /// Remove an override.
@@ -106,16 +153,26 @@ impl CardinalityOverrides {
         self.map.is_empty()
     }
 
-    /// Merge another override table into this one (later entries win).
+    /// Merge another override table into this one. Incoming exact entries win
+    /// outright; incoming bounds obey [`CardinalityOverrides::set_at_least`]'s
+    /// never-downgrade rule.
     pub fn merge(&mut self, other: &CardinalityOverrides) {
-        for (set, rows) in &other.map {
-            self.set(*set, *rows);
+        for (set, entry) in &other.map {
+            match entry.exactness {
+                Exactness::Exact => self.set(*set, entry.rows),
+                Exactness::AtLeast => self.set_at_least(*set, entry.rows),
+            }
         }
     }
 
     /// Iterate over all overrides.
     pub fn iter(&self) -> impl Iterator<Item = (RelSet, f64)> + '_ {
-        self.map.iter().map(|(s, r)| (*s, *r))
+        self.map.iter().map(|(s, e)| (*s, e.rows))
+    }
+
+    /// Iterate over all overrides with their exactness.
+    pub fn iter_entries(&self) -> impl Iterator<Item = (RelSet, f64, Exactness)> + '_ {
+        self.map.iter().map(|(s, e)| (*s, e.rows, e.exactness))
     }
 
     /// The largest injected multi-relation subset that is a *proper* subset of `set`
@@ -135,7 +192,7 @@ impl CardinalityOverrides {
                 .filter(|s| s.is_proper_subset_of(set))
                 .max_by_key(|s| s.mask());
             if let Some(anchor) = best {
-                return Some((*anchor, self.map[anchor]));
+                return Some((*anchor, self.map[anchor].rows));
             }
         }
         None
@@ -266,10 +323,13 @@ impl<'a> CardinalityEstimator<'a> {
             return *rows;
         }
         self.log.borrow_mut().record(set.len());
-        let rows = if let Some(injected) = self.overrides.get(set) {
-            injected.max(1.0)
-        } else {
-            self.model_estimate(set)
+        let rows = match self.overrides.get_entry(set) {
+            // An exact observation pins the estimate.
+            Some((injected, Exactness::Exact)) => injected.max(1.0),
+            // A lower bound only floors the model: the true count may be far above
+            // the bound, so the model's own estimate still applies when larger.
+            Some((bound, Exactness::AtLeast)) => self.model_estimate(set).max(bound).max(1.0),
+            None => self.model_estimate(set),
         };
         self.cache.borrow_mut().insert(set, rows);
         rows
@@ -309,9 +369,12 @@ impl<'a> CardinalityEstimator<'a> {
         // every superset being rebuilt from the same wrong base estimates.
         let mut anchored = RelSet::EMPTY;
         let mut rows: f64 = 1.0;
-        if let Some((anchor, anchor_rows)) = self.overrides.largest_anchor_within(set) {
+        if let Some((anchor, _)) = self.overrides.largest_anchor_within(set) {
             anchored = anchor;
-            rows = anchor_rows.max(1.0);
+            // Route through `estimate` so an at-least anchor floors its own model
+            // estimate instead of being taken as truth (the anchor is a proper
+            // subset, so the recursion terminates).
+            rows = self.estimate(anchor).max(1.0);
         }
         for rel in set.difference(anchored).iter() {
             // Reuse (and cache / log) the single-relation estimate so that injected
@@ -883,6 +946,68 @@ mod tests {
         o.merge(&other);
         assert_eq!(o.len(), 2);
         assert_eq!(o.iter().count(), 2);
+    }
+
+    #[test]
+    fn at_least_bounds_never_downgrade_and_only_grow() {
+        let mut o = CardinalityOverrides::new();
+        // A bound on an empty slot lands as AtLeast.
+        o.set_at_least(RelSet::single(0), 100.0);
+        assert_eq!(o.get_entry(RelSet::single(0)), Some((100.0, Exactness::AtLeast)));
+        // A smaller bound is ignored; a larger one grows the entry.
+        o.set_at_least(RelSet::single(0), 50.0);
+        assert_eq!(o.get(RelSet::single(0)), Some(100.0));
+        o.set_at_least(RelSet::single(0), 150.0);
+        assert_eq!(o.get_entry(RelSet::single(0)), Some((150.0, Exactness::AtLeast)));
+        // An exact count replaces a bound outright (even a smaller one).
+        o.set(RelSet::single(0), 120.0);
+        assert_eq!(o.get_entry(RelSet::single(0)), Some((120.0, Exactness::Exact)));
+        // A bound at or below an exact count is ignored...
+        o.set_at_least(RelSet::single(0), 120.0);
+        assert_eq!(o.get_entry(RelSet::single(0)), Some((120.0, Exactness::Exact)));
+        // ...but a bound above it proves the count stale and takes over as a bound.
+        o.set_at_least(RelSet::single(0), 200.0);
+        assert_eq!(o.get_entry(RelSet::single(0)), Some((200.0, Exactness::AtLeast)));
+        // Merge preserves exactness per entry.
+        let mut other = CardinalityOverrides::new();
+        other.set(RelSet::single(1), 7.0);
+        other.set_at_least(RelSet::from_indexes([0, 1]), 33.0);
+        o.merge(&other);
+        assert_eq!(o.get_entry(RelSet::single(1)), Some((7.0, Exactness::Exact)));
+        assert_eq!(
+            o.get_entry(RelSet::from_indexes([0, 1])),
+            Some((33.0, Exactness::AtLeast))
+        );
+        assert_eq!(o.iter_entries().count(), 3);
+    }
+
+    #[test]
+    fn estimator_floors_on_lower_bounds_instead_of_pinning() {
+        let (storage, catalog) = build_env();
+        let spec = bind(
+            "SELECT * FROM company AS c, trades AS tr WHERE c.id = tr.company_id",
+            &storage,
+        );
+        // The model estimates the join at ~20 000 rows (1:N fk join). A lower bound
+        // far below that must NOT drag the estimate down...
+        let mut low = CardinalityOverrides::new();
+        low.set_at_least(RelSet::all(2), 10.0);
+        let est = CardinalityEstimator::new(&spec, &catalog, &low);
+        let model_rows = {
+            let none = CardinalityOverrides::new();
+            let plain = CardinalityEstimator::new(&spec, &catalog, &none);
+            plain.estimate(RelSet::all(2))
+        };
+        assert_eq!(est.estimate(RelSet::all(2)), model_rows);
+        // ...while a bound above the model floors it, and an exact entry pins it.
+        let mut high = CardinalityOverrides::new();
+        high.set_at_least(RelSet::all(2), model_rows * 4.0);
+        let est = CardinalityEstimator::new(&spec, &catalog, &high);
+        assert_eq!(est.estimate(RelSet::all(2)), model_rows * 4.0);
+        let mut exact = CardinalityOverrides::new();
+        exact.set(RelSet::all(2), 3.0);
+        let est = CardinalityEstimator::new(&spec, &catalog, &exact);
+        assert_eq!(est.estimate(RelSet::all(2)), 3.0);
     }
 
     #[test]

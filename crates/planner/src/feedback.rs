@@ -1,0 +1,356 @@
+//! Keying and seeding for the cross-query cardinality feedback cache.
+//!
+//! The catalog's `FeedbackCache` stores observed cardinalities under normalized
+//! *(relation set, predicate signature)* keys, but the catalog sits below the planner
+//! and cannot see [`QuerySpec`]s or expressions. This module is the bridge:
+//!
+//! * [`feedback_key`] renders a relation subset of a bound query into a
+//!   [`FeedbackKey`] — per-relation fingerprints (table plus alias-normalized local
+//!   predicates), join edges with canonical relation ordinals, and the complex
+//!   predicates applicable within the subset. The rendering is independent of FROM
+//!   order and alias spelling, so the same logical sub-join keys identically across
+//!   queries.
+//! * [`seed_overrides_from_cache`] does the reverse: scan the cache, match each
+//!   entry's fingerprints onto a new query's relations, verify the match by
+//!   re-rendering the key, and emit [`CardinalityOverrides`] to seed the first
+//!   planning pass. Exact entries pin estimates; lower bounds only floor them.
+//!
+//! Matching is conservative: an entry seeds a subset only when the re-rendered key is
+//! structurally equal, so a near-miss loses a seeding opportunity but can never
+//! inject a wrong association. Self-joins make the fingerprint→relation assignment
+//! ambiguous; the search enumerates subsets (combinations within equal-fingerprint
+//! groups) under a small attempt budget.
+
+use crate::cardinality::CardinalityOverrides;
+use crate::relset::RelSet;
+use crate::spec::QuerySpec;
+use reopt_catalog::{FeedbackCache, FeedbackKey, RelationFingerprint};
+use reopt_expr::{ColumnRef, Expr};
+
+/// Maximum candidate subsets tried per cache entry when self-joins make the
+/// fingerprint assignment ambiguous.
+const MAX_MATCH_ATTEMPTS: usize = 64;
+
+/// Render one local predicate with the relation's alias replaced by a placeholder, so
+/// `t.production_year > 2000` and `x.production_year > 2000` fingerprint identically.
+fn normalized_predicate(predicate: &Expr) -> String {
+    predicate
+        .map_column_refs(&|r| ColumnRef::qualified("@", &r.name))
+        .to_sql()
+}
+
+/// The feedback fingerprint of one relation of a bound query: its table name plus
+/// normalized, sorted local predicates.
+pub fn relation_fingerprint(spec: &QuerySpec, rel: usize) -> RelationFingerprint {
+    let relation = &spec.relations[rel];
+    RelationFingerprint::new(
+        relation.table.clone(),
+        spec.local_predicates[rel]
+            .iter()
+            .map(normalized_predicate)
+            .collect(),
+    )
+}
+
+/// The normalized feedback key for a relation subset of a bound query, or `None` for
+/// the empty set.
+pub fn feedback_key(spec: &QuerySpec, set: RelSet) -> Option<FeedbackKey> {
+    if set.is_empty() {
+        return None;
+    }
+    let members: Vec<usize> = set.iter().collect();
+    let mut fingerprints: Vec<(RelationFingerprint, usize)> = members
+        .iter()
+        .map(|&rel| (relation_fingerprint(spec, rel), rel))
+        .collect();
+    // Canonical ordinals: sort by fingerprint, ties by position in the set. Ties only
+    // occur between indistinguishable relations (same table, same predicates), where
+    // either labeling renders the same key for symmetric edge sets; asymmetric
+    // self-join shapes may key differently across queries, which only costs a missed
+    // seed, never a wrong one.
+    fingerprints.sort();
+    let mut ordinal_of = std::collections::HashMap::new();
+    for (ordinal, (_, rel)) in fingerprints.iter().enumerate() {
+        ordinal_of.insert(*rel, ordinal);
+    }
+
+    let mut edges = Vec::new();
+    for edge in spec.edges_within(set) {
+        let left = (ordinal_of[&edge.left_rel], edge.left_column.name.clone());
+        let right = (ordinal_of[&edge.right_rel], edge.right_column.name.clone());
+        let (a, b) = if left <= right {
+            (left, right)
+        } else {
+            (right, left)
+        };
+        edges.push(format!("r{}.{} = r{}.{}", a.0, a.1, b.0, b.1));
+    }
+
+    let mut predicates = Vec::new();
+    for (pred_set, expr) in &spec.complex_predicates {
+        if pred_set.is_subset_of(set) {
+            let rendered = expr.map_column_refs(&|r| {
+                let ordinal = r
+                    .qualifier
+                    .as_deref()
+                    .and_then(|q| spec.relation_by_alias(q))
+                    .and_then(|rel| ordinal_of.get(&rel));
+                match ordinal {
+                    Some(o) => ColumnRef::qualified(format!("r{o}"), &r.name),
+                    None => r.clone(),
+                }
+            });
+            predicates.push(rendered.to_sql());
+        }
+    }
+
+    Some(FeedbackKey::new(
+        fingerprints.into_iter().map(|(fp, _)| fp).collect(),
+        edges,
+        predicates,
+    ))
+}
+
+/// Enumerate candidate relation subsets matching `groups` (one candidate list per
+/// fingerprint, equal fingerprints sharing ascending-order constraints so each subset
+/// is tried once), verifying each with `verify` under an attempt budget.
+fn search_assignment(
+    groups: &[(RelationFingerprint, Vec<usize>)],
+    depth: usize,
+    used: RelSet,
+    min_index: usize,
+    attempts: &mut usize,
+    verify: &mut impl FnMut(RelSet) -> bool,
+) -> Option<RelSet> {
+    if depth == groups.len() {
+        *attempts += 1;
+        return verify(used).then_some(used);
+    }
+    let (fingerprint, candidates) = &groups[depth];
+    let same_group = depth > 0 && groups[depth - 1].0 == *fingerprint;
+    let floor = if same_group { min_index } else { 0 };
+    for &rel in candidates {
+        if *attempts >= MAX_MATCH_ATTEMPTS {
+            return None;
+        }
+        if used.contains(rel) || rel < floor {
+            continue;
+        }
+        if let Some(found) =
+            search_assignment(groups, depth + 1, used.insert(rel), rel + 1, attempts, verify)
+        {
+            return Some(found);
+        }
+    }
+    None
+}
+
+/// Match every cache entry against a bound query and build the override table that
+/// seeds its first planning pass: exact entries pin subset estimates, lower-bound
+/// entries floor them (see `CardinalityOverrides`). Entries that seed are touched in
+/// the cache (recency bump + hit count), so useful observations survive LRU eviction.
+pub fn seed_overrides_from_cache(
+    spec: &QuerySpec,
+    cache: &mut FeedbackCache,
+) -> CardinalityOverrides {
+    let mut seeds = CardinalityOverrides::new();
+    if cache.is_empty() || spec.relations.is_empty() {
+        return seeds;
+    }
+    let query_fingerprints: Vec<RelationFingerprint> = (0..spec.relations.len())
+        .map(|rel| relation_fingerprint(spec, rel))
+        .collect();
+
+    let mut seeded_keys: Vec<FeedbackKey> = Vec::new();
+    for (key, rows, exact) in cache.iter() {
+        if key.relations.len() > spec.relations.len() {
+            continue;
+        }
+        // One candidate list per key fingerprint (the key's list is sorted, so equal
+        // fingerprints are adjacent and share their candidate list).
+        let mut groups: Vec<(RelationFingerprint, Vec<usize>)> =
+            Vec::with_capacity(key.relations.len());
+        let mut matched = true;
+        for fingerprint in &key.relations {
+            let candidates: Vec<usize> = query_fingerprints
+                .iter()
+                .enumerate()
+                .filter(|(_, q)| *q == fingerprint)
+                .map(|(i, _)| i)
+                .collect();
+            if candidates.is_empty() {
+                matched = false;
+                break;
+            }
+            groups.push((fingerprint.clone(), candidates));
+        }
+        if !matched {
+            continue;
+        }
+        let mut attempts = 0;
+        let mut verify = |set: RelSet| feedback_key(spec, set).as_ref() == Some(key);
+        if let Some(set) = search_assignment(
+            &groups,
+            0,
+            RelSet::EMPTY,
+            0,
+            &mut attempts,
+            &mut verify,
+        ) {
+            if exact {
+                seeds.set(set, rows);
+            } else {
+                seeds.set_at_least(set, rows);
+            }
+            seeded_keys.push(key.clone());
+        }
+    }
+    for key in &seeded_keys {
+        cache.lookup(key);
+    }
+    seeds
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::binder::bind_select;
+    use crate::cardinality::Exactness;
+    use reopt_sql::parse_sql;
+    use reopt_storage::{Column, DataType, Row, Schema, Storage, Table, Value};
+
+    fn build_storage() -> Storage {
+        let mut storage = Storage::new();
+        let mut title = Table::new(
+            "title",
+            Schema::new(vec![
+                Column::not_null("id", DataType::Int),
+                Column::new("production_year", DataType::Int),
+            ]),
+        );
+        for i in 0..100i64 {
+            title
+                .push_row(Row::from_values(vec![
+                    Value::Int(i),
+                    Value::Int(1980 + i % 40),
+                ]))
+                .unwrap();
+        }
+        let mut mk = Table::new(
+            "movie_keyword",
+            Schema::new(vec![
+                Column::not_null("movie_id", DataType::Int),
+                Column::not_null("keyword_id", DataType::Int),
+            ]),
+        );
+        for i in 0..200i64 {
+            mk.push_row(Row::from_values(vec![Value::Int(i % 100), Value::Int(i % 10)]))
+                .unwrap();
+        }
+        storage.create_table(title).unwrap();
+        storage.create_table(mk).unwrap();
+        storage
+    }
+
+    fn bind(sql: &str, storage: &Storage) -> QuerySpec {
+        let stmt = parse_sql(sql).unwrap();
+        bind_select(stmt.query().unwrap(), storage).unwrap()
+    }
+
+    #[test]
+    fn keys_are_alias_and_from_order_independent() {
+        let storage = build_storage();
+        let a = bind(
+            "SELECT * FROM title AS t, movie_keyword AS mk
+             WHERE t.id = mk.movie_id AND t.production_year > 2000",
+            &storage,
+        );
+        let b = bind(
+            "SELECT * FROM movie_keyword AS x, title AS y
+             WHERE y.id = x.movie_id AND y.production_year > 2000",
+            &storage,
+        );
+        assert_eq!(
+            feedback_key(&a, RelSet::all(2)),
+            feedback_key(&b, RelSet::all(2))
+        );
+        // Different predicates produce different keys.
+        let c = bind(
+            "SELECT * FROM title AS t, movie_keyword AS mk
+             WHERE t.id = mk.movie_id AND t.production_year > 1990",
+            &storage,
+        );
+        assert_ne!(
+            feedback_key(&a, RelSet::all(2)),
+            feedback_key(&c, RelSet::all(2))
+        );
+        assert_eq!(feedback_key(&a, RelSet::EMPTY), None);
+    }
+
+    #[test]
+    fn seeding_matches_recorded_subsets_across_queries() {
+        let storage = build_storage();
+        let recorded = bind(
+            "SELECT * FROM title AS t, movie_keyword AS mk
+             WHERE t.id = mk.movie_id AND t.production_year > 2000",
+            &storage,
+        );
+        let mut cache = FeedbackCache::new();
+        cache.record(
+            feedback_key(&recorded, RelSet::all(2)).unwrap(),
+            777.0,
+            true,
+        );
+        cache.record(
+            feedback_key(&recorded, RelSet::single(0)).unwrap(),
+            42.0,
+            false,
+        );
+
+        // Same logical query, different aliases and FROM order: both entries seed.
+        let query = bind(
+            "SELECT * FROM movie_keyword AS a, title AS b
+             WHERE b.id = a.movie_id AND b.production_year > 2000",
+            &storage,
+        );
+        let seeds = seed_overrides_from_cache(&query, &mut cache);
+        assert_eq!(seeds.len(), 2);
+        // `title` is relation 1 in the new query.
+        assert_eq!(
+            seeds.get_entry(RelSet::all(2)),
+            Some((777.0, Exactness::Exact))
+        );
+        assert_eq!(
+            seeds.get_entry(RelSet::single(1)),
+            Some((42.0, Exactness::AtLeast))
+        );
+
+        // A query with a different predicate gets nothing.
+        let other = bind(
+            "SELECT * FROM title AS t, movie_keyword AS mk
+             WHERE t.id = mk.movie_id AND t.production_year > 1990",
+            &storage,
+        );
+        let seeds = seed_overrides_from_cache(&other, &mut cache);
+        assert_eq!(seeds.get(RelSet::all(2)), None);
+    }
+
+    #[test]
+    fn self_join_assignment_verifies_against_the_key() {
+        let storage = build_storage();
+        let spec = bind(
+            "SELECT * FROM title AS t1, title AS t2, movie_keyword AS mk
+             WHERE t1.id = mk.movie_id AND t2.id = mk.keyword_id
+               AND t1.production_year > 2000",
+            &storage,
+        );
+        // Record the sub-join {t2, mk} (the unfiltered title side).
+        let sub = RelSet::from_indexes([1, 2]);
+        let mut cache = FeedbackCache::new();
+        cache.record(feedback_key(&spec, sub).unwrap(), 55.0, true);
+        let seeds = seed_overrides_from_cache(&spec, &mut cache);
+        // The filtered t1 must not absorb the seed: fingerprints differ.
+        assert_eq!(seeds.get_entry(sub), Some((55.0, Exactness::Exact)));
+        assert_eq!(seeds.get(RelSet::from_indexes([0, 2])), None);
+    }
+}

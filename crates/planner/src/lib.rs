@@ -29,6 +29,7 @@ pub mod cost;
 pub mod enumerate;
 pub mod error;
 pub mod explain;
+pub mod feedback;
 pub mod graph;
 pub mod optimizer;
 pub mod partial;
@@ -37,11 +38,12 @@ pub mod relset;
 pub mod spec;
 
 pub use binder::bind_select;
-pub use cardinality::{CardinalityEstimator, CardinalityOverrides, EstimationLog};
+pub use cardinality::{CardinalityEstimator, CardinalityOverrides, EstimationLog, Exactness};
 pub use cost::{Cost, CostModel};
 pub use enumerate::{EnumerationAlgorithm, JoinEnumerator};
 pub use error::PlanError;
 pub use explain::explain_plan;
+pub use feedback::{feedback_key, relation_fingerprint, seed_overrides_from_cache};
 pub use graph::JoinGraph;
 pub use optimizer::{Optimizer, OptimizerConfig, PlannedQuery};
 pub use partial::{collapse_spec, remap_rel_set, CollapsedSpec};

@@ -413,24 +413,26 @@ impl Optimizer {
         input: PhysicalPlan,
         spec: &QuerySpec,
     ) -> Result<PhysicalPlan, PlanError> {
-        // `SELECT *` alone needs no projection node.
-        if spec.output.len() == 1 && matches!(spec.output[0].expr, SelectExpr::Wildcard) {
-            return Ok(input);
-        }
         let mut exprs = Vec::new();
         let mut columns = Vec::new();
         for (idx, item) in spec.output.iter().enumerate() {
             match &item.expr {
                 SelectExpr::Wildcard => {
-                    for column in input.schema.columns() {
-                        exprs.push(OutputExpr {
-                            expr: Expr::Column(reopt_expr::ColumnRef {
-                                qualifier: column.qualifier().map(str::to_string),
+                    // Expand `*` in FROM order, not in the plan's output order: the
+                    // chosen join order is the optimizer's business and must never
+                    // leak into the query's observable column order — that is what
+                    // makes wildcard queries safe to re-plan mid-flight.
+                    for relation in &spec.relations {
+                        for column in relation.schema.columns() {
+                            exprs.push(OutputExpr {
+                                expr: Expr::Column(reopt_expr::ColumnRef {
+                                    qualifier: Some(relation.alias.clone()),
+                                    name: column.name().to_string(),
+                                }),
                                 name: column.name().to_string(),
-                            }),
-                            name: column.name().to_string(),
-                        });
-                        columns.push(Column::new(column.name(), column.data_type()));
+                            });
+                            columns.push(column.clone());
+                        }
                     }
                 }
                 SelectExpr::Scalar(expr) => {
@@ -616,7 +618,10 @@ mod tests {
             &storage,
             &catalog,
         );
-        assert!(planned.plan.is_scan());
+        // `SELECT *` gets an explicit FROM-order projection over the scan (so its
+        // column order never depends on the chosen plan).
+        assert!(matches!(planned.plan.kind, PlanKind::Project { .. }));
+        assert!(planned.plan.children[0].is_scan());
         assert!(planned.plan.estimated_rows > 100.0);
         assert!(planned.plan.estimated_rows < 2000.0);
     }
@@ -625,7 +630,11 @@ mod tests {
     fn equality_on_indexed_column_uses_index_scan() {
         let (storage, catalog) = build_env();
         let planned = plan("SELECT * FROM title AS t WHERE t.id = 42", &storage, &catalog);
-        assert!(matches!(planned.plan.kind, PlanKind::IndexScan { .. }));
+        assert!(matches!(planned.plan.kind, PlanKind::Project { .. }));
+        assert!(matches!(
+            planned.plan.children[0].kind,
+            PlanKind::IndexScan { .. }
+        ));
     }
 
     #[test]

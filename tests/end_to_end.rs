@@ -371,6 +371,61 @@ fn index_nl_job_plans_replan_on_progress_signals() {
 }
 
 #[test]
+fn feedback_cache_cuts_rounds_on_a_repeated_job_workload() {
+    // The cross-query feedback cache: running the same workload twice with feedback
+    // on must make the second pass cheaper — the first pass's harvested true
+    // cardinalities seed the second pass's initial plans, so fewer (ideally no)
+    // violations fire, and the violations that do fire are milder. Results must be
+    // identical to plain execution on every query of both passes.
+    let mut db = imdb_database();
+    let workload = ["1a", "2a", "2d", "6a", "9a", "11a"];
+    let expected: Vec<_> = workload
+        .iter()
+        .map(|id| db.execute(&job_query(id).unwrap().sql).unwrap().rows)
+        .collect();
+    db.catalog_mut().feedback_mut().clear();
+
+    let config = ReoptConfig {
+        threshold: 8.0,
+        mode: ReoptMode::Materialize,
+        feedback: true,
+        ..ReoptConfig::default()
+    };
+    let run_pass = |db: &mut Database| -> (usize, f64) {
+        let mut rounds = 0usize;
+        let mut q_errors: Vec<f64> = Vec::new();
+        for (id, want) in workload.iter().zip(&expected) {
+            let query = job_query(id).unwrap();
+            let report = execute_with_reoptimization(db, &query.sql, &config)
+                .unwrap_or_else(|e| panic!("feedback run of {id} failed: {e}"));
+            assert_eq!(&report.final_rows, want, "{id}: feedback changed the result");
+            rounds += report.rounds.len();
+            q_errors.extend(report.rounds.iter().map(|round| round.q_error));
+        }
+        // Median violation q-error of the pass; 1.0 (no error) when nothing fired.
+        q_errors.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let median = if q_errors.is_empty() {
+            1.0
+        } else {
+            q_errors[q_errors.len() / 2]
+        };
+        (rounds, median)
+    };
+
+    let (rounds_1, median_1) = run_pass(&mut db);
+    assert!(rounds_1 > 0, "the first pass must hit violations to learn from");
+    let (rounds_2, median_2) = run_pass(&mut db);
+    assert!(
+        rounds_2 < rounds_1,
+        "the seeded pass must need fewer rounds ({rounds_2} vs {rounds_1})"
+    );
+    assert!(
+        median_2 <= median_1,
+        "the seeded pass's violations must be no worse ({median_2} vs {median_1})"
+    );
+}
+
+#[test]
 fn perfect_oracle_eliminates_large_estimation_errors() {
     let mut db = imdb_database();
     let query = job_query("2d").unwrap();
