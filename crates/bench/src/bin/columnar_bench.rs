@@ -1,0 +1,262 @@
+//! Columnar-vs-row engine benchmark — the source of `BENCH_COLUMNAR.json`.
+//!
+//! Measures the vectorized scan/filter kernels against the row engine on the tables
+//! and predicates of the tracked query **JOB 20a** (14 relations: the genre/keyword/
+//! company/kind join graph), plus the full 20a query itself. Every measurement runs
+//! the same SQL twice through the same loaded `Database`: once with
+//! `set_columnar(Some(false))` (the row engine, equivalent to `REOPT_COLUMNAR=0`) and
+//! once with `Some(true)` (the vectorized default), asserting the results are
+//! row-identical before reporting timings. Exits non-zero on any divergence.
+//!
+//! The micro section isolates scan+filter throughput with single-table filtered
+//! `count(*)` queries so join and aggregation costs cannot dilute the kernel speedup:
+//! dictionary equality, dictionary IN, a native i64 comparison and an unfiltered scan.
+//! The full-query section runs 20a end to end, where joins dominate and the expected
+//! speedup is correspondingly smaller.
+//!
+//! ```text
+//! cargo run --release -p reopt-bench --bin columnar_bench
+//! REOPT_SCALE=0.5 REOPT_FULL_SCALE=0.05 REOPT_BENCH_ITERS=25 \
+//!     cargo run --release -p reopt-bench --bin columnar_bench
+//! ```
+//!
+//! `REOPT_SCALE` (default 0.5) sizes the micro-bench tables; `REOPT_FULL_SCALE`
+//! (default 0.05) sizes the end-to-end 20a run, whose 14-relation joins are
+//! super-linear in scale. Timings are the executor's own `execution_time`
+//! (median over `REOPT_BENCH_ITERS` iterations after one warmup) so the shared
+//! parse/plan path is excluded from the throughput comparison.
+//!
+//! Set `REOPT_COLUMNAR_JSON` to a path to also dump the measurements as JSON.
+
+use reopt_bench::{Harness, HarnessConfig};
+use reopt_workload::job_query;
+use std::time::{Duration, Instant};
+
+fn env_usize(name: &str, default: usize) -> usize {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+fn env_f64(name: &str, default: f64) -> f64 {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+/// One measurement: median-of-iters wall time per engine plus the speedup.
+struct Measurement {
+    label: &'static str,
+    row_us: f64,
+    columnar_us: f64,
+}
+
+impl Measurement {
+    fn speedup(&self) -> f64 {
+        self.row_us / self.columnar_us
+    }
+}
+
+/// Time `iters` runs of `sql` under one engine setting and return the median
+/// per-iteration time plus the (sorted) result rows of the last run.
+fn time_engine(
+    harness: &mut Harness,
+    sql: &str,
+    columnar: bool,
+    iters: usize,
+) -> Result<(Duration, Vec<String>), String> {
+    harness.db.set_columnar(Some(columnar));
+    let mut times = Vec::with_capacity(iters);
+    let mut rows = Vec::new();
+    // One warmup iteration so first-touch effects don't land on either engine.
+    // Timing uses the executor's own execution_time (parse and plan excluded):
+    // the engines share the planner byte for byte, and the criterion under test
+    // is scan/filter *throughput*, not planning overhead.
+    for i in 0..=iters {
+        let output = harness.db.execute(sql).map_err(|e| e.to_string())?;
+        if i > 0 {
+            times.push(output.execution_time);
+        }
+        rows = output.rows.iter().map(|row| format!("{row}")).collect();
+        rows.sort();
+    }
+    harness.db.set_columnar(None);
+    times.sort();
+    Ok((times[times.len() / 2], rows))
+}
+
+/// Run one SQL text under both engines, assert row identity, return the measurement.
+fn measure(
+    harness: &mut Harness,
+    label: &'static str,
+    sql: &str,
+    iters: usize,
+) -> Result<Measurement, String> {
+    let (row_time, row_rows) = time_engine(harness, sql, false, iters)?;
+    let (col_time, col_rows) = time_engine(harness, sql, true, iters)?;
+    if row_rows != col_rows {
+        return Err(format!(
+            "RESULT MISMATCH on {label}: row engine {row_rows:?} vs columnar {col_rows:?}"
+        ));
+    }
+    Ok(Measurement {
+        label,
+        row_us: row_time.as_secs_f64() * 1e6,
+        columnar_us: col_time.as_secs_f64() * 1e6,
+    })
+}
+
+/// Build a harness at `scale` with the bench's fixed seed, pinned to one thread:
+/// the micro benches isolate the single-threaded kernels; parallel row-identity
+/// is gated separately by perf_smoke at REOPT_THREADS=4.
+fn build_harness(scale: f64) -> Harness {
+    let config = HarnessConfig {
+        scale,
+        stride: 1,
+        threshold: 8.0,
+        seed: 13,
+        ..HarnessConfig::default()
+    };
+    let build_start = Instant::now();
+    let mut harness = match Harness::new(config) {
+        Ok(harness) => harness,
+        Err(error) => {
+            eprintln!("columnar_bench: failed to build the harness: {error}");
+            std::process::exit(1);
+        }
+    };
+    harness.db.set_threads(Some(1));
+    eprintln!(
+        "columnar_bench: scale {scale}: {} rows loaded in {:.1}s",
+        harness.db.storage().total_rows(),
+        build_start.elapsed().as_secs_f64(),
+    );
+    harness
+}
+
+fn main() {
+    // The micro benches want tables large enough that the scan/filter loop, not
+    // per-query fixed costs, is what's measured; the full 14-relation 20a joins
+    // are super-linear in scale, so the end-to-end run uses a smaller one.
+    let scale = env_f64("REOPT_SCALE", 0.5);
+    let full_scale = env_f64("REOPT_FULL_SCALE", 0.05);
+    let iters = env_usize("REOPT_BENCH_ITERS", 25).max(3);
+
+    let mut harness = build_harness(scale);
+
+    // Scan/filter micro benches over JOB 20a's tables, using 20a's own predicates
+    // (variant 0: genre 'Action', the superhero keyword set, year > 2000).
+    let micro: &[(&'static str, &'static str)] = &[
+        (
+            "scan_unfiltered_cast_info",
+            "SELECT count(*) FROM cast_info",
+        ),
+        (
+            "filter_dict_eq_movie_info",
+            "SELECT count(*) FROM movie_info WHERE info = 'Action'",
+        ),
+        (
+            "filter_dict_in_keyword",
+            "SELECT count(*) FROM keyword WHERE keyword IN \
+             ('superhero', 'sequel', 'based-on-comic', 'marvel-comics')",
+        ),
+        (
+            "filter_dict_eq_company_name",
+            "SELECT count(*) FROM company_name WHERE country_code = '[us]'",
+        ),
+        (
+            "filter_native_i64_title",
+            "SELECT count(*) FROM title WHERE production_year > 2000",
+        ),
+        (
+            "filter_conj_title",
+            "SELECT count(*) FROM title WHERE production_year > 2000 AND kind_id = 1",
+        ),
+    ];
+
+    let mut failed = false;
+    let mut results: Vec<Measurement> = Vec::new();
+    for (label, sql) in micro {
+        match measure(&mut harness, label, sql, iters) {
+            Ok(m) => {
+                println!(
+                    "columnar_bench: {label:<32} row {:>10.1}us  columnar {:>10.1}us  {:>5.2}x",
+                    m.row_us,
+                    m.columnar_us,
+                    m.speedup()
+                );
+                results.push(m);
+            }
+            Err(error) => {
+                eprintln!("columnar_bench: {label} failed: {error}");
+                failed = true;
+            }
+        }
+    }
+
+    // The full tracked query, end to end, on its own smaller harness (fewer
+    // iterations: the 14-relation joins dominate).
+    drop(harness);
+    let mut harness = build_harness(full_scale);
+    let job20a = job_query("20a").expect("suite contains 20a");
+    let full_iters = (iters / 8).max(2);
+    match measure(&mut harness, "job_20a_full", &job20a.sql, full_iters) {
+        Ok(m) => {
+            println!(
+                "columnar_bench: {:<32} row {:>10.1}us  columnar {:>10.1}us  {:>5.2}x \
+                 (row-identical)",
+                m.label,
+                m.row_us,
+                m.columnar_us,
+                m.speedup()
+            );
+            results.push(m);
+        }
+        Err(error) => {
+            eprintln!("columnar_bench: job_20a_full failed: {error}");
+            failed = true;
+        }
+    }
+
+    // The headline gate: the geometric-mean scan/filter speedup over the filtered
+    // micro benches must clear 3x for the PR's acceptance criterion.
+    let filters: Vec<&Measurement> = results
+        .iter()
+        .filter(|m| m.label.starts_with("filter_"))
+        .collect();
+    if !filters.is_empty() {
+        let geo =
+            (filters.iter().map(|m| m.speedup().ln()).sum::<f64>() / filters.len() as f64).exp();
+        println!(
+            "columnar_bench: geometric-mean scan/filter speedup {:.2}x over {} predicates",
+            geo,
+            filters.len()
+        );
+    }
+
+    if let Ok(path) = std::env::var("REOPT_COLUMNAR_JSON") {
+        let mut body = String::from("{\n");
+        for (idx, m) in results.iter().enumerate() {
+            body.push_str(&format!(
+                "  \"{}\": {{ \"row_us\": {:.1}, \"columnar_us\": {:.1}, \"speedup\": {:.2} }}{}\n",
+                m.label,
+                m.row_us,
+                m.columnar_us,
+                m.speedup(),
+                if idx + 1 == results.len() { "" } else { "," }
+            ));
+        }
+        body.push_str("}\n");
+        if let Err(error) = std::fs::write(&path, body) {
+            eprintln!("columnar_bench: failed to write {path}: {error}");
+            failed = true;
+        }
+    }
+
+    if failed {
+        std::process::exit(1);
+    }
+    println!("columnar_bench: row engine and columnar engine agree on every measurement");
+}

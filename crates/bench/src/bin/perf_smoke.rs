@@ -10,12 +10,16 @@
 //! which is what gates result-correctness regressions in CI — a concrete step from
 //! the old single-query smoke toward full 113-query suite coverage.
 //!
-//! The smoke also gates the `REOPT_THREADS` dimension: every query's reference result
-//! is computed by a **forced single-threaded** plain run, and every other execution
-//! (plain and re-optimizing alike) runs at the configured thread count, so running
-//! the smoke with `REOPT_THREADS=4` proves that morsel-driven parallel execution —
-//! including mid-query re-optimization over parallel pipelines — produces exactly the
-//! single-threaded results. Rows are compared in sorted order when the query has no
+//! The smoke also gates the `REOPT_THREADS` and `REOPT_COLUMNAR` dimensions: every
+//! query's reference result is computed by a **forced single-threaded, row-engine**
+//! plain run (columnar execution disabled), and every other execution (plain and
+//! re-optimizing alike) runs at the configured thread count with the configured
+//! columnar setting. Running the smoke with `REOPT_THREADS=4` proves that
+//! morsel-driven parallel execution — including mid-query re-optimization over
+//! parallel pipelines — produces exactly the single-threaded results; running it
+//! with the default columnar engine proves the vectorized scan/filter kernels are
+//! row-identical to the row engine, and `REOPT_COLUMNAR=0` exercises the kill
+//! switch end to end. Rows are compared in sorted order when the query has no
 //! ORDER BY (output order is not plan-defined there, and parallel morsel interleaving
 //! legitimately permutes it); ORDER BY queries are compared exactly.
 //!
@@ -127,9 +131,11 @@ fn main() {
         let id = &query.id;
         let order_sensitive = is_order_sensitive(&query.sql);
 
-        // The reference result: a forced single-threaded plain execution. Everything
-        // else below runs at the configured thread count and must match it.
+        // The reference result: a forced single-threaded, row-engine plain
+        // execution. Everything else below runs at the configured thread count
+        // with the configured columnar setting and must match it.
         harness.db.set_threads(Some(1));
+        harness.db.set_columnar(Some(false));
         let single_start = Instant::now();
         let reference = match harness.db.execute(&query.sql) {
             Ok(output) => canonical(&output.rows, order_sensitive),
@@ -137,11 +143,13 @@ fn main() {
                 eprintln!("perf_smoke: single-threaded execution of {id} failed: {error}");
                 failed = true;
                 harness.db.set_threads(None);
+                harness.db.set_columnar(None);
                 continue;
             }
         };
         single_time += single_start.elapsed();
         harness.db.set_threads(None);
+        harness.db.set_columnar(None);
 
         let plain_start = Instant::now();
         match harness.db.execute(&query.sql) {
@@ -245,16 +253,19 @@ fn main() {
                 let id = &query.id;
                 let order_sensitive = is_order_sensitive(&query.sql);
                 harness.db.set_threads(Some(1));
+                harness.db.set_columnar(Some(false));
                 let reference = match harness.db.execute(&query.sql) {
                     Ok(output) => canonical(&output.rows, order_sensitive),
                     Err(error) => {
                         eprintln!("perf_smoke: feedback reference run of {id} failed: {error}");
                         failed = true;
                         harness.db.set_threads(None);
+                        harness.db.set_columnar(None);
                         continue;
                     }
                 };
                 harness.db.set_threads(None);
+                harness.db.set_columnar(None);
                 let config = ReoptConfig {
                     threshold: 8.0,
                     mode: ReoptMode::Materialize,
@@ -346,7 +357,7 @@ fn main() {
     }
 
     println!(
-        "perf_smoke: {} queries  single-threaded {:>7.2}s  plain at {threads} thread(s) {:>7.2}s",
+        "perf_smoke: {} queries  single-threaded row engine {:>7.2}s  plain at {threads} thread(s) {:>7.2}s",
         selected.len(),
         single_time.as_secs_f64(),
         plain_time.as_secs_f64()
@@ -364,7 +375,7 @@ fn main() {
         std::process::exit(1);
     }
     println!(
-        "perf_smoke: single-threaded reference, plain at {threads} thread(s) and all policies \
-         agree on every query"
+        "perf_smoke: single-threaded row-engine reference, plain at {threads} thread(s) and all \
+         policies agree on every query"
     );
 }

@@ -2,7 +2,7 @@
 
 use crate::error::DbError;
 use reopt_catalog::Catalog;
-use reopt_executor::{default_thread_count, Executor, QueryMetrics};
+use reopt_executor::{default_columnar, default_thread_count, Executor, QueryMetrics};
 use reopt_planner::{
     explain_plan, CardinalityOverrides, EstimationLog, Optimizer, OptimizerConfig, PhysicalPlan,
     PlannedQuery, QuerySpec,
@@ -26,6 +26,10 @@ pub struct QueryOutput {
     pub metrics: Option<QueryMetrics>,
     /// Peak rows buffered by pipeline breakers during execution (0 when nothing ran).
     pub peak_buffered_rows: u64,
+    /// Peak bytes buffered at the same accounting points as
+    /// [`QueryOutput::peak_buffered_rows`] ([`reopt_storage::Value::width`] per
+    /// buffered value, 8 bytes per buffered index-scan row id).
+    pub peak_buffered_bytes: u64,
     /// The executed physical plan, when one was produced.
     pub plan: Option<PhysicalPlan>,
     /// The bound query, when one was produced.
@@ -58,6 +62,9 @@ pub struct Database {
     /// [`reopt_executor::default_thread_count`] (`REOPT_THREADS` or the machine's
     /// available parallelism).
     threads: Option<usize>,
+    /// Whether scans use the vectorized columnar path; `None` defers to
+    /// [`reopt_executor::default_columnar`] (the `REOPT_COLUMNAR` kill switch).
+    columnar: Option<bool>,
 }
 
 impl Default for Database {
@@ -80,6 +87,7 @@ impl Database {
             optimizer: Optimizer::new(config),
             overrides: CardinalityOverrides::new(),
             threads: None,
+            columnar: None,
         }
     }
 
@@ -93,6 +101,18 @@ impl Database {
     /// The executor worker-pool size every statement runs with.
     pub fn threads(&self) -> usize {
         self.threads.unwrap_or_else(default_thread_count)
+    }
+
+    /// Pin whether scans use the vectorized columnar path (`false` = always decode
+    /// row-wise at the scan, the pre-columnar engine). `None` restores the default:
+    /// `REOPT_COLUMNAR` (any value but `"0"` enables it).
+    pub fn set_columnar(&mut self, columnar: Option<bool>) {
+        self.columnar = columnar;
+    }
+
+    /// Whether scans use the vectorized columnar path.
+    pub fn columnar(&self) -> bool {
+        self.columnar.unwrap_or_else(default_columnar)
     }
 
     /// Shared access to storage.
@@ -328,6 +348,7 @@ impl Database {
                     execution_time: Duration::ZERO,
                     metrics: None,
                     peak_buffered_rows: 0,
+                    peak_buffered_bytes: 0,
                     plan: None,
                     spec: None,
                     estimation_log: EstimationLog::default(),
@@ -341,6 +362,7 @@ impl Database {
         let (planned, planning_time) = self.plan_select(select)?;
         let result = Executor::new(&self.storage)
             .with_threads(self.threads())
+            .with_columnar(self.columnar())
             .execute(&planned.plan)?;
         Ok(QueryOutput {
             rows: result.rows,
@@ -349,6 +371,7 @@ impl Database {
             execution_time: result.metrics.execution_time,
             metrics: Some(result.metrics),
             peak_buffered_rows: result.peak_buffered_rows,
+            peak_buffered_bytes: result.peak_buffered_bytes,
             plan: Some(planned.plan),
             spec: Some(planned.spec),
             estimation_log: planned.estimation_log,
@@ -408,7 +431,9 @@ impl Database {
         let metrics = output.metrics.expect("select produces metrics");
         let mut text = metrics.root.render();
         text.push_str(&format!(
-            "Planning Time: {:.3} ms\nExecution Time: {:.3} ms\n",
+            "Peak Buffered: {} rows ({} bytes)\nPlanning Time: {:.3} ms\nExecution Time: {:.3} ms\n",
+            output.peak_buffered_rows,
+            output.peak_buffered_bytes,
             output.planning_time.as_secs_f64() * 1e3,
             output.execution_time.as_secs_f64() * 1e3
         ));
@@ -613,9 +638,44 @@ pub(crate) mod tests {
         let analyzed = db.explain_analyze(sql).unwrap();
         assert!(analyzed.contains("actual rows=300"));
         assert!(analyzed.contains("Execution Time"));
+        // The columnar engine labels every scan's encoding and the buffered-state
+        // line carries the byte high-water mark alongside the row count.
+        assert!(analyzed.contains("encoding="), "{analyzed}");
+        assert!(analyzed.contains("Peak Buffered:"), "{analyzed}");
+        assert!(analyzed.contains("bytes)"), "{analyzed}");
         // EXPLAIN through the statement API returns one row per line.
         let output = db.execute(&format!("EXPLAIN {sql}")).unwrap();
         assert!(output.row_count() > 1);
+    }
+
+    #[test]
+    fn columnar_kill_switch_matches_and_reports_encoding() {
+        let mut db = test_database();
+        let sql = "SELECT count(*) AS c
+                   FROM movie_keyword AS mk, keyword AS k
+                   WHERE mk.keyword_id = k.id AND k.keyword = 'kw0'";
+
+        db.set_columnar(Some(true));
+        let columnar = db.execute(sql).unwrap();
+        assert!(
+            columnar.peak_buffered_bytes > 0,
+            "breakers must report buffered bytes"
+        );
+        let analyzed = db.explain_analyze(sql).unwrap();
+        // `k.keyword = 'kw0'` vectorizes over the dictionary codes.
+        assert!(analyzed.contains("encoding=dictionary"), "{analyzed}");
+
+        db.set_columnar(Some(false));
+        assert!(!db.columnar());
+        let row_engine = db.execute(sql).unwrap();
+        let analyzed = db.explain_analyze(sql).unwrap();
+        assert!(analyzed.contains("encoding=row"), "{analyzed}");
+        db.set_columnar(None);
+
+        assert_eq!(columnar.rows, row_engine.rows);
+        // Identical buffered state: both engines charge the same breakers.
+        assert_eq!(columnar.peak_buffered_rows, row_engine.peak_buffered_rows);
+        assert_eq!(columnar.peak_buffered_bytes, row_engine.peak_buffered_bytes);
     }
 
     #[test]

@@ -583,6 +583,7 @@ mod tests {
             batches: 1,
             exhausted: true,
             elapsed: std::time::Duration::ZERO,
+            encoding: None,
         };
         let metrics = QueryMetrics {
             root: reopt_executor::MetricsNode {

@@ -282,6 +282,9 @@ pub struct ReoptReport {
     /// Largest peak of pipeline-breaker buffered rows across every executed statement
     /// (detection runs, materializations and the final run).
     pub peak_buffered_rows: u64,
+    /// Largest peak of pipeline-breaker buffered bytes across the same statements
+    /// (the byte-weighted companion of [`ReoptReport::peak_buffered_rows`]).
+    pub peak_buffered_bytes: u64,
     /// The final re-optimized script (CREATE TEMP TABLE statements + final SELECT; for
     /// mid-query rounds, comment lines describing the reused breaker state + the
     /// collapsed final SELECT over the virtual tables).
@@ -422,6 +425,7 @@ struct RunResult {
     outcome: RunOutcome,
     decision: Option<PolicyDecision>,
     peak_buffered_rows: u64,
+    peak_buffered_bytes: u64,
 }
 
 /// Every cardinality observation in a (possibly partial) metrics tree, shallowest
@@ -487,6 +491,7 @@ struct Driver {
     materialization_time: Duration,
     detection_time: Duration,
     peak_buffered_rows: u64,
+    peak_buffered_bytes: u64,
     /// `CREATE TEMP TABLE` script lines (materialize restarts).
     created_sql: Vec<String>,
     /// Comment lines describing reused breaker state (mid-query rounds).
@@ -514,6 +519,7 @@ impl Driver {
             materialization_time: Duration::ZERO,
             detection_time: Duration::ZERO,
             peak_buffered_rows: 0,
+            peak_buffered_bytes: 0,
             created_sql: Vec::new(),
             annotations: Vec::new(),
             created_tables: Vec::new(),
@@ -566,6 +572,7 @@ impl Driver {
             let observe = budget_open && !self.wildcard && policy.wants_events();
             let run = run_pipeline(db, &planned, policy, ctx.clone(), observe)?;
             self.peak_buffered_rows = self.peak_buffered_rows.max(run.peak_buffered_rows);
+            self.peak_buffered_bytes = self.peak_buffered_bytes.max(run.peak_buffered_bytes);
 
             match run.outcome {
                 RunOutcome::Completed(rows, metrics) => {
@@ -733,6 +740,9 @@ impl Driver {
             self.materialization_time += create_output.execution_time;
             self.peak_buffered_rows =
                 self.peak_buffered_rows.max(create_output.peak_buffered_rows);
+            self.peak_buffered_bytes = self
+                .peak_buffered_bytes
+                .max(create_output.peak_buffered_bytes);
             let create_statement = Statement::CreateTableAs {
                 name: temp_name.clone(),
                 temporary: true,
@@ -1050,6 +1060,7 @@ impl Driver {
             execution_time: self.materialization_time + metrics.execution_time,
             detection_time: self.detection_time,
             peak_buffered_rows: self.peak_buffered_rows,
+            peak_buffered_bytes: self.peak_buffered_bytes,
             final_sql: parts.join("\n"),
             final_metrics: Some(metrics),
         }
@@ -1065,7 +1076,9 @@ fn run_pipeline(
     ctx: PolicyContext,
     observe: bool,
 ) -> Result<RunResult, DbError> {
-    let executor = Executor::new(db.storage()).with_threads(db.threads());
+    let executor = Executor::new(db.storage())
+        .with_threads(db.threads())
+        .with_columnar(db.columnar());
     let adapter = observe.then(|| {
         Rc::new(RefCell::new(PolicyObserver {
             policy,
@@ -1074,7 +1087,7 @@ fn run_pipeline(
         }))
     });
 
-    let (outcome, peak_buffered_rows) = {
+    let (outcome, peak_buffered_rows, peak_buffered_bytes) = {
         let handle = adapter
             .as_ref()
             .map(|a| Rc::clone(a) as ObserverHandle<'_>);
@@ -1093,7 +1106,11 @@ fn run_pipeline(
                 Err(error) => return Err(error.into()),
             }
         };
-        (outcome, pipeline.peak_buffered_rows())
+        (
+            outcome,
+            pipeline.peak_buffered_rows(),
+            pipeline.peak_buffered_bytes(),
+        )
     };
 
     let decision = match adapter {
@@ -1111,6 +1128,7 @@ fn run_pipeline(
         outcome,
         decision,
         peak_buffered_rows,
+        peak_buffered_bytes,
     })
 }
 

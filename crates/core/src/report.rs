@@ -46,7 +46,7 @@ impl ReoptReport {
             out.push_str("no re-optimization rounds\n");
         }
         out.push_str(&format!(
-            "policy {} ({} thread{}): planning {:.3} ms, execution {:.3} ms, detection {:.3} ms, peak buffered rows {}\n",
+            "policy {} ({} thread{}): planning {:.3} ms, execution {:.3} ms, detection {:.3} ms, peak buffered rows {} ({} bytes)\n",
             self.policy,
             self.threads,
             if self.threads == 1 { "" } else { "s" },
@@ -54,6 +54,7 @@ impl ReoptReport {
             self.execution_time.as_secs_f64() * 1e3,
             self.detection_time.as_secs_f64() * 1e3,
             self.peak_buffered_rows,
+            self.peak_buffered_bytes,
         ));
         out
     }

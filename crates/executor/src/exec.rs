@@ -1,9 +1,15 @@
 //! The pipelined operators.
 //!
 //! Execution is pull-based: every plan node becomes an operator with a
-//! `next_batch() -> Option<RowBatch>` method producing fixed-size batches of rows
-//! (default [`DEFAULT_BATCH_SIZE`]). Streaming operators (scans, filters, projections,
-//! the probe side of a hash join, the outer side of the nested-loop joins, limit) hold
+//! `next_batch()` method producing fixed-size batches (default
+//! [`DEFAULT_BATCH_SIZE`]). Batches flow in one of two shapes: **columnar**
+//! ([`ColumnBatch`], produced by sequential scans and preserved through filters and
+//! column-only projections, where predicates run as vectorized mask kernels over
+//! typed vectors and dictionary codes) or **row-major** (`RowBatch`, everything
+//! else). Columnar batches are decoded to rows only at the root exchange, at
+//! pipeline-breaker materialization points, and on entry to operators without a
+//! columnar implementation. Streaming operators (scans, filters, projections, the
+//! probe side of a hash join, the outer side of the nested-loop joins, limit) hold
 //! no more than one batch of state; only *pipeline breakers* buffer:
 //!
 //! * the build side of a hash join (the hash table),
@@ -13,9 +19,11 @@
 //! * the full input of a sort,
 //! * the row-id list of an index scan (bounded by the base table).
 //!
-//! Buffered rows are accounted in a per-query `MemoryTracker`; the peak is surfaced as
-//! [`ExecutionResult::peak_buffered_rows`] so tests can assert that memory is bounded by
-//! pipeline-breaker output rather than join fan-out.
+//! Buffered rows (and their decoded byte widths) are accounted in a per-query
+//! `MemoryTracker`; the peaks are surfaced as
+//! [`ExecutionResult::peak_buffered_rows`] / [`ExecutionResult::peak_buffered_bytes`]
+//! so tests can assert that memory is bounded by pipeline-breaker output rather than
+//! join fan-out.
 //!
 //! Every operator is wrapped in a `Metered` shell that accumulates rows, batches and
 //! inclusive wall-clock time; the per-operator *self* time reported in [`QueryMetrics`]
@@ -24,12 +32,12 @@
 
 use crate::error::ExecError;
 use crate::metrics::{MetricsNode, OperatorMetrics, QueryMetrics};
-use reopt_expr::Expr;
+use reopt_expr::{filter_mask, Expr, MaskCache};
 use reopt_planner::plan::IndexLookup;
 use reopt_planner::{PhysicalPlan, PlanKind};
 use reopt_sql::AggregateFunc;
 use reopt_planner::RelSet;
-use reopt_storage::{Index, Row, Schema, Storage, Table, Value};
+use reopt_storage::{ColumnBatch, ColumnData, Index, Row, Schema, Storage, Table, Value};
 use std::cell::{Cell, RefCell};
 use std::collections::HashMap;
 use std::ops::Bound;
@@ -41,6 +49,34 @@ pub const DEFAULT_BATCH_SIZE: usize = 1024;
 
 /// A batch of rows flowing between operators.
 pub type RowBatch = Vec<Row>;
+
+/// A batch in one of its two shapes: columnar (scans, filters and column-only
+/// projections keep typed vectors and dictionary codes) or row-major (join outputs,
+/// breaker emissions, and fallback paths). Decoding `Cols -> Rows` happens only at
+/// the root exchange, at breaker materialization points ([`Metered::drain`]), and in
+/// operators without a columnar implementation.
+enum Batch {
+    /// Materialized rows.
+    Rows(RowBatch),
+    /// Typed column vectors.
+    Cols(ColumnBatch),
+}
+
+impl Batch {
+    fn len(&self) -> usize {
+        match self {
+            Batch::Rows(rows) => rows.len(),
+            Batch::Cols(cols) => cols.len(),
+        }
+    }
+
+    fn into_rows(self) -> RowBatch {
+        match self {
+            Batch::Rows(rows) => rows,
+            Batch::Cols(cols) => cols.into_rows(),
+        }
+    }
+}
 
 /// Which pipeline breaker finished materializing its input.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -341,6 +377,10 @@ pub struct ExecutionResult {
     pub metrics: QueryMetrics,
     /// Peak number of rows buffered by pipeline breakers at any point of the run.
     pub peak_buffered_rows: u64,
+    /// Peak decoded byte width of those buffered rows (same accounting points as
+    /// `peak_buffered_rows`, using [`Value::width`] per value and 8 bytes per
+    /// buffered index-scan row id).
+    pub peak_buffered_bytes: u64,
 }
 
 /// Execute a plan against storage with the default batch size.
@@ -352,12 +392,23 @@ pub fn execute_plan(plan: &PhysicalPlan, storage: &Storage) -> Result<ExecutionR
 /// this many output batches when an [`ExecutionObserver`] is installed.
 pub const DEFAULT_PROGRESS_INTERVAL: u64 = 8;
 
+/// Whether vectorized columnar execution is enabled by default: the `REOPT_COLUMNAR`
+/// environment variable set to `0` is the kill switch (used by the columnar-off CI
+/// leg). Storage stays columnar either way — with the switch off, scans decode every
+/// chunk to rows immediately and predicates run through the row-wise evaluator.
+pub fn default_columnar() -> bool {
+    std::env::var("REOPT_COLUMNAR")
+        .map(|value| value != "0")
+        .unwrap_or(true)
+}
+
 /// The plan executor: a factory for [`Pipeline`]s.
 pub struct Executor<'a> {
     storage: &'a Storage,
     batch_size: usize,
     progress_every: u64,
     threads: usize,
+    columnar: bool,
 }
 
 impl<'a> Executor<'a> {
@@ -369,6 +420,7 @@ impl<'a> Executor<'a> {
             batch_size: DEFAULT_BATCH_SIZE,
             progress_every: DEFAULT_PROGRESS_INTERVAL,
             threads: default_thread_count(),
+            columnar: default_columnar(),
         }
     }
 
@@ -379,7 +431,21 @@ impl<'a> Executor<'a> {
             batch_size: batch_size.max(1),
             progress_every: DEFAULT_PROGRESS_INTERVAL,
             threads: default_thread_count(),
+            columnar: default_columnar(),
         }
+    }
+
+    /// Enable or disable vectorized columnar execution (defaults to
+    /// [`default_columnar`]). With columnar off, scans decode to rows immediately:
+    /// the row-identity CI leg runs every query both ways and compares outputs.
+    pub fn with_columnar(mut self, columnar: bool) -> Self {
+        self.columnar = columnar;
+        self
+    }
+
+    /// Whether vectorized columnar execution is enabled.
+    pub fn columnar_enabled(&self) -> bool {
+        self.columnar
     }
 
     /// Set the worker-pool size for morsel-driven parallel execution (clamped to at
@@ -471,6 +537,7 @@ impl<'a> Executor<'a> {
                     self.batch_size,
                     self.threads,
                     self.progress_every,
+                    self.columnar,
                     observer,
                 )),
             });
@@ -480,6 +547,7 @@ impl<'a> Executor<'a> {
         let ctx = BuildContext {
             storage: self.storage,
             batch_size: self.batch_size,
+            columnar: self.columnar,
             tracker: Rc::clone(&tracker),
             obs: ObserverCtx {
                 observer,
@@ -513,6 +581,7 @@ impl<'a> Executor<'a> {
             rows,
             schema: plan.schema.clone(),
             peak_buffered_rows: pipeline.peak_buffered_rows(),
+            peak_buffered_bytes: pipeline.peak_buffered_bytes(),
             metrics,
         })
     }
@@ -585,6 +654,14 @@ impl Pipeline<'_> {
             PipelineImpl::Parallel(p) => p.peak_buffered_rows(),
         }
     }
+
+    /// Peak decoded byte width of the rows buffered by pipeline breakers so far.
+    pub fn peak_buffered_bytes(&self) -> u64 {
+        match &self.inner {
+            PipelineImpl::Single(p) => p.peak_buffered_bytes(),
+            PipelineImpl::Parallel(p) => p.peak_buffered_bytes(),
+        }
+    }
 }
 
 /// The single-threaded engine: a tree of pull-based operators.
@@ -629,7 +706,8 @@ impl SinglePipeline<'_> {
             Err(_) => self.poisoned = true,
             Ok(_) => {}
         }
-        out
+        // The root exchange is a decode boundary: callers always receive rows.
+        out.map(|batch| batch.map(Batch::into_rows))
     }
 
     /// Whether an [`ExecutionObserver`] suspended this pipeline.
@@ -662,21 +740,34 @@ impl SinglePipeline<'_> {
     pub fn peak_buffered_rows(&self) -> u64 {
         self.tracker.peak.get()
     }
+
+    /// Peak decoded byte width of the rows buffered by pipeline breakers so far.
+    pub fn peak_buffered_bytes(&self) -> u64 {
+        self.tracker.peak_bytes.get()
+    }
 }
 
-/// Rows currently buffered by pipeline breakers, and the high-water mark.
+/// Rows (and their decoded byte widths) currently buffered by pipeline breakers, and
+/// the high-water marks.
 #[derive(Default)]
 struct MemoryTracker {
     current: Cell<u64>,
     peak: Cell<u64>,
+    current_bytes: Cell<u64>,
+    peak_bytes: Cell<u64>,
 }
 
 impl MemoryTracker {
-    fn acquire(&self, rows: u64) {
+    fn acquire(&self, rows: u64, bytes: u64) {
         let current = self.current.get() + rows;
         self.current.set(current);
         if current > self.peak.get() {
             self.peak.set(current);
+        }
+        let current_bytes = self.current_bytes.get() + bytes;
+        self.current_bytes.set(current_bytes);
+        if current_bytes > self.peak_bytes.get() {
+            self.peak_bytes.set(current_bytes);
         }
     }
 }
@@ -691,6 +782,11 @@ struct OpStats {
     exhausted: Cell<bool>,
     /// Wall-clock time inside `next_batch`, *including* time spent pulling children.
     inclusive: Cell<Duration>,
+    /// For scans: how the operator read its input — `"dictionary"` / `"native"`
+    /// (vectorized over column chunks, with/without dictionary-coded columns),
+    /// `"fallback-row"` (columnar on, but the predicate has no kernel), or `"row"`
+    /// (columnar off, or an index scan materializing by row id). `None` elsewhere.
+    encoding: Cell<Option<&'static str>>,
 }
 
 /// The stats tree, shaped like the plan tree.
@@ -726,6 +822,7 @@ fn assemble_metrics(plan: &PhysicalPlan, stats: &StatsNode) -> MetricsNode {
             batches: stats.stats.batches.get(),
             exhausted,
             elapsed: stats.stats.inclusive.get().saturating_sub(child_inclusive),
+            encoding: stats.stats.encoding.get(),
         },
         children,
     }
@@ -735,14 +832,16 @@ fn assemble_metrics(plan: &PhysicalPlan, stats: &StatsNode) -> MetricsNode {
 struct BuildContext<'p> {
     storage: &'p Storage,
     batch_size: usize,
+    /// Whether scans emit columnar batches and predicates use the mask kernels.
+    columnar: bool,
     tracker: Rc<MemoryTracker>,
     obs: ObserverCtx<'p>,
 }
 
 /// A batch-producing operator.
 trait Operator {
-    /// The next non-empty batch, or `None` once exhausted.
-    fn next_batch(&mut self) -> Result<Option<RowBatch>, ExecError>;
+    /// The next non-empty batch (columnar or row-major), or `None` once exhausted.
+    fn next_batch(&mut self) -> Result<Option<Batch>, ExecError>;
 
     /// Move any *completed* breaker materialization out of this operator (and recurse
     /// into children). The default is a no-op for leaf operators without buffered
@@ -758,7 +857,7 @@ struct Metered<'p> {
 }
 
 impl Metered<'_> {
-    fn next_batch(&mut self) -> Result<Option<RowBatch>, ExecError> {
+    fn next_batch(&mut self) -> Result<Option<Batch>, ExecError> {
         let start = Instant::now();
         let out = self.inner.next_batch();
         self.stats
@@ -775,13 +874,19 @@ impl Metered<'_> {
         out
     }
 
-    /// Drain the operator completely (used by pipeline breakers), feeding every batch to
-    /// `consume`.
+    /// The next batch decoded to rows (the boundary for consumers without a columnar
+    /// implementation).
+    fn next_rows(&mut self) -> Result<Option<RowBatch>, ExecError> {
+        Ok(self.next_batch()?.map(Batch::into_rows))
+    }
+
+    /// Drain the operator completely (used by pipeline breakers), feeding every batch
+    /// to `consume`. Breakers materialize rows, so this is a decode boundary.
     fn drain(
         &mut self,
         mut consume: impl FnMut(RowBatch) -> Result<(), ExecError>,
     ) -> Result<(), ExecError> {
-        while let Some(batch) = self.next_batch()? {
+        while let Some(batch) = self.next_rows()? {
             consume(batch)?;
         }
         Ok(())
@@ -858,16 +963,30 @@ fn build_operator<'p>(
     }
 
     let batch_size = ctx.batch_size;
+    let mut scan_encoding: Option<&'static str> = None;
     let op: Box<dyn Operator + 'p> = match &plan.kind {
         PlanKind::SeqScan {
             table, predicate, ..
         } => {
             let table = lookup_table(ctx.storage, table)?;
+            let predicate = bind_opt(predicate.as_ref(), &plan.schema)?;
+            let mut mask_cache = MaskCache::new();
+            // Decide the scan mode once: probe kernel support against a zero-row
+            // slice of the *actual* column chunks (their encodings — including
+            // `Val` promotions — never change during a query).
+            let columnar = ctx.columnar
+                && predicate
+                    .as_ref()
+                    .map(|p| filter_mask(p, &table.scan_range(0..0), &mut mask_cache).is_some())
+                    .unwrap_or(true);
+            scan_encoding = Some(scan_encoding_label(ctx.columnar, columnar, table));
             Box::new(SeqScanOp {
-                rows: table.rows(),
+                table,
                 pos: 0,
-                predicate: bind_opt(predicate.as_ref(), &plan.schema)?,
+                predicate,
                 batch_size,
+                columnar,
+                mask_cache,
             })
         }
         PlanKind::IndexScan {
@@ -885,6 +1004,7 @@ fn build_operator<'p>(
                 .ok_or_else(|| {
                     ExecError::InvalidPlan(format!("no usable index on column '{column}'"))
                 })?;
+            scan_encoding = Some("row");
             Box::new(IndexScanOp {
                 table,
                 index,
@@ -1027,6 +1147,7 @@ fn build_operator<'p>(
             Box::new(FilterOp {
                 input,
                 predicate: bind(predicate, &plan.children[0].schema)?,
+                mask_cache: MaskCache::new(),
             })
         }
         PlanKind::Aggregate {
@@ -1060,12 +1181,23 @@ fn build_operator<'p>(
         PlanKind::Project { exprs } => {
             let input = children.pop().expect("project has one child");
             let input_schema = &plan.children[0].schema;
+            let exprs = exprs
+                .iter()
+                .map(|e| bind(&e.expr, input_schema))
+                .collect::<Result<Vec<_>, _>>()?;
+            // A projection of plain column references keeps batches columnar (the
+            // chunks are reordered, never decoded).
+            let indices = exprs
+                .iter()
+                .map(|e| match e {
+                    Expr::BoundColumn { index, .. } => Some(*index),
+                    _ => None,
+                })
+                .collect::<Option<Vec<usize>>>();
             Box::new(ProjectOp {
                 input,
-                exprs: exprs
-                    .iter()
-                    .map(|e| bind(&e.expr, input_schema))
-                    .collect::<Result<Vec<_>, _>>()?,
+                exprs,
+                indices,
             })
         }
         PlanKind::Sort { keys } => {
@@ -1096,6 +1228,7 @@ fn build_operator<'p>(
     };
 
     let stats = Rc::new(OpStats::default());
+    stats.encoding.set(scan_encoding);
     Ok((
         Metered {
             inner: op,
@@ -1108,38 +1241,83 @@ fn build_operator<'p>(
     ))
 }
 
+/// The encoding label a scan reports in EXPLAIN ANALYZE (see [`OpStats::encoding`]).
+pub(crate) fn scan_encoding_label(columnar: bool, kernel: bool, table: &Table) -> &'static str {
+    if !columnar {
+        "row"
+    } else if !kernel {
+        "fallback-row"
+    } else if (0..table.schema().len())
+        .any(|idx| matches!(table.column(idx), ColumnData::Dict { .. }))
+    {
+        "dictionary"
+    } else {
+        "native"
+    }
+}
+
 // ---------------------------------------------------------------------------
 // Streaming operators
 // ---------------------------------------------------------------------------
 
-/// Sequential scan: walks the table heap a batch-sized chunk at a time, cloning only
-/// the rows that pass the predicate.
+/// Sequential scan: slices the table's column chunks a batch-sized range at a time.
+/// In columnar mode the predicate runs as a vectorized mask kernel
+/// ([`reopt_expr::filter_mask`] — tight typed loops over native vectors and
+/// dictionary codes) and the surviving rows stay columnar; otherwise (kill switch, or
+/// a predicate shape the kernel does not cover) each chunk is decoded to rows and
+/// filtered through the row-wise evaluator.
 struct SeqScanOp<'p> {
-    rows: &'p [Row],
+    table: &'p Table,
     pos: usize,
     predicate: Option<Expr>,
     batch_size: usize,
+    /// Whether this scan emits columnar batches (decided once at build time by
+    /// probing kernel support against the actual column encodings).
+    columnar: bool,
+    mask_cache: MaskCache,
 }
 
 impl Operator for SeqScanOp<'_> {
-    fn next_batch(&mut self) -> Result<Option<RowBatch>, ExecError> {
-        let mut out = Vec::with_capacity(self.batch_size.min(64));
-        while out.is_empty() && self.pos < self.rows.len() {
-            let chunk_end = self.pos.saturating_add(self.batch_size).min(self.rows.len());
-            let chunk = &self.rows[self.pos..chunk_end];
-            match &self.predicate {
-                Some(predicate) => {
-                    for row in chunk {
-                        if predicate.eval_predicate(row)? {
-                            out.push(row.clone());
+    fn next_batch(&mut self) -> Result<Option<Batch>, ExecError> {
+        let total = self.table.row_count();
+        while self.pos < total {
+            let chunk_end = self.pos.saturating_add(self.batch_size).min(total);
+            let cols = self.table.scan_range(self.pos..chunk_end);
+            self.pos = chunk_end;
+            if self.columnar {
+                let cols = match &self.predicate {
+                    Some(predicate) => {
+                        match filter_mask(predicate, &cols, &mut self.mask_cache) {
+                            Some(mask) => cols.filter(&mask),
+                            // The build-time probe said the kernel covers this
+                            // predicate; fall back row-wise rather than failing if
+                            // it ever declines a chunk at runtime.
+                            None => {
+                                let mut rows = cols.into_rows();
+                                predicate.filter_batch(&mut rows)?;
+                                if rows.is_empty() {
+                                    continue;
+                                }
+                                return Ok(Some(Batch::Rows(rows)));
+                            }
                         }
                     }
+                    None => cols,
+                };
+                if cols.is_empty() {
+                    continue;
                 }
-                None => out.extend(chunk.iter().cloned()),
+                return Ok(Some(Batch::Cols(cols)));
             }
-            self.pos = chunk_end;
+            let mut rows = cols.into_rows();
+            if let Some(predicate) = &self.predicate {
+                predicate.filter_batch(&mut rows)?;
+            }
+            if !rows.is_empty() {
+                return Ok(Some(Batch::Rows(rows)));
+            }
         }
-        Ok(if out.is_empty() { None } else { Some(out) })
+        Ok(None)
     }
 }
 
@@ -1162,13 +1340,14 @@ impl IndexScanOp<'_> {
             return;
         }
         let row_ids = resolve_index_row_ids(self.index, self.lookup);
-        self.tracker.acquire(row_ids.len() as u64);
+        self.tracker
+            .acquire(row_ids.len() as u64, 8 * row_ids.len() as u64);
         self.row_ids = Some(row_ids);
     }
 }
 
 impl Operator for IndexScanOp<'_> {
-    fn next_batch(&mut self) -> Result<Option<RowBatch>, ExecError> {
+    fn next_batch(&mut self) -> Result<Option<Batch>, ExecError> {
         self.resolve_row_ids();
         let row_ids = self.row_ids.as_ref().expect("resolved above");
         let mut out = Vec::new();
@@ -1179,30 +1358,54 @@ impl Operator for IndexScanOp<'_> {
                     continue;
                 };
                 if let Some(p) = &self.residual {
-                    if !p.eval_predicate(row)? {
+                    if !p.eval_predicate(&row)? {
                         continue;
                     }
                 }
-                out.push(row.clone());
+                out.push(row);
             }
             self.pos = chunk_end;
         }
-        Ok(if out.is_empty() { None } else { Some(out) })
+        Ok(if out.is_empty() { None } else { Some(Batch::Rows(out)) })
     }
 }
 
-/// Filter: applies the predicate to each input batch in place.
+/// Filter: applies the predicate to each input batch. Columnar batches are filtered
+/// through the vectorized mask kernel (staying columnar) when the predicate shape is
+/// covered; otherwise — and for row batches — the row-wise evaluator runs.
 struct FilterOp<'p> {
     input: Metered<'p>,
     predicate: Expr,
+    mask_cache: MaskCache,
 }
 
 impl Operator for FilterOp<'_> {
-    fn next_batch(&mut self) -> Result<Option<RowBatch>, ExecError> {
-        while let Some(mut batch) = self.input.next_batch()? {
-            self.predicate.filter_batch(&mut batch)?;
-            if !batch.is_empty() {
-                return Ok(Some(batch));
+    fn next_batch(&mut self) -> Result<Option<Batch>, ExecError> {
+        while let Some(batch) = self.input.next_batch()? {
+            match batch {
+                Batch::Cols(cols) => {
+                    match filter_mask(&self.predicate, &cols, &mut self.mask_cache) {
+                        Some(mask) => {
+                            let filtered = cols.filter(&mask);
+                            if !filtered.is_empty() {
+                                return Ok(Some(Batch::Cols(filtered)));
+                            }
+                        }
+                        None => {
+                            let mut rows = cols.into_rows();
+                            self.predicate.filter_batch(&mut rows)?;
+                            if !rows.is_empty() {
+                                return Ok(Some(Batch::Rows(rows)));
+                            }
+                        }
+                    }
+                }
+                Batch::Rows(mut rows) => {
+                    self.predicate.filter_batch(&mut rows)?;
+                    if !rows.is_empty() {
+                        return Ok(Some(Batch::Rows(rows)));
+                    }
+                }
             }
         }
         Ok(None)
@@ -1213,17 +1416,25 @@ impl Operator for FilterOp<'_> {
     }
 }
 
-/// Projection: maps each input batch through the output expressions.
+/// Projection: maps each input batch through the output expressions. When every
+/// expression is a plain column reference, columnar batches stay columnar (the
+/// chunks are reordered without decoding).
 struct ProjectOp<'p> {
     input: Metered<'p>,
     exprs: Vec<Expr>,
+    /// `Some` when every output expression is a bound column reference.
+    indices: Option<Vec<usize>>,
 }
 
 impl Operator for ProjectOp<'_> {
-    fn next_batch(&mut self) -> Result<Option<RowBatch>, ExecError> {
+    fn next_batch(&mut self) -> Result<Option<Batch>, ExecError> {
         let Some(batch) = self.input.next_batch()? else {
             return Ok(None);
         };
+        if let (Batch::Cols(cols), Some(indices)) = (&batch, &self.indices) {
+            return Ok(Some(Batch::Cols(cols.project(indices))));
+        }
+        let batch = batch.into_rows();
         let mut out = Vec::with_capacity(batch.len());
         for row in &batch {
             let mut values = Vec::with_capacity(self.exprs.len());
@@ -1232,7 +1443,7 @@ impl Operator for ProjectOp<'_> {
             }
             out.push(Row::from_values(values));
         }
-        Ok(Some(out))
+        Ok(Some(Batch::Rows(out)))
     }
 
     fn collect_breaker_states(&mut self, out: &mut Vec<BreakerState>) {
@@ -1248,16 +1459,29 @@ struct LimitOp<'p> {
 }
 
 impl Operator for LimitOp<'_> {
-    fn next_batch(&mut self) -> Result<Option<RowBatch>, ExecError> {
+    fn next_batch(&mut self) -> Result<Option<Batch>, ExecError> {
         if self.remaining == 0 {
             return Ok(None);
         }
-        let Some(mut batch) = self.input.next_batch()? else {
+        let Some(batch) = self.input.next_batch()? else {
             return Ok(None);
         };
-        if batch.len() > self.remaining {
-            batch.truncate(self.remaining);
-        }
+        let batch = if batch.len() > self.remaining {
+            match batch {
+                Batch::Rows(mut rows) => {
+                    rows.truncate(self.remaining);
+                    Batch::Rows(rows)
+                }
+                Batch::Cols(cols) => Batch::Cols(ColumnBatch::new(
+                    cols.columns()
+                        .iter()
+                        .map(|c| c.slice(0..self.remaining))
+                        .collect(),
+                )),
+            }
+        } else {
+            batch
+        };
         self.remaining -= batch.len();
         Ok(Some(batch))
     }
@@ -1308,7 +1532,8 @@ impl HashJoinOp<'_> {
             return Ok(());
         };
         let result = build.drain(|batch| {
-            self.tracker.acquire(batch.len() as u64);
+            let bytes: u64 = batch.iter().map(|row| row.width() as u64).sum();
+            self.tracker.acquire(batch.len() as u64, bytes);
             for row in batch {
                 let row_idx = self.build_rows.len();
                 if let Some(key) = extract_key(&row, &self.build_keys) {
@@ -1336,14 +1561,24 @@ impl HashJoinOp<'_> {
     }
 
     /// Pull the next probe batch and precompute its keys. Returns `false` at EOF.
+    /// Columnar probe batches extract their keys with the typed hash-key kernel
+    /// (touching only the key columns) before decoding for join-output assembly.
     fn refill_probe(&mut self) -> Result<bool, ExecError> {
         let Some(batch) = self.probe.next_batch()? else {
             return Ok(false);
         };
-        self.probe_batch_keys.clear();
-        self.probe_batch_keys
-            .extend(batch.iter().map(|row| extract_key(row, &self.probe_keys)));
-        self.probe_batch = batch;
+        match batch {
+            Batch::Cols(cols) => {
+                self.probe_batch_keys = cols.extract_keys(&self.probe_keys);
+                self.probe_batch = cols.into_rows();
+            }
+            Batch::Rows(rows) => {
+                self.probe_batch_keys.clear();
+                self.probe_batch_keys
+                    .extend(rows.iter().map(|row| extract_key(row, &self.probe_keys)));
+                self.probe_batch = rows;
+            }
+        }
         self.probe_pos = 0;
         self.match_pos = 0;
         Ok(true)
@@ -1351,7 +1586,7 @@ impl HashJoinOp<'_> {
 }
 
 impl Operator for HashJoinOp<'_> {
-    fn next_batch(&mut self) -> Result<Option<RowBatch>, ExecError> {
+    fn next_batch(&mut self) -> Result<Option<Batch>, ExecError> {
         self.build_table()?;
         let mut out = Vec::new();
         'fill: loop {
@@ -1394,7 +1629,7 @@ impl Operator for HashJoinOp<'_> {
             Ok(None)
         } else {
             self.progress.tick(&self.obs, out.len())?;
-            Ok(Some(out))
+            Ok(Some(Batch::Rows(out)))
         }
     }
 
@@ -1441,31 +1676,34 @@ struct IndexNlJoinOp<'p> {
 
 impl IndexNlJoinOp<'_> {
     /// Without an index, the first pull builds a transient lookup table over the inner
-    /// side (buffered state, bounded by the base table).
+    /// side (buffered state, bounded by the base table). Only the key column is
+    /// decoded — the other columns stay compressed until a probe hits.
     fn ensure_lookup(&mut self) {
         if self.index.is_some() || self.transient.is_some() {
             return;
         }
         let mut map: HashMap<Value, Vec<usize>> = HashMap::new();
-        for (row_id, row) in self.table.rows().iter().enumerate() {
-            let key = row.value(self.inner_key_idx);
-            if !key.is_null() {
-                map.entry(key.clone()).or_default().push(row_id);
+        let key_column = self.table.column(self.inner_key_idx);
+        for row_id in 0..self.table.row_count() {
+            if !key_column.is_null_at(row_id) {
+                map.entry(key_column.value_at(row_id))
+                    .or_default()
+                    .push(row_id);
             }
         }
-        self.tracker
-            .acquire(map.values().map(Vec::len).sum::<usize>() as u64);
+        let entries = map.values().map(Vec::len).sum::<usize>() as u64;
+        self.tracker.acquire(entries, 8 * entries);
         self.transient = Some(map);
     }
 }
 
 impl Operator for IndexNlJoinOp<'_> {
-    fn next_batch(&mut self) -> Result<Option<RowBatch>, ExecError> {
+    fn next_batch(&mut self) -> Result<Option<Batch>, ExecError> {
         self.ensure_lookup();
         let mut out = Vec::new();
         'fill: loop {
             if self.outer_pos >= self.outer_batch.len() {
-                let Some(batch) = self.outer.next_batch()? else {
+                let Some(batch) = self.outer.next_rows()? else {
                     // Every outer row has been probed: the rows counted so far plus
                     // the batch under construction are the join's complete output, so
                     // the progress report carries a true cardinality — the earliest
@@ -1500,11 +1738,11 @@ impl Operator for IndexNlJoinOp<'_> {
                         continue;
                     };
                     if let Some(p) = &self.inner_predicate {
-                        if !p.eval_predicate(inner_row)? {
+                        if !p.eval_predicate(&inner_row)? {
                             continue;
                         }
                     }
-                    let joined = outer_row.join(inner_row);
+                    let joined = outer_row.join(&inner_row);
                     if let Some(p) = &self.residual {
                         if !p.eval_predicate(&joined)? {
                             continue;
@@ -1523,7 +1761,7 @@ impl Operator for IndexNlJoinOp<'_> {
             Ok(None)
         } else {
             self.progress.tick(&self.obs, out.len())?;
-            Ok(Some(out))
+            Ok(Some(Batch::Rows(out)))
         }
     }
 
@@ -1565,7 +1803,8 @@ impl NestedLoopJoinOp<'_> {
             let inner_rows = &mut self.inner_rows;
             let tracker = &self.tracker;
             inner.drain(|batch| {
-                tracker.acquire(batch.len() as u64);
+                let bytes: u64 = batch.iter().map(|row| row.width() as u64).sum();
+                tracker.acquire(batch.len() as u64, bytes);
                 inner_rows.extend(batch);
                 Ok(())
             })
@@ -1587,7 +1826,7 @@ impl NestedLoopJoinOp<'_> {
 }
 
 impl Operator for NestedLoopJoinOp<'_> {
-    fn next_batch(&mut self) -> Result<Option<RowBatch>, ExecError> {
+    fn next_batch(&mut self) -> Result<Option<Batch>, ExecError> {
         self.buffer_inner()?;
         if self.inner_rows.is_empty() {
             // No output is possible, but still drain the outer side so its subtree
@@ -1600,7 +1839,7 @@ impl Operator for NestedLoopJoinOp<'_> {
         let mut out = Vec::new();
         'fill: loop {
             if self.outer_pos >= self.outer_batch.len() {
-                let Some(batch) = self.outer.next_batch()? else {
+                let Some(batch) = self.outer.next_rows()? else {
                     break;
                 };
                 self.outer_batch = batch;
@@ -1635,7 +1874,7 @@ impl Operator for NestedLoopJoinOp<'_> {
             return Ok(None);
         }
         self.progress.tick(&self.obs, out.len())?;
-        Ok(Some(out))
+        Ok(Some(Batch::Rows(out)))
     }
 
     fn collect_breaker_states(&mut self, out: &mut Vec<BreakerState>) {
@@ -1760,7 +1999,7 @@ impl MergeJoinOp<'_> {
 }
 
 impl Operator for MergeJoinOp<'_> {
-    fn next_batch(&mut self) -> Result<Option<RowBatch>, ExecError> {
+    fn next_batch(&mut self) -> Result<Option<Batch>, ExecError> {
         self.buffer_and_sort()?;
         let mut out = Vec::new();
         loop {
@@ -1773,7 +2012,7 @@ impl Operator for MergeJoinOp<'_> {
             while block.li < block.i_end {
                 if out.len() >= self.batch_size {
                     self.progress.tick(&self.obs, out.len())?;
-                    return Ok(Some(out));
+                    return Ok(Some(Batch::Rows(out)));
                 }
                 let joined = self.left[block.li].1.join(&self.right[block.ri].1);
                 block.ri += 1;
@@ -1797,7 +2036,7 @@ impl Operator for MergeJoinOp<'_> {
             return Ok(None);
         }
         self.progress.tick(&self.obs, out.len())?;
-        Ok(Some(out))
+        Ok(Some(Batch::Rows(out)))
     }
 
     fn collect_breaker_states(&mut self, out: &mut Vec<BreakerState>) {
@@ -1854,7 +2093,7 @@ impl AggregateOp<'_> {
                 Ok(())
             });
             if result.is_ok() {
-                self.tracker.acquire(1);
+                self.tracker.acquire(1, 8);
                 self.emit = Some(vec![(Vec::new(), accumulators)].into_iter());
             }
             result
@@ -1878,12 +2117,14 @@ impl AggregateOp<'_> {
                             Some(&idx) => idx,
                             None => {
                                 let idx = states.len();
+                                let key_bytes: u64 =
+                                    key.iter().map(|v| v.width() as u64).sum();
                                 groups.insert(key.clone(), idx);
                                 states.push((
                                     key,
                                     agg_funcs.iter().map(|&f| Accumulator::new(f)).collect(),
                                 ));
-                                tracker.acquire(1);
+                                tracker.acquire(1, key_bytes);
                                 idx
                             }
                         };
@@ -1917,7 +2158,7 @@ impl AggregateOp<'_> {
 }
 
 impl Operator for AggregateOp<'_> {
-    fn next_batch(&mut self) -> Result<Option<RowBatch>, ExecError> {
+    fn next_batch(&mut self) -> Result<Option<Batch>, ExecError> {
         self.consume_input()?;
         // `emit` stays unset when a previous pull failed mid-drain; the pipeline is
         // poisoned at that point and further pulls just report exhaustion.
@@ -1930,7 +2171,7 @@ impl Operator for AggregateOp<'_> {
             values.extend(accumulators.into_iter().map(Accumulator::finish));
             out.push(Row::from_values(values));
         }
-        Ok(if out.is_empty() { None } else { Some(out) })
+        Ok(if out.is_empty() { None } else { Some(Batch::Rows(out)) })
     }
 
     fn collect_breaker_states(&mut self, out: &mut Vec<BreakerState>) {
@@ -1969,7 +2210,8 @@ impl SortOp<'_> {
             let keys = &self.keys;
             let tracker = &self.tracker;
             input.drain(|batch| {
-                tracker.acquire(batch.len() as u64);
+                let bytes: u64 = batch.iter().map(|row| row.width() as u64).sum();
+                tracker.acquire(batch.len() as u64, bytes);
                 for row in batch {
                     let mut key = Vec::with_capacity(keys.len());
                     for (expr, _) in keys {
@@ -2011,7 +2253,7 @@ impl SortOp<'_> {
 }
 
 impl Operator for SortOp<'_> {
-    fn next_batch(&mut self) -> Result<Option<RowBatch>, ExecError> {
+    fn next_batch(&mut self) -> Result<Option<Batch>, ExecError> {
         self.buffer_and_sort()?;
         if self.pos >= self.sorted.len() {
             return Ok(None);
@@ -2019,7 +2261,7 @@ impl Operator for SortOp<'_> {
         let chunk_end = self.pos.saturating_add(self.batch_size).min(self.sorted.len());
         let out = self.sorted[self.pos..chunk_end].to_vec();
         self.pos = chunk_end;
-        Ok(Some(out))
+        Ok(Some(Batch::Rows(out)))
     }
 
     fn collect_breaker_states(&mut self, out: &mut Vec<BreakerState>) {
@@ -2041,7 +2283,7 @@ fn drain_keyed(
     input.drain(|batch| {
         for row in batch {
             if let Some(key) = extract_key(&row, keys) {
-                tracker.acquire(1);
+                tracker.acquire(1, row.width() as u64);
                 out.push((key, row));
             }
         }

@@ -3,16 +3,22 @@
 //! Pipelined, vectorized execution of physical plans with EXPLAIN ANALYZE style
 //! instrumentation.
 //!
-//! Operators are *pull-based batch iterators*: every plan node becomes an operator with
-//! a `next_batch() -> Option<RowBatch>` method producing fixed-size row batches
-//! ([`exec::DEFAULT_BATCH_SIZE`] rows by default, configurable via
-//! [`Executor::with_batch_size`]). Memory is bounded to one in-flight batch per
-//! streaming operator plus the buffers of *pipeline breakers* — the build side of a
-//! hash join, the inner side of a nested-loop join, both sorted inputs of a merge
-//! join, aggregate group states and sort buffers. The total rows held by breakers are
-//! tracked and surfaced as [`ExecutionResult::peak_buffered_rows`], which is what lets
-//! the many-to-many JOB join graphs (tens of millions of intermediate rows) execute in
-//! bounded memory instead of materializing every intermediate.
+//! Operators are *pull-based batch iterators*: every plan node becomes an operator
+//! producing fixed-size batches ([`exec::DEFAULT_BATCH_SIZE`] rows by default,
+//! configurable via [`Executor::with_batch_size`]). Internally a batch is either
+//! columnar — typed column slices over the table's storage, on which scan and filter
+//! kernels run tight vectorized loops (dictionary codes compare as integers) — or a
+//! row batch; columnar batches are decoded to rows at the root seam, at breaker
+//! materialization points, and in front of row-only operators, so the public
+//! `next_batch() -> Option<RowBatch>` contract is unchanged (see
+//! [`Executor::with_columnar`] and the `REOPT_COLUMNAR` kill switch). Memory is
+//! bounded to one in-flight batch per streaming operator plus the buffers of
+//! *pipeline breakers* — the build side of a hash join, the inner side of a
+//! nested-loop join, both sorted inputs of a merge join, aggregate group states and
+//! sort buffers. The rows and bytes held by breakers are tracked and surfaced as
+//! [`ExecutionResult::peak_buffered_rows`] / `peak_buffered_bytes`, which is what
+//! lets the many-to-many JOB join graphs (tens of millions of intermediate rows)
+//! execute in bounded memory instead of materializing every intermediate.
 //!
 //! The batch seam doubles as a suspend/resume point: [`Executor::open`] returns a
 //! [`Pipeline`] that can be pulled one batch at a time, which is the hook a mid-query
@@ -41,8 +47,9 @@ pub mod parallel;
 
 pub use error::ExecError;
 pub use exec::{
-    default_thread_count, execute_plan, BreakerEvent, BreakerKind, BreakerState, ExecEvent,
-    ExecutionObserver, ExecutionResult, Executor, ObserverDecision, ObserverHandle, Pipeline,
-    ProgressEvent, ProgressSource, RowBatch, DEFAULT_BATCH_SIZE, DEFAULT_PROGRESS_INTERVAL,
+    default_columnar, default_thread_count, execute_plan, BreakerEvent, BreakerKind, BreakerState,
+    ExecEvent, ExecutionObserver, ExecutionResult, Executor, ObserverDecision, ObserverHandle,
+    Pipeline, ProgressEvent, ProgressSource, RowBatch, DEFAULT_BATCH_SIZE,
+    DEFAULT_PROGRESS_INTERVAL,
 };
 pub use metrics::{MetricsNode, OperatorMetrics, QueryMetrics};

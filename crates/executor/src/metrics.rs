@@ -29,6 +29,12 @@ pub struct OperatorMetrics {
     pub exhausted: bool,
     /// Wall-clock time spent in this operator, excluding its children.
     pub elapsed: Duration,
+    /// For scans: how the operator read its input — `"dictionary"` / `"native"`
+    /// (vectorized over column chunks, with/without dictionary-coded columns),
+    /// `"fallback-row"` (columnar execution on, but the predicate shape has no
+    /// vectorized kernel), or `"row"` (columnar execution off, or an index scan
+    /// materializing rows by id). `None` for non-scan operators.
+    pub encoding: Option<&'static str>,
 }
 
 impl OperatorMetrics {
@@ -145,8 +151,13 @@ impl MetricsNode {
         let indent = "  ".repeat(depth);
         let arrow = if depth == 0 { "" } else { "-> " };
         let partial = if self.metrics.exhausted { "" } else { " partial" };
+        let encoding = self
+            .metrics
+            .encoding
+            .map(|e| format!(" encoding={e}"))
+            .unwrap_or_default();
         out.push_str(&format!(
-            "{indent}{arrow}{}  (estimated rows={:.0} actual rows={}{partial} batches={} q-error={:.2} time={:.3}ms)\n",
+            "{indent}{arrow}{}  (estimated rows={:.0} actual rows={}{partial} batches={} q-error={:.2}{encoding} time={:.3}ms)\n",
             self.metrics.label,
             self.metrics.estimated_rows,
             self.metrics.actual_rows,
@@ -183,6 +194,7 @@ mod tests {
             batches: 1,
             exhausted: true,
             elapsed: Duration::from_millis(1),
+            encoding: None,
         }
     }
 

@@ -66,11 +66,12 @@
 use crate::error::ExecError;
 use crate::exec::{
     bind as bind_exec, bind_opt as bind_exec_opt, extract_key, key_index as key_index_exec,
-    lookup_table as lookup_table_exec, resolve_index_row_ids, Accumulator, BreakerEvent,
-    BreakerKind, BreakerState, ExecEvent, ObserverHandle, ProgressEvent, ProgressSource, RowBatch,
+    lookup_table as lookup_table_exec, resolve_index_row_ids, scan_encoding_label, Accumulator,
+    BreakerEvent, BreakerKind, BreakerState, ExecEvent, ObserverHandle, ProgressEvent,
+    ProgressSource, RowBatch,
 };
 use crate::metrics::{MetricsNode, OperatorMetrics, QueryMetrics};
-use reopt_expr::Expr;
+use reopt_expr::{filter_mask, Expr, MaskCache};
 use reopt_planner::{PhysicalPlan, PlanKind};
 use reopt_sql::AggregateFunc;
 use reopt_storage::{DataType, Index, Row, Schema, Storage, Table, Value};
@@ -79,7 +80,7 @@ use std::collections::{HashMap, VecDeque};
 use std::hash::BuildHasher;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::mpsc::{sync_channel, RecvTimeoutError};
-use std::sync::Mutex;
+use std::sync::{Mutex, OnceLock};
 use std::time::{Duration, Instant};
 
 /// Rows per morsel, in units of the executor batch size: each morsel is a contiguous
@@ -154,12 +155,22 @@ struct Shared {
     buffered_current: AtomicU64,
     /// High-water mark of `buffered_current`.
     buffered_peak: AtomicU64,
+    /// Bytes currently buffered by breakers (same accounting points as rows).
+    buffered_bytes_current: AtomicU64,
+    /// High-water mark of `buffered_bytes_current`.
+    buffered_bytes_peak: AtomicU64,
 }
 
 impl Shared {
-    fn acquire(&self, rows: u64) {
+    fn acquire(&self, rows: u64, bytes: u64) {
         let current = self.buffered_current.fetch_add(rows, Ordering::SeqCst) + rows;
         self.buffered_peak.fetch_max(current, Ordering::SeqCst);
+        let current_bytes = self
+            .buffered_bytes_current
+            .fetch_add(bytes, Ordering::SeqCst)
+            + bytes;
+        self.buffered_bytes_peak
+            .fetch_max(current_bytes, Ordering::SeqCst);
     }
 
     fn fail(&self, error: ExecError) {
@@ -206,6 +217,8 @@ struct ParStats {
     batches: AtomicU64,
     nanos: AtomicU64,
     exhausted: AtomicBool,
+    /// For scans: how the source read its input (set once at pipeline compile).
+    encoding: OnceLock<&'static str>,
 }
 
 impl ParStats {
@@ -251,6 +264,7 @@ fn assemble_metrics(plan: &PhysicalPlan, stats: &StatsTree) -> MetricsNode {
             batches: stats.stats.batches.load(Ordering::SeqCst),
             exhausted,
             elapsed: Duration::from_nanos(stats.stats.nanos.load(Ordering::SeqCst)),
+            encoding: stats.stats.encoding.get().copied(),
         },
         children,
     }
@@ -318,10 +332,18 @@ struct CompletedBuild {
 
 /// The driving input of one pipeline, split into morsels.
 enum Source<'p> {
-    /// A sequential scan over a table heap.
+    /// A sequential scan over a table's column chunks. Each morsel chunk is sliced
+    /// with [`Table::scan_range`]; when the vectorized kernel covers the predicate
+    /// the selection runs over the typed columns (dictionary codes compare as
+    /// integers) and only surviving rows are decoded at this source boundary — the
+    /// parallel chain itself stays row-shaped.
     Table {
-        rows: &'p [Row],
+        table: &'p Table,
         predicate: Option<Expr>,
+        /// Whether the vectorized kernel covers the predicate (probed at compile
+        /// time against a zero-row slice, which preserves the real column
+        /// representations).
+        kernel: bool,
         stats: std::sync::Arc<ParStats>,
     },
     /// An index scan: the row-id list is resolved up front by the coordinator.
@@ -338,31 +360,46 @@ enum Source<'p> {
 impl Source<'_> {
     fn len(&self) -> usize {
         match self {
-            Source::Table { rows, .. } => rows.len(),
+            Source::Table { table, .. } => table.row_count(),
             Source::TableIds { ids, .. } => ids.len(),
             Source::Rows(rows) => rows.len(),
         }
     }
 
     /// Materialize one batch-sized chunk of the source, applying the scan predicate.
-    fn scan(&self, range: std::ops::Range<usize>) -> Result<RowBatch, ExecError> {
+    /// `mask_cache` is the calling worker's private kernel cache (truth tables are
+    /// rebuilt per worker rather than shared behind a lock).
+    fn scan(
+        &self,
+        range: std::ops::Range<usize>,
+        mask_cache: &mut MaskCache,
+    ) -> Result<RowBatch, ExecError> {
         let start = Instant::now();
         let out = match self {
             Source::Table {
-                rows, predicate, ..
+                table,
+                predicate,
+                kernel,
+                ..
             } => {
-                let chunk = &rows[range];
+                let cols = table.scan_range(range);
                 match predicate {
-                    Some(predicate) => {
-                        let mut out = Vec::new();
-                        for row in chunk {
-                            if predicate.eval_predicate(row)? {
-                                out.push(row.clone());
-                            }
+                    Some(predicate) if *kernel => match filter_mask(predicate, &cols, mask_cache) {
+                        Some(mask) => cols.filter(&mask).into_rows(),
+                        None => {
+                            // Defensive: the compile-time probe accepted this
+                            // predicate, so the kernel should not decline here.
+                            let mut rows = cols.into_rows();
+                            predicate.filter_batch(&mut rows)?;
+                            rows
                         }
-                        out
+                    },
+                    Some(predicate) => {
+                        let mut rows = cols.into_rows();
+                        predicate.filter_batch(&mut rows)?;
+                        rows
                     }
-                    None => chunk.to_vec(),
+                    None => cols.into_rows(),
                 }
             }
             Source::TableIds {
@@ -377,11 +414,11 @@ impl Source<'_> {
                         continue;
                     };
                     if let Some(p) = residual {
-                        if !p.eval_predicate(row)? {
+                        if !p.eval_predicate(&row)? {
                             continue;
                         }
                     }
-                    out.push(row.clone());
+                    out.push(row);
                 }
                 out
             }
@@ -523,11 +560,11 @@ impl Step<'_> {
                             continue;
                         };
                         if let Some(p) = inner_predicate {
-                            if !p.eval_predicate(inner_row)? {
+                            if !p.eval_predicate(&inner_row)? {
                                 continue;
                             }
                         }
-                        let joined = outer_row.join(inner_row);
+                        let joined = outer_row.join(&inner_row);
                         if let Some(p) = residual {
                             if !p.eval_predicate(&joined)? {
                                 continue;
@@ -609,12 +646,13 @@ impl AggSpec {
                 Some(&idx) => idx,
                 None => {
                     let idx = local.states.len();
+                    let key_bytes: u64 = key.iter().map(|v| v.width() as u64).sum();
                     local.groups.insert(key.clone(), idx);
                     local.states.push((
                         key,
                         self.agg_funcs.iter().map(|&f| Accumulator::new(f)).collect(),
                     ));
-                    shared.acquire(1);
+                    shared.acquire(1, key_bytes);
                     idx
                 }
             };
@@ -636,6 +674,8 @@ struct Engine<'p> {
     storage: &'p Storage,
     batch_size: usize,
     threads: usize,
+    /// Whether scans may use the vectorized columnar path (see `Executor::columnar`).
+    columnar: bool,
     observer: Option<ObserverHandle<'p>>,
     shared: Shared,
     stop: std::cell::Cell<Option<StopMode>>,
@@ -766,7 +806,8 @@ impl<'p> Engine<'p> {
                     return Ok(Vec::new());
                 }
                 let sort_start = Instant::now();
-                self.shared.acquire(rows.len() as u64);
+                let bytes: u64 = rows.iter().map(|row| row.width() as u64).sum();
+                self.shared.acquire(rows.len() as u64, bytes);
                 self.deliver_event(ExecEvent::BreakerComplete(BreakerEvent {
                     kind: BreakerKind::SortInput,
                     rel_set: child.rel_set,
@@ -936,16 +977,19 @@ impl<'p> Engine<'p> {
                     let transient = if index.is_none() {
                         // No usable index: build a transient lookup table once,
                         // shared read-only by every worker (bounded by the base
-                        // table, like the single-threaded operator).
+                        // table, like the single-threaded operator). Only the key
+                        // column is decoded; the other columns stay columnar.
                         let mut map: HashMap<Value, Vec<usize>> = HashMap::new();
-                        for (row_id, row) in table.rows().iter().enumerate() {
-                            let key = row.value(inner_key_idx);
-                            if !key.is_null() {
-                                map.entry(key.clone()).or_default().push(row_id);
+                        let key_column = table.column(inner_key_idx);
+                        for row_id in 0..table.row_count() {
+                            if !key_column.is_null_at(row_id) {
+                                map.entry(key_column.value_at(row_id))
+                                    .or_default()
+                                    .push(row_id);
                             }
                         }
-                        self.shared
-                            .acquire(map.values().map(Vec::len).sum::<usize>() as u64);
+                        let entries = map.values().map(Vec::len).sum::<usize>() as u64;
+                        self.shared.acquire(entries, 8 * entries);
                         Some(std::sync::Arc::new(map))
                     } else {
                         None
@@ -974,9 +1018,26 @@ impl<'p> Engine<'p> {
                     table, predicate, ..
                 } => {
                     let table = lookup_table_exec(self.storage, table)?;
+                    let predicate = bind_exec_opt(predicate.as_ref(), &node.schema)?;
+                    // Probe kernel support against a zero-row slice: it carries the
+                    // table's real column representations, so the decision holds for
+                    // every morsel of the scan.
+                    let mut probe_cache = MaskCache::new();
+                    let kernel = self.columnar
+                        && predicate
+                            .as_ref()
+                            .map(|p| {
+                                filter_mask(p, &table.scan_range(0..0), &mut probe_cache).is_some()
+                            })
+                            .unwrap_or(true);
+                    let _ = node_stats
+                        .stats
+                        .encoding
+                        .set(scan_encoding_label(self.columnar, kernel, table));
                     break Source::Table {
-                        rows: table.rows(),
-                        predicate: bind_exec_opt(predicate.as_ref(), &node.schema)?,
+                        table,
+                        predicate,
+                        kernel,
                         stats: std::sync::Arc::clone(&node_stats.stats),
                     };
                 }
@@ -997,7 +1058,8 @@ impl<'p> Engine<'p> {
                             ExecError::InvalidPlan(format!("no usable index on column '{column}'"))
                         })?;
                     let ids = resolve_index_row_ids(index, lookup);
-                    self.shared.acquire(ids.len() as u64);
+                    self.shared.acquire(ids.len() as u64, 8 * ids.len() as u64);
+                    let _ = node_stats.stats.encoding.set("row");
                     break Source::TableIds {
                         table,
                         ids,
@@ -1260,6 +1322,9 @@ fn worker_loop(
     pump: &dyn Fn(),
 ) -> Result<(), ExecError> {
     let total = compiled.source.len();
+    // Worker-private kernel cache: truth tables are cheap to rebuild per worker and
+    // this keeps the hot mask loop lock-free.
+    let mut mask_cache = MaskCache::new();
     loop {
         if shared.quiesce.load(Ordering::SeqCst) {
             return Ok(());
@@ -1277,7 +1342,7 @@ fn worker_loop(
                 return Ok(());
             }
             let chunk_end = pos.saturating_add(chunk).min(end);
-            let rows = compiled.source.scan(pos..chunk_end)?;
+            let rows = compiled.source.scan(pos..chunk_end, &mut mask_cache)?;
             pos = chunk_end;
             if rows.is_empty() {
                 continue;
@@ -1354,7 +1419,8 @@ impl SinkFactory for BuildSinkFactory<'_> {
     }
 
     fn consume(&self, local: &mut BuildLocal, batch: RowBatch) -> Result<(), ExecError> {
-        self.shared.acquire(batch.len() as u64);
+        let bytes: u64 = batch.iter().map(|row| row.width() as u64).sum();
+        self.shared.acquire(batch.len() as u64, bytes);
         for row in batch {
             match extract_key(&row, &self.keys) {
                 Some(key) => {
@@ -1492,7 +1558,7 @@ fn merge_aggregates(
                 }
             }
         }
-        shared.acquire(1);
+        shared.acquire(1, 8);
         return vec![Row::from_values(
             merged.into_iter().map(Accumulator::finish).collect(),
         )];
@@ -1589,11 +1655,13 @@ pub(crate) struct ParallelPipeline<'p> {
     batch_size: usize,
     threads: usize,
     progress_every: u64,
+    columnar: bool,
     observer: Option<ObserverHandle<'p>>,
     stats: StatsTree,
     state: RunState,
     breaker_states: Vec<BreakerState>,
     peak_buffered_rows: u64,
+    peak_buffered_bytes: u64,
     wall: Duration,
 }
 
@@ -1604,6 +1672,7 @@ impl<'p> ParallelPipeline<'p> {
         batch_size: usize,
         threads: usize,
         progress_every: u64,
+        columnar: bool,
         observer: Option<ObserverHandle<'p>>,
     ) -> Self {
         let stats = build_stats_tree(plan);
@@ -1613,11 +1682,13 @@ impl<'p> ParallelPipeline<'p> {
             batch_size,
             threads,
             progress_every,
+            columnar,
             observer,
             stats,
             state: RunState::NotStarted,
             breaker_states: Vec::new(),
             peak_buffered_rows: 0,
+            peak_buffered_bytes: 0,
             wall: Duration::ZERO,
         }
     }
@@ -1629,6 +1700,7 @@ impl<'p> ParallelPipeline<'p> {
             storage: self.storage,
             batch_size: self.batch_size,
             threads: self.threads,
+            columnar: self.columnar,
             observer: self.observer.clone(),
             shared: Shared {
                 quiesce: AtomicBool::new(false),
@@ -1639,6 +1711,8 @@ impl<'p> ParallelPipeline<'p> {
                 error: Mutex::new(None),
                 buffered_current: AtomicU64::new(0),
                 buffered_peak: AtomicU64::new(0),
+                buffered_bytes_current: AtomicU64::new(0),
+                buffered_bytes_peak: AtomicU64::new(0),
             },
             stop: std::cell::Cell::new(None),
             completed_builds: Vec::new(),
@@ -1646,6 +1720,7 @@ impl<'p> ParallelPipeline<'p> {
         let result = engine.eval_rows(self.plan, &self.stats);
         engine.pump_events();
         self.peak_buffered_rows = engine.shared.buffered_peak.load(Ordering::SeqCst);
+        self.peak_buffered_bytes = engine.shared.buffered_bytes_peak.load(Ordering::SeqCst);
         self.wall = start.elapsed();
         match result {
             Err(error) => {
@@ -1731,6 +1806,10 @@ impl<'p> ParallelPipeline<'p> {
 
     pub(crate) fn peak_buffered_rows(&self) -> u64 {
         self.peak_buffered_rows
+    }
+
+    pub(crate) fn peak_buffered_bytes(&self) -> u64 {
+        self.peak_buffered_bytes
     }
 }
 

@@ -11,14 +11,20 @@
 //! [`Expr::bind`] resolves every reference against a [`Schema`](reopt_storage::Schema)
 //! producing an expression that evaluates by ordinal position — the form the executor
 //! uses in its inner loops.
+//!
+//! Bound predicates evaluate two ways: row-wise ([`Expr::eval_predicate`], the
+//! general path) and vectorized over columnar batches ([`kernel::filter_mask`], tight
+//! typed loops with a fallback to the row-wise path for unsupported shapes).
 
 pub mod eval;
 pub mod expr;
+pub mod kernel;
 pub mod like;
 pub mod util;
 
 pub use eval::EvalError;
 pub use expr::{BinaryOp, ColumnRef, Expr};
+pub use kernel::{filter_mask, MaskCache};
 pub use like::like_match;
 pub use util::{
     as_column_constant_comparison, as_equi_join, collect_column_refs, conjoin,

@@ -34,16 +34,18 @@ pub enum Index {
 }
 
 impl Index {
-    /// Build an index of the requested kind over `column` from the rows provided.
-    pub fn build<'a>(
+    /// Build an index of the requested kind over `column` from that column's values
+    /// in row-id order (the columnar table decodes the key column once; nothing else
+    /// is materialized).
+    pub fn build(
         kind: IndexKind,
         name: impl Into<String>,
         column: usize,
-        rows: impl Iterator<Item = &'a crate::row::Row>,
+        keys: impl Iterator<Item = Value>,
     ) -> Self {
         match kind {
-            IndexKind::Hash => Index::Hash(HashIndex::build(name, column, rows)),
-            IndexKind::BTree => Index::BTree(BTreeIndex::build(name, column, rows)),
+            IndexKind::Hash => Index::Hash(HashIndex::build(name, column, keys)),
+            IndexKind::BTree => Index::BTree(BTreeIndex::build(name, column, keys)),
         }
     }
 
@@ -127,11 +129,11 @@ pub struct HashIndex {
 }
 
 impl HashIndex {
-    /// Build a hash index from rows.
-    pub fn build<'a>(
+    /// Build a hash index from the key column's values in row-id order.
+    pub fn build(
         name: impl Into<String>,
         column: usize,
-        rows: impl Iterator<Item = &'a crate::row::Row>,
+        keys: impl Iterator<Item = Value>,
     ) -> Self {
         let mut index = Self {
             name: name.into(),
@@ -139,8 +141,8 @@ impl HashIndex {
             map: HashMap::new(),
             entries: 0,
         };
-        for (row_id, row) in rows.enumerate() {
-            index.insert(row.value(column), row_id);
+        for (row_id, key) in keys.enumerate() {
+            index.insert(&key, row_id);
         }
         index
     }
@@ -171,11 +173,11 @@ pub struct BTreeIndex {
 }
 
 impl BTreeIndex {
-    /// Build a B-tree index from rows.
-    pub fn build<'a>(
+    /// Build a B-tree index from the key column's values in row-id order.
+    pub fn build(
         name: impl Into<String>,
         column: usize,
-        rows: impl Iterator<Item = &'a crate::row::Row>,
+        keys: impl Iterator<Item = Value>,
     ) -> Self {
         let mut index = Self {
             name: name.into(),
@@ -183,8 +185,8 @@ impl BTreeIndex {
             map: BTreeMap::new(),
             entries: 0,
         };
-        for (row_id, row) in rows.enumerate() {
-            index.insert(row.value(column), row_id);
+        for (row_id, key) in keys.enumerate() {
+            index.insert(&key, row_id);
         }
         index
     }
@@ -241,7 +243,7 @@ mod tests {
     #[test]
     fn hash_index_equality_lookup() {
         let rows = rows();
-        let idx = Index::build(IndexKind::Hash, "ix", 0, rows.iter());
+        let idx = Index::build(IndexKind::Hash, "ix", 0, rows.iter().map(|r| r.value(0).clone()));
         assert_eq!(idx.lookup(&Value::Int(2)), &[1, 2]);
         assert_eq!(idx.lookup(&Value::Int(42)), &[] as &[RowId]);
         assert_eq!(idx.lookup(&Value::Null), &[] as &[RowId]);
@@ -253,7 +255,7 @@ mod tests {
     #[test]
     fn btree_index_range_lookup() {
         let rows = rows();
-        let idx = Index::build(IndexKind::BTree, "ix", 0, rows.iter());
+        let idx = Index::build(IndexKind::BTree, "ix", 0, rows.iter().map(|r| r.value(0).clone()));
         let hits = idx.range(Bound::Included(&Value::Int(2)), Bound::Unbounded);
         assert_eq!(hits, vec![1, 2, 4]);
         let hits = idx.range(Bound::Excluded(&Value::Int(2)), Bound::Excluded(&Value::Int(5)));
@@ -265,7 +267,7 @@ mod tests {
     #[test]
     fn hash_index_range_is_empty() {
         let rows = rows();
-        let idx = Index::build(IndexKind::Hash, "ix", 0, rows.iter());
+        let idx = Index::build(IndexKind::Hash, "ix", 0, rows.iter().map(|r| r.value(0).clone()));
         assert!(idx
             .range(Bound::Unbounded, Bound::Unbounded)
             .is_empty());
@@ -274,7 +276,7 @@ mod tests {
     #[test]
     fn insert_updates_index() {
         let rows = rows();
-        let mut idx = Index::build(IndexKind::Hash, "ix", 0, rows.iter());
+        let mut idx = Index::build(IndexKind::Hash, "ix", 0, rows.iter().map(|r| r.value(0).clone()));
         idx.insert(&Value::Int(1), 5);
         assert_eq!(idx.lookup(&Value::Int(1)), &[0, 5]);
         // NULL inserts are ignored.
@@ -285,7 +287,7 @@ mod tests {
     #[test]
     fn index_metadata() {
         let rows = rows();
-        let idx = Index::build(IndexKind::BTree, "title_id_btree", 0, rows.iter());
+        let idx = Index::build(IndexKind::BTree, "title_id_btree", 0, rows.iter().map(|r| r.value(0).clone()));
         assert_eq!(idx.name(), "title_id_btree");
         assert_eq!(idx.column(), 0);
     }

@@ -4,20 +4,27 @@
 //!
 //! The paper runs all of the Join Order Benchmark with every table and index cached in
 //! memory ("all tables and indexes are cached in memory", Section III-A), so the storage
-//! layer here is a straightforward in-memory row store:
+//! layer here is an in-memory **columnar** store:
 //!
 //! * [`Value`] / [`DataType`] — the scalar type system (64-bit integers, 64-bit floats,
 //!   UTF-8 text, booleans, NULL).
 //! * [`Schema`] / [`Column`] — table and intermediate-result schemas with qualified
 //!   column lookup.
-//! * [`Row`] — a materialized tuple.
-//! * [`Table`] — a heap of rows plus its secondary indexes.
+//! * [`Row`] — a materialized tuple (the decoded form handed to breakers and results).
+//! * [`ColumnData`] / [`ColumnBatch`] — typed column vectors with validity
+//!   [`Bitmap`]s, dictionary-coded text ([`StringDict`]) and the columnar batch that
+//!   scans produce and filter/project/hash-key kernels consume.
+//! * [`Table`] — one column chunk per schema column plus secondary indexes;
+//!   per-column [`ColumnMeta`] (NULL count, min/max, byte width) is maintained on
+//!   append for ANALYZE and the cost model.
 //! * [`HashIndex`] / [`BTreeIndex`] — secondary indexes used by the optimizer for
 //!   index-nested-loop access paths (the paper adds foreign-key indexes to make access
 //!   path selection harder, Section III-A).
 //! * [`Storage`] — the collection of named tables, including temporary tables created by
 //!   the re-optimization controller.
 
+pub mod column;
+pub mod dict;
 pub mod error;
 pub mod index;
 pub mod row;
@@ -25,6 +32,8 @@ pub mod schema;
 pub mod table;
 pub mod value;
 
+pub use column::{Bitmap, ColumnBatch, ColumnData, ColumnMeta};
+pub use dict::{StringDict, NULL_CODE};
 pub use error::StorageError;
 pub use index::{BTreeIndex, HashIndex, Index, IndexKind};
 pub use row::{Row, RowId};

@@ -1,18 +1,30 @@
-//! Tables: a schema, a heap of rows, and secondary indexes.
+//! Tables: a schema, typed column chunks, and secondary indexes.
+//!
+//! Since the columnar refactor a table stores one [`ColumnData`] per schema column —
+//! native vectors for ints/floats/bools, dictionary codes for text — instead of a
+//! `Vec<Row>` heap. Row ids are positions in append order, exactly as before;
+//! [`Table::row`] decodes one row on demand and [`Table::scan_range`] hands a scan a
+//! columnar batch without decoding anything. Per-column [`ColumnMeta`] (NULL count,
+//! min/max, byte width) is maintained on every append so ANALYZE and the cost model
+//! can read it instead of rescanning.
 
+use crate::column::{ColumnBatch, ColumnData, ColumnMeta};
 use crate::error::StorageError;
 use crate::index::{Index, IndexKind};
 use crate::row::{Row, RowId};
 use crate::schema::Schema;
 use crate::value::Value;
 use std::collections::BTreeMap;
+use std::ops::Range;
 
-/// An in-memory table.
+/// An in-memory columnar table.
 #[derive(Debug, Clone)]
 pub struct Table {
     name: String,
     schema: Schema,
-    rows: Vec<Row>,
+    columns: Vec<ColumnData>,
+    meta: Vec<ColumnMeta>,
+    row_count: usize,
     indexes: BTreeMap<String, Index>,
     temporary: bool,
 }
@@ -20,10 +32,18 @@ pub struct Table {
 impl Table {
     /// Create an empty table.
     pub fn new(name: impl Into<String>, schema: Schema) -> Self {
+        let columns = schema
+            .columns()
+            .iter()
+            .map(|c| ColumnData::new_for(c.data_type()))
+            .collect();
+        let meta = schema.columns().iter().map(|_| ColumnMeta::default()).collect();
         Self {
             name: name.into().to_ascii_lowercase(),
             schema,
-            rows: Vec::new(),
+            columns,
+            meta,
+            row_count: 0,
             indexes: BTreeMap::new(),
             temporary: false,
         }
@@ -33,7 +53,9 @@ impl Table {
     /// [`Table::push_row`] when validation matters).
     pub fn with_rows(name: impl Into<String>, schema: Schema, rows: Vec<Row>) -> Self {
         let mut table = Self::new(name, schema);
-        table.rows = rows;
+        for row in rows {
+            table.push_row_unchecked(row);
+        }
         table
     }
 
@@ -59,27 +81,69 @@ impl Table {
 
     /// Number of rows.
     pub fn row_count(&self) -> usize {
-        self.rows.len()
+        self.row_count
     }
 
-    /// All rows, in insertion (row id) order.
-    pub fn rows(&self) -> &[Row] {
-        &self.rows
+    /// The stored column chunks, in schema order.
+    pub fn columns(&self) -> &[ColumnData] {
+        &self.columns
     }
 
-    /// A single row by id.
-    pub fn row(&self, id: RowId) -> Option<&Row> {
-        self.rows.get(id)
+    /// One stored column chunk.
+    pub fn column(&self, idx: usize) -> &ColumnData {
+        &self.columns[idx]
     }
 
-    /// Average row width in bytes over a sample of rows (used by ANALYZE / cost model).
+    /// Incrementally maintained metadata for one column.
+    pub fn column_meta(&self, idx: usize) -> &ColumnMeta {
+        &self.meta[idx]
+    }
+
+    /// The exact value at (`row`, `col`), decoded on demand.
+    pub fn value_at(&self, row: RowId, col: usize) -> Value {
+        self.columns[col].value_at(row)
+    }
+
+    /// Decode a single row by id.
+    pub fn row(&self, id: RowId) -> Option<Row> {
+        if id >= self.row_count {
+            return None;
+        }
+        Some(Row::from_values(
+            self.columns.iter().map(|c| c.value_at(id)).collect(),
+        ))
+    }
+
+    /// Iterate over all rows, decoding each in append order.
+    pub fn iter_rows(&self) -> impl Iterator<Item = Row> + '_ {
+        (0..self.row_count).map(move |id| {
+            Row::from_values(self.columns.iter().map(|c| c.value_at(id)).collect())
+        })
+    }
+
+    /// Decode every row (tests and one-off consumers; hot paths should use
+    /// [`Table::scan_range`]).
+    pub fn to_rows(&self) -> Vec<Row> {
+        self.iter_rows().collect()
+    }
+
+    /// A columnar batch of the rows in `range` (end clamped to the row count).
+    /// Native values and codes are copied; string dictionaries are shared by `Arc`.
+    pub fn scan_range(&self, range: Range<usize>) -> ColumnBatch {
+        let start = range.start.min(self.row_count);
+        let end = range.end.min(self.row_count);
+        let range = start..end.max(start);
+        ColumnBatch::new(self.columns.iter().map(|c| c.slice(range.clone())).collect())
+    }
+
+    /// Average row width in bytes (exact, from per-column byte sums maintained on
+    /// append; used by ANALYZE / cost model).
     pub fn average_row_width(&self) -> usize {
-        if self.rows.is_empty() {
+        if self.row_count == 0 {
             return self.schema.nominal_width();
         }
-        let sample = self.rows.len().min(1024);
-        let total: usize = self.rows.iter().take(sample).map(Row::width).sum();
-        (total / sample).max(1)
+        let total: u64 = self.meta.iter().map(|m| m.byte_sum).sum();
+        ((total / self.row_count as u64) as usize).max(1)
     }
 
     /// Validate a row against the schema and append it, maintaining all indexes.
@@ -110,17 +174,11 @@ impl Table {
                 }
             }
         }
-        let row_id = self.rows.len();
-        for index in self.indexes.values_mut() {
-            index.insert(row.value(index.column()), row_id);
-        }
-        self.rows.push(row);
-        Ok(row_id)
+        Ok(self.push_row_unchecked(row))
     }
 
     /// Append many rows with validation.
     pub fn push_rows(&mut self, rows: Vec<Row>) -> Result<(), StorageError> {
-        self.rows.reserve(rows.len());
         for row in rows {
             self.push_row(row)?;
         }
@@ -129,11 +187,18 @@ impl Table {
 
     /// Append a row without validation (bulk-load path used by data generators).
     pub fn push_row_unchecked(&mut self, row: Row) -> RowId {
-        let row_id = self.rows.len();
+        let row_id = self.row_count;
         for index in self.indexes.values_mut() {
             index.insert(row.value(index.column()), row_id);
         }
-        self.rows.push(row);
+        // A short row (only possible through the unchecked path) is padded with NULLs
+        // so every column keeps one entry per row id.
+        for (idx, column) in self.columns.iter_mut().enumerate() {
+            let value = row.values().get(idx).cloned().unwrap_or(Value::Null);
+            self.meta[idx].observe(&value);
+            column.push(value);
+        }
+        self.row_count += 1;
         row_id
     }
 
@@ -150,7 +215,8 @@ impl Table {
             return Err(StorageError::IndexExists(index_name));
         }
         let column = self.schema.index_of(None, column_name)?;
-        let index = Index::build(kind, index_name.clone(), column, self.rows.iter());
+        let keys = (0..self.row_count).map(|id| self.columns[column].value_at(id));
+        let index = Index::build(kind, index_name.clone(), column, keys);
         self.indexes.insert(index_name, index);
         Ok(())
     }
@@ -200,16 +266,23 @@ impl Table {
     }
 
     /// Total number of distinct non-NULL values in a column, computed exactly.
-    /// Used by tests and by the perfect-cardinality oracle; ANALYZE uses sampling.
+    /// For dictionary-coded text columns this is just the dictionary size; other
+    /// encodings scan. Used by tests and by the perfect-cardinality oracle; ANALYZE
+    /// uses sampling.
     pub fn exact_distinct(&self, column: usize) -> usize {
-        let mut seen: std::collections::HashSet<&Value> = std::collections::HashSet::new();
-        for row in &self.rows {
-            let v = row.value(column);
-            if !v.is_null() {
-                seen.insert(v);
+        match &self.columns[column] {
+            ColumnData::Dict { dict, .. } => dict.len(),
+            data => {
+                let mut seen: std::collections::HashSet<Value> = std::collections::HashSet::new();
+                for id in 0..data.len() {
+                    let v = data.value_at(id);
+                    if !v.is_null() {
+                        seen.insert(v);
+                    }
+                }
+                seen.len()
             }
         }
-        seen.len()
     }
 }
 
@@ -257,6 +330,69 @@ mod tests {
         t.push_row(Row::from_values(vec![Value::Int(3)])).unwrap();
         t.push_row(Row::from_values(vec![Value::Null])).unwrap();
         assert_eq!(t.row_count(), 2);
+        // Exact decode fidelity: the Int stays an Int even in a Float column (the
+        // column silently promotes to the exact-value encoding).
+        assert_eq!(t.row(0).unwrap().values(), &[Value::Int(3)]);
+        assert_eq!(t.row(1).unwrap().values(), &[Value::Null]);
+    }
+
+    #[test]
+    fn rows_round_trip_through_columns() {
+        let mut t = title_table();
+        for i in 0..5 {
+            t.push_row(Row::from_values(vec![
+                Value::Int(i),
+                if i == 2 { Value::Null } else { Value::from(format!("movie {i}")) },
+                Value::Int(1990 + i),
+            ]))
+            .unwrap();
+        }
+        assert_eq!(t.row(2).unwrap().values()[1], Value::Null);
+        assert_eq!(t.row(4).unwrap().values()[1], Value::from("movie 4"));
+        assert!(t.row(5).is_none());
+        assert_eq!(t.to_rows().len(), 5);
+        assert_eq!(t.iter_rows().count(), 5);
+        assert_eq!(t.value_at(3, 2), Value::Int(1993));
+    }
+
+    #[test]
+    fn scan_range_slices_and_clamps() {
+        let mut t = title_table();
+        for i in 0..10 {
+            t.push_row(Row::from_values(vec![
+                Value::Int(i),
+                Value::from("x"),
+                Value::Int(2000),
+            ]))
+            .unwrap();
+        }
+        let batch = t.scan_range(3..6);
+        assert_eq!(batch.len(), 3);
+        assert_eq!(batch.value_at(0, 0), Value::Int(3));
+        // Oversized and empty ranges clamp instead of panicking (the morsel cursor
+        // can overshoot the last chunk).
+        assert_eq!(t.scan_range(8..100).len(), 2);
+        assert_eq!(t.scan_range(20..30).len(), 0);
+        assert_eq!(t.scan_range(4..4).len(), 0);
+        // Batch-size-1 split.
+        assert_eq!(t.scan_range(9..10).len(), 1);
+    }
+
+    #[test]
+    fn column_meta_is_maintained_on_append() {
+        let mut t = title_table();
+        for (id, year) in [(4, 1994), (1, 1991), (3, 1993)] {
+            t.push_row(Row::from_values(vec![
+                Value::Int(id),
+                Value::Null,
+                Value::Int(year),
+            ]))
+            .unwrap();
+        }
+        assert_eq!(t.column_meta(0).min, Some(Value::Int(1)));
+        assert_eq!(t.column_meta(0).max, Some(Value::Int(4)));
+        assert_eq!(t.column_meta(1).null_count, 3);
+        assert_eq!(t.column_meta(2).max, Some(Value::Int(1994)));
     }
 
     #[test]
@@ -321,6 +457,17 @@ mod tests {
             t.push_row(Row::from_values(vec![v])).unwrap();
         }
         assert_eq!(t.exact_distinct(0), 2);
+    }
+
+    #[test]
+    fn exact_distinct_reads_text_from_the_dictionary() {
+        let schema = Schema::new(vec![Column::new("s", DataType::Text)]);
+        let mut t = Table::new("t", schema);
+        for v in ["a", "b", "a", "c"] {
+            t.push_row(Row::from_values(vec![Value::from(v)])).unwrap();
+        }
+        t.push_row(Row::from_values(vec![Value::Null])).unwrap();
+        assert_eq!(t.exact_distinct(0), 3);
     }
 
     #[test]

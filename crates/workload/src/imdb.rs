@@ -828,8 +828,8 @@ mod tests {
         let mut b = Database::new();
         load_imdb(&mut b, &config).unwrap();
         assert_eq!(a.storage().total_rows(), b.storage().total_rows());
-        let rows_a: Vec<_> = a.storage().table("cast_info").unwrap().rows().to_vec();
-        let rows_b: Vec<_> = b.storage().table("cast_info").unwrap().rows().to_vec();
+        let rows_a: Vec<_> = a.storage().table("cast_info").unwrap().to_rows();
+        let rows_b: Vec<_> = b.storage().table("cast_info").unwrap().to_rows();
         assert_eq!(rows_a[..50], rows_b[..50]);
     }
 
@@ -854,8 +854,7 @@ mod tests {
         let total = mk.row_count() as f64;
         let keyword_col = mk.schema().index_of(None, "keyword_id").unwrap();
         let special = mk
-            .rows()
-            .iter()
+            .iter_rows()
             .filter(|r| (r.value(keyword_col).as_int().unwrap() as usize) < SPECIAL_KEYWORDS.len())
             .count() as f64;
         // The special keywords are a tiny fraction of the keyword dictionary but a
@@ -871,15 +870,13 @@ mod tests {
         let ci = db.storage().table("cast_info").unwrap();
         let movie_col = ci.schema().index_of(None, "movie_id").unwrap();
         assert!(ci
-            .rows()
-            .iter()
+            .iter_rows()
             .all(|r| { (0..titles).contains(&r.value(movie_col).as_int().unwrap()) }));
         let keywords = db.storage().table("keyword").unwrap().row_count() as i64;
         let mk = db.storage().table("movie_keyword").unwrap();
         let kw_col = mk.schema().index_of(None, "keyword_id").unwrap();
         assert!(mk
-            .rows()
-            .iter()
+            .iter_rows()
             .all(|r| (0..keywords).contains(&r.value(kw_col).as_int().unwrap())));
     }
 

@@ -20,5 +20,5 @@ pub mod job;
 pub mod nasdaq;
 
 pub use imdb::{load_imdb, ImdbConfig};
-pub use job::{job_queries, JobQuery};
+pub use job::{job_queries, job_query, JobQuery};
 pub use nasdaq::{load_nasdaq, NasdaqConfig, APPL_QUERY};

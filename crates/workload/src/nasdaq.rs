@@ -171,8 +171,8 @@ mod tests {
         let mut b = Database::new();
         load_nasdaq(&mut b, &NasdaqConfig::tiny()).unwrap();
         assert_eq!(
-            a.storage().table("trades").unwrap().rows()[..100],
-            b.storage().table("trades").unwrap().rows()[..100]
+            a.storage().table("trades").unwrap().to_rows()[..100],
+            b.storage().table("trades").unwrap().to_rows()[..100]
         );
     }
 }
