@@ -1,0 +1,335 @@
+//! Multi-client server benchmark: N concurrent sessions × a JOB query mix over
+//! one shared database and the process-wide resident worker pool.
+//!
+//! Three phases, in order:
+//!
+//! 1. **Sequential reference** — every mix query runs single-threaded; its sorted
+//!    rows become the identity oracle for everything after.
+//! 2. **Client sweep** — for each client count in the sweep, N threads each open
+//!    a [`Session`](reopt_core::Session) and walk the mix (offset-rotated so
+//!    distinct queries overlap) for a fixed number of passes, recording per-query
+//!    wall latencies. Every result is checked against the reference; any
+//!    divergence fails the run (this is the CI row-identity gate).
+//! 3. **Mid-query isolation** — one session re-optimizes a skewed query mid-query
+//!    while a background session loops an unrelated query on the same pool; the
+//!    run must correct the skewed plan *and* the background session must keep
+//!    completing with identical rows.
+//!
+//! The tail-latency distributions land in `BENCH_SERVER.json` (schema in
+//! `docs/benchmarks.md`). Knobs: `REOPT_SCALE` (default 0.02), `REOPT_THREADS`
+//! (pool size, default 2), `REOPT_BENCH_CLIENTS` (comma-separated sweep, default
+//! `1,2,4,8`), `REOPT_BENCH_PASSES` (mix passes per client, default 3).
+//!
+//! ```text
+//! cargo run --release -p reopt-bench --bin concurrent_bench
+//! ```
+
+use reopt_core::{execute_with_reoptimization, Database, ReoptConfig, ReoptMode};
+use reopt_planner::OptimizerConfig;
+use reopt_storage::Row;
+use reopt_workload::{job_queries, job_query, load_imdb, ImdbConfig, JobQuery};
+use std::collections::HashSet;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+fn env_f64(name: &str, default: f64) -> f64 {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+fn env_usize(name: &str, default: usize) -> usize {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+fn client_sweep() -> Vec<usize> {
+    std::env::var("REOPT_BENCH_CLIENTS")
+        .ok()
+        .map(|raw| {
+            raw.split(',')
+                .filter_map(|part| part.trim().parse().ok())
+                .filter(|&n| n > 0)
+                .collect()
+        })
+        .filter(|sweep: &Vec<usize>| !sweep.is_empty())
+        .unwrap_or_else(|| vec![1, 2, 4, 8])
+}
+
+fn sorted(rows: &[Row]) -> Vec<String> {
+    let mut rendered: Vec<String> = rows.iter().map(|row| format!("{row}")).collect();
+    rendered.sort();
+    rendered
+}
+
+fn percentile(sorted_ms: &[f64], p: f64) -> f64 {
+    if sorted_ms.is_empty() {
+        return 0.0;
+    }
+    let idx = ((sorted_ms.len() as f64 - 1.0) * p).round() as usize;
+    sorted_ms[idx.min(sorted_ms.len() - 1)]
+}
+
+/// One variant per JOB family with at most 8 tables: varied operator shapes,
+/// small enough that a sweep pass stays in milliseconds.
+fn query_mix() -> Vec<JobQuery> {
+    let mut seen = HashSet::new();
+    job_queries()
+        .into_iter()
+        .filter(|q| q.table_count <= 8 && seen.insert(q.family))
+        .collect()
+}
+
+struct SweepPoint {
+    clients: usize,
+    total_queries: usize,
+    wall_seconds: f64,
+    p50_ms: f64,
+    p95_ms: f64,
+    p99_ms: f64,
+    max_ms: f64,
+    peak_inflight: u64,
+}
+
+fn main() {
+    let scale = env_f64("REOPT_SCALE", 0.02);
+    let passes = env_usize("REOPT_BENCH_PASSES", 3).max(1);
+    let sweep = client_sweep();
+
+    let mut db = Database::new();
+    if let Err(error) = load_imdb(&mut db, &ImdbConfig { scale, seed: 13 }) {
+        eprintln!("concurrent_bench: data load failed: {error}");
+        std::process::exit(1);
+    }
+    let threads = env_usize("REOPT_THREADS", 2).max(1);
+    db.set_threads(Some(threads));
+    // Shrink batches so bench-scale tables split into multi-worker morsel chains
+    // (the default 1024-row batches clamp everything to one inline worker here).
+    db.set_batch_size(Some(64));
+
+    let mix = query_mix();
+    eprintln!(
+        "concurrent_bench: scale {scale}, {} rows, {} mix queries, pool {threads} thread(s), \
+         {passes} pass(es), sweep {sweep:?}",
+        db.storage().total_rows(),
+        mix.len(),
+    );
+
+    // Phase 1: sequential single-threaded reference.
+    db.set_threads(Some(1));
+    let reference: Vec<Vec<String>> = mix
+        .iter()
+        .map(|query| match db.execute(&query.sql) {
+            Ok(output) => sorted(&output.rows),
+            Err(error) => {
+                eprintln!("concurrent_bench: reference run of {} failed: {error}", query.id);
+                std::process::exit(1);
+            }
+        })
+        .collect();
+    db.set_threads(Some(threads));
+
+    let mix = Arc::new(mix);
+    let reference = Arc::new(reference);
+    let mut failed = false;
+
+    // Phase 2: the client sweep.
+    let mut points = Vec::new();
+    for &clients in &sweep {
+        // A fresh admission semaphore per point so peak_inflight is per-point.
+        db.set_max_inflight(clients.max(reopt_core::DEFAULT_MAX_INFLIGHT));
+        let wall_start = Instant::now();
+        let mut handles = Vec::new();
+        for client in 0..clients {
+            let mut session = db.connect();
+            let mix = Arc::clone(&mix);
+            let reference = Arc::clone(&reference);
+            handles.push(std::thread::spawn(move || {
+                let mut latencies_ms = Vec::new();
+                let mut mismatches = Vec::new();
+                for pass in 0..passes {
+                    for step in 0..mix.len() {
+                        let idx = (client + pass + step) % mix.len();
+                        let query = &mix[idx];
+                        let start = Instant::now();
+                        match session.execute(&query.sql) {
+                            Ok(output) => {
+                                latencies_ms.push(start.elapsed().as_secs_f64() * 1e3);
+                                if sorted(&output.rows) != reference[idx] {
+                                    mismatches.push(format!(
+                                        "client {client}: {} diverged from sequential reference",
+                                        query.id
+                                    ));
+                                }
+                            }
+                            Err(error) => mismatches
+                                .push(format!("client {client}: {} failed: {error}", query.id)),
+                        }
+                    }
+                }
+                (latencies_ms, mismatches)
+            }));
+        }
+        let mut latencies_ms = Vec::new();
+        for handle in handles {
+            let (client_latencies, mismatches) = handle.join().expect("client thread panicked");
+            latencies_ms.extend(client_latencies);
+            for mismatch in mismatches {
+                eprintln!("concurrent_bench: ROW IDENTITY VIOLATION: {mismatch}");
+                failed = true;
+            }
+        }
+        let wall_seconds = wall_start.elapsed().as_secs_f64();
+        latencies_ms.sort_by(|a, b| a.partial_cmp(b).expect("latencies are finite"));
+        let point = SweepPoint {
+            clients,
+            total_queries: latencies_ms.len(),
+            wall_seconds,
+            p50_ms: percentile(&latencies_ms, 0.50),
+            p95_ms: percentile(&latencies_ms, 0.95),
+            p99_ms: percentile(&latencies_ms, 0.99),
+            max_ms: latencies_ms.last().copied().unwrap_or(0.0),
+            peak_inflight: db.server().peak_inflight(),
+        };
+        eprintln!(
+            "concurrent_bench: {} client(s): {} queries in {:.2}s  p50 {:.2}ms  p95 {:.2}ms  \
+             p99 {:.2}ms  max {:.2}ms  peak inflight {}",
+            point.clients,
+            point.total_queries,
+            point.wall_seconds,
+            point.p50_ms,
+            point.p95_ms,
+            point.p99_ms,
+            point.max_ms,
+            point.peak_inflight,
+        );
+        points.push(point);
+    }
+
+    // Phase 3: mid-query re-optimization corrects one session's query while a
+    // concurrent session keeps completing unaffected (hash-joins-only config so
+    // the mis-estimated subtree deterministically lands on a build side).
+    let mut reopt_db = Database::with_config(OptimizerConfig {
+        enable_index_scans: false,
+        enable_index_nl_joins: false,
+        enable_merge_joins: false,
+        ..Default::default()
+    });
+    let isolation = (|| -> Result<(bool, usize, u64), String> {
+        load_imdb(&mut reopt_db, &ImdbConfig { scale: scale.max(0.03), seed: 9 })
+            .map_err(|e| e.to_string())?;
+        reopt_db.set_threads(Some(threads.max(2)));
+        reopt_db.set_batch_size(Some(64));
+        let skewed = job_query("10a").ok_or("missing 10a")?;
+        let background_query = job_query("1a").ok_or("missing 1a")?;
+        reopt_db.set_threads(Some(1));
+        let expected_skewed = sorted(&reopt_db.execute(&skewed.sql).map_err(|e| e.to_string())?.rows);
+        let expected_background =
+            sorted(&reopt_db.execute(&background_query.sql).map_err(|e| e.to_string())?.rows);
+        reopt_db.set_threads(Some(threads.max(2)));
+
+        let stop = Arc::new(AtomicBool::new(false));
+        let stop_bg = Arc::clone(&stop);
+        let mut background = reopt_db.connect();
+        let bg_handle = std::thread::spawn(move || -> Result<u64, String> {
+            let mut completed = 0u64;
+            while !stop_bg.load(Ordering::SeqCst) {
+                let out = background
+                    .execute(&background_query.sql)
+                    .map_err(|e| e.to_string())?;
+                if sorted(&out.rows) != expected_background {
+                    return Err("background rows corrupted during re-optimization".into());
+                }
+                completed += 1;
+            }
+            Ok(completed)
+        });
+
+        let config = ReoptConfig {
+            threshold: 8.0,
+            mode: ReoptMode::MidQuery,
+            ..ReoptConfig::default()
+        };
+        let report = execute_with_reoptimization(&mut reopt_db, &skewed.sql, &config)
+            .map_err(|e| e.to_string());
+        stop.store(true, Ordering::SeqCst);
+        let completed = bg_handle
+            .join()
+            .map_err(|_| "background session panicked".to_string())??;
+        let report = report?;
+        if sorted(&report.final_rows) != expected_skewed {
+            return Err("mid-query re-optimization changed the skewed result".into());
+        }
+        if !report.reoptimized() {
+            return Err("the skewed query did not trigger re-optimization".into());
+        }
+        if completed == 0 {
+            return Err("the background session completed no queries".into());
+        }
+        Ok((true, report.rounds.len(), completed))
+    })();
+    let (isolation_ok, isolation_rounds, background_completed) = match isolation {
+        Ok(triple) => {
+            eprintln!(
+                "concurrent_bench: mid-query isolation verified — {} round(s), background \
+                 completed {} quer(ies) unaffected",
+                triple.1, triple.2
+            );
+            triple
+        }
+        Err(error) => {
+            eprintln!("concurrent_bench: MID-QUERY ISOLATION FAILED: {error}");
+            failed = true;
+            (false, 0, 0)
+        }
+    };
+
+    let sweep_json: Vec<String> = points
+        .iter()
+        .map(|p| {
+            format!(
+                "    {{ \"clients\": {}, \"total_queries\": {}, \"wall_seconds\": {:.3}, \
+                 \"p50_ms\": {:.3}, \"p95_ms\": {:.3}, \"p99_ms\": {:.3}, \"max_ms\": {:.3}, \
+                 \"peak_inflight\": {} }}",
+                p.clients,
+                p.total_queries,
+                p.wall_seconds,
+                p.p50_ms,
+                p.p95_ms,
+                p.p99_ms,
+                p.max_ms,
+                p.peak_inflight
+            )
+        })
+        .collect();
+    let json = format!(
+        "{{\n  \"scale\": {scale},\n  \"pool_threads\": {threads},\n  \"mix_queries\": {},\n  \
+         \"passes\": {passes},\n  \"row_identity\": \"{}\",\n  \"sweep\": [\n{}\n  ],\n  \
+         \"mid_query_isolation\": {{ \"verified\": {isolation_ok}, \"rounds\": \
+         {isolation_rounds}, \"background_completed\": {background_completed} }}\n}}\n",
+        mix.len(),
+        if failed { "VIOLATED" } else { "verified" },
+        sweep_json.join(",\n"),
+    );
+    let path =
+        std::env::var("REOPT_SERVER_JSON").unwrap_or_else(|_| "BENCH_SERVER.json".to_string());
+    if let Err(error) = std::fs::write(&path, &json) {
+        eprintln!("concurrent_bench: failed to write {path}: {error}");
+        failed = true;
+    } else {
+        eprintln!("concurrent_bench: wrote {path}");
+    }
+
+    if failed {
+        std::process::exit(1);
+    }
+    println!(
+        "concurrent_bench: row identity and mid-query isolation verified across \
+         {:?} client(s)",
+        sweep
+    );
+}

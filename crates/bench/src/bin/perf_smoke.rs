@@ -356,6 +356,67 @@ fn main() {
         println!("perf_smoke: feedback phase skipped (REOPT_FEEDBACK=0)");
     }
 
+    // --- Resident-pool phase ---------------------------------------------------
+    // PR 5 logged suspension-heavy policies paying a fresh thread-spawn per worker
+    // per pipeline at threads>1 (ms-scale mid-query corrections dominated by spawn
+    // cost). The resident pool closes that follow-up: once a warm-up has grown the
+    // process-wide pool, suspension-heavy mid-query rounds must not spawn a single
+    // new thread. Batches shrink for this phase so smoke-scale tables still split
+    // into multi-worker morsel chains (at the default 1024-row batches one morsel
+    // swallows every table at this scale and the pool never runs).
+    if threads > 1 {
+        harness.db.set_batch_size(Some(64));
+        let pool = reopt_executor::WorkerPool::global();
+        pool.ensure_available(threads);
+        for query in selected.iter().take(4) {
+            if let Err(error) = harness.db.execute(&query.sql) {
+                eprintln!("perf_smoke: pool warm-up of {} failed: {error}", query.id);
+                failed = true;
+            }
+        }
+        let spawned_before = pool.threads_spawned_total();
+        if spawned_before == 0 {
+            eprintln!("perf_smoke: POOL REGRESSION: warm-up never reached the resident pool");
+            failed = true;
+        }
+        let config = ReoptConfig {
+            threshold: 8.0,
+            mode: ReoptMode::MidQuery,
+            feedback: false,
+            ..ReoptConfig::default()
+        };
+        let mut suspension_rounds = 0usize;
+        for query in selected.iter().take(8) {
+            match execute_with_reoptimization(&mut harness.db, &query.sql, &config) {
+                Ok(report) => suspension_rounds += report.rounds.len(),
+                Err(error) => {
+                    eprintln!(
+                        "perf_smoke: pool-phase mid-query run of {} failed: {error}",
+                        query.id
+                    );
+                    failed = true;
+                }
+            }
+        }
+        let spawned_after = pool.threads_spawned_total();
+        if spawned_after != spawned_before {
+            eprintln!(
+                "perf_smoke: POOL REGRESSION: suspension-heavy rounds spawned \
+                 {} new thread(s) ({spawned_before} -> {spawned_after}) — the worker \
+                 pool must be resident across queries and re-optimization rounds",
+                spawned_after - spawned_before
+            );
+            failed = true;
+        }
+        println!(
+            "perf_smoke: resident pool held at {spawned_after} thread(s) across \
+             {suspension_rounds} mid-query round(s) — zero spawns after warm-up"
+        );
+        harness.db.set_batch_size(None);
+    } else {
+        println!("perf_smoke: resident-pool phase skipped (single-threaded run)");
+    }
+
     println!(
         "perf_smoke: {} queries  single-threaded row engine {:>7.2}s  plain at {threads} thread(s) {:>7.2}s",
         selected.len(),

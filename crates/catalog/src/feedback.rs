@@ -20,8 +20,16 @@
 //! override table: exact counts overwrite, bounds only ever grow and never demote an
 //! exact count unless they exceed it (which proves the count stale). The store is
 //! bounded; least-recently-used entries are evicted first.
+//!
+//! Once sessions multiplex over one database, the cache is **shared mutable state**:
+//! the store lives behind an `Arc<Mutex<_>>`, every method takes `&self`, and a
+//! [`FeedbackCache`] clone is a second handle onto the *same* store — concurrent
+//! sessions recording and seeding simultaneously observe each other's entries. Each
+//! operation takes the lock once (no await points, no callbacks under the lock), so
+//! the critical sections are short and deadlock-free by construction.
 
 use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
 
 /// Default maximum number of cached feedback entries.
 pub const DEFAULT_FEEDBACK_CAPACITY: usize = 1024;
@@ -96,14 +104,40 @@ pub struct FeedbackEntry {
     last_used: u64,
 }
 
-/// The bounded cross-query feedback store.
-#[derive(Debug, Clone)]
-pub struct FeedbackCache {
+/// The mutable state behind the cache's shared handle.
+#[derive(Debug)]
+struct FeedbackInner {
     entries: HashMap<FeedbackKey, FeedbackEntry>,
     capacity: usize,
     clock: u64,
     recorded: u64,
     hits: u64,
+}
+
+impl FeedbackInner {
+    fn tick(&mut self) -> u64 {
+        self.clock += 1;
+        self.clock
+    }
+
+    fn evict_lru(&mut self) {
+        if let Some(victim) = self
+            .entries
+            .iter()
+            .min_by_key(|(_, e)| e.last_used)
+            .map(|(k, _)| k.clone())
+        {
+            self.entries.remove(&victim);
+        }
+    }
+}
+
+/// The bounded cross-query feedback store. A clone is a second **handle to the same
+/// store**, not a copy: every session connected to a database records into and seeds
+/// from one shared cache.
+#[derive(Debug, Clone)]
+pub struct FeedbackCache {
+    inner: Arc<Mutex<FeedbackInner>>,
 }
 
 impl Default for FeedbackCache {
@@ -121,26 +155,33 @@ impl FeedbackCache {
     /// An empty cache bounded to `capacity` entries (at least one).
     pub fn with_capacity(capacity: usize) -> Self {
         Self {
-            entries: HashMap::new(),
-            capacity: capacity.max(1),
-            clock: 0,
-            recorded: 0,
-            hits: 0,
+            inner: Arc::new(Mutex::new(FeedbackInner {
+                entries: HashMap::new(),
+                capacity: capacity.max(1),
+                clock: 0,
+                recorded: 0,
+                hits: 0,
+            })),
         }
     }
 
-    fn tick(&mut self) -> u64 {
-        self.clock += 1;
-        self.clock
+    fn lock(&self) -> std::sync::MutexGuard<'_, FeedbackInner> {
+        // A poisoned cache only means some session panicked mid-record; the store
+        // itself is always structurally valid, so recover the guard.
+        match self.inner.lock() {
+            Ok(guard) => guard,
+            Err(poisoned) => poisoned.into_inner(),
+        }
     }
 
     /// Record an observation. Exact counts overwrite whatever is stored; lower
     /// bounds never shrink an entry and never demote an exact count unless the bound
     /// exceeds it (the count must then be stale).
-    pub fn record(&mut self, key: FeedbackKey, rows: f64, exact: bool) {
+    pub fn record(&self, key: FeedbackKey, rows: f64, exact: bool) {
         let rows = rows.max(0.0);
-        let stamp = self.tick();
-        if let Some(existing) = self.entries.get_mut(&key) {
+        let mut inner = self.lock();
+        let stamp = inner.tick();
+        if let Some(existing) = inner.entries.get_mut(&key) {
             existing.last_used = stamp;
             if exact {
                 existing.rows = rows;
@@ -151,8 +192,8 @@ impl FeedbackCache {
             }
             return;
         }
-        self.recorded += 1;
-        self.entries.insert(
+        inner.recorded += 1;
+        inner.entries.insert(
             key,
             FeedbackEntry {
                 rows,
@@ -160,72 +201,77 @@ impl FeedbackCache {
                 last_used: stamp,
             },
         );
-        if self.entries.len() > self.capacity {
-            self.evict_lru();
-        }
-    }
-
-    fn evict_lru(&mut self) {
-        if let Some(victim) = self
-            .entries
-            .iter()
-            .min_by_key(|(_, e)| e.last_used)
-            .map(|(k, _)| k.clone())
-        {
-            self.entries.remove(&victim);
+        if inner.entries.len() > inner.capacity {
+            inner.evict_lru();
         }
     }
 
     /// Look up an observation, bumping its recency.
-    pub fn lookup(&mut self, key: &FeedbackKey) -> Option<(f64, bool)> {
-        let stamp = self.tick();
-        let entry = self.entries.get_mut(key)?;
+    pub fn lookup(&self, key: &FeedbackKey) -> Option<(f64, bool)> {
+        let mut inner = self.lock();
+        let stamp = inner.tick();
+        let entry = inner.entries.get_mut(key)?;
         entry.last_used = stamp;
-        self.hits += 1;
-        Some((entry.rows, entry.exact))
+        let hit = (entry.rows, entry.exact);
+        inner.hits += 1;
+        Some(hit)
     }
 
-    /// Iterate over all entries without touching recency (the planner's seeding pass
-    /// scans the store to match entries against a new query).
-    pub fn iter(&self) -> impl Iterator<Item = (&FeedbackKey, f64, bool)> + '_ {
-        self.entries.iter().map(|(k, e)| (k, e.rows, e.exact))
+    /// Snapshot all entries without touching recency (the planner's seeding pass
+    /// scans the store to match entries against a new query). The snapshot is
+    /// point-in-time: entries recorded by concurrent sessions after the call
+    /// started may or may not appear.
+    pub fn iter(&self) -> impl Iterator<Item = (FeedbackKey, f64, bool)> {
+        let snapshot: Vec<(FeedbackKey, f64, bool)> = self
+            .lock()
+            .entries
+            .iter()
+            .map(|(k, e)| (k.clone(), e.rows, e.exact))
+            .collect();
+        snapshot.into_iter()
     }
 
     /// Drop every entry that references `table`. Called when the table's contents or
     /// statistics change (ingest, ANALYZE, drop): the cached counts no longer
     /// describe the data, so they are forgotten and re-learned on the next run.
-    pub fn invalidate_table(&mut self, table: &str) {
-        self.entries.retain(|k, _| !k.references_table(table));
+    pub fn invalidate_table(&self, table: &str) {
+        self.lock().entries.retain(|k, _| !k.references_table(table));
     }
 
     /// Drop everything.
-    pub fn clear(&mut self) {
-        self.entries.clear();
+    pub fn clear(&self) {
+        self.lock().entries.clear();
     }
 
     /// Number of cached entries.
     pub fn len(&self) -> usize {
-        self.entries.len()
+        self.lock().entries.len()
     }
 
     /// Whether the cache is empty.
     pub fn is_empty(&self) -> bool {
-        self.entries.is_empty()
+        self.lock().entries.is_empty()
     }
 
     /// The configured capacity.
     pub fn capacity(&self) -> usize {
-        self.capacity
+        self.lock().capacity
     }
 
     /// Total distinct entries ever recorded (monotone; survives eviction).
     pub fn total_recorded(&self) -> u64 {
-        self.recorded
+        self.lock().recorded
     }
 
     /// Total successful lookups.
     pub fn total_hits(&self) -> u64 {
-        self.hits
+        self.lock().hits
+    }
+
+    /// Whether another handle shares this cache's store (used by tests asserting
+    /// that sessions share feedback).
+    pub fn shares_store_with(&self, other: &FeedbackCache) -> bool {
+        Arc::ptr_eq(&self.inner, &other.inner)
     }
 }
 
@@ -269,7 +315,7 @@ mod tests {
 
     #[test]
     fn record_and_lookup_with_exactness_merge() {
-        let mut cache = FeedbackCache::new();
+        let cache = FeedbackCache::new();
         let k = key(&["title", "movie_keyword"], &["r0.id = r1.movie_id"]);
         // A bound lands as a bound and only grows.
         cache.record(k.clone(), 100.0, false);
@@ -292,7 +338,7 @@ mod tests {
 
     #[test]
     fn lru_eviction_keeps_recently_used_entries() {
-        let mut cache = FeedbackCache::with_capacity(2);
+        let cache = FeedbackCache::with_capacity(2);
         let a = key(&["a"], &[]);
         let b = key(&["b"], &[]);
         let c = key(&["c"], &[]);
@@ -309,7 +355,7 @@ mod tests {
 
     #[test]
     fn invalidation_drops_only_entries_referencing_the_table() {
-        let mut cache = FeedbackCache::new();
+        let cache = FeedbackCache::new();
         let tk = key(&["title", "keyword"], &["r0.id = r1.movie_id"]);
         let other = key(&["company"], &[]);
         cache.record(tk.clone(), 10.0, true);
@@ -320,5 +366,112 @@ mod tests {
         cache.clear();
         assert!(cache.is_empty());
         assert_eq!(cache.capacity(), DEFAULT_FEEDBACK_CAPACITY);
+    }
+
+    #[test]
+    fn concurrent_recording_from_many_threads_loses_nothing() {
+        // Every thread records its own disjoint key set; after the join, every
+        // key must be present with the value its thread wrote. Concurrent
+        // sessions recording observed cardinalities is exactly this shape.
+        const THREADS: usize = 8;
+        const KEYS_PER_THREAD: usize = 32;
+        let cache = FeedbackCache::with_capacity(THREADS * KEYS_PER_THREAD);
+        let handles: Vec<_> = (0..THREADS)
+            .map(|t| {
+                let cache = cache.clone();
+                std::thread::spawn(move || {
+                    for i in 0..KEYS_PER_THREAD {
+                        let k = key(&[&format!("t{t}_rel{i}")], &[]);
+                        cache.record(k, (t * KEYS_PER_THREAD + i) as f64, t % 2 == 0);
+                    }
+                })
+            })
+            .collect();
+        for handle in handles {
+            handle.join().expect("recorder thread panicked");
+        }
+        assert_eq!(cache.len(), THREADS * KEYS_PER_THREAD);
+        assert_eq!(cache.total_recorded() as usize, THREADS * KEYS_PER_THREAD);
+        for t in 0..THREADS {
+            for i in 0..KEYS_PER_THREAD {
+                let k = key(&[&format!("t{t}_rel{i}")], &[]);
+                assert_eq!(
+                    cache.lookup(&k),
+                    Some(((t * KEYS_PER_THREAD + i) as f64, t % 2 == 0)),
+                    "thread {t} key {i} lost or corrupted under concurrent recording"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn concurrent_record_seed_and_invalidate_keep_the_cache_coherent() {
+        // Writers hammer a shared key set (bounds only grow; exact overwrites),
+        // readers snapshot-iterate mid-write, and an invalidator drops one
+        // table's keys — the mix the shared server produces when sessions
+        // record feedback while others seed overrides and DDL invalidates.
+        const WRITERS: usize = 4;
+        const ROUNDS: usize = 64;
+        let cache = FeedbackCache::new();
+        let mut handles = Vec::new();
+        for w in 0..WRITERS {
+            let cache = cache.clone();
+            handles.push(std::thread::spawn(move || {
+                for round in 0..ROUNDS {
+                    let k = key(&["shared", &format!("rel{}", round % 4)], &[]);
+                    cache.record(k, (w * ROUNDS + round) as f64, false);
+                }
+            }));
+        }
+        for _ in 0..2 {
+            let cache = cache.clone();
+            handles.push(std::thread::spawn(move || {
+                for _ in 0..ROUNDS {
+                    // Seeding = lookup + snapshot iteration; both must never
+                    // observe a torn entry (a bound must be a value some writer
+                    // actually recorded or larger — bounds only grow).
+                    for (_key, rows, _exact) in cache.iter() {
+                        assert!(rows.is_finite() && rows >= 0.0);
+                    }
+                    let k = key(&["shared", "rel0"], &[]);
+                    if let Some((rows, _)) = cache.lookup(&k) {
+                        assert!(rows.is_finite() && rows >= 0.0);
+                    }
+                }
+            }));
+        }
+        {
+            let cache = cache.clone();
+            handles.push(std::thread::spawn(move || {
+                for _ in 0..ROUNDS / 4 {
+                    cache.invalidate_table("doomed");
+                    cache.record(key(&["doomed"], &[]), 1.0, true);
+                }
+            }));
+        }
+        for handle in handles {
+            handle.join().expect("cache thread panicked");
+        }
+        // Bounds only grow: the surviving value for each shared key is the max
+        // any writer recorded for it.
+        for round in 0..4 {
+            let k = key(&["shared", &format!("rel{round}")], &[]);
+            let (rows, exact) = cache.lookup(&k).expect("shared key survived");
+            let max_written = ((WRITERS - 1) * ROUNDS + (ROUNDS - 4 + round)) as f64;
+            assert_eq!(rows, max_written, "bound must converge to the max recorded");
+            assert!(!exact);
+        }
+    }
+
+    #[test]
+    fn clones_share_one_store_across_threads() {
+        let cache = FeedbackCache::new();
+        let clone = cache.clone();
+        assert!(cache.shares_store_with(&clone));
+        let writer = std::thread::spawn(move || {
+            clone.record(key(&["seen_from_clone"], &[]), 7.0, true);
+        });
+        writer.join().expect("writer thread panicked");
+        assert_eq!(cache.lookup(&key(&["seen_from_clone"], &[])), Some((7.0, true)));
     }
 }

@@ -35,6 +35,10 @@ pub const DEFAULT_STATISTICS_TARGET: usize = 200;
 
 /// The catalog: per-table statistics plus ANALYZE configuration, plus the
 /// cross-query cardinality [`FeedbackCache`].
+///
+/// Cloning a catalog copies the statistics but **shares the feedback cache**: a
+/// session's snapshot of the database still records observations into (and seeds
+/// from) the one store every concurrent session sees.
 #[derive(Debug, Clone, Default)]
 pub struct Catalog {
     statistics: BTreeMap<String, TableStatistics>,
@@ -110,8 +114,9 @@ impl Catalog {
         &self.feedback
     }
 
-    /// Mutable access to the feedback cache (the reopt driver records observations;
-    /// ingest paths invalidate).
+    /// Mutable access to the feedback cache handle. Rarely needed now that every
+    /// cache operation takes `&self`; kept for handle replacement (e.g. detaching
+    /// a catalog from a shared store).
     pub fn feedback_mut(&mut self) -> &mut FeedbackCache {
         &mut self.feedback
     }

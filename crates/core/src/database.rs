@@ -1,6 +1,7 @@
 //! The engine façade: storage + catalog + optimizer + executor behind a SQL interface.
 
 use crate::error::DbError;
+use crate::session::{ServerState, Session};
 use reopt_catalog::Catalog;
 use reopt_executor::{default_columnar, default_thread_count, Executor, QueryMetrics};
 use reopt_planner::{
@@ -9,6 +10,7 @@ use reopt_planner::{
 };
 use reopt_sql::{parse_sql, parse_statements, SelectStatement, Statement};
 use reopt_storage::{Column, IndexKind, Row, Schema, Storage, Table};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// The result of executing one statement.
@@ -52,6 +54,11 @@ impl QueryOutput {
 
 /// The database engine: in-memory storage, ANALYZE statistics, the cost-based optimizer
 /// (with its cardinality-injection hook) and the instrumented executor.
+///
+/// Cloning a database is a cheap copy-on-write snapshot: table chunks are
+/// `Arc`-shared until written, the feedback cache stays shared (see
+/// [`reopt_catalog::Catalog`]), and the [`ServerState`] handle stays shared — which
+/// is exactly what [`Database::connect`] relies on to hand out [`Session`]s.
 #[derive(Debug, Clone)]
 pub struct Database {
     storage: Storage,
@@ -65,6 +72,16 @@ pub struct Database {
     /// Whether scans use the vectorized columnar path; `None` defers to
     /// [`reopt_executor::default_columnar`] (the `REOPT_COLUMNAR` kill switch).
     columnar: Option<bool>,
+    /// Executor row-batch size; `None` defers to
+    /// [`reopt_executor::DEFAULT_BATCH_SIZE`]. Morsels are a fixed multiple of the
+    /// batch size, so shrinking this lets small test datasets split into enough
+    /// morsels to exercise the shared worker pool.
+    batch_size: Option<usize>,
+    /// Scheduling priority this database's queries register with on the shared
+    /// worker pool.
+    priority: u8,
+    /// Admission control and session ids, shared across every clone/session.
+    server: Arc<ServerState>,
 }
 
 impl Default for Database {
@@ -88,7 +105,40 @@ impl Database {
             overrides: CardinalityOverrides::new(),
             threads: None,
             columnar: None,
+            batch_size: None,
+            priority: reopt_executor::DEFAULT_PRIORITY,
+            server: Arc::new(ServerState::new()),
         }
+    }
+
+    /// Open a [`Session`]: a copy-on-write snapshot of this database sharing its
+    /// admission semaphore and feedback cache. Each client thread gets its own
+    /// session; their queries multiplex over the process-wide worker pool.
+    pub fn connect(&self) -> Session {
+        Session::new(self.clone(), Arc::clone(&self.server))
+    }
+
+    /// The shared server state (admission counters, session ids).
+    pub fn server(&self) -> &Arc<ServerState> {
+        &self.server
+    }
+
+    /// Replace the admission cap for this database and sessions connected *after*
+    /// this call (existing sessions keep the old semaphore). Test/benchmark hook;
+    /// production configuration is `REOPT_MAX_INFLIGHT`.
+    pub fn set_max_inflight(&mut self, max_inflight: usize) {
+        self.server = Arc::new(ServerState::with_max_inflight(max_inflight));
+    }
+
+    /// The scheduling priority queries register with on the shared worker pool.
+    pub fn priority(&self) -> u8 {
+        self.priority
+    }
+
+    /// Set the scheduling priority for subsequent queries (higher runs first,
+    /// equal priorities round-robin at morsel granularity).
+    pub fn set_priority(&mut self, priority: u8) {
+        self.priority = priority;
     }
 
     /// Pin the executor worker-pool size for every statement this database runs
@@ -113,6 +163,19 @@ impl Database {
     /// Whether scans use the vectorized columnar path.
     pub fn columnar(&self) -> bool {
         self.columnar.unwrap_or_else(default_columnar)
+    }
+
+    /// Pin the executor row-batch size (`None` restores
+    /// [`reopt_executor::DEFAULT_BATCH_SIZE`]). Morsel size is a fixed multiple of
+    /// the batch size, so tests and benchmarks shrink this to make small datasets
+    /// split into enough morsels for real pool parallelism.
+    pub fn set_batch_size(&mut self, batch_size: Option<usize>) {
+        self.batch_size = batch_size.map(|b| b.max(1));
+    }
+
+    /// The executor row-batch size every statement runs with.
+    pub fn batch_size(&self) -> usize {
+        self.batch_size.unwrap_or(reopt_executor::DEFAULT_BATCH_SIZE)
     }
 
     /// Shared access to storage.
@@ -360,9 +423,10 @@ impl Database {
     /// Execute a SELECT statement.
     pub fn execute_select(&mut self, select: &SelectStatement) -> Result<QueryOutput, DbError> {
         let (planned, planning_time) = self.plan_select(select)?;
-        let result = Executor::new(&self.storage)
+        let result = Executor::with_batch_size(&self.storage, self.batch_size())
             .with_threads(self.threads())
             .with_columnar(self.columnar())
+            .with_priority(self.priority)
             .execute(&planned.plan)?;
         Ok(QueryOutput {
             rows: result.rows,

@@ -25,6 +25,9 @@
 //!   re-plan, without materialization — now a built-in policy on the same driver.
 //! * [`report`] — per-query and per-workload run records shared by the experiment
 //!   harnesses in `reopt-bench`.
+//! * [`session`] — the multi-query server front-end: [`Database::connect`] hands out
+//!   [`Session`]s (copy-on-write snapshots sharing one feedback cache and admission
+//!   semaphore) whose queries multiplex over the process-wide worker pool.
 
 pub mod database;
 pub mod error;
@@ -34,6 +37,7 @@ pub mod qerror;
 pub mod reopt;
 pub mod report;
 pub mod selective;
+pub mod session;
 
 pub use database::{Database, QueryOutput};
 pub use error::DbError;
@@ -49,3 +53,4 @@ pub use reopt::{
 };
 pub use report::{relative_runtime_buckets, QueryRun, RuntimeBucket, WorkloadRun};
 pub use selective::{selective_improvement, SelectiveConfig, SelectiveIteration};
+pub use session::{ServerState, Session, DEFAULT_MAX_INFLIGHT};

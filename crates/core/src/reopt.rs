@@ -549,7 +549,7 @@ impl Driver {
             // Seed the first planning pass from the cache. Queries whose LIMIT makes
             // re-planning order-sensitive plan unseeded: a seeded first plan could
             // keep a different row subset than the same query planned cold.
-            let seeds = seed_overrides_from_cache(&original_spec, db.catalog_mut().feedback_mut());
+            let seeds = seed_overrides_from_cache(&original_spec, db.catalog().feedback());
             self.injected.merge(&seeds);
         }
         self.original_spec = Some(original_spec);
@@ -825,7 +825,7 @@ impl Driver {
     /// indexing and keyed by its normalized predicate signature. Observations that
     /// touch a relation with no original-space image are discarded — a key must
     /// never reference a driver-created temp or virtual leaf.
-    fn record_feedback(&self, db: &mut Database, observations: &[(RelSet, f64, Exactness)]) {
+    fn record_feedback(&self, db: &Database, observations: &[(RelSet, f64, Exactness)]) {
         if !self.feedback || observations.is_empty() {
             return;
         }
@@ -839,8 +839,8 @@ impl Driver {
             let Some(key) = feedback_key(spec, original) else {
                 continue;
             };
-            db.catalog_mut()
-                .feedback_mut()
+            db.catalog()
+                .feedback()
                 .record(key, *rows, *exactness == Exactness::Exact);
         }
     }
@@ -1076,9 +1076,10 @@ fn run_pipeline(
     ctx: PolicyContext,
     observe: bool,
 ) -> Result<RunResult, DbError> {
-    let executor = Executor::new(db.storage())
+    let executor = Executor::with_batch_size(db.storage(), db.batch_size())
         .with_threads(db.threads())
-        .with_columnar(db.columnar());
+        .with_columnar(db.columnar())
+        .with_priority(db.priority());
     let adapter = observe.then(|| {
         Rc::new(RefCell::new(PolicyObserver {
             policy,

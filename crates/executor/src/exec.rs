@@ -409,7 +409,11 @@ pub struct Executor<'a> {
     progress_every: u64,
     threads: usize,
     columnar: bool,
+    priority: u8,
 }
+
+/// The default scheduling priority for queries on the shared worker pool.
+pub const DEFAULT_PRIORITY: u8 = 1;
 
 impl<'a> Executor<'a> {
     /// Create an executor over the given storage with [`default_thread_count`]
@@ -421,6 +425,7 @@ impl<'a> Executor<'a> {
             progress_every: DEFAULT_PROGRESS_INTERVAL,
             threads: default_thread_count(),
             columnar: default_columnar(),
+            priority: DEFAULT_PRIORITY,
         }
     }
 
@@ -432,7 +437,17 @@ impl<'a> Executor<'a> {
             progress_every: DEFAULT_PROGRESS_INTERVAL,
             threads: default_thread_count(),
             columnar: default_columnar(),
+            priority: DEFAULT_PRIORITY,
         }
+    }
+
+    /// Set the scheduling priority used when this executor's queries register as
+    /// tasks on the shared worker pool: higher-priority tasks are served first,
+    /// equal priorities round-robin at morsel granularity. Has no effect at
+    /// `threads == 1`.
+    pub fn with_priority(mut self, priority: u8) -> Self {
+        self.priority = priority;
+        self
     }
 
     /// Enable or disable vectorized columnar execution (defaults to
@@ -531,15 +546,16 @@ impl<'a> Executor<'a> {
     {
         if self.threads > 1 && crate::parallel::plan_supported(plan) {
             return Ok(Pipeline {
-                inner: PipelineImpl::Parallel(crate::parallel::ParallelPipeline::new(
+                inner: PipelineImpl::Parallel(Box::new(crate::parallel::ParallelPipeline::new(
                     plan,
                     self.storage,
                     self.batch_size,
                     self.threads,
                     self.progress_every,
                     self.columnar,
+                    self.priority,
                     observer,
-                )),
+                ))),
             });
         }
         let tracker = Rc::new(MemoryTracker::default());
@@ -598,7 +614,9 @@ pub struct Pipeline<'p> {
 
 enum PipelineImpl<'p> {
     Single(SinglePipeline<'p>),
-    Parallel(crate::parallel::ParallelPipeline<'p>),
+    // Boxed: the parallel run state (streaming exchange + engine + run context)
+    // dwarfs the single-engine operator tree handle.
+    Parallel(Box<crate::parallel::ParallelPipeline<'p>>),
 }
 
 impl Pipeline<'_> {

@@ -44,12 +44,14 @@ pub mod error;
 pub mod exec;
 pub mod metrics;
 pub mod parallel;
+pub mod pool;
 
 pub use error::ExecError;
+pub use pool::{TaskHandle, WorkerPool, MAX_POOL_THREADS};
 pub use exec::{
     default_columnar, default_thread_count, execute_plan, BreakerEvent, BreakerKind, BreakerState,
     ExecEvent, ExecutionObserver, ExecutionResult, Executor, ObserverDecision, ObserverHandle,
-    Pipeline, ProgressEvent, ProgressSource, RowBatch, DEFAULT_BATCH_SIZE,
+    Pipeline, ProgressEvent, ProgressSource, RowBatch, DEFAULT_BATCH_SIZE, DEFAULT_PRIORITY,
     DEFAULT_PROGRESS_INTERVAL,
 };
 pub use metrics::{MetricsNode, OperatorMetrics, QueryMetrics};

@@ -9,15 +9,20 @@
 //!
 //! Within one pipeline the driving source (a table heap, an index-scan row-id list, or
 //! a materialized breaker output) is split into **morsels** — runs of
-//! [`MORSEL_BATCHES`] batches — handed to a pool of `std::thread` workers through an
-//! atomic work-stealing cursor. Each worker pushes its morsel through the pipeline's
-//! operator chain (filters, projections, hash probes against the shared immutable
-//! partitioned hash table, index-NL probes against shared storage) and feeds the
-//! pipeline sink:
+//! [`MORSEL_BATCHES`] batches — claimed through an atomic work-stealing cursor by
+//! *chain jobs* running on the process-wide resident [`WorkerPool`]: each query
+//! registers as a pool task, and each chain job processes one morsel then re-enqueues
+//! itself at the back of its task's queue, so concurrent queries interleave at morsel
+//! granularity under the pool's priority + round-robin discipline (see
+//! [`crate::pool`]). A chain job pushes its morsel through the pipeline's operator
+//! chain (filters, projections, hash probes against the shared immutable partitioned
+//! hash table, index-NL probes against shared storage) and feeds the pipeline sink:
 //!
 //! * **root / sort sinks** exchange row batches through a *bounded* channel to the
 //!   coordinator, so streaming operators keep flat memory no matter how fast workers
-//!   produce;
+//!   produce; for streaming-shaped roots the exchange stays live across `next_batch`
+//!   pulls — the pool keeps producing (up to the channel bound) while the client
+//!   consumes, instead of buffering the whole root result in the first pull;
 //! * **hash-join build sinks** partition rows by join-key hash into per-worker,
 //!   per-partition buffers; the merge step assembles one hash-table partition per
 //!   worker in parallel once every worker finished;
@@ -43,8 +48,9 @@
 //! * breaker events therefore arrive innermost-first, exactly as in single-threaded
 //!   execution.
 //!
-//! A `Suspend` decision sets a quiesce flag; workers observe it on the next batch
-//! boundary and drain out, the coordinator joins them, and the pipeline reports
+//! A `Suspend` decision sets the *query's own* quiesce flag; its chain jobs observe it
+//! on the next batch boundary and retire, the coordinator waits for its gate, and the
+//! pipeline reports
 //! [`ExecError::Suspended`] with every *completed* build retained so
 //! [`Pipeline::take_breaker_states`](crate::exec::Pipeline::take_breaker_states) still
 //! extracts reusable state — mid-query re-optimization works unchanged at
@@ -66,21 +72,22 @@
 use crate::error::ExecError;
 use crate::exec::{
     bind as bind_exec, bind_opt as bind_exec_opt, extract_key, key_index as key_index_exec,
-    lookup_table as lookup_table_exec, resolve_index_row_ids, scan_encoding_label, Accumulator,
+    resolve_index_row_ids, scan_encoding_label, Accumulator,
     BreakerEvent, BreakerKind, BreakerState, ExecEvent, ObserverHandle, ProgressEvent,
     ProgressSource, RowBatch,
 };
 use crate::metrics::{MetricsNode, OperatorMetrics, QueryMetrics};
+use crate::pool::{Gate, TaskHandle, WorkerPool};
 use reopt_expr::{filter_mask, Expr, MaskCache};
 use reopt_planner::{PhysicalPlan, PlanKind};
 use reopt_sql::AggregateFunc;
-use reopt_storage::{DataType, Index, Row, Schema, Storage, Table, Value};
+use reopt_storage::{DataType, Row, Schema, Storage, Table, Value};
 use std::collections::hash_map::RandomState;
 use std::collections::{HashMap, VecDeque};
 use std::hash::BuildHasher;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
-use std::sync::mpsc::{sync_channel, RecvTimeoutError};
-use std::sync::{Mutex, OnceLock};
+use std::sync::mpsc::{sync_channel, Receiver, RecvTimeoutError, SyncSender};
+use std::sync::{Arc, Mutex, OnceLock};
 use std::time::{Duration, Instant};
 
 /// Rows per morsel, in units of the executor batch size: each morsel is a contiguous
@@ -330,34 +337,36 @@ struct CompletedBuild {
 // Pipeline sources and operator chain steps
 // ---------------------------------------------------------------------------
 
-/// The driving input of one pipeline, split into morsels.
-enum Source<'p> {
+/// The driving input of one pipeline, split into morsels. Sources own `Arc`
+/// handles to their tables (not borrows) so a compiled pipeline is `'static` and
+/// its chain jobs can run on the resident pool, outliving any one stack frame.
+enum Source {
     /// A sequential scan over a table's column chunks. Each morsel chunk is sliced
     /// with [`Table::scan_range`]; when the vectorized kernel covers the predicate
     /// the selection runs over the typed columns (dictionary codes compare as
     /// integers) and only surviving rows are decoded at this source boundary — the
     /// parallel chain itself stays row-shaped.
     Table {
-        table: &'p Table,
+        table: Arc<Table>,
         predicate: Option<Expr>,
         /// Whether the vectorized kernel covers the predicate (probed at compile
         /// time against a zero-row slice, which preserves the real column
         /// representations).
         kernel: bool,
-        stats: std::sync::Arc<ParStats>,
+        stats: Arc<ParStats>,
     },
     /// An index scan: the row-id list is resolved up front by the coordinator.
     TableIds {
-        table: &'p Table,
+        table: Arc<Table>,
         ids: Vec<usize>,
         residual: Option<Expr>,
-        stats: std::sync::Arc<ParStats>,
+        stats: Arc<ParStats>,
     },
     /// A materialized upstream breaker output (aggregate/sort emission).
     Rows(Vec<Row>),
 }
 
-impl Source<'_> {
+impl Source {
     fn len(&self) -> usize {
         match self {
             Source::Table { table, .. } => table.row_count(),
@@ -452,31 +461,36 @@ struct ProgressInfo {
 }
 
 /// One streaming operator of a pipeline chain.
-enum StepKind<'p> {
+enum StepKind {
     Filter(Expr),
     Project(Vec<Expr>),
     HashProbe {
-        table: std::sync::Arc<JoinTable>,
+        table: Arc<JoinTable>,
         keys: Vec<usize>,
         residual: Option<Expr>,
     },
     IndexProbe {
-        table: &'p Table,
-        index: Option<&'p Index>,
-        transient: Option<std::sync::Arc<HashMap<Value, Vec<usize>>>>,
+        table: Arc<Table>,
+        /// The inner join-key column; the index over it (when `use_index`) is
+        /// re-resolved per batch because an `&Index` borrow into the `Arc`'d
+        /// table cannot live in a `'static` chain job. The lookup scans the
+        /// table's few indexes — negligible next to probing a batch.
+        inner_key_idx: usize,
+        use_index: bool,
+        transient: Option<Arc<HashMap<Value, Vec<usize>>>>,
         outer_key: usize,
         inner_predicate: Option<Expr>,
         residual: Option<Expr>,
     },
 }
 
-struct Step<'p> {
-    kind: StepKind<'p>,
-    stats: std::sync::Arc<ParStats>,
+struct Step {
+    kind: StepKind,
+    stats: Arc<ParStats>,
     progress: Option<ProgressInfo>,
 }
 
-impl Step<'_> {
+impl Step {
     /// Apply the step to one batch, recording stats in output-batch units (a fan-out
     /// join may produce several batches' worth of rows from one input chunk) and, for
     /// join steps with an observer installed, enqueueing periodic progress events.
@@ -534,12 +548,18 @@ impl Step<'_> {
             }
             StepKind::IndexProbe {
                 table,
-                index,
+                inner_key_idx,
+                use_index,
                 transient,
                 outer_key,
                 inner_predicate,
                 residual,
             } => {
+                let index = if *use_index {
+                    table.index_on_column(*inner_key_idx, false)
+                } else {
+                    None
+                };
                 let mut out = Vec::new();
                 for outer_row in &batch {
                     if shared.drop_inflight() {
@@ -669,7 +689,8 @@ impl AggSpec {
 // ---------------------------------------------------------------------------
 
 /// The per-run coordinator: owns the (non-`Send`) observer handle and drives every
-/// pipeline of the plan.
+/// pipeline of the plan. Worker-shared state lives behind `Arc`s so chain jobs on
+/// the resident pool are `'static`; the engine itself stays on the session thread.
 struct Engine<'p> {
     storage: &'p Storage,
     batch_size: usize,
@@ -677,9 +698,22 @@ struct Engine<'p> {
     /// Whether scans may use the vectorized columnar path (see `Executor::columnar`).
     columnar: bool,
     observer: Option<ObserverHandle<'p>>,
-    shared: Shared,
+    shared: Arc<Shared>,
     stop: std::cell::Cell<Option<StopMode>>,
     completed_builds: Vec<CompletedBuild>,
+    /// The resident pool this query's chain jobs run on.
+    pool: &'static WorkerPool,
+    /// This query's task registration: all jobs submit through it, so the pool's
+    /// fairness discipline sees one queue per query.
+    task: TaskHandle,
+}
+
+/// Resolve a table to its shared chunk handle, which `'static` chain jobs can hold
+/// without borrowing from the storage map.
+fn lookup_table_arc(storage: &Storage, name: &str) -> Result<Arc<Table>, ExecError> {
+    storage
+        .table_arc(name)
+        .map_err(|_| ExecError::TableNotFound(name.to_string()))
 }
 
 impl<'p> Engine<'p> {
@@ -761,7 +795,7 @@ impl<'p> Engine<'p> {
                 let child = &plan.children[0];
                 let child_stats = &stats.children[0];
                 let input_schema = &child.schema;
-                let spec = AggSpec {
+                let spec = Arc::new(AggSpec {
                     group_exprs: group_by
                         .iter()
                         .map(|e| bind_exec(e, input_schema))
@@ -771,8 +805,8 @@ impl<'p> Engine<'p> {
                         .iter()
                         .map(|a| bind_exec_opt(a.arg.as_ref(), input_schema))
                         .collect::<Result<Vec<_>, _>>()?,
-                };
-                let locals = self.run_pipeline_agg(child, child_stats, &spec)?;
+                });
+                let locals = self.run_pipeline_agg(child, child_stats, Arc::clone(&spec))?;
                 if self.stopped() {
                     return Ok(Vec::new());
                 }
@@ -835,19 +869,19 @@ impl<'p> Engine<'p> {
         plan: &'p PhysicalPlan,
         stats: &StatsTree,
         keys: Vec<usize>,
-        join_stats: &std::sync::Arc<ParStats>,
-    ) -> Result<std::sync::Arc<JoinTable>, ExecError> {
-        let compiled = self.compile(plan, stats)?;
+        join_stats: &Arc<ParStats>,
+    ) -> Result<Arc<JoinTable>, ExecError> {
+        let compiled = Arc::new(self.compile(plan, stats)?);
+        let hasher = RandomState::new();
         let factory = BuildSinkFactory {
-            hasher: RandomState::new(),
+            hasher: hasher.clone(),
             keys,
             nparts: compiled.workers.max(1),
-            shared: &self.shared,
+            shared: Arc::clone(&self.shared),
         };
-        let worker_locals = self.execute_pipeline(&compiled, &factory)?;
-        let hasher = factory.hasher;
+        let worker_locals = self.execute_pipeline(&compiled, factory)?;
         if self.stopped() {
-            return Ok(std::sync::Arc::new(JoinTable {
+            return Ok(Arc::new(JoinTable {
                 hasher,
                 parts: vec![HashMap::new()],
                 unkeyed: Vec::new(),
@@ -855,21 +889,21 @@ impl<'p> Engine<'p> {
             }));
         }
 
-        // The merge step: one hash map per partition, assembled in parallel when the
-        // build is large enough to be worth it.
+        // The merge step: one hash map per partition, assembled in parallel (on the
+        // resident pool) when the build is large enough to be worth it.
         let merge_start = Instant::now();
-        let table = merge_build(hasher, worker_locals, self.threads);
+        let table = merge_build(hasher, worker_locals, self);
         join_stats
             .nanos
             .fetch_add(merge_start.elapsed().as_nanos() as u64, Ordering::SeqCst);
 
-        let table = std::sync::Arc::new(table);
+        let table = Arc::new(table);
         if self.shared.observer_active {
             self.completed_builds.push(CompletedBuild {
                 kind: BreakerKind::HashBuild,
                 rel_set: plan.rel_set,
                 schema: plan.schema.clone(),
-                table: std::sync::Arc::clone(&table),
+                table: Arc::clone(&table),
             });
         }
         self.deliver_event(ExecEvent::BreakerComplete(BreakerEvent {
@@ -885,13 +919,9 @@ impl<'p> Engine<'p> {
     /// Compile the streaming segment rooted at `plan` down to its driving source,
     /// executing hash-join builds (and materializing aggregate/sort outputs) along the
     /// way. Returns the compiled pipeline and the worker count to run it with.
-    fn compile(
-        &mut self,
-        plan: &'p PhysicalPlan,
-        stats: &StatsTree,
-    ) -> Result<Compiled<'p>, ExecError> {
-        let mut steps: Vec<Step<'p>> = Vec::new();
-        let mut exhaust_marks: Vec<std::sync::Arc<ParStats>> = Vec::new();
+    fn compile(&mut self, plan: &'p PhysicalPlan, stats: &StatsTree) -> Result<Compiled, ExecError> {
+        let mut steps: Vec<Step> = Vec::new();
+        let mut exhaust_marks: Vec<Arc<ParStats>> = Vec::new();
         let mut node = plan;
         let mut node_stats = stats;
         let source = loop {
@@ -969,12 +999,12 @@ impl<'p> Engine<'p> {
                     ..
                 } => {
                     let outer_schema = &node.children[0].schema;
-                    let table = lookup_table_exec(self.storage, inner_table)?;
+                    let table = lookup_table_arc(self.storage, inner_table)?;
                     let outer_key_idx = key_index_exec(outer_schema, outer_key)?;
                     let inner_key_idx = table.schema().index_of(None, inner_key)?;
                     let inner_schema = table.schema().qualified(inner_alias);
-                    let index = table.index_on_column(inner_key_idx, false);
-                    let transient = if index.is_none() {
+                    let use_index = table.index_on_column(inner_key_idx, false).is_some();
+                    let transient = if !use_index {
                         // No usable index: build a transient lookup table once,
                         // shared read-only by every worker (bounded by the base
                         // table, like the single-threaded operator). Only the key
@@ -990,14 +1020,15 @@ impl<'p> Engine<'p> {
                         }
                         let entries = map.values().map(Vec::len).sum::<usize>() as u64;
                         self.shared.acquire(entries, 8 * entries);
-                        Some(std::sync::Arc::new(map))
+                        Some(Arc::new(map))
                     } else {
                         None
                     };
                     steps.push(Step {
                         kind: StepKind::IndexProbe {
                             table,
-                            index,
+                            inner_key_idx,
+                            use_index,
                             transient,
                             outer_key: outer_key_idx,
                             inner_predicate: bind_exec_opt(inner_predicate.as_ref(), &inner_schema)?,
@@ -1017,7 +1048,7 @@ impl<'p> Engine<'p> {
                 PlanKind::SeqScan {
                     table, predicate, ..
                 } => {
-                    let table = lookup_table_exec(self.storage, table)?;
+                    let table = lookup_table_arc(self.storage, table)?;
                     let predicate = bind_exec_opt(predicate.as_ref(), &node.schema)?;
                     // Probe kernel support against a zero-row slice: it carries the
                     // table's real column representations, so the decision holds for
@@ -1033,12 +1064,12 @@ impl<'p> Engine<'p> {
                     let _ = node_stats
                         .stats
                         .encoding
-                        .set(scan_encoding_label(self.columnar, kernel, table));
+                        .set(scan_encoding_label(self.columnar, kernel, &table));
                     break Source::Table {
                         table,
                         predicate,
                         kernel,
-                        stats: std::sync::Arc::clone(&node_stats.stats),
+                        stats: Arc::clone(&node_stats.stats),
                     };
                 }
                 PlanKind::IndexScan {
@@ -1048,7 +1079,7 @@ impl<'p> Engine<'p> {
                     residual,
                     ..
                 } => {
-                    let table = lookup_table_exec(self.storage, table)?;
+                    let table = lookup_table_arc(self.storage, table)?;
                     let column_idx = table.schema().index_of(None, column)?;
                     let needs_range =
                         matches!(lookup, reopt_planner::plan::IndexLookup::Range { .. });
@@ -1064,7 +1095,7 @@ impl<'p> Engine<'p> {
                         table,
                         ids,
                         residual: bind_exec_opt(residual.as_ref(), &node.schema)?,
-                        stats: std::sync::Arc::clone(&node_stats.stats),
+                        stats: Arc::clone(&node_stats.stats),
                     };
                 }
                 PlanKind::Aggregate { .. } | PlanKind::Sort { .. } => {
@@ -1098,61 +1129,66 @@ impl<'p> Engine<'p> {
         })
     }
 
+    /// Launch one chain job per worker on the resident pool and return the shared
+    /// run context. Each job processes one morsel then re-enqueues itself at the
+    /// back of this query's task queue, so concurrent queries interleave at morsel
+    /// granularity. Chains retire (push their sink local, count down the gate) when
+    /// the cursor is exhausted or the query quiesces.
+    fn launch_chains<S: SinkFactory>(
+        &self,
+        compiled: &Arc<Compiled>,
+        factory: S,
+    ) -> Arc<ChainCtx<S>> {
+        let workers = compiled.workers;
+        let ctx = Arc::new(ChainCtx {
+            compiled: Arc::clone(compiled),
+            shared: Arc::clone(&self.shared),
+            cursor: AtomicUsize::new(0),
+            sink: factory,
+            locals: Mutex::new(Vec::new()),
+            gate: Gate::new(workers),
+            task: self.task.clone(),
+        });
+        self.pool.ensure_available(workers);
+        for _ in 0..workers {
+            let local = ctx.sink.make();
+            let job_ctx = Arc::clone(&ctx);
+            ctx.task
+                .submit(move || run_chain_slice(job_ctx, local, MaskCache::new()));
+        }
+        ctx
+    }
+
     /// Run a compiled pipeline into per-worker sink states, returning one local state
     /// per worker. Inline (single worker) execution uses the same sink code on the
     /// coordinator thread, with the event pump interleaved after every chain batch.
     fn execute_pipeline<S: SinkFactory>(
         &self,
-        compiled: &Compiled<'p>,
-        factory: &S,
+        compiled: &Arc<Compiled>,
+        factory: S,
     ) -> Result<Vec<S::Local>, ExecError> {
-        let shared = &self.shared;
-        let cursor = AtomicUsize::new(0);
-        let mut worker_locals: Vec<S::Local> = Vec::new();
-        if compiled.workers <= 1 {
+        let worker_locals: Vec<S::Local> = if compiled.workers <= 1 {
+            let cursor = AtomicUsize::new(0);
             let mut local = factory.make();
             let result = worker_loop(
                 compiled,
-                shared,
+                &self.shared,
                 &cursor,
                 &mut |batch| factory.consume(&mut local, batch),
                 &|| self.pump_events(),
             );
-            worker_locals.push(local);
+            let locals = vec![local];
             result?;
+            locals
         } else {
-            let done = AtomicUsize::new(0);
-            let locals = Mutex::new(Vec::<S::Local>::new());
-            std::thread::scope(|scope| {
-                for _ in 0..compiled.workers {
-                    let done = &done;
-                    let cursor = &cursor;
-                    let locals = &locals;
-                    scope.spawn(move || {
-                        let mut local = factory.make();
-                        if let Err(error) = worker_loop(
-                            compiled,
-                            shared,
-                            cursor,
-                            &mut |batch| factory.consume(&mut local, batch),
-                            &|| shared.wait_for_event_drain(),
-                        ) {
-                            shared.fail(error);
-                        }
-                        locals.lock().expect("sink locals").push(local);
-                        done.fetch_add(1, Ordering::SeqCst);
-                    });
-                }
-                // The coordinator pumps worker-enqueued events while the pool drains
-                // the morsel queue; scope exit joins the workers.
-                while done.load(Ordering::SeqCst) < compiled.workers {
-                    self.pump_events();
-                    std::thread::sleep(Duration::from_micros(50));
-                }
-            });
+            let ctx = self.launch_chains(compiled, factory);
+            // The coordinator pumps worker-enqueued events while the pool drains
+            // the morsel queue.
+            ctx.gate.wait_pumping(&|| self.pump_events());
             self.pump_events();
-            worker_locals = locals.into_inner().expect("sink locals");
-        }
+            let locals = std::mem::take(&mut *ctx.locals.lock().expect("chain locals"));
+            locals
+        };
         if let Some(error) = self.take_error() {
             return Err(error);
         }
@@ -1165,7 +1201,7 @@ impl<'p> Engine<'p> {
     /// Mark a fully-drained pipeline's operators exhausted and emit the one-shot
     /// exact-cardinality progress reports of its index-NL joins (outer side drained:
     /// the produced count is the join's true output cardinality).
-    fn finish_pipeline(&self, compiled: &Compiled<'p>) {
+    fn finish_pipeline(&self, compiled: &Compiled) {
         compiled.source.mark_exhausted();
         for mark in &compiled.exhaust_marks {
             mark.exhausted.store(true, Ordering::SeqCst);
@@ -1197,71 +1233,65 @@ impl<'p> Engine<'p> {
         plan: &'p PhysicalPlan,
         stats: &StatsTree,
     ) -> Result<Vec<Row>, ExecError> {
-        let compiled = self.compile(plan, stats)?;
+        let compiled = Arc::new(self.compile(plan, stats)?);
+        self.collect_compiled(&compiled)
+    }
+
+    /// Drain an already-compiled pipeline into a row vector (inline on the
+    /// coordinator at `workers <= 1`, through the exchange otherwise).
+    fn collect_compiled(&self, compiled: &Arc<Compiled>) -> Result<Vec<Row>, ExecError> {
         if self.stopped() {
             return Ok(Vec::new());
         }
-        let shared = &self.shared;
-        let cursor = AtomicUsize::new(0);
         let mut out_rows: Vec<Row> = Vec::new();
         if compiled.workers <= 1 {
+            let cursor = AtomicUsize::new(0);
             let out = &mut out_rows;
-            let this = &*self;
             let result = worker_loop(
-                &compiled,
-                shared,
+                compiled,
+                &self.shared,
                 &cursor,
                 &mut |batch| {
                     out.extend(batch);
                     Ok(())
                 },
-                &|| this.pump_events(),
+                &|| self.pump_events(),
             );
             result?;
         } else {
             let (tx, rx) = sync_channel::<RowBatch>(compiled.workers * 2);
-            std::thread::scope(|scope| {
-                for _ in 0..compiled.workers {
-                    let tx = tx.clone();
-                    let cursor = &cursor;
-                    let compiled = &compiled;
-                    scope.spawn(move || {
-                        let result = worker_loop(
-                            compiled,
-                            shared,
-                            cursor,
-                            &mut |batch| {
-                                // The chain re-chunks to the batch size, so each
-                                // exchange message is at most one batch; a closed
-                                // channel means the coordinator is shutting the
-                                // pipeline down.
-                                let _ = tx.send(batch);
-                                Ok(())
-                            },
-                            &|| shared.wait_for_event_drain(),
-                        );
-                        if let Err(error) = result {
-                            shared.fail(error);
+            let ctx = self.launch_chains(
+                compiled,
+                ChannelSink {
+                    tx,
+                    shared: Arc::clone(&self.shared),
+                },
+            );
+            // Consume the exchange while the chains drain the cursor. The context
+            // itself holds a sender, so end-of-stream is detected through the gate
+            // (all chains retired) rather than channel disconnection.
+            loop {
+                match rx.recv_timeout(Duration::from_micros(100)) {
+                    Ok(batch) => out_rows.extend(batch),
+                    Err(RecvTimeoutError::Timeout) => {
+                        if ctx.gate.finished() {
+                            break;
                         }
-                    });
-                }
-                drop(tx);
-                loop {
-                    match rx.recv_timeout(Duration::from_micros(100)) {
-                        Ok(batch) => out_rows.extend(batch),
-                        Err(RecvTimeoutError::Timeout) => {}
-                        Err(RecvTimeoutError::Disconnected) => break,
                     }
-                    self.pump_events();
+                    Err(RecvTimeoutError::Disconnected) => break,
                 }
-            });
+                self.pump_events();
+            }
+            while let Ok(batch) = rx.try_recv() {
+                out_rows.extend(batch);
+            }
             self.pump_events();
         }
         if let Some(error) = self.take_error() {
             return Err(error);
         }
         if !self.stopped() && !self.shared.quiesce.load(Ordering::SeqCst) {
-            self.finish_pipeline(&compiled);
+            self.finish_pipeline(compiled);
         }
         Ok(out_rows)
     }
@@ -1271,17 +1301,17 @@ impl<'p> Engine<'p> {
         &mut self,
         plan: &'p PhysicalPlan,
         stats: &StatsTree,
-        spec: &AggSpec,
+        spec: Arc<AggSpec>,
     ) -> Result<Vec<AggLocal>, ExecError> {
-        let compiled = self.compile(plan, stats)?;
+        let compiled = Arc::new(self.compile(plan, stats)?);
         if self.stopped() {
             return Ok(Vec::new());
         }
         let factory = AggSinkFactory {
             spec,
-            shared: &self.shared,
+            shared: Arc::clone(&self.shared),
         };
-        self.execute_pipeline(&compiled, &factory)
+        self.execute_pipeline(&compiled, factory)
     }
 
     fn breaker_states(&mut self) -> Vec<BreakerState> {
@@ -1302,52 +1332,123 @@ impl<'p> Engine<'p> {
 }
 
 /// A compiled pipeline: driving source, operator chain, and parallelism parameters.
-struct Compiled<'p> {
-    source: Source<'p>,
-    steps: Vec<Step<'p>>,
+/// Fully owned (`Send + Sync + 'static`): chain jobs on the resident pool share it
+/// through an `Arc` and may outlive the stack frame that compiled it.
+struct Compiled {
+    source: Source,
+    steps: Vec<Step>,
     /// Stats of every chain operator, marked exhausted when the pipeline drains.
-    exhaust_marks: Vec<std::sync::Arc<ParStats>>,
+    exhaust_marks: Vec<Arc<ParStats>>,
     morsel_rows: usize,
     morsels: usize,
     workers: usize,
 }
 
-/// The morsel loop of one worker: steal morsels off the shared cursor, push each
-/// batch-sized chunk through the chain, feed the sink, quiesce promptly when asked.
+/// Compile-time proof that compiled pipelines (and their shared run state) can be
+/// handed to `'static` pool jobs.
+fn _assert_pool_safe() {
+    fn assert_send_sync<T: Send + Sync + 'static>() {}
+    assert_send_sync::<Compiled>();
+    assert_send_sync::<Shared>();
+}
+
+/// Claim and process **one** morsel: push each batch-sized chunk through the chain
+/// and feed the sink. Returns `Ok(true)` if the cursor may hold more morsels,
+/// `Ok(false)` when the source is exhausted or the query quiesced.
+fn process_one_morsel(
+    compiled: &Compiled,
+    shared: &Shared,
+    cursor: &AtomicUsize,
+    mask_cache: &mut MaskCache,
+    sink: &mut dyn FnMut(RowBatch) -> Result<(), ExecError>,
+    pump: &dyn Fn(),
+) -> Result<bool, ExecError> {
+    if shared.quiesce.load(Ordering::SeqCst) {
+        return Ok(false);
+    }
+    let morsel = cursor.fetch_add(1, Ordering::SeqCst);
+    if morsel >= compiled.morsels {
+        return Ok(false);
+    }
+    let total = compiled.source.len();
+    let start = morsel.saturating_mul(compiled.morsel_rows).min(total);
+    let end = start.saturating_add(compiled.morsel_rows).min(total);
+    let mut pos = start;
+    let chunk = (compiled.morsel_rows / MORSEL_BATCHES.max(1)).max(1);
+    while pos < end {
+        if shared.quiesce.load(Ordering::SeqCst) {
+            return Ok(false);
+        }
+        let chunk_end = pos.saturating_add(chunk).min(end);
+        let rows = compiled.source.scan(pos..chunk_end, mask_cache)?;
+        pos = chunk_end;
+        if rows.is_empty() {
+            continue;
+        }
+        push_chain(&compiled.steps, rows, shared, chunk, sink, pump)?;
+    }
+    Ok(true)
+}
+
+/// The morsel loop of the inline (single-worker) path: drain the cursor on the
+/// coordinator thread, pumping observer events after every chain step.
 fn worker_loop(
-    compiled: &Compiled<'_>,
+    compiled: &Compiled,
     shared: &Shared,
     cursor: &AtomicUsize,
     sink: &mut dyn FnMut(RowBatch) -> Result<(), ExecError>,
     pump: &dyn Fn(),
 ) -> Result<(), ExecError> {
-    let total = compiled.source.len();
     // Worker-private kernel cache: truth tables are cheap to rebuild per worker and
     // this keeps the hot mask loop lock-free.
     let mut mask_cache = MaskCache::new();
-    loop {
-        if shared.quiesce.load(Ordering::SeqCst) {
-            return Ok(());
+    while process_one_morsel(compiled, shared, cursor, &mut mask_cache, sink, pump)? {}
+    Ok(())
+}
+
+/// The shared context of one pipeline run's chain jobs on the resident pool.
+struct ChainCtx<S: SinkFactory> {
+    compiled: Arc<Compiled>,
+    shared: Arc<Shared>,
+    cursor: AtomicUsize,
+    sink: S,
+    /// Retired chains' sink locals, collected for the merge step.
+    locals: Mutex<Vec<S::Local>>,
+    /// Counts down as chains retire; the coordinator waits on it.
+    gate: Gate,
+    task: TaskHandle,
+}
+
+/// One scheduling quantum of a chain: process a single morsel, then either
+/// re-enqueue at the back of this query's task queue (giving equal-priority peers
+/// a turn) or retire. Runs on a pool worker; `'static` by construction.
+fn run_chain_slice<S: SinkFactory>(ctx: Arc<ChainCtx<S>>, mut local: S::Local, mut cache: MaskCache) {
+    let outcome = {
+        let sink_ref = &ctx.sink;
+        let mut sink = |batch: RowBatch| sink_ref.consume(&mut local, batch);
+        process_one_morsel(
+            &ctx.compiled,
+            &ctx.shared,
+            &ctx.cursor,
+            &mut cache,
+            &mut sink,
+            &|| ctx.shared.wait_for_event_drain(),
+        )
+    };
+    match outcome {
+        Ok(true) => {
+            let job_ctx = Arc::clone(&ctx);
+            ctx.task
+                .submit(move || run_chain_slice(job_ctx, local, cache));
         }
-        let morsel = cursor.fetch_add(1, Ordering::SeqCst);
-        if morsel >= compiled.morsels {
-            return Ok(());
+        Ok(false) => {
+            ctx.locals.lock().expect("chain locals").push(local);
+            ctx.gate.done_one();
         }
-        let start = morsel.saturating_mul(compiled.morsel_rows).min(total);
-        let end = start.saturating_add(compiled.morsel_rows).min(total);
-        let mut pos = start;
-        let chunk = (compiled.morsel_rows / MORSEL_BATCHES.max(1)).max(1);
-        while pos < end {
-            if shared.quiesce.load(Ordering::SeqCst) {
-                return Ok(());
-            }
-            let chunk_end = pos.saturating_add(chunk).min(end);
-            let rows = compiled.source.scan(pos..chunk_end, &mut mask_cache)?;
-            pos = chunk_end;
-            if rows.is_empty() {
-                continue;
-            }
-            push_chain(&compiled.steps, rows, shared, chunk, sink, pump)?;
+        Err(error) => {
+            ctx.shared.fail(error);
+            ctx.locals.lock().expect("chain locals").push(local);
+            ctx.gate.done_one();
         }
     }
 }
@@ -1359,7 +1460,7 @@ fn worker_loop(
 /// most one step's output instead of a whole morsel's fan-out; threaded workers pass
 /// a no-op — their coordinator pumps concurrently).
 fn push_chain(
-    steps: &[Step<'_>],
+    steps: &[Step],
     batch: RowBatch,
     shared: &Shared,
     batch_size: usize,
@@ -1390,25 +1491,26 @@ fn push_chain(
     }
 }
 
-/// A pipeline sink with per-worker local state: `make` is called once per worker,
+/// A pipeline sink with per-worker local state: `make` is called once per chain,
 /// `consume` once per produced chain batch, and `execute_pipeline` returns every
-/// worker's local state for the merge step.
-trait SinkFactory: Sync {
-    type Local: Send;
+/// chain's local state for the merge step. `'static` because sinks ride inside
+/// pool jobs that may outlive the coordinating stack frame.
+trait SinkFactory: Send + Sync + 'static {
+    type Local: Send + 'static;
     fn make(&self) -> Self::Local;
     fn consume(&self, local: &mut Self::Local, batch: RowBatch) -> Result<(), ExecError>;
 }
 
 /// Partitioned hash-join build sink: rows land in per-worker, per-partition buffers,
 /// keyed and pre-hashed with the table's shared hasher.
-struct BuildSinkFactory<'a> {
+struct BuildSinkFactory {
     hasher: RandomState,
     keys: Vec<usize>,
     nparts: usize,
-    shared: &'a Shared,
+    shared: Arc<Shared>,
 }
 
-impl SinkFactory for BuildSinkFactory<'_> {
+impl SinkFactory for BuildSinkFactory {
     type Local = BuildLocal;
 
     fn make(&self) -> BuildLocal {
@@ -1435,12 +1537,12 @@ impl SinkFactory for BuildSinkFactory<'_> {
 }
 
 /// Partial-aggregation sink: one accumulator set per group per worker.
-struct AggSinkFactory<'a> {
-    spec: &'a AggSpec,
-    shared: &'a Shared,
+struct AggSinkFactory {
+    spec: Arc<AggSpec>,
+    shared: Arc<Shared>,
 }
 
-impl SinkFactory for AggSinkFactory<'_> {
+impl SinkFactory for AggSinkFactory {
     type Local = AggLocal;
 
     fn make(&self) -> AggLocal {
@@ -1470,14 +1572,49 @@ impl SinkFactory for AggSinkFactory<'_> {
             }
             Ok(())
         } else {
-            self.spec.consume(local, &batch, self.shared)
+            self.spec.consume(local, &batch, &self.shared)
         }
     }
 }
 
+/// Exchange sink: chain batches flow through a bounded channel to whichever
+/// thread holds the receiver (the coordinator for mid-plan collection, the
+/// client-pulled pipeline facade for a streaming root). Each chain sends through
+/// its own cloned handle. A send can only fail once the receiver is gone for
+/// good — the pipeline was suspended or dropped — so it quiesces the query
+/// rather than letting orphaned chains keep scanning.
+struct ChannelSink {
+    tx: SyncSender<RowBatch>,
+    shared: Arc<Shared>,
+}
+
+impl SinkFactory for ChannelSink {
+    type Local = SyncSender<RowBatch>;
+
+    fn make(&self) -> SyncSender<RowBatch> {
+        self.tx.clone()
+    }
+
+    fn consume(&self, local: &mut SyncSender<RowBatch>, batch: RowBatch) -> Result<(), ExecError> {
+        if local.send(batch).is_err() {
+            self.shared.quiesce.store(true, Ordering::SeqCst);
+        }
+        Ok(())
+    }
+}
+
 /// Merge the per-worker partitioned build buffers into one [`JoinTable`], in parallel
-/// across partitions when the build is large.
-fn merge_build(hasher: RandomState, locals: Vec<BuildLocal>, threads: usize) -> JoinTable {
+/// across partitions (on the resident pool) when the build is large.
+fn merge_build(hasher: RandomState, locals: Vec<BuildLocal>, engine: &Engine<'_>) -> JoinTable {
+    fn merge_one(buckets: Vec<KeyedRows>) -> PartitionMap {
+        let mut map: PartitionMap = HashMap::new();
+        for bucket in buckets {
+            for (key, row) in bucket {
+                map.entry(key).or_default().push(row);
+            }
+        }
+        map
+    }
     let nparts = locals.iter().map(|l| l.parts.len()).max().unwrap_or(1);
     let keyed_total: usize = locals
         .iter()
@@ -1493,36 +1630,36 @@ fn merge_build(hasher: RandomState, locals: Vec<BuildLocal>, threads: usize) -> 
             partition_inputs[part].push(bucket);
         }
     }
-    let merge_one = |buckets: Vec<KeyedRows>| {
-        let mut map: PartitionMap = HashMap::new();
-        for bucket in buckets {
-            for (key, row) in bucket {
-                map.entry(key).or_default().push(row);
-            }
+    let parts: Vec<PartitionMap> = if engine.threads > 1 && keyed_total > 65_536 {
+        // One pool job per partition; inputs and outputs live behind Arc'd slots
+        // so the jobs are 'static.
+        type MergeWork = (
+            Vec<Mutex<Option<Vec<KeyedRows>>>>,
+            Vec<Mutex<Option<PartitionMap>>>,
+        );
+        let work: Arc<MergeWork> = Arc::new((
+            partition_inputs
+                .into_iter()
+                .map(|i| Mutex::new(Some(i)))
+                .collect(),
+            (0..nparts).map(|_| Mutex::new(None)).collect(),
+        ));
+        let gate = Arc::new(Gate::new(nparts));
+        engine.pool.ensure_available(nparts.min(engine.threads));
+        for part in 0..nparts {
+            let work = Arc::clone(&work);
+            let gate = Arc::clone(&gate);
+            engine.task.submit(move || {
+                let input = work.0[part].lock().expect("merge input").take().unwrap_or_default();
+                let map = merge_one(input);
+                *work.1[part].lock().expect("merge slot") = Some(map);
+                gate.done_one();
+            });
         }
-        map
-    };
-    let parts: Vec<PartitionMap> = if threads > 1 && keyed_total > 65_536 {
-        let slots: Vec<Mutex<Option<PartitionMap>>> =
-            (0..nparts).map(|_| Mutex::new(None)).collect();
-        let inputs: Vec<Mutex<Option<Vec<KeyedRows>>>> = partition_inputs
-            .into_iter()
-            .map(|i| Mutex::new(Some(i)))
-            .collect();
-        std::thread::scope(|scope| {
-            for part in 0..nparts {
-                let slots = &slots;
-                let inputs = &inputs;
-                scope.spawn(move || {
-                    let input = inputs[part].lock().expect("merge input").take().unwrap();
-                    let map = merge_one(input);
-                    *slots[part].lock().expect("merge slot") = Some(map);
-                });
-            }
-        });
-        slots
-            .into_iter()
-            .map(|slot| slot.into_inner().expect("merge slot").unwrap_or_default())
+        gate.wait_pumping(&|| engine.pump_events());
+        work.1
+            .iter()
+            .map(|slot| slot.lock().expect("merge slot").take().unwrap_or_default())
             .collect()
     } else {
         partition_inputs.into_iter().map(merge_one).collect()
@@ -1618,10 +1755,22 @@ fn sort_rows(rows: Vec<Row>, keys: &[(Expr, bool)]) -> Result<Vec<Row>, ExecErro
 // The public pipeline facade
 // ---------------------------------------------------------------------------
 
+/// A streaming root: the live exchange between this query's chain jobs (still
+/// running on the resident pool) and the client pulling `next_batch`.
+struct StreamingRoot {
+    rx: Receiver<RowBatch>,
+    /// Keeps the chain-job context (and its retirement gate) reachable.
+    ctx: Arc<ChainCtx<ChannelSink>>,
+    compiled: Arc<Compiled>,
+    /// Seam suspension: whether the one in-flight batch was already delivered.
+    seam_delivered: bool,
+}
+
 /// How far a parallel pipeline has progressed.
 enum RunState {
     NotStarted,
-    /// The run completed (or seam-suspended); rows are served in batch-size chunks.
+    /// A materialized root (aggregate/sort breaker, inline run, or seam tail):
+    /// rows are served in batch-size chunks.
     Serving {
         rows: Vec<Row>,
         pos: usize,
@@ -1629,26 +1778,28 @@ enum RunState {
         /// end-of-stream.
         seam: bool,
     },
+    /// A streaming-shaped root: chain jobs stay live on the pool across pulls,
+    /// producing into a bounded exchange as fast as the client consumes.
+    Streaming(StreamingRoot),
     Suspended,
     Poisoned,
+    /// A streaming root that ran to completion.
+    Done,
 }
 
 /// A morsel-driven parallel execution of one plan, behind the same contract as the
-/// single-threaded [`Pipeline`](crate::exec::Pipeline): the whole plan runs (inside
-/// the first `next_batch` call) on a worker pool, pipelines exchange batches through
-/// bounded channels, and the output is served batch by batch.
+/// single-threaded [`Pipeline`](crate::exec::Pipeline).
 ///
-/// One consequence of run-to-completion-in-first-pull: the **root result set is
-/// buffered inside the pipeline** before the first batch is served (the bounded
-/// exchange limits in-flight queue depth, not the collected output). For
-/// [`Executor::execute`](crate::exec::Executor) and the re-optimization driver —
-/// which collect all rows anyway — total memory is unchanged from single-threaded
-/// execution, merely held one layer lower; but a consumer streaming `next_batch` to
-/// avoid materializing a huge result should run such plans at `threads == 1`. This
-/// buffer is intentionally *not* charged to `peak_buffered_rows`, which keeps its
-/// cross-engine meaning of breaker-buffered rows (the single-threaded engine never
-/// counts the caller's output buffer either). A streaming root exchange that keeps
-/// the pool alive across pulls is the logged follow-up.
+/// Breaker-rooted plans (aggregate/sort) materialize their result inside the first
+/// `next_batch` call and serve it in batch-size chunks — the breaker buffers
+/// everything by definition. Streaming-shaped roots (scan/filter/project/join
+/// spines) instead keep a **live root exchange**: the first pull registers the query
+/// as a pool task and launches its chain jobs; every pull (including the first)
+/// receives the next produced batch from a bounded channel while the jobs keep
+/// running between pulls, so the root result is never buffered and a slow consumer
+/// back-pressures the pool through the channel bound. The root buffer of
+/// breaker-rooted plans is intentionally *not* charged to `peak_buffered_rows`,
+/// which keeps its cross-engine meaning of breaker-buffered rows.
 pub(crate) struct ParallelPipeline<'p> {
     plan: &'p PhysicalPlan,
     storage: &'p Storage,
@@ -1656,16 +1807,22 @@ pub(crate) struct ParallelPipeline<'p> {
     threads: usize,
     progress_every: u64,
     columnar: bool,
+    priority: u8,
     observer: Option<ObserverHandle<'p>>,
     stats: StatsTree,
+    /// The per-run coordinator; lives for the whole pipeline (streaming roots keep
+    /// delivering events and surrender breaker state long after the first pull).
+    engine: Option<Engine<'p>>,
     state: RunState,
     breaker_states: Vec<BreakerState>,
     peak_buffered_rows: u64,
     peak_buffered_bytes: u64,
+    started: Option<Instant>,
     wall: Duration,
 }
 
 impl<'p> ParallelPipeline<'p> {
+    #[allow(clippy::too_many_arguments)]
     pub(crate) fn new(
         plan: &'p PhysicalPlan,
         storage: &'p Storage,
@@ -1673,6 +1830,7 @@ impl<'p> ParallelPipeline<'p> {
         threads: usize,
         progress_every: u64,
         columnar: bool,
+        priority: u8,
         observer: Option<ObserverHandle<'p>>,
     ) -> Self {
         let stats = build_stats_tree(plan);
@@ -1683,26 +1841,33 @@ impl<'p> ParallelPipeline<'p> {
             threads,
             progress_every,
             columnar,
+            priority,
             observer,
             stats,
+            engine: None,
             state: RunState::NotStarted,
             breaker_states: Vec::new(),
             peak_buffered_rows: 0,
             peak_buffered_bytes: 0,
+            started: None,
             wall: Duration::ZERO,
         }
     }
 
-    /// Execute the whole plan on the worker pool. Called on the first pull.
+    /// Start executing on the resident pool. Called on the first pull. Breaker
+    /// roots run to completion here; streaming roots launch their chain jobs and
+    /// return with the exchange open.
     fn run(&mut self) -> Result<(), ExecError> {
-        let start = Instant::now();
-        let mut engine = Engine {
+        self.started = Some(Instant::now());
+        let pool = WorkerPool::global();
+        let task = pool.register(self.priority);
+        self.engine = Some(Engine {
             storage: self.storage,
             batch_size: self.batch_size,
             threads: self.threads,
             columnar: self.columnar,
             observer: self.observer.clone(),
-            shared: Shared {
+            shared: Arc::new(Shared {
                 quiesce: AtomicBool::new(false),
                 seam: AtomicBool::new(false),
                 observer_active: self.observer.is_some(),
@@ -1713,23 +1878,73 @@ impl<'p> ParallelPipeline<'p> {
                 buffered_peak: AtomicU64::new(0),
                 buffered_bytes_current: AtomicU64::new(0),
                 buffered_bytes_peak: AtomicU64::new(0),
-            },
+            }),
             stop: std::cell::Cell::new(None),
             completed_builds: Vec::new(),
+            pool,
+            task,
+        });
+        let plan = self.plan;
+        if matches!(plan.kind, PlanKind::Aggregate { .. } | PlanKind::Sort { .. }) {
+            let result = {
+                let engine = self.engine.as_mut().expect("engine");
+                engine.eval_rows(plan, &self.stats)
+            };
+            return self.settle_materialized(result);
+        }
+        // A streaming-shaped root: compile the spine (hash builds execute eagerly
+        // here), then serve through a live exchange.
+        let compiled = {
+            let engine = self.engine.as_mut().expect("engine");
+            engine.compile(plan, &self.stats)
         };
-        let result = engine.eval_rows(self.plan, &self.stats);
+        let compiled = match compiled {
+            Ok(compiled) => Arc::new(compiled),
+            Err(error) => return self.settle_materialized(Err(error)),
+        };
+        let engine = self.engine.as_ref().expect("engine");
+        if engine.stopped() || compiled.workers <= 1 {
+            // Stopped during the builds, or a source too small to parallelize:
+            // collect inline on the coordinator (tiny inputs never pay the pool).
+            let result = engine.collect_compiled(&compiled);
+            return self.settle_materialized(result);
+        }
+        let (tx, rx) = sync_channel::<RowBatch>(compiled.workers * 2);
+        let ctx = engine.launch_chains(
+            &compiled,
+            ChannelSink {
+                tx,
+                shared: Arc::clone(&engine.shared),
+            },
+        );
+        self.state = RunState::Streaming(StreamingRoot {
+            rx,
+            ctx,
+            compiled,
+            seam_delivered: false,
+        });
+        Ok(())
+    }
+
+    /// Resolve a materialized run result into the serving/suspended/poisoned state,
+    /// mirroring the single-threaded suspension contract.
+    fn settle_materialized(&mut self, result: Result<Vec<Row>, ExecError>) -> Result<(), ExecError> {
+        let engine = self.engine.as_mut().expect("engine");
         engine.pump_events();
-        self.peak_buffered_rows = engine.shared.buffered_peak.load(Ordering::SeqCst);
-        self.peak_buffered_bytes = engine.shared.buffered_bytes_peak.load(Ordering::SeqCst);
-        self.wall = start.elapsed();
+        let stop = engine.stop.get();
+        let states = match &result {
+            Ok(_) => engine.breaker_states(),
+            Err(_) => Vec::new(),
+        };
+        self.finalize_counters();
         match result {
             Err(error) => {
                 self.state = RunState::Poisoned;
                 Err(error)
             }
             Ok(rows) => {
-                self.breaker_states = engine.breaker_states();
-                match engine.stop.get() {
+                self.breaker_states = states;
+                match stop {
                     Some(StopMode::Immediate) => {
                         // In-flight output is discarded, exactly like a mid-pull
                         // suspension of the single-threaded root.
@@ -1763,6 +1978,124 @@ impl<'p> ParallelPipeline<'p> {
         }
     }
 
+    /// Capture the peak-buffer counters and wall time from the engine.
+    fn finalize_counters(&mut self) {
+        if let Some(engine) = &self.engine {
+            self.peak_buffered_rows = engine.shared.buffered_peak.load(Ordering::SeqCst);
+            self.peak_buffered_bytes = engine.shared.buffered_bytes_peak.load(Ordering::SeqCst);
+        }
+        if let Some(started) = self.started {
+            self.wall = started.elapsed();
+        }
+    }
+
+    /// Tear down a live stream: quiesce this query's chains, close the exchange so
+    /// blocked senders unblock, and wait (pumping events) until every chain retired.
+    /// Only this query's task drains — other queries' tasks on the pool keep running.
+    fn shed_stream(&mut self) {
+        let state = std::mem::replace(&mut self.state, RunState::Suspended);
+        if let RunState::Streaming(stream) = state {
+            let engine = self.engine.as_ref().expect("engine");
+            engine.shared.quiesce.store(true, Ordering::SeqCst);
+            drop(stream.rx);
+            stream.ctx.gate.wait_pumping(&|| engine.pump_events());
+        }
+    }
+
+    fn collect_stream_breakers(&mut self) {
+        self.breaker_states = self.engine.as_mut().expect("engine").breaker_states();
+    }
+
+    /// One pull from a live streaming root.
+    fn stream_next(&mut self) -> Result<Option<RowBatch>, ExecError> {
+        loop {
+            self.engine.as_ref().expect("engine").pump_events();
+            if let Some(error) = self.engine.as_ref().expect("engine").take_error() {
+                self.shed_stream();
+                self.state = RunState::Poisoned;
+                self.finalize_counters();
+                return Err(error);
+            }
+            match self.engine.as_ref().expect("engine").stop.get() {
+                Some(StopMode::Immediate) => {
+                    // Rows still in the exchange are discarded.
+                    self.shed_stream();
+                    self.collect_stream_breakers();
+                    self.state = RunState::Suspended;
+                    self.finalize_counters();
+                    return Err(ExecError::Suspended);
+                }
+                Some(StopMode::Seam) => {
+                    let RunState::Streaming(stream) = &mut self.state else {
+                        unreachable!("stream_next outside Streaming state");
+                    };
+                    if !stream.seam_delivered {
+                        // Chains finish their in-flight batch under a seam quiesce;
+                        // deliver it (if any materialized) before suspending.
+                        loop {
+                            match stream.rx.recv_timeout(Duration::from_micros(100)) {
+                                Ok(batch) => {
+                                    stream.seam_delivered = true;
+                                    return Ok(Some(batch));
+                                }
+                                Err(RecvTimeoutError::Timeout) => {
+                                    if stream.ctx.gate.finished() {
+                                        if let Ok(batch) = stream.rx.try_recv() {
+                                            stream.seam_delivered = true;
+                                            return Ok(Some(batch));
+                                        }
+                                        break;
+                                    }
+                                }
+                                Err(RecvTimeoutError::Disconnected) => break,
+                            }
+                        }
+                    }
+                    self.shed_stream();
+                    self.collect_stream_breakers();
+                    self.state = RunState::Suspended;
+                    self.finalize_counters();
+                    return Err(ExecError::Suspended);
+                }
+                None => {}
+            }
+            let RunState::Streaming(stream) = &mut self.state else {
+                unreachable!("stream_next outside Streaming state");
+            };
+            match stream.rx.recv_timeout(Duration::from_micros(100)) {
+                Ok(batch) => return Ok(Some(batch)),
+                Err(RecvTimeoutError::Timeout) | Err(RecvTimeoutError::Disconnected) => {
+                    if !stream.ctx.gate.finished() {
+                        continue;
+                    }
+                    if let Ok(batch) = stream.rx.try_recv() {
+                        return Ok(Some(batch));
+                    }
+                    // Every chain retired and the exchange is drained. Check for a
+                    // late error, then finish: exhaustion marks plus the one-shot
+                    // index-NL exact-cardinality reports (which may themselves
+                    // suspend — handled at the top of the loop).
+                    let compiled = Arc::clone(&stream.compiled);
+                    let engine = self.engine.as_ref().expect("engine");
+                    if engine.take_error().is_some() || engine.shared.quiesce.load(Ordering::SeqCst)
+                    {
+                        // Re-run the terminal checks with the flags now visible.
+                        continue;
+                    }
+                    engine.finish_pipeline(&compiled);
+                    if engine.stop.get().is_some() {
+                        continue;
+                    }
+                    self.collect_stream_breakers();
+                    self.stats.stats.exhausted.store(true, Ordering::SeqCst);
+                    self.state = RunState::Done;
+                    self.finalize_counters();
+                    return Ok(None);
+                }
+            }
+        }
+    }
+
     pub(crate) fn next_batch(&mut self) -> Result<Option<RowBatch>, ExecError> {
         match &mut self.state {
             RunState::NotStarted => {
@@ -1773,6 +2106,8 @@ impl<'p> ParallelPipeline<'p> {
             RunState::Poisoned => Err(ExecError::InvalidPlan(
                 "pipeline poisoned by an earlier execution error".into(),
             )),
+            RunState::Done => Ok(None),
+            RunState::Streaming(_) => self.stream_next(),
             RunState::Serving { rows, pos, seam } => {
                 if *pos >= rows.len() {
                     if *seam {
@@ -1798,9 +2133,14 @@ impl<'p> ParallelPipeline<'p> {
     }
 
     pub(crate) fn metrics(&self) -> QueryMetrics {
+        let execution_time = if self.wall > Duration::ZERO {
+            self.wall
+        } else {
+            self.started.map(|s| s.elapsed()).unwrap_or(Duration::ZERO)
+        };
         QueryMetrics {
             root: assemble_metrics(self.plan, &self.stats),
-            execution_time: self.wall,
+            execution_time,
         }
     }
 
@@ -1810,6 +2150,17 @@ impl<'p> ParallelPipeline<'p> {
 
     pub(crate) fn peak_buffered_bytes(&self) -> u64 {
         self.peak_buffered_bytes
+    }
+}
+
+impl Drop for ParallelPipeline<'_> {
+    fn drop(&mut self) {
+        // A pipeline dropped mid-stream abandons its chains gracefully: quiesce the
+        // query and close the exchange; the pool drains the remaining jobs (each
+        // observes the quiesce flag and retires) without blocking this thread.
+        if let (RunState::Streaming(_), Some(engine)) = (&self.state, &self.engine) {
+            engine.shared.quiesce.store(true, Ordering::SeqCst);
+        }
     }
 }
 

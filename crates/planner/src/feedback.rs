@@ -149,10 +149,7 @@ fn search_assignment(
 /// seeds its first planning pass: exact entries pin subset estimates, lower-bound
 /// entries floor them (see `CardinalityOverrides`). Entries that seed are touched in
 /// the cache (recency bump + hit count), so useful observations survive LRU eviction.
-pub fn seed_overrides_from_cache(
-    spec: &QuerySpec,
-    cache: &mut FeedbackCache,
-) -> CardinalityOverrides {
+pub fn seed_overrides_from_cache(spec: &QuerySpec, cache: &FeedbackCache) -> CardinalityOverrides {
     let mut seeds = CardinalityOverrides::new();
     if cache.is_empty() || spec.relations.is_empty() {
         return seeds;
@@ -188,7 +185,7 @@ pub fn seed_overrides_from_cache(
             continue;
         }
         let mut attempts = 0;
-        let mut verify = |set: RelSet| feedback_key(spec, set).as_ref() == Some(key);
+        let mut verify = |set: RelSet| feedback_key(spec, set).as_ref() == Some(&key);
         if let Some(set) = search_assignment(
             &groups,
             0,
@@ -202,7 +199,7 @@ pub fn seed_overrides_from_cache(
             } else {
                 seeds.set_at_least(set, rows);
             }
-            seeded_keys.push(key.clone());
+            seeded_keys.push(key);
         }
     }
     for key in &seeded_keys {
@@ -295,7 +292,7 @@ mod tests {
              WHERE t.id = mk.movie_id AND t.production_year > 2000",
             &storage,
         );
-        let mut cache = FeedbackCache::new();
+        let cache = FeedbackCache::new();
         cache.record(
             feedback_key(&recorded, RelSet::all(2)).unwrap(),
             777.0,
@@ -313,7 +310,7 @@ mod tests {
              WHERE b.id = a.movie_id AND b.production_year > 2000",
             &storage,
         );
-        let seeds = seed_overrides_from_cache(&query, &mut cache);
+        let seeds = seed_overrides_from_cache(&query, &cache);
         assert_eq!(seeds.len(), 2);
         // `title` is relation 1 in the new query.
         assert_eq!(
@@ -331,7 +328,7 @@ mod tests {
              WHERE t.id = mk.movie_id AND t.production_year > 1990",
             &storage,
         );
-        let seeds = seed_overrides_from_cache(&other, &mut cache);
+        let seeds = seed_overrides_from_cache(&other, &cache);
         assert_eq!(seeds.get(RelSet::all(2)), None);
     }
 
@@ -346,9 +343,9 @@ mod tests {
         );
         // Record the sub-join {t2, mk} (the unfiltered title side).
         let sub = RelSet::from_indexes([1, 2]);
-        let mut cache = FeedbackCache::new();
+        let cache = FeedbackCache::new();
         cache.record(feedback_key(&spec, sub).unwrap(), 55.0, true);
-        let seeds = seed_overrides_from_cache(&spec, &mut cache);
+        let seeds = seed_overrides_from_cache(&spec, &cache);
         // The filtered t1 must not absorb the seed: fingerprints differ.
         assert_eq!(seeds.get_entry(sub), Some((55.0, Exactness::Exact)));
         assert_eq!(seeds.get(RelSet::from_indexes([0, 2])), None);

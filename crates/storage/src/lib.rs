@@ -42,14 +42,21 @@ pub use table::Table;
 pub use value::{DataType, Value};
 
 use std::collections::BTreeMap;
+use std::sync::Arc;
 
 /// The set of all tables known to the engine, addressed by (case-insensitive) name.
+///
+/// Tables are reference-counted so a `Storage` clone is a cheap copy-on-write
+/// snapshot: concurrent sessions share the same immutable table chunks, and the
+/// parallel executor can hand `'static` scan jobs to a resident worker pool
+/// without borrowing from the storage map. Mutation goes through
+/// [`Storage::table_mut`], which unshares the one table being written.
 ///
 /// Temporary tables created by the re-optimization controller live here too; they are
 /// flagged so they can be dropped when a re-optimized query finishes.
 #[derive(Debug, Default, Clone)]
 pub struct Storage {
-    tables: BTreeMap<String, Table>,
+    tables: BTreeMap<String, Arc<Table>>,
 }
 
 impl Storage {
@@ -64,19 +71,20 @@ impl Storage {
         if self.tables.contains_key(&key) {
             return Err(StorageError::TableExists(table.name().to_string()));
         }
-        self.tables.insert(key, table);
+        self.tables.insert(key, Arc::new(table));
         Ok(())
     }
 
     /// Register or replace a table (used for temporary tables during re-optimization).
     pub fn create_or_replace_table(&mut self, table: Table) {
-        self.tables.insert(normalize(table.name()), table);
+        self.tables.insert(normalize(table.name()), Arc::new(table));
     }
 
     /// Remove a table. Fails if it does not exist.
     pub fn drop_table(&mut self, name: &str) -> Result<Table, StorageError> {
         self.tables
             .remove(&normalize(name))
+            .map(|arc| Arc::try_unwrap(arc).unwrap_or_else(|shared| (*shared).clone()))
             .ok_or_else(|| StorageError::TableNotFound(name.to_string()))
     }
 
@@ -84,13 +92,24 @@ impl Storage {
     pub fn table(&self, name: &str) -> Result<&Table, StorageError> {
         self.tables
             .get(&normalize(name))
+            .map(|arc| arc.as_ref())
             .ok_or_else(|| StorageError::TableNotFound(name.to_string()))
     }
 
-    /// Look up a table mutably by name.
+    /// Look up the shared handle for a table, for executors that need to keep the
+    /// chunk alive beyond the borrow (e.g. `'static` worker-pool jobs).
+    pub fn table_arc(&self, name: &str) -> Result<Arc<Table>, StorageError> {
+        self.tables
+            .get(&normalize(name))
+            .cloned()
+            .ok_or_else(|| StorageError::TableNotFound(name.to_string()))
+    }
+
+    /// Look up a table mutably by name, unsharing it if other snapshots hold it.
     pub fn table_mut(&mut self, name: &str) -> Result<&mut Table, StorageError> {
         self.tables
             .get_mut(&normalize(name))
+            .map(Arc::make_mut)
             .ok_or_else(|| StorageError::TableNotFound(name.to_string()))
     }
 
@@ -101,7 +120,7 @@ impl Storage {
 
     /// Iterate over all tables in name order.
     pub fn tables(&self) -> impl Iterator<Item = &Table> {
-        self.tables.values()
+        self.tables.values().map(|arc| arc.as_ref())
     }
 
     /// Names of all tables in name order.

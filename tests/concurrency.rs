@@ -1,0 +1,293 @@
+//! Concurrency stress battery: N client threads × mixed JOB queries through shared
+//! [`Session`]s over one database, all multiplexed on the process-wide worker pool.
+//!
+//! What must hold under sharing:
+//! * **Row identity** — every concurrent execution returns exactly the rows a
+//!   single-threaded solo run returns (compared sorted; aggregates are one row).
+//! * **No deadlocks** — the battery completes; admission slots always free.
+//! * **Exactly-once observer events** — each query's breaker completions are
+//!   delivered once per breaker to *its own* policy, never duplicated or leaked
+//!   across concurrently running queries.
+//! * **Suspension scoping** — one session's mid-query re-optimization corrects its
+//!   query while concurrent sessions complete unaffected.
+//!
+//! The CI concurrent-smoke leg runs this file repeatedly (`REOPT_STRESS_ITERS`)
+//! to shake out interleaving-dependent flakes.
+
+use reopt_repro::core::{
+    execute_with_reoptimization, Database, PolicyContext, PolicyDecision, ReoptConfig, ReoptMode,
+    ReoptPolicy,
+};
+use reopt_repro::executor::{ExecEvent, QueryMetrics, WorkerPool};
+use reopt_repro::planner::{OptimizerConfig, QuerySpec, RelSet};
+use reopt_repro::storage::Row;
+use reopt_repro::workload::job::{job_queries, job_query, JobQuery};
+use reopt_repro::workload::{load_imdb, ImdbConfig};
+use std::collections::HashSet;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+/// Extra battery repetitions (the CI leg raises this; locally 1 keeps it quick).
+fn stress_iters() -> usize {
+    std::env::var("REOPT_STRESS_ITERS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(1)
+        .max(1)
+}
+
+const CLIENTS: usize = 4;
+
+/// The query mix: one variant per family with at most 8 tables — small enough to
+/// plan exhaustively, varied enough to cover every operator shape.
+fn query_mix() -> Vec<JobQuery> {
+    let mut seen = HashSet::new();
+    job_queries()
+        .into_iter()
+        .filter(|q| q.table_count <= 8 && seen.insert(q.family))
+        .collect()
+}
+
+fn shared_database() -> Database {
+    let mut db = Database::new();
+    load_imdb(&mut db, &ImdbConfig { scale: 0.02, seed: 9 }).unwrap();
+    db.set_threads(Some(2));
+    // At the default 1024-row batches, a morsel (4 batches) swallows every table at
+    // this scale and pipelines clamp to one inline worker — the battery would never
+    // touch the shared pool. Shrink the batches so scans split into enough morsels
+    // for real multi-worker chains.
+    db.set_batch_size(Some(64));
+    db
+}
+
+fn sorted(mut rows: Vec<Row>) -> Vec<Row> {
+    rows.sort_by(|a, b| format!("{a:?}").cmp(&format!("{b:?}")));
+    rows
+}
+
+#[test]
+fn stress_battery_concurrent_sessions_match_single_threaded_reference() {
+    let mut db = shared_database();
+
+    // Single-threaded reference rows, computed before any concurrency.
+    db.set_threads(Some(1));
+    let mix = query_mix();
+    let reference: Vec<Vec<Row>> = mix
+        .iter()
+        .map(|q| sorted(db.execute(&q.sql).unwrap().rows))
+        .collect();
+    db.set_threads(Some(2));
+
+    let reference = Arc::new(reference);
+    let mix = Arc::new(mix);
+
+    for _round in 0..stress_iters() {
+        let mut clients = Vec::new();
+        for client in 0..CLIENTS {
+            let mut session = db.connect();
+            let mix = Arc::clone(&mix);
+            let reference = Arc::clone(&reference);
+            clients.push(std::thread::spawn(move || {
+                // Each client walks the mix from a different offset so distinct
+                // queries overlap in time.
+                for step in 0..mix.len() {
+                    let idx = (client + step) % mix.len();
+                    let query = &mix[idx];
+                    let out = session
+                        .execute(&query.sql)
+                        .unwrap_or_else(|e| panic!("client {client} query {}: {e}", query.id));
+                    assert_eq!(
+                        sorted(out.rows),
+                        reference[idx],
+                        "client {client} query {} diverged from the single-threaded reference",
+                        query.id
+                    );
+                }
+                session.server().inflight()
+            }));
+        }
+        for client in clients {
+            client.join().expect("client thread panicked");
+        }
+        assert_eq!(db.server().inflight(), 0, "admission slots must all free");
+    }
+    assert_eq!(
+        db.server().admitted_total() as usize,
+        CLIENTS * query_mix().len() * stress_iters(),
+        "every query acquired exactly one admission slot"
+    );
+    assert!(
+        WorkerPool::global().threads_spawned_total() > 0,
+        "the battery must actually dispatch morsels to the resident pool"
+    );
+}
+
+#[test]
+fn admission_cap_is_respected_under_concurrent_load() {
+    let mut db = shared_database();
+    db.set_max_inflight(2);
+    let mix = Arc::new(query_mix());
+    let mut clients = Vec::new();
+    for client in 0..CLIENTS {
+        let mut session = db.connect();
+        let mix = Arc::clone(&mix);
+        clients.push(std::thread::spawn(move || {
+            for step in 0..mix.len() {
+                let query = &mix[(client + step) % mix.len()];
+                session.execute(&query.sql).unwrap();
+            }
+        }));
+    }
+    for client in clients {
+        client.join().expect("client thread panicked");
+    }
+    assert!(
+        db.server().peak_inflight() <= 2,
+        "peak in-flight {} exceeded the admission cap",
+        db.server().peak_inflight()
+    );
+    assert_eq!(db.server().inflight(), 0);
+}
+
+/// A policy that records every breaker-completion event it sees and never
+/// intervenes. `wants_events` makes the driver install an executor observer, so
+/// this exercises the whole event funnel under concurrency.
+struct EventRecorder {
+    breakers: Vec<(RelSet, u64)>,
+}
+
+impl ReoptPolicy for EventRecorder {
+    fn name(&self) -> &str {
+        "event-recorder"
+    }
+    fn wants_events(&self) -> bool {
+        true
+    }
+    fn on_event(&mut self, event: &ExecEvent, _ctx: &PolicyContext) -> PolicyDecision {
+        if let ExecEvent::BreakerComplete(breaker) = event {
+            self.breakers.push((breaker.rel_set, breaker.actual_rows));
+        }
+        PolicyDecision::Continue
+    }
+    fn on_complete(
+        &mut self,
+        _metrics: &QueryMetrics,
+        _spec: &QuerySpec,
+        _ctx: &PolicyContext,
+    ) -> PolicyDecision {
+        PolicyDecision::Continue
+    }
+}
+
+#[test]
+fn observer_events_are_exactly_once_per_query_under_concurrency() {
+    let db = shared_database();
+    let mix: Vec<JobQuery> = query_mix().into_iter().take(4).collect();
+    let mix = Arc::new(mix);
+
+    let mut clients = Vec::new();
+    for client in 0..CLIENTS {
+        let mut session = db.connect();
+        let mix = Arc::clone(&mix);
+        clients.push(std::thread::spawn(move || {
+            for step in 0..mix.len() {
+                let query = &mix[(client + step) % mix.len()];
+                let mut recorder = EventRecorder { breakers: Vec::new() };
+                let report = session
+                    .execute_with_policy(&query.sql, &mut recorder)
+                    .unwrap_or_else(|e| panic!("client {client} query {}: {e}", query.id));
+                assert_eq!(report.rounds.len(), 0, "recorder never intervenes");
+                // Exactly-once: within one run, no breaker subtree completes twice.
+                // (Cross-run sets may differ — the shared feedback cache legitimately
+                // changes later plans — but duplicates would mean a worker's event
+                // leaked through the funnel more than once.)
+                let mut seen = HashSet::new();
+                for (rel_set, actual) in &recorder.breakers {
+                    assert!(
+                        seen.insert(*rel_set),
+                        "client {client} query {}: breaker {rel_set:?} (actual {actual}) \
+                         delivered more than once",
+                        query.id
+                    );
+                }
+                assert!(
+                    !recorder.breakers.is_empty(),
+                    "client {client} query {}: a multi-join query must complete breakers",
+                    query.id
+                );
+            }
+        }));
+    }
+    for client in clients {
+        client.join().expect("client thread panicked");
+    }
+}
+
+#[test]
+fn mid_query_reopt_corrects_one_session_while_others_complete_unaffected() {
+    // Force hash joins so the mis-estimated subtree deterministically lands on a
+    // build side (same setup as the end-to-end mid-query tests), then run the
+    // re-optimizing query in one session while another session loops unrelated
+    // queries on the same worker pool. Quiesce must be scoped to the violating
+    // query: the background session keeps completing with correct rows throughout.
+    let mut db = Database::with_config(OptimizerConfig {
+        enable_index_scans: false,
+        enable_index_nl_joins: false,
+        enable_merge_joins: false,
+        ..Default::default()
+    });
+    load_imdb(&mut db, &ImdbConfig { scale: 0.03, seed: 9 }).unwrap();
+    db.set_threads(Some(2));
+    db.set_batch_size(Some(64));
+
+    let skewed = job_query("10a").unwrap();
+    db.set_threads(Some(1));
+    let expected_skewed = db.execute(&skewed.sql).unwrap();
+    let background_query = job_query("1a").unwrap();
+    let expected_background = sorted(db.execute(&background_query.sql).unwrap().rows);
+    db.set_threads(Some(2));
+
+    let stop = Arc::new(AtomicBool::new(false));
+    let stop_bg = Arc::clone(&stop);
+    let mut background = db.connect();
+    let bg_expected = expected_background.clone();
+    let bg_handle = std::thread::spawn(move || {
+        let mut completed = 0u64;
+        while !stop_bg.load(Ordering::SeqCst) {
+            let out = background.execute(&background_query.sql).unwrap();
+            assert_eq!(
+                sorted(out.rows),
+                bg_expected,
+                "background session corrupted while another session re-optimized"
+            );
+            completed += 1;
+        }
+        completed
+    });
+
+    // The foreground session re-optimizes mid-query (suspension, breaker-state
+    // reuse, re-planning) while the background session hammers the same pool.
+    let mut session = db.connect();
+    let config = ReoptConfig {
+        threshold: 8.0,
+        mode: ReoptMode::MidQuery,
+        ..ReoptConfig::default()
+    };
+    let report =
+        execute_with_reoptimization(session.database_mut(), &skewed.sql, &config).unwrap();
+    assert_eq!(
+        report.final_rows, expected_skewed.rows,
+        "mid-query re-optimization changed the skewed query's result"
+    );
+    assert!(
+        report.reoptimized(),
+        "the skewed keyword join must trigger re-optimization"
+    );
+
+    stop.store(true, Ordering::SeqCst);
+    let completed = bg_handle.join().expect("background session panicked");
+    assert!(
+        completed >= 1,
+        "the background session must complete queries during re-optimization"
+    );
+}

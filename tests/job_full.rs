@@ -1,0 +1,164 @@
+//! The full 113-query Join Order Benchmark battery.
+//!
+//! Ignored by default: the suite takes minutes even in release mode, so the
+//! nightly CI job runs it explicitly:
+//!
+//! ```text
+//! cargo test --release --test job_full -- --ignored --nocapture
+//! ```
+//!
+//! Every JOB query executes under plain execution and under all three built-in
+//! re-optimization policies; each run must be row-identical to a forced
+//! single-threaded row-engine reference. Along the way the battery tracks, per
+//! policy, the distribution of re-optimization-round q-errors (how wrong the
+//! estimates that triggered correction were) and of wall-clock runtimes, and
+//! prints the p50/p95/p99 summaries — the full-suite view of the paper's
+//! "re-optimization fixes bad plans without hurting good ones" claim.
+//!
+//! `REOPT_SCALE` overrides the dataset scale (default 0.02, the perf_smoke
+//! scale).
+
+use reopt_repro::core::{
+    execute_with_reoptimization, Database, ReoptConfig, ReoptMode, ReoptReport,
+};
+use reopt_repro::storage::Row;
+use reopt_repro::workload::job::job_queries;
+use reopt_repro::workload::{load_imdb, ImdbConfig};
+use std::time::{Duration, Instant};
+
+fn canonical(rows: &[Row]) -> Vec<String> {
+    let mut rendered: Vec<String> = rows.iter().map(|row| format!("{row}")).collect();
+    rendered.sort();
+    rendered
+}
+
+fn percentile(sorted: &[f64], p: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let idx = ((sorted.len() as f64 - 1.0) * p).round() as usize;
+    sorted[idx.min(sorted.len() - 1)]
+}
+
+#[derive(Default)]
+struct PolicyStats {
+    runtimes: Vec<f64>,
+    q_errors: Vec<f64>,
+    rounds: usize,
+}
+
+impl PolicyStats {
+    fn absorb(&mut self, report: &ReoptReport, elapsed: Duration) {
+        self.runtimes.push(elapsed.as_secs_f64() * 1e3);
+        self.rounds += report.rounds.len();
+        self.q_errors
+            .extend(report.rounds.iter().map(|round| round.q_error));
+    }
+
+    fn summary(&mut self, name: &str) -> String {
+        self.runtimes
+            .sort_by(|a, b| a.partial_cmp(b).expect("runtimes are finite"));
+        self.q_errors
+            .sort_by(|a, b| a.partial_cmp(b).expect("q-errors are finite"));
+        format!(
+            "{name:<22} runtime ms p50 {:>8.2} p95 {:>8.2} p99 {:>8.2} max {:>8.2} | \
+             {} rounds, violation q-error p50 {:.1} p95 {:.1} max {:.1}",
+            percentile(&self.runtimes, 0.50),
+            percentile(&self.runtimes, 0.95),
+            percentile(&self.runtimes, 0.99),
+            self.runtimes.last().copied().unwrap_or(0.0),
+            self.rounds,
+            percentile(&self.q_errors, 0.50),
+            percentile(&self.q_errors, 0.95),
+            self.q_errors.last().copied().unwrap_or(0.0),
+        )
+    }
+}
+
+#[test]
+#[ignore = "full 113-query suite; nightly CI runs it with --release -- --ignored"]
+fn full_job_suite_runs_every_query_under_every_policy() {
+    let scale = std::env::var("REOPT_SCALE")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0.02);
+    let mut db = Database::new();
+    load_imdb(&mut db, &ImdbConfig { scale, seed: 13 }).unwrap();
+
+    let queries = job_queries();
+    assert_eq!(queries.len(), 113, "the JOB suite is 113 queries");
+
+    let modes = [ReoptMode::Materialize, ReoptMode::InjectOnly, ReoptMode::MidQuery];
+    let mut stats: Vec<PolicyStats> = modes.iter().map(|_| PolicyStats::default()).collect();
+    let mut plain = PolicyStats::default();
+    let mut failures = Vec::new();
+
+    for (done, query) in queries.iter().enumerate() {
+        let id = &query.id;
+        db.set_threads(Some(1));
+        db.set_columnar(Some(false));
+        let reference = match db.execute(&query.sql) {
+            Ok(output) => canonical(&output.rows),
+            Err(error) => {
+                failures.push(format!("{id}: reference execution failed: {error}"));
+                db.set_threads(None);
+                db.set_columnar(None);
+                continue;
+            }
+        };
+        db.set_threads(None);
+        db.set_columnar(None);
+
+        let start = Instant::now();
+        match db.execute(&query.sql) {
+            Ok(output) => {
+                plain.runtimes.push(start.elapsed().as_secs_f64() * 1e3);
+                if canonical(&output.rows) != reference {
+                    failures.push(format!("{id}: plain diverged from reference"));
+                }
+            }
+            Err(error) => failures.push(format!("{id}: plain execution failed: {error}")),
+        }
+
+        for (idx, mode) in modes.iter().enumerate() {
+            let config = ReoptConfig {
+                threshold: 8.0,
+                mode: *mode,
+                feedback: false,
+                ..ReoptConfig::default()
+            };
+            let start = Instant::now();
+            match execute_with_reoptimization(&mut db, &query.sql, &config) {
+                Ok(report) => {
+                    stats[idx].absorb(&report, start.elapsed());
+                    if canonical(&report.final_rows) != reference {
+                        failures.push(format!("{id}: {mode:?} diverged from reference"));
+                    }
+                }
+                Err(error) => failures.push(format!("{id}: {mode:?} failed: {error}")),
+            }
+        }
+        if (done + 1) % 20 == 0 {
+            eprintln!("job_full: {}/{} queries done", done + 1, queries.len());
+        }
+    }
+
+    plain.runtimes.sort_by(|a, b| a.partial_cmp(b).expect("runtimes are finite"));
+    eprintln!(
+        "job_full: scale {scale}: plain runtime ms p50 {:.2} p95 {:.2} p99 {:.2} max {:.2}",
+        percentile(&plain.runtimes, 0.50),
+        percentile(&plain.runtimes, 0.95),
+        percentile(&plain.runtimes, 0.99),
+        plain.runtimes.last().copied().unwrap_or(0.0),
+    );
+    for (idx, mode) in modes.iter().enumerate() {
+        eprintln!("job_full: {}", stats[idx].summary(&format!("{mode:?}")));
+    }
+
+    assert!(
+        failures.is_empty(),
+        "{} of 113 queries failed:\n{}",
+        failures.len(),
+        failures.join("\n")
+    );
+}
