@@ -123,11 +123,12 @@ impl Database {
         &self.server
     }
 
-    /// Replace the admission cap for this database and sessions connected *after*
-    /// this call (existing sessions keep the old semaphore). Test/benchmark hook;
-    /// production configuration is `REOPT_MAX_INFLIGHT`.
+    /// Change the admission cap inside the shared [`ServerState`]: every session
+    /// connected to this database — before or after this call — enforces the new
+    /// cap against the same inflight counter. Test/benchmark hook; production
+    /// configuration is `REOPT_MAX_INFLIGHT`.
     pub fn set_max_inflight(&mut self, max_inflight: usize) {
-        self.server = Arc::new(ServerState::with_max_inflight(max_inflight));
+        self.server.set_max_inflight(max_inflight);
     }
 
     /// The scheduling priority queries register with on the shared worker pool.

@@ -34,7 +34,7 @@ use crate::database::{Database, QueryOutput};
 use crate::error::DbError;
 use crate::policy::ReoptPolicy;
 use crate::reopt::ReoptReport;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 
 /// Default cap on concurrently executing queries (overridden by
@@ -47,10 +47,12 @@ pub const DEFAULT_MAX_INFLIGHT: usize = 8;
 pub struct ServerState {
     /// Number of queries currently holding an admission slot.
     inflight: Mutex<usize>,
-    /// Signalled whenever a slot frees.
+    /// Signalled whenever a slot frees (or the cap is raised).
     slot_freed: Condvar,
-    /// Maximum concurrently executing queries.
-    max_inflight: usize,
+    /// Maximum concurrently executing queries. Mutable in place (under the
+    /// admission lock) so every session sharing this state — connected before or
+    /// after a change — enforces the same cap against the same counters.
+    max_inflight: AtomicUsize,
     /// High-water mark of concurrently admitted queries (observability + tests).
     peak_inflight: AtomicU64,
     /// Total queries ever admitted.
@@ -73,7 +75,7 @@ impl ServerState {
         Self {
             inflight: Mutex::new(0),
             slot_freed: Condvar::new(),
-            max_inflight: max_inflight.max(1),
+            max_inflight: AtomicUsize::new(max_inflight.max(1)),
             peak_inflight: AtomicU64::new(0),
             admitted_total: AtomicU64::new(0),
             next_session: AtomicU64::new(1),
@@ -89,7 +91,7 @@ impl ServerState {
     /// error paths, so a failed query can never leak its slot.
     fn admit(self: &Arc<Self>) -> AdmissionGuard {
         let mut inflight = self.inflight.lock().expect("admission lock");
-        while *inflight >= self.max_inflight {
+        while *inflight >= self.max_inflight.load(Ordering::SeqCst) {
             inflight = self
                 .slot_freed
                 .wait(inflight)
@@ -107,7 +109,17 @@ impl ServerState {
 
     /// The admission cap.
     pub fn max_inflight(&self) -> usize {
+        self.max_inflight.load(Ordering::SeqCst)
+    }
+
+    /// Change the admission cap in place. Every session sharing this state sees
+    /// the new cap immediately; raising it wakes queued waiters. Taken under the
+    /// admission lock so the change serializes with in-flight `admit` checks.
+    pub(crate) fn set_max_inflight(&self, max_inflight: usize) {
+        let _inflight = self.inflight.lock().expect("admission lock");
         self.max_inflight
+            .store(max_inflight.max(1), Ordering::SeqCst);
+        self.slot_freed.notify_all();
     }
 
     /// Queries currently holding an admission slot.
@@ -260,6 +272,18 @@ mod tests {
         assert_eq!(session.server().admitted_total(), 1);
         assert_eq!(session.server().inflight(), 0);
         assert!(session.server().peak_inflight() >= 1);
+    }
+
+    #[test]
+    fn set_max_inflight_applies_to_already_connected_sessions() {
+        let mut db = test_database();
+        let session = db.connect();
+        db.set_max_inflight(3);
+        assert!(
+            Arc::ptr_eq(session.server(), db.server()),
+            "the cap change must not fork the server state"
+        );
+        assert_eq!(session.server().max_inflight(), 3);
     }
 
     #[test]

@@ -1265,6 +1265,7 @@ impl<'p> Engine<'p> {
                 ChannelSink {
                     tx,
                     shared: Arc::clone(&self.shared),
+                    task: self.task.clone(),
                 },
             );
             // Consume the exchange while the chains drain the cursor. The context
@@ -1423,7 +1424,10 @@ struct ChainCtx<S: SinkFactory> {
 /// re-enqueue at the back of this query's task queue (giving equal-priority peers
 /// a turn) or retire. Runs on a pool worker; `'static` by construction.
 fn run_chain_slice<S: SinkFactory>(ctx: Arc<ChainCtx<S>>, mut local: S::Local, mut cache: MaskCache) {
-    let outcome = {
+    // Catch panics from operator code: an uncaught unwind would skip this chain's
+    // `Gate::done_one`, leaving the coordinating `wait_pumping` spinning forever
+    // (the pool's own catch_unwind only keeps the worker thread alive).
+    let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
         let sink_ref = &ctx.sink;
         let mut sink = |batch: RowBatch| sink_ref.consume(&mut local, batch);
         process_one_morsel(
@@ -1434,23 +1438,39 @@ fn run_chain_slice<S: SinkFactory>(ctx: Arc<ChainCtx<S>>, mut local: S::Local, m
             &mut sink,
             &|| ctx.shared.wait_for_event_drain(),
         )
-    };
+    }));
     match outcome {
-        Ok(true) => {
+        Ok(Ok(true)) => {
             let job_ctx = Arc::clone(&ctx);
             ctx.task
                 .submit(move || run_chain_slice(job_ctx, local, cache));
         }
-        Ok(false) => {
+        Ok(Ok(false)) => {
             ctx.locals.lock().expect("chain locals").push(local);
             ctx.gate.done_one();
         }
-        Err(error) => {
+        Ok(Err(error)) => {
             ctx.shared.fail(error);
             ctx.locals.lock().expect("chain locals").push(local);
             ctx.gate.done_one();
         }
+        Err(payload) => {
+            // The local may be mid-update; the error poisons the query before any
+            // merge step could miss this chain's dropped local.
+            ctx.shared
+                .fail(ExecError::Eval(format!("worker panicked: {}", panic_message(&payload))));
+            ctx.gate.done_one();
+        }
     }
+}
+
+/// Best-effort rendering of a panic payload (`&str` and `String` cover `panic!`).
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> &str {
+    payload
+        .downcast_ref::<&str>()
+        .copied()
+        .or_else(|| payload.downcast_ref::<String>().map(String::as_str))
+        .unwrap_or("non-string panic payload")
 }
 
 /// Push one batch through the remaining chain steps, re-chunking fan-out output to
@@ -1586,6 +1606,10 @@ impl SinkFactory for AggSinkFactory {
 struct ChannelSink {
     tx: SyncSender<RowBatch>,
     shared: Arc<Shared>,
+    /// The owning query's task handle: sends run inside its blocking section so a
+    /// worker stalled behind a slow-pulling client stops counting against the
+    /// pool's thread cap (see [`TaskHandle::blocking`]).
+    task: TaskHandle,
 }
 
 impl SinkFactory for ChannelSink {
@@ -1596,7 +1620,7 @@ impl SinkFactory for ChannelSink {
     }
 
     fn consume(&self, local: &mut SyncSender<RowBatch>, batch: RowBatch) -> Result<(), ExecError> {
-        if local.send(batch).is_err() {
+        if self.task.blocking(|| local.send(batch)).is_err() {
             self.shared.quiesce.store(true, Ordering::SeqCst);
         }
         Ok(())
@@ -1649,10 +1673,21 @@ fn merge_build(hasher: RandomState, locals: Vec<BuildLocal>, engine: &Engine<'_>
         for part in 0..nparts {
             let work = Arc::clone(&work);
             let gate = Arc::clone(&gate);
+            let shared = Arc::clone(&engine.shared);
             engine.task.submit(move || {
-                let input = work.0[part].lock().expect("merge input").take().unwrap_or_default();
-                let map = merge_one(input);
-                *work.1[part].lock().expect("merge slot") = Some(map);
+                // As in `run_chain_slice`: a panic must still retire the gate and
+                // fail the query, or the coordinator below waits forever.
+                let map = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    let input = work.0[part].lock().expect("merge input").take().unwrap_or_default();
+                    merge_one(input)
+                }));
+                match map {
+                    Ok(map) => *work.1[part].lock().expect("merge slot") = Some(map),
+                    Err(payload) => shared.fail(ExecError::Eval(format!(
+                        "build merge panicked: {}",
+                        panic_message(&payload)
+                    ))),
+                }
                 gate.done_one();
             });
         }
@@ -1915,6 +1950,7 @@ impl<'p> ParallelPipeline<'p> {
             ChannelSink {
                 tx,
                 shared: Arc::clone(&engine.shared),
+                task: engine.task.clone(),
             },
         );
         self.state = RunState::Streaming(StreamingRoot {
@@ -2076,10 +2112,21 @@ impl<'p> ParallelPipeline<'p> {
                     // index-NL exact-cardinality reports (which may themselves
                     // suspend — handled at the top of the loop).
                     let compiled = Arc::clone(&stream.compiled);
+                    if let Some(error) = self.engine.as_ref().expect("engine").take_error() {
+                        // Surface the late error here and now: `take_error`
+                        // consumed the slot, so deferring to the top-of-loop check
+                        // (which would find nothing while quiesce stays set) would
+                        // spin forever and lose the error.
+                        self.shed_stream();
+                        self.state = RunState::Poisoned;
+                        self.finalize_counters();
+                        return Err(error);
+                    }
                     let engine = self.engine.as_ref().expect("engine");
-                    if engine.take_error().is_some() || engine.shared.quiesce.load(Ordering::SeqCst)
-                    {
-                        // Re-run the terminal checks with the flags now visible.
+                    if engine.shared.quiesce.load(Ordering::SeqCst) {
+                        // Quiesced without an error: a suspension decision is in
+                        // flight; the next pump at the top of the loop dispatches
+                        // it and the stop-mode check takes over.
                         continue;
                     }
                     engine.finish_pipeline(&compiled);
@@ -2575,6 +2622,29 @@ mod tests {
         assert!(matches!(err, ExecError::TableNotFound(_)));
         // Poisoned thereafter.
         assert!(pipeline.next_batch().is_err());
+    }
+
+    #[test]
+    fn late_worker_error_surfaces_instead_of_hanging_the_stream() {
+        let (storage, catalog) = build_env();
+        // The filter divides by zero only on the very last title row (id 11999),
+        // so the error lands while the stream is already draining: chains are
+        // about to retire and earlier batches were delivered. The terminal branch
+        // of `stream_next` must surface the error (then poison the pipeline)
+        // rather than consume it and spin on the quiesce flag forever.
+        let sql = "SELECT t.id AS id FROM title AS t WHERE 1 / (11999 - t.id) >= 0";
+        let planned = plan(sql, &storage, &catalog);
+        let executor = Executor::with_batch_size(&storage, 64).with_threads(4);
+        let mut pipeline = executor.open(&planned.plan).unwrap();
+        let error = loop {
+            match pipeline.next_batch() {
+                Ok(Some(_)) => continue,
+                Ok(None) => panic!("stream ended without surfacing the worker error"),
+                Err(error) => break error,
+            }
+        };
+        assert!(matches!(error, ExecError::Eval(_)), "unexpected error: {error}");
+        assert!(pipeline.next_batch().is_err(), "poisoned thereafter");
     }
 }
 

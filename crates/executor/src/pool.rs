@@ -32,9 +32,13 @@ use std::collections::VecDeque;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex, OnceLock};
 
-/// Hard cap on resident worker threads. Blocked workers (e.g. waiting on a root
-/// exchange whose client pulls slowly) do not count as available, so the pool can
-/// temporarily hold more threads than cores; the cap bounds that growth.
+/// Cap on resident worker threads *actively eligible for work*. Workers parked
+/// inside a [`TaskHandle::blocking`] section (e.g. a root-exchange send to a slow
+/// client) are exempted from this count: if they were not, a pool full of
+/// slow-client senders would starve every other query's queued jobs — coordinators
+/// waiting on their [`Gate`] would never see a worker again. Total thread count is
+/// therefore bounded by `MAX_POOL_THREADS + concurrently-blocked senders`, which
+/// admission control keeps finite.
 pub const MAX_POOL_THREADS: usize = 64;
 
 type Job = Box<dyn FnOnce() + Send + 'static>;
@@ -64,6 +68,9 @@ struct PoolInner {
     state: Mutex<PoolState>,
     work: Condvar,
     spawned_total: AtomicUsize,
+    /// Workers currently parked inside a [`TaskHandle::blocking`] section; they
+    /// hold a thread but cannot serve the queue, so the spawn cap excludes them.
+    blocked: AtomicUsize,
 }
 
 impl PoolInner {
@@ -108,17 +115,35 @@ impl PoolInner {
                     state.idle -= 1;
                 }
             };
-            job();
+            // A panicking job must not kill the resident worker: the thread (and
+            // its MAX_POOL_THREADS slot) would leak for the process lifetime and
+            // its query's gate would never count down. Jobs signal failure through
+            // their own shared query state (see `parallel::run_chain_slice`); the
+            // payload is already reported there, so it is dropped here.
+            let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(job));
         }
     }
 
-    fn spawn_worker(self: &Arc<Self>) {
-        let n = self.spawned_total.fetch_add(1, Ordering::SeqCst);
+    /// Spawn one worker unless the cap is reached. The cap check and the counter
+    /// bump happen under the state lock, so concurrent callers cannot both pass
+    /// the check and overshoot [`MAX_POOL_THREADS`]. Workers inside a blocking
+    /// section are exempt from the cap (see [`MAX_POOL_THREADS`]).
+    fn try_spawn_worker(self: &Arc<Self>) -> bool {
+        let n = {
+            let _state = self.state.lock().expect("pool state");
+            let spawned = self.spawned_total.load(Ordering::SeqCst);
+            let blocked = self.blocked.load(Ordering::SeqCst);
+            if spawned.saturating_sub(blocked) >= MAX_POOL_THREADS {
+                return false;
+            }
+            self.spawned_total.fetch_add(1, Ordering::SeqCst)
+        };
         let inner = Arc::clone(self);
         std::thread::Builder::new()
             .name(format!("reopt-worker-{n}"))
             .spawn(move || inner.worker_loop())
             .expect("spawn pool worker");
+        true
     }
 }
 
@@ -142,6 +167,7 @@ impl WorkerPool {
                 state: Mutex::new(PoolState::default()),
                 work: Condvar::new(),
                 spawned_total: AtomicUsize::new(0),
+                blocked: AtomicUsize::new(0),
             }),
         }
     }
@@ -183,10 +209,9 @@ impl WorkerPool {
             n.saturating_sub(state.idle)
         };
         for _ in 0..deficit {
-            if self.inner.spawned_total.load(Ordering::SeqCst) >= MAX_POOL_THREADS {
+            if !self.inner.try_spawn_worker() {
                 break;
             }
-            self.inner.spawn_worker();
         }
     }
 
@@ -213,12 +238,51 @@ pub struct TaskHandle {
 impl TaskHandle {
     /// Enqueue a job at the back of this task's queue.
     pub fn submit(&self, job: impl FnOnce() + Send + 'static) {
-        let mut state = self.pool.state.lock().expect("pool state");
-        if let Some(slot) = state.slots.iter_mut().find(|slot| slot.id == self.id) {
-            slot.queue.push_back(Box::new(job));
-        }
-        drop(state);
+        let needs_worker = {
+            let mut state = self.pool.state.lock().expect("pool state");
+            if let Some(slot) = state.slots.iter_mut().find(|slot| slot.id == self.id) {
+                slot.queue.push_back(Box::new(job));
+            }
+            // With every worker either busy or parked in a blocking section, this
+            // job could otherwise wait behind sends that only unblock when some
+            // client pulls; a replacement keeps the queue draining.
+            state.idle == 0 && self.pool.blocked.load(Ordering::SeqCst) > 0
+        };
         self.pool.work.notify_one();
+        if needs_worker {
+            self.pool.try_spawn_worker();
+        }
+    }
+
+    /// Run `f`, which may block indefinitely (e.g. a root-exchange send to a
+    /// client that pulls slowly), without letting this thread starve the pool:
+    /// while inside, the thread does not count against [`MAX_POOL_THREADS`], and
+    /// a replacement worker is spawned when *other* tasks have queued work with
+    /// no idle worker left to take it. Blocking on this task's own exchange needs
+    /// no replacement — that backpressure is intentional.
+    pub fn blocking<R>(&self, f: impl FnOnce() -> R) -> R {
+        // Guard so an unwinding `f` (workers catch panics) cannot leak the
+        // blocked count and permanently inflate the cap exemption.
+        struct Unblock<'a>(&'a PoolInner);
+        impl Drop for Unblock<'_> {
+            fn drop(&mut self) {
+                self.0.blocked.fetch_sub(1, Ordering::SeqCst);
+            }
+        }
+        self.pool.blocked.fetch_add(1, Ordering::SeqCst);
+        let _unblock = Unblock(&self.pool);
+        let needs_worker = {
+            let state = self.pool.state.lock().expect("pool state");
+            state.idle == 0
+                && state
+                    .slots
+                    .iter()
+                    .any(|slot| slot.id != self.id && !slot.queue.is_empty())
+        };
+        if needs_worker {
+            self.pool.try_spawn_worker();
+        }
+        f()
     }
 }
 
@@ -418,6 +482,55 @@ mod tests {
             &[1, 1, 2, 2],
             "equal-priority tasks must interleave, got {order:?}"
         );
+    }
+
+    #[test]
+    fn panicking_job_does_not_kill_the_worker() {
+        let pool = WorkerPool::new();
+        pool.ensure_available(1);
+        let task = pool.register(1);
+        let gate = Arc::new(Gate::new(1));
+        task.submit(|| panic!("job bug"));
+        {
+            let gate = Arc::clone(&gate);
+            task.submit(move || gate.done_one());
+        }
+        // The second job only runs if the worker survived the first one's panic
+        // (the pool spawned exactly one worker and never replaces dead threads).
+        gate.wait_pumping(&|| {});
+        assert_eq!(pool.threads_spawned_total(), 1);
+    }
+
+    #[test]
+    fn blocked_worker_gets_a_replacement_for_other_tasks_work() {
+        let pool = WorkerPool::new();
+        pool.ensure_available(1);
+        let blocker = pool.register(1);
+        let other = pool.register(1);
+        let release = Arc::new(Gate::new(1));
+        let entered = Arc::new(Gate::new(1));
+        {
+            let release = Arc::clone(&release);
+            let entered = Arc::clone(&entered);
+            let handle = blocker.clone();
+            blocker.submit(move || {
+                handle.blocking(|| {
+                    entered.done_one();
+                    release.wait_pumping(&|| {});
+                });
+            });
+        }
+        entered.wait_pumping(&|| {});
+        // The only worker is parked in the blocking section; submitting another
+        // task's job must spawn a replacement rather than queue forever.
+        let done = Arc::new(Gate::new(1));
+        {
+            let done = Arc::clone(&done);
+            other.submit(move || done.done_one());
+        }
+        done.wait_pumping(&|| {});
+        assert!(pool.threads_spawned_total() >= 2, "replacement was spawned");
+        release.done_one();
     }
 
     #[test]
