@@ -23,6 +23,13 @@
 //! ORDER BY (output order is not plan-defined there, and parallel morsel interleaving
 //! legitimately permutes it); ORDER BY queries are compared exactly.
 //!
+//! `REOPT_MEM_BUDGET` adds the out-of-core dimension: with a finite byte budget the
+//! measured runs spill breaker state to disk (grace-hash partitioned builds,
+//! external sorts) while every reference run is pinned to an unlimited budget, so
+//! the smoke gates out-of-core execution against the in-memory truth. The run
+//! fails if a budget is configured but never denies a single grant (the budget was
+//! too large to prove anything).
+//!
 //! ```text
 //! cargo run --release -p reopt-bench --bin perf_smoke
 //! REOPT_THREADS=4 REOPT_SMOKE_PER_FAMILY=5 REOPT_SMOKE_MAX_TABLES=17 REOPT_SCALE=0.05 \
@@ -91,12 +98,19 @@ fn main() {
         }
     };
     let threads = harness.db.threads();
+    // The governor was initialised from REOPT_MEM_BUDGET; remember the configured
+    // budget so reference runs (always unlimited) can restore it afterwards.
+    let mem_budget = harness.db.mem_budget();
     eprintln!(
-        "perf_smoke: data loaded ({} rows) in {:.1}s; executing at {} thread{}",
+        "perf_smoke: data loaded ({} rows) in {:.1}s; executing at {} thread{}{}",
         harness.db.storage().total_rows(),
         build_start.elapsed().as_secs_f64(),
         threads,
         if threads == 1 { "" } else { "s" },
+        match mem_budget {
+            Some(bytes) => format!(", memory budget {bytes} bytes"),
+            None => String::new(),
+        },
     );
 
     // Up to `per_family` queries of every family, smallest variants first as listed.
@@ -132,10 +146,12 @@ fn main() {
         let order_sensitive = is_order_sensitive(&query.sql);
 
         // The reference result: a forced single-threaded, row-engine plain
-        // execution. Everything else below runs at the configured thread count
-        // with the configured columnar setting and must match it.
+        // execution at an unlimited memory budget. Everything else below runs at
+        // the configured thread count with the configured columnar setting under
+        // the configured budget and must match it.
         harness.db.set_threads(Some(1));
         harness.db.set_columnar(Some(false));
+        harness.db.set_mem_budget(None);
         let single_start = Instant::now();
         let reference = match harness.db.execute(&query.sql) {
             Ok(output) => canonical(&output.rows, order_sensitive),
@@ -144,12 +160,14 @@ fn main() {
                 failed = true;
                 harness.db.set_threads(None);
                 harness.db.set_columnar(None);
+                harness.db.set_mem_budget(mem_budget);
                 continue;
             }
         };
         single_time += single_start.elapsed();
         harness.db.set_threads(None);
         harness.db.set_columnar(None);
+        harness.db.set_mem_budget(mem_budget);
 
         let plain_start = Instant::now();
         match harness.db.execute(&query.sql) {
@@ -254,6 +272,7 @@ fn main() {
                 let order_sensitive = is_order_sensitive(&query.sql);
                 harness.db.set_threads(Some(1));
                 harness.db.set_columnar(Some(false));
+                harness.db.set_mem_budget(None);
                 let reference = match harness.db.execute(&query.sql) {
                     Ok(output) => canonical(&output.rows, order_sensitive),
                     Err(error) => {
@@ -261,11 +280,13 @@ fn main() {
                         failed = true;
                         harness.db.set_threads(None);
                         harness.db.set_columnar(None);
+                        harness.db.set_mem_budget(mem_budget);
                         continue;
                     }
                 };
                 harness.db.set_threads(None);
                 harness.db.set_columnar(None);
+                harness.db.set_mem_budget(mem_budget);
                 let config = ReoptConfig {
                     threshold: 8.0,
                     mode: ReoptMode::Materialize,
@@ -366,6 +387,12 @@ fn main() {
     // swallows every table at this scale and the pool never runs).
     if threads > 1 {
         harness.db.set_batch_size(Some(64));
+        // Pinned unlimited for this phase: a denied grant makes the parallel
+        // engine fall back to the single-threaded spill path, which would never
+        // touch the pool — the zero-spawn assertion only means something when the
+        // morsel chains actually run. The spill fallback itself is gated by the
+        // budgeted main phase above.
+        harness.db.set_mem_budget(None);
         let pool = reopt_executor::WorkerPool::global();
         pool.ensure_available(threads);
         for query in selected.iter().take(4) {
@@ -413,8 +440,34 @@ fn main() {
              {suspension_rounds} mid-query round(s) — zero spawns after warm-up"
         );
         harness.db.set_batch_size(None);
+        harness.db.set_mem_budget(mem_budget);
     } else {
         println!("perf_smoke: resident-pool phase skipped (single-threaded run)");
+    }
+
+    // --- Out-of-core gate -------------------------------------------------------
+    // When a budget is configured the smoke must have actually exercised spilling:
+    // at least one reservation denied, and no spill file left on disk. A budget
+    // that never denies proves nothing — fail loudly so CI legs don't rot.
+    if let Some(budget) = mem_budget {
+        let denials = harness.db.governor().denials();
+        let live = reopt_storage::live_spill_files();
+        println!(
+            "perf_smoke: memory budget {budget} bytes: {denials} denied grant(s), \
+             peak reserved {} bytes, {live} live spill file(s)",
+            harness.db.governor().peak_reserved()
+        );
+        if denials == 0 {
+            eprintln!(
+                "perf_smoke: SPILL REGRESSION: budget {budget} bytes never denied a \
+                 grant — raise the workload scale or lower the budget"
+            );
+            failed = true;
+        }
+        if live != 0 {
+            eprintln!("perf_smoke: SPILL LEAK: {live} spill file(s) still live after the run");
+            failed = true;
+        }
     }
 
     println!(

@@ -1,0 +1,296 @@
+//! Out-of-core execution benchmark — the source of `BENCH_SPILL.json`.
+//!
+//! Two sections, both gated on row identity against an unlimited-budget run of
+//! the same SQL on the same loaded `Database` (exits non-zero on any divergence):
+//!
+//! * **Spill overhead** — the tracked large-family queries **JOB 20a** (14
+//!   relations) and **21a** (17 relations) run unlimited and then under a memory
+//!   budget of half their own unlimited peak buffered footprint, so the largest
+//!   hash-join build cannot fit and the governor forces grace-hash partitioned
+//!   builds and external sorts. Reported: median runtime per setting, bytes and
+//!   partitions spilled, and the out-of-core slowdown. Both sections plan with
+//!   hash joins only: the default greedy plans favour index-nested-loop joins at
+//!   bench scales, which buffer almost nothing — there would be no build
+//!   footprint to govern.
+//! * **Re-plan instead of spill** — the skewed **JOB 10a** under a hash-join-only
+//!   optimizer (the setup of the end-to-end mid-query tests), same half-footprint
+//!   budget, compared two ways: a plain run that pays for the full spill versus a
+//!   mid-query policy run whose `MemoryPressure` suspension re-plans the
+//!   remainder before the spill commits. The policy run must spill strictly
+//!   fewer bytes.
+//!
+//! ```text
+//! cargo run --release -p reopt-bench --bin spill_bench
+//! REOPT_SCALE=0.05 REOPT_BENCH_ITERS=9 REOPT_SPILL_JSON=BENCH_SPILL.json \
+//!     cargo run --release -p reopt-bench --bin spill_bench
+//! ```
+//!
+//! `REOPT_SCALE` (default 0.01 — hash-only plans pay the full join fan-out, and
+//! family 21's 17-table graph is super-linear in scale) sizes the dataset;
+//! timings are the executor's own `execution_time` (median over
+//! `REOPT_BENCH_ITERS` iterations after one warmup).
+//! Set `REOPT_SPILL_JSON` to a path to also dump the measurements as JSON.
+
+use reopt_core::{execute_with_reoptimization, Database, ReoptConfig, ReoptMode};
+use reopt_planner::OptimizerConfig;
+use reopt_workload::{job_query, load_imdb, ImdbConfig};
+use std::time::{Duration, Instant};
+
+fn env_usize(name: &str, default: usize) -> usize {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+fn env_f64(name: &str, default: f64) -> f64 {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+fn sorted_rows(rows: &[reopt_storage::Row]) -> Vec<String> {
+    let mut rendered: Vec<String> = rows.iter().map(|row| format!("{row}")).collect();
+    rendered.sort();
+    rendered
+}
+
+/// One out-of-core measurement for a tracked query.
+struct SpillMeasurement {
+    label: String,
+    unlimited_us: f64,
+    budget_bytes: u64,
+    constrained_us: f64,
+    spilled_bytes: u64,
+    spill_partitions: u64,
+}
+
+impl SpillMeasurement {
+    fn slowdown(&self) -> f64 {
+        self.constrained_us / self.unlimited_us
+    }
+}
+
+/// Median execution time, sorted rows, peak buffered bytes, and
+/// `(spilled_bytes, spill_partitions)` of a timed query.
+type TimedRun = (Duration, Vec<String>, u64, (u64, u64));
+
+/// Median execution time of `iters` runs of `sql` under the database's current
+/// budget, plus the sorted rows, peak buffered bytes and spill totals of the
+/// last run (spill amounts are deterministic per plan and budget).
+fn time_query(db: &mut Database, sql: &str, iters: usize) -> Result<TimedRun, String> {
+    let mut times = Vec::with_capacity(iters);
+    let mut rows = Vec::new();
+    let mut peak = 0u64;
+    let mut spilled = (0u64, 0u64);
+    for i in 0..=iters {
+        let output = db.execute(sql).map_err(|e| e.to_string())?;
+        if i > 0 {
+            times.push(output.execution_time);
+        }
+        rows = sorted_rows(&output.rows);
+        peak = output.peak_buffered_bytes;
+        spilled = output
+            .metrics
+            .as_ref()
+            .map(|m| m.root.total_spilled())
+            .unwrap_or((0, 0));
+    }
+    times.sort();
+    Ok((times[times.len() / 2], rows, peak, spilled))
+}
+
+/// Run one tracked query unlimited, derive the half-footprint budget, re-run
+/// constrained, and gate on row identity plus an actual spill.
+fn measure_spill(
+    db: &mut Database,
+    id: &str,
+    iters: usize,
+) -> Result<SpillMeasurement, String> {
+    let query = job_query(id).ok_or_else(|| format!("suite is missing {id}"))?;
+    db.set_mem_budget(None);
+    let (unlimited_time, reference, peak, _) = time_query(db, &query.sql, iters)?;
+    if peak == 0 {
+        return Err(format!("{id}: unlimited run buffered nothing"));
+    }
+    let budget = peak / 2;
+    db.set_mem_budget(Some(budget));
+    let constrained = time_query(db, &query.sql, iters);
+    db.set_mem_budget(None);
+    let (constrained_time, rows, _, (spilled_bytes, spill_partitions)) = constrained?;
+    if rows != reference {
+        return Err(format!(
+            "RESULT MISMATCH on {id}: out-of-core run diverged from the unlimited run"
+        ));
+    }
+    if spilled_bytes == 0 || spill_partitions == 0 {
+        return Err(format!(
+            "{id}: budget {budget} below peak {peak} never spilled — the measurement is vacuous"
+        ));
+    }
+    Ok(SpillMeasurement {
+        label: format!("job_{id}"),
+        unlimited_us: unlimited_time.as_secs_f64() * 1e6,
+        budget_bytes: budget,
+        constrained_us: constrained_time.as_secs_f64() * 1e6,
+        spilled_bytes,
+        spill_partitions,
+    })
+}
+
+/// Hash joins only (no index scans, index-NL or merge joins): out-of-core
+/// execution needs plans with real build sides.
+fn hash_only_config() -> OptimizerConfig {
+    OptimizerConfig {
+        enable_index_scans: false,
+        enable_index_nl_joins: false,
+        enable_merge_joins: false,
+        ..Default::default()
+    }
+}
+
+fn main() {
+    let scale = env_f64("REOPT_SCALE", 0.01);
+    let iters = env_usize("REOPT_BENCH_ITERS", 3).max(2);
+
+    let build_start = Instant::now();
+    let mut db = Database::with_config(hash_only_config());
+    if let Err(error) = load_imdb(&mut db, &ImdbConfig { scale, seed: 13 }) {
+        eprintln!("spill_bench: failed to load the dataset: {error}");
+        std::process::exit(1);
+    }
+    db.set_threads(Some(1));
+    eprintln!(
+        "spill_bench: scale {scale}: {} rows loaded in {:.1}s",
+        db.storage().total_rows(),
+        build_start.elapsed().as_secs_f64(),
+    );
+
+    let mut failed = false;
+    let mut results: Vec<SpillMeasurement> = Vec::new();
+    for id in ["20a", "21a"] {
+        match measure_spill(&mut db, id, iters) {
+            Ok(m) => {
+                println!(
+                    "spill_bench: {:<10} unlimited {:>10.1}us  budget {:>9} B  out-of-core \
+                     {:>10.1}us  {:.2}x  spilled {} B in {} partitions (row-identical)",
+                    m.label,
+                    m.unlimited_us,
+                    m.budget_bytes,
+                    m.constrained_us,
+                    m.slowdown(),
+                    m.spilled_bytes,
+                    m.spill_partitions,
+                );
+                results.push(m);
+            }
+            Err(error) => {
+                eprintln!("spill_bench: {id} failed: {error}");
+                failed = true;
+            }
+        }
+    }
+
+    // --- Re-plan instead of spill ---------------------------------------------
+    // Hash joins only, so the mis-estimated skewed subtree of 10a lands on a
+    // build side (the end-to-end mid-query setup). The q-error threshold is out
+    // of reach: memory pressure is the only signal that can trigger a round.
+    let mut hash_db = Database::with_config(hash_only_config());
+    if let Err(error) = load_imdb(&mut hash_db, &ImdbConfig { scale: scale.max(0.03), seed: 9 }) {
+        eprintln!("spill_bench: failed to load the hash-only dataset: {error}");
+        std::process::exit(1);
+    }
+    hash_db.set_threads(Some(1));
+    let mut replan = None;
+    match measure_spill(&mut hash_db, "10a", iters) {
+        Ok(plain) => {
+            hash_db.set_mem_budget(Some(plain.budget_bytes));
+            let config = ReoptConfig {
+                threshold: 1e9,
+                mode: ReoptMode::MidQuery,
+                feedback: false,
+                ..ReoptConfig::default()
+            };
+            let query = job_query("10a").expect("suite contains 10a");
+            let start = Instant::now();
+            match execute_with_reoptimization(&mut hash_db, &query.sql, &config) {
+                Ok(report) => {
+                    let elapsed = start.elapsed();
+                    hash_db.set_mem_budget(None);
+                    let reference = sorted_rows(&hash_db.execute(&query.sql).unwrap().rows);
+                    if sorted_rows(&report.final_rows) != reference {
+                        eprintln!("spill_bench: RESULT MISMATCH on the re-planned 10a run");
+                        failed = true;
+                    }
+                    if report.spilled_bytes >= plain.spilled_bytes {
+                        eprintln!(
+                            "spill_bench: REGRESSION: re-planning spilled {} B, not fewer than \
+                             the plain run's {} B",
+                            report.spilled_bytes, plain.spilled_bytes
+                        );
+                        failed = true;
+                    }
+                    println!(
+                        "spill_bench: job_10a     plain spill {} B vs re-plan spill {} B \
+                         ({} round(s), {:.1}ms end to end) under a {} B budget",
+                        plain.spilled_bytes,
+                        report.spilled_bytes,
+                        report.rounds.len(),
+                        elapsed.as_secs_f64() * 1e3,
+                        plain.budget_bytes,
+                    );
+                    replan = Some((plain, report.spilled_bytes, report.rounds.len()));
+                }
+                Err(error) => {
+                    eprintln!("spill_bench: re-planned 10a run failed: {error}");
+                    failed = true;
+                }
+            }
+        }
+        Err(error) => {
+            eprintln!("spill_bench: plain 10a under budget failed: {error}");
+            failed = true;
+        }
+    }
+
+    if let Ok(path) = std::env::var("REOPT_SPILL_JSON") {
+        let mut body = format!("{{\n  \"scale\": {scale},\n  \"iters\": {iters},\n");
+        for m in &results {
+            body.push_str(&format!(
+                "  \"{}\": {{ \"unlimited_us\": {:.1}, \"budget_bytes\": {}, \
+                 \"out_of_core_us\": {:.1}, \"slowdown\": {:.2}, \"spilled_bytes\": {}, \
+                 \"spill_partitions\": {} }},\n",
+                m.label,
+                m.unlimited_us,
+                m.budget_bytes,
+                m.constrained_us,
+                m.slowdown(),
+                m.spilled_bytes,
+                m.spill_partitions,
+            ));
+        }
+        if let Some((plain, replan_bytes, rounds)) = &replan {
+            body.push_str(&format!(
+                "  \"replan_instead_of_spill_10a\": {{ \"budget_bytes\": {}, \
+                 \"plain_spilled_bytes\": {}, \"replan_spilled_bytes\": {}, \
+                 \"replan_rounds\": {} }}\n",
+                plain.budget_bytes, plain.spilled_bytes, replan_bytes, rounds,
+            ));
+        } else {
+            body.push_str("  \"replan_instead_of_spill_10a\": null\n");
+        }
+        body.push_str("}\n");
+        if let Err(error) = std::fs::write(&path, body) {
+            eprintln!("spill_bench: failed to write {path}: {error}");
+            failed = true;
+        }
+    }
+
+    if failed {
+        std::process::exit(1);
+    }
+    println!(
+        "spill_bench: every out-of-core run is row-identical to its unlimited reference"
+    );
+}

@@ -3,7 +3,9 @@
 use crate::error::DbError;
 use crate::session::{ServerState, Session};
 use reopt_catalog::Catalog;
-use reopt_executor::{default_columnar, default_thread_count, Executor, QueryMetrics};
+use reopt_executor::{
+    default_columnar, default_thread_count, Executor, MemoryGovernor, QueryMetrics,
+};
 use reopt_planner::{
     explain_plan, CardinalityOverrides, EstimationLog, Optimizer, OptimizerConfig, PhysicalPlan,
     PlannedQuery, QuerySpec,
@@ -82,6 +84,11 @@ pub struct Database {
     priority: u8,
     /// Admission control and session ids, shared across every clone/session.
     server: Arc<ServerState>,
+    /// The out-of-core memory budget breaker sinks reserve against, shared across
+    /// every clone/session exactly like the admission semaphore (see
+    /// [`reopt_executor::MemoryGovernor`]). Initialised from `REOPT_MEM_BUDGET`;
+    /// unlimited by default.
+    governor: Arc<MemoryGovernor>,
 }
 
 impl Default for Database {
@@ -108,6 +115,7 @@ impl Database {
             batch_size: None,
             priority: reopt_executor::DEFAULT_PRIORITY,
             server: Arc::new(ServerState::new()),
+            governor: MemoryGovernor::from_env(),
         }
     }
 
@@ -129,6 +137,26 @@ impl Database {
     /// configuration is `REOPT_MAX_INFLIGHT`.
     pub fn set_max_inflight(&mut self, max_inflight: usize) {
         self.server.set_max_inflight(max_inflight);
+    }
+
+    /// The shared memory governor breaker sinks reserve against (out-of-core
+    /// execution's byte budget).
+    pub fn governor(&self) -> &Arc<MemoryGovernor> {
+        &self.governor
+    }
+
+    /// Change the memory budget inside the shared governor (`None` = unlimited):
+    /// every session connected to this database — before or after this call —
+    /// reserves against the same counters, exactly like
+    /// [`Database::set_max_inflight`]. Test/benchmark hook; production
+    /// configuration is `REOPT_MEM_BUDGET`.
+    pub fn set_mem_budget(&mut self, budget: Option<u64>) {
+        self.governor.set_budget(budget);
+    }
+
+    /// The current memory budget in bytes, or `None` when unlimited.
+    pub fn mem_budget(&self) -> Option<u64> {
+        self.governor.budget()
     }
 
     /// The scheduling priority queries register with on the shared worker pool.
@@ -428,6 +456,7 @@ impl Database {
             .with_threads(self.threads())
             .with_columnar(self.columnar())
             .with_priority(self.priority)
+            .with_governor(Arc::clone(&self.governor))
             .execute(&planned.plan)?;
         Ok(QueryOutput {
             rows: result.rows,
@@ -495,6 +524,14 @@ impl Database {
         let output = self.execute_select(select)?;
         let metrics = output.metrics.expect("select produces metrics");
         let mut text = metrics.root.render();
+        // Spill totals render only when a finite budget actually forced a breaker
+        // out of core; the unlimited default stays byte-identical.
+        let (spilled_bytes, spill_partitions) = metrics.root.total_spilled();
+        if spilled_bytes > 0 || spill_partitions > 0 {
+            text.push_str(&format!(
+                "Spilled: {spilled_bytes} bytes in {spill_partitions} partitions\n"
+            ));
+        }
         text.push_str(&format!(
             "Peak Buffered: {} rows ({} bytes)\nPlanning Time: {:.3} ms\nExecution Time: {:.3} ms\n",
             output.peak_buffered_rows,

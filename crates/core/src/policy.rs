@@ -89,6 +89,10 @@ pub enum ReoptTrigger {
     /// A streaming-operator progress report (produced-vs-estimated overshoot, or an
     /// index-NL join whose outer side exhausted).
     Progress,
+    /// A breaker sink exceeded its memory grant and was about to spill; the round
+    /// re-planned the remainder instead of paying disk I/O. The observed count is
+    /// the rows buffered at the denial — a lower bound on the subtree's truth.
+    MemoryPressure,
 }
 
 impl std::fmt::Display for ReoptTrigger {
@@ -97,6 +101,7 @@ impl std::fmt::Display for ReoptTrigger {
             ReoptTrigger::DetectionRun => write!(f, "detection"),
             ReoptTrigger::BreakerComplete => write!(f, "breaker"),
             ReoptTrigger::Progress => write!(f, "progress"),
+            ReoptTrigger::MemoryPressure => write!(f, "memory-pressure"),
         }
     }
 }
@@ -291,7 +296,7 @@ impl ReoptPolicy for RestartPolicy {
 /// True mid-flight re-optimization ([`ReoptMode::MidQuery`](crate::ReoptMode)):
 /// suspend the pipeline as soon as an in-flight signal proves the plan wrong.
 ///
-/// Two signals trigger:
+/// Three signals trigger:
 ///
 /// * a **reusable breaker completion** (hash-build side or nested-loop inner) over a
 ///   proper subset of the query whose exact cardinality misses its estimate by more
@@ -300,7 +305,14 @@ impl ReoptPolicy for RestartPolicy {
 ///   estimate by more than the threshold (the produced count is a lower bound, so an
 ///   overshoot is already proof of an underestimate) or, once exhausted, misses it in
 ///   either direction. This is what lets index-NL pipelines — which buffer no
-///   intermediate breaker state at all — re-plan mid-query.
+///   intermediate breaker state at all — re-plan mid-query;
+/// * a **memory-pressure event** over a proper subset: a breaker sink's reservation
+///   was denied and it is about to go out of core. No q-error threshold applies —
+///   the pressure itself is the violation (the chosen plan buffers more than the
+///   budget allows), so the policy always prefers re-planning the remainder around
+///   the observed lower bound over paying the spill's disk I/O. If the re-planned
+///   query still exceeds the budget the round counter eventually closes the budget
+///   and the final plan spills for real.
 #[derive(Debug, Clone)]
 pub struct MidQueryPolicy {
     /// Q-error threshold.
@@ -368,6 +380,19 @@ impl ReoptPolicy for MidQueryPolicy {
                         },
                     };
                 }
+            }
+            ExecEvent::MemoryPressure(pressure) => {
+                // Re-plan instead of spill: no threshold — the denial itself proves
+                // the plan's footprint exceeds the budget, and a suspension here
+                // costs nothing (the spill has not committed yet).
+                return PolicyDecision::ReplanMidQuery {
+                    violation: Violation {
+                        rel_set,
+                        estimated_rows: pressure.estimated_rows,
+                        actual_rows: pressure.buffered_rows,
+                        trigger: ReoptTrigger::MemoryPressure,
+                    },
+                };
             }
         }
         PolicyDecision::Continue
@@ -468,7 +493,9 @@ impl ReoptPolicy for SelectivePolicy {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use reopt_executor::{BreakerEvent, BreakerKind, ProgressEvent, ProgressSource};
+    use reopt_executor::{
+        BreakerEvent, BreakerKind, MemoryPressureEvent, ProgressEvent, ProgressSource,
+    };
 
     fn ctx(n: usize) -> PolicyContext {
         PolicyContext {
@@ -532,6 +559,37 @@ mod tests {
         );
     }
 
+    fn pressure(rels: &[usize], est: f64, buffered: u64) -> ExecEvent {
+        ExecEvent::MemoryPressure(MemoryPressureEvent {
+            kind: BreakerKind::HashBuild,
+            rel_set: RelSet::from_indexes(rels.iter().copied()),
+            estimated_rows: est,
+            buffered_rows: buffered,
+            buffered_bytes: 4096,
+            budget_bytes: 4096,
+        })
+    }
+
+    #[test]
+    fn mid_query_policy_replans_on_memory_pressure_without_a_threshold() {
+        let mut policy = MidQueryPolicy {
+            threshold: 8.0,
+            max_rounds: 16,
+        };
+        // No q-error needed: estimate 100, buffered 100 — still re-plans.
+        let decision = policy.on_event(&pressure(&[0, 1], 100.0, 100), &ctx(3));
+        let PolicyDecision::ReplanMidQuery { violation } = decision else {
+            panic!("expected a mid-query decision, got {decision:?}");
+        };
+        assert_eq!(violation.trigger, ReoptTrigger::MemoryPressure);
+        assert_eq!(violation.actual_rows, 100);
+        // The whole query leaves nothing to re-plan: decline and let the sink spill.
+        assert_eq!(
+            policy.on_event(&pressure(&[0, 1, 2], 100.0, 100), &ctx(3)),
+            PolicyDecision::Continue
+        );
+    }
+
     #[test]
     fn mid_query_policy_triggers_on_progress_overshoot_not_undershoot() {
         let mut policy = MidQueryPolicy {
@@ -584,6 +642,8 @@ mod tests {
             exhausted: true,
             elapsed: std::time::Duration::ZERO,
             encoding: None,
+            spilled_bytes: 0,
+            spill_partitions: 0,
         };
         let metrics = QueryMetrics {
             root: reopt_executor::MetricsNode {

@@ -285,6 +285,12 @@ pub struct ReoptReport {
     /// Largest peak of pipeline-breaker buffered bytes across the same statements
     /// (the byte-weighted companion of [`ReoptReport::peak_buffered_rows`]).
     pub peak_buffered_bytes: u64,
+    /// Total bytes written to spill files across every executed statement
+    /// (detection runs, materializations and the final run). `0` unless a finite
+    /// memory budget forced some breaker out of core.
+    pub spilled_bytes: u64,
+    /// Total spill partitions / runs written across the same statements.
+    pub spill_partitions: u64,
     /// The final re-optimized script (CREATE TEMP TABLE statements + final SELECT; for
     /// mid-query rounds, comment lines describing the reused breaker state + the
     /// collapsed final SELECT over the virtual tables).
@@ -455,11 +461,11 @@ fn harvest_observations(metrics: &QueryMetrics) -> Vec<(RelSet, f64, Exactness)>
 }
 
 /// The exactness of a violation's observed count: a completed detection run or
-/// breaker completion saw the true cardinality; a streaming progress report has only
-/// a lower bound.
+/// breaker completion saw the true cardinality; a streaming progress report or a
+/// memory-pressure denial (rows buffered so far) has only a lower bound.
 fn violation_exactness(trigger: ReoptTrigger) -> Exactness {
     match trigger {
-        ReoptTrigger::Progress => Exactness::AtLeast,
+        ReoptTrigger::Progress | ReoptTrigger::MemoryPressure => Exactness::AtLeast,
         _ => Exactness::Exact,
     }
 }
@@ -492,6 +498,8 @@ struct Driver {
     detection_time: Duration,
     peak_buffered_rows: u64,
     peak_buffered_bytes: u64,
+    spilled_bytes: u64,
+    spill_partitions: u64,
     /// `CREATE TEMP TABLE` script lines (materialize restarts).
     created_sql: Vec<String>,
     /// Comment lines describing reused breaker state (mid-query rounds).
@@ -520,6 +528,8 @@ impl Driver {
             detection_time: Duration::ZERO,
             peak_buffered_rows: 0,
             peak_buffered_bytes: 0,
+            spilled_bytes: 0,
+            spill_partitions: 0,
             created_sql: Vec::new(),
             annotations: Vec::new(),
             created_tables: Vec::new(),
@@ -573,6 +583,13 @@ impl Driver {
             let run = run_pipeline(db, &planned, policy, ctx.clone(), observe)?;
             self.peak_buffered_rows = self.peak_buffered_rows.max(run.peak_buffered_rows);
             self.peak_buffered_bytes = self.peak_buffered_bytes.max(run.peak_buffered_bytes);
+            {
+                let (RunOutcome::Completed(_, metrics) | RunOutcome::Suspended(_, metrics)) =
+                    &run.outcome;
+                let (bytes, partitions) = metrics.root.total_spilled();
+                self.spilled_bytes += bytes;
+                self.spill_partitions += partitions;
+            }
 
             match run.outcome {
                 RunOutcome::Completed(rows, metrics) => {
@@ -743,6 +760,11 @@ impl Driver {
             self.peak_buffered_bytes = self
                 .peak_buffered_bytes
                 .max(create_output.peak_buffered_bytes);
+            if let Some(metrics) = &create_output.metrics {
+                let (bytes, partitions) = metrics.root.total_spilled();
+                self.spilled_bytes += bytes;
+                self.spill_partitions += partitions;
+            }
             let create_statement = Statement::CreateTableAs {
                 name: temp_name.clone(),
                 temporary: true,
@@ -1061,6 +1083,8 @@ impl Driver {
             detection_time: self.detection_time,
             peak_buffered_rows: self.peak_buffered_rows,
             peak_buffered_bytes: self.peak_buffered_bytes,
+            spilled_bytes: self.spilled_bytes,
+            spill_partitions: self.spill_partitions,
             final_sql: parts.join("\n"),
             final_metrics: Some(metrics),
         }
@@ -1079,7 +1103,8 @@ fn run_pipeline(
     let executor = Executor::with_batch_size(db.storage(), db.batch_size())
         .with_threads(db.threads())
         .with_columnar(db.columnar())
-        .with_priority(db.priority());
+        .with_priority(db.priority())
+        .with_governor(std::sync::Arc::clone(db.governor()));
     let adapter = observe.then(|| {
         Rc::new(RefCell::new(PolicyObserver {
             policy,

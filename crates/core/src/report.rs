@@ -56,6 +56,14 @@ impl ReoptReport {
             self.peak_buffered_rows,
             self.peak_buffered_bytes,
         ));
+        // Spill accounting renders only when something actually spilled, keeping
+        // unlimited-budget reports byte-identical to pre-out-of-core builds.
+        if self.spilled_bytes > 0 || self.spill_partitions > 0 {
+            out.push_str(&format!(
+                "spilled: {} bytes in {} partitions\n",
+                self.spilled_bytes, self.spill_partitions
+            ));
+        }
         out
     }
 }

@@ -22,6 +22,10 @@ pub enum ExecError {
     /// completed breaker state remains extractable via
     /// [`Pipeline::take_breaker_states`](crate::exec::Pipeline::take_breaker_states).
     Suspended,
+    /// Out-of-core execution failed: a spill-file I/O error, or a grace-hash
+    /// partition still exceeded the memory budget at the recursion depth cap (all
+    /// rows sharing one join key, so repartitioning cannot help).
+    Spill(String),
 }
 
 impl fmt::Display for ExecError {
@@ -34,6 +38,7 @@ impl fmt::Display for ExecError {
             ExecError::Suspended => {
                 write!(f, "execution suspended at a pipeline-breaker boundary for re-optimization")
             }
+            ExecError::Spill(detail) => write!(f, "spill error: {detail}"),
         }
     }
 }

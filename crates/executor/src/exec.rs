@@ -32,17 +32,28 @@
 
 use crate::error::ExecError;
 use crate::metrics::{MetricsNode, OperatorMetrics, QueryMetrics};
+use crate::spill::{MemoryGovernor, Reservation};
 use reopt_expr::{filter_mask, Expr, MaskCache};
 use reopt_planner::plan::IndexLookup;
 use reopt_planner::{PhysicalPlan, PlanKind};
 use reopt_sql::AggregateFunc;
 use reopt_planner::RelSet;
+use reopt_storage::spill_file::{SpillDir, SpillReader, SpillRun, SpillWriter};
 use reopt_storage::{ColumnBatch, ColumnData, Index, Row, Schema, Storage, Table, Value};
 use std::cell::{Cell, RefCell};
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 use std::ops::Bound;
 use std::rc::Rc;
+use std::sync::Arc;
 use std::time::{Duration, Instant};
+
+/// Fan-out of one grace-hash partitioning pass (and of recursive repartitioning).
+const SPILL_FANOUT: usize = 8;
+
+/// Maximum grace-hash recursion depth. A partition that still exceeds the budget
+/// this deep is dominated by one join key, which repartitioning can never split:
+/// the join reports an honest [`ExecError::Spill`] instead of recursing forever.
+const SPILL_MAX_DEPTH: u32 = 6;
 
 /// Default number of rows per batch.
 pub const DEFAULT_BATCH_SIZE: usize = 1024;
@@ -146,15 +157,40 @@ pub struct ProgressEvent {
     pub exhausted: bool,
 }
 
-/// An execution event delivered to an [`ExecutionObserver`]: either a pipeline breaker
-/// finished materializing its input (a *true* subtree cardinality), or a streaming
-/// operator reported progress (a lower bound, available much earlier).
+/// A breaker sink's reservation against the [`MemoryGovernor`] was denied: the sink
+/// is about to switch to its out-of-core strategy (grace-hash partitioning for a
+/// hash-join build, external merge sort for sort/aggregation buffers). The event is
+/// delivered *before* the spill commits, so an observer can still suspend and
+/// re-plan the remainder of the query — with every in-memory buffer intact — as the
+/// cheap alternative to paying disk I/O.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MemoryPressureEvent {
+    /// Which breaker sink hit the budget.
+    pub kind: BreakerKind,
+    /// The base relations covered by the buffering subtree.
+    pub rel_set: RelSet,
+    /// The optimizer's estimate for that subtree.
+    pub estimated_rows: f64,
+    /// Rows buffered so far (a lower bound on the subtree's true cardinality).
+    pub buffered_rows: u64,
+    /// Bytes the sink had reserved when the grant was denied.
+    pub buffered_bytes: u64,
+    /// The governor's budget at the time of the denial.
+    pub budget_bytes: u64,
+}
+
+/// An execution event delivered to an [`ExecutionObserver`]: a pipeline breaker
+/// finished materializing its input (a *true* subtree cardinality), a streaming
+/// operator reported progress (a lower bound, available much earlier), or a breaker
+/// sink is about to spill ([`MemoryPressureEvent`]).
 #[derive(Debug, Clone, PartialEq)]
 pub enum ExecEvent {
     /// A pipeline breaker completed its input.
     BreakerComplete(BreakerEvent),
     /// A streaming operator reported produced-vs-estimated rows.
     Progress(ProgressEvent),
+    /// A breaker sink exceeded its memory grant and will spill unless suspended.
+    MemoryPressure(MemoryPressureEvent),
 }
 
 impl ExecEvent {
@@ -163,6 +199,7 @@ impl ExecEvent {
         match self {
             ExecEvent::BreakerComplete(e) => e.rel_set,
             ExecEvent::Progress(e) => e.rel_set,
+            ExecEvent::MemoryPressure(e) => e.rel_set,
         }
     }
 
@@ -171,6 +208,7 @@ impl ExecEvent {
         match self {
             ExecEvent::BreakerComplete(e) => e.estimated_rows,
             ExecEvent::Progress(e) => e.estimated_rows,
+            ExecEvent::MemoryPressure(e) => e.estimated_rows,
         }
     }
 
@@ -179,16 +217,19 @@ impl ExecEvent {
         match self {
             ExecEvent::BreakerComplete(e) => e.actual_rows,
             ExecEvent::Progress(e) => e.produced_rows,
+            ExecEvent::MemoryPressure(e) => e.buffered_rows,
         }
     }
 
     /// Whether the observed count is a true cardinality (breaker completions always
-    /// are; progress reports only once the operator exhausted) rather than a lower
-    /// bound on one.
+    /// are; progress reports only once the operator exhausted; memory-pressure
+    /// counts are always lower bounds on an input still being drained) rather than a
+    /// lower bound on one.
     pub fn is_exact(&self) -> bool {
         match self {
             ExecEvent::BreakerComplete(_) => true,
             ExecEvent::Progress(e) => e.exhausted,
+            ExecEvent::MemoryPressure(_) => false,
         }
     }
 }
@@ -410,6 +451,7 @@ pub struct Executor<'a> {
     threads: usize,
     columnar: bool,
     priority: u8,
+    governor: Arc<MemoryGovernor>,
 }
 
 /// The default scheduling priority for queries on the shared worker pool.
@@ -426,6 +468,7 @@ impl<'a> Executor<'a> {
             threads: default_thread_count(),
             columnar: default_columnar(),
             priority: DEFAULT_PRIORITY,
+            governor: MemoryGovernor::from_env(),
         }
     }
 
@@ -438,7 +481,23 @@ impl<'a> Executor<'a> {
             threads: default_thread_count(),
             columnar: default_columnar(),
             priority: DEFAULT_PRIORITY,
+            governor: MemoryGovernor::from_env(),
         }
+    }
+
+    /// Install a shared [`MemoryGovernor`]: breaker sinks reserve their buffered
+    /// bytes against it and spill (grace-hash partitioning / external merge sort)
+    /// when a grant is denied. Defaults to a per-executor governor initialised from
+    /// `REOPT_MEM_BUDGET`; a database installs its process-wide governor here so
+    /// every session's queries share one budget.
+    pub fn with_governor(mut self, governor: Arc<MemoryGovernor>) -> Self {
+        self.governor = governor;
+        self
+    }
+
+    /// The memory governor this executor's pipelines reserve against.
+    pub fn governor(&self) -> &Arc<MemoryGovernor> {
+        &self.governor
     }
 
     /// Set the scheduling priority used when this executor's queries register as
@@ -545,6 +604,19 @@ impl<'a> Executor<'a> {
         'a: 'p,
     {
         if self.threads > 1 && crate::parallel::plan_supported(plan) {
+            // Keep everything needed to rebuild single-threaded: if a parallel
+            // breaker sink hits the memory budget and the observer declines to
+            // suspend, the run aborts (before any root batch is delivered — all
+            // breaker materialization happens up front) and the pipeline facade
+            // transparently restarts on the single-threaded spill engine.
+            let fallback = FallbackCtx {
+                storage: self.storage,
+                batch_size: self.batch_size,
+                progress_every: self.progress_every,
+                columnar: self.columnar,
+                governor: Arc::clone(&self.governor),
+                observer: observer.clone(),
+            };
             return Ok(Pipeline {
                 inner: PipelineImpl::Parallel(Box::new(crate::parallel::ParallelPipeline::new(
                     plan,
@@ -554,34 +626,23 @@ impl<'a> Executor<'a> {
                     self.progress_every,
                     self.columnar,
                     self.priority,
+                    Arc::clone(&self.governor),
                     observer,
                 ))),
+                fallback: Some(fallback),
             });
         }
-        let tracker = Rc::new(MemoryTracker::default());
-        let root_seam = Rc::new(Cell::new(false));
-        let ctx = BuildContext {
-            storage: self.storage,
-            batch_size: self.batch_size,
-            columnar: self.columnar,
-            tracker: Rc::clone(&tracker),
-            obs: ObserverCtx {
-                observer,
-                root_seam: Rc::clone(&root_seam),
-                progress_every: self.progress_every,
-            },
-        };
-        let (root, stats) = build_operator(plan, &ctx)?;
         Ok(Pipeline {
-            inner: PipelineImpl::Single(SinglePipeline {
+            inner: PipelineImpl::Single(open_single(
                 plan,
-                root,
-                stats,
-                tracker,
-                root_seam,
-                poisoned: false,
-                suspended: false,
-            }),
+                self.storage,
+                self.batch_size,
+                self.progress_every,
+                self.columnar,
+                Arc::clone(&self.governor),
+                observer,
+            )?),
+            fallback: None,
         })
     }
 
@@ -603,6 +664,54 @@ impl<'a> Executor<'a> {
     }
 }
 
+/// Build a [`SinglePipeline`] over a plan (also the landing pad when a parallel run
+/// degrades to the single-threaded spill engine on memory pressure).
+fn open_single<'p>(
+    plan: &'p PhysicalPlan,
+    storage: &'p Storage,
+    batch_size: usize,
+    progress_every: u64,
+    columnar: bool,
+    governor: Arc<MemoryGovernor>,
+    observer: Option<ObserverHandle<'p>>,
+) -> Result<SinglePipeline<'p>, ExecError> {
+    let tracker = Rc::new(MemoryTracker::default());
+    let root_seam = Rc::new(Cell::new(false));
+    let ctx = BuildContext {
+        storage,
+        batch_size,
+        columnar,
+        tracker: Rc::clone(&tracker),
+        governor,
+        obs: ObserverCtx {
+            observer,
+            root_seam: Rc::clone(&root_seam),
+            progress_every,
+        },
+    };
+    let (root, stats) = build_operator(plan, &ctx)?;
+    Ok(SinglePipeline {
+        plan,
+        root,
+        stats,
+        tracker,
+        root_seam,
+        poisoned: false,
+        suspended: false,
+    })
+}
+
+/// Everything needed to rebuild a parallel pipeline on the single-threaded spill
+/// engine when its run hits the memory budget (see [`Executor::open_observed`]).
+struct FallbackCtx<'p> {
+    storage: &'p Storage,
+    batch_size: usize,
+    progress_every: u64,
+    columnar: bool,
+    governor: Arc<MemoryGovernor>,
+    observer: Option<ObserverHandle<'p>>,
+}
+
 /// An opened plan, ready to produce batches: either a single-threaded operator tree
 /// or a morsel-driven parallel run ([`Executor::with_threads`]). Both engines honor
 /// the same contract — batch pulls, observer events, suspension, breaker-state
@@ -610,6 +719,7 @@ impl<'a> Executor<'a> {
 /// engine.
 pub struct Pipeline<'p> {
     inner: PipelineImpl<'p>,
+    fallback: Option<FallbackCtx<'p>>,
 }
 
 enum PipelineImpl<'p> {
@@ -629,10 +739,36 @@ impl Pipeline<'_> {
     /// further pulls but its completed breaker state stays extractable via
     /// [`Pipeline::take_breaker_states`].
     pub fn next_batch(&mut self) -> Result<Option<RowBatch>, ExecError> {
-        match &mut self.inner {
+        let out = match &mut self.inner {
             PipelineImpl::Single(p) => p.next_batch(),
             PipelineImpl::Parallel(p) => p.next_batch(),
+        };
+        // A parallel run that hit the memory budget (and whose observer declined to
+        // suspend) aborts before delivering any root batch: restart the plan on the
+        // single-threaded engine, whose breaker sinks can actually spill.
+        if matches!(out, Err(ExecError::Spill(_))) {
+            if let PipelineImpl::Parallel(p) = &self.inner {
+                if p.needs_spill_fallback() {
+                    if let Some(ctx) = self.fallback.take() {
+                        let plan = match &self.inner {
+                            PipelineImpl::Parallel(p) => p.plan(),
+                            PipelineImpl::Single(_) => unreachable!("checked above"),
+                        };
+                        self.inner = PipelineImpl::Single(open_single(
+                            plan,
+                            ctx.storage,
+                            ctx.batch_size,
+                            ctx.progress_every,
+                            ctx.columnar,
+                            ctx.governor,
+                            ctx.observer,
+                        )?);
+                        return self.next_batch();
+                    }
+                }
+            }
         }
+        out
     }
 
     /// Whether an [`ExecutionObserver`] suspended this pipeline.
@@ -805,6 +941,18 @@ struct OpStats {
     /// `"fallback-row"` (columnar on, but the predicate has no kernel), or `"row"`
     /// (columnar off, or an index scan materializing by row id). `None` elsewhere.
     encoding: Cell<Option<&'static str>>,
+    /// Bytes this operator wrote to spill runs (0 while it stays in memory).
+    spilled_bytes: Cell<u64>,
+    /// Spill runs this operator sealed (grace-hash partitions / sort runs).
+    spill_partitions: Cell<u64>,
+}
+
+impl OpStats {
+    /// Account one sealed spill run.
+    fn record_spill_run(&self, bytes: u64) {
+        self.spilled_bytes.set(self.spilled_bytes.get() + bytes);
+        self.spill_partitions.set(self.spill_partitions.get() + 1);
+    }
 }
 
 /// The stats tree, shaped like the plan tree.
@@ -841,6 +989,8 @@ fn assemble_metrics(plan: &PhysicalPlan, stats: &StatsNode) -> MetricsNode {
             exhausted,
             elapsed: stats.stats.inclusive.get().saturating_sub(child_inclusive),
             encoding: stats.stats.encoding.get(),
+            spilled_bytes: stats.stats.spilled_bytes.get(),
+            spill_partitions: stats.stats.spill_partitions.get(),
         },
         children,
     }
@@ -853,6 +1003,7 @@ struct BuildContext<'p> {
     /// Whether scans emit columnar batches and predicates use the mask kernels.
     columnar: bool,
     tracker: Rc<MemoryTracker>,
+    governor: Arc<MemoryGovernor>,
     obs: ObserverCtx<'p>,
 }
 
@@ -981,6 +1132,9 @@ fn build_operator<'p>(
     }
 
     let batch_size = ctx.batch_size;
+    // Created before the operator so breaker sinks with a spill path (hash build,
+    // sort, aggregate) can account spilled bytes/partitions as they seal runs.
+    let stats = Rc::new(OpStats::default());
     let mut scan_encoding: Option<&'static str> = None;
     let op: Box<dyn Operator + 'p> = match &plan.kind {
         PlanKind::SeqScan {
@@ -1065,6 +1219,9 @@ fn build_operator<'p>(
                 match_pos: 0,
                 batch_size,
                 tracker: Rc::clone(&ctx.tracker),
+                reservation: ctx.governor.reservation(),
+                spill: None,
+                stats: Rc::clone(&stats),
                 obs: ctx.obs.clone_ref(),
                 progress: ProgressMeter::new(plan.rel_set, plan.estimated_rows),
             })
@@ -1193,6 +1350,9 @@ fn build_operator<'p>(
                 emit: None,
                 batch_size,
                 tracker: Rc::clone(&ctx.tracker),
+                reservation: ctx.governor.reservation(),
+                spill: None,
+                stats: Rc::clone(&stats),
                 obs: ctx.obs.clone_ref(),
             })
         }
@@ -1233,6 +1393,10 @@ fn build_operator<'p>(
                 pos: 0,
                 batch_size,
                 tracker: Rc::clone(&ctx.tracker),
+                reservation: ctx.governor.reservation(),
+                spill: None,
+                merge: None,
+                stats: Rc::clone(&stats),
                 obs: ctx.obs.clone_ref(),
             })
         }
@@ -1245,7 +1409,6 @@ fn build_operator<'p>(
         }
     };
 
-    let stats = Rc::new(OpStats::default());
     stats.encoding.set(scan_encoding);
     Ok((
         Metered {
@@ -1537,8 +1700,42 @@ struct HashJoinOp<'p> {
     match_pos: usize,
     batch_size: usize,
     tracker: Rc<MemoryTracker>,
+    /// Byte grant for the in-memory build; released when the build goes out of core.
+    reservation: Reservation,
+    /// Out-of-core state; `None` while the build fits its grant (the default).
+    spill: Option<Box<HashJoinSpill>>,
+    stats: Rc<OpStats>,
     obs: ObserverCtx<'p>,
     progress: ProgressMeter,
+}
+
+/// Out-of-core state of a hash join whose build side exceeded its memory grant:
+/// grace-hash partitioning. Build and probe rows hash-partition into on-disk runs
+/// ([`SPILL_FANOUT`] per pass, salted by recursion depth); partitions are then
+/// joined one pair at a time by loading the build run back into the in-memory hash
+/// table, recursing on partitions that still exceed the budget.
+struct HashJoinSpill {
+    /// Owns the on-disk partition files; the directory (and anything left in it)
+    /// is removed when the join drops, however execution ended.
+    dir: SpillDir,
+    /// Build-input rows seen (NULL-key rows included), for the breaker event.
+    input_rows: u64,
+    /// Open build-side partition writers while the build input drains.
+    build_writers: Vec<SpillWriter>,
+    /// Sealed build runs awaiting their probe counterparts.
+    build_runs: Vec<SpillRun>,
+    /// Whether the probe input has been fully partitioned into `pending`.
+    probe_done: bool,
+    /// `(build, probe, depth)` partition pairs still to join.
+    pending: VecDeque<(SpillRun, SpillRun, u32)>,
+    /// The probe run streaming against the currently loaded build partition. The
+    /// run is kept alive beside its reader: dropping the run deletes the file.
+    probe_reader: Option<(SpillRun, SpillReader)>,
+    /// Block-nested-loop state for a partition that repartitioning cannot split
+    /// (one dominant join key) but that fits the *whole* budget: the build run
+    /// plus the next build-row offset to load. Each grant-sized build block
+    /// re-scans the partition's probe run once.
+    chunk: Option<(SpillRun, u64)>,
 }
 
 impl HashJoinOp<'_> {
@@ -1550,14 +1747,42 @@ impl HashJoinOp<'_> {
             return Ok(());
         };
         let result = build.drain(|batch| {
-            let bytes: u64 = batch.iter().map(|row| row.width() as u64).sum();
-            self.tracker.acquire(batch.len() as u64, bytes);
-            for row in batch {
-                let row_idx = self.build_rows.len();
-                if let Some(key) = extract_key(&row, &self.build_keys) {
-                    self.table.entry(key).or_default().push(row_idx);
+            if self.spill.is_none() {
+                let bytes: u64 = batch.iter().map(|row| row.width() as u64).sum();
+                if self.reservation.grow(bytes) {
+                    self.tracker.acquire(batch.len() as u64, bytes);
+                    for row in batch {
+                        let row_idx = self.build_rows.len();
+                        if let Some(key) = extract_key(&row, &self.build_keys) {
+                            self.table.entry(key).or_default().push(row_idx);
+                        }
+                        self.build_rows.push(row);
+                    }
+                    return Ok(());
                 }
-                self.build_rows.push(row);
+                // Grant denied. Surface memory pressure *before* committing the
+                // spill: a suspending observer re-plans with every buffer intact.
+                self.obs.notify(ExecEvent::MemoryPressure(MemoryPressureEvent {
+                    kind: BreakerKind::HashBuild,
+                    rel_set: self.build_rel_set,
+                    estimated_rows: self.build_estimated_rows,
+                    buffered_rows: self.build_rows.len() as u64,
+                    buffered_bytes: self.reservation.bytes(),
+                    budget_bytes: self.reservation.governor().budget().unwrap_or(0),
+                }))?;
+                self.start_spill()?;
+            }
+            let spill = self.spill.as_mut().expect("spill committed above");
+            for row in batch {
+                spill.input_rows += 1;
+                // NULL keys never match under equi-join semantics; the spilled
+                // build is not a reusable materialization, so they are dropped.
+                if let Some(key) = extract_key(&row, &self.build_keys) {
+                    let part = spill_partition(0, &key);
+                    spill.build_writers[part]
+                        .write_row(row.values())
+                        .map_err(spill_err)?;
+                }
             }
             Ok(())
         });
@@ -1569,13 +1794,330 @@ impl HashJoinOp<'_> {
         }
         result?;
         self.build_done = true;
+        let (actual_rows, reusable) = match self.spill.as_mut() {
+            None => (self.build_rows.len() as u64, true),
+            Some(spill) => {
+                // Seal the build partitions; probe partitioning happens lazily on
+                // the first probe pull.
+                for writer in std::mem::take(&mut spill.build_writers) {
+                    let run = writer.finish().map_err(spill_err)?;
+                    self.stats.record_spill_run(run.bytes());
+                    spill.build_runs.push(run);
+                }
+                (spill.input_rows, false)
+            }
+        };
         self.obs.notify_breaker(BreakerEvent {
             kind: BreakerKind::HashBuild,
             rel_set: self.build_rel_set,
             estimated_rows: self.build_estimated_rows,
-            actual_rows: self.build_rows.len() as u64,
-            reusable: true,
+            actual_rows,
+            reusable,
         })
+    }
+
+    /// Commit the build side to grace-hash partitioning: move the buffered rows
+    /// into [`SPILL_FANOUT`] on-disk partitions and release the memory grant.
+    fn start_spill(&mut self) -> Result<(), ExecError> {
+        let dir = SpillDir::create().map_err(spill_err)?;
+        let mut writers = Vec::with_capacity(SPILL_FANOUT);
+        for _ in 0..SPILL_FANOUT {
+            writers.push(SpillWriter::create(&dir).map_err(spill_err)?);
+        }
+        let input_rows = self.build_rows.len() as u64;
+        for row in self.build_rows.drain(..) {
+            if let Some(key) = extract_key(&row, &self.build_keys) {
+                let part = spill_partition(0, &key);
+                writers[part].write_row(row.values()).map_err(spill_err)?;
+            }
+        }
+        self.table.clear();
+        self.reservation.release_all();
+        self.spill = Some(Box::new(HashJoinSpill {
+            dir,
+            input_rows,
+            build_writers: writers,
+            build_runs: Vec::new(),
+            probe_done: false,
+            pending: VecDeque::new(),
+            probe_reader: None,
+            chunk: None,
+        }));
+        Ok(())
+    }
+
+    /// Partition the whole probe input to disk, pairing each probe partition with
+    /// its build counterpart in `pending`. Empty pairs are skipped outright.
+    fn partition_probe(&mut self) -> Result<(), ExecError> {
+        let spill = self.spill.as_mut().expect("probe partitioning requires spill");
+        let mut writers = Vec::with_capacity(SPILL_FANOUT);
+        for _ in 0..SPILL_FANOUT {
+            writers.push(SpillWriter::create(&spill.dir).map_err(spill_err)?);
+        }
+        // Flush any probe batch pulled before the build committed to spilling
+        // (possible only if a probe pull preceded the build, which next_batch
+        // never does today — defensive).
+        for row in self.probe_batch.drain(..) {
+            if let Some(key) = extract_key(&row, &self.probe_keys) {
+                writers[spill_partition(0, &key)]
+                    .write_row(row.values())
+                    .map_err(spill_err)?;
+            }
+        }
+        self.probe_batch_keys.clear();
+        self.probe_pos = 0;
+        self.match_pos = 0;
+        while let Some(batch) = self.probe.next_rows()? {
+            for row in batch {
+                if let Some(key) = extract_key(&row, &self.probe_keys) {
+                    writers[spill_partition(0, &key)]
+                        .write_row(row.values())
+                        .map_err(spill_err)?;
+                }
+            }
+        }
+        for (build_run, writer) in spill.build_runs.drain(..).zip(writers) {
+            let probe_run = writer.finish().map_err(spill_err)?;
+            self.stats.record_spill_run(probe_run.bytes());
+            if build_run.rows() > 0 && probe_run.rows() > 0 {
+                spill.pending.push_back((build_run, probe_run, 0));
+            }
+        }
+        spill.probe_done = true;
+        Ok(())
+    }
+
+    /// Load one build partition into the in-memory hash table and open its probe
+    /// counterpart for streaming. If the partition still exceeds the budget, both
+    /// sides are repartitioned with a deeper salt (back onto `pending`); at
+    /// [`SPILL_MAX_DEPTH`] the join fails honestly instead of recursing forever.
+    /// Returns `true` when a partition was loaded and is ready to probe.
+    fn load_partition(
+        &mut self,
+        build_run: SpillRun,
+        probe_run: SpillRun,
+        depth: u32,
+    ) -> Result<bool, ExecError> {
+        self.build_rows.clear();
+        self.table.clear();
+        self.reservation.release_all();
+        let mut reader = build_run.read().map_err(spill_err)?;
+        while let Some(values) = reader.next_row().map_err(spill_err)? {
+            let row = Row::from_values(values);
+            if !self.reservation.grow(row.width() as u64) {
+                if depth >= SPILL_MAX_DEPTH {
+                    let budget = self.reservation.governor().budget().unwrap_or(u64::MAX);
+                    if build_run.bytes() > budget {
+                        return Err(ExecError::Spill(format!(
+                            "grace-hash partition of {} rows still exceeds the memory \
+                             budget at recursion depth {SPILL_MAX_DEPTH}; the partition \
+                             is dominated by a single join key that repartitioning \
+                             cannot split",
+                            build_run.rows(),
+                        )));
+                    }
+                    // The partition fits the whole budget; only the currently
+                    // *available* grant is too small (enclosing operators hold
+                    // the rest, and waiting for them would deadlock a
+                    // single-threaded pipeline). Block nested-loop fallback:
+                    // join the unsplittable partition one grant-sized build
+                    // block at a time, re-scanning its probe run per block.
+                    drop(reader);
+                    self.build_rows.clear();
+                    self.table.clear();
+                    self.reservation.release_all();
+                    return self.load_block(build_run, probe_run, 0);
+                }
+                drop(reader);
+                self.build_rows.clear();
+                self.table.clear();
+                self.reservation.release_all();
+                self.repartition(build_run, probe_run, depth)?;
+                return Ok(false);
+            }
+            let row_idx = self.build_rows.len();
+            let key = extract_key(&row, &self.build_keys)
+                .expect("spilled build rows always carry non-NULL keys");
+            self.table.entry(key).or_default().push(row_idx);
+            self.build_rows.push(row);
+        }
+        drop(reader);
+        let probe_reader = probe_run.read().map_err(spill_err)?;
+        let spill = self.spill.as_mut().expect("loading a partition requires spill");
+        spill.probe_reader = Some((probe_run, probe_reader));
+        Ok(true)
+    }
+
+    /// Load one block of a block-nested-loop partition, starting at build-run row
+    /// `start`, and open a fresh scan of its probe run. The first row of every
+    /// block loads even when its grant is denied — a bounded overcommit of one
+    /// row that guarantees progress when enclosing operators hold the entire
+    /// budget (the honest error in [`Self::load_partition`] covers partitions
+    /// larger than the whole budget).
+    fn load_block(
+        &mut self,
+        build_run: SpillRun,
+        probe_run: SpillRun,
+        start: u64,
+    ) -> Result<bool, ExecError> {
+        self.build_rows.clear();
+        self.table.clear();
+        self.reservation.release_all();
+        let mut reader = build_run.read().map_err(spill_err)?;
+        let mut idx = 0u64;
+        while let Some(values) = reader.next_row().map_err(spill_err)? {
+            if idx < start {
+                idx += 1;
+                continue;
+            }
+            let row = Row::from_values(values);
+            if !self.reservation.grow(row.width() as u64) && !self.build_rows.is_empty() {
+                break;
+            }
+            let row_idx = self.build_rows.len();
+            let key = extract_key(&row, &self.build_keys)
+                .expect("spilled build rows always carry non-NULL keys");
+            self.table.entry(key).or_default().push(row_idx);
+            self.build_rows.push(row);
+            idx += 1;
+        }
+        drop(reader);
+        let probe_reader = probe_run.read().map_err(spill_err)?;
+        let spill = self.spill.as_mut().expect("loading a block requires spill");
+        spill.chunk = Some((build_run, idx));
+        spill.probe_reader = Some((probe_run, probe_reader));
+        Ok(true)
+    }
+
+    /// Advance a block-nested-loop partition after its probe scan drained: load
+    /// the next build block and re-open the probe run against it. Returns `false`
+    /// (dropping both runs) when the build run is fully joined — or when no
+    /// chunked partition is active (the ordinary single-pass case).
+    fn next_chunk(&mut self, probe_run: SpillRun) -> Result<bool, ExecError> {
+        let spill = self.spill.as_mut().expect("advancing a chunk requires spill");
+        let Some((build_run, next)) = spill.chunk.take() else {
+            return Ok(false);
+        };
+        if next >= build_run.rows() {
+            return Ok(false);
+        }
+        self.load_block(build_run, probe_run, next)
+    }
+
+    /// Split an over-budget partition pair into [`SPILL_FANOUT`] sub-pairs using a
+    /// deeper salt, queueing the non-empty ones at `depth + 1`.
+    fn repartition(
+        &mut self,
+        build_run: SpillRun,
+        probe_run: SpillRun,
+        depth: u32,
+    ) -> Result<(), ExecError> {
+        let salt = depth + 1;
+        let spill = self.spill.as_mut().expect("repartitioning requires spill");
+        let mut pairs = Vec::with_capacity(SPILL_FANOUT);
+        for _ in 0..SPILL_FANOUT {
+            pairs.push((
+                SpillWriter::create(&spill.dir).map_err(spill_err)?,
+                SpillWriter::create(&spill.dir).map_err(spill_err)?,
+            ));
+        }
+        for (source, keys, side) in [
+            (&build_run, &self.build_keys, 0usize),
+            (&probe_run, &self.probe_keys, 1usize),
+        ] {
+            let mut reader = source.read().map_err(spill_err)?;
+            while let Some(values) = reader.next_row().map_err(spill_err)? {
+                let row = Row::from_values(values);
+                let key = extract_key(&row, keys)
+                    .expect("spilled rows always carry non-NULL keys");
+                let part = spill_partition(salt, &key);
+                let writer = if side == 0 { &mut pairs[part].0 } else { &mut pairs[part].1 };
+                writer.write_row(row.values()).map_err(spill_err)?;
+            }
+        }
+        for (build_writer, probe_writer) in pairs {
+            let sub_build = build_writer.finish().map_err(spill_err)?;
+            let sub_probe = probe_writer.finish().map_err(spill_err)?;
+            self.stats.record_spill_run(sub_build.bytes());
+            self.stats.record_spill_run(sub_probe.bytes());
+            if sub_build.rows() > 0 && sub_probe.rows() > 0 {
+                spill.pending.push_back((sub_build, sub_probe, salt));
+            }
+        }
+        Ok(())
+    }
+
+    /// Out-of-core probe loop: stream the current partition's probe run against the
+    /// loaded build partition, advancing through `pending` as partitions finish.
+    fn next_batch_spilled(&mut self) -> Result<Option<Batch>, ExecError> {
+        if !self.spill.as_ref().expect("spilled next_batch requires spill").probe_done {
+            self.partition_probe()?;
+        }
+        let mut out = Vec::new();
+        'drive: loop {
+            // Stream the open probe run, emitting matches against the loaded table.
+            while let Some((_, reader)) = self
+                .spill
+                .as_mut()
+                .expect("spill state outlives the probe loop")
+                .probe_reader
+                .as_mut()
+            {
+                let Some(values) = reader.next_row().map_err(spill_err)? else {
+                    let spill = self.spill.as_mut().expect("checked above");
+                    let (probe_run, _) = spill.probe_reader.take().expect("checked above");
+                    // A block-nested-loop partition re-scans its probe run
+                    // against each successive build block before moving on.
+                    if self.next_chunk(probe_run)? {
+                        continue;
+                    }
+                    break;
+                };
+                let row = Row::from_values(values);
+                let key = extract_key(&row, &self.probe_keys)
+                    .expect("spilled probe rows always carry non-NULL keys");
+                if let Some(matches) = self.table.get(&key) {
+                    for &build_idx in matches {
+                        let joined = row.join(&self.build_rows[build_idx]);
+                        if let Some(p) = &self.residual {
+                            if !p.eval_predicate(&joined)? {
+                                continue;
+                            }
+                        }
+                        out.push(joined);
+                    }
+                }
+                // Soft cap: one probe row's full match list may overshoot the
+                // batch size, which downstream operators tolerate.
+                if out.len() >= self.batch_size {
+                    break 'drive;
+                }
+            }
+            // Advance to the next partition pair (skipping ones that repartition).
+            loop {
+                let next = self
+                    .spill
+                    .as_mut()
+                    .expect("spill state outlives the probe loop")
+                    .pending
+                    .pop_front();
+                let Some((build_run, probe_run, depth)) = next else {
+                    self.build_rows.clear();
+                    self.table.clear();
+                    self.reservation.release_all();
+                    break 'drive;
+                };
+                if self.load_partition(build_run, probe_run, depth)? {
+                    break;
+                }
+            }
+        }
+        if out.is_empty() {
+            Ok(None)
+        } else {
+            self.progress.tick(&self.obs, out.len())?;
+            Ok(Some(Batch::Rows(out)))
+        }
     }
 
     /// Pull the next probe batch and precompute its keys. Returns `false` at EOF.
@@ -1606,6 +2148,9 @@ impl HashJoinOp<'_> {
 impl Operator for HashJoinOp<'_> {
     fn next_batch(&mut self) -> Result<Option<Batch>, ExecError> {
         self.build_table()?;
+        if self.spill.is_some() {
+            return self.next_batch_spilled();
+        }
         let mut out = Vec::new();
         'fill: loop {
             if self.probe_pos >= self.probe_batch.len() {
@@ -1659,7 +2204,9 @@ impl Operator for HashJoinOp<'_> {
         }
         // An empty completed build is still extractable: knowing a subtree produced
         // zero rows is exactly the kind of truth a re-optimizer wants to reuse.
-        if self.build_done {
+        // A spilled build is not: its rows live in NULL-key-stripped on-disk
+        // partitions, not in `build_rows` (its breaker event said `reusable: false`).
+        if self.build_done && self.spill.is_none() {
             self.table.clear();
             out.push(BreakerState {
                 kind: BreakerKind::HashBuild,
@@ -2073,6 +2620,141 @@ impl Operator for MergeJoinOp<'_> {
 
 /// Aggregation: drains its input into accumulator states (the buffered state is one
 /// entry per group), then emits result rows in batches.
+/// On-disk runs of a hash aggregation that exceeded its memory grant. Each run
+/// holds `group key ++ encoded accumulator states` records in ascending key order,
+/// so a k-way merge can combine partial states for the same group with
+/// [`Accumulator::merge`]. External emission is therefore in **sorted-key order**
+/// (the in-memory path emits first-seen order) — a divergence that only exists
+/// under a finite budget.
+struct AggSpill {
+    /// Owns the run files; removed when the aggregate drops.
+    dir: SpillDir,
+    runs: Vec<SpillRun>,
+}
+
+/// K-way, key-merging cursor over sorted aggregation runs.
+struct AggMerge {
+    /// One cursor per run (run kept alive beside its reader) plus the head record.
+    cursors: Vec<(SpillRun, SpillReader, Option<Vec<Value>>)>,
+    key_len: usize,
+    funcs: Vec<AggregateFunc>,
+    /// Keeps the run directory (and files) alive until emission finishes.
+    _dir: SpillDir,
+}
+
+/// One merged output group from [`AggMerge`]: the group key plus the merged
+/// accumulator state across every run that carried the key.
+type MergedGroup = (Vec<Value>, Vec<Accumulator>);
+
+impl AggMerge {
+    fn open(spill: AggSpill, key_len: usize, funcs: Vec<AggregateFunc>) -> Result<Self, ExecError> {
+        let mut cursors = Vec::with_capacity(spill.runs.len());
+        for run in spill.runs {
+            let mut reader = run.read().map_err(spill_err)?;
+            let head = reader.next_row().map_err(spill_err)?;
+            cursors.push((run, reader, head));
+        }
+        Ok(Self {
+            cursors,
+            key_len,
+            funcs,
+            _dir: spill.dir,
+        })
+    }
+
+    /// Pop the next group: the minimal key across all heads, with every run's
+    /// partial state for that key merged into one.
+    fn next_group(&mut self) -> Result<Option<MergedGroup>, ExecError> {
+        let mut min_key: Option<Vec<Value>> = None;
+        for (_, _, head) in &self.cursors {
+            let Some(head) = head else { continue };
+            let key = &head[..self.key_len];
+            if min_key.as_ref().map(|m| key < &m[..]).unwrap_or(true) {
+                min_key = Some(key.to_vec());
+            }
+        }
+        let Some(key) = min_key else {
+            return Ok(None);
+        };
+        let mut merged: Option<Vec<Accumulator>> = None;
+        for idx in 0..self.cursors.len() {
+            let matches = self.cursors[idx]
+                .2
+                .as_ref()
+                .map(|head| head[..self.key_len] == key[..])
+                .unwrap_or(false);
+            if !matches {
+                continue;
+            }
+            let cursor = &mut self.cursors[idx];
+            let head = cursor.2.take().expect("matched head");
+            cursor.2 = cursor.1.next_row().map_err(spill_err)?;
+            let state = decode_accumulators(&self.funcs, &head[self.key_len..])?;
+            match merged.as_mut() {
+                None => merged = Some(state),
+                Some(acc) => {
+                    for (current, partial) in acc.iter_mut().zip(state) {
+                        current.merge(partial);
+                    }
+                }
+            }
+        }
+        Ok(Some((key, merged.expect("at least one run matched the min key"))))
+    }
+}
+
+/// Seal the current group states as one key-sorted on-disk run, releasing the grant.
+fn flush_agg_run(
+    spill: &mut AggSpill,
+    groups: &mut HashMap<Vec<Value>, usize>,
+    states: &mut Vec<(Vec<Value>, Vec<Accumulator>)>,
+    stats: &OpStats,
+    reservation: &mut Reservation,
+) -> Result<(), ExecError> {
+    if states.is_empty() {
+        return Ok(());
+    }
+    let mut flushed = std::mem::take(states);
+    groups.clear();
+    flushed.sort_by(|a, b| a.0.cmp(&b.0));
+    let mut writer = SpillWriter::create(&spill.dir).map_err(spill_err)?;
+    let mut record = Vec::new();
+    for (key, accumulators) in flushed {
+        record.clear();
+        record.extend(key);
+        for accumulator in accumulators {
+            accumulator.spill_encode(&mut record);
+        }
+        writer.write_row(&record).map_err(spill_err)?;
+    }
+    let run = writer.finish().map_err(spill_err)?;
+    stats.record_spill_run(run.bytes());
+    spill.runs.push(run);
+    reservation.release_all();
+    Ok(())
+}
+
+/// Decode the accumulator states of one spilled aggregation record.
+fn decode_accumulators(
+    funcs: &[AggregateFunc],
+    values: &[Value],
+) -> Result<Vec<Accumulator>, ExecError> {
+    let mut cursor = values.iter().cloned();
+    let states = funcs
+        .iter()
+        .map(|&func| Accumulator::spill_decode(func, &mut cursor))
+        .collect::<Option<Vec<_>>>()
+        .ok_or_else(|| ExecError::Spill("truncated aggregate state record".into()))?;
+    Ok(states)
+}
+
+/// How the aggregate emits its groups: straight from memory (first-seen order) or
+/// merged from spilled runs (sorted-key order).
+enum AggEmit {
+    InMemory(std::vec::IntoIter<(Vec<Value>, Vec<Accumulator>)>),
+    External(AggMerge),
+}
+
 struct AggregateOp<'p> {
     /// Retained after draining so nested breaker states stay reachable.
     input: Option<Metered<'p>>,
@@ -2082,9 +2764,14 @@ struct AggregateOp<'p> {
     group_exprs: Vec<Expr>,
     agg_funcs: Vec<AggregateFunc>,
     agg_args: Vec<Option<Expr>>,
-    emit: Option<std::vec::IntoIter<(Vec<Value>, Vec<Accumulator>)>>,
+    emit: Option<AggEmit>,
     batch_size: usize,
     tracker: Rc<MemoryTracker>,
+    /// Byte grant for the group-state table; released as runs flush to disk.
+    reservation: Reservation,
+    /// Sealed on-disk runs; `None` while the states fit their grant (the default).
+    spill: Option<AggSpill>,
+    stats: Rc<OpStats>,
     obs: ObserverCtx<'p>,
 }
 
@@ -2098,7 +2785,8 @@ impl AggregateOp<'_> {
         };
 
         let result = if self.group_exprs.is_empty() {
-            // Single-group aggregation always produces exactly one row.
+            // Single-group aggregation always produces exactly one row; its state
+            // is a handful of accumulators, so it never spills.
             let mut accumulators: Vec<Accumulator> =
                 self.agg_funcs.iter().map(|&f| Accumulator::new(f)).collect();
             let agg_args = &self.agg_args;
@@ -2112,7 +2800,9 @@ impl AggregateOp<'_> {
             });
             if result.is_ok() {
                 self.tracker.acquire(1, 8);
-                self.emit = Some(vec![(Vec::new(), accumulators)].into_iter());
+                self.emit = Some(AggEmit::InMemory(
+                    vec![(Vec::new(), accumulators)].into_iter(),
+                ));
             }
             result
         } else {
@@ -2124,6 +2814,7 @@ impl AggregateOp<'_> {
                 let agg_funcs = &self.agg_funcs;
                 let agg_args = &self.agg_args;
                 let tracker = &self.tracker;
+                let groups = &mut groups;
                 let states = &mut states;
                 input.drain(|batch| {
                     for row in &batch {
@@ -2134,15 +2825,57 @@ impl AggregateOp<'_> {
                         let idx = match groups.get(&key) {
                             Some(&idx) => idx,
                             None => {
-                                let idx = states.len();
                                 let key_bytes: u64 =
                                     key.iter().map(|v| v.width() as u64).sum();
+                                if let Some(spill) = self.spill.as_mut() {
+                                    if !self.reservation.grow(key_bytes) {
+                                        flush_agg_run(
+                                            spill,
+                                            groups,
+                                            states,
+                                            &self.stats,
+                                            &mut self.reservation,
+                                        )?;
+                                        let _ = self.reservation.grow(key_bytes);
+                                    }
+                                } else if !self.reservation.grow(key_bytes) {
+                                    // Surface memory pressure before the spill
+                                    // commits (see HashJoinOp::build_table).
+                                    self.obs.notify(ExecEvent::MemoryPressure(
+                                        MemoryPressureEvent {
+                                            kind: BreakerKind::AggregateInput,
+                                            rel_set: self.input_meta.0,
+                                            estimated_rows: self.input_meta.1,
+                                            buffered_rows: states.len() as u64,
+                                            buffered_bytes: self.reservation.bytes(),
+                                            budget_bytes: self
+                                                .reservation
+                                                .governor()
+                                                .budget()
+                                                .unwrap_or(0),
+                                        },
+                                    ))?;
+                                    let spill = self.spill.insert(AggSpill {
+                                        dir: SpillDir::create().map_err(spill_err)?,
+                                        runs: Vec::new(),
+                                    });
+                                    flush_agg_run(
+                                        spill,
+                                        groups,
+                                        states,
+                                        &self.stats,
+                                        &mut self.reservation,
+                                    )?;
+                                    let _ = self.reservation.grow(key_bytes);
+                                } else {
+                                    tracker.acquire(1, key_bytes);
+                                }
+                                let idx = states.len();
                                 groups.insert(key.clone(), idx);
                                 states.push((
                                     key,
                                     agg_funcs.iter().map(|&f| Accumulator::new(f)).collect(),
                                 ));
-                                tracker.acquire(1, key_bytes);
                                 idx
                             }
                         };
@@ -2154,7 +2887,24 @@ impl AggregateOp<'_> {
                 })
             };
             if result.is_ok() {
-                self.emit = Some(states.into_iter());
+                match self.spill.as_mut() {
+                    None => self.emit = Some(AggEmit::InMemory(states.into_iter())),
+                    Some(spill) => {
+                        flush_agg_run(
+                            spill,
+                            &mut groups,
+                            &mut states,
+                            &self.stats,
+                            &mut self.reservation,
+                        )?;
+                        let spill = self.spill.take().expect("checked above");
+                        self.emit = Some(AggEmit::External(AggMerge::open(
+                            spill,
+                            self.group_exprs.len(),
+                            self.agg_funcs.clone(),
+                        )?));
+                    }
+                }
             }
             result
         };
@@ -2183,11 +2933,24 @@ impl Operator for AggregateOp<'_> {
         let Some(emit) = self.emit.as_mut() else {
             return Ok(None);
         };
-        let mut out = Vec::with_capacity(self.batch_size.min(emit.len()));
-        for (key, accumulators) in emit.by_ref().take(self.batch_size) {
-            let mut values = key;
-            values.extend(accumulators.into_iter().map(Accumulator::finish));
-            out.push(Row::from_values(values));
+        let mut out = Vec::new();
+        match emit {
+            AggEmit::InMemory(groups) => {
+                out.reserve(self.batch_size.min(groups.len()));
+                for (key, accumulators) in groups.by_ref().take(self.batch_size) {
+                    let mut values = key;
+                    values.extend(accumulators.into_iter().map(Accumulator::finish));
+                    out.push(Row::from_values(values));
+                }
+            }
+            AggEmit::External(merge) => {
+                while out.len() < self.batch_size {
+                    let Some((key, accumulators)) = merge.next_group()? else { break };
+                    let mut values = key;
+                    values.extend(accumulators.into_iter().map(Accumulator::finish));
+                    out.push(Row::from_values(values));
+                }
+            }
         }
         Ok(if out.is_empty() { None } else { Some(Batch::Rows(out)) })
     }
@@ -2200,7 +2963,102 @@ impl Operator for AggregateOp<'_> {
     }
 }
 
-/// Sort: drains and sorts its whole input (buffered), then emits batches.
+/// Compare two key tuples under per-key sort directions.
+fn compare_sort_keys(a: &[Value], b: &[Value], directions: &[bool]) -> std::cmp::Ordering {
+    for (idx, ascending) in directions.iter().enumerate() {
+        let ordering = a[idx].cmp(&b[idx]);
+        let ordering = if *ascending { ordering } else { ordering.reverse() };
+        if ordering != std::cmp::Ordering::Equal {
+            return ordering;
+        }
+    }
+    std::cmp::Ordering::Equal
+}
+
+/// Sort a keyed buffer in emission order (stable, direction-aware).
+fn sort_keyed(keyed: &mut [(Vec<Value>, Row)], directions: &[bool]) {
+    keyed.sort_by(|a, b| compare_sort_keys(&a.0, &b.0, directions));
+}
+
+/// On-disk runs of a sort that exceeded its memory grant. Each run holds
+/// `key values ++ row values` records in emission order; a k-way merge over the
+/// runs reproduces the exact output of the in-memory sort (stable, because rows
+/// are flushed to runs in input order and the merge breaks key ties by run index).
+struct SortSpill {
+    /// Owns the run files; removed when the sort drops, however execution ended.
+    dir: SpillDir,
+    runs: Vec<SpillRun>,
+}
+
+/// K-way merge cursor over sorted spill runs.
+struct SortMerge {
+    /// One cursor per run: the run kept alive beside its reader (dropping the run
+    /// deletes the file), plus the buffered head record.
+    cursors: Vec<(SpillRun, SpillReader, Option<Vec<Value>>)>,
+    key_len: usize,
+    directions: Vec<bool>,
+}
+
+impl SortMerge {
+    fn open(spill: SortSpill, key_len: usize, directions: Vec<bool>) -> Result<(Self, SpillDir), ExecError> {
+        let mut cursors = Vec::with_capacity(spill.runs.len());
+        for run in spill.runs {
+            let mut reader = run.read().map_err(spill_err)?;
+            let head = reader.next_row().map_err(spill_err)?;
+            cursors.push((run, reader, head));
+        }
+        Ok((
+            Self {
+                cursors,
+                key_len,
+                directions,
+            },
+            spill.dir,
+        ))
+    }
+
+    /// Pop the globally next row: the minimal head under the sort directions,
+    /// ties broken by run index (runs are filled in input order, so this keeps
+    /// the merge as stable as the in-memory sort).
+    fn next_row(&mut self) -> Result<Option<Row>, ExecError> {
+        let mut best: Option<usize> = None;
+        for idx in 0..self.cursors.len() {
+            if self.cursors[idx].2.is_none() {
+                continue;
+            }
+            best = match best {
+                None => Some(idx),
+                Some(current) => {
+                    let head = self.cursors[idx].2.as_deref().expect("checked above");
+                    let current_head =
+                        self.cursors[current].2.as_deref().expect("non-empty cursor");
+                    if compare_sort_keys(
+                        &head[..self.key_len],
+                        &current_head[..self.key_len],
+                        &self.directions,
+                    ) == std::cmp::Ordering::Less
+                    {
+                        Some(idx)
+                    } else {
+                        Some(current)
+                    }
+                }
+            };
+        }
+        let Some(winner) = best else {
+            return Ok(None);
+        };
+        let cursor = &mut self.cursors[winner];
+        let mut values = cursor.2.take().expect("winner has a head");
+        cursor.2 = cursor.1.next_row().map_err(spill_err)?;
+        let row_values = values.split_off(self.key_len);
+        Ok(Some(Row::from_values(row_values)))
+    }
+}
+
+/// Sort: drains and sorts its whole input (buffered), then emits batches. Under a
+/// finite memory budget the buffer flushes to sorted on-disk runs when its grant is
+/// denied, and emission becomes a k-way merge over the runs (external merge sort).
 struct SortOp<'p> {
     /// Retained after draining so nested breaker states stay reachable.
     input: Option<Metered<'p>>,
@@ -2212,6 +3070,14 @@ struct SortOp<'p> {
     pos: usize,
     batch_size: usize,
     tracker: Rc<MemoryTracker>,
+    /// Byte grant for the in-memory buffer; released as runs flush to disk.
+    reservation: Reservation,
+    /// Sealed on-disk runs; `None` while the buffer fits its grant (the default).
+    spill: Option<SortSpill>,
+    /// The k-way merge (and the run directory keeping files alive) once emission
+    /// starts in external mode.
+    merge: Option<(SortMerge, SpillDir)>,
+    stats: Rc<OpStats>,
     obs: ObserverCtx<'p>,
 }
 
@@ -2224,12 +3090,51 @@ impl SortOp<'_> {
             return Ok(());
         };
         let mut keyed: Vec<(Vec<Value>, Row)> = Vec::new();
+        let directions: Vec<bool> = self.keys.iter().map(|(_, asc)| *asc).collect();
         let result = {
             let keys = &self.keys;
-            let tracker = &self.tracker;
+            let keyed = &mut keyed;
+            let directions = &directions;
             input.drain(|batch| {
                 let bytes: u64 = batch.iter().map(|row| row.width() as u64).sum();
-                tracker.acquire(batch.len() as u64, bytes);
+                if let Some(spill) = self.spill.as_mut() {
+                    if !self.reservation.grow(bytes) {
+                        // Buffer refilled up to the budget: flush it as another run.
+                        // (The overshoot of one denied batch is bounded by batch size.)
+                        flush_sort_run(
+                            spill,
+                            keyed,
+                            directions,
+                            &self.stats,
+                            &mut self.reservation,
+                        )?;
+                    }
+                } else if self.reservation.grow(bytes) {
+                    self.tracker.acquire(batch.len() as u64, bytes);
+                    for row in batch {
+                        let mut key = Vec::with_capacity(keys.len());
+                        for (expr, _) in keys {
+                            key.push(expr.eval(&row)?);
+                        }
+                        keyed.push((key, row));
+                    }
+                    return Ok(());
+                } else {
+                    // Grant denied: surface memory pressure before the spill
+                    // commits, then switch to external merge sort.
+                    self.obs.notify(ExecEvent::MemoryPressure(MemoryPressureEvent {
+                        kind: BreakerKind::SortInput,
+                        rel_set: self.input_meta.0,
+                        estimated_rows: self.input_meta.1,
+                        buffered_rows: keyed.len() as u64,
+                        buffered_bytes: self.reservation.bytes(),
+                        budget_bytes: self.reservation.governor().budget().unwrap_or(0),
+                    }))?;
+                    self.spill = Some(SortSpill {
+                        dir: SpillDir::create().map_err(spill_err)?,
+                        runs: Vec::new(),
+                    });
+                }
                 for row in batch {
                     let mut key = Vec::with_capacity(keys.len());
                     for (expr, _) in keys {
@@ -2254,25 +3159,65 @@ impl SortOp<'_> {
             actual_rows: input_rows,
             reusable: false,
         })?;
-        let directions: Vec<bool> = self.keys.iter().map(|(_, asc)| *asc).collect();
-        keyed.sort_by(|a, b| {
-            for (idx, ascending) in directions.iter().enumerate() {
-                let ordering = a.0[idx].cmp(&b.0[idx]);
-                let ordering = if *ascending { ordering } else { ordering.reverse() };
-                if ordering != std::cmp::Ordering::Equal {
-                    return ordering;
-                }
+        match self.spill.take() {
+            None => {
+                sort_keyed(&mut keyed, &directions);
+                self.sorted = keyed.into_iter().map(|(_, row)| row).collect();
             }
-            std::cmp::Ordering::Equal
-        });
-        self.sorted = keyed.into_iter().map(|(_, row)| row).collect();
+            Some(mut spill) => {
+                // Flush the tail buffer as the final run, then open the merge.
+                flush_sort_run(
+                    &mut spill,
+                    &mut keyed,
+                    &directions,
+                    &self.stats,
+                    &mut self.reservation,
+                )?;
+                self.merge = Some(SortMerge::open(spill, self.keys.len(), directions)?);
+            }
+        }
         Ok(())
     }
+}
+
+/// Seal the current keyed buffer as one sorted on-disk run, releasing its grant.
+fn flush_sort_run(
+    spill: &mut SortSpill,
+    keyed: &mut Vec<(Vec<Value>, Row)>,
+    directions: &[bool],
+    stats: &OpStats,
+    reservation: &mut Reservation,
+) -> Result<(), ExecError> {
+    if keyed.is_empty() {
+        return Ok(());
+    }
+    sort_keyed(keyed, directions);
+    let mut writer = SpillWriter::create(&spill.dir).map_err(spill_err)?;
+    let mut record = Vec::new();
+    for (key, row) in keyed.drain(..) {
+        record.clear();
+        record.extend(key);
+        record.extend(row.values().iter().cloned());
+        writer.write_row(&record).map_err(spill_err)?;
+    }
+    let run = writer.finish().map_err(spill_err)?;
+    stats.record_spill_run(run.bytes());
+    spill.runs.push(run);
+    reservation.release_all();
+    Ok(())
 }
 
 impl Operator for SortOp<'_> {
     fn next_batch(&mut self) -> Result<Option<Batch>, ExecError> {
         self.buffer_and_sort()?;
+        if let Some((merge, _dir)) = self.merge.as_mut() {
+            let mut out = Vec::with_capacity(self.batch_size);
+            while out.len() < self.batch_size {
+                let Some(row) = merge.next_row()? else { break };
+                out.push(row);
+            }
+            return Ok(if out.is_empty() { None } else { Some(Batch::Rows(out)) });
+        }
         if self.pos >= self.sorted.len() {
             return Ok(None);
         }
@@ -2307,6 +3252,24 @@ fn drain_keyed(
         }
         Ok(())
     })
+}
+
+/// Map a spill-file I/O failure into the executor's error space.
+fn spill_err(err: std::io::Error) -> ExecError {
+    ExecError::Spill(err.to_string())
+}
+
+/// The grace-hash partition of a join key: deterministic (SipHash with fixed keys),
+/// salted by recursion depth so each repartitioning pass splits differently, and
+/// independent of the `RandomState`-seeded in-memory hash table.
+fn spill_partition(salt: u32, key: &[Value]) -> usize {
+    use std::hash::{Hash, Hasher};
+    let mut hasher = std::collections::hash_map::DefaultHasher::new();
+    salt.hash(&mut hasher);
+    for value in key {
+        value.hash(&mut hasher);
+    }
+    (hasher.finish() as usize) % SPILL_FANOUT
 }
 
 /// Extract a join key from a row; returns `None` when any key column is NULL (NULL never
@@ -2405,6 +3368,64 @@ impl Accumulator {
             }
             // Mismatched or empty partials carry nothing to merge.
             _ => {}
+        }
+    }
+
+    /// Append this accumulator's state to a spill record. Each function uses a
+    /// fixed number of values, so decoding needs no per-record framing:
+    /// MIN/MAX → `[value-or-NULL]` (unambiguous because `update` never stores a
+    /// NULL), COUNT → `[star, count]`, SUM → `[sum, any, is_float]`,
+    /// AVG → `[sum, count]`.
+    pub(crate) fn spill_encode(self, out: &mut Vec<Value>) {
+        match self {
+            Accumulator::Min(v) | Accumulator::Max(v) => out.push(v.unwrap_or(Value::Null)),
+            Accumulator::Count { star, count } => {
+                out.push(Value::Bool(star));
+                out.push(Value::Int(count as i64));
+            }
+            Accumulator::Sum { sum, any, is_float } => {
+                out.push(Value::Float(sum));
+                out.push(Value::Bool(any));
+                out.push(Value::Bool(is_float));
+            }
+            Accumulator::Avg { sum, count } => {
+                out.push(Value::Float(sum));
+                out.push(Value::Int(count as i64));
+            }
+        }
+    }
+
+    /// Rebuild an accumulator from the values [`Accumulator::spill_encode`] wrote.
+    /// Returns `None` when the record is truncated or mistyped (a corrupt run).
+    pub(crate) fn spill_decode(
+        func: AggregateFunc,
+        values: &mut impl Iterator<Item = Value>,
+    ) -> Option<Self> {
+        match func {
+            AggregateFunc::Min => {
+                let v = values.next()?;
+                Some(Accumulator::Min(if v.is_null() { None } else { Some(v) }))
+            }
+            AggregateFunc::Max => {
+                let v = values.next()?;
+                Some(Accumulator::Max(if v.is_null() { None } else { Some(v) }))
+            }
+            AggregateFunc::Count => {
+                let star = values.next()?.as_bool()?;
+                let count = values.next()?.as_int()? as u64;
+                Some(Accumulator::Count { star, count })
+            }
+            AggregateFunc::Sum => {
+                let sum = values.next()?.as_float()?;
+                let any = values.next()?.as_bool()?;
+                let is_float = values.next()?.as_bool()?;
+                Some(Accumulator::Sum { sum, any, is_float })
+            }
+            AggregateFunc::Avg => {
+                let sum = values.next()?.as_float()?;
+                let count = values.next()?.as_int()? as u64;
+                Some(Accumulator::Avg { sum, count })
+            }
         }
     }
 
@@ -3133,7 +4154,9 @@ mod tests {
             self.events.push(event.clone());
             match event {
                 ExecEvent::Progress(_) => self.on_progress,
-                ExecEvent::BreakerComplete(_) => ObserverDecision::Continue,
+                ExecEvent::BreakerComplete(_) | ExecEvent::MemoryPressure(_) => {
+                    ObserverDecision::Continue
+                }
             }
         }
     }
@@ -3221,7 +4244,7 @@ mod tests {
         // Only the one-shot outer-exhaustion report (and breaker completions) remain.
         assert!(events.iter().all(|e| match e {
             ExecEvent::Progress(p) => p.source == ProgressSource::OuterExhausted,
-            ExecEvent::BreakerComplete(_) => true,
+            ExecEvent::BreakerComplete(_) | ExecEvent::MemoryPressure(_) => true,
         }));
         assert!(events.iter().any(|e| matches!(e, ExecEvent::Progress(_))));
     }
@@ -3300,5 +4323,448 @@ mod tests {
                 .unwrap();
             assert_eq!(result.rows[0].value(0), &Value::Int(200), "batch {batch_size}");
         }
+    }
+
+    // -----------------------------------------------------------------------
+    // Out-of-core execution: memory governor + spill paths
+    // -----------------------------------------------------------------------
+
+    use reopt_storage::spill_file::live_spill_files;
+
+    /// Spill tests assert the process-global live spill-file counter, so they
+    /// serialize against each other (the rest of the battery never spills — the
+    /// default governor is unlimited).
+    fn spill_serial() -> std::sync::MutexGuard<'static, ()> {
+        static LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+        LOCK.lock().unwrap_or_else(|poisoned| poisoned.into_inner())
+    }
+
+    /// Plan with hash joins only, so every join build is a governed breaker sink.
+    fn hash_only_plan(
+        sql: &str,
+        storage: &Storage,
+        catalog: &Catalog,
+    ) -> reopt_planner::PlannedQuery {
+        let optimizer = Optimizer::new(reopt_planner::OptimizerConfig {
+            enable_index_scans: false,
+            enable_index_nl_joins: false,
+            enable_merge_joins: false,
+            ..Default::default()
+        });
+        let statement = parse_sql(sql).unwrap();
+        optimizer
+            .plan_select(
+                statement.query().unwrap(),
+                storage,
+                catalog,
+                &CardinalityOverrides::new(),
+            )
+            .unwrap()
+    }
+
+    /// Order-insensitive row rendering for multiset identity checks.
+    fn row_strings(rows: &[Row]) -> Vec<String> {
+        let mut out: Vec<String> = rows.iter().map(|r| format!("{:?}", r.values())).collect();
+        out.sort();
+        out
+    }
+
+    #[test]
+    fn grace_hash_join_matches_in_memory_and_cleans_up() {
+        let _guard = spill_serial();
+        let (storage, catalog) = build_env();
+        // Text output columns: dictionary-coded values must round-trip through the
+        // spill files.
+        let sql = "SELECT mk.movie_id, k.keyword FROM movie_keyword AS mk, keyword AS k
+                   WHERE mk.keyword_id = k.id";
+        let planned = hash_only_plan(sql, &storage, &catalog);
+        let reference = Executor::with_batch_size(&storage, 16)
+            .with_threads(1)
+            .execute(&planned.plan)
+            .unwrap();
+        assert_eq!(reference.metrics.root.total_spilled(), (0, 0));
+
+        // 64 bytes is far below the ~110-byte keyword build side, but above every
+        // grace-hash partition of it (1-2 rows each).
+        let governor = MemoryGovernor::new(Some(64));
+        let spilled = Executor::with_batch_size(&storage, 16)
+            .with_threads(1)
+            .with_governor(Arc::clone(&governor))
+            .execute(&planned.plan)
+            .unwrap();
+        assert_eq!(spilled.rows.len(), 200);
+        assert_eq!(
+            row_strings(&spilled.rows),
+            row_strings(&reference.rows),
+            "spilled run must be row-identical (as a multiset) to the in-memory run"
+        );
+        let (bytes, partitions) = spilled.metrics.root.total_spilled();
+        assert!(bytes > 0 && partitions > 0, "join must have spilled: {bytes}/{partitions}");
+        assert!(
+            spilled.metrics.root.render().contains("spilled:"),
+            "{}",
+            spilled.metrics.root.render()
+        );
+        assert!(governor.denials() >= 1);
+        assert_eq!(governor.reserved(), 0, "reservations released with the pipeline");
+        assert_eq!(live_spill_files(), 0, "spill files removed with the pipeline");
+    }
+
+    #[test]
+    fn spilled_join_skips_empty_partitions() {
+        let _guard = spill_serial();
+        let (storage, catalog) = build_env();
+        // Two distinct build keys across a fanout of 8: most partitions are empty
+        // and must be skipped without opening readers or losing rows.
+        let sql = "SELECT count(*) AS c FROM movie_keyword AS mk, keyword AS k
+                   WHERE mk.keyword_id = k.id AND k.id < 2";
+        let planned = hash_only_plan(sql, &storage, &catalog);
+        let governor = MemoryGovernor::new(Some(16));
+        let result = Executor::with_batch_size(&storage, 16)
+            .with_threads(1)
+            .with_governor(governor)
+            .execute(&planned.plan)
+            .unwrap();
+        assert_eq!(result.rows[0].value(0), &Value::Int(40));
+        assert!(result.metrics.root.total_spilled().0 > 0);
+        assert_eq!(live_spill_files(), 0);
+    }
+
+    #[test]
+    fn external_sort_is_identical_to_in_memory() {
+        let _guard = spill_serial();
+        let (storage, catalog) = build_env();
+        // A non-unique sort key: ties expose any stability divergence between the
+        // in-memory stable sort and the k-way run merge.
+        let sql = "SELECT t.title AS title, t.production_year AS year FROM title AS t
+                   ORDER BY year";
+        let planned = plan(sql, &storage, &catalog);
+        let reference = Executor::with_batch_size(&storage, 16)
+            .with_threads(1)
+            .execute(&planned.plan)
+            .unwrap();
+        let governor = MemoryGovernor::new(Some(600));
+        let spilled = Executor::with_batch_size(&storage, 16)
+            .with_threads(1)
+            .with_governor(Arc::clone(&governor))
+            .execute(&planned.plan)
+            .unwrap();
+        let render = |rows: &[Row]| -> Vec<String> {
+            rows.iter().map(|r| format!("{:?}", r.values())).collect()
+        };
+        assert_eq!(
+            render(&spilled.rows),
+            render(&reference.rows),
+            "external sort must reproduce the in-memory order exactly, ties included"
+        );
+        let (bytes, runs) = spilled.metrics.root.total_spilled();
+        assert!(bytes > 0 && runs >= 2, "expected multiple runs, got {bytes} bytes in {runs}");
+        assert!(governor.denials() >= 1);
+        assert_eq!(live_spill_files(), 0);
+    }
+
+    #[test]
+    fn external_aggregation_merges_partial_states() {
+        let _guard = spill_serial();
+        let (storage, catalog) = build_env();
+        // Every accumulator kind crosses the spill encoding; groups recur across
+        // runs (a flushed year reappears in later input), forcing state merges.
+        let sql = "SELECT t.production_year AS y, count(*) AS c, min(t.title) AS first,
+                          avg(t.id) AS mean
+                   FROM title AS t GROUP BY t.production_year";
+        let planned = plan(sql, &storage, &catalog);
+        let reference = Executor::with_batch_size(&storage, 16)
+            .with_threads(1)
+            .execute(&planned.plan)
+            .unwrap();
+        let governor = MemoryGovernor::new(Some(80));
+        let spilled = Executor::with_batch_size(&storage, 16)
+            .with_threads(1)
+            .with_governor(Arc::clone(&governor))
+            .execute(&planned.plan)
+            .unwrap();
+        assert_eq!(spilled.rows.len(), 30);
+        // External emission is in sorted-key order (in-memory is first-seen), so
+        // compare as multisets.
+        assert_eq!(row_strings(&spilled.rows), row_strings(&reference.rows));
+        let (bytes, runs) = spilled.metrics.root.total_spilled();
+        assert!(bytes > 0 && runs >= 2, "{bytes} bytes in {runs} runs");
+        assert_eq!(live_spill_files(), 0);
+    }
+
+    #[test]
+    fn memory_pressure_fires_before_spill_commits() {
+        let _guard = spill_serial();
+        let (storage, catalog) = build_env();
+        let planned = hash_only_plan(
+            "SELECT count(*) AS c FROM movie_keyword AS mk, keyword AS k
+             WHERE mk.keyword_id = k.id",
+            &storage,
+            &catalog,
+        );
+        let observer = RecordingObserver::new(ObserverDecision::Continue);
+        let governor = MemoryGovernor::new(Some(64));
+        let executor = Executor::with_batch_size(&storage, 16)
+            .with_threads(1)
+            .with_governor(governor);
+        let mut pipeline = executor
+            .open_observed(&planned.plan, Some(observer.clone() as ObserverHandle))
+            .unwrap();
+        let mut rows = 0;
+        while let Some(batch) = pipeline.next_batch().unwrap() {
+            rows += batch.len();
+        }
+        assert_eq!(rows, 1);
+        let events = &observer.borrow().events;
+        let pressure_at = events
+            .iter()
+            .position(|e| matches!(e, ExecEvent::MemoryPressure(_)))
+            .expect("a memory-pressure event");
+        let build_at = events
+            .iter()
+            .position(|e| {
+                matches!(e, ExecEvent::BreakerComplete(b) if b.kind == BreakerKind::HashBuild)
+            })
+            .expect("the build completion");
+        assert!(pressure_at < build_at, "pressure must precede the spilled build");
+        let ExecEvent::MemoryPressure(pressure) = &events[pressure_at] else {
+            unreachable!()
+        };
+        assert_eq!(pressure.kind, BreakerKind::HashBuild);
+        assert_eq!(pressure.budget_bytes, 64);
+        assert!(!events[pressure_at].is_exact(), "buffered counts are lower bounds");
+        let build = events
+            .iter()
+            .find_map(|e| match e {
+                ExecEvent::BreakerComplete(b) if b.kind == BreakerKind::HashBuild => Some(b),
+                _ => None,
+            })
+            .unwrap();
+        assert!(!build.reusable, "a spilled build is not a reusable materialization");
+        assert_eq!(build.actual_rows, 10);
+        drop(pipeline);
+        assert_eq!(live_spill_files(), 0);
+    }
+
+    /// Suspends the moment memory pressure is reported (the re-plan-instead-of-spill
+    /// policy shape).
+    struct SuspendOnPressure {
+        saw: Option<MemoryPressureEvent>,
+    }
+
+    impl ExecutionObserver for SuspendOnPressure {
+        fn on_event(&mut self, event: &ExecEvent) -> ObserverDecision {
+            if let ExecEvent::MemoryPressure(pressure) = event {
+                self.saw = Some(pressure.clone());
+                return ObserverDecision::Suspend;
+            }
+            ObserverDecision::Continue
+        }
+    }
+
+    #[test]
+    fn suspending_on_pressure_preempts_the_spill() {
+        let _guard = spill_serial();
+        let (storage, catalog) = build_env();
+        let planned = hash_only_plan(
+            "SELECT count(*) AS c FROM movie_keyword AS mk, keyword AS k
+             WHERE mk.keyword_id = k.id",
+            &storage,
+            &catalog,
+        );
+        let monitor = Rc::new(RefCell::new(SuspendOnPressure { saw: None }));
+        let governor = MemoryGovernor::new(Some(64));
+        let executor = Executor::with_batch_size(&storage, 16)
+            .with_threads(1)
+            .with_governor(governor);
+        let mut pipeline = executor
+            .open_observed(&planned.plan, Some(monitor.clone() as ObserverHandle))
+            .unwrap();
+        assert_eq!(pipeline.next_batch().unwrap_err(), ExecError::Suspended);
+        assert!(pipeline.is_suspended());
+        let pressure = monitor.borrow().saw.clone().expect("pressure was observed");
+        assert_eq!(pressure.kind, BreakerKind::HashBuild);
+        // The suspension preempted the spill: no file was ever written, and the
+        // re-optimizer takes over with every in-memory buffer intact.
+        assert_eq!(live_spill_files(), 0, "suspension must preempt the spill");
+        drop(pipeline);
+        assert_eq!(live_spill_files(), 0);
+    }
+
+    #[test]
+    fn single_key_partition_over_budget_errors_at_depth_cap() {
+        let _guard = spill_serial();
+        // Every row shares one join key: no amount of repartitioning can split the
+        // partition below the budget, so the join must fail honestly (not hang).
+        let mut storage = Storage::new();
+        let mut build = Table::new(
+            "skew_build",
+            Schema::new(vec![
+                Column::not_null("k", DataType::Int),
+                Column::new("pad", DataType::Int),
+            ]),
+        );
+        for i in 0..40i64 {
+            build
+                .push_row(Row::from_values(vec![Value::Int(1), Value::Int(i)]))
+                .unwrap();
+        }
+        let mut probe = Table::new(
+            "skew_probe",
+            Schema::new(vec![Column::not_null("k", DataType::Int)]),
+        );
+        for _ in 0..200 {
+            probe.push_row(Row::from_values(vec![Value::Int(1)])).unwrap();
+        }
+        storage.create_table(build).unwrap();
+        storage.create_table(probe).unwrap();
+        let mut catalog = Catalog::new();
+        catalog.analyze_all(&storage).unwrap();
+        let planned = hash_only_plan(
+            "SELECT count(*) AS c FROM skew_probe AS p, skew_build AS b WHERE p.k = b.k",
+            &storage,
+            &catalog,
+        );
+        let governor = MemoryGovernor::new(Some(64));
+        let err = Executor::with_batch_size(&storage, 16)
+            .with_threads(1)
+            .with_governor(governor)
+            .execute(&planned.plan)
+            .unwrap_err();
+        match err {
+            ExecError::Spill(detail) => {
+                assert!(detail.contains("recursion depth"), "{detail}")
+            }
+            other => panic!("expected a spill error, got {other:?}"),
+        }
+        assert_eq!(live_spill_files(), 0, "the error path still removes every file");
+    }
+
+    #[test]
+    fn unsplittable_partition_joins_via_block_nested_loop_under_contention() {
+        let _guard = spill_serial();
+        // Every build row shares one join key, so repartitioning cannot split the
+        // partition — but unlike the depth-cap error case above, the partition
+        // fits the *whole* budget: only the currently available grant is small,
+        // because another operator's reservation holds most of the budget. The
+        // join must fall back to block nested-loop (grant-sized build blocks,
+        // probe run re-scanned per block) and still produce every match.
+        let mut storage = Storage::new();
+        let mut build = Table::new(
+            "skew_build",
+            Schema::new(vec![
+                Column::not_null("k", DataType::Int),
+                Column::new("pad", DataType::Int),
+            ]),
+        );
+        for i in 0..40i64 {
+            build
+                .push_row(Row::from_values(vec![Value::Int(1), Value::Int(i)]))
+                .unwrap();
+        }
+        let mut probe = Table::new(
+            "skew_probe",
+            Schema::new(vec![Column::not_null("k", DataType::Int)]),
+        );
+        for _ in 0..200 {
+            probe.push_row(Row::from_values(vec![Value::Int(1)])).unwrap();
+        }
+        storage.create_table(build).unwrap();
+        storage.create_table(probe).unwrap();
+        let mut catalog = Catalog::new();
+        catalog.analyze_all(&storage).unwrap();
+        let planned = hash_only_plan(
+            "SELECT count(*) AS c FROM skew_probe AS p, skew_build AS b WHERE p.k = b.k",
+            &storage,
+            &catalog,
+        );
+        let governor = MemoryGovernor::new(Some(4096));
+        let mut contention = governor.reservation();
+        assert!(contention.grow(4000), "the contending reservation must fit");
+        let result = Executor::with_batch_size(&storage, 16)
+            .with_threads(1)
+            .with_governor(std::sync::Arc::clone(&governor))
+            .execute(&planned.plan)
+            .unwrap();
+        assert_eq!(
+            result.rows,
+            vec![Row::from_values(vec![Value::Int(8000)])],
+            "block nested-loop must emit every cross match (40 build x 200 probe)"
+        );
+        let (spilled_bytes, partitions) = result.metrics.root.total_spilled();
+        assert!(
+            spilled_bytes > 0 && partitions > 0,
+            "the unsplittable partition must have gone through the spill path"
+        );
+        drop(result);
+        drop(contention);
+        assert_eq!(live_spill_files(), 0, "chunked runs are removed once joined");
+    }
+
+    #[test]
+    fn limit_early_exit_cleans_up_half_drained_spill() {
+        let _guard = spill_serial();
+        let (storage, catalog) = build_env();
+        let governor = MemoryGovernor::new(Some(300));
+        // LIMIT stops pulling long before the k-way merge drains its runs.
+        let planned = plan(
+            "SELECT t.title AS title FROM title AS t ORDER BY title LIMIT 5",
+            &storage,
+            &catalog,
+        );
+        let result = Executor::with_batch_size(&storage, 4)
+            .with_threads(1)
+            .with_governor(Arc::clone(&governor))
+            .execute(&planned.plan)
+            .unwrap();
+        assert_eq!(result.rows.len(), 5);
+        assert_eq!(result.rows[0].value(0), &Value::from("movie 000"));
+        let (bytes, runs) = result.metrics.root.total_spilled();
+        assert!(bytes > 0 && runs >= 2, "{bytes} bytes in {runs} runs");
+        assert_eq!(live_spill_files(), 0, "abandoned runs die with the pipeline");
+        assert_eq!(governor.reserved(), 0);
+
+        // Dropping a pipeline mid-merge (runs still open) also cleans up.
+        let planned = plan(
+            "SELECT t.title AS title FROM title AS t ORDER BY title",
+            &storage,
+            &catalog,
+        );
+        let executor = Executor::with_batch_size(&storage, 4)
+            .with_threads(1)
+            .with_governor(Arc::clone(&governor));
+        let mut pipeline = executor.open(&planned.plan).unwrap();
+        let first = pipeline.next_batch().unwrap().expect("first sorted batch");
+        assert!(!first.is_empty());
+        assert!(live_spill_files() > 0, "the merge holds live runs mid-flight");
+        drop(pipeline);
+        assert_eq!(live_spill_files(), 0);
+        assert_eq!(governor.reserved(), 0);
+    }
+
+    #[test]
+    fn parallel_run_falls_back_to_the_spill_engine() {
+        let _guard = spill_serial();
+        let (storage, catalog) = build_env();
+        let planned = hash_only_plan(
+            "SELECT count(*) AS c FROM movie_keyword AS mk, keyword AS k
+             WHERE mk.keyword_id = k.id",
+            &storage,
+            &catalog,
+        );
+        let governor = MemoryGovernor::new(Some(64));
+        // The parallel build sink's grant is denied; the facade must restart the
+        // query on the single-threaded spill engine with the same rows out.
+        let result = Executor::with_batch_size(&storage, 16)
+            .with_threads(4)
+            .with_governor(Arc::clone(&governor))
+            .execute(&planned.plan)
+            .unwrap();
+        assert_eq!(result.rows[0].value(0), &Value::Int(200));
+        assert!(governor.denials() >= 1, "the parallel sink must have been denied");
+        let (bytes, _) = result.metrics.root.total_spilled();
+        assert!(bytes > 0, "the fallback run spilled");
+        assert_eq!(live_spill_files(), 0);
+        assert_eq!(governor.reserved(), 0, "both runs' reservations released");
     }
 }

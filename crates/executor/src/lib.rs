@@ -45,13 +45,15 @@ pub mod exec;
 pub mod metrics;
 pub mod parallel;
 pub mod pool;
+pub mod spill;
 
 pub use error::ExecError;
 pub use pool::{TaskHandle, WorkerPool, MAX_POOL_THREADS};
 pub use exec::{
     default_columnar, default_thread_count, execute_plan, BreakerEvent, BreakerKind, BreakerState,
-    ExecEvent, ExecutionObserver, ExecutionResult, Executor, ObserverDecision, ObserverHandle,
-    Pipeline, ProgressEvent, ProgressSource, RowBatch, DEFAULT_BATCH_SIZE, DEFAULT_PRIORITY,
-    DEFAULT_PROGRESS_INTERVAL,
+    ExecEvent, ExecutionObserver, ExecutionResult, Executor, MemoryPressureEvent, ObserverDecision,
+    ObserverHandle, Pipeline, ProgressEvent, ProgressSource, RowBatch, DEFAULT_BATCH_SIZE,
+    DEFAULT_PRIORITY, DEFAULT_PROGRESS_INTERVAL,
 };
 pub use metrics::{MetricsNode, OperatorMetrics, QueryMetrics};
+pub use spill::{MemoryGovernor, Reservation, MEM_BUDGET_ENV};

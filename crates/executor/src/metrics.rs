@@ -35,6 +35,12 @@ pub struct OperatorMetrics {
     /// vectorized kernel), or `"row"` (columnar execution off, or an index scan
     /// materializing rows by id). `None` for non-scan operators.
     pub encoding: Option<&'static str>,
+    /// Bytes this operator wrote to spill files (0 unless a memory budget forced
+    /// the breaker out of core).
+    pub spilled_bytes: u64,
+    /// Number of spill partitions / runs the operator wrote (0 when it stayed in
+    /// memory).
+    pub spill_partitions: u64,
 }
 
 impl OperatorMetrics {
@@ -133,6 +139,18 @@ impl MetricsNode {
         }
     }
 
+    /// Total `(spilled bytes, spill partitions)` across all operators — `(0, 0)`
+    /// unless a finite memory budget forced some breaker out of core.
+    pub fn total_spilled(&self) -> (u64, u64) {
+        let mut bytes = 0;
+        let mut partitions = 0;
+        self.walk(&mut |node| {
+            bytes += node.metrics.spilled_bytes;
+            partitions += node.metrics.spill_partitions;
+        });
+        (bytes, partitions)
+    }
+
     /// Total wall-clock time across all operators.
     pub fn total_elapsed(&self) -> Duration {
         let mut total = Duration::ZERO;
@@ -156,8 +174,19 @@ impl MetricsNode {
             .encoding
             .map(|e| format!(" encoding={e}"))
             .unwrap_or_default();
+        // Spill accounting renders only when the operator actually spilled, so
+        // in-memory runs (the default) are byte-identical to builds without the
+        // out-of-core subsystem.
+        let spilled = if self.metrics.spilled_bytes > 0 || self.metrics.spill_partitions > 0 {
+            format!(
+                " spilled: {} bytes in {} partitions",
+                self.metrics.spilled_bytes, self.metrics.spill_partitions
+            )
+        } else {
+            String::new()
+        };
         out.push_str(&format!(
-            "{indent}{arrow}{}  (estimated rows={:.0} actual rows={}{partial} batches={} q-error={:.2}{encoding} time={:.3}ms)\n",
+            "{indent}{arrow}{}  (estimated rows={:.0} actual rows={}{partial} batches={} q-error={:.2}{encoding}{spilled} time={:.3}ms)\n",
             self.metrics.label,
             self.metrics.estimated_rows,
             self.metrics.actual_rows,
@@ -195,6 +224,8 @@ mod tests {
             exhausted: true,
             elapsed: Duration::from_millis(1),
             encoding: None,
+            spilled_bytes: 0,
+            spill_partitions: 0,
         }
     }
 
@@ -208,6 +239,27 @@ mod tests {
         };
         let rendered = tree.render();
         assert!(rendered.contains("actual rows=5 partial"), "{rendered}");
+    }
+
+    #[test]
+    fn spill_accounting_renders_only_when_nonzero() {
+        let clean = MetricsNode {
+            metrics: metrics("Hash Join", &[0, 1], true, 10.0, 10),
+            children: vec![],
+        };
+        assert!(!clean.render().contains("spilled:"));
+        let mut m = metrics("Hash Join", &[0, 1], true, 10.0, 10);
+        m.spilled_bytes = 4096;
+        m.spill_partitions = 8;
+        let spilled = MetricsNode {
+            metrics: m,
+            children: vec![],
+        };
+        assert!(
+            spilled.render().contains("spilled: 4096 bytes in 8 partitions"),
+            "{}",
+            spilled.render()
+        );
     }
 
     #[test]

@@ -73,13 +73,14 @@ use crate::error::ExecError;
 use crate::exec::{
     bind as bind_exec, bind_opt as bind_exec_opt, extract_key, key_index as key_index_exec,
     resolve_index_row_ids, scan_encoding_label, Accumulator,
-    BreakerEvent, BreakerKind, BreakerState, ExecEvent, ObserverHandle, ProgressEvent,
-    ProgressSource, RowBatch,
+    BreakerEvent, BreakerKind, BreakerState, ExecEvent, MemoryPressureEvent, ObserverHandle,
+    ProgressEvent, ProgressSource, RowBatch,
 };
+use crate::spill::MemoryGovernor;
 use crate::metrics::{MetricsNode, OperatorMetrics, QueryMetrics};
 use crate::pool::{Gate, TaskHandle, WorkerPool};
 use reopt_expr::{filter_mask, Expr, MaskCache};
-use reopt_planner::{PhysicalPlan, PlanKind};
+use reopt_planner::{PhysicalPlan, PlanKind, RelSet};
 use reopt_sql::AggregateFunc;
 use reopt_storage::{DataType, Row, Schema, Storage, Table, Value};
 use std::collections::hash_map::RandomState;
@@ -166,6 +167,16 @@ struct Shared {
     buffered_bytes_current: AtomicU64,
     /// High-water mark of `buffered_bytes_current`.
     buffered_bytes_peak: AtomicU64,
+    /// The process-wide memory governor the run's breaker sinks reserve against.
+    governor: Arc<MemoryGovernor>,
+    /// Bytes this run currently holds from the governor (released when the run's
+    /// shared state drops, matching the single-threaded reservation lifetime).
+    reserved: AtomicU64,
+    /// A breaker sink's reservation was denied: the parallel engine has no spill
+    /// path of its own, so the run aborts with [`ExecError::Spill`] and the
+    /// pipeline facade restarts it on the single-threaded spill engine (unless
+    /// the observer chose to suspend on the memory-pressure event instead).
+    spill_needed: AtomicBool,
 }
 
 impl Shared {
@@ -186,6 +197,59 @@ impl Shared {
             *slot = Some(error);
         }
         self.quiesce.store(true, Ordering::SeqCst);
+    }
+
+    /// Try to reserve `bytes` of the run's memory budget. Unlimited budgets (the
+    /// default) return immediately without touching shared counters.
+    fn try_reserve(&self, bytes: u64) -> bool {
+        if self.governor.is_unlimited() {
+            return true;
+        }
+        if self.governor.try_reserve(bytes) {
+            self.reserved.fetch_add(bytes, Ordering::SeqCst);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// The memory-pressure event describing a denied reservation at `kind`.
+    fn pressure_event(&self, kind: BreakerKind, rel_set: RelSet, estimated_rows: f64) -> ExecEvent {
+        ExecEvent::MemoryPressure(MemoryPressureEvent {
+            kind,
+            rel_set,
+            estimated_rows,
+            buffered_rows: self.buffered_current.load(Ordering::SeqCst),
+            buffered_bytes: self.reserved.load(Ordering::SeqCst),
+            budget_bytes: self.governor.budget().unwrap_or(0),
+        })
+    }
+
+    /// Worker-side reservation: on denial, surface memory pressure to the observer
+    /// (via the event queue), mark the run as needing the spill engine, and return
+    /// the [`ExecError::Spill`] that aborts it. If the observer suspends on the
+    /// pressure event the coordinator resolves the abort as a suspension instead.
+    fn reserve_or_spill(
+        &self,
+        bytes: u64,
+        kind: BreakerKind,
+        rel_set: RelSet,
+        estimated_rows: f64,
+    ) -> Result<(), ExecError> {
+        if self.try_reserve(bytes) {
+            return Ok(());
+        }
+        if self.observer_active {
+            self.events
+                .lock()
+                .expect("event queue")
+                .push_back(self.pressure_event(kind, rel_set, estimated_rows));
+        }
+        self.spill_needed.store(true, Ordering::SeqCst);
+        Err(ExecError::Spill(
+            "memory budget exceeded in the parallel engine; restarting on the single-threaded spill engine"
+                .into(),
+        ))
     }
 
     /// Whether in-flight work should be abandoned mid-step (immediate suspension or
@@ -214,6 +278,16 @@ impl Shared {
             }
             std::thread::yield_now();
         }
+    }
+}
+
+impl Drop for Shared {
+    fn drop(&mut self) {
+        // The run's breaker buffers die with its shared state (chains, tables and
+        // partial sinks all hold an `Arc<Shared>`), so this is where the governor
+        // reservation is returned — mirroring the single-threaded engine, whose
+        // `Reservation` releases when the operator tree drops.
+        self.governor.release(*self.reserved.get_mut());
     }
 }
 
@@ -272,6 +346,10 @@ fn assemble_metrics(plan: &PhysicalPlan, stats: &StatsTree) -> MetricsNode {
             exhausted,
             elapsed: Duration::from_nanos(stats.stats.nanos.load(Ordering::SeqCst)),
             encoding: stats.stats.encoding.get().copied(),
+            // The parallel engine never spills: a denied reservation aborts the run
+            // and the facade restarts it on the single-threaded spill engine.
+            spilled_bytes: 0,
+            spill_partitions: 0,
         },
         children,
     }
@@ -653,6 +731,9 @@ struct AggSpec {
     group_exprs: Vec<Expr>,
     agg_funcs: Vec<AggregateFunc>,
     agg_args: Vec<Option<Expr>>,
+    /// The aggregate input's relation set and estimate (for memory-pressure events).
+    rel_set: RelSet,
+    estimated_rows: f64,
 }
 
 impl AggSpec {
@@ -667,6 +748,12 @@ impl AggSpec {
                 None => {
                     let idx = local.states.len();
                     let key_bytes: u64 = key.iter().map(|v| v.width() as u64).sum();
+                    shared.reserve_or_spill(
+                        key_bytes,
+                        BreakerKind::AggregateInput,
+                        self.rel_set,
+                        self.estimated_rows,
+                    )?;
                     local.groups.insert(key.clone(), idx);
                     local.states.push((
                         key,
@@ -805,6 +892,8 @@ impl<'p> Engine<'p> {
                         .iter()
                         .map(|a| bind_exec_opt(a.arg.as_ref(), input_schema))
                         .collect::<Result<Vec<_>, _>>()?,
+                    rel_set: child.rel_set,
+                    estimated_rows: child.estimated_rows,
                 });
                 let locals = self.run_pipeline_agg(child, child_stats, Arc::clone(&spec))?;
                 if self.stopped() {
@@ -841,6 +930,23 @@ impl<'p> Engine<'p> {
                 }
                 let sort_start = Instant::now();
                 let bytes: u64 = rows.iter().map(|row| row.width() as u64).sum();
+                // Coordinator-side reservation: deliver the pressure event inline so
+                // the observer can suspend before the run aborts to the spill engine.
+                if !self.shared.try_reserve(bytes) {
+                    self.deliver_event(self.shared.pressure_event(
+                        BreakerKind::SortInput,
+                        child.rel_set,
+                        child.estimated_rows,
+                    ));
+                    if self.stopped() {
+                        return Ok(Vec::new());
+                    }
+                    self.shared.spill_needed.store(true, Ordering::SeqCst);
+                    return Err(ExecError::Spill(
+                        "memory budget exceeded in the parallel engine; restarting on the single-threaded spill engine"
+                            .into(),
+                    ));
+                }
                 self.shared.acquire(rows.len() as u64, bytes);
                 self.deliver_event(ExecEvent::BreakerComplete(BreakerEvent {
                     kind: BreakerKind::SortInput,
@@ -878,6 +984,8 @@ impl<'p> Engine<'p> {
             keys,
             nparts: compiled.workers.max(1),
             shared: Arc::clone(&self.shared),
+            rel_set: plan.rel_set,
+            estimated_rows: plan.estimated_rows,
         };
         let worker_locals = self.execute_pipeline(&compiled, factory)?;
         if self.stopped() {
@@ -1528,6 +1636,9 @@ struct BuildSinkFactory {
     keys: Vec<usize>,
     nparts: usize,
     shared: Arc<Shared>,
+    /// The build subtree's relation set and estimate (for memory-pressure events).
+    rel_set: RelSet,
+    estimated_rows: f64,
 }
 
 impl SinkFactory for BuildSinkFactory {
@@ -1542,6 +1653,12 @@ impl SinkFactory for BuildSinkFactory {
 
     fn consume(&self, local: &mut BuildLocal, batch: RowBatch) -> Result<(), ExecError> {
         let bytes: u64 = batch.iter().map(|row| row.width() as u64).sum();
+        self.shared.reserve_or_spill(
+            bytes,
+            BreakerKind::HashBuild,
+            self.rel_set,
+            self.estimated_rows,
+        )?;
         self.shared.acquire(batch.len() as u64, bytes);
         for row in batch {
             match extract_key(&row, &self.keys) {
@@ -1843,6 +1960,7 @@ pub(crate) struct ParallelPipeline<'p> {
     progress_every: u64,
     columnar: bool,
     priority: u8,
+    governor: Arc<MemoryGovernor>,
     observer: Option<ObserverHandle<'p>>,
     stats: StatsTree,
     /// The per-run coordinator; lives for the whole pipeline (streaming roots keep
@@ -1866,6 +1984,7 @@ impl<'p> ParallelPipeline<'p> {
         progress_every: u64,
         columnar: bool,
         priority: u8,
+        governor: Arc<MemoryGovernor>,
         observer: Option<ObserverHandle<'p>>,
     ) -> Self {
         let stats = build_stats_tree(plan);
@@ -1877,6 +1996,7 @@ impl<'p> ParallelPipeline<'p> {
             progress_every,
             columnar,
             priority,
+            governor,
             observer,
             stats,
             engine: None,
@@ -1913,6 +2033,9 @@ impl<'p> ParallelPipeline<'p> {
                 buffered_peak: AtomicU64::new(0),
                 buffered_bytes_current: AtomicU64::new(0),
                 buffered_bytes_peak: AtomicU64::new(0),
+                governor: Arc::clone(&self.governor),
+                reserved: AtomicU64::new(0),
+                spill_needed: AtomicBool::new(false),
             }),
             stop: std::cell::Cell::new(None),
             completed_builds: Vec::new(),
@@ -1968,12 +2091,22 @@ impl<'p> ParallelPipeline<'p> {
         let engine = self.engine.as_mut().expect("engine");
         engine.pump_events();
         let stop = engine.stop.get();
+        // A spill abort whose memory-pressure event led the observer to suspend
+        // resolves as a suspension: the policy chose to re-plan instead of paying
+        // for disk, so completed builds stay extractable and no error surfaces.
+        let spill_suspended = stop.is_some() && matches!(result, Err(ExecError::Spill(_)));
         let states = match &result {
             Ok(_) => engine.breaker_states(),
+            Err(_) if spill_suspended => engine.breaker_states(),
             Err(_) => Vec::new(),
         };
         self.finalize_counters();
         match result {
+            Err(_) if spill_suspended => {
+                self.breaker_states = states;
+                self.state = RunState::Suspended;
+                Err(ExecError::Suspended)
+            }
             Err(error) => {
                 self.state = RunState::Poisoned;
                 Err(error)
@@ -2046,11 +2179,17 @@ impl<'p> ParallelPipeline<'p> {
     fn stream_next(&mut self) -> Result<Option<RowBatch>, ExecError> {
         loop {
             self.engine.as_ref().expect("engine").pump_events();
+            let stop_pending = self.engine.as_ref().expect("engine").stop.get().is_some();
             if let Some(error) = self.engine.as_ref().expect("engine").take_error() {
-                self.shed_stream();
-                self.state = RunState::Poisoned;
-                self.finalize_counters();
-                return Err(error);
+                // A spill abort is superseded by a suspension decision taken on its
+                // memory-pressure event: fall through to the stop-mode handling so
+                // the run suspends (with breaker states) instead of erroring.
+                if !(stop_pending && matches!(error, ExecError::Spill(_))) {
+                    self.shed_stream();
+                    self.state = RunState::Poisoned;
+                    self.finalize_counters();
+                    return Err(error);
+                }
             }
             match self.engine.as_ref().expect("engine").stop.get() {
                 Some(StopMode::Immediate) => {
@@ -2197,6 +2336,21 @@ impl<'p> ParallelPipeline<'p> {
 
     pub(crate) fn peak_buffered_bytes(&self) -> u64 {
         self.peak_buffered_bytes
+    }
+
+    /// The plan this pipeline executes (the facade restarts it on the
+    /// single-threaded spill engine after a memory-budget abort).
+    pub(crate) fn plan(&self) -> &'p PhysicalPlan {
+        self.plan
+    }
+
+    /// Whether the run aborted because a breaker sink's memory reservation was
+    /// denied — the signal for the facade to restart on the spill engine.
+    pub(crate) fn needs_spill_fallback(&self) -> bool {
+        self.engine
+            .as_ref()
+            .map(|engine| engine.shared.spill_needed.load(Ordering::SeqCst))
+            .unwrap_or(false)
     }
 }
 

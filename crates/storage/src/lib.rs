@@ -29,6 +29,7 @@ pub mod error;
 pub mod index;
 pub mod row;
 pub mod schema;
+pub mod spill_file;
 pub mod table;
 pub mod value;
 
@@ -38,6 +39,7 @@ pub use error::StorageError;
 pub use index::{BTreeIndex, HashIndex, Index, IndexKind};
 pub use row::{Row, RowId};
 pub use schema::{Column, Schema};
+pub use spill_file::{live_spill_files, SpillDir, SpillReader, SpillRun, SpillWriter};
 pub use table::Table;
 pub use value::{DataType, Value};
 

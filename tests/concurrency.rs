@@ -20,7 +20,7 @@ use reopt_repro::core::{
 };
 use reopt_repro::executor::{ExecEvent, QueryMetrics, WorkerPool};
 use reopt_repro::planner::{OptimizerConfig, QuerySpec, RelSet};
-use reopt_repro::storage::Row;
+use reopt_repro::storage::{live_spill_files, Row};
 use reopt_repro::workload::job::{job_queries, job_query, JobQuery};
 use reopt_repro::workload::{load_imdb, ImdbConfig};
 use std::collections::HashSet;
@@ -119,6 +119,67 @@ fn stress_battery_concurrent_sessions_match_single_threaded_reference() {
     assert!(
         WorkerPool::global().threads_spawned_total() > 0,
         "the battery must actually dispatch morsels to the resident pool"
+    );
+}
+
+#[test]
+fn constrained_budget_battery_spills_without_leaking_files() {
+    // The out-of-core leg of the battery: the same shared-database mix, but under
+    // a memory budget a quarter of the largest single-query footprint, so breaker
+    // sinks are denied grants and spill concurrently from every client. What must
+    // hold on top of the usual row identity: the process-wide spill-file counter
+    // returns to zero once all clients drain — the RAII guards must delete every
+    // run regardless of which worker or session owned it.
+    let mut db = shared_database();
+
+    db.set_threads(Some(1));
+    let mix: Vec<JobQuery> = query_mix().into_iter().take(4).collect();
+    let mut peak_bytes = 0u64;
+    let reference: Vec<Vec<Row>> = mix
+        .iter()
+        .map(|q| {
+            let out = db.execute(&q.sql).unwrap();
+            peak_bytes = peak_bytes.max(out.peak_buffered_bytes);
+            sorted(out.rows)
+        })
+        .collect();
+    db.set_threads(Some(2));
+    db.set_mem_budget(Some((peak_bytes / 4).max(1)));
+
+    let mix = Arc::new(mix);
+    let reference = Arc::new(reference);
+    let mut clients = Vec::new();
+    for client in 0..CLIENTS {
+        let mut session = db.connect();
+        let mix = Arc::clone(&mix);
+        let reference = Arc::clone(&reference);
+        clients.push(std::thread::spawn(move || {
+            for step in 0..mix.len() {
+                let idx = (client + step) % mix.len();
+                let query = &mix[idx];
+                let out = session
+                    .execute(&query.sql)
+                    .unwrap_or_else(|e| panic!("client {client} query {}: {e}", query.id));
+                assert_eq!(
+                    sorted(out.rows),
+                    reference[idx],
+                    "client {client} query {} diverged under the memory budget",
+                    query.id
+                );
+            }
+        }));
+    }
+    for client in clients {
+        client.join().expect("client thread panicked");
+    }
+    assert!(
+        db.governor().denials() > 0,
+        "a budget a quarter of the peak footprint must deny at least one grant"
+    );
+    assert_eq!(
+        live_spill_files(),
+        0,
+        "every spill file must be cleaned up once the battery drains"
     );
 }
 

@@ -5,7 +5,7 @@ use reopt_repro::core::{
     execute_with_reoptimization, q_error, Database, PerfectOracle, ReoptConfig, ReoptMode,
     ReoptRoundKind, ReoptTrigger, SelectiveConfig,
 };
-use reopt_repro::executor::{execute_plan, Executor};
+use reopt_repro::executor::{execute_plan, Executor, MemoryGovernor};
 use reopt_repro::planner::{CardinalityOverrides, Optimizer, OptimizerConfig, PlannedQuery};
 use reopt_repro::sql::parse_sql;
 use reopt_repro::workload::job::{job_queries, job_query, JobQuery};
@@ -516,4 +516,180 @@ fn explain_analyze_reports_estimates_and_actuals_for_job() {
     assert!(text.contains("actual rows="));
     assert!(text.contains("q-error="));
     assert!(text.contains("Execution Time"));
+}
+
+/// Serializes the tests below that assert on the process-global
+/// [`live_spill_files`] counter — concurrent spilling tests in the same binary
+/// would otherwise observe each other's in-flight files.
+static SPILL_SERIAL: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
+fn spill_serial() -> std::sync::MutexGuard<'static, ()> {
+    SPILL_SERIAL.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+#[test]
+fn large_job_families_spill_under_a_finite_budget_and_stay_row_identical() {
+    // Families 20 (14 tables) and 21 (17 tables) were the last hold-outs kept
+    // behind `REOPT_MAX_TABLES`-style caps: their build sides dwarf any fixed
+    // memory budget at scale. Under the governor the same greedy plans now run
+    // out of core — grace-hash partitioned builds and external sorts — and must
+    // return exactly the rows of the unlimited in-memory run.
+    let _serial = spill_serial();
+    let mut db = Database::new();
+    // Scale 0.01: hash-only plans pay the full join fan-out (no index shortcuts),
+    // and family 21's 17-table graph is super-linear in scale — 0.02 costs minutes
+    // here while 0.01 still builds multi-megabyte hash sides worth spilling.
+    load_imdb(&mut db, &ImdbConfig { scale: 0.01, seed: 9 }).unwrap();
+    // Hash joins only: the default greedy plans favour index-nested-loop joins at
+    // this scale, which buffer almost nothing — the out-of-core path needs real
+    // build sides to govern.
+    let plan_hash_greedy = |db: &Database, query: &JobQuery| {
+        let statement = parse_sql(&query.sql).unwrap();
+        let select = statement.query().unwrap().clone();
+        Optimizer::new(OptimizerConfig {
+            greedy_threshold: 8,
+            enable_index_scans: false,
+            enable_index_nl_joins: false,
+            enable_merge_joins: false,
+            ..Default::default()
+        })
+        .plan_select(&select, db.storage(), db.catalog(), &CardinalityOverrides::new())
+        .unwrap_or_else(|e| panic!("query {} failed to plan: {e}", query.id))
+    };
+    for id in ["20a", "21a"] {
+        let query = job_query(id).unwrap();
+        let planned = plan_hash_greedy(&db, &query);
+        let unlimited = execute_plan(&planned.plan, db.storage())
+            .unwrap_or_else(|e| panic!("query {id} failed unlimited: {e}"));
+        assert!(unlimited.peak_buffered_bytes > 0, "{id}: breakers must buffer");
+
+        // A budget below half the unlimited footprint cannot hold the largest
+        // build side in memory, so at least one breaker must go to disk.
+        let budget = unlimited.peak_buffered_bytes / 2;
+        let governor = std::sync::Arc::new(MemoryGovernor::new(Some(budget)));
+        let constrained = Executor::new(db.storage())
+            .with_governor(std::sync::Arc::clone(&governor))
+            .execute(&planned.plan)
+            .unwrap_or_else(|e| panic!("query {id} failed under budget {budget}: {e}"));
+        assert_eq!(
+            constrained.rows, unlimited.rows,
+            "{id}: out-of-core execution diverged from the in-memory run"
+        );
+        let (spilled_bytes, spill_partitions) = constrained.metrics.root.total_spilled();
+        assert!(
+            spilled_bytes > 0 && spill_partitions > 0,
+            "{id}: budget {budget} below peak {} must force a spill",
+            unlimited.peak_buffered_bytes
+        );
+        assert!(governor.denials() > 0, "{id}: the governor must deny a grant");
+        assert_eq!(
+            reopt_repro::storage::live_spill_files(),
+            0,
+            "{id}: every spill file must be deleted when the pipeline drops"
+        );
+    }
+}
+
+#[test]
+fn memory_pressure_replans_instead_of_spilling_on_a_skewed_job_query() {
+    // The tentpole's decision point: when a breaker's grant is denied, the
+    // governor surfaces `ExecEvent::MemoryPressure` through the observer *before*
+    // the spill commits. A mid-query policy can therefore suspend and re-plan the
+    // remainder with the buffered count as a lower bound — trading a re-planning
+    // round for the disk I/O a plain run pays. The threshold is set beyond reach
+    // so memory pressure is the *only* signal that can trigger a round.
+    let _serial = spill_serial();
+    let mut db = Database::with_config(OptimizerConfig {
+        enable_index_scans: false,
+        enable_index_nl_joins: false,
+        enable_merge_joins: false,
+        ..Default::default()
+    });
+    load_imdb(&mut db, &ImdbConfig { scale: 0.03, seed: 9 }).unwrap();
+    db.set_threads(Some(1));
+    let query = job_query("10a").unwrap();
+
+    // Unlimited reference: the rows every constrained run must reproduce, and
+    // the footprint the budget must undercut.
+    let unlimited = db.execute(&query.sql).unwrap();
+    assert!(unlimited.peak_buffered_bytes > 0);
+    let budget = unlimited.peak_buffered_bytes / 2;
+    db.set_mem_budget(Some(budget));
+    assert_eq!(db.mem_budget(), Some(budget));
+
+    // A plain (no-reopt) run under the budget pays for the whole spill.
+    let plain = db.execute(&query.sql).unwrap();
+    assert_eq!(plain.rows, unlimited.rows, "plain spilling run diverged");
+    let (plain_spilled, plain_partitions) =
+        plain.metrics.as_ref().unwrap().root.total_spilled();
+    assert!(
+        plain_spilled > 0 && plain_partitions > 0,
+        "budget {budget} below peak {} must force the plain run to spill",
+        unlimited.peak_buffered_bytes
+    );
+
+    // Same query, same budget, mid-query policy: the memory-pressure suspension
+    // re-plans the remainder instead, and the final rounds spill strictly less.
+    let config = ReoptConfig {
+        threshold: 1e9,
+        mode: ReoptMode::MidQuery,
+        feedback: false,
+        ..ReoptConfig::default()
+    };
+    let report = execute_with_reoptimization(&mut db, &query.sql, &config).unwrap();
+    assert_eq!(report.final_rows, unlimited.rows, "re-planned run diverged");
+    assert!(
+        report
+            .rounds
+            .iter()
+            .any(|round| round.trigger == ReoptTrigger::MemoryPressure),
+        "a round must be triggered by memory pressure, got: {}",
+        report.render()
+    );
+    assert!(
+        report.spilled_bytes < plain_spilled,
+        "re-planning must spill strictly less than the plain run ({} vs {plain_spilled})",
+        report.spilled_bytes
+    );
+    assert!(report.render().contains("memory-pressure"));
+    assert_eq!(
+        reopt_repro::storage::live_spill_files(),
+        0,
+        "every spill file must be deleted after the report completes"
+    );
+    db.set_mem_budget(None);
+}
+
+#[test]
+fn unlimited_budget_keeps_reports_spill_free_across_policies_and_threads() {
+    // The default (unlimited) governor must be invisible: no spill accounting in
+    // reports, no "spilled" line in the rendering, and rows identical to plain
+    // execution — at one thread and four, under every built-in policy.
+    let mut db = imdb_database();
+    let query = job_query("6a").unwrap();
+    for threads in [1usize, 4] {
+        db.set_threads(Some(threads));
+        let plain = db.execute(&query.sql).unwrap();
+        assert_eq!(
+            plain.metrics.as_ref().unwrap().root.total_spilled(),
+            (0, 0),
+            "threads {threads}: plain unlimited run must not spill"
+        );
+        for mode in [ReoptMode::Materialize, ReoptMode::InjectOnly, ReoptMode::MidQuery] {
+            let config = ReoptConfig {
+                threshold: 8.0,
+                mode,
+                feedback: false,
+                ..ReoptConfig::default()
+            };
+            let report = execute_with_reoptimization(&mut db, &query.sql, &config).unwrap();
+            assert_eq!(report.final_rows, plain.rows, "threads {threads} {mode:?}");
+            assert_eq!(report.spilled_bytes, 0, "threads {threads} {mode:?}");
+            assert_eq!(report.spill_partitions, 0, "threads {threads} {mode:?}");
+            assert!(
+                !report.render().contains("spilled"),
+                "threads {threads} {mode:?}: unlimited reports must render byte-identically"
+            );
+        }
+    }
 }

@@ -17,6 +17,11 @@
 //!
 //! `REOPT_SCALE` overrides the dataset scale (default 0.02, the perf_smoke
 //! scale).
+//!
+//! The constrained-memory pass re-runs the suite under a byte budget
+//! (`REOPT_JOB_MEM_BUDGET`, default 1 MiB): every query must stay row-identical
+//! to its unlimited reference while breaker sinks spill out of core, and every
+//! spill file must be gone when the battery drains.
 
 use reopt_repro::core::{
     execute_with_reoptimization, Database, ReoptConfig, ReoptMode, ReoptReport,
@@ -158,6 +163,100 @@ fn full_job_suite_runs_every_query_under_every_policy() {
     assert!(
         failures.is_empty(),
         "{} of 113 queries failed:\n{}",
+        failures.len(),
+        failures.join("\n")
+    );
+}
+
+#[test]
+#[ignore = "full-suite constrained-memory pass; nightly CI runs it with --release -- --ignored"]
+fn full_job_suite_is_row_identical_under_a_constrained_memory_budget() {
+    let scale = std::env::var("REOPT_SCALE")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0.02);
+    let budget: u64 = std::env::var("REOPT_JOB_MEM_BUDGET")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(1 << 20);
+    let mut db = Database::new();
+    load_imdb(&mut db, &ImdbConfig { scale, seed: 13 }).unwrap();
+    db.set_threads(Some(1));
+    db.set_columnar(Some(false));
+
+    let queries = job_queries();
+    let mut failures = Vec::new();
+    let mut spilled_queries = 0usize;
+    let mut spilled_bytes = 0u64;
+
+    for (done, query) in queries.iter().enumerate() {
+        let id = &query.id;
+        db.set_mem_budget(None);
+        let reference = match db.execute(&query.sql) {
+            Ok(output) => canonical(&output.rows),
+            Err(error) => {
+                failures.push(format!("{id}: unlimited reference failed: {error}"));
+                continue;
+            }
+        };
+
+        db.set_mem_budget(Some(budget));
+        match db.execute(&query.sql) {
+            Ok(output) => {
+                if canonical(&output.rows) != reference {
+                    failures.push(format!("{id}: plain run diverged under budget {budget}"));
+                }
+                let (bytes, _) = output
+                    .metrics
+                    .as_ref()
+                    .map(|m| m.root.total_spilled())
+                    .unwrap_or((0, 0));
+                if bytes > 0 {
+                    spilled_queries += 1;
+                    spilled_bytes += bytes;
+                }
+            }
+            Err(error) => failures.push(format!("{id}: plain run failed under budget: {error}")),
+        }
+
+        // The re-plan-instead-of-spill path at suite breadth: memory pressure may
+        // suspend and re-plan, and whatever still spills must not change rows.
+        let config = ReoptConfig {
+            threshold: 8.0,
+            mode: ReoptMode::MidQuery,
+            feedback: false,
+            ..ReoptConfig::default()
+        };
+        match execute_with_reoptimization(&mut db, &query.sql, &config) {
+            Ok(report) => {
+                if canonical(&report.final_rows) != reference {
+                    failures.push(format!("{id}: MidQuery diverged under budget {budget}"));
+                }
+            }
+            Err(error) => failures.push(format!("{id}: MidQuery failed under budget: {error}")),
+        }
+        if (done + 1) % 20 == 0 {
+            eprintln!("job_full(budget): {}/{} queries done", done + 1, queries.len());
+        }
+    }
+
+    let denials = db.governor().denials();
+    eprintln!(
+        "job_full(budget): scale {scale}, budget {budget} bytes: {spilled_queries} plain \
+         queries spilled {spilled_bytes} bytes total, {denials} denied grant(s)"
+    );
+    assert!(
+        denials > 0,
+        "a {budget}-byte budget across the whole suite must deny at least one grant"
+    );
+    assert_eq!(
+        reopt_repro::storage::live_spill_files(),
+        0,
+        "every spill file must be cleaned up once the suite drains"
+    );
+    assert!(
+        failures.is_empty(),
+        "{} runs failed under the memory budget:\n{}",
         failures.len(),
         failures.join("\n")
     );
