@@ -23,6 +23,13 @@
 //! ORDER BY (output order is not plan-defined there, and parallel morsel interleaving
 //! legitimately permutes it); ORDER BY queries are compared exactly.
 //!
+//! At `REOPT_THREADS>1` the smoke additionally asserts **zero single-engine
+//! fallbacks** (the parallel engine implements every plan shape the planner emits;
+//! a plan regressing onto the denylist fails the leg) and — in the resident-pool
+//! phase — that suspension-heavy mid-query rounds **start strictly fewer build
+//! pipelines than were planned** (lazy build scheduling skips the builds an
+//! abandoned plan never probed).
+//!
 //! `REOPT_MEM_BUDGET` adds the out-of-core dimension: with a finite byte budget the
 //! measured runs spill breaker state to disk (grace-hash partitioned builds,
 //! external sorts) while every reference run is pinned to an unlimited budget, so
@@ -131,6 +138,11 @@ fn main() {
         selected.len(),
         family_counts.len()
     );
+
+    // Every measured run below executes at the configured thread count; at
+    // threads > 1 not a single plan shape may silently degrade to the
+    // single-threaded engine (the denylist is empty — a fallback is a regression).
+    let fallbacks_before = reopt_executor::plan_fallbacks_total();
 
     let modes = [ReoptMode::Materialize, ReoptMode::InjectOnly, ReoptMode::MidQuery];
     let mut mode_time = [Duration::ZERO; 3];
@@ -393,10 +405,30 @@ fn main() {
         // morsel chains actually run. The spill fallback itself is gated by the
         // budgeted main phase above.
         harness.db.set_mem_budget(None);
+        // The whole phase — warm-up included — runs on hash-join-only plans: index-NL
+        // joins probe an index and register no build, so the typical JOB spine would
+        // carry zero or one build and the lazy-scheduling assertion below would have
+        // nothing to skip.
+        harness.db.set_optimizer_config(reopt_planner::OptimizerConfig {
+            enable_index_nl_joins: false,
+            enable_merge_joins: false,
+            ..reopt_planner::OptimizerConfig::default()
+        });
+        let config = ReoptConfig {
+            threshold: 8.0,
+            mode: ReoptMode::MidQuery,
+            feedback: false,
+            ..ReoptConfig::default()
+        };
         let pool = reopt_executor::WorkerPool::global();
         pool.ensure_available(threads);
-        for query in selected.iter().take(4) {
-            if let Err(error) = harness.db.execute(&query.sql) {
+        // Warm-up runs the measured workload once — same queries, same mid-query
+        // config — so the pool reaches this workload's steady-state concurrency
+        // (including suspension/re-plan transients and blocked-sender replacement
+        // spawns, which plain executions never trigger) before the zero-spawn
+        // window opens.
+        for query in selected.iter().take(8) {
+            if let Err(error) = execute_with_reoptimization(&mut harness.db, &query.sql, &config) {
                 eprintln!("perf_smoke: pool warm-up of {} failed: {error}", query.id);
                 failed = true;
             }
@@ -406,13 +438,13 @@ fn main() {
             eprintln!("perf_smoke: POOL REGRESSION: warm-up never reached the resident pool");
             failed = true;
         }
-        let config = ReoptConfig {
-            threshold: 8.0,
-            mode: ReoptMode::MidQuery,
-            feedback: false,
-            ..ReoptConfig::default()
-        };
         let mut suspension_rounds = 0usize;
+        // Lazy build scheduling: eager assembly would start every registered build
+        // before the first probe; suspension-heavy rounds abandon plans whose outer
+        // builds were never needed, so strictly fewer builds must start than were
+        // planned across the phase.
+        let lazy_planned_before = reopt_executor::lazy_builds_planned_total();
+        let lazy_started_before = reopt_executor::lazy_builds_started_total();
         for query in selected.iter().take(8) {
             match execute_with_reoptimization(&mut harness.db, &query.sql, &config) {
                 Ok(report) => suspension_rounds += report.rounds.len(),
@@ -425,6 +457,28 @@ fn main() {
                 }
             }
         }
+        let lazy_planned = reopt_executor::lazy_builds_planned_total() - lazy_planned_before;
+        let lazy_started = reopt_executor::lazy_builds_started_total() - lazy_started_before;
+        if lazy_started > lazy_planned {
+            eprintln!(
+                "perf_smoke: LAZY BUILD REGRESSION: {lazy_started} builds started but only \
+                 {lazy_planned} were planned"
+            );
+            failed = true;
+        }
+        if suspension_rounds > 0 && lazy_started >= lazy_planned {
+            eprintln!(
+                "perf_smoke: LAZY BUILD REGRESSION: {suspension_rounds} mid-query suspension \
+                 round(s) but every planned build started ({lazy_started} of {lazy_planned}) — \
+                 abandoned plans must skip the builds a re-plan discards"
+            );
+            failed = true;
+        }
+        println!(
+            "perf_smoke: lazy build scheduling started {lazy_started} of {lazy_planned} planned \
+             build(s) across {suspension_rounds} mid-query round(s)"
+        );
+        harness.db.set_optimizer_config(reopt_planner::OptimizerConfig::default());
         let spawned_after = pool.threads_spawned_total();
         if spawned_after != spawned_before {
             eprintln!(
@@ -467,6 +521,22 @@ fn main() {
         if live != 0 {
             eprintln!("perf_smoke: SPILL LEAK: {live} spill file(s) still live after the run");
             failed = true;
+        }
+    }
+
+    // --- Zero-fallback gate -----------------------------------------------------
+    // The parallel engine implements every plan shape the planner emits; any plan
+    // that regressed onto the denylist during the smoke is a silent single-core run.
+    if threads > 1 {
+        let fallbacks = reopt_executor::plan_fallbacks_total() - fallbacks_before;
+        if fallbacks > 0 {
+            eprintln!(
+                "perf_smoke: ENGINE FALLBACK REGRESSION: {fallbacks} plan(s) fell back to \
+                 the single-threaded engine at {threads} threads — the denylist must stay empty"
+            );
+            failed = true;
+        } else {
+            println!("perf_smoke: zero single-engine fallbacks at {threads} threads");
         }
     }
 

@@ -119,6 +119,14 @@ impl Database {
         }
     }
 
+    /// Replace the optimizer configuration (access-path and join-algorithm
+    /// toggles) at runtime. Harnesses use this to steer a phase onto a specific
+    /// plan family — e.g. disabling index-NL joins so every join carries a hash
+    /// build — without rebuilding the database.
+    pub fn set_optimizer_config(&mut self, config: OptimizerConfig) {
+        self.optimizer = Optimizer::new(config);
+    }
+
     /// Open a [`Session`]: a copy-on-write snapshot of this database sharing its
     /// admission semaphore and feedback cache. Each client thread gets its own
     /// session; their queries multiplex over the process-wide worker pool.
@@ -532,6 +540,9 @@ impl Database {
                 "Spilled: {spilled_bytes} bytes in {spill_partitions} partitions\n"
             ));
         }
+        // Which engine actually ran the query — a multi-threaded session that fell
+        // back to the single-threaded engine says so (and why) instead of hiding it.
+        text.push_str(&format!("Engine: {}\n", metrics.engine_label()));
         text.push_str(&format!(
             "Peak Buffered: {} rows ({} bytes)\nPlanning Time: {:.3} ms\nExecution Time: {:.3} ms\n",
             output.peak_buffered_rows,

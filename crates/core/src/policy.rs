@@ -651,6 +651,8 @@ mod tests {
                 children: vec![],
             },
             execution_time: std::time::Duration::ZERO,
+            engine: "single-thread",
+            fallback: None,
         };
         let spec_ctx = ctx(2);
         let spec = dummy_spec();

@@ -31,6 +31,7 @@
 //! semantics of the old materializing executor ("elapsed excluding children").
 
 use crate::error::ExecError;
+use crate::exact::ExactSum;
 use crate::metrics::{MetricsNode, OperatorMetrics, QueryMetrics};
 use crate::spill::{MemoryGovernor, Reservation};
 use reopt_expr::{filter_mask, Expr, MaskCache};
@@ -603,7 +604,19 @@ impl<'a> Executor<'a> {
     where
         'a: 'p,
     {
-        if self.threads > 1 && crate::parallel::plan_supported(plan) {
+        // A `threads > 1` session that lands on the single-threaded engine is an
+        // observable fallback: the reason rides along in the metrics and the
+        // process-wide counter feeds the perf_smoke zero-fallback assertion.
+        let shape_fallback = if self.threads > 1 {
+            let reason = crate::parallel::fallback_reason(plan);
+            if reason.is_some() {
+                crate::parallel::note_plan_fallback();
+            }
+            reason
+        } else {
+            None
+        };
+        if self.threads > 1 && shape_fallback.is_none() {
             // Keep everything needed to rebuild single-threaded: if a parallel
             // breaker sink hits the memory budget and the observer declines to
             // suspend, the run aborts (before any root batch is delivered — all
@@ -630,6 +643,7 @@ impl<'a> Executor<'a> {
                     observer,
                 ))),
                 fallback: Some(fallback),
+                fallback_note: None,
             });
         }
         Ok(Pipeline {
@@ -643,6 +657,7 @@ impl<'a> Executor<'a> {
                 observer,
             )?),
             fallback: None,
+            fallback_note: shape_fallback,
         })
     }
 
@@ -720,6 +735,10 @@ struct FallbackCtx<'p> {
 pub struct Pipeline<'p> {
     inner: PipelineImpl<'p>,
     fallback: Option<FallbackCtx<'p>>,
+    /// Why a `threads > 1` session is running single-threaded (unsupported plan
+    /// shape at open time, or a memory-budget restart mid-run); surfaced through
+    /// [`QueryMetrics::fallback`].
+    fallback_note: Option<&'static str>,
 }
 
 enum PipelineImpl<'p> {
@@ -763,6 +782,7 @@ impl Pipeline<'_> {
                             ctx.governor,
                             ctx.observer,
                         )?);
+                        self.fallback_note = Some("memory budget: restarted on the spill engine");
                         return self.next_batch();
                     }
                 }
@@ -795,10 +815,14 @@ impl Pipeline<'_> {
     /// For parallel runs, per-operator counters are aggregated across workers and
     /// `elapsed` is summed worker CPU time.
     pub fn metrics(&self) -> QueryMetrics {
-        match &self.inner {
+        let mut metrics = match &self.inner {
             PipelineImpl::Single(p) => p.metrics(),
             PipelineImpl::Parallel(p) => p.metrics(),
+        };
+        if metrics.fallback.is_none() {
+            metrics.fallback = self.fallback_note;
         }
+        metrics
     }
 
     /// Peak number of rows buffered by pipeline breakers so far.
@@ -887,6 +911,8 @@ impl SinglePipeline<'_> {
         QueryMetrics {
             root,
             execution_time,
+            engine: "single-thread",
+            fallback: None,
         }
     }
 
@@ -3292,8 +3318,8 @@ pub(crate) enum Accumulator {
     Min(Option<Value>),
     Max(Option<Value>),
     Count { star: bool, count: u64 },
-    Sum { sum: f64, any: bool, is_float: bool },
-    Avg { sum: f64, count: u64 },
+    Sum { sum: ExactSum, any: bool, is_float: bool },
+    Avg { sum: ExactSum, count: u64 },
 }
 
 impl Accumulator {
@@ -3306,18 +3332,23 @@ impl Accumulator {
                 count: 0,
             },
             AggregateFunc::Sum => Accumulator::Sum {
-                sum: 0.0,
+                sum: ExactSum::new(),
                 any: false,
                 is_float: false,
             },
-            AggregateFunc::Avg => Accumulator::Avg { sum: 0.0, count: 0 },
+            AggregateFunc::Avg => Accumulator::Avg {
+                sum: ExactSum::new(),
+                count: 0,
+            },
         }
     }
 
     /// Merge another partial state of the same aggregate into this one (the merge
-    /// step of parallel partial aggregation). Merging is exact for MIN/MAX/COUNT and
-    /// for SUM/AVG over integers (f64 addition below 2^53 is associative); the
-    /// parallel engine only runs SUM/AVG on integer columns for that reason.
+    /// step of parallel partial aggregation). Merging is exact for every function:
+    /// MIN/MAX/COUNT trivially so, SUM/AVG because [`ExactSum`] accumulates the
+    /// true fixed-point sum and rounds once at [`Accumulator::finish`] — which is
+    /// what makes float aggregates bit-identical across thread counts, merge
+    /// orders and repeated runs.
     pub(crate) fn merge(&mut self, other: Accumulator) {
         match (self, other) {
             (Accumulator::Min(current), Accumulator::Min(Some(v)))
@@ -3352,7 +3383,7 @@ impl Accumulator {
                     is_float: other_is_float,
                 },
             ) => {
-                *sum += other_sum;
+                sum.merge(&other_sum);
                 *any |= other_any;
                 *is_float |= other_is_float;
             }
@@ -3363,7 +3394,7 @@ impl Accumulator {
                     count: other_count,
                 },
             ) => {
-                *sum += other_sum;
+                sum.merge(&other_sum);
                 *count += other_count;
             }
             // Mismatched or empty partials carry nothing to merge.
@@ -3374,9 +3405,15 @@ impl Accumulator {
     /// Append this accumulator's state to a spill record. Each function uses a
     /// fixed number of values, so decoding needs no per-record framing:
     /// MIN/MAX → `[value-or-NULL]` (unambiguous because `update` never stores a
-    /// NULL), COUNT → `[star, count]`, SUM → `[sum, any, is_float]`,
-    /// AVG → `[sum, count]`.
+    /// NULL), COUNT → `[star, count]`, SUM → `[flags, limbs…, any, is_float]`,
+    /// AVG → `[flags, limbs…, count]` (the exact-sum state bit-cast to ints —
+    /// spilling must not round, or merge order would become observable again).
     pub(crate) fn spill_encode(self, out: &mut Vec<Value>) {
+        let encode_exact = |sum: &ExactSum, out: &mut Vec<Value>| {
+            let (flags, limbs) = sum.encode();
+            out.push(Value::Int(flags));
+            out.extend(limbs.iter().map(|&limb| Value::Int(limb)));
+        };
         match self {
             Accumulator::Min(v) | Accumulator::Max(v) => out.push(v.unwrap_or(Value::Null)),
             Accumulator::Count { star, count } => {
@@ -3384,12 +3421,12 @@ impl Accumulator {
                 out.push(Value::Int(count as i64));
             }
             Accumulator::Sum { sum, any, is_float } => {
-                out.push(Value::Float(sum));
+                encode_exact(&sum, out);
                 out.push(Value::Bool(any));
                 out.push(Value::Bool(is_float));
             }
             Accumulator::Avg { sum, count } => {
-                out.push(Value::Float(sum));
+                encode_exact(&sum, out);
                 out.push(Value::Int(count as i64));
             }
         }
@@ -3416,17 +3453,28 @@ impl Accumulator {
                 Some(Accumulator::Count { star, count })
             }
             AggregateFunc::Sum => {
-                let sum = values.next()?.as_float()?;
+                let sum = Self::decode_exact(values)?;
                 let any = values.next()?.as_bool()?;
                 let is_float = values.next()?.as_bool()?;
                 Some(Accumulator::Sum { sum, any, is_float })
             }
             AggregateFunc::Avg => {
-                let sum = values.next()?.as_float()?;
+                let sum = Self::decode_exact(values)?;
                 let count = values.next()?.as_int()? as u64;
                 Some(Accumulator::Avg { sum, count })
             }
         }
+    }
+
+    /// Decode the `[flags, limbs…]` prefix [`Accumulator::spill_encode`] writes
+    /// for SUM/AVG states.
+    fn decode_exact(values: &mut impl Iterator<Item = Value>) -> Option<ExactSum> {
+        let flags = values.next()?.as_int()?;
+        let mut limbs = Vec::with_capacity(ExactSum::ENCODED_LIMBS);
+        for _ in 0..ExactSum::ENCODED_LIMBS {
+            limbs.push(values.next()?.as_int()?);
+        }
+        ExactSum::decode(flags, limbs.into_iter())
     }
 
     pub(crate) fn update(&mut self, arg: Option<&Expr>, row: &Row) -> Result<(), ExecError> {
@@ -3464,7 +3512,7 @@ impl Accumulator {
             Accumulator::Sum { sum, any, is_float } => {
                 if let Some(v) = value {
                     if let Some(f) = v.as_float() {
-                        *sum += f;
+                        sum.add(f);
                         *any = true;
                         if matches!(v, Value::Float(_)) {
                             *is_float = true;
@@ -3475,7 +3523,7 @@ impl Accumulator {
             Accumulator::Avg { sum, count } => {
                 if let Some(v) = value {
                     if let Some(f) = v.as_float() {
-                        *sum += f;
+                        sum.add(f);
                         *count += 1;
                     }
                 }
@@ -3492,16 +3540,16 @@ impl Accumulator {
                 if !any {
                     Value::Null
                 } else if is_float {
-                    Value::Float(sum)
+                    Value::Float(sum.to_f64())
                 } else {
-                    Value::Int(sum as i64)
+                    Value::Int(sum.to_f64() as i64)
                 }
             }
             Accumulator::Avg { sum, count } => {
                 if count == 0 {
                     Value::Null
                 } else {
-                    Value::Float(sum / count as f64)
+                    Value::Float(sum.to_f64() / count as f64)
                 }
             }
         }

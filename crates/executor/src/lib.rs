@@ -41,6 +41,7 @@
 //! from `EXPLAIN ANALYZE` to drive re-optimization.
 
 pub mod error;
+pub mod exact;
 pub mod exec;
 pub mod metrics;
 pub mod parallel;
@@ -56,4 +57,8 @@ pub use exec::{
     DEFAULT_PRIORITY, DEFAULT_PROGRESS_INTERVAL,
 };
 pub use metrics::{MetricsNode, OperatorMetrics, QueryMetrics};
+pub use parallel::{
+    fallback_reason, lazy_builds_planned_total, lazy_builds_started_total, plan_fallbacks_total,
+    plan_supported,
+};
 pub use spill::{MemoryGovernor, Reservation, MEM_BUDGET_ENV};

@@ -207,6 +207,27 @@ pub struct QueryMetrics {
     pub root: MetricsNode,
     /// Total execution wall-clock time (sum over operators).
     pub execution_time: Duration,
+    /// Which engine produced the result: `"parallel"` (the morsel-driven engine,
+    /// `threads > 1`) or `"single-thread"` (the pull-based operator tree).
+    pub engine: &'static str,
+    /// Why a `threads > 1` session ran (or finished) on the single-threaded engine
+    /// anyway: an unsupported plan shape, or a mid-run memory-budget abort that
+    /// restarted the query on the spill-capable engine. `None` when the engine
+    /// matches the session configuration — a silent fallback is an operator-visible
+    /// regression, not business as usual.
+    pub fallback: Option<&'static str>,
+}
+
+impl QueryMetrics {
+    /// The `engine=...` suffix EXPLAIN ANALYZE and `ReoptReport` append to a run:
+    /// `"engine=parallel"`, or `"engine=single-thread (fallback: <reason>)"` when a
+    /// multi-threaded session degraded.
+    pub fn engine_label(&self) -> String {
+        match self.fallback {
+            Some(reason) => format!("engine={} (fallback: {reason})", self.engine),
+            None => format!("engine={}", self.engine),
+        }
+    }
 }
 
 #[cfg(test)]

@@ -25,10 +25,25 @@
 //!   consumes, instead of buffering the whole root result in the first pull;
 //! * **hash-join build sinks** partition rows by join-key hash into per-worker,
 //!   per-partition buffers; the merge step assembles one hash-table partition per
-//!   worker in parallel once every worker finished;
+//!   worker in parallel once every worker finished, ordering every bucket by the
+//!   build rows' `(morsel, sequence)` tags so probe fan-out order is run-identical
+//!   to the single-threaded build order;
 //! * **aggregation sinks** accumulate per-worker partial aggregation states, merged by
-//!   the coordinator at the breaker (merge order is irrelevant because only exact,
-//!   order-insensitive accumulators are admitted — see [`plan_supported`]).
+//!   the coordinator at the breaker. Accumulator merging is *exact* for every
+//!   aggregate — float SUM/AVG accumulate into a fixed-point superaccumulator
+//!   ([`crate::exact::ExactSum`]) and round once at emission — and groups are emitted
+//!   in first-seen `(morsel, sequence)` order, so results are bit-identical across
+//!   runs, thread counts and merge orders;
+//! * **merge-join inputs** run as their own pipelines into keyed sort sinks: each
+//!   worker sorts its retired run by `(key, morsel, sequence)`, the coordinator
+//!   k-way-merges the runs, and the joined output becomes a morselized
+//!   [`Source::MergeJoin`] whose left rows binary-search the sorted right side;
+//! * **nested-loop inners** are collected in morsel order and probed block-wise:
+//!   every outer morsel loops the shared buffered inner ([`StepKind::NlProbe`]);
+//! * **LIMIT roots** use a morsel-ordered exchange: workers tag batches with their
+//!   morsel index and the coordinator reassembles them in morsel order, quiescing
+//!   the query through the per-query quiesce flag the moment the limit is
+//!   satisfied — output is run-identical to the single-threaded engine.
 //!
 //! Pipelines whose source is smaller than two morsels run *inline* on the coordinator
 //! through the same chain/sink code, so tiny dimension-table builds never pay thread
@@ -63,11 +78,24 @@
 //! ran to completion, and buffered rows are tracked through one shared atomic
 //! high-water mark.
 //!
-//! Plans containing operators without a parallel implementation (plain nested-loop
-//! joins, merge joins, LIMIT — whose early-termination contract is inherently
-//! sequential — and SUM/AVG aggregates over non-integer inputs, where float addition
-//! order would make results run-dependent) fall back to the single-threaded engine;
-//! see [`plan_supported`].
+//! # Lazy build scheduling
+//!
+//! Pipelines form a dependency DAG: a probe pipeline depends on its hash-build and
+//! nested-loop-inner pipelines, which in turn depend on whatever breakers feed
+//! *them*. [`Engine::compile`] walks the probe spine collecting the chain steps and
+//! **registering** build pipelines without executing them; builds run only after the
+//! spine's own source is runnable, innermost-first, with a stop check between each —
+//! so a suspension decision taken on an inner breaker (the common mid-query
+//! re-optimization case) skips every outer build the re-plan is about to discard
+//! instead of paying for it eagerly. [`lazy_builds_planned_total`] /
+//! [`lazy_builds_started_total`] count registered vs actually-started builds
+//! process-wide.
+//!
+//! Every plan shape now has a parallel implementation; [`fallback_reason`] exists so
+//! a future regression (a new plan kind without parallel support) degrades to an
+//! *observable* single-threaded fallback — the reason is surfaced in
+//! `EXPLAIN ANALYZE` and counted in [`plan_fallbacks_total`] — rather than a silent
+//! one.
 
 use crate::error::ExecError;
 use crate::exec::{
@@ -82,7 +110,7 @@ use crate::pool::{Gate, TaskHandle, WorkerPool};
 use reopt_expr::{filter_mask, Expr, MaskCache};
 use reopt_planner::{PhysicalPlan, PlanKind, RelSet};
 use reopt_sql::AggregateFunc;
-use reopt_storage::{DataType, Row, Schema, Storage, Table, Value};
+use reopt_storage::{Row, Schema, Storage, Table, Value};
 use std::collections::hash_map::RandomState;
 use std::collections::{HashMap, VecDeque};
 use std::hash::BuildHasher;
@@ -95,39 +123,65 @@ use std::time::{Duration, Instant};
 /// run of this many batches of the pipeline's driving source.
 pub const MORSEL_BATCHES: usize = 4;
 
+/// Why a plan would fall back to the single-threaded engine, or `None` when the
+/// parallel engine implements every operator in it. Every current plan shape —
+/// including merge joins, plain nested-loop joins, LIMIT and float SUM/AVG — has a
+/// parallel implementation, so today this always returns `None`; it exists so that a
+/// future plan kind without parallel support degrades to an *observable* fallback
+/// (surfaced in `EXPLAIN ANALYZE` / `ReoptReport` and counted in
+/// [`plan_fallbacks_total`]) rather than a silent single-core run.
+pub fn fallback_reason(plan: &PhysicalPlan) -> Option<&'static str> {
+    // LIMIT is parallelized as a morsel-ordered root exchange; anywhere below the
+    // root the planner never places it, and the spine compiler has no step for it.
+    fn below_root(plan: &PhysicalPlan) -> Option<&'static str> {
+        if matches!(plan.kind, PlanKind::Limit { .. }) {
+            return Some("LIMIT below the plan root");
+        }
+        plan.children.iter().find_map(below_root)
+    }
+    plan.children.iter().find_map(below_root)
+}
+
 /// Whether the parallel engine implements every operator in the plan. Plans that fail
 /// this check execute on the single-threaded engine regardless of the configured
-/// thread count.
+/// thread count (see [`fallback_reason`] for the why).
 pub fn plan_supported(plan: &PhysicalPlan) -> bool {
-    let here = match &plan.kind {
-        // LIMIT's early-termination contract ("upstream operators never produce the
-        // rows beyond the limit") is inherently sequential; plain NL and merge joins
-        // have no partitioned implementation yet.
-        PlanKind::Limit { .. } | PlanKind::NestedLoopJoin { .. } | PlanKind::MergeJoin { .. } => {
-            false
-        }
-        PlanKind::Aggregate { aggregates, .. } => {
-            let input = &plan.children[0].schema;
-            aggregates.iter().all(|aggregate| match aggregate.func {
-                AggregateFunc::Min | AggregateFunc::Max | AggregateFunc::Count => true,
-                // Partial SUM/AVG states merge in worker order, which is only
-                // deterministic (and equal to the sequential result) when the inputs
-                // are integers: f64 addition over them is exact below 2^53. Anything
-                // float-valued falls back to the sequential engine.
-                AggregateFunc::Sum | AggregateFunc::Avg => match &aggregate.arg {
-                    Some(Expr::Column(reference)) => input
-                        .index_of(reference.qualifier.as_deref(), &reference.name)
-                        .ok()
-                        .and_then(|idx| input.column(idx))
-                        .map(|column| column.data_type() == DataType::Int)
-                        .unwrap_or(false),
-                    _ => false,
-                },
-            })
-        }
-        _ => true,
-    };
-    here && plan.children.iter().all(plan_supported)
+    fallback_reason(plan).is_none()
+}
+
+/// Plans that fell back to the single-threaded engine because of their *shape*
+/// (`fallback_reason` returned `Some`) despite `threads > 1`, process-wide.
+/// Memory-budget spill restarts are deliberately not counted — they are a resource
+/// decision, not a coverage gap.
+static PLAN_FALLBACKS: AtomicU64 = AtomicU64::new(0);
+
+/// Process-wide count of plan-shape fallbacks to the single-threaded engine at
+/// `threads > 1` (see [`fallback_reason`]). perf_smoke asserts this stays zero
+/// across the whole 56-query workload.
+pub fn plan_fallbacks_total() -> u64 {
+    PLAN_FALLBACKS.load(Ordering::SeqCst)
+}
+
+pub(crate) fn note_plan_fallback() {
+    PLAN_FALLBACKS.fetch_add(1, Ordering::SeqCst);
+}
+
+/// Build pipelines registered by the lazy scheduler (see the module docs).
+static BUILDS_PLANNED: AtomicU64 = AtomicU64::new(0);
+/// Build pipelines actually executed (`<= BUILDS_PLANNED`; the difference is builds
+/// skipped because the query suspended before they became runnable).
+static BUILDS_STARTED: AtomicU64 = AtomicU64::new(0);
+
+/// Process-wide count of build pipelines registered in compiled probe spines.
+pub fn lazy_builds_planned_total() -> u64 {
+    BUILDS_PLANNED.load(Ordering::SeqCst)
+}
+
+/// Process-wide count of build pipelines actually executed. Strictly less than
+/// [`lazy_builds_planned_total`] whenever suspensions skipped builds a re-plan
+/// discarded.
+pub fn lazy_builds_started_total() -> u64 {
+    BUILDS_STARTED.load(Ordering::SeqCst)
 }
 
 // ---------------------------------------------------------------------------
@@ -333,8 +387,14 @@ fn assemble_metrics(plan: &PhysicalPlan, stats: &StatsTree) -> MetricsNode {
         .zip(&stats.children)
         .map(|(p, s)| assemble_metrics(p, s))
         .collect();
-    let exhausted = stats.stats.exhausted.load(Ordering::SeqCst)
-        && children.iter().all(|child| child.metrics.exhausted);
+    let own = stats.stats.exhausted.load(Ordering::SeqCst);
+    // A satisfied LIMIT is a finished operator even though its (truncated-early)
+    // child is not — matching the single-threaded `LimitOp`, which stops pulling.
+    let exhausted = if matches!(plan.kind, PlanKind::Limit { .. }) {
+        own
+    } else {
+        own && children.iter().all(|child| child.metrics.exhausted)
+    };
     MetricsNode {
         metrics: OperatorMetrics {
             label: plan.label(),
@@ -359,8 +419,14 @@ fn assemble_metrics(plan: &PhysicalPlan, stats: &StatsTree) -> MetricsNode {
 // Shared hash table for parallel joins
 // ---------------------------------------------------------------------------
 
-/// Rows of one build partition buffer, pre-extracted join key first.
-type KeyedRows = Vec<(Vec<Value>, Row)>;
+/// Deterministic position of a row in the pipeline's output: `(morsel index,
+/// per-worker sequence)`. A morsel is processed in full by exactly one worker, whose
+/// sequence counter grows monotonically, so sorting by tag reproduces the global
+/// scan order regardless of which worker claimed which morsel.
+type Tag = (usize, u64);
+
+/// Rows of one build partition buffer: output tag, pre-extracted join key, row.
+type KeyedRows = Vec<(Tag, Vec<Value>, Row)>;
 
 /// One merged hash-table partition: join key → matching build rows.
 type PartitionMap = HashMap<Vec<Value>, Vec<Row>>;
@@ -402,13 +468,19 @@ impl JoinTable {
     }
 }
 
+/// The materialized payload of a completed parallel breaker.
+enum BuildPayload {
+    Hash(std::sync::Arc<JoinTable>),
+    Rows(std::sync::Arc<Vec<Row>>),
+}
+
 /// A completed parallel build retained (only for observed pipelines) so that
 /// suspension can surrender it as a [`BreakerState`].
 struct CompletedBuild {
     kind: BreakerKind,
     rel_set: reopt_planner::RelSet,
     schema: Schema,
-    table: std::sync::Arc<JoinTable>,
+    payload: BuildPayload,
 }
 
 // ---------------------------------------------------------------------------
@@ -442,6 +514,21 @@ enum Source {
     },
     /// A materialized upstream breaker output (aggregate/sort emission).
     Rows(Vec<Row>),
+    /// A merge join over two materialized, key-sorted inputs: morsels range over the
+    /// *left* rows; each left row binary-searches the right side for its equal-key
+    /// run and emits the (residual-filtered) cross product. Both sides are sorted by
+    /// `(key, morsel, sequence)` — a stable key sort in original scan order — so the
+    /// output order is run-identical to the single-threaded [`MergeJoinOp`]'s
+    /// stable-sorted merge.
+    ///
+    /// [`MergeJoinOp`]: crate::exec
+    MergeJoin {
+        left: Arc<Vec<(Vec<Value>, Row)>>,
+        right: Arc<Vec<(Vec<Value>, Row)>>,
+        residual: Option<Expr>,
+        /// The merge-join node's own stats (output rows/batches).
+        stats: Arc<ParStats>,
+    },
 }
 
 impl Source {
@@ -450,6 +537,7 @@ impl Source {
             Source::Table { table, .. } => table.row_count(),
             Source::TableIds { ids, .. } => ids.len(),
             Source::Rows(rows) => rows.len(),
+            Source::MergeJoin { left, .. } => left.len(),
         }
     }
 
@@ -510,9 +598,34 @@ impl Source {
                 out
             }
             Source::Rows(rows) => rows[range].to_vec(),
+            Source::MergeJoin {
+                left,
+                right,
+                residual,
+                ..
+            } => {
+                let mut out = Vec::new();
+                for (key, left_row) in &left[range] {
+                    // The equal-key run on the (sorted) right side.
+                    let lo = right.partition_point(|entry| entry.0.as_slice() < key.as_slice());
+                    let hi = right.partition_point(|entry| entry.0.as_slice() <= key.as_slice());
+                    for (_, right_row) in &right[lo..hi] {
+                        let joined = left_row.join(right_row);
+                        if let Some(p) = residual {
+                            if !p.eval_predicate(&joined)? {
+                                continue;
+                            }
+                        }
+                        out.push(joined);
+                    }
+                }
+                out
+            }
         };
         match self {
-            Source::Table { stats, .. } | Source::TableIds { stats, .. } => {
+            Source::Table { stats, .. }
+            | Source::TableIds { stats, .. }
+            | Source::MergeJoin { stats, .. } => {
                 stats.record(out.len(), start.elapsed());
             }
             Source::Rows(_) => {}
@@ -522,7 +635,9 @@ impl Source {
 
     fn mark_exhausted(&self) {
         match self {
-            Source::Table { stats, .. } | Source::TableIds { stats, .. } => {
+            Source::Table { stats, .. }
+            | Source::TableIds { stats, .. }
+            | Source::MergeJoin { stats, .. } => {
                 stats.exhausted.store(true, Ordering::SeqCst);
             }
             Source::Rows(_) => {}
@@ -559,6 +674,13 @@ enum StepKind {
         outer_key: usize,
         inner_predicate: Option<Expr>,
         residual: Option<Expr>,
+    },
+    /// Plain nested-loop probe: every outer row of the morsel loops the shared
+    /// buffered inner side (block-partitioned outer, exactly the single-threaded
+    /// operator's pairing order per outer row).
+    NlProbe {
+        inner: Arc<Vec<Row>>,
+        predicate: Option<Expr>,
     },
 }
 
@@ -673,6 +795,24 @@ impl Step {
                 }
                 out
             }
+            StepKind::NlProbe { inner, predicate } => {
+                let mut out = Vec::new();
+                for outer_row in &batch {
+                    if shared.drop_inflight() {
+                        break;
+                    }
+                    for inner_row in inner.iter() {
+                        let joined = outer_row.join(inner_row);
+                        if let Some(p) = predicate {
+                            if !p.eval_predicate(&joined)? {
+                                continue;
+                            }
+                        }
+                        out.push(joined);
+                    }
+                }
+                out
+            }
         };
         let elapsed = start.elapsed();
         self.stats
@@ -714,16 +854,21 @@ impl Step {
 // Pipeline sinks
 // ---------------------------------------------------------------------------
 
-/// Per-worker partial state of a hash-join build sink: rows partitioned by key hash.
+/// Per-worker partial state of a hash-join build sink: rows partitioned by key hash,
+/// tagged with their `(morsel, sequence)` position so the merge step can order every
+/// bucket identically to the single-threaded build.
 struct BuildLocal {
     parts: Vec<KeyedRows>,
-    unkeyed: Vec<Row>,
+    unkeyed: Vec<(Tag, Row)>,
+    seq: u64,
 }
 
-/// Per-worker partial aggregation state (group key -> accumulators, first-seen order).
+/// Per-worker partial aggregation state (group key -> accumulators, tagged with the
+/// first-seen `(morsel, sequence)` position for deterministic emission order).
 struct AggLocal {
     groups: HashMap<Vec<Value>, usize>,
-    states: Vec<(Vec<Value>, Vec<Accumulator>)>,
+    states: Vec<(Vec<Value>, Vec<Accumulator>, Tag)>,
+    seq: u64,
 }
 
 /// The aggregate computation of one pipeline sink (shared by workers by reference).
@@ -737,7 +882,13 @@ struct AggSpec {
 }
 
 impl AggSpec {
-    fn consume(&self, local: &mut AggLocal, batch: &[Row], shared: &Shared) -> Result<(), ExecError> {
+    fn consume(
+        &self,
+        local: &mut AggLocal,
+        morsel: usize,
+        batch: &[Row],
+        shared: &Shared,
+    ) -> Result<(), ExecError> {
         for row in batch {
             let mut key = Vec::with_capacity(self.group_exprs.len());
             for expr in &self.group_exprs {
@@ -755,9 +906,12 @@ impl AggSpec {
                         self.estimated_rows,
                     )?;
                     local.groups.insert(key.clone(), idx);
+                    let tag = (morsel, local.seq);
+                    local.seq += 1;
                     local.states.push((
                         key,
                         self.agg_funcs.iter().map(|&f| Accumulator::new(f)).collect(),
+                        tag,
                     ));
                     shared.acquire(1, key_bytes);
                     idx
@@ -788,6 +942,10 @@ struct Engine<'p> {
     shared: Arc<Shared>,
     stop: std::cell::Cell<Option<StopMode>>,
     completed_builds: Vec<CompletedBuild>,
+    /// Per-run lazy-build counters (the process-wide analogues are
+    /// [`lazy_builds_planned_total`] / [`lazy_builds_started_total`]).
+    builds_planned: std::cell::Cell<u64>,
+    builds_started: std::cell::Cell<u64>,
     /// The resident pool this query's chain jobs run on.
     pool: &'static WorkerPool,
     /// This query's task registration: all jobs submit through it, so the pool's
@@ -1011,7 +1169,7 @@ impl<'p> Engine<'p> {
                 kind: BreakerKind::HashBuild,
                 rel_set: plan.rel_set,
                 schema: plan.schema.clone(),
-                table: Arc::clone(&table),
+                payload: BuildPayload::Hash(Arc::clone(&table)),
             });
         }
         self.deliver_event(ExecEvent::BreakerComplete(BreakerEvent {
@@ -1024,10 +1182,266 @@ impl<'p> Engine<'p> {
         Ok(table)
     }
 
-    /// Compile the streaming segment rooted at `plan` down to its driving source,
-    /// executing hash-join builds (and materializing aggregate/sort outputs) along the
-    /// way. Returns the compiled pipeline and the worker count to run it with.
-    fn compile(&mut self, plan: &'p PhysicalPlan, stats: &StatsTree) -> Result<Compiled, ExecError> {
+    /// Buffer a plain nested-loop join's inner side: a pipeline collected in
+    /// `(morsel, sequence)` order (the global scan order), shared read-only by every
+    /// probe worker — exactly the single-threaded operator's buffered inner.
+    fn eval_nl_inner(
+        &mut self,
+        plan: &'p PhysicalPlan,
+        stats: &StatsTree,
+    ) -> Result<Arc<Vec<Row>>, ExecError> {
+        let compiled = Arc::new(self.compile(plan, stats)?);
+        let rows = self.collect_compiled(&compiled)?;
+        if self.stopped() {
+            return Ok(Arc::new(rows));
+        }
+        let bytes: u64 = rows.iter().map(|row| row.width() as u64).sum();
+        self.shared.acquire(rows.len() as u64, bytes);
+        let rows = Arc::new(rows);
+        if self.shared.observer_active {
+            self.completed_builds.push(CompletedBuild {
+                kind: BreakerKind::NestedLoopInner,
+                rel_set: plan.rel_set,
+                schema: plan.schema.clone(),
+                payload: BuildPayload::Rows(Arc::clone(&rows)),
+            });
+        }
+        self.deliver_event(ExecEvent::BreakerComplete(BreakerEvent {
+            kind: BreakerKind::NestedLoopInner,
+            rel_set: plan.rel_set,
+            estimated_rows: plan.estimated_rows,
+            actual_rows: rows.len() as u64,
+            reusable: true,
+        }));
+        Ok(rows)
+    }
+
+    /// Run one merge-join input as a pipeline into per-worker keyed sort sinks and
+    /// k-way-merge the retired runs: the result is sorted by `(key, morsel,
+    /// sequence)`, identical to the single-threaded operator's stable key sort over
+    /// the input's scan order. Fires the input's [`BreakerKind::MergeInput`] event
+    /// with the metered child row count (NULL-key rows are dropped while buffering,
+    /// so the buffered count undercounts), mirroring `MergeJoinOp`.
+    fn eval_merge_input(
+        &mut self,
+        plan: &'p PhysicalPlan,
+        stats: &StatsTree,
+        keys: Vec<usize>,
+    ) -> Result<Vec<(Vec<Value>, Row)>, ExecError> {
+        let compiled = Arc::new(self.compile(plan, stats)?);
+        let factory = MergeSinkFactory {
+            keys,
+            shared: Arc::clone(&self.shared),
+        };
+        let locals = self.execute_pipeline(&compiled, factory)?;
+        if self.stopped() {
+            return Ok(Vec::new());
+        }
+        let merged = kway_merge(locals.into_iter().map(|local| local.entries).collect());
+        self.deliver_event(ExecEvent::BreakerComplete(BreakerEvent {
+            kind: BreakerKind::MergeInput,
+            rel_set: plan.rel_set,
+            estimated_rows: plan.estimated_rows,
+            actual_rows: stats.stats.rows.load(Ordering::SeqCst),
+            reusable: false,
+        }));
+        Ok(merged)
+    }
+
+    /// Execute a LIMIT-rooted plan. The child pipeline runs through a morsel-ordered
+    /// exchange: workers tag every batch with its morsel index and send a done marker
+    /// per fully-processed morsel; the coordinator reassembles batches in morsel
+    /// order (batches within one morsel arrive in order — one morsel is processed by
+    /// exactly one worker and the channel preserves per-sender order) and sets the
+    /// query's quiesce flag the moment the limit is satisfied, so all workers retire
+    /// at their next batch boundary. Output is run-identical to the single-threaded
+    /// engine, which truncates the same scan-ordered stream.
+    fn eval_limit(
+        &mut self,
+        plan: &'p PhysicalPlan,
+        stats: &StatsTree,
+        count: usize,
+    ) -> Result<Vec<Row>, ExecError> {
+        let child = &plan.children[0];
+        let child_stats = &stats.children[0];
+        let start = Instant::now();
+        // LIMIT over a breaker root (aggregate / sort) truncates the materialized
+        // output directly — the breaker drains its input completely either way.
+        if matches!(child.kind, PlanKind::Aggregate { .. } | PlanKind::Sort { .. }) {
+            let mut rows = self.eval_rows(child, child_stats)?;
+            if self.stopped() {
+                return Ok(Vec::new());
+            }
+            rows.truncate(count);
+            self.record_limit(stats, &rows, start);
+            return Ok(rows);
+        }
+        let compiled = Arc::new(self.compile(child, child_stats)?);
+        if self.stopped() {
+            return Ok(Vec::new());
+        }
+        let mut out: Vec<Row> = Vec::new();
+        if compiled.workers <= 1 {
+            // Inline: morsels are claimed in order by construction; stop claiming
+            // the moment the limit is satisfied.
+            let cursor = AtomicUsize::new(0);
+            let shared = Arc::clone(&self.shared);
+            let out_ref = &mut out;
+            let result = worker_loop(
+                &compiled,
+                &self.shared,
+                &cursor,
+                &mut |_, batch| {
+                    if let Some(batch) = batch {
+                        for row in batch {
+                            if out_ref.len() >= count {
+                                break;
+                            }
+                            out_ref.push(row);
+                        }
+                        if out_ref.len() >= count {
+                            shared.quiesce.store(true, Ordering::SeqCst);
+                        }
+                    }
+                    Ok(())
+                },
+                &|| self.pump_events(),
+            );
+            result?;
+        } else {
+            let (tx, rx) = sync_channel::<LimitMsg>(compiled.workers * 2);
+            let ctx = self.launch_chains(
+                &compiled,
+                LimitSink {
+                    tx,
+                    shared: Arc::clone(&self.shared),
+                    task: self.task.clone(),
+                },
+            );
+            // Reassemble in morsel order: the frontier morsel's batches flow
+            // straight to the output; later morsels park until every earlier morsel
+            // delivered its done marker. Parked buffers are truncated to the limit —
+            // at most `count` rows of any one morsel can ever be emitted — so the
+            // reorder buffer is bounded by `workers x count` rows.
+            let mut next = 0usize;
+            let mut pending: HashMap<usize, (Vec<Row>, bool)> = HashMap::new();
+            let mut satisfied = false;
+            loop {
+                match rx.recv_timeout(Duration::from_micros(100)) {
+                    Ok(msg) => {
+                        let entry = pending.entry(msg.morsel).or_default();
+                        match msg.batch {
+                            Some(batch) => {
+                                let room = count.saturating_sub(entry.0.len());
+                                entry.0.extend(batch.into_iter().take(room));
+                            }
+                            None => entry.1 = true,
+                        }
+                        while let Some((rows, done)) = pending.get_mut(&next) {
+                            for row in rows.drain(..) {
+                                if out.len() >= count {
+                                    break;
+                                }
+                                out.push(row);
+                            }
+                            if out.len() >= count {
+                                satisfied = true;
+                                break;
+                            }
+                            if !*done {
+                                break;
+                            }
+                            pending.remove(&next);
+                            next += 1;
+                        }
+                        if satisfied {
+                            self.shared.quiesce.store(true, Ordering::SeqCst);
+                            break;
+                        }
+                    }
+                    Err(RecvTimeoutError::Timeout) => {
+                        if ctx.gate.finished() {
+                            break;
+                        }
+                    }
+                    Err(RecvTimeoutError::Disconnected) => break,
+                }
+                self.pump_events();
+                if self.stopped() {
+                    break;
+                }
+            }
+            // Teardown: close the exchange so senders blocked on the bounded channel
+            // unblock (their sends fail and quiesce the query), then wait for every
+            // chain to retire. Remaining exchange contents are discarded — either
+            // the limit is satisfied or the run is stopping.
+            drop(rx);
+            ctx.gate.wait_pumping(&|| self.pump_events());
+            self.pump_events();
+        }
+        if let Some(error) = self.take_error() {
+            return Err(error);
+        }
+        if self.stopped() {
+            return Ok(out);
+        }
+        // A truncated limit leaves the child pipeline non-exhausted (the quiesce
+        // flag is set, skipping `finish_pipeline`) exactly like the single-threaded
+        // `LimitOp`, which simply stops pulling; a naturally drained child under the
+        // limit is marked exhausted as usual.
+        if !self.shared.quiesce.load(Ordering::SeqCst) {
+            self.finish_pipeline(&compiled);
+        }
+        self.record_limit(stats, &out, start);
+        Ok(out)
+    }
+
+    /// Record the LIMIT node's own output stats in batch-size units and mark it
+    /// exhausted (a satisfied limit is a finished operator even though its child
+    /// is not — see `assemble_metrics`).
+    fn record_limit(&self, stats: &StatsTree, rows: &[Row], start: Instant) {
+        let mut offset = 0;
+        while offset < rows.len() {
+            let len = (rows.len() - offset).min(self.batch_size);
+            stats.stats.record(len, Duration::ZERO);
+            offset += len;
+        }
+        stats
+            .stats
+            .nanos
+            .fetch_add(start.elapsed().as_nanos() as u64, Ordering::SeqCst);
+        stats.stats.exhausted.store(true, Ordering::SeqCst);
+    }
+
+    /// Compile the streaming segment rooted at `plan` down to its driving source.
+    /// Hash-join builds and nested-loop inners are **registered, not executed**,
+    /// while walking the spine (their probe steps get placeholder payloads); they
+    /// run lazily after the spine's own source is known to be runnable,
+    /// innermost-first, with a stop check between each — a suspension taken on an
+    /// inner breaker skips every outer build a re-plan is about to discard.
+    /// Mid-chain breakers that *drive* the pipeline (aggregate/sort outputs,
+    /// merge-join inputs) still materialize during the walk: they are the source,
+    /// without which nothing downstream is runnable.
+    fn compile<'s>(
+        &mut self,
+        plan: &'p PhysicalPlan,
+        stats: &'s StatsTree,
+    ) -> Result<Compiled, ExecError> {
+        /// The payload a lazily-registered build patches into its probe step.
+        enum BuildKind {
+            Hash { keys: Vec<usize> },
+            NlInner,
+        }
+        struct BuildRequest<'p, 's> {
+            /// Index of the probe step (in collection order) holding the placeholder.
+            step: usize,
+            plan: &'p PhysicalPlan,
+            stats: &'s StatsTree,
+            /// The join node's own stats (the build merge time lands there).
+            join_stats: Arc<ParStats>,
+            kind: BuildKind,
+        }
+        let mut requests: Vec<BuildRequest<'p, 's>> = Vec::new();
         let mut steps: Vec<Step> = Vec::new();
         let mut exhaust_marks: Vec<Arc<ParStats>> = Vec::new();
         let mut node = plan;
@@ -1074,15 +1488,22 @@ impl<'p> Engine<'p> {
                         .iter()
                         .map(|(_, build)| key_index_exec(build_schema, build))
                         .collect::<Result<Vec<_>, _>>()?;
-                    let table = self.eval_build(
-                        &node.children[1],
-                        &node_stats.children[1],
-                        build_keys,
-                        &node_stats.stats,
-                    )?;
+                    requests.push(BuildRequest {
+                        step: steps.len(),
+                        plan: &node.children[1],
+                        stats: &node_stats.children[1],
+                        join_stats: Arc::clone(&node_stats.stats),
+                        kind: BuildKind::Hash { keys: build_keys },
+                    });
                     steps.push(Step {
                         kind: StepKind::HashProbe {
-                            table,
+                            // Placeholder: patched once the registered build runs.
+                            table: Arc::new(JoinTable {
+                                hasher: RandomState::new(),
+                                parts: vec![HashMap::new()],
+                                unkeyed: Vec::new(),
+                                total_rows: 0,
+                            }),
                             keys: probe_keys,
                             residual: bind_exec_opt(residual.as_ref(), &node.schema)?,
                         },
@@ -1096,6 +1517,53 @@ impl<'p> Engine<'p> {
                     exhaust_marks.push(std::sync::Arc::clone(&node_stats.stats));
                     node = &node.children[0];
                     node_stats = &node_stats.children[0];
+                }
+                PlanKind::NestedLoopJoin { predicate } => {
+                    requests.push(BuildRequest {
+                        step: steps.len(),
+                        plan: &node.children[1],
+                        stats: &node_stats.children[1],
+                        join_stats: Arc::clone(&node_stats.stats),
+                        kind: BuildKind::NlInner,
+                    });
+                    steps.push(Step {
+                        kind: StepKind::NlProbe {
+                            // Placeholder: patched once the registered inner runs.
+                            inner: Arc::new(Vec::new()),
+                            predicate: bind_exec_opt(predicate.as_ref(), &node.schema)?,
+                        },
+                        stats: std::sync::Arc::clone(&node_stats.stats),
+                        progress: Some(ProgressInfo {
+                            rel_set: node.rel_set,
+                            estimated_rows: node.estimated_rows,
+                            reports_exhaustion: false,
+                        }),
+                    });
+                    exhaust_marks.push(std::sync::Arc::clone(&node_stats.stats));
+                    node = &node.children[0];
+                    node_stats = &node_stats.children[0];
+                }
+                PlanKind::MergeJoin { keys, residual } => {
+                    let left = &node.children[0];
+                    let right = &node.children[1];
+                    let left_keys = keys
+                        .iter()
+                        .map(|(l, _)| key_index_exec(&left.schema, l))
+                        .collect::<Result<Vec<_>, _>>()?;
+                    let right_keys = keys
+                        .iter()
+                        .map(|(_, r)| key_index_exec(&right.schema, r))
+                        .collect::<Result<Vec<_>, _>>()?;
+                    let left_rows =
+                        self.eval_merge_input(left, &node_stats.children[0], left_keys)?;
+                    let right_rows =
+                        self.eval_merge_input(right, &node_stats.children[1], right_keys)?;
+                    break Source::MergeJoin {
+                        left: Arc::new(left_rows),
+                        right: Arc::new(right_rows),
+                        residual: bind_exec_opt(residual.as_ref(), &node.schema)?,
+                        stats: Arc::clone(&node_stats.stats),
+                    };
                 }
                 PlanKind::IndexNestedLoopJoin {
                     inner_table,
@@ -1211,16 +1679,51 @@ impl<'p> Engine<'p> {
                     // use it as the driving source of this pipeline.
                     break Source::Rows(self.eval_rows(node, node_stats)?);
                 }
-                PlanKind::Limit { .. }
-                | PlanKind::NestedLoopJoin { .. }
-                | PlanKind::MergeJoin { .. } => {
+                PlanKind::Limit { .. } => {
+                    // The planner only places LIMIT at the plan root (where
+                    // `eval_limit` handles it); `fallback_reason` gates the rest.
                     return Err(ExecError::InvalidPlan(
-                        "operator has no parallel implementation (plan_supported must gate this)"
-                            .into(),
+                        "LIMIT below the plan root has no parallel implementation".into(),
                     ));
                 }
             }
         };
+        // Execute the registered builds lazily, now that the spine's own source is
+        // runnable. Requests were collected root-down, so reverse order runs them
+        // innermost-first — matching the single-threaded engine, where the deepest
+        // probe pulls (and therefore builds) first — and a stop between builds
+        // (suspension on an inner breaker) skips every outer build.
+        if !requests.is_empty() {
+            BUILDS_PLANNED.fetch_add(requests.len() as u64, Ordering::SeqCst);
+            self.builds_planned
+                .set(self.builds_planned.get() + requests.len() as u64);
+            for request in requests.into_iter().rev() {
+                if self.stopped() {
+                    break;
+                }
+                BUILDS_STARTED.fetch_add(1, Ordering::SeqCst);
+                self.builds_started.set(self.builds_started.get() + 1);
+                match request.kind {
+                    BuildKind::Hash { keys } => {
+                        let table =
+                            self.eval_build(request.plan, request.stats, keys, &request.join_stats)?;
+                        if let StepKind::HashProbe { table: slot, .. } =
+                            &mut steps[request.step].kind
+                        {
+                            *slot = table;
+                        }
+                    }
+                    BuildKind::NlInner => {
+                        let inner = self.eval_nl_inner(request.plan, request.stats)?;
+                        if let StepKind::NlProbe { inner: slot, .. } =
+                            &mut steps[request.step].kind
+                        {
+                            *slot = inner;
+                        }
+                    }
+                }
+            }
+        }
         // Steps were collected root-down; they apply source-up.
         steps.reverse();
         let total = source.len();
@@ -1282,9 +1785,15 @@ impl<'p> Engine<'p> {
                 compiled,
                 &self.shared,
                 &cursor,
-                &mut |batch| factory.consume(&mut local, batch),
+                &mut |morsel, batch| match batch {
+                    Some(batch) => factory.consume(&mut local, morsel, batch),
+                    None => factory.morsel_done(&mut local, morsel),
+                },
                 &|| self.pump_events(),
             );
+            if result.is_ok() {
+                factory.retire(&mut local);
+            }
             let locals = vec![local];
             result?;
             locals
@@ -1359,18 +1868,20 @@ impl<'p> Engine<'p> {
                 compiled,
                 &self.shared,
                 &cursor,
-                &mut |batch| {
-                    out.extend(batch);
+                &mut |_, batch| {
+                    if let Some(batch) = batch {
+                        out.extend(batch);
+                    }
                     Ok(())
                 },
                 &|| self.pump_events(),
             );
             result?;
         } else {
-            let (tx, rx) = sync_channel::<RowBatch>(compiled.workers * 2);
+            let (tx, rx) = sync_channel::<(Tag, RowBatch)>(compiled.workers * 2);
             let ctx = self.launch_chains(
                 compiled,
-                ChannelSink {
+                TaggedChannelSink {
                     tx,
                     shared: Arc::clone(&self.shared),
                     task: self.task.clone(),
@@ -1379,9 +1890,10 @@ impl<'p> Engine<'p> {
             // Consume the exchange while the chains drain the cursor. The context
             // itself holds a sender, so end-of-stream is detected through the gate
             // (all chains retired) rather than channel disconnection.
+            let mut tagged: Vec<(Tag, RowBatch)> = Vec::new();
             loop {
                 match rx.recv_timeout(Duration::from_micros(100)) {
-                    Ok(batch) => out_rows.extend(batch),
+                    Ok(entry) => tagged.push(entry),
                     Err(RecvTimeoutError::Timeout) => {
                         if ctx.gate.finished() {
                             break;
@@ -1391,10 +1903,16 @@ impl<'p> Engine<'p> {
                 }
                 self.pump_events();
             }
-            while let Ok(batch) = rx.try_recv() {
-                out_rows.extend(batch);
+            while let Ok(entry) = rx.try_recv() {
+                tagged.push(entry);
             }
             self.pump_events();
+            // Reassemble in `(morsel, sequence)` order: run-identical to the inline
+            // (single-worker) collection, which is the global scan order.
+            tagged.sort_by_key(|(tag, _)| *tag);
+            for (_, batch) in tagged {
+                out_rows.extend(batch);
+            }
         }
         if let Some(error) = self.take_error() {
             return Err(error);
@@ -1427,13 +1945,18 @@ impl<'p> Engine<'p> {
         self.completed_builds
             .drain(..)
             .map(|build| {
-                let table = std::sync::Arc::try_unwrap(build.table)
-                    .unwrap_or_else(|shared| (*shared).clone());
+                let rows = match build.payload {
+                    BuildPayload::Hash(table) => std::sync::Arc::try_unwrap(table)
+                        .unwrap_or_else(|shared| (*shared).clone())
+                        .into_rows(),
+                    BuildPayload::Rows(rows) => std::sync::Arc::try_unwrap(rows)
+                        .unwrap_or_else(|shared| (*shared).clone()),
+                };
                 BreakerState {
                     kind: build.kind,
                     rel_set: build.rel_set,
                     schema: build.schema,
-                    rows: table.into_rows(),
+                    rows,
                 }
             })
             .collect()
@@ -1462,14 +1985,17 @@ fn _assert_pool_safe() {
 }
 
 /// Claim and process **one** morsel: push each batch-sized chunk through the chain
-/// and feed the sink. Returns `Ok(true)` if the cursor may hold more morsels,
-/// `Ok(false)` when the source is exhausted or the query quiesced.
+/// and feed the sink with `(morsel, Some(batch))` per produced batch, then a
+/// `(morsel, None)` done marker once the morsel is fully processed (a quiesced
+/// morsel sends no marker — its partial output is abandoned). Returns `Ok(true)` if
+/// the cursor may hold more morsels, `Ok(false)` when the source is exhausted or
+/// the query quiesced.
 fn process_one_morsel(
     compiled: &Compiled,
     shared: &Shared,
     cursor: &AtomicUsize,
     mask_cache: &mut MaskCache,
-    sink: &mut dyn FnMut(RowBatch) -> Result<(), ExecError>,
+    sink: &mut dyn FnMut(usize, Option<RowBatch>) -> Result<(), ExecError>,
     pump: &dyn Fn(),
 ) -> Result<bool, ExecError> {
     if shared.quiesce.load(Ordering::SeqCst) {
@@ -1494,8 +2020,9 @@ fn process_one_morsel(
         if rows.is_empty() {
             continue;
         }
-        push_chain(&compiled.steps, rows, shared, chunk, sink, pump)?;
+        push_chain(&compiled.steps, rows, shared, chunk, &mut |batch| sink(morsel, Some(batch)), pump)?;
     }
+    sink(morsel, None)?;
     Ok(true)
 }
 
@@ -1505,7 +2032,7 @@ fn worker_loop(
     compiled: &Compiled,
     shared: &Shared,
     cursor: &AtomicUsize,
-    sink: &mut dyn FnMut(RowBatch) -> Result<(), ExecError>,
+    sink: &mut dyn FnMut(usize, Option<RowBatch>) -> Result<(), ExecError>,
     pump: &dyn Fn(),
 ) -> Result<(), ExecError> {
     // Worker-private kernel cache: truth tables are cheap to rebuild per worker and
@@ -1537,7 +2064,10 @@ fn run_chain_slice<S: SinkFactory>(ctx: Arc<ChainCtx<S>>, mut local: S::Local, m
     // (the pool's own catch_unwind only keeps the worker thread alive).
     let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
         let sink_ref = &ctx.sink;
-        let mut sink = |batch: RowBatch| sink_ref.consume(&mut local, batch);
+        let mut sink = |morsel: usize, batch: Option<RowBatch>| match batch {
+            Some(batch) => sink_ref.consume(&mut local, morsel, batch),
+            None => sink_ref.morsel_done(&mut local, morsel),
+        };
         process_one_morsel(
             &ctx.compiled,
             &ctx.shared,
@@ -1554,6 +2084,7 @@ fn run_chain_slice<S: SinkFactory>(ctx: Arc<ChainCtx<S>>, mut local: S::Local, m
                 .submit(move || run_chain_slice(job_ctx, local, cache));
         }
         Ok(Ok(false)) => {
+            ctx.sink.retire(&mut local);
             ctx.locals.lock().expect("chain locals").push(local);
             ctx.gate.done_one();
         }
@@ -1620,13 +2151,28 @@ fn push_chain(
 }
 
 /// A pipeline sink with per-worker local state: `make` is called once per chain,
-/// `consume` once per produced chain batch, and `execute_pipeline` returns every
-/// chain's local state for the merge step. `'static` because sinks ride inside
-/// pool jobs that may outlive the coordinating stack frame.
+/// `consume` once per produced chain batch (tagged with the morsel index it came
+/// from), `morsel_done` once per fully-processed morsel, and `retire` once when a
+/// chain retires cleanly. `execute_pipeline` returns every chain's local state for
+/// the merge step. `'static` because sinks ride inside pool jobs that may outlive
+/// the coordinating stack frame.
 trait SinkFactory: Send + Sync + 'static {
     type Local: Send + 'static;
     fn make(&self) -> Self::Local;
-    fn consume(&self, local: &mut Self::Local, batch: RowBatch) -> Result<(), ExecError>;
+    fn consume(
+        &self,
+        local: &mut Self::Local,
+        morsel: usize,
+        batch: RowBatch,
+    ) -> Result<(), ExecError>;
+    /// Called after the last batch of a fully-processed morsel (quiesced morsels
+    /// never report done).
+    fn morsel_done(&self, _local: &mut Self::Local, _morsel: usize) -> Result<(), ExecError> {
+        Ok(())
+    }
+    /// Called once when a chain retires cleanly (cursor exhausted or quiesce), before
+    /// its local is handed to the merge step.
+    fn retire(&self, _local: &mut Self::Local) {}
 }
 
 /// Partitioned hash-join build sink: rows land in per-worker, per-partition buffers,
@@ -1648,10 +2194,11 @@ impl SinkFactory for BuildSinkFactory {
         BuildLocal {
             parts: (0..self.nparts).map(|_| Vec::new()).collect(),
             unkeyed: Vec::new(),
+            seq: 0,
         }
     }
 
-    fn consume(&self, local: &mut BuildLocal, batch: RowBatch) -> Result<(), ExecError> {
+    fn consume(&self, local: &mut BuildLocal, morsel: usize, batch: RowBatch) -> Result<(), ExecError> {
         let bytes: u64 = batch.iter().map(|row| row.width() as u64).sum();
         self.shared.reserve_or_spill(
             bytes,
@@ -1661,12 +2208,14 @@ impl SinkFactory for BuildSinkFactory {
         )?;
         self.shared.acquire(batch.len() as u64, bytes);
         for row in batch {
+            let tag = (morsel, local.seq);
+            local.seq += 1;
             match extract_key(&row, &self.keys) {
                 Some(key) => {
                     let part = (self.hasher.hash_one(&key[..]) as usize) % local.parts.len();
-                    local.parts[part].push((key, row));
+                    local.parts[part].push((tag, key, row));
                 }
-                None => local.unkeyed.push(row),
+                None => local.unkeyed.push((tag, row)),
             }
         }
         Ok(())
@@ -1686,6 +2235,7 @@ impl SinkFactory for AggSinkFactory {
         let mut local = AggLocal {
             groups: HashMap::new(),
             states: Vec::new(),
+            seq: 0,
         };
         if self.spec.group_exprs.is_empty() {
             local.states.push((
@@ -1695,12 +2245,13 @@ impl SinkFactory for AggSinkFactory {
                     .iter()
                     .map(|&f| Accumulator::new(f))
                     .collect(),
+                (0, 0),
             ));
         }
         local
     }
 
-    fn consume(&self, local: &mut AggLocal, batch: RowBatch) -> Result<(), ExecError> {
+    fn consume(&self, local: &mut AggLocal, morsel: usize, batch: RowBatch) -> Result<(), ExecError> {
         if self.spec.group_exprs.is_empty() {
             for row in &batch {
                 for (accumulator, arg) in local.states[0].1.iter_mut().zip(&self.spec.agg_args) {
@@ -1709,7 +2260,7 @@ impl SinkFactory for AggSinkFactory {
             }
             Ok(())
         } else {
-            self.spec.consume(local, &batch, &self.shared)
+            self.spec.consume(local, morsel, &batch, &self.shared)
         }
     }
 }
@@ -1736,7 +2287,12 @@ impl SinkFactory for ChannelSink {
         self.tx.clone()
     }
 
-    fn consume(&self, local: &mut SyncSender<RowBatch>, batch: RowBatch) -> Result<(), ExecError> {
+    fn consume(
+        &self,
+        local: &mut SyncSender<RowBatch>,
+        _morsel: usize,
+        batch: RowBatch,
+    ) -> Result<(), ExecError> {
         if self.task.blocking(|| local.send(batch)).is_err() {
             self.shared.quiesce.store(true, Ordering::SeqCst);
         }
@@ -1744,15 +2300,193 @@ impl SinkFactory for ChannelSink {
     }
 }
 
+/// Tag-ordered exchange sink: like [`ChannelSink`], but every batch carries its
+/// `(morsel, sequence)` tag so the coordinator can reassemble the collection in
+/// global scan order — materialized mid-plan collections (sort inputs, nested-loop
+/// inners) become run-identical to the inline (single-worker) collection order.
+struct TaggedChannelSink {
+    tx: SyncSender<(Tag, RowBatch)>,
+    shared: Arc<Shared>,
+    task: TaskHandle,
+}
+
+/// Per-chain sender plus its batch sequence counter.
+struct TaggedSender {
+    tx: SyncSender<(Tag, RowBatch)>,
+    seq: u64,
+}
+
+impl SinkFactory for TaggedChannelSink {
+    type Local = TaggedSender;
+
+    fn make(&self) -> TaggedSender {
+        TaggedSender {
+            tx: self.tx.clone(),
+            seq: 0,
+        }
+    }
+
+    fn consume(&self, local: &mut TaggedSender, morsel: usize, batch: RowBatch) -> Result<(), ExecError> {
+        let tag = (morsel, local.seq);
+        local.seq += 1;
+        if self.task.blocking(|| local.tx.send((tag, batch))).is_err() {
+            self.shared.quiesce.store(true, Ordering::SeqCst);
+        }
+        Ok(())
+    }
+}
+
+/// Keyed sort sink of one merge-join input: every retired chain holds a run sorted
+/// by `(key, morsel, sequence)`; the coordinator k-way-merges the runs (see
+/// [`kway_merge`]). Buffered rows are tracked but not reserved against the memory
+/// governor, mirroring the single-threaded `drain_keyed`.
+struct MergeSinkFactory {
+    keys: Vec<usize>,
+    shared: Arc<Shared>,
+}
+
+/// One chain's keyed run: `(key, tag, row)` entries, sorted at retirement.
+struct MergeLocal {
+    entries: Vec<(Vec<Value>, Tag, Row)>,
+    seq: u64,
+}
+
+impl SinkFactory for MergeSinkFactory {
+    type Local = MergeLocal;
+
+    fn make(&self) -> MergeLocal {
+        MergeLocal {
+            entries: Vec::new(),
+            seq: 0,
+        }
+    }
+
+    fn consume(&self, local: &mut MergeLocal, morsel: usize, batch: RowBatch) -> Result<(), ExecError> {
+        for row in batch {
+            let tag = (morsel, local.seq);
+            local.seq += 1;
+            // NULL join keys never match under equi-join semantics; drop them while
+            // buffering, exactly like the single-threaded `drain_keyed`.
+            let Some(key) = extract_key(&row, &self.keys) else {
+                continue;
+            };
+            self.shared.acquire(1, row.width() as u64);
+            local.entries.push((key, tag, row));
+        }
+        Ok(())
+    }
+
+    fn retire(&self, local: &mut MergeLocal) {
+        // The per-worker partitioned sort: each retired run is ordered by
+        // `(key, tag)`, so the coordinator's k-way merge yields the global
+        // `(key, morsel, sequence)` order.
+        local.entries.sort_by(|a, b| (&a.0, a.1).cmp(&(&b.0, b.1)));
+    }
+}
+
+/// K-way-merge per-worker sorted runs into one `(key, row)` list ordered by
+/// `(key, morsel, sequence)` — a linear min-scan over the run heads (the run count
+/// is bounded by the worker count, so a heap buys nothing).
+fn kway_merge(runs: Vec<Vec<(Vec<Value>, Tag, Row)>>) -> Vec<(Vec<Value>, Row)> {
+    let total: usize = runs.iter().map(Vec::len).sum();
+    // Reverse each run so its smallest entry sits at the back and `pop` yields it.
+    let mut runs: Vec<Vec<(Vec<Value>, Tag, Row)>> = runs
+        .into_iter()
+        .map(|mut run| {
+            run.reverse();
+            run
+        })
+        .collect();
+    let mut out: Vec<(Vec<Value>, Row)> = Vec::with_capacity(total);
+    loop {
+        let mut best: Option<usize> = None;
+        for (i, run) in runs.iter().enumerate() {
+            let Some(head) = run.last() else {
+                continue;
+            };
+            match best {
+                None => best = Some(i),
+                Some(b) => {
+                    let current = runs[b].last().expect("best run nonempty");
+                    // Ties are impossible: a tag belongs to exactly one run.
+                    if (&head.0, head.1) < (&current.0, current.1) {
+                        best = Some(i);
+                    }
+                }
+            }
+        }
+        let Some(b) = best else {
+            break;
+        };
+        let (key, _, row) = runs[b].pop().expect("best run nonempty");
+        out.push((key, row));
+    }
+    out
+}
+
+/// One message of the LIMIT root exchange: a produced batch of `morsel`, or (with
+/// `batch == None`) the marker that `morsel` is fully processed.
+struct LimitMsg {
+    morsel: usize,
+    batch: Option<RowBatch>,
+}
+
+/// Morsel-ordered exchange sink for LIMIT roots: batches carry their morsel index
+/// and every fully-processed morsel is terminated by a done marker, letting the
+/// coordinator reassemble the stream in morsel order and quiesce the query the
+/// moment the limit is satisfied (see [`Engine::eval_limit`]).
+struct LimitSink {
+    tx: SyncSender<LimitMsg>,
+    shared: Arc<Shared>,
+    task: TaskHandle,
+}
+
+impl SinkFactory for LimitSink {
+    type Local = SyncSender<LimitMsg>;
+
+    fn make(&self) -> SyncSender<LimitMsg> {
+        self.tx.clone()
+    }
+
+    fn consume(
+        &self,
+        local: &mut SyncSender<LimitMsg>,
+        morsel: usize,
+        batch: RowBatch,
+    ) -> Result<(), ExecError> {
+        let msg = LimitMsg {
+            morsel,
+            batch: Some(batch),
+        };
+        if self.task.blocking(|| local.send(msg)).is_err() {
+            self.shared.quiesce.store(true, Ordering::SeqCst);
+        }
+        Ok(())
+    }
+
+    fn morsel_done(&self, local: &mut SyncSender<LimitMsg>, morsel: usize) -> Result<(), ExecError> {
+        let msg = LimitMsg {
+            morsel,
+            batch: None,
+        };
+        if self.task.blocking(|| local.send(msg)).is_err() {
+            self.shared.quiesce.store(true, Ordering::SeqCst);
+        }
+        Ok(())
+    }
+}
+
 /// Merge the per-worker partitioned build buffers into one [`JoinTable`], in parallel
-/// across partitions (on the resident pool) when the build is large.
+/// across partitions (on the resident pool) when the build is large. Rows are
+/// inserted in `(morsel, sequence)` order — the global scan order — so every bucket's
+/// fan-out order during probing is run-identical to the single-threaded build.
 fn merge_build(hasher: RandomState, locals: Vec<BuildLocal>, engine: &Engine<'_>) -> JoinTable {
     fn merge_one(buckets: Vec<KeyedRows>) -> PartitionMap {
+        let mut rows: KeyedRows = buckets.into_iter().flatten().collect();
+        rows.sort_by(|a, b| a.0.cmp(&b.0));
         let mut map: PartitionMap = HashMap::new();
-        for bucket in buckets {
-            for (key, row) in bucket {
-                map.entry(key).or_default().push(row);
-            }
+        for (_, key, row) in rows {
+            map.entry(key).or_default().push(row);
         }
         map
     }
@@ -1762,15 +2496,17 @@ fn merge_build(hasher: RandomState, locals: Vec<BuildLocal>, engine: &Engine<'_>
         .map(|l| l.parts.iter().map(Vec::len).sum::<usize>())
         .sum();
     // Transpose into per-partition buckets of per-worker buffers, moving the NULL-key
-    // rows out along the way.
-    let mut unkeyed: Vec<Row> = Vec::new();
+    // rows out along the way (also tag-ordered, for deterministic state extraction).
+    let mut unkeyed_tagged: Vec<(Tag, Row)> = Vec::new();
     let mut partition_inputs: Vec<Vec<KeyedRows>> = (0..nparts).map(|_| Vec::new()).collect();
     for mut local in locals {
-        unkeyed.append(&mut local.unkeyed);
+        unkeyed_tagged.append(&mut local.unkeyed);
         for (part, bucket) in local.parts.into_iter().enumerate() {
             partition_inputs[part].push(bucket);
         }
     }
+    unkeyed_tagged.sort_by(|a, b| a.0.cmp(&b.0));
+    let unkeyed: Vec<Row> = unkeyed_tagged.into_iter().map(|(_, row)| row).collect();
     let parts: Vec<PartitionMap> = if engine.threads > 1 && keyed_total > 65_536 {
         // One pool job per partition; inputs and outputs live behind Arc'd slots
         // so the jobs are 'static.
@@ -1827,10 +2563,12 @@ fn merge_build(hasher: RandomState, locals: Vec<BuildLocal>, engine: &Engine<'_>
 
 /// Merge per-worker partial aggregation states and emit the result rows. Locals
 /// arrive in worker *completion* order, which is nondeterministic — that is safe
-/// precisely because [`plan_supported`] only admits exact, merge-order-insensitive
-/// accumulators (MIN/MAX/COUNT, integer SUM/AVG) to the parallel engine; anything
-/// float-valued falls back to the single-threaded engine rather than depending on an
-/// ordering this merge cannot provide.
+/// because every accumulator merges exactly (float SUM/AVG accumulate into a
+/// [`crate::exact::ExactSum`] fixed-point superaccumulator and round once at
+/// emission), making the merged values independent of merge order. Groups are
+/// emitted in first-seen `(morsel, sequence)` order — the global scan order — so the
+/// output row order is also run-identical across thread counts and matches the
+/// single-threaded engine's first-seen emission.
 fn merge_aggregates(
     spec: &AggSpec,
     single_group: bool,
@@ -1841,7 +2579,7 @@ fn merge_aggregates(
         let mut merged: Vec<Accumulator> =
             spec.agg_funcs.iter().map(|&f| Accumulator::new(f)).collect();
         for local in locals {
-            if let Some((_, state)) = local.states.into_iter().next() {
+            if let Some((_, state, _)) = local.states.into_iter().next() {
                 for (accumulator, partial) in merged.iter_mut().zip(state) {
                     accumulator.merge(partial);
                 }
@@ -1853,25 +2591,30 @@ fn merge_aggregates(
         )];
     }
     let mut groups: HashMap<Vec<Value>, usize> = HashMap::new();
-    let mut states: Vec<(Vec<Value>, Vec<Accumulator>)> = Vec::new();
+    let mut states: Vec<(Vec<Value>, Vec<Accumulator>, Tag)> = Vec::new();
     for local in locals {
-        for (key, partial) in local.states {
+        for (key, partial, tag) in local.states {
             match groups.get(&key) {
                 Some(&idx) => {
                     for (accumulator, p) in states[idx].1.iter_mut().zip(partial) {
                         accumulator.merge(p);
                     }
+                    // Keep the earliest first-seen position across workers.
+                    if tag < states[idx].2 {
+                        states[idx].2 = tag;
+                    }
                 }
                 None => {
                     groups.insert(key.clone(), states.len());
-                    states.push((key, partial));
+                    states.push((key, partial, tag));
                 }
             }
         }
     }
+    states.sort_by_key(|(_, _, tag)| *tag);
     states
         .into_iter()
-        .map(|(key, accumulators)| {
+        .map(|(key, accumulators, _)| {
             let mut values = key;
             values.extend(accumulators.into_iter().map(Accumulator::finish));
             Row::from_values(values)
@@ -2039,10 +2782,19 @@ impl<'p> ParallelPipeline<'p> {
             }),
             stop: std::cell::Cell::new(None),
             completed_builds: Vec::new(),
+            builds_planned: std::cell::Cell::new(0),
+            builds_started: std::cell::Cell::new(0),
             pool,
             task,
         });
         let plan = self.plan;
+        if let PlanKind::Limit { count } = plan.kind {
+            let result = {
+                let engine = self.engine.as_mut().expect("engine");
+                engine.eval_limit(plan, &self.stats, count)
+            };
+            return self.settle_materialized(result);
+        }
         if matches!(plan.kind, PlanKind::Aggregate { .. } | PlanKind::Sort { .. }) {
             let result = {
                 let engine = self.engine.as_mut().expect("engine");
@@ -2050,8 +2802,8 @@ impl<'p> ParallelPipeline<'p> {
             };
             return self.settle_materialized(result);
         }
-        // A streaming-shaped root: compile the spine (hash builds execute eagerly
-        // here), then serve through a live exchange.
+        // A streaming-shaped root: compile the spine (registered builds run lazily
+        // at the end of the compile), then serve through a live exchange.
         let compiled = {
             let engine = self.engine.as_mut().expect("engine");
             engine.compile(plan, &self.stats)
@@ -2327,6 +3079,8 @@ impl<'p> ParallelPipeline<'p> {
         QueryMetrics {
             root: assemble_metrics(self.plan, &self.stats),
             execution_time,
+            engine: "parallel",
+            fallback: None,
         }
     }
 
@@ -2742,26 +3496,257 @@ mod tests {
     }
 
     #[test]
-    fn unsupported_shapes_fall_back_to_the_single_threaded_engine() {
+    fn every_plan_shape_is_parallel_supported() {
         let (storage, catalog) = build_env();
-        // LIMIT has no parallel implementation.
-        let limited = plan("SELECT t.id AS id FROM title AS t LIMIT 3", &storage, &catalog);
-        assert!(!plan_supported(&limited.plan));
+        // The former denylist entries — LIMIT, float SUM/AVG, merge joins, plain NL
+        // joins — all have parallel implementations now.
+        for sql in [
+            "SELECT t.id AS id FROM title AS t LIMIT 3",
+            "SELECT avg(t.rating) AS a FROM title AS t",
+            "SELECT sum(t.id) AS s, min(t.title) AS m FROM title AS t",
+        ] {
+            let planned = plan(sql, &storage, &catalog);
+            assert!(plan_supported(&planned.plan), "{sql}");
+            assert_eq!(fallback_reason(&planned.plan), None, "{sql}");
+        }
         let result = Executor::new(&storage)
             .with_threads(4)
-            .execute(&limited.plan)
+            .execute(&plan("SELECT t.id AS id FROM title AS t LIMIT 3", &storage, &catalog).plan)
             .unwrap();
         assert_eq!(result.rows.len(), 3);
-        // AVG over a float column would merge partial sums in a run-dependent order.
-        let float_avg = plan("SELECT avg(t.rating) AS a FROM title AS t", &storage, &catalog);
-        assert!(!plan_supported(&float_avg.plan));
-        // ... while integer SUM/AVG and MIN/COUNT parallelize.
-        let int_agg = plan(
-            "SELECT sum(t.id) AS s, min(t.title) AS m FROM title AS t",
-            &storage,
-            &catalog,
+    }
+
+    /// Render float cells as their exact bit patterns (other values as display text),
+    /// so equality means *bit* identity, not approximate equality.
+    fn float_bits(rows: &[Row]) -> Vec<Vec<String>> {
+        rows.iter()
+            .map(|row| {
+                row.values()
+                    .iter()
+                    .map(|value| match value {
+                        Value::Float(f) => format!("bits:{:016x}", f.to_bits()),
+                        other => format!("{other}"),
+                    })
+                    .collect()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn float_aggregates_bit_identical_across_threads_and_runs() {
+        let (storage, catalog) = build_env();
+        for sql in [
+            "SELECT sum(t.rating) AS s, avg(t.rating) AS a FROM title AS t",
+            "SELECT t.production_year, sum(t.rating) AS s, avg(t.rating) AS a
+             FROM title AS t GROUP BY t.production_year",
+        ] {
+            let planned = plan(sql, &storage, &catalog);
+            assert!(plan_supported(&planned.plan), "{sql}");
+            let reference = Executor::new(&storage)
+                .with_threads(1)
+                .execute(&planned.plan)
+                .unwrap();
+            let want = float_bits(&reference.rows);
+            for threads in [2usize, 4] {
+                for run in 0..3 {
+                    let result = Executor::new(&storage)
+                        .with_threads(threads)
+                        .execute(&planned.plan)
+                        .unwrap();
+                    // Unsorted comparison: group emission order (first-seen in scan
+                    // order) must also be deterministic.
+                    assert_eq!(
+                        float_bits(&result.rows),
+                        want,
+                        "threads={threads} run={run} {sql}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn limit_rows_identical_to_single_threaded() {
+        let (storage, catalog) = build_env();
+        for sql in [
+            // Order-insensitive shapes: parallel truncation must still pick the
+            // same (scan-order) prefix as the single-threaded engine.
+            "SELECT t.id AS id FROM title AS t LIMIT 10",
+            "SELECT t.id AS id, t.title AS name FROM title AS t
+             WHERE t.production_year >= 1990 LIMIT 257",
+            // ORDER BY ... LIMIT: plan-defined order, truncated after the sort.
+            "SELECT t.id AS id FROM title AS t ORDER BY id DESC LIMIT 7",
+            "SELECT t.production_year, count(*) AS c FROM title AS t
+             GROUP BY t.production_year ORDER BY c DESC, t.production_year ASC LIMIT 5",
+            // LIMIT larger than the result: the child drains completely.
+            "SELECT t.id AS id FROM title AS t WHERE t.id < 20 LIMIT 1000",
+        ] {
+            let planned = plan(sql, &storage, &catalog);
+            assert!(plan_supported(&planned.plan), "{sql}");
+            let reference = Executor::new(&storage)
+                .with_threads(1)
+                .execute(&planned.plan)
+                .unwrap();
+            let want: Vec<String> = reference.rows.iter().map(|r| format!("{r}")).collect();
+            for threads in [2usize, 4] {
+                for run in 0..2 {
+                    let parallel = Executor::new(&storage)
+                        .with_threads(threads)
+                        .execute(&planned.plan)
+                        .unwrap();
+                    let got: Vec<String> = parallel.rows.iter().map(|r| format!("{r}")).collect();
+                    assert_eq!(got, want, "threads={threads} run={run} {sql}");
+                }
+            }
+        }
+    }
+
+    /// Merge-joins-only configuration (hash and index-NL joins disabled).
+    fn merge_only() -> OptimizerConfig {
+        OptimizerConfig {
+            enable_index_scans: false,
+            enable_hash_joins: false,
+            enable_index_nl_joins: false,
+            ..OptimizerConfig::default()
+        }
+    }
+
+    fn has_kind(plan: &PhysicalPlan, f: &dyn Fn(&PlanKind) -> bool) -> bool {
+        f(&plan.kind) || plan.children.iter().any(|child| has_kind(child, f))
+    }
+
+    #[test]
+    fn merge_join_parallel_matches_single_threaded() {
+        let (storage, catalog) = build_env();
+        for sql in [
+            "SELECT t.id AS id, mk.keyword_id AS kid
+             FROM title AS t, movie_keyword AS mk
+             WHERE t.id = mk.movie_id AND mk.keyword_id < 5",
+            "SELECT count(*) AS c, min(t.title) AS m
+             FROM title AS t, movie_keyword AS mk
+             WHERE t.id = mk.movie_id AND t.production_year >= 2010",
+        ] {
+            let planned = plan_with(sql, &storage, &catalog, merge_only());
+            assert!(
+                has_kind(&planned.plan, &|k| matches!(k, PlanKind::MergeJoin { .. })),
+                "expected a merge join: {sql}"
+            );
+            assert!(plan_supported(&planned.plan), "{sql}");
+            let reference = Executor::new(&storage)
+                .with_threads(1)
+                .execute(&planned.plan)
+                .unwrap();
+            for threads in [2usize, 4] {
+                let parallel = Executor::new(&storage)
+                    .with_threads(threads)
+                    .execute(&planned.plan)
+                    .unwrap();
+                assert_eq!(
+                    sorted_rows(&parallel.rows),
+                    sorted_rows(&reference.rows),
+                    "threads={threads} {sql}"
+                );
+            }
+        }
+    }
+
+    /// Plain-NL-joins-only configuration (every other join algorithm disabled).
+    fn nl_only() -> OptimizerConfig {
+        OptimizerConfig {
+            enable_index_scans: false,
+            enable_hash_joins: false,
+            enable_merge_joins: false,
+            enable_index_nl_joins: false,
+            ..OptimizerConfig::default()
+        }
+    }
+
+    #[test]
+    fn nl_join_parallel_matches_single_threaded() {
+        let (storage, catalog) = build_env();
+        let sql = "SELECT mk.movie_id AS mid, k.keyword AS kw
+                   FROM movie_keyword AS mk, keyword AS k
+                   WHERE mk.keyword_id = k.id AND mk.movie_id < 50";
+        let planned = plan_with(sql, &storage, &catalog, nl_only());
+        assert_eq!(fallback_reason(&planned.plan), None);
+        assert!(
+            has_kind(&planned.plan, &|k| matches!(k, PlanKind::NestedLoopJoin { .. })),
+            "expected a nested-loop join"
         );
-        assert!(plan_supported(&int_agg.plan));
+        assert!(plan_supported(&planned.plan));
+        let reference = Executor::new(&storage)
+            .with_threads(1)
+            .execute(&planned.plan)
+            .unwrap();
+        assert!(!reference.rows.is_empty());
+        for threads in [2usize, 4] {
+            let parallel = Executor::new(&storage)
+                .with_threads(threads)
+                .execute(&planned.plan)
+                .unwrap();
+            assert_eq!(
+                sorted_rows(&parallel.rows),
+                sorted_rows(&reference.rows),
+                "threads={threads}"
+            );
+        }
+    }
+
+    #[test]
+    fn suspension_on_an_inner_breaker_skips_outer_builds() {
+        let (storage, catalog) = build_env();
+        // Two relations each joining directly to `t`: the plan is a left-deep spine
+        // with both hash builds registered on it (no derivable mk1-mk2 join exists,
+        // so a bushy shape is off the table).
+        let sql = "SELECT count(*) AS c
+                   FROM title AS t, movie_keyword AS mk1, movie_keyword AS mk2
+                   WHERE t.id = mk1.movie_id AND t.id = mk2.movie_id";
+        let planned = plan_with(sql, &storage, &catalog, hash_only());
+        // Baseline: an unsuspended run starts every registered build.
+        let mut baseline = ParallelPipeline::new(
+            &planned.plan,
+            &storage,
+            DEFAULT_BATCH_SIZE,
+            4,
+            0,
+            true,
+            crate::exec::DEFAULT_PRIORITY,
+            MemoryGovernor::unlimited(),
+            None,
+        );
+        while baseline.next_batch().unwrap().is_some() {}
+        let engine = baseline.engine.as_ref().expect("engine");
+        let planned_builds = engine.builds_planned.get();
+        assert_eq!(planned_builds, engine.builds_started.get());
+        assert!(planned_builds >= 2, "both builds ride the probe spine");
+
+        // Suspending on the first (innermost) breaker completion must skip the
+        // outer build entirely — the lazy scheduler never starts it.
+        let observer = Rc::new(RefCell::new(SuspendWhen {
+            events: Vec::new(),
+            trigger: |event| matches!(event, ExecEvent::BreakerComplete(_)),
+            decision: ObserverDecision::Suspend,
+        }));
+        let mut pipeline = ParallelPipeline::new(
+            &planned.plan,
+            &storage,
+            DEFAULT_BATCH_SIZE,
+            4,
+            0,
+            true,
+            crate::exec::DEFAULT_PRIORITY,
+            MemoryGovernor::unlimited(),
+            Some(observer as ObserverHandle),
+        );
+        assert_eq!(pipeline.next_batch().unwrap_err(), ExecError::Suspended);
+        let engine = pipeline.engine.as_ref().expect("engine");
+        assert_eq!(engine.builds_planned.get(), planned_builds);
+        assert!(
+            engine.builds_started.get() < planned_builds,
+            "suspension must schedule fewer builds than the eager baseline ({} of {})",
+            engine.builds_started.get(),
+            planned_builds
+        );
     }
 
     #[test]

@@ -285,6 +285,88 @@ fn observer_events_are_exactly_once_per_query_under_concurrency() {
 }
 
 #[test]
+fn limit_quiesce_races_mid_query_suspension_across_sessions() {
+    // The parallel LIMIT quiesces its workers the moment the count is satisfied;
+    // a concurrent session's mid-query suspension quiesces *its* workers through
+    // the same resident pool. The two teardown paths must stay scoped per query:
+    // LIMIT output stays run-identical (exact order, morsel-ordered exchange)
+    // while the other session suspends, re-plans and resumes.
+    let mut db = Database::with_config(OptimizerConfig {
+        enable_index_scans: false,
+        enable_index_nl_joins: false,
+        enable_merge_joins: false,
+        ..Default::default()
+    });
+    load_imdb(&mut db, &ImdbConfig { scale: 0.03, seed: 9 }).unwrap();
+    db.set_threads(Some(2));
+    db.set_batch_size(Some(64));
+
+    let limits = [
+        // No ORDER BY: the parallel engine must still return the scan-order prefix.
+        "SELECT t.id AS id FROM title AS t LIMIT 37",
+        // Plan-defined order, truncated after the sort.
+        "SELECT t.id AS id FROM title AS t ORDER BY id DESC LIMIT 25",
+    ];
+    db.set_threads(Some(1));
+    let expected: Vec<Vec<Row>> = limits
+        .iter()
+        .map(|sql| db.execute(sql).unwrap().rows)
+        .collect();
+    let skewed = job_query("10a").unwrap();
+    let expected_skewed = db.execute(&skewed.sql).unwrap();
+    db.set_threads(Some(2));
+
+    let stop = Arc::new(AtomicBool::new(false));
+    let stop_bg = Arc::clone(&stop);
+    let mut background = db.connect();
+    let bg_expected = expected.clone();
+    let bg_handle = std::thread::spawn(move || {
+        let mut completed = 0u64;
+        while !stop_bg.load(Ordering::SeqCst) {
+            for (sql, want) in limits.iter().zip(&bg_expected) {
+                let out = background.execute(sql).unwrap();
+                // Exact order, not sorted: parallel LIMIT promises run-identical
+                // output even while another query tears down mid-suspension.
+                assert_eq!(
+                    &out.rows, want,
+                    "LIMIT output diverged while another session suspended mid-query"
+                );
+            }
+            completed += 1;
+        }
+        completed
+    });
+
+    // The foreground session repeatedly re-optimizes mid-query, so worker
+    // quiesce-and-resume keeps overlapping the background LIMIT teardowns.
+    let mut session = db.connect();
+    let config = ReoptConfig {
+        threshold: 8.0,
+        mode: ReoptMode::MidQuery,
+        ..ReoptConfig::default()
+    };
+    for _ in 0..3 {
+        let report =
+            execute_with_reoptimization(session.database_mut(), &skewed.sql, &config).unwrap();
+        assert_eq!(
+            report.final_rows, expected_skewed.rows,
+            "mid-query re-optimization changed the skewed query's result"
+        );
+        assert!(
+            report.reoptimized(),
+            "the skewed keyword join must trigger re-optimization"
+        );
+    }
+
+    stop.store(true, Ordering::SeqCst);
+    let completed = bg_handle.join().expect("background session panicked");
+    assert!(
+        completed >= 1,
+        "the background session must complete LIMIT queries during re-optimization"
+    );
+}
+
+#[test]
 fn mid_query_reopt_corrects_one_session_while_others_complete_unaffected() {
     // Force hash joins so the mis-estimated subtree deterministically lands on a
     // build side (same setup as the end-to-end mid-query tests), then run the
